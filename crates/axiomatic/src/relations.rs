@@ -1,0 +1,287 @@
+//! A small calculus of finite binary relations over event indices, enough
+//! to express the axiomatic model of Fig. 6 (unions, compositions,
+//! restrictions, acyclicity).
+
+/// A binary relation over `0..n` represented as adjacency sets.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Relation {
+    n: usize,
+    adj: Vec<Vec<bool>>,
+}
+
+impl Relation {
+    /// The empty relation over `0..n`.
+    pub fn new(n: usize) -> Relation {
+        Relation {
+            n,
+            adj: vec![vec![false; n]; n],
+        }
+    }
+
+    /// Number of elements of the carrier.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the relation has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.adj.iter().all(|row| row.iter().all(|&b| !b))
+    }
+
+    /// Add the edge `a → b`.
+    pub fn add(&mut self, a: usize, b: usize) {
+        self.adj[a][b] = true;
+    }
+
+    /// Whether `a → b` is in the relation.
+    pub fn contains(&self, a: usize, b: usize) -> bool {
+        self.adj[a][b]
+    }
+
+    /// Build from an edge list.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Relation {
+        let mut r = Relation::new(n);
+        for (a, b) in edges {
+            r.add(a, b);
+        }
+        r
+    }
+
+    /// All edges, in index order.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if self.adj[a][b] {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Union of two relations.
+    #[must_use]
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.n, other.n);
+        let mut r = self.clone();
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if other.adj[a][b] {
+                    r.adj[a][b] = true;
+                }
+            }
+        }
+        r
+    }
+
+    /// In-place union.
+    pub fn extend(&mut self, other: &Relation) {
+        assert_eq!(self.n, other.n);
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if other.adj[a][b] {
+                    self.adj[a][b] = true;
+                }
+            }
+        }
+    }
+
+    /// Relational composition `self ; other`.
+    #[must_use]
+    pub fn compose(&self, other: &Relation) -> Relation {
+        assert_eq!(self.n, other.n);
+        let mut r = Relation::new(self.n);
+        for a in 0..self.n {
+            for m in 0..self.n {
+                if self.adj[a][m] {
+                    for b in 0..self.n {
+                        if other.adj[m][b] {
+                            r.adj[a][b] = true;
+                        }
+                    }
+                }
+            }
+        }
+        r
+    }
+
+    /// Intersection.
+    #[must_use]
+    pub fn intersect(&self, other: &Relation) -> Relation {
+        assert_eq!(self.n, other.n);
+        let mut r = Relation::new(self.n);
+        for a in 0..self.n {
+            for b in 0..self.n {
+                r.adj[a][b] = self.adj[a][b] && other.adj[a][b];
+            }
+        }
+        r
+    }
+
+    /// Inverse relation.
+    #[must_use]
+    pub fn inverse(&self) -> Relation {
+        let mut r = Relation::new(self.n);
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if self.adj[a][b] {
+                    r.adj[b][a] = true;
+                }
+            }
+        }
+        r
+    }
+
+    /// Keep only edges whose source satisfies `dom` and target satisfies
+    /// `rng` (the `[A]; r; [B]` idiom of cat files).
+    #[must_use]
+    pub fn restrict(
+        &self,
+        dom: impl Fn(usize) -> bool,
+        rng: impl Fn(usize) -> bool,
+    ) -> Relation {
+        let mut r = Relation::new(self.n);
+        for a in 0..self.n {
+            if !dom(a) {
+                continue;
+            }
+            for b in 0..self.n {
+                if self.adj[a][b] && rng(b) {
+                    r.adj[a][b] = true;
+                }
+            }
+        }
+        r
+    }
+
+    /// Keep only edges satisfying `keep`.
+    #[must_use]
+    pub fn filter(&self, keep: impl Fn(usize, usize) -> bool) -> Relation {
+        let mut r = Relation::new(self.n);
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if self.adj[a][b] && keep(a, b) {
+                    r.adj[a][b] = true;
+                }
+            }
+        }
+        r
+    }
+
+    /// Whether the relation is acyclic (no directed cycle; a self-edge is a
+    /// cycle).
+    pub fn is_acyclic(&self) -> bool {
+        // iterative DFS with colours
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour = vec![Colour::White; self.n];
+        for start in 0..self.n {
+            if colour[start] != Colour::White {
+                continue;
+            }
+            // stack of (node, next-child-index)
+            let mut stack = vec![(start, 0usize)];
+            colour[start] = Colour::Grey;
+            while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+                let mut advanced = false;
+                while *next < self.n {
+                    let child = *next;
+                    *next += 1;
+                    if !self.adj[node][child] {
+                        continue;
+                    }
+                    match colour[child] {
+                        Colour::Grey => return false,
+                        Colour::White => {
+                            colour[child] = Colour::Grey;
+                            stack.push((child, 0));
+                            advanced = true;
+                            break;
+                        }
+                        Colour::Black => {}
+                    }
+                }
+                if !advanced && stack.last().map(|&(n_, _)| n_) == Some(node) {
+                    colour[node] = Colour::Black;
+                    stack.pop();
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_relation_is_acyclic() {
+        assert!(Relation::new(5).is_acyclic());
+        assert!(Relation::new(0).is_acyclic());
+    }
+
+    #[test]
+    fn self_edge_is_a_cycle() {
+        let r = Relation::from_edges(3, [(1, 1)]);
+        assert!(!r.is_acyclic());
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let r = Relation::from_edges(4, [(0, 1), (1, 2), (2, 0)]);
+        assert!(!r.is_acyclic());
+    }
+
+    #[test]
+    fn dag_is_acyclic() {
+        let r = Relation::from_edges(5, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        assert!(r.is_acyclic());
+    }
+
+    #[test]
+    fn compose_follows_paths() {
+        let a = Relation::from_edges(4, [(0, 1), (2, 3)]);
+        let b = Relation::from_edges(4, [(1, 2)]);
+        let c = a.compose(&b);
+        assert_eq!(c.edges(), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn union_and_intersect() {
+        let a = Relation::from_edges(3, [(0, 1)]);
+        let b = Relation::from_edges(3, [(1, 2), (0, 1)]);
+        assert_eq!(a.union(&b).edges(), vec![(0, 1), (1, 2)]);
+        assert_eq!(a.intersect(&b).edges(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn inverse_swaps_edges() {
+        let a = Relation::from_edges(3, [(0, 2)]);
+        assert_eq!(a.inverse().edges(), vec![(2, 0)]);
+    }
+
+    #[test]
+    fn restrict_applies_domain_and_range() {
+        let a = Relation::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let r = a.restrict(|x| x != 1, |y| y != 3);
+        assert_eq!(r.edges(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn long_chain_acyclic_and_with_backedge_cyclic() {
+        let n = 60;
+        let mut r = Relation::new(n);
+        for i in 0..n - 1 {
+            r.add(i, i + 1);
+        }
+        assert!(r.is_acyclic());
+        r.add(n - 1, 0);
+        assert!(!r.is_acyclic());
+    }
+}

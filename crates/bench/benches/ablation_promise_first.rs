@@ -1,0 +1,35 @@
+//! B3 (ablation): the promise-first optimisation (Theorem 7.1) vs the
+//! naive interleaving search on the same machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use promising_core::{Arch, Machine};
+use promising_explorer::{explore_naive, explore_promise_first, CertMode};
+use promising_litmus::by_name;
+use promising_workloads::{by_spec, init_for};
+
+fn bench_ablation(c: &mut Criterion) {
+    // litmus scale
+    for name in ["MP+dmb.sy+addr", "SB+dmb.sy+dmb.sy", "LB+po+po"] {
+        let t = by_name(name).expect("catalogue test");
+        let config = promising_core::Config::for_arch(t.arch).with_loop_fuel(8);
+        let m = Machine::with_init(t.program.clone(), config, t.init.clone());
+        let mut group = c.benchmark_group(format!("litmus/{name}"));
+        group.sample_size(20);
+        group.bench_function("promise-first", |b| b.iter(|| explore_promise_first(&m)));
+        group.bench_function("naive", |b| b.iter(|| explore_naive(&m, CertMode::Online)));
+        group.finish();
+    }
+    // workload scale
+    for spec in ["SLA-1", "PCS-1-1"] {
+        let w = by_spec(spec).expect("spec parses");
+        let m = Machine::with_init(w.program.clone(), w.config(Arch::Arm), init_for(&w));
+        let mut group = c.benchmark_group(format!("workload/{spec}"));
+        group.sample_size(10);
+        group.bench_function("promise-first", |b| b.iter(|| explore_promise_first(&m)));
+        group.bench_function("naive", |b| b.iter(|| explore_naive(&m, CertMode::Online)));
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

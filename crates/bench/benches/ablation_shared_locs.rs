@@ -1,0 +1,32 @@
+//! B4 (ablation): the §7 shared-location optimisation — the same workload
+//! explored with all locations shared vs only the truly-shared set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use promising_core::{Arch, Machine};
+use promising_explorer::explore_promise_first;
+use promising_workloads::{by_spec, init_for};
+
+fn bench_shared_locs(c: &mut Criterion) {
+    for spec in ["SLA-2", "STC-100-010-000", "DQ-100-1-0"] {
+        let w = by_spec(spec).expect("spec parses");
+        let init = init_for(&w);
+        let mut group = c.benchmark_group(spec);
+        group.sample_size(10);
+        group.bench_function("shared-locs-declared", |b| {
+            let m = Machine::with_init(w.program.clone(), w.config(Arch::Arm), init.clone());
+            b.iter(|| explore_promise_first(&m))
+        });
+        group.bench_function("all-shared", |b| {
+            let m = Machine::with_init(
+                w.program.clone(),
+                w.config_unshared(Arch::Arm),
+                init.clone(),
+            );
+            b.iter(|| explore_promise_first(&m))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_shared_locs);
+criterion_main!(benches);

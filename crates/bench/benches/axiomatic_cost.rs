@@ -1,0 +1,27 @@
+//! B6: axiomatic candidate-enumeration cost growth (the herd-style
+//! two-phase search the paper's §8 discusses) as thread count and event
+//! count grow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use promising_axiomatic::{enumerate_outcomes, AxConfig};
+use promising_litmus::by_name;
+
+fn bench_axiomatic(c: &mut Criterion) {
+    for name in [
+        "MP+po+po",
+        "MP+dmb.sy+addr",
+        "WRC+po+addr",
+        "IRIW+addr+addr",
+        "2+2W+po+po",
+    ] {
+        let t = by_name(name).expect("catalogue test");
+        let mut ax = AxConfig::new(t.arch);
+        ax.init = t.init.clone();
+        c.bench_function(&format!("axiomatic/{name}"), |b| {
+            b.iter(|| enumerate_outcomes(&t.program, &ax).expect("enumerates"))
+        });
+    }
+}
+
+criterion_group!(benches, bench_axiomatic);
+criterion_main!(benches);

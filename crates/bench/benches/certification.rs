@@ -1,0 +1,25 @@
+//! B5: the cost of §B's `find_and_certify` — the inner loop of both the
+//! machine-step semantics and promise enumeration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use promising_core::{find_and_certify, Arch, Machine, TId};
+use promising_litmus::by_name;
+use promising_workloads::{by_spec, init_for};
+
+fn bench_certification(c: &mut Criterion) {
+    let t = by_name("LB+po+po").expect("catalogue test");
+    let config = promising_core::Config::for_arch(t.arch).with_loop_fuel(8);
+    let m = Machine::with_init(t.program.clone(), config, t.init.clone());
+    c.bench_function("find_and_certify/LB-initial", |b| {
+        b.iter(|| find_and_certify(&m, TId(0)))
+    });
+
+    let w = by_spec("SLA-2").expect("spec parses");
+    let m = Machine::with_init(w.program.clone(), w.config(Arch::Arm), init_for(&w));
+    c.bench_function("find_and_certify/SLA-2-initial", |b| {
+        b.iter(|| find_and_certify(&m, TId(0)))
+    });
+}
+
+criterion_group!(benches, bench_certification);
+criterion_main!(benches);

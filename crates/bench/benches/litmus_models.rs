@@ -1,0 +1,35 @@
+//! B1: per-model cost on representative litmus tests — Promising
+//! (promise-first) vs the Flat-lite baseline vs the axiomatic enumerator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use promising_axiomatic::{enumerate_outcomes, AxConfig};
+use promising_core::{Config, Machine};
+use promising_explorer::explore_promise_first;
+use promising_flat::{explore_flat, FlatMachine};
+use promising_litmus::by_name;
+
+fn bench_models(c: &mut Criterion) {
+    for name in ["MP+dmb.sy+addr", "LB+data+data", "PPOCA", "IRIW+addr+addr"] {
+        let test = by_name(name).expect("catalogue test");
+        let config = Config::for_arch(test.arch).with_loop_fuel(8);
+        let mut group = c.benchmark_group(name);
+        group.sample_size(20);
+        group.bench_function("promising", |b| {
+            let m = Machine::with_init(test.program.clone(), config.clone(), test.init.clone());
+            b.iter(|| explore_promise_first(&m))
+        });
+        group.bench_function("flat", |b| {
+            let m = FlatMachine::with_init(test.program.clone(), config.clone(), test.init.clone());
+            b.iter(|| explore_flat(&m))
+        });
+        group.bench_function("axiomatic", |b| {
+            let mut ax = AxConfig::new(test.arch);
+            ax.init = test.init.clone();
+            b.iter(|| enumerate_outcomes(&test.program, &ax).expect("enumerates"))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

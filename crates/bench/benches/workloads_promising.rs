@@ -1,0 +1,28 @@
+//! B2: Promising exhaustive-search cost on small instances of each §8
+//! workload family (the per-row micro version of Table 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use promising_core::{Arch, Machine};
+use promising_explorer::explore_promise_first;
+use promising_workloads::{by_spec, init_for};
+
+fn bench_workloads(c: &mut Criterion) {
+    for spec in [
+        "SLA-2",
+        "PCS-2-2",
+        "PCM-1-1-1",
+        "STC-100-010-000",
+        "DQ-110-1-0",
+        "QU-100-000-000",
+    ] {
+        let w = by_spec(spec).expect("spec parses");
+        let init = init_for(&w);
+        let m = Machine::with_init(w.program.clone(), w.config(Arch::Arm), init);
+        c.bench_function(&format!("promising/{spec}"), |b| {
+            b.iter(|| explore_promise_first(&m))
+        });
+    }
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

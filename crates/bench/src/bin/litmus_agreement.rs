@@ -1,0 +1,53 @@
+//! Experiment L1 (DESIGN.md): model-agreement sweep over the full
+//! generated litmus suites plus the named catalogue — the analogue of the
+//! paper's ~6,500-ARM/~7,000-RISC-V herd validation (§7).
+//!
+//! Usage: `cargo run --release -p promising-bench --bin litmus_agreement`
+
+use promising_core::Arch;
+use promising_litmus::{catalogue, check_agreement, generate_suite, generate_three_thread_suite, ModelKind};
+use std::time::Instant;
+
+fn main() {
+    let models = [
+        ModelKind::Promising,
+        ModelKind::Axiomatic,
+        ModelKind::Flat,
+    ];
+    let mut total = 0usize;
+    let mut disagreements = Vec::new();
+    let start = Instant::now();
+
+    for arch in [Arch::Arm, Arch::RiscV] {
+        let mut tests = generate_suite(arch);
+        tests.extend(generate_three_thread_suite(arch));
+        tests.extend(catalogue().into_iter().filter(|t| t.arch == arch));
+        println!("{}: {} tests", arch.name(), tests.len());
+        for (i, test) in tests.iter().enumerate() {
+            match check_agreement(test, &models) {
+                Ok(a) if a.agree => {}
+                Ok(a) => disagreements.push(a.mismatch.unwrap_or(a.test)),
+                Err(e) => disagreements.push(format!("{test}: {e}")),
+            }
+            if (i + 1) % 200 == 0 {
+                println!("  …{}/{} ({:.1}s)", i + 1, tests.len(), start.elapsed().as_secs_f64());
+            }
+        }
+        total += tests.len();
+    }
+
+    println!(
+        "\nchecked {total} litmus tests under {:?} in {:.1}s",
+        models.map(|m| m.name()),
+        start.elapsed().as_secs_f64()
+    );
+    if disagreements.is_empty() {
+        println!("all models agree on every test");
+    } else {
+        println!("{} DISAGREEMENTS:", disagreements.len());
+        for d in &disagreements {
+            println!("  {d}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,27 @@
+//! Experiment T1 (DESIGN.md): regenerate Table 1 — per-workload size
+//! (instruction count as the LOC analogue) and thread counts.
+//!
+//! Usage: `cargo run -p promising-bench --bin table1`
+
+use promising_bench::Table;
+use promising_workloads::table1_rows;
+
+fn main() {
+    let mut table = Table::new(&["Test", "Lang", "LOC", "Ts"]);
+    for w in table1_rows() {
+        let lang = match w.family {
+            "SLA" => "asm-style",
+            "SLC" | "PCS" | "PCM" | "TL" | "STC" | "DQ" | "QU" => "C++-style",
+            "SLR" | "STR" => "Rust-style",
+            _ => "calculus",
+        };
+        table.row(&[
+            w.family.to_string(),
+            lang.to_string(),
+            w.instruction_count().to_string(),
+            w.num_threads().to_string(),
+        ]);
+    }
+    println!("Table 1: evaluated workloads (calculus instruction counts)\n");
+    println!("{}", table.render());
+}

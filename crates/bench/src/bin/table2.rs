@@ -1,0 +1,72 @@
+//! Experiment T2 (DESIGN.md): regenerate Table 2 — exhaustive-search run
+//! times, Promising (promise-first + shared-location optimisation) vs the
+//! Flat-lite baseline, on the paper's selected workload instances.
+//!
+//! The absolute numbers differ from the paper's (different host, different
+//! substrate); the *shape* to verify is Promising ≪ Flat with the gap
+//! exploding as the parameters grow (ooT = over the per-cell timeout).
+//!
+//! Usage: `cargo run --release -p promising-bench --bin table2 [timeout-secs]`
+
+use promising_bench::{fmt_duration, Table};
+use promising_core::{Arch, Machine};
+use promising_explorer::explore_promise_first_deadline;
+use promising_flat::{explore_flat_deadline, FlatMachine};
+use promising_workloads::{by_spec, init_for};
+use std::time::Duration;
+
+/// The Table 2 rows (paper parameterisations, trimmed to what completes
+/// in reasonable wall-clock on the Promising side).
+pub const ROWS: &[&str] = &[
+    "SLA-1", "SLA-2", "SLA-3", "SLA-4",
+    "SLC-1", "SLC-2",
+    "SLR-1", "SLR-2",
+    "PCS-1-1", "PCS-2-2",
+    "PCM-1-1-1",
+    "TL-1",
+    "STC-100-010-000", "STC-100-010-010", "STC(opt)-100-010-000",
+    "STR-100-010-000", "STR-100-010-010",
+    "DQ-100-1-0", "DQ-110-1-0", "DQ(opt)-100-1-0",
+    "QU-100-000-000", "QU-100-010-000", "QU(opt)-100-000-000",
+];
+
+fn main() {
+    let timeout = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(60u64);
+    let timeout = Duration::from_secs(timeout);
+    println!(
+        "Table 2: exhaustive run times in seconds (timeout {}s per cell)\n",
+        timeout.as_secs()
+    );
+    let mut table = Table::new(&["Test", "Promising", "Flat", "P-states", "F-states"]);
+    for spec in ROWS {
+        let w = by_spec(spec).expect("table spec parses");
+        let init = init_for(&w);
+
+        let m = Machine::with_init(w.program.clone(), w.config(Arch::Arm), init.clone());
+        let p = explore_promise_first_deadline(&m, Some(timeout));
+        let p_time = (!p.stats.truncated).then_some(p.stats.duration);
+        if !p.stats.truncated {
+            let violations = w.violations(&p.outcomes);
+            if !violations.is_empty() {
+                println!("!! {spec}: incorrect states found: {}", violations[0]);
+            }
+        }
+
+        let fm = FlatMachine::with_init(w.program.clone(), w.config_unshared(Arch::Arm), init);
+        let f = explore_flat_deadline(&fm, u64::MAX, Some(timeout));
+        let f_time = (!f.stats.truncated).then_some(f.stats.duration);
+
+        table.row(&[
+            spec.to_string(),
+            fmt_duration(p_time),
+            fmt_duration(f_time),
+            p.stats.states.to_string(),
+            f.stats.states.to_string(),
+        ]);
+        eprintln!("  {spec}: promising {} flat {}", fmt_duration(p_time), fmt_duration(f_time));
+    }
+    println!("{}", table.render());
+}

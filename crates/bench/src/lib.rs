@@ -1,0 +1,9 @@
+//! Benchmark-harness support: table formatting and timing helpers shared
+//! by the table-regenerating binaries (see DESIGN.md §4 for the
+//! experiment index).
+
+#![warn(missing_docs)]
+
+pub mod table;
+
+pub use table::{fmt_duration, Table};

@@ -1,0 +1,85 @@
+//! Minimal fixed-width table rendering for the experiment binaries.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// A simple left-aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}", cell, width = widths[i] + 2);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().min(120)));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        let _ = writeln!(out, "({} columns, {} rows)", ncols, self.rows.len());
+        out
+    }
+}
+
+/// Human format for durations: seconds with two decimals, or "ooT".
+pub fn fmt_duration(d: Option<Duration>) -> String {
+    match d {
+        Some(d) => format!("{:.2}", d.as_secs_f64()),
+        None => "ooT".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["Test", "Time"]);
+        t.row(&["SLA-1".into(), "0.27".into()]);
+        t.row(&["longer-name".into(), "9108.53".into()]);
+        let s = t.render();
+        assert!(s.contains("SLA-1"));
+        assert!(s.contains("longer-name"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn oot_formatting() {
+        assert_eq!(fmt_duration(None), "ooT");
+        assert_eq!(
+            fmt_duration(Some(Duration::from_millis(1500))),
+            "1.50"
+        );
+    }
+}

@@ -1,0 +1,360 @@
+//! Certification (§4.3, r24) and the `find_and_certify` algorithm (§B,
+//! Theorem 6.4).
+//!
+//! A thread configuration `⟨T, M⟩` is *certified* if the thread, executing
+//! alone (every new promise immediately fulfilled, i.e. only *normal
+//! writes*), can reach a state with no outstanding promises. Machine steps
+//! are restricted to certified post-states.
+//!
+//! Following §B, the algorithm enumerates all sequential traces of the
+//! thread under the current memory (bounded by
+//! [`crate::config::Config::cert_depth`] and the loop fuel), discards
+//! traces whose final state has unfulfilled promises, and derives:
+//!
+//! 1. the *certified first steps* — the non-promise steps that begin some
+//!    completing trace;
+//! 2. the *legal promises* — every normal write done on a completing trace
+//!    whose pre-view and coherence view (at its location) are at most the
+//!    maximal timestamp of the memory before certification started.
+//!
+//! The search is memoised on (continuation, thread state, memory), which
+//! collapses the exponential blow-up from read-value enumeration whenever
+//! different orders reach the same state.
+
+use crate::machine::{
+    apply_step, enabled_steps, Machine, StepEvent, ThreadInstance, TransitionKind,
+};
+use crate::config::Config;
+use crate::ids::{TId, Timestamp};
+use crate::memory::{Memory, Msg};
+use crate::stmt::ThreadCode;
+use std::collections::{BTreeSet, HashMap};
+
+/// Result of [`find_and_certify`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CertResult {
+    /// Whether the configuration is certified (some sequential execution
+    /// fulfils all outstanding promises).
+    pub certified: bool,
+    /// The promises the thread may legally make in this configuration
+    /// (Theorem 6.4): promising any of these leads to a certified state.
+    pub promisable: BTreeSet<Msg>,
+    /// The non-promise steps whose post-state is certified — i.e. the
+    /// machine-step-enabled thread-local transitions.
+    pub certified_first_steps: Vec<TransitionKind>,
+    /// Whether the step bound was hit anywhere in the search; if so, the
+    /// results are sound but possibly incomplete (like the paper's fuel).
+    pub bound_hit: bool,
+}
+
+/// Run §B's `find_and_certify` for thread `tid` of `machine`.
+pub fn find_and_certify(machine: &Machine, tid: TId) -> CertResult {
+    let code = &machine.program().threads()[tid.0];
+    let mut engine = Engine {
+        config: machine.config(),
+        code,
+        tid,
+        base_ts: machine.memory().max_timestamp(),
+        memo: HashMap::new(),
+        bound_hit: false,
+    };
+    let root_thread = machine.thread(tid).clone();
+    let root_memory = machine.memory().clone();
+    let depth = machine.config().cert_depth;
+
+    let (certified, promisable) = engine.explore(&root_thread, &root_memory, depth);
+
+    // Certified first steps: re-expand the root one step and query the memo
+    // (already warm from the exploration above).
+    let mut certified_first_steps = Vec::new();
+    for kind in enabled_steps(machine.config(), code, tid, &root_thread, &root_memory) {
+        let mut th = root_thread.clone();
+        let mut mem = root_memory.clone();
+        apply_step(machine.config(), code, tid, &kind, &mut th, &mut mem)
+            .expect("enabled step must apply");
+        let (reached, _) = engine.explore(&th, &mem, depth.saturating_sub(1));
+        if reached {
+            certified_first_steps.push(kind);
+        }
+    }
+
+    CertResult {
+        certified,
+        promisable,
+        certified_first_steps,
+        bound_hit: engine.bound_hit,
+    }
+}
+
+/// Cheap certification check only (no promise enumeration): is the
+/// configuration of thread `tid` certified?
+pub fn is_certified(machine: &Machine, tid: TId) -> bool {
+    if !machine.thread(tid).state.has_promises() {
+        return true;
+    }
+    find_and_certify(machine, tid).certified
+}
+
+type MemoKey = (ThreadInstance, Memory);
+
+struct Engine<'a> {
+    config: &'a Config,
+    code: &'a ThreadCode,
+    tid: TId,
+    /// Maximal timestamp of the memory before certification (the promise
+    /// qualification bound of §B step 3).
+    base_ts: Timestamp,
+    memo: HashMap<MemoKey, (bool, BTreeSet<Msg>)>,
+    bound_hit: bool,
+}
+
+impl Engine<'_> {
+    /// Returns `(reached, qualified)`: whether a promise-free state is
+    /// reachable sequentially, and which normal writes on completing
+    /// traces qualify as promises.
+    fn explore(
+        &mut self,
+        thread: &ThreadInstance,
+        memory: &Memory,
+        depth: u32,
+    ) -> (bool, BTreeSet<Msg>) {
+        let key = (thread.clone(), memory.clone());
+        if let Some(hit) = self.memo.get(&key) {
+            return hit.clone();
+        }
+        if depth == 0 {
+            self.bound_hit = true;
+            return (thread.state.prom.is_empty(), BTreeSet::new());
+        }
+
+        let mut reached = thread.state.prom.is_empty();
+        let mut qualified = BTreeSet::new();
+
+        for kind in enabled_steps(self.config, self.code, self.tid, thread, memory) {
+            let mut th = thread.clone();
+            let mut mem = memory.clone();
+            // Record the coherence view at the store's location *before*
+            // the write, for the §B qualification check.
+            let ev = apply_step(self.config, self.code, self.tid, &kind, &mut th, &mut mem)
+                .expect("enabled step must apply");
+            let (sub_reached, sub_qualified) = self.explore(&th, &mem, depth - 1);
+            if !sub_reached {
+                continue;
+            }
+            reached = true;
+            qualified.extend(sub_qualified);
+            if kind == TransitionKind::WriteNormal {
+                if let StepEvent::DidWrite {
+                    loc,
+                    val,
+                    pre_view,
+                    ..
+                } = ev
+                {
+                    // §B step 3: pre-view and coherence view (before the
+                    // write) at most the pre-certification max timestamp.
+                    let coh_before = thread.state.coh(loc);
+                    if pre_view.join(coh_before).timestamp() <= self.base_ts {
+                        qualified.insert(Msg::new(loc, val, self.tid));
+                    }
+                }
+            }
+        }
+
+        let result = (reached, qualified);
+        self.memo.insert(key, result.clone());
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::expr::Expr;
+    use crate::ids::{Loc, Reg, Val};
+    use crate::machine::Transition;
+    use crate::stmt::{CodeBuilder, Program, ThreadCode};
+    use std::sync::Arc;
+
+    fn lb_thread_dependent() -> ThreadCode {
+        // r1 := load x; store y r1 — the data-dependent LB thread.
+        let mut b = CodeBuilder::new();
+        let l = b.load(Reg(1), Expr::val(0));
+        let s = b.store(Expr::val(1), Expr::reg(Reg(1)));
+        b.finish_seq(&[l, s])
+    }
+
+    fn lb_thread_independent() -> ThreadCode {
+        // r2 := load y; store x 42 — the independent LB thread.
+        let mut b = CodeBuilder::new();
+        let l = b.load(Reg(2), Expr::val(1));
+        let s = b.store(Expr::val(0), Expr::val(42));
+        b.finish_seq(&[l, s])
+    }
+
+    #[test]
+    fn independent_store_is_promisable_in_initial_state() {
+        // §4.2: Thread 2 can promise x = 42 in the initial state…
+        let program = Arc::new(Program::new(vec![
+            lb_thread_dependent(),
+            lb_thread_independent(),
+        ]));
+        let m = Machine::new(program, Config::arm());
+        let cert = find_and_certify(&m, TId(1));
+        assert!(cert.certified);
+        assert!(cert
+            .promisable
+            .contains(&Msg::new(Loc(0), Val(42), TId(1))));
+    }
+
+    #[test]
+    fn dependent_store_is_not_promisable_in_initial_state() {
+        // …but Thread 1 cannot promise y = 37/42: executing sequentially
+        // it must read x = 0, so it would write y = 0. Only y = 0 is
+        // promisable.
+        let program = Arc::new(Program::new(vec![
+            lb_thread_dependent(),
+            lb_thread_independent(),
+        ]));
+        let m = Machine::new(program, Config::arm());
+        let cert = find_and_certify(&m, TId(0));
+        assert!(cert.certified);
+        assert_eq!(
+            cert.promisable,
+            BTreeSet::from([Msg::new(Loc(1), Val(0), TId(0))])
+        );
+    }
+
+    #[test]
+    fn certification_blocks_reads_breaking_promises() {
+        // §4.2 "Memory barriers": T2 = load y; dmb.sy; store x 42, after
+        // promising x = 42 and T1 writing y = 42, T2 must not read y = 42
+        // (the certified steps exclude that read).
+        let mut b = CodeBuilder::new();
+        let c = b.load(Reg(2), Expr::val(1));
+        let f = b.dmb_sy();
+        let e = b.store(Expr::val(0), Expr::val(42));
+        let t2 = b.finish_seq(&[c, f, e]);
+        let program = Arc::new(Program::new(vec![lb_thread_dependent(), t2]));
+        let mut m = Machine::new(program, Config::arm());
+        // T2 promises x = 42 @1
+        m.apply(&Transition::new(
+            TId(1),
+            crate::machine::TransitionKind::Promise {
+                msg: Msg::new(Loc(0), Val(42), TId(1)),
+            },
+        ))
+        .unwrap();
+        // T1: a reads x = 42, b writes y = 42 @2
+        m.apply(&Transition::new(
+            TId(0),
+            crate::machine::TransitionKind::Read { t: Timestamp(1) },
+        ))
+        .unwrap();
+        m.apply(&Transition::new(
+            TId(0),
+            crate::machine::TransitionKind::WriteNormal,
+        ))
+        .unwrap();
+        // Certified steps for T2: only the read of the *initial* y.
+        let cert = find_and_certify(&m, TId(1));
+        assert!(cert.certified);
+        assert_eq!(
+            cert.certified_first_steps,
+            vec![crate::machine::TransitionKind::Read { t: Timestamp::ZERO }]
+        );
+    }
+
+    #[test]
+    fn appendix_b_worked_example() {
+        // §B: memory = [1: ⟨w := 1⟩₂, 2: ⟨z := 1⟩₁], Thread 1 =
+        //   a: r1 := load w; b: store x 1; c: store_rel y 1; d: store z r1
+        // with promise set {2}. Then:
+        //   * the only certified first step reads w = 1;
+        //   * promising x = 1 is certified;
+        //   * promising y = 1 is NOT (pre-view 3 > 2).
+        let (w, x, y, z) = (Loc(10), Loc(11), Loc(12), Loc(13));
+        let mut b = CodeBuilder::new();
+        let a = b.load(Reg(1), Expr::val(w.0 as i64));
+        let s1 = b.store(Expr::val(x.0 as i64), Expr::val(1));
+        let s2 = b.store_rel(Expr::val(y.0 as i64), Expr::val(1));
+        let s3 = b.store(Expr::val(z.0 as i64), Expr::reg(Reg(1)));
+        let t1 = b.finish_seq(&[a, s1, s2, s3]);
+        // Thread 2 only exists to own the w = 1 write.
+        let mut b2 = CodeBuilder::new();
+        let sw = b2.store(Expr::val(w.0 as i64), Expr::val(1));
+        let t2 = b2.finish_seq(&[sw]);
+        let program = Arc::new(Program::new(vec![t1, t2]));
+        let mut m = Machine::new(program, Config::arm());
+        // Build the §B memory: T2 writes w = 1 @1; T1 promises z = 1 @2.
+        m.apply(&Transition::new(
+            TId(1),
+            crate::machine::TransitionKind::WriteNormal,
+        ))
+        .unwrap();
+        m.apply(&Transition::new(
+            TId(0),
+            crate::machine::TransitionKind::Promise {
+                msg: Msg::new(z, Val(1), TId(0)),
+            },
+        ))
+        .unwrap();
+        assert_eq!(m.memory().len(), 2);
+
+        let cert = find_and_certify(&m, TId(0));
+        assert!(cert.certified);
+        // 1. only reading w = 1 (timestamp 1) is certified
+        assert_eq!(
+            cert.certified_first_steps,
+            vec![crate::machine::TransitionKind::Read { t: Timestamp(1) }]
+        );
+        // 2. x = 1 is promisable (pre-view 0, coh 0 ≤ 2)
+        assert!(cert.promisable.contains(&Msg::new(x, Val(1), TId(0))));
+        // 3. y = 1 is not (release store: pre-view includes b's post-view 3)
+        assert!(!cert.promisable.contains(&Msg::new(y, Val(1), TId(0))));
+        // and z = 1 is not a *new* promise (it is fulfilled, not promised)
+        assert!(!cert.promisable.contains(&Msg::new(z, Val(1), TId(0))));
+    }
+
+    #[test]
+    fn machine_steps_filter_by_certification() {
+        // Same setup as certification_blocks_reads_breaking_promises, via
+        // the Machine::machine_steps entry point.
+        let mut b = CodeBuilder::new();
+        let c = b.load(Reg(2), Expr::val(1));
+        let f = b.dmb_sy();
+        let e = b.store(Expr::val(0), Expr::val(42));
+        let t2 = b.finish_seq(&[c, f, e]);
+        let program = Arc::new(Program::new(vec![lb_thread_dependent(), t2]));
+        let mut m = Machine::new(program, Config::arm());
+        m.apply(&Transition::new(
+            TId(1),
+            crate::machine::TransitionKind::Promise {
+                msg: Msg::new(Loc(0), Val(42), TId(1)),
+            },
+        ))
+        .unwrap();
+        m.apply(&Transition::new(
+            TId(0),
+            crate::machine::TransitionKind::Read { t: Timestamp(1) },
+        ))
+        .unwrap();
+        m.apply(&Transition::new(
+            TId(0),
+            crate::machine::TransitionKind::WriteNormal,
+        ))
+        .unwrap();
+        let steps = m.machine_steps();
+        // T2's read of y@2 must not be among the machine steps.
+        assert!(!steps.contains(&Transition::new(
+            TId(1),
+            crate::machine::TransitionKind::Read { t: Timestamp(2) }
+        )));
+        // T2's read of the initial y is.
+        assert!(steps.contains(&Transition::new(
+            TId(1),
+            crate::machine::TransitionKind::Read { t: Timestamp::ZERO }
+        )));
+    }
+}

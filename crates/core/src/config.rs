@@ -1,0 +1,147 @@
+//! Model configuration: target architecture, loop/certification bounds,
+//! and the shared-location optimisation of §7.
+
+use crate::ids::Loc;
+use std::collections::BTreeSet;
+
+/// The architecture flag `a ∈ Arch ::= ARM | RISC-V` (Fig. 4).
+///
+/// The two architectures share all rules except the treatment of store
+/// exclusives (§A.3): forwarding from exclusive writes, the success
+/// register's view, and the pre-view contribution of the exclusives bank.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Arch {
+    /// ARMv8 (AArch64).
+    Arm,
+    /// RISC-V (RVWMO).
+    RiscV,
+}
+
+impl Arch {
+    /// Short lowercase name ("arm" / "riscv").
+    pub fn name(self) -> &'static str {
+        match self {
+            Arch::Arm => "arm",
+            Arch::RiscV => "riscv",
+        }
+    }
+}
+
+/// Which locations are shared between threads (§7's optimisation): accesses
+/// to non-shared locations are treated as register reads/writes, removing
+/// them from the interleaving search.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SharedLocs {
+    /// Every location is potentially shared (the default, always sound).
+    #[default]
+    All,
+    /// Only the listed locations are shared; the rest are thread-private.
+    /// The *user* asserts privacy, exactly as in the paper's tool.
+    Only(BTreeSet<Loc>),
+}
+
+impl SharedLocs {
+    /// Is `loc` shared under this declaration?
+    pub fn is_shared(&self, loc: Loc) -> bool {
+        match self {
+            SharedLocs::All => true,
+            SharedLocs::Only(set) => set.contains(&loc),
+        }
+    }
+}
+
+/// Executable-model configuration.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Config {
+    /// Target architecture.
+    pub arch: Arch,
+    /// Maximum number of taken loop iterations per thread ("the executable
+    /// model bounds loops", §3). A thread that would exceed the bound is
+    /// marked stuck and its trace discarded from outcome enumeration.
+    pub loop_fuel: u32,
+    /// Maximum number of sequential steps explored per certification run
+    /// (the *fuel* argument of §B's algorithm).
+    pub cert_depth: u32,
+    /// Shared-location declaration (§7 optimisation).
+    pub shared: SharedLocs,
+}
+
+impl Config {
+    /// Default ARM configuration.
+    pub fn arm() -> Config {
+        Config {
+            arch: Arch::Arm,
+            loop_fuel: 64,
+            cert_depth: 10_000,
+            shared: SharedLocs::All,
+        }
+    }
+
+    /// Default RISC-V configuration.
+    pub fn riscv() -> Config {
+        Config {
+            arch: Arch::RiscV,
+            ..Config::arm()
+        }
+    }
+
+    /// Configuration for the given architecture with defaults.
+    pub fn for_arch(arch: Arch) -> Config {
+        match arch {
+            Arch::Arm => Config::arm(),
+            Arch::RiscV => Config::riscv(),
+        }
+    }
+
+    /// Set the loop bound.
+    #[must_use]
+    pub fn with_loop_fuel(mut self, fuel: u32) -> Config {
+        self.loop_fuel = fuel;
+        self
+    }
+
+    /// Set the certification step bound.
+    #[must_use]
+    pub fn with_cert_depth(mut self, depth: u32) -> Config {
+        self.cert_depth = depth;
+        self
+    }
+
+    /// Declare the set of shared locations (everything else thread-private).
+    #[must_use]
+    pub fn with_shared_locs(mut self, locs: impl IntoIterator<Item = Loc>) -> Config {
+        self.shared = SharedLocs::Only(locs.into_iter().collect());
+        self
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config::arm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_locations_shared_by_default() {
+        let c = Config::arm();
+        assert!(c.shared.is_shared(Loc(0)));
+        assert!(c.shared.is_shared(Loc(999)));
+    }
+
+    #[test]
+    fn only_listed_locations_are_shared() {
+        let c = Config::arm().with_shared_locs([Loc(1), Loc(2)]);
+        assert!(c.shared.is_shared(Loc(1)));
+        assert!(!c.shared.is_shared(Loc(3)));
+    }
+
+    #[test]
+    fn arch_names() {
+        assert_eq!(Arch::Arm.name(), "arm");
+        assert_eq!(Arch::RiscV.name(), "riscv");
+    }
+}

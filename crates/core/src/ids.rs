@@ -1,0 +1,219 @@
+//! Base identifier and value newtypes of the model.
+//!
+//! Following §5 of the paper: locations and values are mathematical
+//! integers, thread identifiers and timestamps are naturals, and a *view*
+//! is simply a timestamp (rule r1): the index of a write in the memory
+//! history that has been "seen", with `0` denoting the initial writes.
+
+use std::fmt;
+
+/// A memory location (`Loc` in Fig. 2). Locations are values in the paper
+/// (`Loc ≝ Val`); we keep them as a distinct newtype for type safety and
+/// provide conversions where address arithmetic genuinely needs them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Loc(pub u64);
+
+/// A machine value (`Val ≝ ℤ` in Fig. 2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Val(pub i64);
+
+/// A thread identifier (`TId ≝ ℕ`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TId(pub usize);
+
+/// A register name (`Reg ≝ ℕ`, Fig. 1). The calculus assumes an infinite
+/// supply of registers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Reg(pub u32);
+
+/// A timestamp (`T ≝ ℕ`): a one-based index into the memory message list,
+/// with `0` standing for the initial writes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Timestamp(pub u32);
+
+/// A view (`V ≝ T`, rule r1): a timestamp recording that the write at that
+/// position and all its predecessors have been seen.
+///
+/// Views form a join-semilattice under [`View::join`] (written `⊔` in the
+/// paper); all view bookkeeping in the model is expressed with joins.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct View(pub u32);
+
+impl Timestamp {
+    /// The timestamp of the initial writes.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Whether this is the initial-write timestamp.
+    #[inline]
+    pub fn is_initial(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The view "this write and everything before it has been seen".
+    #[inline]
+    pub fn view(self) -> View {
+        View(self.0)
+    }
+}
+
+impl View {
+    /// The empty view: nothing beyond the initial writes has been seen.
+    pub const ZERO: View = View(0);
+
+    /// Join (`⊔`) of two views: the maximum timestamp.
+    #[inline]
+    #[must_use]
+    pub fn join(self, other: View) -> View {
+        View(self.0.max(other.0))
+    }
+
+    /// Conditional view (`c ? ν` in Fig. 5): `v` if `cond` holds, else `0`.
+    #[inline]
+    #[must_use]
+    pub fn when(cond: bool, v: View) -> View {
+        if cond {
+            v
+        } else {
+            View::ZERO
+        }
+    }
+
+    /// The timestamp this view points at.
+    #[inline]
+    pub fn timestamp(self) -> Timestamp {
+        Timestamp(self.0)
+    }
+
+    /// Whether the write at timestamp `t` is within (≤) this view.
+    #[inline]
+    pub fn includes(self, t: Timestamp) -> bool {
+        t.0 <= self.0
+    }
+}
+
+impl From<Timestamp> for View {
+    fn from(t: Timestamp) -> View {
+        t.view()
+    }
+}
+
+impl Val {
+    /// The success value written by store exclusives (`vsucc = 0`, ARM
+    /// convention, §3).
+    pub const SUCCESS: Val = Val(0);
+    /// The failure value written by store exclusives (`vfail = 1`).
+    pub const FAIL: Val = Val(1);
+
+    /// Truthiness used by branches: any non-zero value is "true".
+    #[inline]
+    pub fn as_bool(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl From<i64> for Val {
+    fn from(v: i64) -> Val {
+        Val(v)
+    }
+}
+
+impl From<Val> for Loc {
+    /// Locations are values in the calculus (`Loc ≝ Val`, Fig. 2): address
+    /// expressions evaluate to values that are then used as locations.
+    fn from(v: Val) -> Loc {
+        Loc(v.0 as u64)
+    }
+}
+
+impl From<Loc> for Val {
+    fn from(l: Loc) -> Val {
+        Val(l.0 as i64)
+    }
+}
+
+impl From<bool> for Val {
+    fn from(b: bool) -> Val {
+        Val(b as i64)
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for TId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_join_is_max() {
+        assert_eq!(View(3).join(View(5)), View(5));
+        assert_eq!(View(5).join(View(3)), View(5));
+        assert_eq!(View::ZERO.join(View::ZERO), View::ZERO);
+    }
+
+    #[test]
+    fn view_when_guards() {
+        assert_eq!(View::when(true, View(7)), View(7));
+        assert_eq!(View::when(false, View(7)), View::ZERO);
+    }
+
+    #[test]
+    fn view_includes_timestamps_up_to_itself() {
+        let v = View(4);
+        assert!(v.includes(Timestamp(0)));
+        assert!(v.includes(Timestamp(4)));
+        assert!(!v.includes(Timestamp(5)));
+    }
+
+    #[test]
+    fn timestamp_zero_is_initial() {
+        assert!(Timestamp::ZERO.is_initial());
+        assert!(!Timestamp(1).is_initial());
+    }
+
+    #[test]
+    fn val_truthiness() {
+        assert!(!Val(0).as_bool());
+        assert!(Val(1).as_bool());
+        assert!(Val(-3).as_bool());
+    }
+
+    #[test]
+    fn success_and_fail_follow_arm_convention() {
+        assert_eq!(Val::SUCCESS, Val(0));
+        assert_eq!(Val::FAIL, Val(1));
+    }
+}

@@ -1,0 +1,1138 @@
+//! The machine: thread pool × memory, and the operational rules of Fig. 5.
+//!
+//! Transitions come in three layers, mirroring the paper:
+//!
+//! * *thread-local steps* (`read`, `fulfil`, `exclusive-failure`, `fence`,
+//!   `isb`, `register`, `branch`, `while`, …) — [`Machine::thread_steps`] /
+//!   [`Machine::apply`];
+//! * *thread steps* add `promise`;
+//! * *machine steps* are thread steps filtered by certification (r24) —
+//!   [`Machine::machine_steps`], using [`crate::certify::find_and_certify`].
+//!
+//! Deterministic statements (assignments, branches, fences, `isb`,
+//! non-shared accesses) are exposed as a single [`TransitionKind::Internal`]
+//! step; the nondeterministic choices are the read timestamp of a load,
+//! which promise a store fulfils (or a fresh normal write), the failure of
+//! a store exclusive, and promises themselves.
+
+use crate::config::{Arch, Config};
+use crate::expr::Expr;
+use crate::ids::{Loc, Reg, TId, Timestamp, Val, View};
+use crate::memory::{Memory, Msg};
+use crate::stmt::{Program, ReadKind, Stmt, StmtId, ThreadCode, WriteKind};
+use crate::thread::{ExclBank, Forward, StuckReason, ThreadState};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A thread of the pool: its continuation (a stack of statement ids; the
+/// next statement is the last element) and its state (`Thread ≝ St × TState`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ThreadInstance {
+    /// Remaining code, as a stack of arena ids (next on top).
+    pub cont: Vec<StmtId>,
+    /// The thread state.
+    pub state: ThreadState,
+}
+
+impl ThreadInstance {
+    /// Whether the thread has run its whole program (promises may remain).
+    pub fn is_done(&self) -> bool {
+        self.cont.is_empty()
+    }
+}
+
+/// One nondeterministic choice a thread can take.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum TransitionKind {
+    /// Run the next deterministic statement (assignment, fence, `isb`,
+    /// branch, loop test, or an access to a non-shared location).
+    Internal,
+    /// The next load reads from timestamp `t` (the `read` rule).
+    Read {
+        /// Timestamp read from.
+        t: Timestamp,
+    },
+    /// The next store fulfils the outstanding promise at `t` (the `fulfil`
+    /// rule).
+    Fulfil {
+        /// Promise being fulfilled.
+        t: Timestamp,
+    },
+    /// The next store executes as a *normal write*: a promise at the end of
+    /// memory immediately followed by its fulfilment (r20).
+    WriteNormal,
+    /// The next store exclusive fails (the `exclusive-failure` rule).
+    ExclFail,
+    /// Promise the write `msg`, appending it to memory (the `promise` rule).
+    Promise {
+        /// The promised message.
+        msg: Msg,
+    },
+}
+
+/// A transition: a thread plus its choice.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Transition {
+    /// Acting thread.
+    pub tid: TId,
+    /// The choice taken.
+    pub kind: TransitionKind,
+}
+
+impl Transition {
+    /// Convenience constructor.
+    pub fn new(tid: TId, kind: TransitionKind) -> Transition {
+        Transition { tid, kind }
+    }
+}
+
+/// What a successfully applied transition did (for traces and debugging).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StepEvent {
+    /// Register assignment `r := v`.
+    Assigned(Reg, Val),
+    /// A branch (or loop test) evaluated, taking the given direction.
+    Branched(bool),
+    /// A fence executed.
+    Fenced,
+    /// An `isb` executed.
+    Isb,
+    /// A non-shared-location load observed the given value.
+    LocalRead(Loc, Val),
+    /// A non-shared-location store.
+    LocalWrite(Loc, Val),
+    /// A (shared) load read `loc = val` from timestamp `t`.
+    DidRead {
+        /// Location read.
+        loc: Loc,
+        /// Value obtained.
+        val: Val,
+        /// Timestamp read from.
+        t: Timestamp,
+    },
+    /// A store fulfilled (or normally wrote) `loc = val` at `t`.
+    DidWrite {
+        /// Location written.
+        loc: Loc,
+        /// Value written.
+        val: Val,
+        /// Timestamp of the write.
+        t: Timestamp,
+        /// The store's pre-view (used by §B's promise qualification).
+        pre_view: View,
+    },
+    /// A store exclusive failed.
+    ExclFailed,
+    /// A promise was made at timestamp `t`.
+    Promised(Msg, Timestamp),
+    /// The loop bound was exhausted; the thread is stuck.
+    LoopBoundHit,
+}
+
+/// Errors from applying a transition that is not enabled.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StepError {
+    /// The thread has no code left.
+    ThreadDone,
+    /// The thread is stuck (loop bound exhausted).
+    ThreadStuck,
+    /// The transition kind does not match the thread's next statement.
+    WrongShape,
+    /// The read timestamp is not a write to the load's location.
+    NoSuchWrite,
+    /// The read would violate the no-newer-seen-write condition (r2/r12).
+    ReadSuperseded,
+    /// The fulfilled timestamp is not an outstanding promise of the thread,
+    /// or its message does not match the store.
+    NotAPromise,
+    /// The store's pre-view/coherence constraint `νpre ⊔ coh(l) < t` fails.
+    TooLate,
+    /// A store exclusive is not atomic with its paired load exclusive, or
+    /// is unpaired.
+    NotAtomic,
+    /// A promise names a different thread.
+    ForeignPromise,
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            StepError::ThreadDone => "thread has terminated",
+            StepError::ThreadStuck => "thread is stuck (loop bound exhausted)",
+            StepError::WrongShape => "transition does not match the next statement",
+            StepError::NoSuchWrite => "timestamp is not a write to the load's location",
+            StepError::ReadSuperseded => "read would violate the view/coherence constraint",
+            StepError::NotAPromise => "timestamp is not a matching outstanding promise",
+            StepError::TooLate => "store pre-view/coherence is not below the timestamp",
+            StepError::NotAtomic => "store exclusive is unpaired or not atomic",
+            StepError::ForeignPromise => "promise names a different thread",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for StepError {}
+
+/// The machine state `⟨T⃗, M⟩` (Fig. 2): a thread pool and a memory.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    config: Config,
+    program: Arc<Program>,
+    threads: Vec<ThreadInstance>,
+    memory: Memory,
+}
+
+impl Machine {
+    /// Initial machine for `program` (all locations initially 0).
+    pub fn new(program: Arc<Program>, config: Config) -> Machine {
+        Machine::with_init(program, config, BTreeMap::new())
+    }
+
+    /// Initial machine with explicit initial values (litmus init section).
+    pub fn with_init(
+        program: Arc<Program>,
+        config: Config,
+        init: BTreeMap<Loc, Val>,
+    ) -> Machine {
+        let threads = program
+            .threads()
+            .iter()
+            .map(|code| {
+                let mut t = ThreadInstance {
+                    cont: vec![code.entry()],
+                    state: ThreadState::new(config.loop_fuel),
+                };
+                normalize(code, &mut t.cont);
+                t
+            })
+            .collect();
+        Machine {
+            config,
+            program,
+            threads,
+            memory: Memory::with_init(init),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The program under execution.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// The memory.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// The threads, in thread-id order.
+    pub fn threads(&self) -> &[ThreadInstance] {
+        &self.threads
+    }
+
+    /// A single thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn thread(&self, tid: TId) -> &ThreadInstance {
+        &self.threads[tid.0]
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The next statement of a thread, if any.
+    pub fn head(&self, tid: TId) -> Option<(StmtId, &Stmt)> {
+        let t = &self.threads[tid.0];
+        let id = *t.cont.last()?;
+        Some((id, self.program.threads()[tid.0].stmt(id)))
+    }
+
+    /// Whether every thread has terminated with an empty promise set:
+    /// a *valid* final state (§D).
+    pub fn terminated(&self) -> bool {
+        self.threads
+            .iter()
+            .all(|t| t.is_done() && !t.state.has_promises() && t.state.stuck.is_none())
+    }
+
+    /// Whether some thread hit the loop bound (the trace is incomplete and
+    /// must not contribute an outcome).
+    pub fn any_stuck(&self) -> bool {
+        self.threads.iter().any(|t| t.state.stuck.is_some())
+    }
+
+    /// The raw *thread-local* steps currently enabled for `tid` (no
+    /// promises, no certification filtering).
+    pub fn thread_steps(&self, tid: TId) -> Vec<TransitionKind> {
+        let code = &self.program.threads()[tid.0];
+        enabled_steps(&self.config, code, tid, &self.threads[tid.0], &self.memory)
+    }
+
+    /// Apply a transition, returning what happened.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StepError`] (leaving the machine unchanged) if the
+    /// transition is not enabled in the current state.
+    pub fn apply(&mut self, tr: &Transition) -> Result<StepEvent, StepError> {
+        let code = Arc::clone(&self.program);
+        let code = &code.threads()[tr.tid.0];
+        apply_step(
+            &self.config,
+            code,
+            tr.tid,
+            &tr.kind,
+            &mut self.threads[tr.tid.0],
+            &mut self.memory,
+        )
+    }
+
+    /// The *machine steps* of Fig. 5: thread steps filtered so that the
+    /// post-state is certified (r24), plus certified promises (via
+    /// `find_and_certify`, Thm 6.4).
+    ///
+    /// Threads with an empty promise set are trivially certified after any
+    /// non-promise step, so only promising threads pay for certification.
+    pub fn machine_steps(&self) -> Vec<Transition> {
+        let mut out = Vec::new();
+        for tid in (0..self.threads.len()).map(TId) {
+            let cert = crate::certify::find_and_certify(self, tid);
+            if self.threads[tid.0].state.has_promises() {
+                for k in cert.certified_first_steps {
+                    out.push(Transition::new(tid, k));
+                }
+            } else {
+                for k in self.thread_steps(tid) {
+                    out.push(Transition::new(tid, k));
+                }
+            }
+            for msg in cert.promisable {
+                out.push(Transition::new(tid, TransitionKind::Promise { msg }));
+            }
+        }
+        out
+    }
+
+    /// A deterministic fingerprint of the dynamic state (continuations,
+    /// thread states, memory) for state-space deduplication.
+    pub fn state_key(&self) -> StateKey {
+        StateKey {
+            threads: self.threads.clone(),
+            memory: self.memory.clone(),
+        }
+    }
+}
+
+/// The dynamic part of a machine state (hashable, for visited-set dedup).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct StateKey {
+    /// Thread continuations and states.
+    pub threads: Vec<ThreadInstance>,
+    /// Memory contents.
+    pub memory: Memory,
+}
+
+/// Drain administrative structure from the top of a continuation:
+/// `Seq(a, b)` unfolds to `a` then `b`; `skip` is dropped.
+pub(crate) fn normalize(code: &ThreadCode, cont: &mut Vec<StmtId>) {
+    while let Some(&top) = cont.last() {
+        match code.stmt(top) {
+            Stmt::Seq(a, b) => {
+                cont.pop();
+                cont.push(*b);
+                cont.push(*a);
+            }
+            Stmt::Skip => {
+                cont.pop();
+            }
+            _ => break,
+        }
+    }
+}
+
+fn eval_addr(addr: &Expr, state: &ThreadState) -> (Loc, View) {
+    let (v, view) = addr.eval(&state.regs);
+    (Loc::from(v), view)
+}
+
+/// The pre-view of a load (r10, r6, ρ4):
+/// `νpre = νaddr ⊔ vrNew ⊔ (rk ⊒ acq ? vRel)`.
+fn load_pre_view(state: &ThreadState, rk: ReadKind, v_addr: View) -> View {
+    v_addr
+        .join(state.vr_new)
+        .join(View::when(rk >= ReadKind::Acquire, state.v_rel))
+}
+
+/// The pre-view of a store (r10, r6, r23, ρ1, ρ14):
+/// `νpre = νaddr ⊔ νdata ⊔ vwNew ⊔ vCAP ⊔ (wk ⊒ wrel ? vrOld ⊔ vwOld)
+///        ⊔ ((a = RISC-V ∧ xcl) ? xclb.view)`.
+fn store_pre_view(
+    arch: Arch,
+    state: &ThreadState,
+    wk: WriteKind,
+    exclusive: bool,
+    v_addr: View,
+    v_data: View,
+) -> View {
+    let xclb_view = match (arch, exclusive, &state.xclb) {
+        (Arch::RiscV, true, Some(x)) => x.view,
+        _ => View::ZERO,
+    };
+    v_addr
+        .join(v_data)
+        .join(state.vw_new)
+        .join(state.v_cap)
+        .join(View::when(
+            wk >= WriteKind::WeakRelease,
+            state.vr_old.join(state.vw_old),
+        ))
+        .join(xclb_view)
+}
+
+/// Timestamps a load of `loc` may read from (the `read` rule's side
+/// conditions): the latest same-location write at or below
+/// `νpre ⊔ coh(loc)`, and every same-location write above that bound.
+pub(crate) fn read_candidates(
+    state: &ThreadState,
+    memory: &Memory,
+    loc: Loc,
+    v_pre: View,
+) -> Vec<Timestamp> {
+    let bound = v_pre.join(state.coh(loc));
+    let tmin = memory.latest_write_at_most(loc, bound.timestamp());
+    let mut out = vec![tmin];
+    out.extend(memory.writes_to(loc).filter(|t| t.0 > bound.0));
+    out
+}
+
+/// Classify and enumerate the enabled thread-local steps of one thread
+/// against a memory, outside a full machine. Exploration engines use this
+/// to run threads in isolation (certification, promise-first phase 2).
+pub fn enabled_steps(
+    config: &Config,
+    code: &ThreadCode,
+    tid: TId,
+    thread: &ThreadInstance,
+    memory: &Memory,
+) -> Vec<TransitionKind> {
+    if thread.state.stuck.is_some() {
+        return Vec::new();
+    }
+    let Some(&top) = thread.cont.last() else {
+        return Vec::new();
+    };
+    let state = &thread.state;
+    match code.stmt(top) {
+        Stmt::Skip | Stmt::Seq(..) => unreachable!("continuation is normalized"),
+        Stmt::Assign { .. } | Stmt::Fence(_) | Stmt::Isb | Stmt::If { .. } | Stmt::While { .. } => {
+            vec![TransitionKind::Internal]
+        }
+        Stmt::Load { addr, kind, .. } => {
+            let (loc, v_addr) = eval_addr(addr, state);
+            if !config.shared.is_shared(loc) {
+                return vec![TransitionKind::Internal];
+            }
+            let v_pre = load_pre_view(state, *kind, v_addr);
+            read_candidates(state, memory, loc, v_pre)
+                .into_iter()
+                .map(|t| TransitionKind::Read { t })
+                .collect()
+        }
+        Stmt::Store {
+            addr,
+            data,
+            kind,
+            exclusive,
+            ..
+        } => {
+            let (loc, v_addr) = eval_addr(addr, state);
+            if !config.shared.is_shared(loc) {
+                return vec![TransitionKind::Internal];
+            }
+            let (val, v_data) = data.eval(&state.regs);
+            let v_pre = store_pre_view(config.arch, state, *kind, *exclusive, v_addr, v_data);
+            let floor = v_pre.join(state.coh(loc));
+            let mut out = Vec::new();
+            // Fulfil an outstanding promise with a matching message.
+            for &t in &state.prom {
+                if floor.timestamp() >= t {
+                    continue;
+                }
+                let matches = memory
+                    .get(t)
+                    .is_some_and(|m| m.loc == loc && m.val == val);
+                if !matches {
+                    continue;
+                }
+                if *exclusive {
+                    match &state.xclb {
+                        Some(x) if memory.atomic(loc, tid, x.time, t) => {}
+                        _ => continue,
+                    }
+                }
+                out.push(TransitionKind::Fulfil { t });
+            }
+            // Normal write at the end of memory (always beats the views).
+            let fresh = Timestamp(memory.max_timestamp().0 + 1);
+            let normal_ok = if *exclusive {
+                match &state.xclb {
+                    Some(x) => memory.atomic(loc, tid, x.time, fresh),
+                    None => false,
+                }
+            } else {
+                true
+            };
+            debug_assert!(floor.timestamp() < fresh);
+            if normal_ok {
+                out.push(TransitionKind::WriteNormal);
+            }
+            if *exclusive {
+                out.push(TransitionKind::ExclFail);
+            }
+            out
+        }
+    }
+}
+
+
+/// Apply one transition to a single thread (+ memory). This is the
+/// authoritative implementation of Fig. 5's rules; [`Machine::apply`], the
+/// certification engine, and the exploration engines all use it.
+///
+/// # Errors
+///
+/// Returns a [`StepError`] if the transition is not enabled; the thread and
+/// memory may have been partially modified only in the `WriteNormal` error
+/// paths, so callers should treat an `Err` as poisoning the copies they
+/// passed in.
+pub fn apply_step(
+    config: &Config,
+    code: &ThreadCode,
+    tid: TId,
+    kind: &TransitionKind,
+    thread: &mut ThreadInstance,
+    memory: &mut Memory,
+) -> Result<StepEvent, StepError> {
+    if thread.state.stuck.is_some() {
+        return Err(StepError::ThreadStuck);
+    }
+    if let TransitionKind::Promise { msg } = kind {
+        // promise: append to memory, record the timestamp (r18).
+        if msg.tid != tid {
+            return Err(StepError::ForeignPromise);
+        }
+        let t = memory.push(*msg);
+        thread.state.prom.insert(t);
+        return Ok(StepEvent::Promised(*msg, t));
+    }
+    let Some(&top) = thread.cont.last() else {
+        return Err(StepError::ThreadDone);
+    };
+    let stmt = code.stmt(top).clone();
+    let event = match (&stmt, kind) {
+        (Stmt::Assign { reg, expr }, TransitionKind::Internal) => {
+            let (v, view) = expr.eval(&thread.state.regs);
+            thread.state.regs.set(*reg, v, view);
+            thread.cont.pop();
+            StepEvent::Assigned(*reg, v)
+        }
+        (Stmt::Fence(f), TransitionKind::Internal) => {
+            // fence rule: ν1 = (R ⊑ K1 ? vrOld) ⊔ (W ⊑ K1 ? vwOld);
+            // vrNew ⊔= (R ⊑ K2 ? ν1); vwNew ⊔= (W ⊑ K2 ? ν1).
+            let st = &mut thread.state;
+            let v1 = View::when(f.pre.includes_reads(), st.vr_old)
+                .join(View::when(f.pre.includes_writes(), st.vw_old));
+            if f.post.includes_reads() {
+                st.vr_new = st.vr_new.join(v1);
+            }
+            if f.post.includes_writes() {
+                st.vw_new = st.vw_new.join(v1);
+            }
+            thread.cont.pop();
+            StepEvent::Fenced
+        }
+        (Stmt::Isb, TransitionKind::Internal) => {
+            // isb rule: vrNew ⊔= vCAP (ρ7).
+            thread.state.vr_new = thread.state.vr_new.join(thread.state.v_cap);
+            thread.cont.pop();
+            StepEvent::Isb
+        }
+        (
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            },
+            TransitionKind::Internal,
+        ) => {
+            // branch rule: evaluate, merge the condition's view into vCAP
+            // (r22), continue with the chosen branch.
+            let (v, view) = cond.eval(&thread.state.regs);
+            thread.state.v_cap = thread.state.v_cap.join(view);
+            thread.cont.pop();
+            thread
+                .cont
+                .push(if v.as_bool() { *then_branch } else { *else_branch });
+            StepEvent::Branched(v.as_bool())
+        }
+        (Stmt::While { cond, body }, TransitionKind::Internal) => {
+            // while unfolds to a branch (Fig. 5): same vCAP update; taken
+            // iterations consume loop fuel.
+            let (v, view) = cond.eval(&thread.state.regs);
+            thread.state.v_cap = thread.state.v_cap.join(view);
+            if v.as_bool() {
+                if thread.state.fuel == 0 {
+                    thread.state.stuck = Some(StuckReason::LoopBoundExceeded);
+                    return Ok(StepEvent::LoopBoundHit);
+                }
+                thread.state.fuel -= 1;
+                // keep the While on the stack beneath the body
+                thread.cont.push(*body);
+                StepEvent::Branched(true)
+            } else {
+                thread.cont.pop();
+                StepEvent::Branched(false)
+            }
+        }
+        (Stmt::Load { reg, addr, .. }, TransitionKind::Internal) => {
+            // non-shared location: a register read (§7 optimisation).
+            let (loc, v_addr) = eval_addr(addr, &thread.state);
+            if config.shared.is_shared(loc) {
+                return Err(StepError::WrongShape);
+            }
+            let (v, v_loc) = thread
+                .state
+                .local
+                .get(&loc)
+                .copied()
+                .unwrap_or((memory.initial(loc), View::ZERO));
+            thread.state.regs.set(*reg, v, v_addr.join(v_loc));
+            thread.cont.pop();
+            StepEvent::LocalRead(loc, v)
+        }
+        (
+            Stmt::Store {
+                succ, addr, data, ..
+            },
+            TransitionKind::Internal,
+        ) => {
+            // non-shared location: a register write (§7 optimisation).
+            let (loc, v_addr) = eval_addr(addr, &thread.state);
+            if config.shared.is_shared(loc) {
+                return Err(StepError::WrongShape);
+            }
+            let (v, v_data) = data.eval(&thread.state.regs);
+            thread.state.local.insert(loc, (v, v_addr.join(v_data)));
+            thread.state.regs.set(*succ, Val::SUCCESS, View::ZERO);
+            thread.cont.pop();
+            StepEvent::LocalWrite(loc, v)
+        }
+        (
+            Stmt::Load {
+                reg,
+                addr,
+                kind: rk,
+                exclusive,
+            },
+            TransitionKind::Read { t },
+        ) => {
+            let t = *t;
+            let (loc, v_addr) = eval_addr(addr, &thread.state);
+            if !config.shared.is_shared(loc) {
+                return Err(StepError::WrongShape);
+            }
+            let Some(val) = memory.read(loc, t) else {
+                return Err(StepError::NoSuchWrite);
+            };
+            let st = &mut thread.state;
+            let v_pre = load_pre_view(st, *rk, v_addr);
+            // ∀t'. t < t' ≤ (νpre ⊔ coh(l)) ⇒ M(t').loc ≠ l
+            let bound = v_pre.join(st.coh(loc));
+            if memory.has_write_between(loc, t, bound.timestamp()) {
+                return Err(StepError::ReadSuperseded);
+            }
+            let v_post = v_pre.join(st.read_view(config.arch, *rk, loc, t));
+            st.regs.set(*reg, val, v_post);
+            st.bump_coh(loc, v_post);
+            st.vr_old = st.vr_old.join(v_post);
+            if *rk >= ReadKind::WeakAcquire {
+                st.vr_new = st.vr_new.join(v_post);
+                st.vw_new = st.vw_new.join(v_post);
+            }
+            st.v_cap = st.v_cap.join(v_addr);
+            if *exclusive {
+                st.xclb = Some(ExclBank {
+                    time: t,
+                    view: v_post,
+                });
+            }
+            thread.cont.pop();
+            StepEvent::DidRead { loc, val, t }
+        }
+        (
+            Stmt::Store {
+                succ,
+                addr,
+                data,
+                kind: wk,
+                exclusive,
+            },
+            TransitionKind::Fulfil { .. } | TransitionKind::WriteNormal,
+        ) => {
+            let (loc, v_addr) = eval_addr(addr, &thread.state);
+            if !config.shared.is_shared(loc) {
+                return Err(StepError::WrongShape);
+            }
+            let (val, v_data) = data.eval(&thread.state.regs);
+            // For a normal write, first promise at the end of memory (r20).
+            let t = match kind {
+                TransitionKind::Fulfil { t } => *t,
+                TransitionKind::WriteNormal => {
+                    let t = memory.push(Msg::new(loc, val, tid));
+                    thread.state.prom.insert(t);
+                    t
+                }
+                _ => unreachable!(),
+            };
+            // fulfil pre-conditions
+            if !thread.state.prom.contains(&t)
+                || memory.get(t) != Some(&Msg::new(loc, val, tid))
+            {
+                return Err(StepError::NotAPromise);
+            }
+            if *exclusive {
+                match &thread.state.xclb {
+                    Some(x) if memory.atomic(loc, tid, x.time, t) => {}
+                    _ => return Err(StepError::NotAtomic),
+                }
+            }
+            let st = &mut thread.state;
+            let v_pre = store_pre_view(config.arch, st, *wk, *exclusive, v_addr, v_data);
+            if v_pre.join(st.coh(loc)).timestamp() >= t {
+                return Err(StepError::TooLate);
+            }
+            let v_post = t.view();
+            st.prom.remove(&t);
+            if *exclusive {
+                let v_succ = match config.arch {
+                    Arch::RiscV => v_post,
+                    Arch::Arm => View::ZERO,
+                };
+                st.regs.set(*succ, Val::SUCCESS, v_succ);
+            }
+            st.bump_coh(loc, v_post);
+            st.vw_old = st.vw_old.join(v_post);
+            st.v_cap = st.v_cap.join(v_addr);
+            if *wk >= WriteKind::Release {
+                st.v_rel = st.v_rel.join(v_post);
+            }
+            st.set_fwd(
+                loc,
+                Forward {
+                    time: t,
+                    view: v_addr.join(v_data),
+                    exclusive: *exclusive,
+                },
+            );
+            if *exclusive {
+                st.xclb = None;
+            }
+            thread.cont.pop();
+            StepEvent::DidWrite {
+                loc,
+                val,
+                t,
+                pre_view: v_pre,
+            }
+        }
+        (Stmt::Store { succ, exclusive, .. }, TransitionKind::ExclFail) => {
+            if !*exclusive {
+                return Err(StepError::WrongShape);
+            }
+            thread.state.regs.set(*succ, Val::FAIL, View::ZERO);
+            thread.state.xclb = None;
+            thread.cont.pop();
+            StepEvent::ExclFailed
+        }
+        _ => return Err(StepError::WrongShape),
+    };
+    normalize(code, &mut thread.cont);
+    Ok(event)
+}
+
+impl fmt::Display for TransitionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransitionKind::Internal => write!(f, "internal"),
+            TransitionKind::Read { t } => write!(f, "read@{t}"),
+            TransitionKind::Fulfil { t } => write!(f, "fulfil@{t}"),
+            TransitionKind::WriteNormal => write!(f, "write"),
+            TransitionKind::ExclFail => write!(f, "excl-fail"),
+            TransitionKind::Promise { msg } => write!(f, "promise {msg}"),
+        }
+    }
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.tid, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::CodeBuilder;
+
+    fn x() -> Loc {
+        Loc(0)
+    }
+    fn y() -> Loc {
+        Loc(1)
+    }
+
+    /// Build the MP writer thread: store x 37; dmb.sy; store y 42.
+    fn mp_writer() -> ThreadCode {
+        let mut b = CodeBuilder::new();
+        let s1 = b.store(Expr::val(0), Expr::val(37));
+        let s2 = b.dmb_sy();
+        let s3 = b.store(Expr::val(1), Expr::val(42));
+        b.finish_seq(&[s1, s2, s3])
+    }
+
+    fn mp_reader_plain() -> ThreadCode {
+        let mut b = CodeBuilder::new();
+        let l1 = b.load(Reg(1), Expr::val(1));
+        let l2 = b.load(Reg(2), Expr::val(0));
+        b.finish_seq(&[l1, l2])
+    }
+
+    fn machine_of(threads: Vec<ThreadCode>) -> Machine {
+        Machine::new(Arc::new(Program::new(threads)), Config::arm())
+    }
+
+    fn run_writer(m: &mut Machine) {
+        // store x 37 (normal write), fence, store y 42
+        m.apply(&Transition::new(TId(0), TransitionKind::WriteNormal))
+            .unwrap();
+        m.apply(&Transition::new(TId(0), TransitionKind::Internal))
+            .unwrap();
+        m.apply(&Transition::new(TId(0), TransitionKind::WriteNormal))
+            .unwrap();
+    }
+
+    #[test]
+    fn mp_relaxed_outcome_reachable_via_old_read() {
+        // §4.1: after a,b,c, Thread 2 reads y = 42 then the *initial* x = 0.
+        let mut m = machine_of(vec![mp_writer(), mp_reader_plain()]);
+        run_writer(&mut m);
+        assert_eq!(m.memory().len(), 2);
+        // d reads y = 42 at timestamp 2
+        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(2) }))
+            .unwrap();
+        assert_eq!(m.thread(TId(1)).state.regs.value(Reg(1)), Val(42));
+        // e may still read the initial x = 0 (timestamp 0)
+        let steps = m.thread_steps(TId(1));
+        assert!(steps.contains(&TransitionKind::Read { t: Timestamp::ZERO }));
+        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp::ZERO }))
+            .unwrap();
+        assert_eq!(m.thread(TId(1)).state.regs.value(Reg(2)), Val(0));
+        assert!(m.terminated());
+    }
+
+    #[test]
+    fn mp_with_dmb_forbids_stale_read() {
+        // §4.1 r7: dmb.sy between the loads forbids r1=42 ∧ r2=0.
+        let mut b = CodeBuilder::new();
+        let l1 = b.load(Reg(1), Expr::val(1));
+        let f = b.dmb_sy();
+        let l2 = b.load(Reg(2), Expr::val(0));
+        let reader = b.finish_seq(&[l1, f, l2]);
+        let mut m = machine_of(vec![mp_writer(), reader]);
+        run_writer(&mut m);
+        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(2) }))
+            .unwrap();
+        m.apply(&Transition::new(TId(1), TransitionKind::Internal))
+            .unwrap(); // dmb.sy
+        let steps = m.thread_steps(TId(1));
+        assert_eq!(steps, vec![TransitionKind::Read { t: Timestamp(1) }]);
+    }
+
+    #[test]
+    fn mp_with_address_dependency_forbids_stale_read() {
+        // §4.1 r10: address dependency x + (r1 - r1) orders the loads.
+        let mut b = CodeBuilder::new();
+        let l1 = b.load(Reg(1), Expr::val(1));
+        let l2 = b.load(Reg(2), Expr::val(0).with_dep(Reg(1)));
+        let reader = b.finish_seq(&[l1, l2]);
+        let mut m = machine_of(vec![mp_writer(), reader]);
+        run_writer(&mut m);
+        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(2) }))
+            .unwrap();
+        let steps = m.thread_steps(TId(1));
+        assert_eq!(steps, vec![TransitionKind::Read { t: Timestamp(1) }]);
+    }
+
+    #[test]
+    fn coherence_prevents_rereading_older_write() {
+        // §4.1 r11/r12: after e reads x = 37 via a dependency, a later
+        // independent load f of x must not read the initial 0.
+        let mut b = CodeBuilder::new();
+        let l1 = b.load(Reg(1), Expr::val(1));
+        let l2 = b.load(Reg(2), Expr::val(0).with_dep(Reg(1)));
+        let l3 = b.load(Reg(3), Expr::val(0));
+        let reader = b.finish_seq(&[l1, l2, l3]);
+        let mut m = machine_of(vec![mp_writer(), reader]);
+        run_writer(&mut m);
+        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(2) }))
+            .unwrap();
+        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(1) }))
+            .unwrap();
+        // f: pre-view is 0 but coh(x) = 2 forbids the initial write
+        let steps = m.thread_steps(TId(1));
+        assert_eq!(steps, vec![TransitionKind::Read { t: Timestamp(1) }]);
+    }
+
+    #[test]
+    fn store_forwarding_gives_smaller_view() {
+        // §4.1 store forwarding: Thread 2 = load y; store y 51; load y;
+        // load x with addr dep on the second load — can still read x = 0.
+        let mut b = CodeBuilder::new();
+        let d = b.load(Reg(0), Expr::val(1));
+        let e = b.store(Expr::val(1), Expr::val(51));
+        let f_ = b.load(Reg(1), Expr::val(1));
+        let g = b.load(Reg(2), Expr::val(0).with_dep(Reg(1)));
+        let reader = b.finish_seq(&[d, e, f_, g]);
+        let mut m = machine_of(vec![mp_writer(), reader]);
+        run_writer(&mut m);
+        // d reads y = 42@2
+        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(2) }))
+            .unwrap();
+        // e writes y = 51@3
+        m.apply(&Transition::new(TId(1), TransitionKind::WriteNormal))
+            .unwrap();
+        // f reads its own write by forwarding: post-view is the forward
+        // view 0, not 3.
+        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(3) }))
+            .unwrap();
+        let (v, view) = m.thread(TId(1)).state.regs.get(Reg(1));
+        assert_eq!(v, Val(51));
+        assert_eq!(view, View::ZERO);
+        // g can read the initial x = 0
+        let steps = m.thread_steps(TId(1));
+        assert!(steps.contains(&TransitionKind::Read { t: Timestamp::ZERO }));
+    }
+
+    #[test]
+    fn promise_then_fulfil_lb_cycle() {
+        // §4.2 LB: T1: r1 = load x; store y r1 — T2: r2 = load y; store x 42.
+        let mut b = CodeBuilder::new();
+        let a = b.load(Reg(1), Expr::val(0));
+        let s = b.store(Expr::val(1), Expr::reg(Reg(1)));
+        let t1 = b.finish_seq(&[a, s]);
+        let mut b = CodeBuilder::new();
+        let c = b.load(Reg(2), Expr::val(1));
+        let d = b.store(Expr::val(0), Expr::val(42));
+        let t2 = b.finish_seq(&[c, d]);
+        let mut m = machine_of(vec![t1, t2]);
+        // T2 promises x = 42 at timestamp 1
+        m.apply(&Transition::new(
+            TId(1),
+            TransitionKind::Promise {
+                msg: Msg::new(x(), Val(42), TId(1)),
+            },
+        ))
+        .unwrap();
+        assert!(m.thread(TId(1)).state.has_promises());
+        // T1 reads x = 42 and writes y = 42
+        m.apply(&Transition::new(TId(0), TransitionKind::Read { t: Timestamp(1) }))
+            .unwrap();
+        m.apply(&Transition::new(TId(0), TransitionKind::WriteNormal))
+            .unwrap();
+        // T2 reads y = 42 … must NOT be able to fulfil afterwards if it
+        // read too new? Here there is no dependency, so it can.
+        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(2) }))
+            .unwrap();
+        let steps = m.thread_steps(TId(1));
+        assert!(steps.contains(&TransitionKind::Fulfil { t: Timestamp(1) }));
+        m.apply(&Transition::new(TId(1), TransitionKind::Fulfil { t: Timestamp(1) }))
+            .unwrap();
+        assert!(m.terminated());
+        assert_eq!(m.thread(TId(0)).state.regs.value(Reg(1)), Val(42));
+        assert_eq!(m.thread(TId(1)).state.regs.value(Reg(2)), Val(42));
+    }
+
+    #[test]
+    fn data_dependency_blocks_fulfilment() {
+        // §4.2: store x + data dependency: T2: r2 = load y; store x (42+(r2-r2))
+        // cannot fulfil a promise made before reading y = 42.
+        let mut b = CodeBuilder::new();
+        let a = b.load(Reg(1), Expr::val(0));
+        let s = b.store(Expr::val(1), Expr::reg(Reg(1)));
+        let t1 = b.finish_seq(&[a, s]);
+        let mut b = CodeBuilder::new();
+        let c = b.load(Reg(2), Expr::val(1));
+        let d = b.store(Expr::val(0), Expr::val(42).with_dep(Reg(2)));
+        let t2 = b.finish_seq(&[c, d]);
+        let mut m = machine_of(vec![t1, t2]);
+        m.apply(&Transition::new(
+            TId(1),
+            TransitionKind::Promise {
+                msg: Msg::new(x(), Val(42), TId(1)),
+            },
+        ))
+        .unwrap();
+        m.apply(&Transition::new(TId(0), TransitionKind::Read { t: Timestamp(1) }))
+            .unwrap();
+        m.apply(&Transition::new(TId(0), TransitionKind::WriteNormal))
+            .unwrap();
+        // T2 reads y = 42@2 — now r2 has view 2, so the store's pre-view is
+        // 2 ≥ 1 and the promise cannot be fulfilled.
+        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(2) }))
+            .unwrap();
+        let steps = m.thread_steps(TId(1));
+        assert!(!steps.contains(&TransitionKind::Fulfil { t: Timestamp(1) }));
+        // it can only do a (wrong-valued) fresh write — promise stays
+        // unfulfilled, so this trace is discarded.
+        assert_eq!(
+            m.apply(&Transition::new(TId(1), TransitionKind::Fulfil { t: Timestamp(1) })),
+            Err(StepError::TooLate)
+        );
+    }
+
+    #[test]
+    fn control_dependency_blocks_fulfilment_via_vcap() {
+        // §4.2 control dependency: if ((r2 - r2) == 0) store x 42.
+        let mut b = CodeBuilder::new();
+        let c = b.load(Reg(2), Expr::val(1));
+        let st = b.store(Expr::val(0), Expr::val(42));
+        let br = b.if_then(Expr::reg(Reg(2)).sub(Expr::reg(Reg(2))).eq(Expr::val(0)), st);
+        let t2 = b.finish_seq(&[c, br]);
+        let mut b = CodeBuilder::new();
+        let a = b.load(Reg(1), Expr::val(0));
+        let s = b.store(Expr::val(1), Expr::reg(Reg(1)));
+        let t1 = b.finish_seq(&[a, s]);
+        let mut m = machine_of(vec![t1, t2]);
+        m.apply(&Transition::new(
+            TId(1),
+            TransitionKind::Promise {
+                msg: Msg::new(x(), Val(42), TId(1)),
+            },
+        ))
+        .unwrap();
+        m.apply(&Transition::new(TId(0), TransitionKind::Read { t: Timestamp(1) }))
+            .unwrap();
+        m.apply(&Transition::new(TId(0), TransitionKind::WriteNormal))
+            .unwrap();
+        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(2) }))
+            .unwrap();
+        // branch merges r2's view into vCAP
+        m.apply(&Transition::new(TId(1), TransitionKind::Internal))
+            .unwrap();
+        assert_eq!(m.thread(TId(1)).state.v_cap, View(2));
+        let steps = m.thread_steps(TId(1));
+        assert!(!steps.contains(&TransitionKind::Fulfil { t: Timestamp(1) }));
+    }
+
+    #[test]
+    fn release_acquire_forbids_mp_stale_read() {
+        // §A.1: store release + load acquire forbid the MP weak outcome
+        // without any barrier.
+        let mut b = CodeBuilder::new();
+        let s1 = b.store(Expr::val(0), Expr::val(37));
+        let s2 = b.store_rel(Expr::val(1), Expr::val(42));
+        let t1 = b.finish_seq(&[s1, s2]);
+        let mut b = CodeBuilder::new();
+        let l1 = b.load_acq(Reg(1), Expr::val(1));
+        let l2 = b.load(Reg(2), Expr::val(0));
+        let t2 = b.finish_seq(&[l1, l2]);
+        let mut m = machine_of(vec![t1, t2]);
+        m.apply(&Transition::new(TId(0), TransitionKind::WriteNormal))
+            .unwrap();
+        m.apply(&Transition::new(TId(0), TransitionKind::WriteNormal))
+            .unwrap();
+        // acquire-read y = 42@2: post-view 2 flows into vrNew
+        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(2) }))
+            .unwrap();
+        let steps = m.thread_steps(TId(1));
+        assert_eq!(steps, vec![TransitionKind::Read { t: Timestamp(1) }]);
+    }
+
+    #[test]
+    fn exclusive_pair_success_and_failure() {
+        let mut b = CodeBuilder::new();
+        let l = b.load_excl(Reg(1), Expr::val(0));
+        let s = b.store_excl(Reg(2), Expr::val(0), Expr::reg(Reg(1)).add(Expr::val(1)));
+        let t1 = b.finish_seq(&[l, s]);
+        let mut m = machine_of(vec![t1]);
+        m.apply(&Transition::new(TId(0), TransitionKind::Read { t: Timestamp::ZERO }))
+            .unwrap();
+        let steps = m.thread_steps(TId(0));
+        assert!(steps.contains(&TransitionKind::WriteNormal));
+        assert!(steps.contains(&TransitionKind::ExclFail));
+        m.apply(&Transition::new(TId(0), TransitionKind::WriteNormal))
+            .unwrap();
+        assert_eq!(m.thread(TId(0)).state.regs.value(Reg(2)), Val::SUCCESS);
+        assert_eq!(m.memory().final_value(x()), Val(1));
+    }
+
+    #[test]
+    fn store_exclusive_fails_without_pairing() {
+        let mut b = CodeBuilder::new();
+        let s = b.store_excl(Reg(2), Expr::val(0), Expr::val(1));
+        let t1 = b.finish_seq(&[s]);
+        let mut m = machine_of(vec![t1]);
+        // no load exclusive has run: xclb is none, success impossible
+        let steps = m.thread_steps(TId(0));
+        assert_eq!(steps, vec![TransitionKind::ExclFail]);
+        m.apply(&Transition::new(TId(0), TransitionKind::ExclFail))
+            .unwrap();
+        assert_eq!(m.thread(TId(0)).state.regs.value(Reg(2)), Val::FAIL);
+    }
+
+    #[test]
+    fn loop_fuel_marks_thread_stuck() {
+        let mut b = CodeBuilder::new();
+        let body = b.skip();
+        let w = b.while_loop(Expr::val(1), body);
+        let t1 = b.finish(w);
+        let cfg = Config::arm().with_loop_fuel(2);
+        let mut m = Machine::new(Arc::new(Program::new(vec![t1])), cfg);
+        for _ in 0..2 {
+            m.apply(&Transition::new(TId(0), TransitionKind::Internal))
+                .unwrap();
+        }
+        let ev = m
+            .apply(&Transition::new(TId(0), TransitionKind::Internal))
+            .unwrap();
+        assert_eq!(ev, StepEvent::LoopBoundHit);
+        assert!(m.any_stuck());
+        assert!(m.thread_steps(TId(0)).is_empty());
+    }
+
+    #[test]
+    fn shared_loc_optimisation_turns_private_accesses_internal() {
+        let mut b = CodeBuilder::new();
+        let s = b.store(Expr::val(5), Expr::val(9));
+        let l = b.load(Reg(1), Expr::val(5));
+        let t1 = b.finish_seq(&[s, l]);
+        let cfg = Config::arm().with_shared_locs([y()]);
+        let mut m = Machine::new(Arc::new(Program::new(vec![t1])), cfg);
+        assert_eq!(m.thread_steps(TId(0)), vec![TransitionKind::Internal]);
+        m.apply(&Transition::new(TId(0), TransitionKind::Internal))
+            .unwrap();
+        m.apply(&Transition::new(TId(0), TransitionKind::Internal))
+            .unwrap();
+        assert_eq!(m.thread(TId(0)).state.regs.value(Reg(1)), Val(9));
+        assert!(m.memory().is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Final-state outcomes of exhaustive exploration.
+
+use crate::ids::{Loc, Reg, Val};
+use crate::machine::Machine;
+use crate::stmt::SCRATCH_REG_BASE;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The observable final state of one complete execution: per-thread
+/// register valuations (user registers only — the scratch success bits of
+/// plain stores are hidden) and the coherence-final value of every
+/// location.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Outcome {
+    /// Final register values per thread (thread-id order).
+    pub regs: Vec<BTreeMap<Reg, Val>>,
+    /// Final (coherence-last) value per location.
+    pub memory: BTreeMap<Loc, Val>,
+}
+
+impl Outcome {
+    /// Extract the outcome of a terminated machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine has not terminated (incomplete executions have
+    /// no outcome).
+    pub fn of_machine(machine: &Machine) -> Outcome {
+        assert!(
+            machine.terminated(),
+            "outcomes exist only for terminated machines"
+        );
+        let regs = machine
+            .threads()
+            .iter()
+            .map(|t| {
+                t.state
+                    .regs
+                    .iter()
+                    .filter(|(r, _, _)| r.0 < SCRATCH_REG_BASE)
+                    .map(|(r, v, _)| (r, v))
+                    .collect()
+            })
+            .collect();
+        let memory = machine
+            .memory()
+            .locations()
+            .into_iter()
+            .map(|l| (l, machine.memory().final_value(l)))
+            .collect();
+        Outcome { regs, memory }
+    }
+
+    /// The final value of thread `tid`'s register `r` (0 if never written).
+    pub fn reg(&self, tid: usize, r: Reg) -> Val {
+        self.regs
+            .get(tid)
+            .and_then(|m| m.get(&r).copied())
+            .unwrap_or(Val(0))
+    }
+
+    /// The final value of `loc` (0 if never written or initialised).
+    pub fn loc(&self, loc: Loc) -> Val {
+        self.memory.get(&loc).copied().unwrap_or(Val(0))
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (tid, regs) in self.regs.iter().enumerate() {
+            for (r, v) in regs {
+                if !first {
+                    write!(f, " ")?;
+                }
+                write!(f, "P{tid}:{r}={v};")?;
+                first = false;
+            }
+        }
+        for (l, v) in &self.memory {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{l}={v};")?;
+            first = false;
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_and_loc_default_to_zero() {
+        let o = Outcome {
+            regs: vec![BTreeMap::new()],
+            memory: BTreeMap::new(),
+        };
+        assert_eq!(o.reg(0, Reg(1)), Val(0));
+        assert_eq!(o.reg(7, Reg(1)), Val(0));
+        assert_eq!(o.loc(Loc(3)), Val(0));
+    }
+
+    #[test]
+    fn display_is_stable_and_nonempty() {
+        let mut regs = BTreeMap::new();
+        regs.insert(Reg(1), Val(42));
+        let mut memory = BTreeMap::new();
+        memory.insert(Loc(0), Val(1));
+        let o = Outcome {
+            regs: vec![regs],
+            memory,
+        };
+        assert_eq!(o.to_string(), "P0:r1=42; x0=1;");
+        let empty = Outcome {
+            regs: vec![],
+            memory: BTreeMap::new(),
+        };
+        assert_eq!(empty.to_string(), "(empty)");
+    }
+}

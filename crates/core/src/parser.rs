@@ -1,0 +1,731 @@
+//! A text syntax for the calculus of Fig. 1, used by the litmus-test
+//! format and the examples.
+//!
+//! ```text
+//! r1 = load(y)                 // plain load
+//! r2 = load_acq(x)             // acquire load
+//! r3 = loadx(x)                // load exclusive
+//! store(x, 37)                 // plain store
+//! store_rel(y, 42)             // release store
+//! r4 = storex(x, r3 + 1)       // store exclusive; r4 gets the success bit
+//! r5 = r1 + 1                  // register assignment
+//! dmb.sy ; dmb.ld ; dmb.st     // ARM barriers
+//! fence(rw, w) ; fence.tso     // RISC-V barriers
+//! isb
+//! if (r1 == 42) { … } else { … }
+//! while (r0 != 0) { … }
+//! ```
+//!
+//! Statements are separated by `;` or newlines; `//` starts a line comment.
+//! Identifiers that are not registers (`rN`) denote memory locations and
+//! are assigned consecutive addresses by a [`LocTable`]; threads of a
+//! program are separated by lines containing only `---`.
+
+use crate::expr::{Expr, Op};
+use crate::ids::{Loc, Reg};
+use crate::stmt::{AccessSet, CodeBuilder, Fence, Program, ReadKind, StmtId, ThreadCode, WriteKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maps location names to addresses, assigning fresh consecutive addresses
+/// on first use. Shared across the threads of one program so that `x`
+/// means the same address everywhere.
+#[derive(Clone, Debug, Default)]
+pub struct LocTable {
+    by_name: BTreeMap<String, Loc>,
+    next: u64,
+}
+
+impl LocTable {
+    /// Empty table.
+    pub fn new() -> LocTable {
+        LocTable::default()
+    }
+
+    /// The address of `name`, allocating one if new.
+    pub fn intern(&mut self, name: &str) -> Loc {
+        if let Some(&l) = self.by_name.get(name) {
+            return l;
+        }
+        let l = Loc(self.next);
+        self.next += 1;
+        self.by_name.insert(name.to_string(), l);
+        l
+    }
+
+    /// The address of `name`, if already interned.
+    pub fn get(&self, name: &str) -> Option<Loc> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Reverse lookup: the name of an address, if any.
+    pub fn name_of(&self, loc: Loc) -> Option<&str> {
+        self.by_name
+            .iter()
+            .find(|(_, &l)| l == loc)
+            .map(|(n, _)| n.as_str())
+    }
+
+    /// All (name, location) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Loc)> {
+        self.by_name.iter().map(|(n, &l)| (n.as_str(), l))
+    }
+}
+
+/// A parse error with a human-readable message and the offending line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a whole program: thread sources separated by `---` lines. Returns
+/// the program and the location table used.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse_program(src: &str) -> Result<(Program, LocTable), ParseError> {
+    let mut locs = LocTable::new();
+    let mut threads = Vec::new();
+    for section in split_threads(src) {
+        threads.push(parse_thread(&section, &mut locs)?);
+    }
+    Ok((Program::new(threads), locs))
+}
+
+fn split_threads(src: &str) -> Vec<String> {
+    let mut sections = vec![String::new()];
+    for line in src.lines() {
+        if line.trim() == "---" {
+            sections.push(String::new());
+        } else {
+            let s = sections.last_mut().expect("non-empty");
+            s.push_str(line);
+            s.push('\n');
+        }
+    }
+    sections
+}
+
+/// Parse a single thread's code, interning locations into `locs`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse_thread(src: &str, locs: &mut LocTable) -> Result<ThreadCode, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        builder: CodeBuilder::new(),
+        locs,
+    };
+    let stmts = p.stmt_list(None)?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing input"));
+    }
+    let mut b = p.builder;
+    let entry = b.seq(&stmts);
+    Ok(b.finish(entry))
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Sym(&'static str),
+}
+
+struct Located {
+    tok: Tok,
+    line: usize,
+}
+
+fn tokenize(src: &str) -> Result<Vec<Located>, ParseError> {
+    let mut out = Vec::new();
+    for (lno, raw_line) in src.lines().enumerate() {
+        let line = lno + 1;
+        let code = raw_line.split("//").next().unwrap_or("");
+        let mut chars = code.char_indices().peekable();
+        let mut line_had_token = false;
+        while let Some(&(i, c)) = chars.peek() {
+            if c.is_whitespace() {
+                chars.next();
+                continue;
+            }
+            line_had_token = true;
+            if c.is_ascii_digit()
+                || (c == '-' && {
+                    // unary minus before a digit, only in operand position
+                    let mut it = chars.clone();
+                    it.next();
+                    matches!(it.peek(), Some(&(_, d)) if d.is_ascii_digit())
+                        && matches!(
+                            out.last(),
+                            None | Some(Located {
+                                tok: Tok::Sym(_),
+                                ..
+                            })
+                        )
+                })
+            {
+                let start = i;
+                chars.next();
+                while let Some(&(_, d)) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let end = chars.peek().map(|&(j, _)| j).unwrap_or(code.len());
+                let text = &code[start..end];
+                let v = text.parse::<i64>().map_err(|_| ParseError {
+                    message: format!("bad integer literal `{text}`"),
+                    line,
+                })?;
+                out.push(Located {
+                    tok: Tok::Int(v),
+                    line,
+                });
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                chars.next();
+                while let Some(&(_, d)) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '.' {
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let end = chars.peek().map(|&(j, _)| j).unwrap_or(code.len());
+                out.push(Located {
+                    tok: Tok::Ident(code[start..end].to_string()),
+                    line,
+                });
+            } else {
+                let two: Option<&'static str> = {
+                    let rest = &code[i..];
+                    ["==", "!=", "<="]
+                        .into_iter()
+                        .find(|s| rest.starts_with(s))
+                };
+                if let Some(sym) = two {
+                    chars.next();
+                    chars.next();
+                    out.push(Located {
+                        tok: Tok::Sym(sym),
+                        line,
+                    });
+                } else {
+                    let sym = match c {
+                        '=' => "=",
+                        ';' => ";",
+                        ',' => ",",
+                        '(' => "(",
+                        ')' => ")",
+                        '{' => "{",
+                        '}' => "}",
+                        '+' => "+",
+                        '-' => "-",
+                        '*' => "*",
+                        '%' => "%",
+                        '<' => "<",
+                        _ => {
+                            return Err(ParseError {
+                                message: format!("unexpected character `{c}`"),
+                                line,
+                            })
+                        }
+                    };
+                    chars.next();
+                    out.push(Located {
+                        tok: Tok::Sym(sym),
+                        line,
+                    });
+                }
+            }
+        }
+        if line_had_token {
+            // implicit statement separator at end of line
+            out.push(Located {
+                tok: Tok::Sym(";"),
+                line,
+            });
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Located>,
+    pos: usize,
+    builder: CodeBuilder,
+    locs: &'a mut LocTable,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        let line = self
+            .tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0);
+        ParseError {
+            message: msg.into(),
+            line,
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_sym(&mut self, s: &'static str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Tok::Sym(t)) if *t == s => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{s}`, found {other:?}"))),
+        }
+    }
+
+    fn skip_semis(&mut self) {
+        while matches!(self.peek(), Some(Tok::Sym(";"))) {
+            self.pos += 1;
+        }
+    }
+
+    /// Parse statements until `end` (a closing brace) or end of input.
+    fn stmt_list(&mut self, end: Option<&'static str>) -> Result<Vec<StmtId>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_semis();
+            match (self.peek(), end) {
+                (None, None) => break,
+                (None, Some(e)) => return Err(self.err(format!("expected `{e}`"))),
+                (Some(Tok::Sym(s)), Some(e)) if *s == e => break,
+                _ => out.push(self.stmt()?),
+            }
+        }
+        Ok(out)
+    }
+
+    fn block(&mut self) -> Result<StmtId, ParseError> {
+        self.expect_sym("{")?;
+        let stmts = self.stmt_list(Some("}"))?;
+        self.expect_sym("}")?;
+        Ok(self.builder.seq(&stmts))
+    }
+
+    fn stmt(&mut self) -> Result<StmtId, ParseError> {
+        let tok = self.peek().cloned();
+        match tok {
+            Some(Tok::Ident(id)) => match id.as_str() {
+                "skip" => {
+                    self.pos += 1;
+                    Ok(self.builder.skip())
+                }
+                "dmb.sy" => {
+                    self.pos += 1;
+                    Ok(self.builder.dmb_sy())
+                }
+                "dmb.ld" => {
+                    self.pos += 1;
+                    Ok(self.builder.dmb_ld())
+                }
+                "dmb.st" => {
+                    self.pos += 1;
+                    Ok(self.builder.dmb_st())
+                }
+                "isb" => {
+                    self.pos += 1;
+                    Ok(self.builder.isb())
+                }
+                "fence.tso" => {
+                    self.pos += 1;
+                    Ok(self.builder.fence_tso())
+                }
+                "fence" => {
+                    self.pos += 1;
+                    self.expect_sym("(")?;
+                    let k1 = self.access_set()?;
+                    self.expect_sym(",")?;
+                    let k2 = self.access_set()?;
+                    self.expect_sym(")")?;
+                    Ok(self.builder.fence(Fence { pre: k1, post: k2 }))
+                }
+                "if" => {
+                    self.pos += 1;
+                    self.expect_sym("(")?;
+                    let cond = self.expr()?;
+                    self.expect_sym(")")?;
+                    let then_b = self.block()?;
+                    self.skip_semis();
+                    let else_b = if matches!(self.peek(), Some(Tok::Ident(k)) if k == "else") {
+                        self.pos += 1;
+                        self.block()?
+                    } else {
+                        self.builder.skip()
+                    };
+                    Ok(self.builder.if_else(cond, then_b, else_b))
+                }
+                "while" => {
+                    self.pos += 1;
+                    self.expect_sym("(")?;
+                    let cond = self.expr()?;
+                    self.expect_sym(")")?;
+                    let body = self.block()?;
+                    Ok(self.builder.while_loop(cond, body))
+                }
+                s if store_kind(s).is_some() => {
+                    let (wk, _xcl) = store_kind(s).expect("checked");
+                    self.pos += 1;
+                    self.expect_sym("(")?;
+                    let addr = self.expr()?;
+                    self.expect_sym(",")?;
+                    let data = self.expr()?;
+                    self.expect_sym(")")?;
+                    // bare store form: non-exclusive only
+                    if s.starts_with("storex") {
+                        return Err(
+                            self.err("store exclusive needs a success register: r = storex(…)")
+                        );
+                    }
+                    Ok(match wk {
+                        WriteKind::Plain => self.builder.store(addr, data),
+                        WriteKind::WeakRelease => self.builder.store_wrel(addr, data),
+                        WriteKind::Release => self.builder.store_rel(addr, data),
+                    })
+                }
+                _ => {
+                    // `rN = …` assignment / load / store-exclusive
+                    let reg = parse_reg(&id).ok_or_else(|| {
+                        self.err(format!("expected statement, found identifier `{id}`"))
+                    })?;
+                    self.pos += 1;
+                    self.expect_sym("=")?;
+                    self.rhs(reg)
+                }
+            },
+            other => Err(self.err(format!("expected statement, found {other:?}"))),
+        }
+    }
+
+    fn rhs(&mut self, reg: Reg) -> Result<StmtId, ParseError> {
+        if let Some(Tok::Ident(id)) = self.peek().cloned() {
+            if let Some((rk, xcl)) = load_kind(&id) {
+                self.pos += 1;
+                self.expect_sym("(")?;
+                let addr = self.expr()?;
+                self.expect_sym(")")?;
+                return Ok(self.builder.load_kind(reg, addr, rk, xcl));
+            }
+            if let Some((wk, true)) = store_kind(&id) {
+                self.pos += 1;
+                self.expect_sym("(")?;
+                let addr = self.expr()?;
+                self.expect_sym(",")?;
+                let data = self.expr()?;
+                self.expect_sym(")")?;
+                return Ok(self.builder.store_kind(reg, addr, data, wk, true));
+            }
+        }
+        let e = self.expr()?;
+        Ok(self.builder.assign(reg, e))
+    }
+
+    fn access_set(&mut self) -> Result<AccessSet, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => match s.as_str() {
+                "r" => Ok(AccessSet::R),
+                "w" => Ok(AccessSet::W),
+                "rw" => Ok(AccessSet::RW),
+                other => Err(self.err(format!("expected r/w/rw, found `{other}`"))),
+            },
+            other => Err(self.err(format!("expected r/w/rw, found {other:?}"))),
+        }
+    }
+
+    // expr := cmp (== != < <=) level, then +/-, then * %, then atoms
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.additive()?;
+        let op = match self.peek() {
+            Some(Tok::Sym("==")) => Some(Op::Eq),
+            Some(Tok::Sym("!=")) => Some(Op::Ne),
+            Some(Tok::Sym("<")) => Some(Op::Lt),
+            Some(Tok::Sym("<=")) => Some(Op::Le),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.additive()?;
+            Ok(Expr::binop(op, lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Sym("+")) => Op::Add,
+                Some(Tok::Sym("-")) => Op::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.multiplicative()?;
+            lhs = Expr::binop(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.atom()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Sym("*")) => Op::Mul,
+                Some(Tok::Sym("%")) => Op::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.atom()?;
+            lhs = Expr::binop(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Expr::val(v)),
+            Some(Tok::Ident(id)) => {
+                if let Some(r) = parse_reg(&id) {
+                    Ok(Expr::reg(r))
+                } else {
+                    let loc = self.locs.intern(&id);
+                    Ok(Expr::val(loc.0 as i64))
+                }
+            }
+            Some(Tok::Sym("(")) => {
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+fn parse_reg(id: &str) -> Option<Reg> {
+    let digits = id.strip_prefix('r')?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse::<u32>().ok().map(Reg)
+}
+
+fn load_kind(id: &str) -> Option<(ReadKind, bool)> {
+    match id {
+        "load" => Some((ReadKind::Plain, false)),
+        "load_acq" => Some((ReadKind::Acquire, false)),
+        "load_wacq" => Some((ReadKind::WeakAcquire, false)),
+        "loadx" => Some((ReadKind::Plain, true)),
+        "loadx_acq" => Some((ReadKind::Acquire, true)),
+        "loadx_wacq" => Some((ReadKind::WeakAcquire, true)),
+        _ => None,
+    }
+}
+
+fn store_kind(id: &str) -> Option<(WriteKind, bool)> {
+    match id {
+        "store" => Some((WriteKind::Plain, false)),
+        "store_rel" => Some((WriteKind::Release, false)),
+        "store_wrel" => Some((WriteKind::WeakRelease, false)),
+        "storex" => Some((WriteKind::Plain, true)),
+        "storex_rel" => Some((WriteKind::Release, true)),
+        "storex_wrel" => Some((WriteKind::WeakRelease, true)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::Stmt;
+
+    fn first_stmts(code: &ThreadCode) -> Vec<Stmt> {
+        // flatten the entry Seq spine
+        let mut out = Vec::new();
+        let mut stack = vec![code.entry()];
+        while let Some(id) = stack.pop() {
+            match code.stmt(id) {
+                Stmt::Seq(a, b) => {
+                    stack.push(*b);
+                    stack.push(*a);
+                }
+                s => out.push(s.clone()),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn parses_mp_writer() {
+        let mut locs = LocTable::new();
+        let code = parse_thread("store(x, 37)\ndmb.sy\nstore(y, 42)", &mut locs).unwrap();
+        let stmts = first_stmts(&code);
+        assert_eq!(stmts.len(), 3);
+        assert!(matches!(stmts[0], Stmt::Store { .. }));
+        assert!(matches!(stmts[1], Stmt::Fence(Fence::FULL)));
+        assert_eq!(locs.get("x"), Some(Loc(0)));
+        assert_eq!(locs.get("y"), Some(Loc(1)));
+    }
+
+    #[test]
+    fn parses_loads_with_kinds() {
+        let mut locs = LocTable::new();
+        let code = parse_thread(
+            "r1 = load(y)\nr2 = load_acq(x)\nr3 = loadx(x)\nr4 = load_wacq(x)",
+            &mut locs,
+        )
+        .unwrap();
+        let stmts = first_stmts(&code);
+        assert!(
+            matches!(&stmts[0], Stmt::Load { kind: ReadKind::Plain, exclusive: false, .. })
+        );
+        assert!(
+            matches!(&stmts[1], Stmt::Load { kind: ReadKind::Acquire, exclusive: false, .. })
+        );
+        assert!(matches!(&stmts[2], Stmt::Load { exclusive: true, .. }));
+        assert!(matches!(&stmts[3], Stmt::Load { kind: ReadKind::WeakAcquire, .. }));
+    }
+
+    #[test]
+    fn parses_store_exclusive_with_success_register() {
+        let mut locs = LocTable::new();
+        let code = parse_thread("r2 = storex(x, r1 + 1)", &mut locs).unwrap();
+        let stmts = first_stmts(&code);
+        match &stmts[0] {
+            Stmt::Store {
+                succ, exclusive, ..
+            } => {
+                assert_eq!(*succ, Reg(2));
+                assert!(exclusive);
+            }
+            other => panic!("expected store, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_storex_is_rejected() {
+        let mut locs = LocTable::new();
+        let err = parse_thread("storex(x, 1)", &mut locs).unwrap_err();
+        assert!(err.message.contains("success register"));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let mut locs = LocTable::new();
+        let code = parse_thread(
+            "if (r0 == 42) { r2 = load(x) } else { r2 = 0 }\nwhile (r3 != 0) { r3 = r3 - 1 }",
+            &mut locs,
+        )
+        .unwrap();
+        let stmts = first_stmts(&code);
+        assert!(matches!(stmts[0], Stmt::If { .. }));
+        assert!(matches!(stmts[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_program_with_thread_separators() {
+        let src = "store(x, 1)\n---\nr1 = load(x)";
+        let (prog, locs) = parse_program(src).unwrap();
+        assert_eq!(prog.num_threads(), 2);
+        assert_eq!(locs.get("x"), Some(Loc(0)));
+    }
+
+    #[test]
+    fn locations_shared_across_threads() {
+        let src = "store(y, 1)\n---\nr1 = load(x)\nr2 = load(y)";
+        let (_, locs) = parse_program(src).unwrap();
+        assert_eq!(locs.get("y"), Some(Loc(0)));
+        assert_eq!(locs.get("x"), Some(Loc(1)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let mut locs = LocTable::new();
+        let code = parse_thread("// header\n\nstore(x, 1) // trailing\n", &mut locs).unwrap();
+        assert_eq!(first_stmts(&code).len(), 1);
+    }
+
+    #[test]
+    fn address_dependency_idiom_parses() {
+        let mut locs = LocTable::new();
+        let code = parse_thread("r2 = load(x + (r1 - r1))", &mut locs).unwrap();
+        let stmts = first_stmts(&code);
+        match &stmts[0] {
+            Stmt::Load { addr, .. } => {
+                assert_eq!(addr.registers(), vec![Reg(1)]);
+            }
+            other => panic!("expected load, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_literals_parse() {
+        let mut locs = LocTable::new();
+        let code = parse_thread("r1 = -5", &mut locs).unwrap();
+        match &first_stmts(&code)[0] {
+            Stmt::Assign { expr, .. } => {
+                assert_eq!(*expr, Expr::val(-5));
+            }
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn riscv_fences_parse() {
+        let mut locs = LocTable::new();
+        let code = parse_thread("fence(r, rw)\nfence.tso", &mut locs).unwrap();
+        let stmts = first_stmts(&code);
+        assert_eq!(
+            stmts[0],
+            Stmt::Fence(Fence {
+                pre: AccessSet::R,
+                post: AccessSet::RW
+            })
+        );
+        // fence.tso expands to two fences
+        assert_eq!(stmts[1], Stmt::Fence(Fence::RR));
+        assert_eq!(stmts[2], Stmt::Fence(Fence::RWW));
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let mut locs = LocTable::new();
+        let err = parse_thread("store(x, 1)\n???", &mut locs).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

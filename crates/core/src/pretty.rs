@@ -1,0 +1,231 @@
+//! Pretty-printing of programs back into the [`crate::parser`] syntax.
+//!
+//! `parse_program(pretty(p))` reconstructs an equal program (up to arena
+//! layout); the property tests in the workspace exercise this round trip.
+
+use crate::expr::Expr;
+use crate::ids::Loc;
+use crate::parser::LocTable;
+use crate::stmt::{AccessSet, Fence, Program, ReadKind, Stmt, StmtId, ThreadCode, WriteKind};
+use std::fmt::Write as _;
+
+/// Render a whole program in the parser's syntax, separating threads with
+/// `---` lines. If `locs` is given, addresses that have names are printed
+/// symbolically.
+pub fn program_to_string(program: &Program, locs: Option<&LocTable>) -> String {
+    let mut out = String::new();
+    for (i, t) in program.threads().iter().enumerate() {
+        if i > 0 {
+            out.push_str("---\n");
+        }
+        out.push_str(&thread_to_string(t, locs));
+    }
+    out
+}
+
+/// Render one thread's code.
+pub fn thread_to_string(code: &ThreadCode, locs: Option<&LocTable>) -> String {
+    let mut p = Printer {
+        code,
+        locs,
+        out: String::new(),
+        indent: 0,
+    };
+    p.stmt_seq(code.entry());
+    p.out
+}
+
+struct Printer<'a> {
+    code: &'a ThreadCode,
+    locs: Option<&'a LocTable>,
+    out: String,
+    indent: usize,
+}
+
+impl Printer<'_> {
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn loc_name(&self, addr: &Expr) -> Option<String> {
+        if let Expr::Const(v) = addr {
+            let loc = Loc::from(*v);
+            if let Some(name) = self.locs.and_then(|l| l.name_of(loc)) {
+                return Some(name.to_string());
+            }
+        }
+        None
+    }
+
+    fn expr(&self, e: &Expr) -> String {
+        // Print the address symbolically where a name is known; otherwise
+        // fall back on the expression's own Display.
+        match e {
+            Expr::Const(v) => self
+                .loc_name(e)
+                .unwrap_or_else(|| v.to_string()),
+            _ => e.to_string(),
+        }
+    }
+
+    fn stmt_seq(&mut self, id: StmtId) {
+        let mut stack = vec![id];
+        while let Some(id) = stack.pop() {
+            match self.code.stmt(id) {
+                Stmt::Seq(a, b) => {
+                    stack.push(*b);
+                    stack.push(*a);
+                }
+                _ => self.stmt(id),
+            }
+        }
+    }
+
+    fn stmt(&mut self, id: StmtId) {
+        match self.code.stmt(id) {
+            Stmt::Skip => self.line("skip"),
+            Stmt::Seq(..) => self.stmt_seq(id),
+            Stmt::Assign { reg, expr } => {
+                let text = format!("{reg} = {}", self.expr(expr));
+                self.line(&text);
+            }
+            Stmt::Load {
+                reg,
+                addr,
+                kind,
+                exclusive,
+            } => {
+                let op = match (kind, exclusive) {
+                    (ReadKind::Plain, false) => "load",
+                    (ReadKind::WeakAcquire, false) => "load_wacq",
+                    (ReadKind::Acquire, false) => "load_acq",
+                    (ReadKind::Plain, true) => "loadx",
+                    (ReadKind::WeakAcquire, true) => "loadx_wacq",
+                    (ReadKind::Acquire, true) => "loadx_acq",
+                };
+                let text = format!("{reg} = {op}({})", self.expr(addr));
+                self.line(&text);
+            }
+            Stmt::Store {
+                succ,
+                addr,
+                data,
+                kind,
+                exclusive,
+            } => {
+                let op = match (kind, exclusive) {
+                    (WriteKind::Plain, false) => "store",
+                    (WriteKind::WeakRelease, false) => "store_wrel",
+                    (WriteKind::Release, false) => "store_rel",
+                    (WriteKind::Plain, true) => "storex",
+                    (WriteKind::WeakRelease, true) => "storex_wrel",
+                    (WriteKind::Release, true) => "storex_rel",
+                };
+                let mut text = String::new();
+                if *exclusive {
+                    let _ = write!(text, "{succ} = ");
+                }
+                let _ = write!(text, "{op}({}, {})", self.expr(addr), self.expr(data));
+                self.line(&text);
+            }
+            Stmt::Fence(f) => {
+                let text = match *f {
+                    Fence::FULL => "dmb.sy".to_string(),
+                    Fence::LD => "dmb.ld".to_string(),
+                    Fence::ST => "dmb.st".to_string(),
+                    Fence { pre, post } => {
+                        format!("fence({}, {})", access(pre), access(post))
+                    }
+                };
+                self.line(&text);
+            }
+            Stmt::Isb => self.line("isb"),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let text = format!("if ({}) {{", self.expr(cond));
+                self.line(&text);
+                self.indent += 1;
+                self.stmt_seq(*then_branch);
+                self.indent -= 1;
+                if !matches!(self.code.stmt(*else_branch), Stmt::Skip) {
+                    self.line("} else {");
+                    self.indent += 1;
+                    self.stmt_seq(*else_branch);
+                    self.indent -= 1;
+                }
+                self.line("}");
+            }
+            Stmt::While { cond, body } => {
+                let text = format!("while ({}) {{", self.expr(cond));
+                self.line(&text);
+                self.indent += 1;
+                self.stmt_seq(*body);
+                self.indent -= 1;
+                self.line("}");
+            }
+        }
+    }
+}
+
+fn access(a: AccessSet) -> &'static str {
+    match a {
+        AccessSet::R => "r",
+        AccessSet::W => "w",
+        AccessSet::RW => "rw",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn normalize(src: &str) -> String {
+        src.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn mp_round_trips() {
+        let src = "store(x, 37)\ndmb.sy\nstore(y, 42)\n---\nr1 = load(y)\nr2 = load(x + (r1 - r1))";
+        let (p1, locs) = parse_program(src).unwrap();
+        let printed = program_to_string(&p1, Some(&locs));
+        let (p2, _) = parse_program(&printed).unwrap();
+        let reprinted = program_to_string(&p2, Some(&locs));
+        assert_eq!(normalize(&printed), normalize(&reprinted));
+    }
+
+    #[test]
+    fn control_flow_round_trips() {
+        let src = "r1 = load(x)\nif (r1 == 42) {\nstore(y, 1)\n} else {\nstore(y, 2)\n}\nwhile (r2 != 0) {\nr2 = r2 - 1\n}";
+        let (p1, locs) = parse_program(src).unwrap();
+        let printed = program_to_string(&p1, Some(&locs));
+        let (p2, _) = parse_program(&printed).unwrap();
+        assert_eq!(
+            normalize(&printed),
+            normalize(&program_to_string(&p2, Some(&locs)))
+        );
+    }
+
+    #[test]
+    fn exclusives_and_kinds_round_trip() {
+        let src = "r1 = loadx(x)\nr2 = storex(x, r1 + 1)\nstore_rel(y, 1)\nr3 = load_acq(y)\nfence(r, rw)\nisb";
+        let (p1, locs) = parse_program(src).unwrap();
+        let printed = program_to_string(&p1, Some(&locs));
+        let (p2, _) = parse_program(&printed).unwrap();
+        assert_eq!(
+            normalize(&printed),
+            normalize(&program_to_string(&p2, Some(&locs)))
+        );
+    }
+}

@@ -1,0 +1,607 @@
+//! Statements and programs of the calculus (Fig. 1).
+//!
+//! Statements are stored in a per-thread *arena* and referenced by
+//! [`StmtId`]. This makes thread continuations (stacks of `StmtId`) cheap to
+//! clone, hash and compare — essential for exhaustive state-space search.
+
+use crate::expr::Expr;
+use crate::ids::Reg;
+use std::fmt;
+
+/// Read kinds (`rk ∈ RK`, Fig. 1), ordered `Plain ⊑ WeakAcquire ⊑ Acquire`.
+///
+/// `WeakAcquire` is ARMv8.3's LDAPR-style weak acquire (`wacq`); `Acquire`
+/// is the strong load acquire (`acq`, ARM LDAR / RISC-V `.aq`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum ReadKind {
+    /// Plain load (`pln`).
+    #[default]
+    Plain,
+    /// Weak acquire (`wacq`).
+    WeakAcquire,
+    /// Strong acquire (`acq`).
+    Acquire,
+}
+
+/// Write kinds (`wk ∈ WK`, Fig. 1), ordered `Plain ⊑ WeakRelease ⊑ Release`.
+///
+/// Only RISC-V features weak releases (§A.1); the model is uniform.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum WriteKind {
+    /// Plain store (`pln`).
+    #[default]
+    Plain,
+    /// Weak release (`wrel`).
+    WeakRelease,
+    /// Strong release (`rel`).
+    Release,
+}
+
+/// The set of access directions a fence side talks about (`K ∈ FK`, Fig. 1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AccessSet {
+    /// Reads only.
+    R,
+    /// Writes only.
+    W,
+    /// Reads and writes.
+    RW,
+}
+
+impl AccessSet {
+    /// `R ⊑ self`: does the set include reads?
+    pub fn includes_reads(self) -> bool {
+        matches!(self, AccessSet::R | AccessSet::RW)
+    }
+
+    /// `W ⊑ self`: does the set include writes?
+    pub fn includes_writes(self) -> bool {
+        matches!(self, AccessSet::W | AccessSet::RW)
+    }
+}
+
+/// A memory fence `fence_{K1,K2}` in RISC-V syntax (Fig. 5's `fence` rule):
+/// orders program-order-earlier accesses in `pre` before program-order-later
+/// accesses in `post`.
+///
+/// The ARM barriers are macros (§A.3): `dmb.sy = fence_{RW,RW}`,
+/// `dmb.ld = fence_{R,RW}`, `dmb.st = fence_{W,W}`. RISC-V's `fence.tso` is
+/// the sequence `fence_{R,R}; fence_{RW,W}`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Fence {
+    /// Which earlier accesses are ordered (`K1`).
+    pub pre: AccessSet,
+    /// Which later accesses they are ordered before (`K2`).
+    pub post: AccessSet,
+}
+
+impl Fence {
+    /// ARM `dmb.sy` / RISC-V `fence rw,rw`: the full barrier.
+    pub const FULL: Fence = Fence {
+        pre: AccessSet::RW,
+        post: AccessSet::RW,
+    };
+    /// ARM `dmb.ld` / RISC-V `fence r,rw`.
+    pub const LD: Fence = Fence {
+        pre: AccessSet::R,
+        post: AccessSet::RW,
+    };
+    /// ARM `dmb.st` / RISC-V `fence w,w`.
+    pub const ST: Fence = Fence {
+        pre: AccessSet::W,
+        post: AccessSet::W,
+    };
+    /// RISC-V `fence w,r` (mentioned in §A.1 as an additional barrier).
+    pub const WR: Fence = Fence {
+        pre: AccessSet::W,
+        post: AccessSet::R,
+    };
+    /// RISC-V `fence r,r`.
+    pub const RR: Fence = Fence {
+        pre: AccessSet::R,
+        post: AccessSet::R,
+    };
+    /// RISC-V `fence rw,w`.
+    pub const RWW: Fence = Fence {
+        pre: AccessSet::RW,
+        post: AccessSet::W,
+    };
+}
+
+/// An index into a thread's statement arena.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StmtId(pub u32);
+
+/// A statement (`s ∈ St`, Fig. 1).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Stmt {
+    /// `skip`.
+    Skip,
+    /// Register assignment `r := e`.
+    Assign {
+        /// Destination register.
+        reg: Reg,
+        /// Assigned expression.
+        expr: Expr,
+    },
+    /// `r := load_{xcl,rk} [e]`.
+    Load {
+        /// Destination register.
+        reg: Reg,
+        /// Address expression.
+        addr: Expr,
+        /// Acquire strength.
+        kind: ReadKind,
+        /// Load exclusive (load reserve)?
+        exclusive: bool,
+    },
+    /// `r_succ := store_{xcl,wk} [e1] e2`. Non-exclusive stores also write a
+    /// success bit (always 0) to `succ`, "to an otherwise unused register"
+    /// (§3); the builder allocates a scratch register for them.
+    Store {
+        /// Success-bit register (`rsucc`).
+        succ: Reg,
+        /// Address expression.
+        addr: Expr,
+        /// Data expression.
+        data: Expr,
+        /// Release strength.
+        kind: WriteKind,
+        /// Store exclusive (store conditional)?
+        exclusive: bool,
+    },
+    /// A `fence_{K1,K2}` barrier (covers the ARM `dmb.*` macros).
+    Fence(Fence),
+    /// ARM `isb` (no RISC-V equivalent, §A.1).
+    Isb,
+    /// Sequential composition `s1; s2`.
+    Seq(StmtId, StmtId),
+    /// Conditional `if (e) s1 s2`.
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Taken when `cond ≠ 0`.
+        then_branch: StmtId,
+        /// Taken when `cond = 0`.
+        else_branch: StmtId,
+    },
+    /// Loop `while (e) s`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: StmtId,
+    },
+}
+
+/// The code of a single thread: a statement arena plus its entry point.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ThreadCode {
+    stmts: Vec<Stmt>,
+    entry: StmtId,
+}
+
+impl ThreadCode {
+    /// Look up a statement by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this thread's arena.
+    pub fn stmt(&self, id: StmtId) -> &Stmt {
+        &self.stmts[id.0 as usize]
+    }
+
+    /// The entry statement of the thread.
+    pub fn entry(&self) -> StmtId {
+        self.entry
+    }
+
+    /// Number of statements in the arena.
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Whether the arena holds only the entry `skip` of an empty thread.
+    pub fn is_empty(&self) -> bool {
+        matches!(self.stmt(self.entry), Stmt::Skip)
+    }
+
+    /// Number of store statements in the arena (used by the axiomatic
+    /// model's value-pool chain bound).
+    pub fn store_count(&self) -> usize {
+        self.stmts
+            .iter()
+            .filter(|s| matches!(s, Stmt::Store { .. }))
+            .count()
+    }
+
+    /// Count of "instruction-like" statements (loads, stores, fences, isb,
+    /// assignments) — the analogue of the paper's Table 1 LOC column.
+    pub fn instruction_count(&self) -> usize {
+        self.stmts
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s,
+                    Stmt::Load { .. }
+                        | Stmt::Store { .. }
+                        | Stmt::Fence(_)
+                        | Stmt::Isb
+                        | Stmt::Assign { .. }
+                )
+            })
+            .count()
+    }
+}
+
+/// A complete program: a parallel composition of threads (`p ::= s1 ‖ … ‖ sn`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    threads: Vec<ThreadCode>,
+}
+
+impl Program {
+    /// Build a program from per-thread code.
+    pub fn new(threads: Vec<ThreadCode>) -> Program {
+        Program { threads }
+    }
+
+    /// The threads of the program, in thread-id order.
+    pub fn threads(&self) -> &[ThreadCode] {
+        &self.threads
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Total instruction count across threads (Table 1's LOC analogue).
+    pub fn instruction_count(&self) -> usize {
+        self.threads.iter().map(ThreadCode::instruction_count).sum()
+    }
+}
+
+/// Builder for a single thread's code.
+///
+/// Statement constructors return [`StmtId`]s; [`CodeBuilder::finish`] takes
+/// the entry statement. The builder provides the surface conveniences of
+/// the paper's syntax: plain/acquire/release/exclusive accesses, all
+/// barriers, and `seq` for statement lists.
+#[derive(Debug, Default)]
+pub struct CodeBuilder {
+    stmts: Vec<Stmt>,
+    scratch: u32,
+}
+
+/// Register space reserved for compiler-internal scratch registers (success
+/// bits of non-exclusive stores). User code should stay below this.
+pub const SCRATCH_REG_BASE: u32 = 1_000_000;
+
+impl CodeBuilder {
+    /// Fresh builder.
+    pub fn new() -> CodeBuilder {
+        CodeBuilder::default()
+    }
+
+    fn push(&mut self, s: Stmt) -> StmtId {
+        let id = StmtId(self.stmts.len() as u32);
+        self.stmts.push(s);
+        id
+    }
+
+    fn fresh_scratch(&mut self) -> Reg {
+        let r = Reg(SCRATCH_REG_BASE + self.scratch);
+        self.scratch += 1;
+        r
+    }
+
+    /// `skip`.
+    pub fn skip(&mut self) -> StmtId {
+        self.push(Stmt::Skip)
+    }
+
+    /// `r := e`.
+    pub fn assign(&mut self, reg: Reg, expr: impl Into<Expr>) -> StmtId {
+        self.push(Stmt::Assign {
+            reg,
+            expr: expr.into(),
+        })
+    }
+
+    /// Plain load `r := load [addr]`.
+    pub fn load(&mut self, reg: Reg, addr: impl Into<Expr>) -> StmtId {
+        self.load_kind(reg, addr, ReadKind::Plain, false)
+    }
+
+    /// Acquire load `r := load_acq [addr]`.
+    pub fn load_acq(&mut self, reg: Reg, addr: impl Into<Expr>) -> StmtId {
+        self.load_kind(reg, addr, ReadKind::Acquire, false)
+    }
+
+    /// Weak-acquire load `r := load_wacq [addr]`.
+    pub fn load_wacq(&mut self, reg: Reg, addr: impl Into<Expr>) -> StmtId {
+        self.load_kind(reg, addr, ReadKind::WeakAcquire, false)
+    }
+
+    /// Load exclusive (load reserve) `r := load_x [addr]`.
+    pub fn load_excl(&mut self, reg: Reg, addr: impl Into<Expr>) -> StmtId {
+        self.load_kind(reg, addr, ReadKind::Plain, true)
+    }
+
+    /// Acquire load exclusive `r := load_x_acq [addr]`.
+    pub fn load_excl_acq(&mut self, reg: Reg, addr: impl Into<Expr>) -> StmtId {
+        self.load_kind(reg, addr, ReadKind::Acquire, true)
+    }
+
+    /// General load with explicit kind and exclusivity.
+    pub fn load_kind(
+        &mut self,
+        reg: Reg,
+        addr: impl Into<Expr>,
+        kind: ReadKind,
+        exclusive: bool,
+    ) -> StmtId {
+        self.push(Stmt::Load {
+            reg,
+            addr: addr.into(),
+            kind,
+            exclusive,
+        })
+    }
+
+    /// Plain store `store [addr] data`.
+    pub fn store(&mut self, addr: impl Into<Expr>, data: impl Into<Expr>) -> StmtId {
+        let succ = self.fresh_scratch();
+        self.store_kind(succ, addr, data, WriteKind::Plain, false)
+    }
+
+    /// Release store `store_rel [addr] data`.
+    pub fn store_rel(&mut self, addr: impl Into<Expr>, data: impl Into<Expr>) -> StmtId {
+        let succ = self.fresh_scratch();
+        self.store_kind(succ, addr, data, WriteKind::Release, false)
+    }
+
+    /// Weak-release store `store_wrel [addr] data`.
+    pub fn store_wrel(&mut self, addr: impl Into<Expr>, data: impl Into<Expr>) -> StmtId {
+        let succ = self.fresh_scratch();
+        self.store_kind(succ, addr, data, WriteKind::WeakRelease, false)
+    }
+
+    /// Store exclusive (store conditional): `succ := store_x [addr] data`.
+    pub fn store_excl(
+        &mut self,
+        succ: Reg,
+        addr: impl Into<Expr>,
+        data: impl Into<Expr>,
+    ) -> StmtId {
+        self.store_kind(succ, addr, data, WriteKind::Plain, true)
+    }
+
+    /// Release store exclusive: `succ := store_x_rel [addr] data`.
+    pub fn store_excl_rel(
+        &mut self,
+        succ: Reg,
+        addr: impl Into<Expr>,
+        data: impl Into<Expr>,
+    ) -> StmtId {
+        self.store_kind(succ, addr, data, WriteKind::Release, true)
+    }
+
+    /// General store with explicit kind and exclusivity.
+    pub fn store_kind(
+        &mut self,
+        succ: Reg,
+        addr: impl Into<Expr>,
+        data: impl Into<Expr>,
+        kind: WriteKind,
+        exclusive: bool,
+    ) -> StmtId {
+        self.push(Stmt::Store {
+            succ,
+            addr: addr.into(),
+            data: data.into(),
+            kind,
+            exclusive,
+        })
+    }
+
+    /// A `fence_{K1,K2}` barrier (or an ARM `dmb.*` via the [`Fence`]
+    /// constants).
+    pub fn fence(&mut self, f: Fence) -> StmtId {
+        self.push(Stmt::Fence(f))
+    }
+
+    /// ARM `dmb.sy`.
+    pub fn dmb_sy(&mut self) -> StmtId {
+        self.fence(Fence::FULL)
+    }
+
+    /// ARM `dmb.ld`.
+    pub fn dmb_ld(&mut self) -> StmtId {
+        self.fence(Fence::LD)
+    }
+
+    /// ARM `dmb.st`.
+    pub fn dmb_st(&mut self) -> StmtId {
+        self.fence(Fence::ST)
+    }
+
+    /// RISC-V `fence.tso`, the macro `fence_{R,R}; fence_{RW,W}` (§A.3).
+    pub fn fence_tso(&mut self) -> StmtId {
+        let a = self.fence(Fence::RR);
+        let b = self.fence(Fence::RWW);
+        self.push(Stmt::Seq(a, b))
+    }
+
+    /// ARM `isb`.
+    pub fn isb(&mut self) -> StmtId {
+        self.push(Stmt::Isb)
+    }
+
+    /// `s1; s2`.
+    pub fn then(&mut self, s1: StmtId, s2: StmtId) -> StmtId {
+        self.push(Stmt::Seq(s1, s2))
+    }
+
+    /// Right-nested sequence of statements; empty input yields `skip`.
+    pub fn seq(&mut self, stmts: &[StmtId]) -> StmtId {
+        match stmts.split_last() {
+            None => self.skip(),
+            Some((&last, rest)) => {
+                let mut acc = last;
+                for &s in rest.iter().rev() {
+                    acc = self.push(Stmt::Seq(s, acc));
+                }
+                acc
+            }
+        }
+    }
+
+    /// `if (cond) then_branch else_branch`.
+    pub fn if_else(
+        &mut self,
+        cond: impl Into<Expr>,
+        then_branch: StmtId,
+        else_branch: StmtId,
+    ) -> StmtId {
+        self.push(Stmt::If {
+            cond: cond.into(),
+            then_branch,
+            else_branch,
+        })
+    }
+
+    /// `if (cond) then_branch skip`.
+    pub fn if_then(&mut self, cond: impl Into<Expr>, then_branch: StmtId) -> StmtId {
+        let e = self.skip();
+        self.if_else(cond, then_branch, e)
+    }
+
+    /// `while (cond) body`.
+    pub fn while_loop(&mut self, cond: impl Into<Expr>, body: StmtId) -> StmtId {
+        self.push(Stmt::While {
+            cond: cond.into(),
+            body,
+        })
+    }
+
+    /// Finish the thread with the given entry statement.
+    pub fn finish(self, entry: StmtId) -> ThreadCode {
+        assert!(
+            (entry.0 as usize) < self.stmts.len(),
+            "entry statement out of range"
+        );
+        ThreadCode {
+            stmts: self.stmts,
+            entry,
+        }
+    }
+
+    /// Finish the thread as the sequence of the given statements.
+    pub fn finish_seq(mut self, stmts: &[StmtId]) -> ThreadCode {
+        let entry = self.seq(stmts);
+        self.finish(entry)
+    }
+}
+
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Reg;
+
+    #[test]
+    fn kinds_are_ordered_as_in_the_paper() {
+        assert!(ReadKind::Plain < ReadKind::WeakAcquire);
+        assert!(ReadKind::WeakAcquire < ReadKind::Acquire);
+        assert!(WriteKind::Plain < WriteKind::WeakRelease);
+        assert!(WriteKind::WeakRelease < WriteKind::Release);
+    }
+
+    #[test]
+    fn access_sets_decompose() {
+        assert!(AccessSet::RW.includes_reads() && AccessSet::RW.includes_writes());
+        assert!(AccessSet::R.includes_reads() && !AccessSet::R.includes_writes());
+        assert!(!AccessSet::W.includes_reads() && AccessSet::W.includes_writes());
+    }
+
+    #[test]
+    fn builder_seq_of_empty_is_skip() {
+        let mut b = CodeBuilder::new();
+        let s = b.seq(&[]);
+        let code = b.finish(s);
+        assert!(matches!(code.stmt(code.entry()), Stmt::Skip));
+    }
+
+    #[test]
+    fn builder_seq_nests_right() {
+        let mut b = CodeBuilder::new();
+        let s1 = b.skip();
+        let s2 = b.skip();
+        let s3 = b.skip();
+        let seq = b.seq(&[s1, s2, s3]);
+        let code = b.finish(seq);
+        match code.stmt(code.entry()) {
+            Stmt::Seq(a, rest) => {
+                assert_eq!(*a, s1);
+                match code.stmt(*rest) {
+                    Stmt::Seq(b_, c) => {
+                        assert_eq!(*b_, s2);
+                        assert_eq!(*c, s3);
+                    }
+                    other => panic!("expected Seq, got {other:?}"),
+                }
+            }
+            other => panic!("expected Seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_stores_get_scratch_success_registers() {
+        let mut b = CodeBuilder::new();
+        let s1 = b.store(Expr::val(0), Expr::val(1));
+        let s2 = b.store(Expr::val(0), Expr::val(2));
+        let code = b.finish_seq(&[s1, s2]);
+        let succs: Vec<Reg> = code
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Store { succ, .. } => Some(*succ),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(succs.len(), 2);
+        assert_ne!(succs[0], succs[1]);
+        assert!(succs.iter().all(|r| r.0 >= SCRATCH_REG_BASE));
+    }
+
+    #[test]
+    fn instruction_count_counts_memory_ops_and_fences() {
+        let mut b = CodeBuilder::new();
+        let l = b.load(Reg(0), Expr::val(0));
+        let f = b.dmb_sy();
+        let s = b.store(Expr::val(1), Expr::val(1));
+        let code = b.finish_seq(&[l, f, s]);
+        assert_eq!(code.instruction_count(), 3);
+    }
+
+    #[test]
+    fn fence_tso_is_the_two_fence_macro() {
+        let mut b = CodeBuilder::new();
+        let t = b.fence_tso();
+        let code = b.finish(t);
+        match code.stmt(code.entry()) {
+            Stmt::Seq(a, b_) => {
+                assert_eq!(*code.stmt(*a), Stmt::Fence(Fence::RR));
+                assert_eq!(*code.stmt(*b_), Stmt::Fence(Fence::RWW));
+            }
+            other => panic!("expected Seq, got {other:?}"),
+        }
+    }
+}

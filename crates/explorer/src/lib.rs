@@ -1,0 +1,46 @@
+//! Exhaustive and interactive exploration for Promising-ARM/RISC-V (§7).
+//!
+//! * [`explore`] / [`explore_promise_first`] — the paper's two-phase
+//!   promise-first search (Theorem 7.1): enumerate final memories by
+//!   interleaving only promises, then run every thread independently.
+//! * [`explore_naive`] — full interleaving search, the correctness
+//!   reference for the promise-first optimisation.
+//! * [`Session`] — rmem-style interactive stepping with undo and traces.
+//!
+//! ```
+//! use promising_core::{parse_program, Config, Machine, Reg, Val};
+//! use promising_explorer::explore;
+//! use std::sync::Arc;
+//!
+//! let (program, _) = parse_program(
+//!     "store(x, 1)\ndmb.sy\nstore(y, 1)\n---\nr1 = load(y)\nr2 = load(x)",
+//! )?;
+//! let machine = Machine::new(Arc::new(program), Config::arm());
+//! let result = explore(&machine);
+//! // the weak outcome r1 = 1 ∧ r2 = 0 is allowed without a reader-side barrier
+//! assert!(result
+//!     .outcomes
+//!     .iter()
+//!     .any(|o| o.reg(1, Reg(1)) == Val(1) && o.reg(1, Reg(2)) == Val(0)));
+//! # Ok::<(), promising_core::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod interactive;
+pub mod naive;
+pub mod promise_first;
+pub mod stats;
+
+pub use interactive::{Session, TraceEntry};
+pub use naive::{explore_naive, explore_naive_deadline, CertMode, Exploration};
+pub use promising_core::Outcome;
+pub use promise_first::{explore_promise_first, explore_promise_first_deadline};
+pub use stats::Stats;
+
+use promising_core::Machine;
+
+/// Explore a machine with the default (promise-first) strategy.
+pub fn explore(machine: &Machine) -> Exploration {
+    explore_promise_first(machine)
+}

@@ -1,0 +1,325 @@
+//! Promise-first exhaustive exploration (§7, Theorem 7.1).
+//!
+//! For every trace of the Promising machine there is an equivalent trace in
+//! which *all promises come first*. The search therefore runs in two
+//! phases:
+//!
+//! 1. **Promise mode** — interleave only promise transitions (each
+//!    validated by `find_and_certify`), enumerating all reachable
+//!    memories. Thread continuations never advance in this phase.
+//! 2. **Non-promise mode** — a memory is *final* if every thread can run
+//!    to completion under it without appending any write (stores only
+//!    fulfil already-promised messages). Since the memory is fixed, each
+//!    thread executes completely independently: no read interleaving, and
+//!    the outcome set of the memory is the product of the per-thread
+//!    outcome sets.
+//!
+//! This removes the read-interleaving blow-up that dominates the naive
+//! search and is the optimisation behind the paper's Table 2/3 results.
+
+use crate::naive::Exploration;
+use promising_core::Outcome;
+use crate::stats::Stats;
+use promising_core::stmt::SCRATCH_REG_BASE;
+use promising_core::{
+    apply_step, enabled_steps, find_and_certify, Machine, Memory, Msg, Reg, ThreadInstance,
+    TransitionKind, Val,
+};
+use promising_core::ids::TId;
+use promising_core::Transition;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::rc::Rc;
+use std::time::Instant;
+
+type RegMap = BTreeMap<Reg, Val>;
+
+/// Exhaustively explore `machine` promise-first, returning the same
+/// outcome set as [`crate::naive::explore_naive`] (Theorem 7.1).
+pub fn explore_promise_first(machine: &Machine) -> Exploration {
+    explore_promise_first_deadline(machine, None)
+}
+
+/// Like [`explore_promise_first`], but giving up (with `stats.truncated`)
+/// once `deadline` has elapsed — the "out of time" guard for the
+/// benchmark tables.
+pub fn explore_promise_first_deadline(
+    machine: &Machine,
+    deadline: Option<std::time::Duration>,
+) -> Exploration {
+    let start = Instant::now();
+    let mut stats = Stats::default();
+    let mut outcomes = BTreeSet::new();
+
+    // Promise-mode search over (memory, promise-sets) states.
+    let mut visited: HashSet<(Vec<BTreeSet<promising_core::Timestamp>>, Memory)> = HashSet::new();
+    let mut stack = vec![machine.clone()];
+    visited.insert(promise_key(machine));
+
+    // Cache of promisable sets, keyed by the acting thread's promise set
+    // and the memory (the rest of the thread state never changes in
+    // promise mode).
+    let mut promise_cache: HashMap<(TId, BTreeSet<promising_core::Timestamp>, Memory), BTreeSet<Msg>> =
+        HashMap::new();
+
+    while let Some(m) = stack.pop() {
+        stats.states += 1;
+        if let Some(d) = deadline {
+            if start.elapsed() > d {
+                stats.truncated = true;
+                break;
+            }
+        }
+
+        // Phase-2 check: is this memory final (all threads completable)?
+        let mut per_thread: Vec<Rc<BTreeSet<RegMap>>> = Vec::with_capacity(m.num_threads());
+        let mut all_complete = true;
+        for tid in (0..m.num_threads()).map(TId) {
+            let set = thread_outcomes(&m, tid, &mut stats);
+            if set.is_empty() {
+                all_complete = false;
+                break;
+            }
+            per_thread.push(set);
+        }
+        if all_complete {
+            stats.final_memories += 1;
+            let memory: BTreeMap<_, _> = m
+                .memory()
+                .locations()
+                .into_iter()
+                .map(|l| (l, m.memory().final_value(l)))
+                .collect();
+            let mut regs_product: Vec<Vec<RegMap>> = vec![Vec::new()];
+            for set in &per_thread {
+                let mut next = Vec::with_capacity(regs_product.len() * set.len());
+                for prefix in &regs_product {
+                    for regs in set.iter() {
+                        let mut p = prefix.clone();
+                        p.push(regs.clone());
+                        next.push(p);
+                    }
+                }
+                regs_product = next;
+            }
+            for regs in regs_product {
+                outcomes.insert(Outcome {
+                    regs,
+                    memory: memory.clone(),
+                });
+            }
+        }
+
+        // Expand: all certified promises of all threads.
+        for tid in (0..m.num_threads()).map(TId) {
+            let key = (
+                tid,
+                m.thread(tid).state.prom.clone(),
+                m.memory().clone(),
+            );
+            let promisable = match promise_cache.get(&key) {
+                Some(p) => p.clone(),
+                None => {
+                    stats.certifications += 1;
+                    let p = find_and_certify(&m, tid).promisable;
+                    promise_cache.insert(key, p.clone());
+                    p
+                }
+            };
+            for msg in promisable {
+                let mut next = m.clone();
+                next.apply(&Transition::new(tid, TransitionKind::Promise { msg }))
+                    .expect("certified promise applies");
+                stats.transitions += 1;
+                let k = promise_key(&next);
+                if visited.insert(k) {
+                    stack.push(next);
+                }
+            }
+        }
+    }
+
+    stats.duration = start.elapsed();
+    Exploration { outcomes, stats }
+}
+
+fn promise_key(m: &Machine) -> (Vec<BTreeSet<promising_core::Timestamp>>, Memory) {
+    (
+        m.threads().iter().map(|t| t.state.prom.clone()).collect(),
+        m.memory().clone(),
+    )
+}
+
+/// All final register valuations thread `tid` can reach running alone under
+/// the machine's (fixed) memory, taking no write-appending steps. Empty if
+/// the thread cannot complete (some promise unfulfillable, or it cannot
+/// terminate).
+fn thread_outcomes(m: &Machine, tid: TId, stats: &mut Stats) -> Rc<BTreeSet<RegMap>> {
+    let code = &m.program().threads()[tid.0];
+    let mut memory = m.memory().clone();
+    let mut memo: HashMap<ThreadInstance, Rc<BTreeSet<RegMap>>> = HashMap::new();
+    let mem_len = memory.len();
+    let result = thread_dfs(m, tid, code, m.thread(tid), &mut memory, &mut memo, stats);
+    debug_assert_eq!(memory.len(), mem_len, "phase 2 must not append writes");
+    result
+}
+
+fn thread_dfs(
+    m: &Machine,
+    tid: TId,
+    code: &promising_core::ThreadCode,
+    thread: &ThreadInstance,
+    memory: &mut Memory,
+    memo: &mut HashMap<ThreadInstance, Rc<BTreeSet<RegMap>>>,
+    stats: &mut Stats,
+) -> Rc<BTreeSet<RegMap>> {
+    if let Some(hit) = memo.get(thread) {
+        return Rc::clone(hit);
+    }
+    let mut out = BTreeSet::new();
+    if thread.is_done() {
+        if !thread.state.has_promises() && thread.state.stuck.is_none() {
+            out.insert(observable_regs(thread));
+        }
+    } else if thread.state.stuck.is_some() {
+        stats.bound_hits += 1;
+    } else {
+        for kind in enabled_steps(m.config(), code, tid, thread, memory) {
+            if kind == TransitionKind::WriteNormal {
+                continue; // non-promise mode: no new writes
+            }
+            let mut th = thread.clone();
+            apply_step(m.config(), code, tid, &kind, &mut th, memory)
+                .expect("enabled step applies");
+            stats.transitions += 1;
+            let sub = thread_dfs(m, tid, code, &th, memory, memo, stats);
+            out.extend(sub.iter().cloned());
+        }
+    }
+    let rc = Rc::new(out);
+    memo.insert(thread.clone(), Rc::clone(&rc));
+    rc
+}
+
+fn observable_regs(thread: &ThreadInstance) -> RegMap {
+    thread
+        .state
+        .regs
+        .iter()
+        .filter(|(r, _, _)| r.0 < SCRATCH_REG_BASE)
+        .map(|(r, v, _)| (r, v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::{explore_naive, CertMode};
+    use promising_core::{CodeBuilder, Config, Expr, Program};
+    use std::sync::Arc;
+
+    fn check_agrees_with_naive(program: Arc<Program>, config: Config) {
+        let m = Machine::new(program, config);
+        let fast = explore_promise_first(&m);
+        let slow = explore_naive(&m, CertMode::Online);
+        assert_eq!(
+            fast.outcomes, slow.outcomes,
+            "promise-first and naive exploration must agree (Thm 7.1)"
+        );
+    }
+
+    #[test]
+    fn agrees_on_mp() {
+        let mut b = CodeBuilder::new();
+        let s1 = b.store(Expr::val(0), Expr::val(37));
+        let s2 = b.dmb_sy();
+        let s3 = b.store(Expr::val(1), Expr::val(42));
+        let t1 = b.finish_seq(&[s1, s2, s3]);
+        let mut b = CodeBuilder::new();
+        let l1 = b.load(Reg(1), Expr::val(1));
+        let l2 = b.load(Reg(2), Expr::val(0));
+        let t2 = b.finish_seq(&[l1, l2]);
+        check_agrees_with_naive(Arc::new(Program::new(vec![t1, t2])), Config::arm());
+    }
+
+    #[test]
+    fn agrees_on_lb_with_dependency() {
+        let mut b = CodeBuilder::new();
+        let a = b.load(Reg(1), Expr::val(0));
+        let s = b.store(Expr::val(1), Expr::reg(Reg(1)));
+        let t1 = b.finish_seq(&[a, s]);
+        let mut b = CodeBuilder::new();
+        let c = b.load(Reg(2), Expr::val(1));
+        let d = b.store(Expr::val(0), Expr::val(42));
+        let t2 = b.finish_seq(&[c, d]);
+        check_agrees_with_naive(Arc::new(Program::new(vec![t1, t2])), Config::arm());
+    }
+
+    #[test]
+    fn agrees_on_sb_with_fences() {
+        let mut b = CodeBuilder::new();
+        let s = b.store(Expr::val(0), Expr::val(1));
+        let f = b.dmb_sy();
+        let l = b.load(Reg(1), Expr::val(1));
+        let t1 = b.finish_seq(&[s, f, l]);
+        let mut b = CodeBuilder::new();
+        let s = b.store(Expr::val(1), Expr::val(1));
+        let f = b.dmb_sy();
+        let l = b.load(Reg(2), Expr::val(0));
+        let t2 = b.finish_seq(&[s, f, l]);
+        check_agrees_with_naive(Arc::new(Program::new(vec![t1, t2])), Config::arm());
+    }
+
+    #[test]
+    fn agrees_on_exclusive_increment_race() {
+        // Two threads, each one ldx/stx increment attempt (may fail).
+        let mk = || {
+            let mut b = CodeBuilder::new();
+            let l = b.load_excl(Reg(1), Expr::val(0));
+            let s = b.store_excl(Reg(2), Expr::val(0), Expr::reg(Reg(1)).add(Expr::val(1)));
+            b.finish_seq(&[l, s])
+        };
+        check_agrees_with_naive(Arc::new(Program::new(vec![mk(), mk()])), Config::arm());
+        check_agrees_with_naive(Arc::new(Program::new(vec![mk(), mk()])), Config::riscv());
+    }
+
+    #[test]
+    fn agrees_on_ppoca() {
+        // PPOCA (§2): forwarding a speculative-in-hardware write.
+        let mut b = CodeBuilder::new();
+        let s1 = b.store(Expr::val(0), Expr::val(37));
+        let f = b.dmb_sy();
+        let s2 = b.store(Expr::val(1), Expr::val(42));
+        let t1 = b.finish_seq(&[s1, f, s2]);
+        let mut b = CodeBuilder::new();
+        let d = b.load(Reg(0), Expr::val(1));
+        let i = b.store(Expr::val(2), Expr::val(51));
+        let j = b.load(Reg(1), Expr::val(2));
+        let fl = b.load(Reg(2), Expr::val(0).with_dep(Reg(1)));
+        let body = b.seq(&[i, j, fl]);
+        let br = b.if_then(Expr::reg(Reg(0)).eq(Expr::val(42)), body);
+        let t2 = b.finish_seq(&[d, br]);
+        let program = Arc::new(Program::new(vec![t1, t2]));
+        let m = Machine::new(Arc::clone(&program), Config::arm());
+        let exp = explore_promise_first(&m);
+        // the PPOCA outcome r0=42 ∧ r1=51 ∧ r2=0 must be allowed
+        assert!(
+            exp.outcomes.iter().any(|o| o.reg(1, Reg(0)) == Val(42)
+                && o.reg(1, Reg(1)) == Val(51)
+                && o.reg(1, Reg(2)) == Val(0)),
+            "PPOCA must be allowed"
+        );
+        check_agrees_with_naive(program, Config::arm());
+    }
+
+    #[test]
+    fn final_memories_counted() {
+        let mut b = CodeBuilder::new();
+        let s = b.store(Expr::val(0), Expr::val(1));
+        let t1 = b.finish_seq(&[s]);
+        let m = Machine::new(Arc::new(Program::new(vec![t1])), Config::arm());
+        let exp = explore_promise_first(&m);
+        // exactly one final memory: [x := 1]
+        assert_eq!(exp.stats.final_memories, 1);
+        assert_eq!(exp.outcomes.len(), 1);
+    }
+}

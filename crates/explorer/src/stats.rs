@@ -1,0 +1,81 @@
+//! Exploration statistics, reported by every search strategy and consumed
+//! by the benchmark tables.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters from one exhaustive exploration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Stats {
+    /// Distinct states visited (after deduplication).
+    pub states: u64,
+    /// Transitions applied (including revisits).
+    pub transitions: u64,
+    /// `find_and_certify` invocations.
+    pub certifications: u64,
+    /// Number of final memories enumerated (promise-first only).
+    pub final_memories: u64,
+    /// Traces that hit the loop bound (incomplete, discarded).
+    pub bound_hits: u64,
+    /// States with unfulfilled promises and no enabled transition (the ARM
+    /// store-exclusive deadlocks of §4.3).
+    pub deadlocks: u64,
+    /// Wall-clock time of the search.
+    pub duration: Duration,
+    /// Whether the search was cut short by a deadline (results are a
+    /// lower bound, like the paper's "ooT" cells).
+    pub truncated: bool,
+}
+
+impl Stats {
+    /// Merge counters from a sub-search.
+    pub fn absorb(&mut self, other: &Stats) {
+        self.states += other.states;
+        self.transitions += other.transitions;
+        self.certifications += other.certifications;
+        self.final_memories += other.final_memories;
+        self.bound_hits += other.bound_hits;
+        self.deadlocks += other.deadlocks;
+        self.duration += other.duration;
+        self.truncated |= other.truncated;
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states, {} transitions, {} certifications, {} final memories, {} bound hits, {} deadlocks, {:.3}s",
+            self.states,
+            self.transitions,
+            self.certifications,
+            self.final_memories,
+            self.bound_hits,
+            self.deadlocks,
+            self.duration.as_secs_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_adds_counters() {
+        let mut a = Stats {
+            states: 1,
+            transitions: 2,
+            ..Stats::default()
+        };
+        let b = Stats {
+            states: 10,
+            deadlocks: 1,
+            ..Stats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.states, 11);
+        assert_eq!(a.transitions, 2);
+        assert_eq!(a.deadlocks, 1);
+    }
+}

@@ -1,0 +1,254 @@
+//! Exhaustive exploration for the Flat-lite baseline: plain interleaving
+//! search over the nondeterministic transitions with visited-state
+//! deduplication — the cost profile Tables 2/3 of the paper measure
+//! against.
+
+use crate::machine::{FlatMachine, FlatStateKey};
+use promising_core::Outcome;
+use std::collections::{BTreeSet, HashSet};
+use std::time::{Duration, Instant};
+
+/// Counters from a Flat exploration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FlatStats {
+    /// Distinct states visited.
+    pub states: u64,
+    /// Transitions applied.
+    pub transitions: u64,
+    /// Traces that hit the loop bound.
+    pub bound_hits: u64,
+    /// Unfinished states with no enabled transition.
+    pub deadlocks: u64,
+    /// Wall-clock duration.
+    pub duration: Duration,
+    /// Whether the search stopped early on the state budget.
+    pub truncated: bool,
+}
+
+/// Result of a Flat exploration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FlatExploration {
+    /// Outcomes of all complete executions.
+    pub outcomes: BTreeSet<Outcome>,
+    /// Search statistics.
+    pub stats: FlatStats,
+}
+
+/// Exhaustively explore all interleavings of `machine`.
+pub fn explore_flat(machine: &FlatMachine) -> FlatExploration {
+    explore_flat_bounded(machine, u64::MAX)
+}
+
+/// Like [`explore_flat`] but giving up (with `stats.truncated`) after
+/// visiting `max_states` states — the "out of time" guard used by the
+/// benchmark tables.
+pub fn explore_flat_bounded(machine: &FlatMachine, max_states: u64) -> FlatExploration {
+    explore_flat_deadline(machine, max_states, None)
+}
+
+/// Fully bounded exploration: state budget and wall-clock deadline.
+pub fn explore_flat_deadline(
+    machine: &FlatMachine,
+    max_states: u64,
+    deadline: Option<Duration>,
+) -> FlatExploration {
+    let start = Instant::now();
+    let mut stats = FlatStats::default();
+    let mut outcomes = BTreeSet::new();
+    let mut visited: HashSet<FlatStateKey> = HashSet::new();
+    let mut stack: Vec<FlatMachine> = Vec::new();
+
+    visited.insert(machine.state_key());
+    stack.push(machine.clone());
+
+    while let Some(m) = stack.pop() {
+        stats.states += 1;
+        if stats.states > max_states {
+            stats.truncated = true;
+            break;
+        }
+        if let Some(d) = deadline {
+            if start.elapsed() > d {
+                stats.truncated = true;
+                break;
+            }
+        }
+        if m.terminated() {
+            outcomes.insert(m.outcome());
+            continue;
+        }
+        if m.any_stuck() {
+            stats.bound_hits += 1;
+            continue;
+        }
+        let transitions = m.enabled();
+        if transitions.is_empty() {
+            stats.deadlocks += 1;
+            continue;
+        }
+        for tr in transitions {
+            let mut next = m.clone();
+            next.apply(&tr);
+            stats.transitions += 1;
+            if visited.insert(next.state_key()) {
+                stack.push(next);
+            }
+        }
+    }
+
+    stats.duration = start.elapsed();
+    FlatExploration { outcomes, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promising_core::{CodeBuilder, Config, Expr, Program, Reg};
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    fn run(program: Program) -> FlatExploration {
+        let m = FlatMachine::new(Arc::new(program), Config::arm());
+        explore_flat(&m)
+    }
+
+    fn mp(fenced_reader: bool) -> Program {
+        let mut b = CodeBuilder::new();
+        let s1 = b.store(Expr::val(0), Expr::val(37));
+        let f = b.dmb_sy();
+        let s2 = b.store(Expr::val(1), Expr::val(42));
+        let t1 = b.finish_seq(&[s1, f, s2]);
+        let mut b = CodeBuilder::new();
+        let mut stmts = vec![b.load(Reg(1), Expr::val(1))];
+        if fenced_reader {
+            stmts.push(b.dmb_sy());
+        }
+        stmts.push(b.load(Reg(2), Expr::val(0)));
+        let t2 = b.finish_seq(&stmts);
+        Program::new(vec![t1, t2])
+    }
+
+    #[test]
+    fn flat_mp_plain_allows_weak_outcome() {
+        let exp = run(mp(false));
+        let pairs: BTreeSet<(i64, i64)> = exp
+            .outcomes
+            .iter()
+            .map(|o| (o.reg(1, Reg(1)).0, o.reg(1, Reg(2)).0))
+            .collect();
+        assert!(pairs.contains(&(42, 0)), "weak MP outcome via OoO satisfy");
+        assert_eq!(pairs.len(), 4);
+    }
+
+    #[test]
+    fn flat_mp_fenced_forbids_weak_outcome() {
+        let exp = run(mp(true));
+        let pairs: BTreeSet<(i64, i64)> = exp
+            .outcomes
+            .iter()
+            .map(|o| (o.reg(1, Reg(1)).0, o.reg(1, Reg(2)).0))
+            .collect();
+        assert!(!pairs.contains(&(42, 0)));
+        assert_eq!(pairs.len(), 3);
+    }
+
+    #[test]
+    fn flat_lb_allows_cycle_via_early_propagate() {
+        // LB: both loads read 1 — stores propagate before loads satisfy.
+        let mut b = CodeBuilder::new();
+        let l = b.load(Reg(1), Expr::val(0));
+        let s = b.store(Expr::val(1), Expr::val(1));
+        let t1 = b.finish_seq(&[l, s]);
+        let mut b = CodeBuilder::new();
+        let l = b.load(Reg(2), Expr::val(1));
+        let s = b.store(Expr::val(0), Expr::val(1));
+        let t2 = b.finish_seq(&[l, s]);
+        let exp = run(Program::new(vec![t1, t2]));
+        assert!(exp
+            .outcomes
+            .iter()
+            .any(|o| o.reg(0, Reg(1)).0 == 1 && o.reg(1, Reg(2)).0 == 1));
+    }
+
+    #[test]
+    fn flat_lb_data_deps_forbid_cycle() {
+        let mk = |from: i64, to: i64, reg| {
+            let mut b = CodeBuilder::new();
+            let l = b.load(reg, Expr::val(from));
+            let s = b.store(Expr::val(to), Expr::reg(reg));
+            b.finish_seq(&[l, s])
+        };
+        let exp = run(Program::new(vec![mk(0, 1, Reg(1)), mk(1, 0, Reg(2))]));
+        assert!(!exp
+            .outcomes
+            .iter()
+            .any(|o| o.reg(0, Reg(1)).0 != 0 || o.reg(1, Reg(2)).0 != 0));
+    }
+
+    #[test]
+    fn flat_ppoca_allowed_via_forwarding_under_speculation() {
+        // PPOCA (§2): ctrl-speculated store forwarded to a load.
+        let mut b = CodeBuilder::new();
+        let s1 = b.store(Expr::val(0), Expr::val(37));
+        let f = b.dmb_sy();
+        let s2 = b.store(Expr::val(1), Expr::val(42));
+        let t1 = b.finish_seq(&[s1, f, s2]);
+        let mut b = CodeBuilder::new();
+        let d = b.load(Reg(0), Expr::val(1));
+        let i = b.store(Expr::val(2), Expr::val(51));
+        let j = b.load(Reg(1), Expr::val(2));
+        let fl = b.load(Reg(2), Expr::val(0).with_dep(Reg(1)));
+        let body = b.seq(&[i, j, fl]);
+        let br = b.if_then(Expr::reg(Reg(0)).eq(Expr::val(42)), body);
+        let t2 = b.finish_seq(&[d, br]);
+        let exp = run(Program::new(vec![t1, t2]));
+        assert!(
+            exp.outcomes.iter().any(|o| o.reg(1, Reg(0)).0 == 42
+                && o.reg(1, Reg(1)).0 == 51
+                && o.reg(1, Reg(2)).0 == 0),
+            "PPOCA outcome must be reachable in Flat-lite"
+        );
+    }
+
+    #[test]
+    fn flat_coherence_corr() {
+        let mut b = CodeBuilder::new();
+        let s = b.store(Expr::val(0), Expr::val(1));
+        let t1 = b.finish_seq(&[s]);
+        let mut b = CodeBuilder::new();
+        let l1 = b.load(Reg(1), Expr::val(0));
+        let l2 = b.load(Reg(2), Expr::val(0));
+        let t2 = b.finish_seq(&[l1, l2]);
+        let exp = run(Program::new(vec![t1, t2]));
+        let pairs: BTreeSet<(i64, i64)> = exp
+            .outcomes
+            .iter()
+            .map(|o| (o.reg(1, Reg(1)).0, o.reg(1, Reg(2)).0))
+            .collect();
+        assert_eq!(pairs, BTreeSet::from([(0, 0), (0, 1), (1, 1)]));
+    }
+
+    #[test]
+    fn flat_exclusive_increment_race_yields_consistent_counts() {
+        // two ldx/stx increments, no retry loops: each may fail or succeed;
+        // successes must be atomic (never lost updates).
+        let mk = || {
+            let mut b = CodeBuilder::new();
+            let l = b.load_excl(Reg(1), Expr::val(0));
+            let s = b.store_excl(Reg(2), Expr::val(0), Expr::reg(Reg(1)).add(Expr::val(1)));
+            b.finish_seq(&[l, s])
+        };
+        let exp = run(Program::new(vec![mk(), mk()]));
+        for o in &exp.outcomes {
+            let successes = [0, 1]
+                .iter()
+                .filter(|&&t| o.reg(t, Reg(2)).0 == 0)
+                .count() as i64;
+            assert_eq!(
+                o.loc(promising_core::Loc(0)).0,
+                successes,
+                "final counter must equal the number of successful increments: {o}"
+            );
+        }
+    }
+}

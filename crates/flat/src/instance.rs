@@ -1,0 +1,235 @@
+//! Instruction instances of the Flat-lite machine.
+//!
+//! Unlike Promising's single-step instructions, a Flat instruction is an
+//! *instance* that is fetched (possibly speculatively), executes in several
+//! steps (address/data resolution, satisfy or propagate), and is finally
+//! bound. This mirrors the abstract-microarchitectural structure of the
+//! Flat model of Pulte et al. [POPL 2018] that the paper benchmarks
+//! against.
+
+use promising_core::expr::Expr;
+use promising_core::ids::{Reg, Timestamp, Val};
+use promising_core::stmt::{Fence, ReadKind, StmtId, WriteKind};
+
+/// What an instance does.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum InstOp {
+    /// Register assignment.
+    Assign {
+        /// Destination.
+        reg: Reg,
+        /// Source expression.
+        expr: Expr,
+    },
+    /// A load.
+    Load {
+        /// Destination register.
+        reg: Reg,
+        /// Address expression.
+        addr: Expr,
+        /// Acquire strength.
+        rk: ReadKind,
+        /// Load exclusive?
+        exclusive: bool,
+    },
+    /// A store.
+    Store {
+        /// Success register (meaningful for exclusives).
+        succ: Reg,
+        /// Address expression.
+        addr: Expr,
+        /// Data expression.
+        data: Expr,
+        /// Release strength.
+        wk: WriteKind,
+        /// Store exclusive?
+        exclusive: bool,
+    },
+    /// A fence.
+    Fence(Fence),
+    /// An ARM `isb`.
+    Isb,
+    /// A (conditional or loop) branch, fetched with a speculation guess.
+    Branch {
+        /// The branch condition.
+        cond: Expr,
+        /// The guessed direction.
+        guess: bool,
+        /// The fetch continuation for the direction *not* guessed, for
+        /// squashing on mis-speculation.
+        alt_cont: Vec<StmtId>,
+    },
+}
+
+/// Where a satisfied load got its value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Src {
+    /// From memory at the given timestamp.
+    Memory(Timestamp),
+    /// Forwarded from the po-earlier store instance at this index.
+    Forward(usize),
+}
+
+/// The lifecycle state of an instance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum InstState {
+    /// Fetched, nothing done yet.
+    Pending,
+    /// Assignment executed.
+    Done {
+        /// Computed value.
+        val: Val,
+    },
+    /// Load satisfied (value bound; never restarted in Flat-lite).
+    Satisfied {
+        /// Source of the value.
+        src: Src,
+        /// The value read.
+        val: Val,
+    },
+    /// Store propagated to memory.
+    Propagated {
+        /// Timestamp in memory.
+        ts: Timestamp,
+    },
+    /// Store exclusive failed.
+    Failed,
+    /// Fence or `isb` committed.
+    Committed,
+    /// Branch resolved.
+    Resolved {
+        /// Actual direction.
+        taken: bool,
+    },
+}
+
+/// One instruction instance.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Instance {
+    /// The statement this instance was fetched from.
+    pub stmt: StmtId,
+    /// Its operation.
+    pub op: InstOp,
+    /// Its lifecycle state.
+    pub state: InstState,
+}
+
+impl Instance {
+    /// Fresh pending instance.
+    pub fn new(stmt: StmtId, op: InstOp) -> Instance {
+        Instance {
+            stmt,
+            op,
+            state: InstState::Pending,
+        }
+    }
+
+    /// Whether the instance has reached a final state (its effects are
+    /// bound and it can never change again).
+    pub fn is_bound(&self) -> bool {
+        !matches!(self.state, InstState::Pending)
+    }
+
+    /// The value this instance wrote to `r`, if it writes `r` and the
+    /// value is available yet.
+    pub fn written_reg(&self, r: Reg) -> Option<Option<Val>> {
+        match &self.op {
+            InstOp::Assign { reg, .. } if *reg == r => Some(match self.state {
+                InstState::Done { val } => Some(val),
+                _ => None,
+            }),
+            InstOp::Load { reg, .. } if *reg == r => Some(match self.state {
+                InstState::Satisfied { val, .. } => Some(val),
+                _ => None,
+            }),
+            InstOp::Store {
+                succ, exclusive, ..
+            } if *exclusive && *succ == r => Some(match self.state {
+                // The success value is bound when the store exclusive
+                // propagates (success) or fails. This is the conservative
+                // reading of ARM's success dependency (see DESIGN.md).
+                InstState::Propagated { .. } => Some(Val::SUCCESS),
+                InstState::Failed => Some(Val::FAIL),
+                _ => None,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Is this a load instance?
+    pub fn is_load(&self) -> bool {
+        matches!(self.op, InstOp::Load { .. })
+    }
+
+    /// Is this a store instance?
+    pub fn is_store(&self) -> bool {
+        matches!(self.op, InstOp::Store { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promising_core::ids::Reg;
+
+    #[test]
+    fn pending_instances_are_unbound() {
+        let i = Instance::new(
+            StmtId(0),
+            InstOp::Assign {
+                reg: Reg(0),
+                expr: Expr::val(1),
+            },
+        );
+        assert!(!i.is_bound());
+    }
+
+    #[test]
+    fn written_reg_distinguishes_not_mine_and_not_ready() {
+        let mut i = Instance::new(
+            StmtId(0),
+            InstOp::Assign {
+                reg: Reg(0),
+                expr: Expr::val(1),
+            },
+        );
+        assert_eq!(i.written_reg(Reg(1)), None); // not my register
+        assert_eq!(i.written_reg(Reg(0)), Some(None)); // mine, not ready
+        i.state = InstState::Done { val: Val(1) };
+        assert_eq!(i.written_reg(Reg(0)), Some(Some(Val(1))));
+    }
+
+    #[test]
+    fn exclusive_store_success_register_binds_at_propagate_or_fail() {
+        let mut i = Instance::new(
+            StmtId(0),
+            InstOp::Store {
+                succ: Reg(2),
+                addr: Expr::val(0),
+                data: Expr::val(1),
+                wk: WriteKind::Plain,
+                exclusive: true,
+            },
+        );
+        assert_eq!(i.written_reg(Reg(2)), Some(None));
+        i.state = InstState::Failed;
+        assert_eq!(i.written_reg(Reg(2)), Some(Some(Val::FAIL)));
+        i.state = InstState::Propagated { ts: Timestamp(1) };
+        assert_eq!(i.written_reg(Reg(2)), Some(Some(Val::SUCCESS)));
+    }
+
+    #[test]
+    fn non_exclusive_store_does_not_write_success() {
+        let i = Instance::new(
+            StmtId(0),
+            InstOp::Store {
+                succ: Reg(2),
+                addr: Expr::val(0),
+                data: Expr::val(1),
+                wk: WriteKind::Plain,
+                exclusive: false,
+            },
+        );
+        assert_eq!(i.written_reg(Reg(2)), None);
+    }
+}

@@ -1,0 +1,837 @@
+//! The Flat-lite machine: out-of-order instruction execution over a flat
+//! list memory, with explicit branch speculation and squash.
+//!
+//! Nondeterministic transitions (interleaved across threads):
+//!
+//! * **speculative fetch** past an unresolved branch (two guesses);
+//! * **load satisfy** — binds a load to the current coherence-latest write
+//!   (or forwards from an unpropagated po-earlier store);
+//! * **store propagate** — appends to memory, out of order where the
+//!   architecture allows;
+//! * **store-exclusive fail**.
+//!
+//! Everything else (fetch of non-branches, register computation, branch
+//! resolution + mis-speculation squash, fence/isb commit) is deterministic
+//! and auto-drained after every transition. This gives the baseline the
+//! multiple-steps-per-instruction, speculation-and-squash cost structure
+//! of the original Flat model.
+//!
+//! Compared to the architecture (and to Promising), Flat-lite makes two
+//! *conservative* simplifications, documented in DESIGN.md: loads wait for
+//! the addresses of all po-earlier accesses to resolve (real ARM lets them
+//! satisfy speculatively and restarts on coherence violations), and a
+//! store exclusive's success register binds only at propagate/fail time
+//! (real ARM may assume success early — the §C.1 relaxation). Both make
+//! Flat-lite forbid a handful of exotic outcomes that the other two models
+//! allow; the litmus harness skips exactly those shapes for Flat.
+
+use crate::instance::{InstOp, InstState, Instance, Src};
+use promising_core::config::Config;
+use promising_core::expr::Expr;
+use promising_core::ids::{Loc, Reg, TId, Timestamp, Val};
+use promising_core::memory::{Memory, Msg};
+use promising_core::stmt::{Program, ReadKind, Stmt, StmtId, WriteKind, SCRATCH_REG_BASE};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// One hardware thread.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct FlatThread {
+    /// Fetched instruction instances, in fetch (program) order along the
+    /// current speculative path.
+    pub instances: Vec<Instance>,
+    /// Continuation to fetch from next.
+    pub fetch_cont: Vec<StmtId>,
+    /// Remaining taken-loop fetch budget.
+    pub fetch_fuel: u32,
+    /// Set when the loop bound was exhausted on a *resolved* path.
+    pub stuck: bool,
+}
+
+/// A nondeterministic Flat transition.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FlatTransition {
+    /// Speculatively fetch past the unresolved branch at the fetch point,
+    /// guessing the given direction.
+    FetchBranch {
+        /// Acting thread.
+        tid: TId,
+        /// Guessed direction.
+        taken: bool,
+    },
+    /// Satisfy the pending load instance at `idx`.
+    Satisfy {
+        /// Acting thread.
+        tid: TId,
+        /// Instance index.
+        idx: usize,
+    },
+    /// Propagate the pending store instance at `idx` to memory.
+    Propagate {
+        /// Acting thread.
+        tid: TId,
+        /// Instance index.
+        idx: usize,
+    },
+    /// Fail the pending store-exclusive instance at `idx`.
+    FailStx {
+        /// Acting thread.
+        tid: TId,
+        /// Instance index.
+        idx: usize,
+    },
+}
+
+impl fmt::Display for FlatTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlatTransition::FetchBranch { tid, taken } => {
+                write!(f, "{tid}: speculate {}", if *taken { "taken" } else { "not-taken" })
+            }
+            FlatTransition::Satisfy { tid, idx } => write!(f, "{tid}: satisfy #{idx}"),
+            FlatTransition::Propagate { tid, idx } => write!(f, "{tid}: propagate #{idx}"),
+            FlatTransition::FailStx { tid, idx } => write!(f, "{tid}: stx-fail #{idx}"),
+        }
+    }
+}
+
+/// The Flat-lite machine state.
+#[derive(Clone, Debug)]
+pub struct FlatMachine {
+    config: Config,
+    program: Arc<Program>,
+    threads: Vec<FlatThread>,
+    memory: Memory,
+}
+
+/// Hashable dynamic state for visited-set deduplication.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct FlatStateKey {
+    /// Per-thread instance lists and fetch state.
+    pub threads: Vec<FlatThread>,
+    /// Memory contents.
+    pub memory: Memory,
+}
+
+impl FlatMachine {
+    /// Initial machine.
+    pub fn new(program: Arc<Program>, config: Config) -> FlatMachine {
+        FlatMachine::with_init(program, config, BTreeMap::new())
+    }
+
+    /// Initial machine with litmus initial values.
+    pub fn with_init(
+        program: Arc<Program>,
+        config: Config,
+        init: BTreeMap<Loc, Val>,
+    ) -> FlatMachine {
+        let threads = program
+            .threads()
+            .iter()
+            .map(|code| FlatThread {
+                instances: Vec::new(),
+                fetch_cont: vec![code.entry()],
+                fetch_fuel: config.loop_fuel,
+                stuck: false,
+            })
+            .collect();
+        let mut m = FlatMachine {
+            config,
+            program,
+            threads,
+            memory: Memory::with_init(init),
+        };
+        m.drain();
+        m
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The memory.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// The threads.
+    pub fn threads(&self) -> &[FlatThread] {
+        &self.threads
+    }
+
+    /// Dedup key.
+    pub fn state_key(&self) -> FlatStateKey {
+        FlatStateKey {
+            threads: self.threads.clone(),
+            memory: self.memory.clone(),
+        }
+    }
+
+    /// Whether some thread exhausted the loop bound on a resolved path.
+    pub fn any_stuck(&self) -> bool {
+        self.threads.iter().any(|t| t.stuck)
+    }
+
+    /// All threads fully done: nothing to fetch, every instance bound.
+    pub fn terminated(&self) -> bool {
+        self.threads.iter().all(|t| {
+            !t.stuck && t.fetch_cont.is_empty() && t.instances.iter().all(Instance::is_bound)
+        })
+    }
+
+    /// The observable outcome of a terminated machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is not terminated.
+    pub fn outcome(&self) -> promising_core::Outcome {
+        assert!(self.terminated(), "outcome of a non-final Flat state");
+        let regs = self
+            .threads
+            .iter()
+            .map(|t| {
+                let mut map: BTreeMap<Reg, Val> = BTreeMap::new();
+                for inst in &t.instances {
+                    let written: Option<Reg> = match &inst.op {
+                        InstOp::Assign { reg, .. } | InstOp::Load { reg, .. } => Some(*reg),
+                        InstOp::Store {
+                            succ,
+                            exclusive: true,
+                            ..
+                        } => Some(*succ),
+                        _ => None,
+                    };
+                    if let Some(r) = written {
+                        if r.0 < SCRATCH_REG_BASE {
+                            let v = inst
+                                .written_reg(r)
+                                .flatten()
+                                .expect("bound instance has its value");
+                            map.insert(r, v);
+                        }
+                    }
+                }
+                map
+            })
+            .collect();
+        let memory = self
+            .memory
+            .locations()
+            .into_iter()
+            .map(|l| (l, self.memory.final_value(l)))
+            .collect();
+        promising_core::Outcome { regs, memory }
+    }
+
+    /// The value of register `r` as seen by the instance at `idx` (the
+    /// nearest po-earlier writer), `None` if not yet available.
+    fn reg_value(&self, tid: TId, idx: usize, r: Reg) -> Option<Val> {
+        let t = &self.threads[tid.0];
+        for inst in t.instances[..idx].iter().rev() {
+            if let Some(v) = inst.written_reg(r) {
+                return v;
+            }
+        }
+        Some(Val(0))
+    }
+
+    /// Evaluate `e` at instance position `idx`, `None` if some input
+    /// register is unavailable.
+    fn eval_at(&self, tid: TId, idx: usize, e: &Expr) -> Option<Val> {
+        match e {
+            Expr::Const(v) => Some(*v),
+            Expr::Reg(r) => self.reg_value(tid, idx, *r),
+            Expr::Binop(op, a, b) => {
+                let va = self.eval_at(tid, idx, a)?;
+                let vb = self.eval_at(tid, idx, b)?;
+                Some(op.apply(va, vb))
+            }
+        }
+    }
+
+    /// The resolved address of the memory access at `idx`, if available.
+    fn addr_of(&self, tid: TId, idx: usize) -> Option<Loc> {
+        let inst = &self.threads[tid.0].instances[idx];
+        let addr = match &inst.op {
+            InstOp::Load { addr, .. } | InstOp::Store { addr, .. } => addr,
+            _ => return None,
+        };
+        self.eval_at(tid, idx, addr).map(Loc::from)
+    }
+
+    // ---- deterministic micro-steps (auto-drained) --------------------
+
+    /// Run all deterministic steps to a fixpoint: fetch, assignment
+    /// execution, branch resolution (with squash), fence/isb commit.
+    fn drain(&mut self) {
+        loop {
+            let mut progressed = false;
+            for tid in (0..self.threads.len()).map(TId) {
+                progressed |= self.fetch_deterministic(tid);
+                progressed |= self.execute_assigns(tid);
+                progressed |= self.resolve_branches(tid);
+                progressed |= self.commit_fences(tid);
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Fetch instructions as long as no unresolved-branch choice is needed.
+    fn fetch_deterministic(&mut self, tid: TId) -> bool {
+        let mut progressed = false;
+        loop {
+            let code = &self.program.threads()[tid.0];
+            let t = &mut self.threads[tid.0];
+            if t.stuck {
+                return progressed;
+            }
+            // normalize seq/skip
+            loop {
+                let Some(&top) = t.fetch_cont.last() else { break };
+                match code.stmt(top) {
+                    Stmt::Seq(a, b) => {
+                        t.fetch_cont.pop();
+                        let (a, b) = (*a, *b);
+                        t.fetch_cont.push(b);
+                        t.fetch_cont.push(a);
+                    }
+                    Stmt::Skip => {
+                        t.fetch_cont.pop();
+                    }
+                    _ => break,
+                }
+            }
+            let Some(&top) = t.fetch_cont.last() else {
+                return progressed;
+            };
+            let idx = t.instances.len();
+            match code.stmt(top).clone() {
+                Stmt::Skip | Stmt::Seq(..) => unreachable!("normalized"),
+                Stmt::Assign { reg, expr } => {
+                    let t = &mut self.threads[tid.0];
+                    t.fetch_cont.pop();
+                    t.instances.push(Instance::new(top, InstOp::Assign { reg, expr }));
+                }
+                Stmt::Load {
+                    reg,
+                    addr,
+                    kind,
+                    exclusive,
+                } => {
+                    let t = &mut self.threads[tid.0];
+                    t.fetch_cont.pop();
+                    t.instances.push(Instance::new(
+                        top,
+                        InstOp::Load {
+                            reg,
+                            addr,
+                            rk: kind,
+                            exclusive,
+                        },
+                    ));
+                }
+                Stmt::Store {
+                    succ,
+                    addr,
+                    data,
+                    kind,
+                    exclusive,
+                } => {
+                    let t = &mut self.threads[tid.0];
+                    t.fetch_cont.pop();
+                    t.instances.push(Instance::new(
+                        top,
+                        InstOp::Store {
+                            succ,
+                            addr,
+                            data,
+                            wk: kind,
+                            exclusive,
+                        },
+                    ));
+                }
+                Stmt::Fence(f) => {
+                    let t = &mut self.threads[tid.0];
+                    t.fetch_cont.pop();
+                    t.instances.push(Instance::new(top, InstOp::Fence(f)));
+                }
+                Stmt::Isb => {
+                    let t = &mut self.threads[tid.0];
+                    t.fetch_cont.pop();
+                    t.instances.push(Instance::new(top, InstOp::Isb));
+                }
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    // resolvable now? fetch the right path without a guess
+                    match self.eval_at(tid, idx, &cond) {
+                        Some(v) => {
+                            let taken = v.as_bool();
+                            let t = &mut self.threads[tid.0];
+                            t.fetch_cont.pop();
+                            t.fetch_cont
+                                .push(if taken { then_branch } else { else_branch });
+                            t.instances.push(Instance {
+                                stmt: top,
+                                op: InstOp::Branch {
+                                    cond,
+                                    guess: taken,
+                                    alt_cont: Vec::new(),
+                                },
+                                state: InstState::Resolved { taken },
+                            });
+                        }
+                        None => return progressed, // speculation choice needed
+                    }
+                }
+                Stmt::While { cond, body } => match self.eval_at(tid, idx, &cond) {
+                    Some(v) => {
+                        let taken = v.as_bool();
+                        let t = &mut self.threads[tid.0];
+                        if taken {
+                            if t.fetch_fuel == 0 {
+                                t.stuck = true;
+                                return progressed;
+                            }
+                            t.fetch_fuel -= 1;
+                            t.fetch_cont.push(body);
+                        } else {
+                            t.fetch_cont.pop();
+                        }
+                        t.instances.push(Instance {
+                            stmt: top,
+                            op: InstOp::Branch {
+                                cond,
+                                guess: taken,
+                                alt_cont: Vec::new(),
+                            },
+                            state: InstState::Resolved { taken },
+                        });
+                    }
+                    None => return progressed,
+                },
+            }
+            progressed = true;
+        }
+    }
+
+    fn execute_assigns(&mut self, tid: TId) -> bool {
+        let mut progressed = false;
+        for idx in 0..self.threads[tid.0].instances.len() {
+            let inst = &self.threads[tid.0].instances[idx];
+            if let (InstOp::Assign { expr, .. }, InstState::Pending) =
+                (&inst.op.clone(), inst.state)
+            {
+                if let Some(val) = self.eval_at(tid, idx, expr) {
+                    self.threads[tid.0].instances[idx].state = InstState::Done { val };
+                    progressed = true;
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Resolve speculatively-fetched branches whose inputs are now
+    /// available; squash on mis-speculation.
+    fn resolve_branches(&mut self, tid: TId) -> bool {
+        let mut progressed = false;
+        let mut idx = 0;
+        while idx < self.threads[tid.0].instances.len() {
+            let inst = self.threads[tid.0].instances[idx].clone();
+            if let (
+                InstOp::Branch {
+                    cond,
+                    guess,
+                    alt_cont,
+                },
+                InstState::Pending,
+            ) = (&inst.op, inst.state)
+            {
+                if let Some(v) = self.eval_at(tid, idx, cond) {
+                    let taken = v.as_bool();
+                    let t = &mut self.threads[tid.0];
+                    if taken == *guess {
+                        t.instances[idx].state = InstState::Resolved { taken };
+                    } else {
+                        // mis-speculation: discard everything younger and
+                        // refetch down the other path.
+                        debug_assert!(
+                            t.instances[idx + 1..]
+                                .iter()
+                                .all(|i| !matches!(i.state, InstState::Propagated { .. })),
+                            "speculative stores must never propagate"
+                        );
+                        t.instances.truncate(idx + 1);
+                        t.fetch_cont = alt_cont.clone();
+                        t.instances[idx].state = InstState::Resolved { taken };
+                        t.instances[idx].op = InstOp::Branch {
+                            cond: cond.clone(),
+                            guess: taken,
+                            alt_cont: Vec::new(),
+                        };
+                    }
+                    progressed = true;
+                }
+            }
+            idx += 1;
+        }
+        progressed
+    }
+
+    fn commit_fences(&mut self, tid: TId) -> bool {
+        let mut progressed = false;
+        for idx in 0..self.threads[tid.0].instances.len() {
+            let inst = self.threads[tid.0].instances[idx].clone();
+            if inst.state != InstState::Pending {
+                continue;
+            }
+            let ready = match &inst.op {
+                InstOp::Fence(f) => {
+                    let t = &self.threads[tid.0];
+                    t.instances[..idx].iter().all(|j| {
+                        (!f.pre.includes_reads() || !j.is_load() || j.is_bound())
+                            && (!f.pre.includes_writes() || !j.is_store() || j.is_bound())
+                    })
+                }
+                InstOp::Isb => {
+                    // all po-earlier branches resolved and access addresses
+                    // determined (the ctrl/addr half-barriers of ρ7)
+                    (0..idx).all(|j| {
+                        let jinst = &self.threads[tid.0].instances[j];
+                        match &jinst.op {
+                            InstOp::Branch { .. } => jinst.is_bound(),
+                            InstOp::Load { .. } | InstOp::Store { .. } => {
+                                self.addr_of(tid, j).is_some()
+                            }
+                            _ => true,
+                        }
+                    })
+                }
+                _ => continue,
+            };
+            if ready {
+                self.threads[tid.0].instances[idx].state = InstState::Committed;
+                progressed = true;
+            }
+        }
+        progressed
+    }
+
+    // ---- nondeterministic transitions --------------------------------
+
+    /// The satisfy-blocking scan for load `idx`: returns the permitted
+    /// source, or `None` if blocked.
+    fn load_source(&self, tid: TId, idx: usize) -> Option<(Src, Val)> {
+        let t = &self.threads[tid.0];
+        let inst = &t.instances[idx];
+        let InstOp::Load { rk, .. } = &inst.op else {
+            return None;
+        };
+        let loc = self.addr_of(tid, idx)?;
+
+        // nearest po-earlier unpropagated same-address store (forwarding
+        // candidate), and the blocking scan.
+        let mut fwd: Option<usize> = None;
+        for j in (0..idx).rev() {
+            let jinst = &t.instances[j];
+            match &jinst.op {
+                InstOp::Load {
+                    rk: jrk, ..
+                } => {
+                    let jloc = self.addr_of(tid, j)?; // unresolved addr blocks
+                    if *jrk >= ReadKind::WeakAcquire && !jinst.is_bound() {
+                        return None; // acquire orders later reads
+                    }
+                    if jloc == loc && !jinst.is_bound() && fwd.is_none() {
+                        return None; // same-address loads bind in order
+                    }
+                }
+                InstOp::Store { wk, .. } => {
+                    let jloc = self.addr_of(tid, j)?;
+                    if *rk >= ReadKind::Acquire
+                        && *wk >= WriteKind::Release
+                        && !matches!(jinst.state, InstState::Propagated { .. } | InstState::Failed)
+                    {
+                        return None; // [RL]; po; [AQ]
+                    }
+                    if jloc == loc && fwd.is_none() {
+                        match jinst.state {
+                            InstState::Propagated { .. } | InstState::Failed => {}
+                            _ => {
+                                // unpropagated same-address store: must
+                                // forward from it (if data ready)
+                                fwd = Some(j);
+                            }
+                        }
+                    }
+                }
+                InstOp::Fence(f) => {
+                    if f.post.includes_reads() && !jinst.is_bound() {
+                        return None;
+                    }
+                }
+                InstOp::Isb => {
+                    if !jinst.is_bound() {
+                        return None;
+                    }
+                }
+                InstOp::Branch { .. } | InstOp::Assign { .. } => {}
+            }
+        }
+
+        match fwd {
+            Some(j) => {
+                let jinst = &t.instances[j];
+                let InstOp::Store {
+                    data, exclusive, ..
+                } = &jinst.op
+                else {
+                    unreachable!("forward source is a store");
+                };
+                // A pending store exclusive may still fail, so its value
+                // must never be forwarded (conservative vs ρ13 — see
+                // DESIGN.md); the load waits for it to propagate or fail.
+                if *exclusive {
+                    return None;
+                }
+                let val = self.eval_at(tid, j, data)?;
+                Some((Src::Forward(j), val))
+            }
+            None => {
+                let ts = self.memory.latest_write_at_most(loc, self.memory.max_timestamp());
+                let val = self
+                    .memory
+                    .read(loc, ts)
+                    .expect("latest write reads back");
+                Some((Src::Memory(ts), val))
+            }
+        }
+    }
+
+    /// The propagate-blocking scan for store `idx`: returns the value to
+    /// write, or `None` if blocked. Does not check exclusivity success —
+    /// see [`FlatMachine::stx_pairing`].
+    fn store_ready(&self, tid: TId, idx: usize) -> Option<(Loc, Val)> {
+        let t = &self.threads[tid.0];
+        let inst = &t.instances[idx];
+        let InstOp::Store { data, wk, .. } = &inst.op else {
+            return None;
+        };
+        let loc = self.addr_of(tid, idx)?;
+        let val = self.eval_at(tid, idx, data)?;
+        for j in (0..idx).rev() {
+            let jinst = &t.instances[j];
+            match &jinst.op {
+                InstOp::Branch { .. } => {
+                    if !jinst.is_bound() {
+                        return None; // no speculative writes
+                    }
+                }
+                InstOp::Load { rk, .. } => {
+                    let jloc = self.addr_of(tid, j)?; // address-po
+                    let need_bound = jloc == loc
+                        || *rk >= ReadKind::WeakAcquire
+                        || *wk >= WriteKind::WeakRelease;
+                    if need_bound && !jinst.is_bound() {
+                        return None;
+                    }
+                }
+                InstOp::Store { .. } => {
+                    let jloc = self.addr_of(tid, j)?; // address-po
+                    let need_done = jloc == loc || *wk >= WriteKind::WeakRelease;
+                    if need_done
+                        && !matches!(
+                            jinst.state,
+                            InstState::Propagated { .. } | InstState::Failed
+                        )
+                    {
+                        return None;
+                    }
+                }
+                InstOp::Fence(f) => {
+                    if f.post.includes_writes() && !jinst.is_bound() {
+                        return None;
+                    }
+                }
+                InstOp::Isb | InstOp::Assign { .. } => {}
+            }
+        }
+        Some((loc, val))
+    }
+
+    /// Find the paired load exclusive for store exclusive `idx` (ρ11): the
+    /// most recent po-earlier load exclusive with no interposing store
+    /// exclusive. Returns its read timestamp if it is bound.
+    fn stx_pairing(&self, tid: TId, idx: usize) -> Option<Timestamp> {
+        let t = &self.threads[tid.0];
+        for j in (0..idx).rev() {
+            let jinst = &t.instances[j];
+            match &jinst.op {
+                InstOp::Store { exclusive: true, .. } => return None, // interposed
+                InstOp::Load {
+                    exclusive: true, ..
+                } => {
+                    return match jinst.state {
+                        InstState::Satisfied { src, .. } => match src {
+                            Src::Memory(ts) => Some(ts),
+                            Src::Forward(k) => match t.instances[k].state {
+                                InstState::Propagated { ts } => Some(ts),
+                                _ => None, // wait for the source to propagate
+                            },
+                        },
+                        _ => None,
+                    };
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Enumerate the enabled nondeterministic transitions.
+    pub fn enabled(&self) -> Vec<FlatTransition> {
+        let mut out = Vec::new();
+        for tid in (0..self.threads.len()).map(TId) {
+            let t = &self.threads[tid.0];
+            if t.stuck {
+                continue;
+            }
+            // speculation choice at the fetch point?
+            if let Some(&top) = t.fetch_cont.last() {
+                let code = &self.program.threads()[tid.0];
+                match code.stmt(top) {
+                    Stmt::If { .. } => {
+                        out.push(FlatTransition::FetchBranch { tid, taken: true });
+                        out.push(FlatTransition::FetchBranch { tid, taken: false });
+                    }
+                    Stmt::While { .. } => {
+                        if t.fetch_fuel > 0 {
+                            out.push(FlatTransition::FetchBranch { tid, taken: true });
+                        }
+                        out.push(FlatTransition::FetchBranch { tid, taken: false });
+                    }
+                    _ => {}
+                }
+            }
+            for idx in 0..t.instances.len() {
+                let inst = &t.instances[idx];
+                if inst.state != InstState::Pending {
+                    continue;
+                }
+                match &inst.op {
+                    InstOp::Load { .. } => {
+                        if self.load_source(tid, idx).is_some() {
+                            out.push(FlatTransition::Satisfy { tid, idx });
+                        }
+                    }
+                    InstOp::Store { exclusive, .. } => {
+                        if *exclusive {
+                            out.push(FlatTransition::FailStx { tid, idx });
+                        }
+                        if self.store_ready(tid, idx).is_some() {
+                            if *exclusive {
+                                let fresh = Timestamp(self.memory.max_timestamp().0 + 1);
+                                if let Some(tr) = self.stx_pairing(tid, idx) {
+                                    if let Some((loc, _)) = self.store_ready(tid, idx) {
+                                        if self.memory.atomic(loc, tid, tr, fresh) {
+                                            out.push(FlatTransition::Propagate { tid, idx });
+                                        }
+                                    }
+                                }
+                            } else {
+                                out.push(FlatTransition::Propagate { tid, idx });
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+
+    /// Apply a transition (must be enabled) and auto-drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transition is not enabled in this state.
+    pub fn apply(&mut self, tr: &FlatTransition) {
+        match tr {
+            FlatTransition::FetchBranch { tid, taken } => {
+                let code = Arc::clone(&self.program);
+                let code = &code.threads()[tid.0];
+                let t = &mut self.threads[tid.0];
+                let top = *t.fetch_cont.last().expect("fetch point exists");
+                match code.stmt(top).clone() {
+                    Stmt::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                    } => {
+                        let mut alt = t.fetch_cont.clone();
+                        alt.pop();
+                        t.fetch_cont.pop();
+                        if *taken {
+                            alt.push(else_branch);
+                            t.fetch_cont.push(then_branch);
+                        } else {
+                            alt.push(then_branch);
+                            t.fetch_cont.push(else_branch);
+                        }
+                        t.instances.push(Instance::new(
+                            top,
+                            InstOp::Branch {
+                                cond,
+                                guess: *taken,
+                                alt_cont: alt,
+                            },
+                        ));
+                    }
+                    Stmt::While { cond, body } => {
+                        let mut alt = t.fetch_cont.clone();
+                        if *taken {
+                            alt.pop(); // alternative: exit the loop
+                            t.fetch_fuel -= 1;
+                            t.fetch_cont.push(body);
+                        } else {
+                            t.fetch_cont.pop(); // alternative: enter the loop
+                            alt.push(body);
+                        }
+                        t.instances.push(Instance::new(
+                            top,
+                            InstOp::Branch {
+                                cond,
+                                guess: *taken,
+                                alt_cont: alt,
+                            },
+                        ));
+                    }
+                    other => panic!("fetch point is not a branch: {other:?}"),
+                }
+            }
+            FlatTransition::Satisfy { tid, idx } => {
+                let (src, val) = self
+                    .load_source(*tid, *idx)
+                    .expect("satisfy transition enabled");
+                self.threads[tid.0].instances[*idx].state = InstState::Satisfied { src, val };
+            }
+            FlatTransition::Propagate { tid, idx } => {
+                let (loc, val) = self
+                    .store_ready(*tid, *idx)
+                    .expect("propagate transition enabled");
+                let ts = self.memory.push(Msg::new(loc, val, *tid));
+                self.threads[tid.0].instances[*idx].state = InstState::Propagated { ts };
+            }
+            FlatTransition::FailStx { tid, idx } => {
+                self.threads[tid.0].instances[*idx].state = InstState::Failed;
+            }
+        }
+        self.drain();
+    }
+}

@@ -1,0 +1,176 @@
+//! The named litmus-test catalogue: the classic shapes from the
+//! ARM/POWER relaxed-memory literature with their architectural
+//! expectations, plus every worked example from the paper (§2, §4, §A, §B,
+//! §C). These are the ground truth the three models are validated against.
+
+use crate::format::parse_litmus;
+use crate::test::LitmusTest;
+
+/// One catalogue entry: source plus the Flat-conservative flag.
+struct Entry {
+    src: &'static str,
+    flat_conservative: bool,
+}
+
+const fn t(src: &'static str) -> Entry {
+    Entry {
+        src,
+        flat_conservative: false,
+    }
+}
+
+/// Entries whose shapes exercise the store-exclusive relaxations on which
+/// Flat-lite is documented to be conservative.
+const fn t_noflat(src: &'static str) -> Entry {
+    Entry {
+        src,
+        flat_conservative: true,
+    }
+}
+
+/// The whole named catalogue.
+///
+/// # Panics
+///
+/// Panics if a built-in test fails to parse (checked by unit tests).
+pub fn catalogue() -> Vec<LitmusTest> {
+    ENTRIES
+        .iter()
+        .map(|e| {
+            let mut test = parse_litmus(e.src)
+                .unwrap_or_else(|err| panic!("catalogue test failed to parse: {err}\n{}", e.src));
+            test.flat_conservative = e.flat_conservative;
+            test
+        })
+        .collect()
+}
+
+/// Catalogue restricted to one architecture.
+pub fn catalogue_for(arch: promising_core::Arch) -> Vec<LitmusTest> {
+    catalogue().into_iter().filter(|t| t.arch == arch).collect()
+}
+
+/// Look a test up by name.
+pub fn by_name(name: &str) -> Option<LitmusTest> {
+    catalogue().into_iter().find(|t| t.name == name)
+}
+
+const ENTRIES: &[Entry] = &[
+    // ---------------- MP family (ARM) ----------------
+    t("ARM MP+po+po\nstore(x, 1)\nstore(y, 1)\n---\nr1 = load(y)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect allowed"),
+    t("ARM MP+dmb.sy+po\nstore(x, 1)\ndmb.sy\nstore(y, 1)\n---\nr1 = load(y)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect allowed"),
+    t("ARM MP+po+addr\nstore(x, 1)\nstore(y, 1)\n---\nr1 = load(y)\nr2 = load(x + (r1 - r1))\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect allowed"),
+    t("ARM MP+dmb.sy+addr\nstore(x, 1)\ndmb.sy\nstore(y, 1)\n---\nr1 = load(y)\nr2 = load(x + (r1 - r1))\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
+    t("ARM MP+dmb.sy+dmb.sy\nstore(x, 1)\ndmb.sy\nstore(y, 1)\n---\nr1 = load(y)\ndmb.sy\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
+    t("ARM MP+dmb.sy+dmb.ld\nstore(x, 1)\ndmb.sy\nstore(y, 1)\n---\nr1 = load(y)\ndmb.ld\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
+    t("ARM MP+dmb.sy+dmb.st\nstore(x, 1)\ndmb.sy\nstore(y, 1)\n---\nr1 = load(y)\ndmb.st\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect allowed"),
+    t("ARM MP+dmb.st+addr\nstore(x, 1)\ndmb.st\nstore(y, 1)\n---\nr1 = load(y)\nr2 = load(x + (r1 - r1))\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
+    t("ARM MP+dmb.sy+ctrl\nstore(x, 1)\ndmb.sy\nstore(y, 1)\n---\nr1 = load(y)\nif (r1 == r1) {\nr2 = load(x)\n}\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect allowed"),
+    t("ARM MP+dmb.sy+ctrl-isb\nstore(x, 1)\ndmb.sy\nstore(y, 1)\n---\nr1 = load(y)\nif (r1 == r1) {\nisb\nr2 = load(x)\n}\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
+    t("ARM MP+rel+acq\nstore(x, 1)\nstore_rel(y, 1)\n---\nr1 = load_acq(y)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
+    t("ARM MP+rel+po\nstore(x, 1)\nstore_rel(y, 1)\n---\nr1 = load(y)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect allowed"),
+    t("ARM MP+po+acq\nstore(x, 1)\nstore(y, 1)\n---\nr1 = load_acq(y)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect allowed"),
+    t("ARM MP+rel+addr\nstore(x, 1)\nstore_rel(y, 1)\n---\nr1 = load(y)\nr2 = load(x + (r1 - r1))\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
+    t("ARM MP+rel+wacq\nstore(x, 1)\nstore_rel(y, 1)\n---\nr1 = load_wacq(y)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
+    // ---------------- SB family ----------------
+    t("ARM SB+po+po\nstore(x, 1)\nr1 = load(y)\n---\nstore(y, 1)\nr2 = load(x)\nexists (P0:r1=0 /\\ P1:r2=0)\nexpect allowed"),
+    t("ARM SB+dmb.sy+dmb.sy\nstore(x, 1)\ndmb.sy\nr1 = load(y)\n---\nstore(y, 1)\ndmb.sy\nr2 = load(x)\nexists (P0:r1=0 /\\ P1:r2=0)\nexpect forbidden"),
+    t("ARM SB+dmb.sy+po\nstore(x, 1)\ndmb.sy\nr1 = load(y)\n---\nstore(y, 1)\nr2 = load(x)\nexists (P0:r1=0 /\\ P1:r2=0)\nexpect allowed"),
+    // RCsc: the [RL]; po; [AQ] bob edge orders a strong release before a
+    // program-order-later strong acquire, so SB with rel/acq pairs is
+    // forbidden (unlike C11 release/acquire!).
+    t("ARM SB+rel+acq\nstore_rel(x, 1)\nr1 = load_acq(y)\n---\nstore_rel(y, 1)\nr2 = load_acq(x)\nexists (P0:r1=0 /\\ P1:r2=0)\nexpect forbidden"),
+    // ---------------- LB family ----------------
+    t("ARM LB+po+po\nr1 = load(x)\nstore(y, 1)\n---\nr2 = load(y)\nstore(x, 1)\nexists (P0:r1=1 /\\ P1:r2=1)\nexpect allowed"),
+    t("ARM LB+data+po\nr1 = load(x)\nstore(y, r1)\n---\nr2 = load(y)\nstore(x, 1)\nexists (P0:r1=1 /\\ P1:r2=1)\nexpect allowed"),
+    t("ARM LB+data+data\nr1 = load(x)\nstore(y, r1)\n---\nr2 = load(y)\nstore(x, r2 - r2 + 1)\nexists (P0:r1=1 /\\ P1:r2=1)\nexpect forbidden"),
+    t("ARM LB+addr+addr\nr1 = load(x)\nstore(y + (r1 - r1), 1)\n---\nr2 = load(y)\nstore(x + (r2 - r2), 1)\nexists (P0:r1=1 /\\ P1:r2=1)\nexpect forbidden"),
+    t("ARM LB+ctrl+ctrl\nr1 = load(x)\nif (r1 == r1) {\nstore(y, 1)\n}\n---\nr2 = load(y)\nif (r2 == r2) {\nstore(x, 1)\n}\nexists (P0:r1=1 /\\ P1:r2=1)\nexpect forbidden"),
+    t("ARM LB+dmb.sy+dmb.sy\nr1 = load(x)\ndmb.sy\nstore(y, 1)\n---\nr2 = load(y)\ndmb.sy\nstore(x, 1)\nexists (P0:r1=1 /\\ P1:r2=1)\nexpect forbidden"),
+    t("ARM LB+rel+rel\nr1 = load(x)\nstore_rel(y, 1)\n---\nr2 = load(y)\nstore_rel(x, 1)\nexists (P0:r1=1 /\\ P1:r2=1)\nexpect forbidden"),
+    // ---------------- S and R ----------------
+    t("ARM S+dmb.sy+po\nstore(x, 2)\ndmb.sy\nstore(y, 1)\n---\nr1 = load(y)\nstore(x, 1)\nexists (P1:r1=1 /\\ x=2)\nexpect allowed"),
+    t("ARM S+dmb.sy+data\nstore(x, 2)\ndmb.sy\nstore(y, 1)\n---\nr1 = load(y)\nstore(x, r1 - r1 + 1)\nexists (P1:r1=1 /\\ x=2)\nexpect forbidden"),
+    t("ARM S+dmb.sy+ctrl\nstore(x, 2)\ndmb.sy\nstore(y, 1)\n---\nr1 = load(y)\nif (r1 == r1) {\nstore(x, 1)\n}\nexists (P1:r1=1 /\\ x=2)\nexpect forbidden"),
+    t("ARM R+dmb.sy+dmb.sy\nstore(x, 1)\ndmb.sy\nstore(y, 1)\n---\nstore(y, 2)\ndmb.sy\nr1 = load(x)\nexists (y=2 /\\ P1:r1=0)\nexpect forbidden"),
+    t("ARM R+dmb.sy+po\nstore(x, 1)\ndmb.sy\nstore(y, 1)\n---\nstore(y, 2)\nr1 = load(x)\nexists (y=2 /\\ P1:r1=0)\nexpect allowed"),
+    // ---------------- 2+2W ----------------
+    t("ARM 2+2W+po+po\nstore(x, 1)\nstore(y, 2)\n---\nstore(y, 1)\nstore(x, 2)\nexists (x=1 /\\ y=1)\nexpect allowed"),
+    t("ARM 2+2W+dmb.sy+dmb.sy\nstore(x, 1)\ndmb.sy\nstore(y, 2)\n---\nstore(y, 1)\ndmb.sy\nstore(x, 2)\nexists (x=1 /\\ y=1)\nexpect forbidden"),
+    // ---------------- coherence ----------------
+    t("ARM CoRR\nstore(x, 1)\n---\nr1 = load(x)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
+    t("ARM CoWW\nstore(x, 1)\nstore(x, 2)\nexists (x=1)\nexpect forbidden"),
+    t("ARM CoWR\nstore(x, 1)\nr1 = load(x)\n---\nstore(x, 2)\nexists (P0:r1=0)\nexpect forbidden"),
+    t("ARM CoRW1\nr1 = load(x)\nstore(x, 1)\nexists (P0:r1=1)\nexpect forbidden"),
+    t("ARM CoRW2\nr1 = load(x)\nstore(x, 2)\n---\nstore(x, 1)\nexists (P0:r1=1 /\\ x=1)\nexpect forbidden"),
+    // ---------------- multicopy atomicity (3-4 threads) ----------------
+    t("ARM WRC+po+addr\nstore(x, 1)\n---\nr1 = load(x)\nstore(y, r1)\n---\nr2 = load(y)\nr3 = load(x + (r2 - r2))\nexists (P1:r1=1 /\\ P2:r2=1 /\\ P2:r3=0)\nexpect forbidden"),
+    t("ARM WRC+po+po\nstore(x, 1)\n---\nr1 = load(x)\nstore(y, 1)\n---\nr2 = load(y)\nr3 = load(x)\nexists (P1:r1=1 /\\ P2:r2=1 /\\ P2:r3=0)\nexpect allowed"),
+    t("ARM IRIW+addr+addr\nstore(x, 1)\n---\nstore(y, 1)\n---\nr1 = load(x)\nr2 = load(y + (r1 - r1))\n---\nr3 = load(y)\nr4 = load(x + (r3 - r3))\nexists (P2:r1=1 /\\ P2:r2=0 /\\ P3:r3=1 /\\ P3:r4=0)\nexpect forbidden"),
+    t("ARM IRIW+po+po\nstore(x, 1)\n---\nstore(y, 1)\n---\nr1 = load(x)\nr2 = load(y)\n---\nr3 = load(y)\nr4 = load(x)\nexists (P2:r1=1 /\\ P2:r2=0 /\\ P3:r3=1 /\\ P3:r4=0)\nexpect allowed"),
+    t("ARM ISA2+dmb.sy+addr+addr\nstore(x, 1)\ndmb.sy\nstore(y, 1)\n---\nr1 = load(y)\nstore(z, r1)\n---\nr2 = load(z)\nr3 = load(x + (r2 - r2))\nexists (P1:r1=1 /\\ P2:r2=1 /\\ P2:r3=0)\nexpect forbidden"),
+    // ---------------- forwarding / speculation (§2) ----------------
+    t("ARM PPOCA\nstore(x, 1)\ndmb.sy\nstore(y, 1)\n---\nr0 = load(y)\nif (r0 == 1) {\nstore(z, 1)\nr1 = load(z)\nr2 = load(x + (r1 - r1))\n}\nexists (P1:r0=1 /\\ P1:r1=1 /\\ P1:r2=0)\nexpect allowed"),
+    t("ARM PPOAA\nstore(x, 1)\ndmb.sy\nstore(y, 1)\n---\nr0 = load(y)\nstore(z + (r0 - r0), 1)\nr1 = load(z)\nr2 = load(x + (r1 - r1))\nexists (P1:r0=1 /\\ P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
+    // store forwarding example of §4.1
+    t("ARM MP+dmb.sy+fwd-addr\nstore(x, 37)\ndmb.sy\nstore(y, 42)\n---\nr0 = load(y)\nstore(y, 51)\nr1 = load(y)\nr2 = load(x + (r1 - r1))\nexists (P1:r0=42 /\\ P1:r1=51 /\\ P1:r2=0)\nexpect allowed"),
+    // ---------------- exclusives ----------------
+    t("ARM LDX-STX-atomicity\nr1 = loadx(x)\nr2 = storex(x, 42)\n---\nstore(x, 37)\nstore(x, 51)\nr3 = load(x)\nexists (P0:r1=37 /\\ P0:r2=0 /\\ P1:r3=42)\nexpect forbidden"),
+    t("ARM CAS-both-succeed-lost-update\nr1 = loadx(x)\nr2 = storex(x, r1 + 1)\n---\nr3 = loadx(x)\nr4 = storex(x, r3 + 1)\nexists (P0:r2=0 /\\ P1:r4=0 /\\ x=1)\nexpect forbidden"),
+    t("ARM STX-unpaired-fails\nr2 = storex(x, 1)\nexists (P0:r2=0)\nexpect forbidden"),
+    // §C.1: success-register dependency is NOT ordering on ARM
+    t_noflat("ARM STX-succ-dep-reorder\nr1 = loadx(x)\nr2 = storex(x, r1 + 1)\nstore(p, 1 - r1 - r2)\n---\nr3 = load(p)\ndmb.sy\nr4 = load(x)\nexists (P1:r3=1 /\\ P1:r4=0)\nexpect allowed"),
+    // ---------------- RISC-V ----------------
+    t("RISCV MP+fence.rw.rw+fence.rw.rw\nstore(x, 1)\nfence(rw, rw)\nstore(y, 1)\n---\nr1 = load(y)\nfence(rw, rw)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
+    t("RISCV MP+fence.w.w+addr\nstore(x, 1)\nfence(w, w)\nstore(y, 1)\n---\nr1 = load(y)\nr2 = load(x + (r1 - r1))\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
+    t("RISCV MP+fence.rw.rw+fence.r.rw\nstore(x, 1)\nfence(rw, rw)\nstore(y, 1)\n---\nr1 = load(y)\nfence(r, rw)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
+    t("RISCV SB+fence.tso+fence.tso\nstore(x, 1)\nfence.tso\nr1 = load(y)\n---\nstore(y, 1)\nfence.tso\nr2 = load(x)\nexists (P0:r1=0 /\\ P1:r2=0)\nexpect allowed"),
+    t("RISCV SB+fence.w.r+fence.w.r\nstore(x, 1)\nfence(w, r)\nr1 = load(y)\n---\nstore(y, 1)\nfence(w, r)\nr2 = load(x)\nexists (P0:r1=0 /\\ P1:r2=0)\nexpect forbidden"),
+    t("RISCV MP+fence.tso+addr\nstore(x, 1)\nfence.tso\nstore(y, 1)\n---\nr1 = load(y)\nr2 = load(x + (r1 - r1))\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
+    t("RISCV LB+data+data\nr1 = load(x)\nstore(y, r1)\n---\nr2 = load(y)\nstore(x, r2 - r2 + 1)\nexists (P0:r1=1 /\\ P1:r2=1)\nexpect forbidden"),
+    t("RISCV MP+rel+acq\nstore(x, 1)\nstore_rel(y, 1)\n---\nr1 = load_acq(y)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
+    t("RISCV MP+wrel+acq\nstore(x, 1)\nstore_wrel(y, 1)\n---\nr1 = load_acq(y)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
+    // RISC-V: success-register dependency IS ordering (ρ12)
+    t_noflat("RISCV STX-succ-dep-order\nr1 = loadx(x)\nr2 = storex(x, r1 + 1)\nstore(p, 1 - r1 - r2)\n---\nr3 = load(p)\nfence(rw, rw)\nr4 = load(x)\nexists (P1:r3=1 /\\ P1:r4=0)\nexpect forbidden"),
+    t("RISCV CoRR\nstore(x, 1)\n---\nr1 = load(x)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promising_core::Arch;
+
+    #[test]
+    fn catalogue_parses_and_has_unique_names() {
+        let all = catalogue();
+        assert!(all.len() >= 50, "catalogue has {} tests", all.len());
+        // names are unique per architecture (the same shape may exist for
+        // both ARM and RISC-V)
+        let mut names: Vec<(Arch, &str)> =
+            all.iter().map(|t| (t.arch, t.name.as_str())).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate test names");
+    }
+
+    #[test]
+    fn catalogue_for_filters_by_arch() {
+        let arm = catalogue_for(Arch::Arm);
+        let riscv = catalogue_for(Arch::RiscV);
+        assert!(!arm.is_empty() && !riscv.is_empty());
+        assert!(arm.iter().all(|t| t.arch == Arch::Arm));
+        assert!(riscv.iter().all(|t| t.arch == Arch::RiscV));
+    }
+
+    #[test]
+    fn by_name_finds_tests() {
+        assert!(by_name("MP+dmb.sy+addr").is_some());
+        assert!(by_name("no-such-test").is_none());
+    }
+
+    #[test]
+    fn every_test_has_an_expectation() {
+        assert!(catalogue().iter().all(|t| t.expect.is_some()));
+    }
+}

@@ -1,0 +1,424 @@
+//! The textual litmus format (an assembly-lite analogue of the
+//! herd/litmus format the paper's tool consumes):
+//!
+//! ```text
+//! ARM MP+dmb.sy+addr
+//! { y=0 }                          // optional init section
+//! store(x, 1)
+//! dmb.sy
+//! store(y, 1)
+//! ---
+//! r1 = load(y)
+//! r2 = load(x + (r1 - r1))
+//! exists (P1:r1=1 /\ P1:r2=0)
+//! expect forbidden                 // optional
+//! ```
+
+use crate::test::{Condition, Expectation, LitmusTest, Pred, Quantifier};
+use promising_core::parser::{parse_thread, LocTable, ParseError};
+use promising_core::{Arch, Loc, Program, Reg, Val};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Parse a litmus test from its textual form.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the offending line.
+pub fn parse_litmus(src: &str) -> Result<LitmusTest, ParseError> {
+    let mut lines = src.lines().enumerate().peekable();
+
+    // header: ARCH NAME
+    let (hline, header) = loop {
+        match lines.next() {
+            Some((n, l)) if !l.trim().is_empty() => break (n + 1, l.trim().to_string()),
+            Some(_) => continue,
+            None => {
+                return Err(ParseError {
+                    message: "empty litmus source".into(),
+                    line: 1,
+                })
+            }
+        }
+    };
+    let mut hparts = header.splitn(2, char::is_whitespace);
+    let arch = match hparts.next().unwrap_or("") {
+        "ARM" | "AArch64" => Arch::Arm,
+        "RISCV" | "RISC-V" => Arch::RiscV,
+        other => {
+            return Err(ParseError {
+                message: format!("unknown architecture `{other}` (use ARM or RISCV)"),
+                line: hline,
+            })
+        }
+    };
+    let name = hparts.next().unwrap_or("unnamed").trim().to_string();
+
+    // optional init section { x=1; y=2 }
+    let mut init_src: Option<(usize, String)> = None;
+    if let Some(&(n, l)) = lines.peek() {
+        if l.trim_start().starts_with('{') {
+            init_src = Some((n + 1, l.trim().to_string()));
+            lines.next();
+        }
+    }
+
+    // body: everything until the condition line
+    let mut body = String::new();
+    let mut cond_line: Option<(usize, String)> = None;
+    let mut expect_line: Option<(usize, String)> = None;
+    for (n, l) in lines {
+        let t = l.trim();
+        if t.starts_with("exists") || t.starts_with("forall") {
+            cond_line = Some((n + 1, t.to_string()));
+        } else if t.starts_with("expect") {
+            expect_line = Some((n + 1, t.to_string()));
+        } else if cond_line.is_none() {
+            body.push_str(l);
+            body.push('\n');
+        } else if !t.is_empty() {
+            return Err(ParseError {
+                message: format!("unexpected content after condition: `{t}`"),
+                line: n + 1,
+            });
+        }
+    }
+
+    let mut locs = LocTable::new();
+    let mut threads = Vec::new();
+    for section in split_threads(&body) {
+        threads.push(parse_thread(&section, &mut locs)?);
+    }
+    let program = Program::new(threads);
+
+    let init = match init_src {
+        None => BTreeMap::new(),
+        Some((n, text)) => parse_init(&text, &mut locs, n)?,
+    };
+
+    let condition = match cond_line {
+        None => Condition::trivial(),
+        Some((n, text)) => parse_condition(&text, &mut locs, n)?,
+    };
+
+    let expect = match expect_line {
+        None => None,
+        Some((n, text)) => {
+            let rest = text.trim_start_matches("expect").trim();
+            match rest {
+                "allowed" => Some(Expectation::Allowed),
+                "forbidden" => Some(Expectation::Forbidden),
+                other => {
+                    return Err(ParseError {
+                        message: format!("expect must be allowed/forbidden, got `{other}`"),
+                        line: n,
+                    })
+                }
+            }
+        }
+    };
+
+    Ok(LitmusTest {
+        name,
+        arch,
+        program: Arc::new(program),
+        locs,
+        init,
+        condition,
+        expect,
+        loop_fuel: None,
+        flat_conservative: false,
+    })
+}
+
+fn split_threads(src: &str) -> Vec<String> {
+    let mut sections = vec![String::new()];
+    for line in src.lines() {
+        if line.trim() == "---" {
+            sections.push(String::new());
+        } else {
+            let s = sections.last_mut().expect("non-empty");
+            s.push_str(line);
+            s.push('\n');
+        }
+    }
+    sections
+}
+
+fn parse_init(
+    text: &str,
+    locs: &mut LocTable,
+    line: usize,
+) -> Result<BTreeMap<Loc, Val>, ParseError> {
+    let inner = text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(|| ParseError {
+            message: "init section must be `{ x=1; y=2 }` on one line".into(),
+            line,
+        })?;
+    let mut out = BTreeMap::new();
+    for item in inner.split(';') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        let (name, val) = item.split_once('=').ok_or_else(|| ParseError {
+            message: format!("bad init item `{item}`"),
+            line,
+        })?;
+        let v: i64 = val.trim().parse().map_err(|_| ParseError {
+            message: format!("bad init value `{val}`"),
+            line,
+        })?;
+        out.insert(locs.intern(name.trim()), Val(v));
+    }
+    Ok(out)
+}
+
+/// Parse `exists (P1:r1=1 /\ (P1:r2=0 \/ ~x=2))` / `forall (…)`.
+fn parse_condition(
+    text: &str,
+    locs: &mut LocTable,
+    line: usize,
+) -> Result<Condition, ParseError> {
+    let (quantifier, rest) = if let Some(r) = text.strip_prefix("exists") {
+        (Quantifier::Exists, r)
+    } else if let Some(r) = text.strip_prefix("forall") {
+        (Quantifier::Forall, r)
+    } else {
+        return Err(ParseError {
+            message: "condition must start with exists/forall".into(),
+            line,
+        });
+    };
+    let mut p = CondParser {
+        chars: rest.trim().chars().collect(),
+        pos: 0,
+        locs,
+        line,
+    };
+    let pred = p.or_expr()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(ParseError {
+            message: "trailing input in condition".into(),
+            line,
+        });
+    }
+    Ok(Condition { quantifier, pred })
+}
+
+struct CondParser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    locs: &'a mut LocTable,
+    line: usize,
+}
+
+impl CondParser<'_> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            message: msg.into(),
+            line: self.line,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        let sc: Vec<char> = s.chars().collect();
+        if self.chars[self.pos..].starts_with(&sc) {
+            self.pos += sc.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Pred, ParseError> {
+        let mut parts = vec![self.and_expr()?];
+        while self.eat("\\/") {
+            parts.push(self.and_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Pred::Or(parts)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<Pred, ParseError> {
+        let mut parts = vec![self.atom()?];
+        while self.eat("/\\") {
+            parts.push(self.atom()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Pred::And(parts)
+        })
+    }
+
+    fn atom(&mut self) -> Result<Pred, ParseError> {
+        self.skip_ws();
+        if self.eat("~") {
+            return Ok(Pred::Not(Box::new(self.atom()?)));
+        }
+        if self.eat("(") {
+            let p = self.or_expr()?;
+            if !self.eat(")") {
+                return Err(self.err("expected `)`"));
+            }
+            return Ok(p);
+        }
+        if self.eat("true") {
+            return Ok(Pred::True);
+        }
+        // Pn:rM=v or name=v
+        let start = self.pos;
+        while self.pos < self.chars.len()
+            && (self.chars[self.pos].is_ascii_alphanumeric()
+                || matches!(self.chars[self.pos], '_' | ':' | '.'))
+        {
+            self.pos += 1;
+        }
+        let ident: String = self.chars[start..self.pos].iter().collect();
+        if ident.is_empty() {
+            return Err(self.err("expected condition atom"));
+        }
+        if !self.eat("=") {
+            return Err(self.err(format!("expected `=` after `{ident}`")));
+        }
+        self.skip_ws();
+        let vstart = self.pos;
+        if self.pos < self.chars.len() && self.chars[self.pos] == '-' {
+            self.pos += 1;
+        }
+        while self.pos < self.chars.len() && self.chars[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        let vtext: String = self.chars[vstart..self.pos].iter().collect();
+        let val: i64 = vtext
+            .parse()
+            .map_err(|_| self.err(format!("bad value `{vtext}`")))?;
+
+        if let Some((proc_part, reg_part)) = ident.split_once(':') {
+            let tid: usize = proc_part
+                .strip_prefix('P')
+                .and_then(|d| d.parse().ok())
+                .ok_or_else(|| self.err(format!("bad thread `{proc_part}`")))?;
+            let reg: u32 = reg_part
+                .strip_prefix('r')
+                .and_then(|d| d.parse().ok())
+                .ok_or_else(|| self.err(format!("bad register `{reg_part}`")))?;
+            Ok(Pred::RegEq {
+                tid,
+                reg: Reg(reg),
+                val: Val(val),
+            })
+        } else {
+            Ok(Pred::LocEq {
+                loc: self.locs.intern(&ident),
+                val: Val(val),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MP: &str = "\
+ARM MP+dmb.sy+addr
+store(x, 1)
+dmb.sy
+store(y, 1)
+---
+r1 = load(y)
+r2 = load(x + (r1 - r1))
+exists (P1:r1=1 /\\ P1:r2=0)
+expect forbidden
+";
+
+    #[test]
+    fn parses_full_test() {
+        let t = parse_litmus(MP).unwrap();
+        assert_eq!(t.name, "MP+dmb.sy+addr");
+        assert_eq!(t.arch, Arch::Arm);
+        assert_eq!(t.program.num_threads(), 2);
+        assert_eq!(t.expect, Some(Expectation::Forbidden));
+        assert_eq!(t.condition.quantifier, Quantifier::Exists);
+    }
+
+    #[test]
+    fn parses_init_section() {
+        let src = "RISCV init-test\n{ x=5; y=7 }\nr1 = load(x)\nexists (P0:r1=5)";
+        let t = parse_litmus(src).unwrap();
+        assert_eq!(t.arch, Arch::RiscV);
+        let x = t.locs.get("x").unwrap();
+        let y = t.locs.get("y").unwrap();
+        assert_eq!(t.init.get(&x), Some(&Val(5)));
+        assert_eq!(t.init.get(&y), Some(&Val(7)));
+    }
+
+    #[test]
+    fn parses_memory_conditions_and_connectives() {
+        let src = "ARM t\nstore(x, 1)\nexists (x=1 \\/ (~x=2 /\\ true))";
+        let t = parse_litmus(src).unwrap();
+        match &t.condition.pred {
+            Pred::Or(ps) => assert_eq!(ps.len(), 2),
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forall_conditions_parse() {
+        let src = "ARM t\nstore(x, 1)\nforall (x=1)";
+        let t = parse_litmus(src).unwrap();
+        assert_eq!(t.condition.quantifier, Quantifier::Forall);
+    }
+
+    #[test]
+    fn rejects_unknown_arch() {
+        let src = "X86 t\nstore(x, 1)\nexists (x=1)";
+        assert!(parse_litmus(src).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_after_condition() {
+        let src = "ARM t\nstore(x, 1)\nexists (x=1)\nstore(y, 2)";
+        assert!(parse_litmus(src).is_err());
+    }
+
+    #[test]
+    fn negative_values_in_conditions() {
+        let src = "ARM t\nstore(x, 0 - 3)\nexists (x=-3)";
+        let t = parse_litmus(src).unwrap();
+        assert!(matches!(
+            t.condition.pred,
+            Pred::LocEq { val: Val(-3), .. }
+        ));
+    }
+
+    #[test]
+    fn condition_locations_share_the_program_table() {
+        let src = "ARM t\nstore(x, 1)\n---\nr1 = load(x)\nexists (P1:r1=1 /\\ x=1)";
+        let t = parse_litmus(src).unwrap();
+        // x in the condition is the same Loc as in the program
+        match &t.condition.pred {
+            Pred::And(ps) => match &ps[1] {
+                Pred::LocEq { loc, .. } => assert_eq!(*loc, t.locs.get("x").unwrap()),
+                other => panic!("expected LocEq, got {other:?}"),
+            },
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! Systematic litmus-test generation: classic two-thread shapes crossed
+//! with every applicable fence/dependency/access-strength *link* per edge
+//! — the diy-style suites used to validate the models against each other
+//! at scale (the paper runs ~6,500 ARM and ~7,000 RISC-V tests, §7).
+
+use crate::test::{Condition, LitmusTest, Pred, Quantifier};
+use promising_core::parser::LocTable;
+use promising_core::stmt::CodeBuilder;
+use promising_core::{Arch, Expr, Fence, Loc, Program, ReadKind, Reg, StmtId, Val, WriteKind};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The direction of one access in a shape.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Dir {
+    R,
+    W,
+}
+
+/// A way of strengthening the edge between a thread's two accesses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Link {
+    /// Plain program order.
+    Po,
+    /// A fence between the accesses.
+    Fence(Fence),
+    /// ARM `isb` alone (no control dependency — weak).
+    Isb,
+    /// Address dependency from the first (read) to the second.
+    Addr,
+    /// Data dependency from the first (read) to the second (write).
+    Data,
+    /// Control dependency (branch on the first read).
+    Ctrl,
+    /// Control dependency plus `isb` (ARM only).
+    CtrlIsb,
+    /// Strengthen the first load to acquire.
+    Acq,
+    /// Strengthen the first load to weak acquire.
+    WAcq,
+    /// Strengthen the second store to release.
+    Rel,
+    /// Strengthen the second store to weak release.
+    WRel,
+}
+
+impl Link {
+    fn name(self) -> String {
+        match self {
+            Link::Po => "po".into(),
+            Link::Fence(f) => match f {
+                Fence::FULL => "dmb.sy".into(),
+                Fence::LD => "dmb.ld".into(),
+                Fence::ST => "dmb.st".into(),
+                Fence { pre, post } => format!("fence.{}.{}", set_name(pre), set_name(post)),
+            },
+            Link::Isb => "isb".into(),
+            Link::Addr => "addr".into(),
+            Link::Data => "data".into(),
+            Link::Ctrl => "ctrl".into(),
+            Link::CtrlIsb => "ctrl-isb".into(),
+            Link::Acq => "acq".into(),
+            Link::WAcq => "wacq".into(),
+            Link::Rel => "rel".into(),
+            Link::WRel => "wrel".into(),
+        }
+    }
+
+    /// Is this link applicable between accesses of the given directions?
+    fn applicable(self, first: Dir, second: Dir) -> bool {
+        match self {
+            Link::Po | Link::Fence(_) | Link::Isb => true,
+            Link::Addr => first == Dir::R,
+            Link::Data => first == Dir::R && second == Dir::W,
+            Link::Ctrl | Link::CtrlIsb => first == Dir::R,
+            Link::Acq | Link::WAcq => first == Dir::R,
+            Link::Rel | Link::WRel => second == Dir::W,
+        }
+    }
+}
+
+fn set_name(a: promising_core::AccessSet) -> &'static str {
+    match a {
+        promising_core::AccessSet::R => "r",
+        promising_core::AccessSet::W => "w",
+        promising_core::AccessSet::RW => "rw",
+    }
+}
+
+/// The links exercised for an architecture.
+pub fn links_for(arch: Arch) -> Vec<Link> {
+    match arch {
+        Arch::Arm => vec![
+            Link::Po,
+            Link::Fence(Fence::FULL),
+            Link::Fence(Fence::LD),
+            Link::Fence(Fence::ST),
+            Link::Isb,
+            Link::Addr,
+            Link::Data,
+            Link::Ctrl,
+            Link::CtrlIsb,
+            Link::Acq,
+            Link::WAcq,
+            Link::Rel,
+        ],
+        Arch::RiscV => vec![
+            Link::Po,
+            Link::Fence(Fence::FULL),
+            Link::Fence(Fence::LD),
+            Link::Fence(Fence::ST),
+            Link::Fence(Fence::WR),
+            Link::Fence(Fence::RR),
+            Link::Fence(Fence::RWW),
+            Link::Addr,
+            Link::Data,
+            Link::Ctrl,
+            Link::Acq,
+            Link::Rel,
+            Link::WRel,
+        ],
+    }
+}
+
+/// One access of a shape: direction, location index, value written or
+/// register index reading.
+#[derive(Clone, Copy, Debug)]
+struct Access {
+    dir: Dir,
+    /// Location index (0 = x, 1 = y).
+    loc: usize,
+    /// For writes: the value; for reads: ignored.
+    val: i64,
+}
+
+/// A two-thread shape: two accesses per thread plus the exists-condition.
+struct Shape {
+    name: &'static str,
+    threads: [[Access; 2]; 2],
+    /// Condition atoms: register observations `(tid, reg, val)` and final
+    /// memory constraints `(loc index, val)`.
+    reg_conds: &'static [(usize, u32, i64)],
+    mem_conds: &'static [(usize, i64)],
+}
+
+const R_: fn(usize) -> Access = |loc| Access {
+    dir: Dir::R,
+    loc,
+    val: 0,
+};
+const fn w(loc: usize, val: i64) -> Access {
+    Access {
+        dir: Dir::W,
+        loc,
+        val,
+    }
+}
+
+fn shapes() -> Vec<Shape> {
+    vec![
+        Shape {
+            name: "MP",
+            threads: [[w(0, 1), w(1, 1)], [R_(1), R_(0)]],
+            reg_conds: &[(1, 1, 1), (1, 2, 0)],
+            mem_conds: &[],
+        },
+        Shape {
+            name: "SB",
+            threads: [[w(0, 1), R_(1)], [w(1, 1), R_(0)]],
+            reg_conds: &[(0, 2, 0), (1, 2, 0)],
+            mem_conds: &[],
+        },
+        Shape {
+            name: "LB",
+            threads: [[R_(0), w(1, 1)], [R_(1), w(0, 1)]],
+            reg_conds: &[(0, 1, 1), (1, 1, 1)],
+            mem_conds: &[],
+        },
+        Shape {
+            name: "S",
+            threads: [[w(0, 2), w(1, 1)], [R_(1), w(0, 1)]],
+            reg_conds: &[(1, 1, 1)],
+            mem_conds: &[(0, 2)],
+        },
+        Shape {
+            name: "R",
+            threads: [[w(0, 1), w(1, 1)], [w(1, 2), R_(0)]],
+            reg_conds: &[(1, 2, 0)],
+            mem_conds: &[(1, 2)],
+        },
+        Shape {
+            name: "2+2W",
+            threads: [[w(0, 1), w(1, 2)], [w(1, 1), w(0, 2)]],
+            reg_conds: &[],
+            mem_conds: &[(0, 1), (1, 1)],
+        },
+    ]
+}
+
+/// Registers used by generated threads: first access reads into r1,
+/// second into r2 (writes use no user registers).
+fn build_thread(accs: &[Access; 2], link: Link) -> promising_core::ThreadCode {
+    let mut b = CodeBuilder::new();
+    let mut stmts: Vec<StmtId> = Vec::new();
+
+    let first_reads = accs[0].dir == Dir::R;
+    let first_reg = Reg(1);
+
+    // first access
+    let first_kind = match link {
+        Link::Acq => ReadKind::Acquire,
+        Link::WAcq => ReadKind::WeakAcquire,
+        _ => ReadKind::Plain,
+    };
+    match accs[0].dir {
+        Dir::R => {
+            stmts.push(b.load_kind(first_reg, loc_expr(accs[0].loc), first_kind, false));
+        }
+        Dir::W => {
+            stmts.push(b.store(loc_expr(accs[0].loc), Expr::val(accs[0].val)));
+        }
+    }
+
+    // the link's middle statements
+    match link {
+        Link::Fence(f) => {
+            stmts.push(b.fence(f));
+        }
+        Link::Isb => {
+            stmts.push(b.isb());
+        }
+        _ => {}
+    }
+
+    // second access, possibly transformed by the link
+    let second_reg = Reg(2);
+    let dep = |e: Expr| -> Expr {
+        if first_reads {
+            e.with_dep(first_reg)
+        } else {
+            e
+        }
+    };
+    let second_kind = match link {
+        Link::Rel => WriteKind::Release,
+        Link::WRel => WriteKind::WeakRelease,
+        _ => WriteKind::Plain,
+    };
+    let second = match (accs[1].dir, link) {
+        (Dir::R, Link::Addr) => b.load(second_reg, dep(loc_expr(accs[1].loc))),
+        (Dir::R, _) => b.load(second_reg, loc_expr(accs[1].loc)),
+        (Dir::W, Link::Addr) => {
+            let succ = Reg(900_000); // unused scratch-like register
+            b.store_kind(
+                succ,
+                dep(loc_expr(accs[1].loc)),
+                Expr::val(accs[1].val),
+                second_kind,
+                false,
+            )
+        }
+        (Dir::W, Link::Data) => {
+            let succ = Reg(900_001);
+            b.store_kind(
+                succ,
+                loc_expr(accs[1].loc),
+                dep(Expr::val(accs[1].val)),
+                second_kind,
+                false,
+            )
+        }
+        (Dir::W, _) => {
+            let succ = Reg(900_002);
+            b.store_kind(
+                succ,
+                loc_expr(accs[1].loc),
+                Expr::val(accs[1].val),
+                second_kind,
+                false,
+            )
+        }
+    };
+    match link {
+        Link::Ctrl => {
+            let cond = Expr::reg(first_reg).eq(Expr::reg(first_reg));
+            let body = second;
+            stmts.push(b.if_then(cond, body));
+        }
+        Link::CtrlIsb => {
+            let cond = Expr::reg(first_reg).eq(Expr::reg(first_reg));
+            let i = b.isb();
+            let body = b.then(i, second);
+            stmts.push(b.if_then(cond, body));
+        }
+        _ => stmts.push(second),
+    }
+
+    b.finish_seq(&stmts)
+}
+
+fn loc_expr(idx: usize) -> Expr {
+    Expr::val(idx as i64)
+}
+
+/// Generate the full two-thread suite for `arch`: every shape × every
+/// applicable link pair.
+pub fn generate_suite(arch: Arch) -> Vec<LitmusTest> {
+    let links = links_for(arch);
+    let mut out = Vec::new();
+    for shape in shapes() {
+        for &l0 in &links {
+            if !l0.applicable(shape.threads[0][0].dir, shape.threads[0][1].dir) {
+                continue;
+            }
+            for &l1 in &links {
+                if !l1.applicable(shape.threads[1][0].dir, shape.threads[1][1].dir) {
+                    continue;
+                }
+                let t0 = build_thread(&shape.threads[0], l0);
+                let t1 = build_thread(&shape.threads[1], l1);
+                let mut pred = Pred::True;
+                for &(tid, reg, val) in shape.reg_conds {
+                    pred = pred.and(Pred::RegEq {
+                        tid,
+                        reg: Reg(reg),
+                        val: Val(val),
+                    });
+                }
+                for &(loc, val) in shape.mem_conds {
+                    pred = pred.and(Pred::LocEq {
+                        loc: Loc(loc as u64),
+                        val: Val(val),
+                    });
+                }
+                let mut locs = LocTable::new();
+                locs.intern("x");
+                locs.intern("y");
+                out.push(LitmusTest {
+                    name: format!("{}+{}+{}", shape.name, l0.name(), l1.name()),
+                    arch,
+                    program: Arc::new(Program::new(vec![t0, t1])),
+                    locs,
+                    init: BTreeMap::new(),
+                    condition: Condition {
+                        quantifier: Quantifier::Exists,
+                        pred,
+                    },
+                    expect: None,
+                    loop_fuel: None,
+                    flat_conservative: false,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Three-thread shapes over the *final* edge (the writer chains are
+/// fixed): WRC (write-to-read causality) and ISA2 — the multicopy
+/// atomicity workhorses. The varying link sits on the last thread's
+/// read-read edge.
+pub fn generate_three_thread_suite(arch: Arch) -> Vec<LitmusTest> {
+    let links = links_for(arch);
+    let mut out = Vec::new();
+    for &last_link in &links {
+        if !last_link.applicable(Dir::R, Dir::R) {
+            continue;
+        }
+        for &mid_link in &[Link::Po, Link::Data, Link::Addr] {
+            // WRC: T0: Wx=1 — T1: Rx; δ; Wy=1 — T2: Ry; δ'; Rx
+            let t0 = {
+                let mut b = CodeBuilder::new();
+                let s = b.store(Expr::val(0), Expr::val(1));
+                b.finish_seq(&[s])
+            };
+            let t1 = build_thread(&[R_(0), w(1, 1)], mid_link);
+            let t2 = build_thread(&[R_(1), R_(0)], last_link);
+            let pred = Pred::True
+                .and(Pred::RegEq { tid: 1, reg: Reg(1), val: Val(1) })
+                .and(Pred::RegEq { tid: 2, reg: Reg(1), val: Val(1) })
+                .and(Pred::RegEq { tid: 2, reg: Reg(2), val: Val(0) });
+            let mut locs = LocTable::new();
+            locs.intern("x");
+            locs.intern("y");
+            out.push(LitmusTest {
+                name: format!("WRC+{}+{}", mid_link.name(), last_link.name()),
+                arch,
+                program: Arc::new(Program::new(vec![t0, t1, t2])),
+                locs,
+                init: BTreeMap::new(),
+                condition: Condition {
+                    quantifier: Quantifier::Exists,
+                    pred,
+                },
+                expect: None,
+                loop_fuel: None,
+                flat_conservative: false,
+            });
+        }
+        // ISA2: T0: Wx=1; dmb; Wy=1 — T1: Ry; data; Wz=ry — T2: Rz; δ'; Rx
+        let t0 = {
+            let mut b = CodeBuilder::new();
+            let s1 = b.store(Expr::val(0), Expr::val(1));
+            let f = b.dmb_sy();
+            let s2 = b.store(Expr::val(1), Expr::val(1));
+            b.finish_seq(&[s1, f, s2])
+        };
+        let t1 = {
+            let mut b = CodeBuilder::new();
+            let l = b.load(Reg(1), Expr::val(1));
+            let s = b.store(Expr::val(2), Expr::reg(Reg(1)));
+            b.finish_seq(&[l, s])
+        };
+        let t2 = build_thread(&[R_(2), R_(0)], last_link);
+        let pred = Pred::True
+            .and(Pred::RegEq { tid: 2, reg: Reg(1), val: Val(1) })
+            .and(Pred::RegEq { tid: 2, reg: Reg(2), val: Val(0) });
+        let mut locs = LocTable::new();
+        locs.intern("x");
+        locs.intern("y");
+        locs.intern("z");
+        out.push(LitmusTest {
+            name: format!("ISA2+dmb.sy+data+{}", last_link.name()),
+            arch,
+            program: Arc::new(Program::new(vec![t0, t1, t2])),
+            locs,
+            init: BTreeMap::new(),
+            condition: Condition {
+                quantifier: Quantifier::Exists,
+                pred,
+            },
+            expect: None,
+            loop_fuel: None,
+            flat_conservative: false,
+        });
+    }
+    out
+}
+
+/// A deterministic subsample of the suite (every `stride`-th test,
+/// starting at `offset`) for time-bounded CI runs.
+pub fn generate_subsample(arch: Arch, stride: usize, offset: usize) -> Vec<LitmusTest> {
+    generate_suite(arch)
+        .into_iter()
+        .skip(offset)
+        .step_by(stride.max(1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_are_substantial() {
+        let arm = generate_suite(Arch::Arm);
+        let riscv = generate_suite(Arch::RiscV);
+        assert!(arm.len() >= 300, "ARM suite has {} tests", arm.len());
+        assert!(riscv.len() >= 300, "RISC-V suite has {} tests", riscv.len());
+    }
+
+    #[test]
+    fn names_are_unique_within_a_suite() {
+        let arm = generate_suite(Arch::Arm);
+        let mut names: Vec<&str> = arm.iter().map(|t| t.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn links_respect_applicability() {
+        // no data link on a W→W edge
+        let arm = generate_suite(Arch::Arm);
+        assert!(!arm.iter().any(|t| t.name == "MP+data+po"));
+        assert!(arm.iter().any(|t| t.name == "MP+dmb.sy+addr"));
+        assert!(arm.iter().any(|t| t.name == "LB+data+data"));
+    }
+
+    #[test]
+    fn subsample_is_a_subset() {
+        let all = generate_suite(Arch::Arm);
+        let sub = generate_subsample(Arch::Arm, 10, 3);
+        assert!(sub.len() <= all.len() / 10 + 1);
+        let names: std::collections::BTreeSet<&str> =
+            all.iter().map(|t| t.name.as_str()).collect();
+        assert!(sub.iter().all(|t| names.contains(t.name.as_str())));
+    }
+
+    #[test]
+    fn three_thread_suite_generates_wrc_and_isa2() {
+        for arch in [Arch::Arm, Arch::RiscV] {
+            let suite = generate_three_thread_suite(arch);
+            assert!(suite.len() >= 20, "{arch:?}: {} tests", suite.len());
+            assert!(suite.iter().any(|t| t.name.starts_with("WRC+")));
+            assert!(suite.iter().any(|t| t.name.starts_with("ISA2+")));
+            assert!(suite.iter().all(|t| t.program.num_threads() == 3));
+        }
+    }
+
+    #[test]
+    fn generated_programs_have_two_threads_and_a_condition() {
+        for t in generate_subsample(Arch::RiscV, 25, 0) {
+            assert_eq!(t.program.num_threads(), 2);
+            assert!(!matches!(t.condition.pred, Pred::True));
+        }
+    }
+}

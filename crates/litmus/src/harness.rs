@@ -1,0 +1,262 @@
+//! Run a litmus test under any of the three models and compare outcome
+//! sets — the executable counterpart of the paper's Theorem 6.1 and of its
+//! §7 validation against herd.
+
+use crate::test::LitmusTest;
+use promising_axiomatic::{AxConfig, AxError};
+use promising_core::{Config, Machine, Outcome};
+use promising_explorer::{explore_naive, explore_promise_first, CertMode};
+use promising_flat::{explore_flat, FlatMachine};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Which model to run.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ModelKind {
+    /// Promising-ARM/RISC-V, promise-first search (the paper's tool).
+    Promising,
+    /// Promising-ARM/RISC-V, naive full-interleaving search.
+    PromisingNaive,
+    /// The unified axiomatic model (herd-analogue).
+    Axiomatic,
+    /// The Flat-lite baseline.
+    Flat,
+}
+
+impl ModelKind {
+    /// All four models.
+    pub const ALL: [ModelKind; 4] = [
+        ModelKind::Promising,
+        ModelKind::PromisingNaive,
+        ModelKind::Axiomatic,
+        ModelKind::Flat,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Promising => "promising",
+            ModelKind::PromisingNaive => "promising-naive",
+            ModelKind::Axiomatic => "axiomatic",
+            ModelKind::Flat => "flat",
+        }
+    }
+}
+
+/// Result of running one model on one test.
+#[derive(Clone, Debug)]
+pub struct ModelRun {
+    /// The model.
+    pub kind: ModelKind,
+    /// Its outcome set.
+    pub outcomes: BTreeSet<Outcome>,
+    /// Wall-clock time.
+    pub duration: Duration,
+    /// States visited (0 for the axiomatic model; it counts candidates).
+    pub states: u64,
+}
+
+/// Errors from running a model.
+#[derive(Clone, Debug)]
+pub enum RunError {
+    /// The axiomatic enumeration hit a resource cap.
+    Axiomatic(AxError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Axiomatic(e) => write!(f, "axiomatic enumeration failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<AxError> for RunError {
+    fn from(e: AxError) -> RunError {
+        RunError::Axiomatic(e)
+    }
+}
+
+/// Default loop bound used when the test does not override it.
+pub const DEFAULT_FUEL: u32 = 16;
+
+/// Run `test` under `kind`.
+///
+/// # Errors
+///
+/// Returns a [`RunError`] if the model hits a resource cap.
+pub fn run_model(test: &LitmusTest, kind: ModelKind) -> Result<ModelRun, RunError> {
+    let fuel = test.loop_fuel.unwrap_or(DEFAULT_FUEL);
+    let config = Config::for_arch(test.arch).with_loop_fuel(fuel);
+    let start = Instant::now();
+    let (outcomes, states) = match kind {
+        ModelKind::Promising => {
+            let m = Machine::with_init(test.program.clone(), config, test.init.clone());
+            let e = explore_promise_first(&m);
+            (e.outcomes, e.stats.states)
+        }
+        ModelKind::PromisingNaive => {
+            let m = Machine::with_init(test.program.clone(), config, test.init.clone());
+            let e = explore_naive(&m, CertMode::Online);
+            (e.outcomes, e.stats.states)
+        }
+        ModelKind::Axiomatic => {
+            let mut ax = AxConfig::new(test.arch);
+            ax.loop_fuel = fuel;
+            ax.init = test.init.clone();
+            let r = promising_axiomatic::enumerate_outcomes(&test.program, &ax)?;
+            (r.outcomes, r.stats.candidates)
+        }
+        ModelKind::Flat => {
+            let m = FlatMachine::with_init(test.program.clone(), config, test.init.clone());
+            let e = explore_flat(&m);
+            (e.outcomes, e.stats.states)
+        }
+    };
+    Ok(ModelRun {
+        kind,
+        outcomes,
+        duration: start.elapsed(),
+        states,
+    })
+}
+
+/// Result of a cross-model agreement check.
+#[derive(Clone, Debug)]
+pub struct Agreement {
+    /// The test name.
+    pub test: String,
+    /// Individual runs.
+    pub runs: Vec<ModelRun>,
+    /// Whether every pair of runs produced the same outcome set.
+    pub agree: bool,
+    /// Human-readable description of the first mismatch, if any.
+    pub mismatch: Option<String>,
+}
+
+/// Run `test` under all `kinds` and compare outcome sets. Tests flagged
+/// [`LitmusTest::flat_conservative`] automatically drop the Flat model.
+///
+/// # Errors
+///
+/// Returns a [`RunError`] if some model hits a resource cap.
+pub fn check_agreement(test: &LitmusTest, kinds: &[ModelKind]) -> Result<Agreement, RunError> {
+    let mut runs = Vec::new();
+    for &k in kinds {
+        if test.flat_conservative && k == ModelKind::Flat {
+            continue;
+        }
+        runs.push(run_model(test, k)?);
+    }
+    let mut agree = true;
+    let mut mismatch = None;
+    for pair in runs.windows(2) {
+        if pair[0].outcomes != pair[1].outcomes {
+            agree = false;
+            let only_a: Vec<String> = pair[0]
+                .outcomes
+                .difference(&pair[1].outcomes)
+                .take(3)
+                .map(Outcome::to_string)
+                .collect();
+            let only_b: Vec<String> = pair[1]
+                .outcomes
+                .difference(&pair[0].outcomes)
+                .take(3)
+                .map(Outcome::to_string)
+                .collect();
+            mismatch = Some(format!(
+                "{}: {} vs {}: only-{}: [{}] only-{}: [{}]",
+                test.name,
+                pair[0].kind.name(),
+                pair[1].kind.name(),
+                pair[0].kind.name(),
+                only_a.join(" | "),
+                pair[1].kind.name(),
+                only_b.join(" | "),
+            ));
+            break;
+        }
+    }
+    Ok(Agreement {
+        test: test.name.clone(),
+        runs,
+        agree,
+        mismatch,
+    })
+}
+
+/// Verdict of a single-model run against the test's condition/expectation.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// Whether the condition holds of the outcome set.
+    pub holds: bool,
+    /// Whether that matches the recorded expectation (if any).
+    pub matches_expectation: Option<bool>,
+    /// The underlying run.
+    pub run: ModelRun,
+}
+
+/// Evaluate the test's condition under one model.
+///
+/// # Errors
+///
+/// Returns a [`RunError`] if the model hits a resource cap.
+pub fn evaluate(test: &LitmusTest, kind: ModelKind) -> Result<Verdict, RunError> {
+    let run = run_model(test, kind)?;
+    let (holds, matches_expectation) = test.verdict(&run.outcomes);
+    Ok(Verdict {
+        holds,
+        matches_expectation,
+        run,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::parse_litmus;
+
+    const MP_ADDR: &str = "\
+ARM MP+dmb.sy+addr
+store(x, 1)
+dmb.sy
+store(y, 1)
+---
+r1 = load(y)
+r2 = load(x + (r1 - r1))
+exists (P1:r1=1 /\\ P1:r2=0)
+expect forbidden
+";
+
+    #[test]
+    fn all_four_models_agree_on_mp_addr() {
+        let test = parse_litmus(MP_ADDR).unwrap();
+        let agreement = check_agreement(&test, &ModelKind::ALL).unwrap();
+        assert!(agreement.agree, "{:?}", agreement.mismatch);
+        assert_eq!(agreement.runs.len(), 4);
+    }
+
+    #[test]
+    fn verdict_matches_expectation() {
+        let test = parse_litmus(MP_ADDR).unwrap();
+        let v = evaluate(&test, ModelKind::Promising).unwrap();
+        assert!(!v.holds);
+        assert_eq!(v.matches_expectation, Some(true));
+    }
+
+    #[test]
+    fn flat_conservative_flag_skips_flat() {
+        let mut test = parse_litmus(MP_ADDR).unwrap();
+        test.flat_conservative = true;
+        let agreement = check_agreement(&test, &ModelKind::ALL).unwrap();
+        assert_eq!(agreement.runs.len(), 3);
+        assert!(agreement
+            .runs
+            .iter()
+            .all(|r| r.kind != ModelKind::Flat));
+    }
+}

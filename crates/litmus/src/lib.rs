@@ -1,0 +1,32 @@
+//! Litmus tests for Promising-ARM/RISC-V: a textual format, the classic
+//! named catalogue with architectural expectations, a systematic
+//! diy-style generator, and a harness that runs any test under the
+//! Promising (promise-first or naive), axiomatic, and Flat-lite models
+//! and compares their outcome sets.
+//!
+//! ```
+//! use promising_litmus::{by_name, evaluate, ModelKind};
+//!
+//! let test = by_name("MP+dmb.sy+addr").expect("catalogue test");
+//! let verdict = evaluate(&test, ModelKind::Promising)?;
+//! assert!(!verdict.holds); // the weak outcome is forbidden
+//! assert_eq!(verdict.matches_expectation, Some(true));
+//! # Ok::<(), promising_litmus::RunError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalogue;
+pub mod format;
+pub mod generator;
+pub mod harness;
+pub mod test;
+
+pub use catalogue::{by_name, catalogue, catalogue_for};
+pub use format::parse_litmus;
+pub use generator::{generate_subsample, generate_suite, generate_three_thread_suite, links_for, Link};
+pub use harness::{
+    check_agreement, evaluate, run_model, Agreement, ModelKind, ModelRun, RunError, Verdict,
+    DEFAULT_FUEL,
+};
+pub use test::{Condition, Expectation, LitmusTest, Pred, Quantifier};

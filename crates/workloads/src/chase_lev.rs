@@ -1,0 +1,244 @@
+//! The Chase-Lev work-stealing deque (DQ) in its ARM form (Lê, Pop,
+//! Cohen, Zappa Nardelli — PPoPP 2013): the owner pushes and pops at the
+//! bottom; thieves steal from the top with a CAS; the owner's pop uses the
+//! famous full fence between publishing the decremented bottom and reading
+//! the top.
+
+use crate::util::{record_value, Checker, Workload};
+use promising_core::stmt::CodeBuilder;
+use promising_core::{Expr, Loc, Outcome, Program, Reg, StmtId};
+use std::sync::Arc;
+
+const BOTTOM: Loc = Loc(0);
+const TOP: Loc = Loc(1);
+const ARR: i64 = 10;
+
+/// Owner op counts: `a` pushes, `b` pops, `c` pushes (`abc` naming).
+pub use crate::treiber::Ops;
+
+fn arr_at(e: Expr) -> Expr {
+    Expr::val(ARR).add(e)
+}
+
+fn push(b: &mut CodeBuilder, local_bottom: Reg, value: i64, optimised: bool) -> StmtId {
+    let st = b.store(arr_at(Expr::reg(local_bottom)), Expr::val(value));
+    let publish = if optimised {
+        // dmb.st + plain store: W→W ordering only, enough because thieves
+        // acquire-read bottom
+        let f = b.dmb_st();
+        let pb = b.store(
+            Expr::val(BOTTOM.0 as i64),
+            Expr::reg(local_bottom).add(Expr::val(1)),
+        );
+        b.seq(&[f, pb])
+    } else {
+        b.store_rel(
+            Expr::val(BOTTOM.0 as i64),
+            Expr::reg(local_bottom).add(Expr::val(1)),
+        )
+    };
+    let bump = b.assign(
+        local_bottom,
+        Expr::reg(local_bottom).add(Expr::val(1)),
+    );
+    b.seq(&[st, publish, bump])
+}
+
+fn pop(b: &mut CodeBuilder, local_bottom: Reg) -> StmtId {
+    let bm1 = Reg(11);
+    let t = Reg(12);
+    let v = Reg(13);
+    let dec = b.assign(bm1, Expr::reg(local_bottom).sub(Expr::val(1)));
+    let stb = b.store(Expr::val(BOTTOM.0 as i64), Expr::reg(bm1));
+    let fence = b.dmb_sy();
+    let ldt = b.load(t, Expr::val(TOP.0 as i64));
+    // t < b-1: plain take
+    let take = {
+        let getv = b.load(v, arr_at(Expr::reg(bm1)));
+        let rec = record_value(b, Expr::reg(v));
+        let setb = b.assign(local_bottom, Expr::reg(bm1));
+        b.seq(&[getv, rec, setb])
+    };
+    // t == b-1: last element, race the thieves with CAS(top, t -> t+1)
+    let race = {
+        let getv = b.load(v, arr_at(Expr::reg(bm1)));
+        let ldx = b.load_excl(Reg(14), Expr::val(TOP.0 as i64));
+        let stx = b.store_excl(
+            Reg(15),
+            Expr::val(TOP.0 as i64),
+            Expr::reg(t).add(Expr::val(1)),
+        );
+        let rec = record_value(b, Expr::reg(v));
+        let won = b.if_then(Expr::reg(Reg(15)).eq(Expr::val(0)), rec);
+        let attempt = b.seq(&[stx, won]);
+        let guard = b.if_then(Expr::reg(Reg(14)).eq(Expr::reg(t)), attempt);
+        let restore = b.store(
+            Expr::val(BOTTOM.0 as i64),
+            Expr::reg(bm1).add(Expr::val(1)),
+        );
+        let keep = b.assign(local_bottom, Expr::reg(bm1).add(Expr::val(1)));
+        b.seq(&[getv, ldx, guard, restore, keep])
+    };
+    // t > b-1: empty, restore bottom
+    let empty = {
+        let restore = b.store(
+            Expr::val(BOTTOM.0 as i64),
+            Expr::reg(bm1).add(Expr::val(1)),
+        );
+        let keep = b.assign(local_bottom, Expr::reg(bm1).add(Expr::val(1)));
+        b.seq(&[restore, keep])
+    };
+    let non_plain = b.if_else(Expr::reg(t).eq(Expr::reg(bm1)), race, empty);
+    let branch = b.if_else(Expr::reg(t).lt(Expr::reg(bm1)), take, non_plain);
+    b.seq(&[dec, stb, fence, ldt, branch])
+}
+
+fn steal(b: &mut CodeBuilder) -> StmtId {
+    let t = Reg(11);
+    let bo = Reg(12);
+    let v = Reg(13);
+    let ldt = b.load_acq(t, Expr::val(TOP.0 as i64));
+    let fence = b.dmb_sy();
+    let ldb = b.load_acq(bo, Expr::val(BOTTOM.0 as i64));
+    let attempt = {
+        let getv = b.load(v, arr_at(Expr::reg(t)));
+        let ldx = b.load_excl(Reg(14), Expr::val(TOP.0 as i64));
+        let stx = b.store_excl(
+            Reg(15),
+            Expr::val(TOP.0 as i64),
+            Expr::reg(t).add(Expr::val(1)),
+        );
+        let rec = record_value(b, Expr::reg(v));
+        let won = b.if_then(Expr::reg(Reg(15)).eq(Expr::val(0)), rec);
+        let cas = b.seq(&[stx, won]);
+        let guard = b.if_then(Expr::reg(Reg(14)).eq(Expr::reg(t)), cas);
+        b.seq(&[getv, ldx, guard])
+    };
+    let nonempty = b.if_then(Expr::reg(t).lt(Expr::reg(bo)), attempt);
+    b.seq(&[ldt, fence, ldb, nonempty])
+}
+
+/// DQ-abc-d-e: the owner pushes `a`, pops `b`, pushes `c`; two thieves
+/// make `d` and `e` steal attempts.
+pub fn chase_lev(owner: Ops, d: u32, e: u32, optimised: bool) -> Workload {
+    let Ops(a, bp, c) = owner;
+    let mut pushed: Vec<i64> = Vec::new();
+    let owner_thread = {
+        let mut b = CodeBuilder::new();
+        let local_bottom = Reg(10);
+        let mut stmts = vec![b.assign(local_bottom, Expr::val(0))];
+        let mut op = 0i64;
+        for _ in 0..a {
+            let value = 100 + op + 1;
+            pushed.push(value);
+            stmts.push(push(&mut b, local_bottom, value, optimised));
+            op += 1;
+        }
+        for _ in 0..bp {
+            stmts.push(pop(&mut b, local_bottom));
+        }
+        for _ in 0..c {
+            let value = 100 + op + 1;
+            pushed.push(value);
+            stmts.push(push(&mut b, local_bottom, value, optimised));
+            op += 1;
+        }
+        b.finish_seq(&stmts)
+    };
+    let thief = |attempts: u32| {
+        let mut b = CodeBuilder::new();
+        let stmts: Vec<StmtId> = (0..attempts).map(|_| steal(&mut b)).collect();
+        b.finish_seq(&stmts)
+    };
+
+    let total = pushed.len();
+    let (psum, psumsq): (i64, i64) = pushed.iter().fold((0, 0), |(s, q), v| (s + v, q + v * v));
+    let check: Checker = Arc::new(move |o: &Outcome| {
+        let top = o.loc(TOP).0;
+        let bottom = o.loc(BOTTOM).0;
+        if !(0..=total as i64).contains(&top) || !(0..=total as i64).contains(&bottom) {
+            return Err(format!("index corruption: top = {top}, bottom = {bottom}"));
+        }
+        let mut rem_sum = 0;
+        let mut rem_sumsq = 0;
+        for i in top..bottom {
+            let v = o.loc(Loc((ARR + i) as u64)).0;
+            rem_sum += v;
+            rem_sumsq += v * v;
+        }
+        let mut got_sum = rem_sum;
+        let mut got_sumsq = rem_sumsq;
+        let mut taken = 0;
+        for t in 0..3 {
+            let (s, q, ops) = crate::util::observed(o, t);
+            got_sum += s;
+            got_sumsq += q;
+            taken += ops;
+        }
+        if (got_sum, got_sumsq) != (psum, psumsq) {
+            return Err(format!(
+                "element conservation violated: taken+remaining ({got_sum}, {got_sumsq}) ≠ pushed ({psum}, {psumsq})"
+            ));
+        }
+        if taken + (bottom - top).max(0) != total as i64 {
+            return Err(format!(
+                "element count violated: {taken} taken + {} remaining ≠ {total}",
+                (bottom - top).max(0)
+            ));
+        }
+        Ok(())
+    });
+
+    let mut shared = vec![BOTTOM, TOP];
+    shared.extend((0..total as u64).map(|i| Loc(ARR as u64 + i)));
+    Workload {
+        name: format!(
+            "DQ{}-{a}{bp}{c}-{d}-{e}",
+            if optimised { "(opt)" } else { "" }
+        ),
+        family: "DQ",
+        program: Arc::new(Program::new(vec![owner_thread, thief(d), thief(e)])),
+        shared,
+        loop_fuel: 4 * (a + bp + c).max(1),
+        check,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promising_core::{Arch, Machine};
+    use promising_explorer::explore;
+
+    fn run_and_check(w: &Workload) {
+        let m = Machine::new(w.program.clone(), w.config(Arch::Arm));
+        let exp = explore(&m);
+        assert!(!exp.outcomes.is_empty(), "{}: no outcomes", w.name);
+        let violations = w.violations(&exp.outcomes);
+        assert!(violations.is_empty(), "{}: {violations:?}", w.name);
+    }
+
+    #[test]
+    fn push_then_steal() {
+        run_and_check(&chase_lev(Ops(1, 0, 0), 1, 0, false));
+    }
+
+    #[test]
+    fn push_pop_against_thief() {
+        run_and_check(&chase_lev(Ops(1, 1, 0), 1, 0, false));
+    }
+
+    #[test]
+    fn optimised_variant_correct() {
+        run_and_check(&chase_lev(Ops(1, 0, 0), 1, 0, true));
+    }
+
+    #[test]
+    fn metadata() {
+        let w = chase_lev(Ops(2, 1, 1), 2, 1, false);
+        assert_eq!(w.name, "DQ-211-2-1");
+        assert_eq!(w.num_threads(), 3);
+        let w = chase_lev(Ops(1, 1, 0), 1, 0, true);
+        assert_eq!(w.name, "DQ(opt)-110-1-0");
+    }
+}

@@ -1,0 +1,313 @@
+//! The Michael & Scott queue (QU) — the paper's §8 case study. Three
+//! variants:
+//!
+//! * **conservative** — acquire loads and a release publish everywhere;
+//! * **optimised** — the §8 experiment: acquire loads weakened to plain
+//!   loads where address dependencies already order the dereference
+//!   (unsound in C++, sound under ARM);
+//! * **buggy** — the §8 bug: the publish CAS (writing the predecessor's
+//!   `next` field) is *not* a release, so the element can be published
+//!   before its data is written, and a dequeuer can read uninitialised
+//!   data — the "incorrect state" the paper's tool finds in ~2 minutes.
+
+use crate::util::{record_value, regs, Checker, Workload};
+use promising_core::stmt::CodeBuilder;
+use promising_core::{Expr, Loc, Outcome, Program, Reg, StmtId, Val};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const HEAD: Loc = Loc(0);
+const TAIL: Loc = Loc(1);
+const DUMMY: i64 = 10;
+const ARENA: i64 = 12;
+const MAX_OPS: usize = 3;
+
+/// Ordering discipline of a queue build.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// Acquire/release everywhere.
+    Conservative,
+    /// Address-dependency-justified plain loads (§8 optimisation).
+    Optimised,
+    /// Publication CAS is not a release: the paper's bug.
+    Buggy,
+}
+
+/// Per-thread op counts: `a` enqueues, `b` dequeues, `c` enqueues.
+pub use crate::treiber::Ops;
+
+fn node_addr(tid: usize, op: usize) -> i64 {
+    ARENA + ((tid * MAX_OPS + op) * 2) as i64
+}
+
+/// Single-shot CAS attempt on `loc`: if its current (exclusive) read
+/// equals `expected`, try to store `new`. Failure is ignored.
+fn cas_once(
+    b: &mut CodeBuilder,
+    loc: Expr,
+    expected: Expr,
+    new: Expr,
+    tmp: Reg,
+    succ: Reg,
+) -> StmtId {
+    let ld = b.load_excl(tmp, loc.clone());
+    let stx = b.store_excl(succ, loc, new);
+    let guard = b.if_then(Expr::reg(tmp).eq(expected), stx);
+    b.seq(&[ld, guard])
+}
+
+fn enqueue(b: &mut CodeBuilder, tid: usize, op: usize, value: i64, variant: Variant) -> StmtId {
+    let node = node_addr(tid, op);
+    let t = Reg(11);
+    let tn = Reg(12);
+    let data = b.store(Expr::val(node), Expr::val(value));
+    let init = b.assign(regs::T0, Expr::val(0));
+    // t = load TAIL (acquire in the conservative variant; the optimised
+    // variant relies on the address dependency t → t+1)
+    let ld_tail = match variant {
+        Variant::Conservative => b.load_acq(t, Expr::val(TAIL.0 as i64)),
+        Variant::Optimised | Variant::Buggy => b.load(t, Expr::val(TAIL.0 as i64)),
+    };
+    let ld_next = b.load(tn, Expr::reg(t).add(Expr::val(1)));
+    // try to link: CAS(t.next, 0 -> node); publish must be a release
+    // except in the buggy variant
+    let ldx = b.load_excl(regs::T1, Expr::reg(t).add(Expr::val(1)));
+    let stx = match variant {
+        Variant::Buggy => b.store_excl(regs::T2, Expr::reg(t).add(Expr::val(1)), Expr::val(node)),
+        _ => b.store_excl_rel(regs::T2, Expr::reg(t).add(Expr::val(1)), Expr::val(node)),
+    };
+    let swing = cas_once(
+        b,
+        Expr::val(TAIL.0 as i64),
+        Expr::reg(t),
+        Expr::val(node),
+        Reg(13),
+        Reg(14),
+    );
+    let set = b.assign(regs::T0, Expr::val(1));
+    let linked = b.seq(&[swing, set]);
+    let won = b.if_then(Expr::reg(regs::T2).eq(Expr::val(0)), linked);
+    let try_link = b.seq(&[ldx, stx, won]);
+    let link_if_null = b.if_then(Expr::reg(regs::T1).eq(Expr::val(0)), try_link);
+    // tail was behind: help swing it forward
+    let help = cas_once(
+        b,
+        Expr::val(TAIL.0 as i64),
+        Expr::reg(t),
+        Expr::reg(tn),
+        Reg(13),
+        Reg(14),
+    );
+    let branch = b.if_else(Expr::reg(tn).eq(Expr::val(0)), link_if_null, help);
+    let body = b.seq(&[ld_tail, ld_next, branch]);
+    let w = b.while_loop(Expr::reg(regs::T0).eq(Expr::val(0)), body);
+    b.seq(&[data, init, w])
+}
+
+fn dequeue(b: &mut CodeBuilder, variant: Variant) -> StmtId {
+    let h = Reg(11);
+    let t = Reg(12);
+    let hn = Reg(13);
+    let v = Reg(14);
+    let init = b.assign(regs::T0, Expr::val(0));
+    let ld_head = b.load_acq(h, Expr::val(HEAD.0 as i64));
+    let ld_tail = match variant {
+        Variant::Conservative => b.load_acq(t, Expr::val(TAIL.0 as i64)),
+        _ => b.load(t, Expr::val(TAIL.0 as i64)),
+    };
+    // next-of-head: the dereference of hn is address-dependent, so the
+    // optimised (and buggy) variants read it plain
+    let ld_next = match variant {
+        Variant::Conservative => b.load_acq(hn, Expr::reg(h).add(Expr::val(1))),
+        _ => b.load(hn, Expr::reg(h).add(Expr::val(1))),
+    };
+    // empty: h == t and h.next == 0
+    let done = b.assign(regs::T0, Expr::val(1));
+    let help = cas_once(
+        b,
+        Expr::val(TAIL.0 as i64),
+        Expr::reg(t),
+        Expr::reg(hn),
+        Reg(15),
+        Reg(16),
+    );
+    let empty_or_help = b.if_else(Expr::reg(hn).eq(Expr::val(0)), done, help);
+    // non-empty: read the value of h.next (address-dependent), then
+    // CAS(head, h -> hn); record the value only if the CAS wins
+    let pop_branch = {
+        let getv = b.load(v, Expr::reg(hn));
+        let ldx = b.load_excl(Reg(15), Expr::val(HEAD.0 as i64));
+        let stx = b.store_excl(Reg(16), Expr::val(HEAD.0 as i64), Expr::reg(hn));
+        let rec = record_value(b, Expr::reg(v));
+        let set = b.assign(regs::T0, Expr::val(1));
+        let taken = b.seq(&[rec, set]);
+        let won = b.if_then(Expr::reg(Reg(16)).eq(Expr::val(0)), taken);
+        let attempt = b.seq(&[stx, won]);
+        let guard = b.if_then(Expr::reg(Reg(15)).eq(Expr::reg(h)), attempt);
+        let body = b.seq(&[getv, ldx, guard]);
+        b.if_then(Expr::reg(hn).ne(Expr::val(0)), body)
+    };
+    let branch = b.if_else(Expr::reg(h).eq(Expr::reg(t)), empty_or_help, pop_branch);
+    let body = b.seq(&[ld_head, ld_tail, ld_next, branch]);
+    let w = b.while_loop(Expr::reg(regs::T0).eq(Expr::val(0)), body);
+    b.seq(&[init, w])
+}
+
+/// Build a QU workload from per-thread `abc` specs.
+pub fn michael_scott(specs: &[Ops], variant: Variant) -> Workload {
+    let mut threads = Vec::new();
+    let mut enqueued: Vec<i64> = Vec::new();
+    for (tid, &Ops(a, bp, c)) in specs.iter().enumerate() {
+        let mut b = CodeBuilder::new();
+        let mut stmts = Vec::new();
+        let mut op = 0;
+        for _ in 0..a {
+            let value = (tid as i64 + 1) * 10 + op as i64 + 1;
+            enqueued.push(value);
+            stmts.push(enqueue(&mut b, tid, op, value, variant));
+            op += 1;
+        }
+        for _ in 0..bp {
+            stmts.push(dequeue(&mut b, variant));
+        }
+        for _ in 0..c {
+            let value = (tid as i64 + 1) * 10 + op as i64 + 1;
+            enqueued.push(value);
+            stmts.push(enqueue(&mut b, tid, op, value, variant));
+            op += 1;
+        }
+        assert!(op <= MAX_OPS, "arena too small for spec");
+        threads.push(b.finish_seq(&stmts));
+    }
+    let n_threads = threads.len();
+    let total = enqueued.len();
+    let (esum, esumsq): (i64, i64) = enqueued.iter().fold((0, 0), |(s, q), v| (s + v, q + v * v));
+
+    let check: Checker = Arc::new(move |o: &Outcome| {
+        for t in 0..n_threads {
+            let (s, q, ops) = crate::util::observed(o, t);
+            // a zero value contributes nothing to sum but bumps ops; catch
+            // the §8 bug (dequeue of published-but-unwritten data) directly
+            if ops > 0 && s == 0 {
+                return Err(format!("thread {t} dequeued uninitialised data (value 0)"));
+            }
+            let _ = q;
+        }
+        // conservation: dequeued + remaining = enqueued
+        let mut rem_sum = 0;
+        let mut rem_sumsq = 0;
+        let mut cur = o.loc(HEAD).0;
+        let mut steps = 0;
+        loop {
+            let next = o.loc(Loc(cur as u64 + 1)).0;
+            if next == 0 {
+                break;
+            }
+            steps += 1;
+            if steps > total + 1 {
+                return Err("queue is cyclic or over-long".to_string());
+            }
+            let v = o.loc(Loc(next as u64)).0;
+            if v == 0 {
+                return Err(format!("queue node {next} holds uninitialised data"));
+            }
+            rem_sum += v;
+            rem_sumsq += v * v;
+            cur = next;
+        }
+        let mut got_sum = rem_sum;
+        let mut got_sumsq = rem_sumsq;
+        for t in 0..n_threads {
+            let (s, q, _) = crate::util::observed(o, t);
+            got_sum += s;
+            got_sumsq += q;
+        }
+        if (got_sum, got_sumsq) != (esum, esumsq) {
+            return Err(format!(
+                "element conservation violated: dequeued+remaining ({got_sum}, {got_sumsq}) ≠ enqueued ({esum}, {esumsq})"
+            ));
+        }
+        Ok(())
+    });
+
+    let suffix: Vec<String> = specs.iter().map(|o| format!("{}{}{}", o.0, o.1, o.2)).collect();
+    let tag = match variant {
+        Variant::Conservative => "",
+        Variant::Optimised => "(opt)",
+        Variant::Buggy => "(buggy)",
+    };
+    let mut shared = vec![HEAD, TAIL, Loc(DUMMY as u64), Loc(DUMMY as u64 + 1)];
+    shared.extend(
+        (0..(n_threads * MAX_OPS * 2) as u64).map(|i| Loc(ARENA as u64 + i)),
+    );
+    let max_ops = specs.iter().map(|&Ops(a, bp, c)| a + bp + c).max().unwrap_or(1);
+    Workload {
+        name: format!("QU{tag}-{}", suffix.join("-")),
+        family: "QU",
+        program: Arc::new(Program::new(threads)),
+        shared,
+        loop_fuel: 4 * max_ops.max(1),
+        check,
+    }
+}
+
+/// The initial memory for a QU machine: head and tail point at the dummy
+/// node.
+pub fn qu_init() -> BTreeMap<Loc, Val> {
+    BTreeMap::from([(HEAD, Val(DUMMY)), (TAIL, Val(DUMMY))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promising_core::{Arch, Machine};
+    use promising_explorer::explore;
+
+    fn run(w: &Workload) -> std::collections::BTreeSet<Outcome> {
+        let m = Machine::with_init(w.program.clone(), w.config(Arch::Arm), qu_init());
+        explore(&m).outcomes
+    }
+
+    #[test]
+    fn enqueue_dequeue_single_thread() {
+        let w = michael_scott(&[Ops(1, 1, 0)], Variant::Conservative);
+        let outcomes = run(&w);
+        assert!(!outcomes.is_empty());
+        assert!(w.violations(&outcomes).is_empty());
+        // the single dequeue must return the enqueued value 11
+        assert!(outcomes
+            .iter()
+            .all(|o| crate::util::observed(o, 0) == (11, 121, 1)));
+    }
+
+    #[test]
+    fn concurrent_enqueue_dequeue_correct() {
+        let w = michael_scott(&[Ops(1, 0, 0), Ops(0, 1, 0)], Variant::Conservative);
+        let outcomes = run(&w);
+        assert!(!outcomes.is_empty());
+        let violations = w.violations(&outcomes);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn optimised_variant_still_correct() {
+        let w = michael_scott(&[Ops(1, 0, 0), Ops(0, 1, 0)], Variant::Optimised);
+        let outcomes = run(&w);
+        assert!(!outcomes.is_empty());
+        let violations = w.violations(&outcomes);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn buggy_variant_found_incorrect_as_in_the_paper() {
+        // §8: with the publish weakened from release to relaxed, the tool
+        // reports an execution where the dequeuer reads value 0.
+        let w = michael_scott(&[Ops(1, 0, 0), Ops(0, 1, 0)], Variant::Buggy);
+        let outcomes = run(&w);
+        let violations = w.violations(&outcomes);
+        assert!(
+            violations.iter().any(|v| v.contains("uninitialised")),
+            "the publication bug must be detected: {violations:?}"
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! Producer–consumer circular queues: PCS (single producer, single
+//! consumer — index-per-side, release/acquire) and PCM (single producer,
+//! multiple consumers — consumers race on `head` with CAS).
+
+use crate::util::{record_value, regs, Checker, Workload};
+use promising_core::stmt::CodeBuilder;
+use promising_core::{Expr, Loc, Program, Reg, StmtId, Val};
+use std::sync::Arc;
+
+const HEAD: Loc = Loc(0);
+const TAIL: Loc = Loc(1);
+const BUF: u64 = 10;
+
+/// Positional order accumulator (PCS checks FIFO order, not just the
+/// multiset).
+const ORD: Reg = Reg(23);
+
+fn buf_at(index: Expr, size: i64) -> Expr {
+    Expr::val(BUF as i64).add(index.rem(Expr::val(size)))
+}
+
+/// PCS-n-m: producer enqueues values `1..=n` into a circular buffer of
+/// size 2; the consumer dequeues `m` values, recording them in order.
+pub fn pcs(n: u32, m: u32) -> Workload {
+    let size = 2i64;
+    // producer: local tail index in r10
+    let producer = {
+        let mut b = CodeBuilder::new();
+        let t = Reg(10);
+        let mut stmts = vec![b.assign(t, Expr::val(0))];
+        for i in 1..=n {
+            // wait while (t - head >= size)
+            let h = regs::T0;
+            let ld = b.load_acq(h, Expr::val(HEAD.0 as i64));
+            let ld2 = b.load_acq(h, Expr::val(HEAD.0 as i64));
+            let full = |b: &Expr| {
+                Expr::val(size).le(Expr::reg(t).sub(b.clone()))
+            };
+            let w = b.while_loop(full(&Expr::reg(h)), ld2);
+            let st = b.store(buf_at(Expr::reg(t), size), Expr::val(i as i64));
+            let pubt = b.store_rel(
+                Expr::val(TAIL.0 as i64),
+                Expr::reg(t).add(Expr::val(1)),
+            );
+            let bump = b.assign(t, Expr::reg(t).add(Expr::val(1)));
+            stmts.extend([ld, w, st, pubt, bump]);
+        }
+        b.finish_seq(&stmts)
+    };
+    // consumer: local head index in r10, order checksum in ORD
+    let consumer = {
+        let mut b = CodeBuilder::new();
+        let h = Reg(10);
+        let mut stmts = vec![b.assign(h, Expr::val(0)), b.assign(ORD, Expr::val(0))];
+        for _ in 0..m {
+            let t = regs::T0;
+            let ld = b.load_acq(t, Expr::val(TAIL.0 as i64));
+            let ld2 = b.load_acq(t, Expr::val(TAIL.0 as i64));
+            let w = b.while_loop(Expr::reg(t).le(Expr::reg(h)), ld2);
+            let v = regs::T1;
+            let get = b.load(v, buf_at(Expr::reg(h), size));
+            let rec = record_value(&mut b, Expr::reg(v));
+            let ord = b.assign(
+                ORD,
+                Expr::reg(ORD)
+                    .mul(Expr::val(n as i64 + 1))
+                    .add(Expr::reg(v)),
+            );
+            let pubh = b.store_rel(
+                Expr::val(HEAD.0 as i64),
+                Expr::reg(h).add(Expr::val(1)),
+            );
+            let bump = b.assign(h, Expr::reg(h).add(Expr::val(1)));
+            stmts.extend([ld, w, get, rec, ord, pubh, bump]);
+        }
+        b.finish_seq(&stmts)
+    };
+
+    let expect_ord: i64 = (1..=m as i64).fold(0, |acc, i| acc * (n as i64 + 1) + i);
+    let (esum, esumsq) = sums(1, m as i64);
+    let check: Checker = Arc::new(move |o| {
+        let (sum, sumsq, ops) = crate::util::observed(o, 1);
+        if (sum, sumsq, ops) != (esum, esumsq, m as i64) {
+            return Err(format!(
+                "consumer observed wrong multiset: ({sum}, {sumsq}, {ops}) ≠ ({esum}, {esumsq}, {m})"
+            ));
+        }
+        if o.reg(1, ORD) != Val(expect_ord) {
+            return Err(format!(
+                "FIFO order violated: order code {} ≠ {expect_ord}",
+                o.reg(1, ORD)
+            ));
+        }
+        Ok(())
+    });
+    let mut shared = vec![HEAD, TAIL];
+    shared.extend((0..size as u64).map(|i| Loc(BUF + i)));
+    Workload {
+        name: format!("PCS-{n}-{m}"),
+        family: "PCS",
+        program: Arc::new(Program::new(vec![producer, consumer])),
+        shared,
+        loop_fuel: 4 * n.max(m).max(1),
+        check,
+    }
+}
+
+/// PCM-n-a-b: one producer enqueues `1..=n` (buffer large enough not to
+/// wrap); two consumers make `a` and `b` single-shot dequeue *attempts*
+/// (an attempt may find the queue empty or lose the `head` CAS).
+pub fn pcm(n: u32, a: u32, b_attempts: u32) -> Workload {
+    let size = n.max(1) as i64; // no wraparound: sidesteps ABA on head
+    let producer = {
+        let mut b = CodeBuilder::new();
+        let t = Reg(10);
+        let mut stmts = vec![b.assign(t, Expr::val(0))];
+        for i in 1..=n {
+            let st = b.store(buf_at(Expr::reg(t), size), Expr::val(i as i64));
+            let pubt = b.store_rel(
+                Expr::val(TAIL.0 as i64),
+                Expr::reg(t).add(Expr::val(1)),
+            );
+            let bump = b.assign(t, Expr::reg(t).add(Expr::val(1)));
+            stmts.extend([st, pubt, bump]);
+        }
+        b.finish_seq(&stmts)
+    };
+    let consumer = |attempts: u32| {
+        let mut b = CodeBuilder::new();
+        let mut stmts: Vec<StmtId> = Vec::new();
+        for _ in 0..attempts {
+            let t = regs::T0;
+            let h = regs::T1;
+            let succ = regs::T2;
+            let v = regs::T3;
+            let ldt = b.load_acq(t, Expr::val(TAIL.0 as i64));
+            let ldh = b.load_excl_acq(h, Expr::val(HEAD.0 as i64));
+            let get = b.load(v, buf_at(Expr::reg(h), size));
+            let stx = b.store_excl(
+                succ,
+                Expr::val(HEAD.0 as i64),
+                Expr::reg(h).add(Expr::val(1)),
+            );
+            let rec = record_value(&mut b, Expr::reg(v));
+            let won = b.if_then(Expr::reg(succ).eq(Expr::val(0)), rec);
+            let try_pop = b.seq(&[get, stx, won]);
+            let nonempty = b.if_then(Expr::reg(h).lt(Expr::reg(t)), try_pop);
+            stmts.extend([ldt, ldh, nonempty]);
+        }
+        b.finish_seq(&stmts)
+    };
+    let check: Checker = Arc::new(move |o| {
+        // conservation: consumed multiset ⊎ remaining = produced
+        let (s1, q1, c1) = crate::util::observed(o, 1);
+        let (s2, q2, c2) = crate::util::observed(o, 2);
+        let head = o.loc(HEAD).0;
+        let tail = o.loc(TAIL).0;
+        if !(0..=tail).contains(&head) || tail != n as i64 {
+            return Err(format!("index corruption: head = {head}, tail = {tail}"));
+        }
+        let mut rem_sum = 0;
+        let mut rem_sumsq = 0;
+        for i in head..tail {
+            let v = o.loc(Loc(BUF + (i % size) as u64)).0;
+            rem_sum += v;
+            rem_sumsq += v * v;
+        }
+        let (esum, esumsq) = sums(1, n as i64);
+        if s1 + s2 + rem_sum != esum
+            || q1 + q2 + rem_sumsq != esumsq
+            || c1 + c2 != head
+        {
+            return Err(format!(
+                "conservation violated: consumed ({s1}+{s2}, {q1}+{q2}, {c1}+{c2}) + rest ({rem_sum}, {rem_sumsq}) ≠ produced ({esum}, {esumsq}, head {head})"
+            ));
+        }
+        Ok(())
+    });
+    let mut shared = vec![HEAD, TAIL];
+    shared.extend((0..size as u64).map(|i| Loc(BUF + i)));
+    Workload {
+        name: format!("PCM-{n}-{a}-{b_attempts}"),
+        family: "PCM",
+        program: Arc::new(Program::new(vec![
+            producer,
+            consumer(a),
+            consumer(b_attempts),
+        ])),
+        shared,
+        loop_fuel: 4 * n.max(1),
+        check,
+    }
+}
+
+fn sums(from: i64, to: i64) -> (i64, i64) {
+    let mut s = 0;
+    let mut q = 0;
+    for v in from..=to {
+        s += v;
+        q += v * v;
+    }
+    (s, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promising_core::{Arch, Machine};
+    use promising_explorer::explore;
+
+    fn run_and_check(w: &Workload) {
+        let m = Machine::new(w.program.clone(), w.config(Arch::Arm));
+        let exp = explore(&m);
+        assert!(!exp.outcomes.is_empty(), "{}: no outcomes", w.name);
+        let violations = w.violations(&exp.outcomes);
+        assert!(violations.is_empty(), "{}: {violations:?}", w.name);
+    }
+
+    #[test]
+    fn pcs_1_1_is_correct() {
+        run_and_check(&pcs(1, 1));
+    }
+
+    #[test]
+    fn pcs_2_2_is_correct() {
+        run_and_check(&pcs(2, 2));
+    }
+
+    #[test]
+    fn pcm_1_1_1_is_correct() {
+        run_and_check(&pcm(1, 1, 1));
+    }
+
+    #[test]
+    fn metadata() {
+        assert_eq!(pcs(3, 3).num_threads(), 2);
+        assert_eq!(pcm(2, 2, 2).num_threads(), 3);
+        assert_eq!(pcs(3, 3).name, "PCS-3-3");
+        assert_eq!(pcm(3, 3, 3).name, "PCM-3-3-3");
+    }
+}

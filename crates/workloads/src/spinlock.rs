@@ -1,0 +1,156 @@
+//! The three spinlock variants of §8: SLA (assembly-style, the Linux
+//! kernel spinlock example), SLC (C++ exchange-based) and SLR (Rust
+//! test-and-CAS). Each thread acquires the lock once, increments a shared
+//! counter in the critical section, and releases; the checker verifies
+//! mutual exclusion (no lost increment).
+
+use crate::util::{regs, spin_lock_cas, spin_unlock, Checker, Workload};
+use promising_core::stmt::CodeBuilder;
+use promising_core::{Expr, Loc, Program, Reg, StmtId, Val};
+use std::sync::Arc;
+
+const LOCK: Loc = Loc(0);
+const COUNTER: Loc = Loc(1);
+
+fn critical_section(b: &mut CodeBuilder) -> StmtId {
+    let ld = b.load(regs::T3, Expr::val(COUNTER.0 as i64));
+    let st = b.store(
+        Expr::val(COUNTER.0 as i64),
+        Expr::reg(regs::T3).add(Expr::val(1)),
+    );
+    b.seq(&[ld, st])
+}
+
+fn counter_checker(threads: usize) -> Checker {
+    Arc::new(move |o| {
+        if o.loc(COUNTER) == Val(threads as i64) {
+            Ok(())
+        } else {
+            Err(format!(
+                "mutual exclusion violated: counter = {} after {} increments",
+                o.loc(COUNTER),
+                threads
+            ))
+        }
+    })
+}
+
+fn bundle(name: String, family: &'static str, threads: Vec<promising_core::ThreadCode>, fuel: u32) -> Workload {
+    let n = threads.len();
+    Workload {
+        name,
+        family,
+        program: Arc::new(Program::new(threads)),
+        shared: vec![LOCK, COUNTER],
+        loop_fuel: fuel,
+        check: counter_checker(n),
+    }
+}
+
+/// SLA-n: the assembly-style spinlock (paired `ldaxr`/`stxr` loop, release
+/// store unlock), two threads, spin bound `n`.
+pub fn sla(n: u32) -> Workload {
+    let mk = || {
+        let mut b = CodeBuilder::new();
+        let acq = spin_lock_cas(&mut b, LOCK, regs::T0, regs::T1, regs::T2);
+        let cs = critical_section(&mut b);
+        let rel = spin_unlock(&mut b, LOCK);
+        b.finish_seq(&[acq, cs, rel])
+    };
+    bundle(format!("SLA-{n}"), "SLA", vec![mk(), mk()], n)
+}
+
+/// SLC-n: the C++ spinlock — acquire by atomic exchange
+/// (`swap(lock, 1)` until the old value is 0), which writes even when the
+/// lock is held; three threads.
+pub fn slc(n: u32) -> Workload {
+    let mk = || {
+        let mut b = CodeBuilder::new();
+        // flag = 0; while (flag == 0) { old = ldaxr lock; succ = stxr lock, 1;
+        //   if (succ == 0 && old == 0) flag = 1 }
+        let init = b.assign(regs::T0, Expr::val(0));
+        let ld = b.load_excl_acq(regs::T1, Expr::val(LOCK.0 as i64));
+        let stx = b.store_excl(regs::T2, Expr::val(LOCK.0 as i64), Expr::val(1));
+        let set = b.assign(regs::T0, Expr::val(1));
+        let won = Expr::reg(regs::T2)
+            .eq(Expr::val(0))
+            .mul(Expr::reg(regs::T1).eq(Expr::val(0)));
+        let cond = b.if_then(won, set);
+        let body = b.seq(&[ld, stx, cond]);
+        let w = b.while_loop(Expr::reg(regs::T0).eq(Expr::val(0)), body);
+        let cs = critical_section(&mut b);
+        let rel = spin_unlock(&mut b, LOCK);
+        b.finish_seq(&[init, w, cs, rel])
+    };
+    bundle(format!("SLC-{n}"), "SLC", vec![mk(), mk(), mk()], n)
+}
+
+/// SLR-n: the Rust spinlock — test-and-test-and-set: spin on a plain load
+/// until the lock looks free, then CAS; three threads.
+pub fn slr(n: u32) -> Workload {
+    let mk = || {
+        let mut b = CodeBuilder::new();
+        let init = b.assign(regs::T0, Expr::val(0));
+        // inner: observe free with a plain load first
+        let observe = b.load(Reg(5), Expr::val(LOCK.0 as i64));
+        let ld = b.load_excl_acq(regs::T1, Expr::val(LOCK.0 as i64));
+        let stx = b.store_excl(regs::T2, Expr::val(LOCK.0 as i64), Expr::val(1));
+        let set = b.assign(regs::T0, Expr::val(1));
+        let won = Expr::reg(regs::T2)
+            .eq(Expr::val(0))
+            .mul(Expr::reg(regs::T1).eq(Expr::val(0)));
+        let cond = b.if_then(won, set);
+        let cas = b.seq(&[ld, stx, cond]);
+        let try_cas = b.if_then(Expr::reg(Reg(5)).eq(Expr::val(0)), cas);
+        let body = b.seq(&[observe, try_cas]);
+        let w = b.while_loop(Expr::reg(regs::T0).eq(Expr::val(0)), body);
+        let cs = critical_section(&mut b);
+        let rel = spin_unlock(&mut b, LOCK);
+        b.finish_seq(&[init, w, cs, rel])
+    };
+    bundle(format!("SLR-{n}"), "SLR", vec![mk(), mk(), mk()], n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promising_core::{Arch, Machine};
+    use promising_explorer::explore;
+
+    fn run_and_check(w: &Workload) {
+        let m = Machine::new(w.program.clone(), w.config(Arch::Arm));
+        let exp = explore(&m);
+        assert!(
+            !exp.outcomes.is_empty(),
+            "{}: no complete execution within the bound",
+            w.name
+        );
+        let violations = w.violations(&exp.outcomes);
+        assert!(violations.is_empty(), "{}: {:?}", w.name, violations);
+    }
+
+    #[test]
+    fn sla_small_is_correct() {
+        run_and_check(&sla(2));
+    }
+
+    #[test]
+    fn slc_small_is_correct() {
+        run_and_check(&slc(1));
+    }
+
+    #[test]
+    fn slr_small_is_correct() {
+        run_and_check(&slr(1));
+    }
+
+    #[test]
+    fn workload_metadata_is_sensible() {
+        let w = sla(3);
+        assert_eq!(w.num_threads(), 2);
+        assert!(w.instruction_count() >= 10);
+        assert_eq!(w.name, "SLA-3");
+        let w = slc(2);
+        assert_eq!(w.num_threads(), 3);
+    }
+}

@@ -1,0 +1,99 @@
+//! The ticket lock (TL): fetch-and-add a ticket from `next`, spin until
+//! `owner` equals the ticket, then release by publishing `ticket + 1`.
+
+use crate::util::{fetch_add, regs, spin_until_eq, Checker, Workload};
+use promising_core::stmt::CodeBuilder;
+use promising_core::{Expr, Loc, Program, Reg, Val};
+use std::sync::Arc;
+
+const NEXT: Loc = Loc(0);
+const OWNER: Loc = Loc(1);
+const COUNTER: Loc = Loc(2);
+
+/// TL-n: three threads each acquire the ticket lock once, increment the
+/// shared counter, and release; `n` bounds the acquire/spin loops.
+pub fn ticket_lock(n: u32) -> Workload {
+    let ticket = Reg(10);
+    let mk = || {
+        let mut b = CodeBuilder::new();
+        let take = fetch_add(&mut b, NEXT, 1, ticket, regs::T0, regs::T1);
+        let wait = spin_until_eq(&mut b, OWNER, ticket, regs::T2);
+        let ld = b.load(regs::T3, Expr::val(COUNTER.0 as i64));
+        let st = b.store(
+            Expr::val(COUNTER.0 as i64),
+            Expr::reg(regs::T3).add(Expr::val(1)),
+        );
+        let rel = b.store_rel(
+            Expr::val(OWNER.0 as i64),
+            Expr::reg(ticket).add(Expr::val(1)),
+        );
+        b.finish_seq(&[take, wait, ld, st, rel])
+    };
+    let threads = vec![mk(), mk(), mk()];
+    let count = threads.len() as i64;
+    let check: Checker = Arc::new(move |o| {
+        if o.loc(COUNTER) != Val(count) {
+            return Err(format!(
+                "ticket lock mutual exclusion violated: counter = {}",
+                o.loc(COUNTER)
+            ));
+        }
+        if o.loc(NEXT) != Val(count) || o.loc(OWNER) != Val(count) {
+            return Err(format!(
+                "ticket bookkeeping corrupt: next = {}, owner = {}",
+                o.loc(NEXT),
+                o.loc(OWNER)
+            ));
+        }
+        Ok(())
+    });
+    Workload {
+        name: format!("TL-{n}"),
+        family: "TL",
+        program: Arc::new(Program::new(threads)),
+        shared: vec![NEXT, OWNER, COUNTER],
+        // spinning for the owner can take several lock handovers: scale
+        // the bound so completed handovers fit
+        loop_fuel: 3 * n.max(2),
+        check,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promising_core::{Arch, Machine};
+    use promising_explorer::explore;
+
+    #[test]
+    fn two_thread_variant_is_correct() {
+        // use a cut-down two-thread version for the unit test; the full
+        // TL-n rows run in the benchmark harness
+        let w = ticket_lock(1);
+        let two = Workload {
+            program: Arc::new(Program::new(
+                w.program.threads()[..2].to_vec(),
+            )),
+            check: Arc::new(|o| {
+                if o.loc(COUNTER) == Val(2) {
+                    Ok(())
+                } else {
+                    Err(format!("counter = {}", o.loc(COUNTER)))
+                }
+            }),
+            ..w
+        };
+        let m = Machine::new(two.program.clone(), two.config(Arch::Arm));
+        let exp = explore(&m);
+        assert!(!exp.outcomes.is_empty());
+        let violations = two.violations(&exp.outcomes);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn metadata() {
+        let w = ticket_lock(2);
+        assert_eq!(w.num_threads(), 3);
+        assert_eq!(w.family, "TL");
+    }
+}

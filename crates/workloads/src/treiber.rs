@@ -1,0 +1,228 @@
+//! The Treiber stack (STC: C++ flavour, STR: Rust flavour), with the
+//! ARM-optimised `(opt)` variants of §8: acquire loads weakened to plain
+//! loads where an address dependency already provides the ordering —
+//! unsound in the source language, sound under the hardware model.
+
+use crate::util::{record_value, regs, Checker, Workload};
+use promising_core::stmt::CodeBuilder;
+use promising_core::{Expr, Loc, Outcome, Program, Reg, StmtId};
+use std::sync::Arc;
+
+const HEAD: Loc = Loc(0);
+const ARENA: u64 = 10;
+const MAX_OPS: usize = 4;
+
+fn node_addr(tid: usize, op: usize) -> i64 {
+    (ARENA + ((tid * MAX_OPS + op) * 2) as u64) as i64
+}
+
+/// Operation counts per thread: `a` pushes, then `b` pops, then `c`
+/// pushes (the paper's `abc` digit naming).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ops(pub u32, pub u32, pub u32);
+
+impl Ops {
+    /// Parse a digit triple like `210`.
+    pub fn parse(s: &str) -> Option<Ops> {
+        let d: Vec<u32> = s.chars().map(|c| c.to_digit(10)).collect::<Option<_>>()?;
+        if d.len() != 3 {
+            return None;
+        }
+        Some(Ops(d[0], d[1], d[2]))
+    }
+}
+
+fn push(b: &mut CodeBuilder, tid: usize, op: usize, value: i64, acquire_head: bool) -> StmtId {
+    let node = node_addr(tid, op);
+    let data = b.store(Expr::val(node), Expr::val(value));
+    let init = b.assign(regs::T0, Expr::val(0));
+    let h = Reg(11);
+    let ld = if acquire_head {
+        b.load_excl_acq(h, Expr::val(HEAD.0 as i64))
+    } else {
+        b.load_excl(h, Expr::val(HEAD.0 as i64))
+    };
+    let setnext = b.store(Expr::val(node + 1), Expr::reg(h));
+    let stx = b.store_excl_rel(regs::T1, Expr::val(HEAD.0 as i64), Expr::val(node));
+    let set = b.assign(regs::T0, Expr::val(1));
+    let won = b.if_then(Expr::reg(regs::T1).eq(Expr::val(0)), set);
+    let body = b.seq(&[ld, setnext, stx, won]);
+    let w = b.while_loop(Expr::reg(regs::T0).eq(Expr::val(0)), body);
+    b.seq(&[data, init, w])
+}
+
+fn pop(b: &mut CodeBuilder, value_before_cas: bool) -> StmtId {
+    let init = b.assign(regs::T0, Expr::val(0));
+    let h = Reg(11);
+    let n = Reg(12);
+    let v = Reg(13);
+    let ld = b.load_excl_acq(h, Expr::val(HEAD.0 as i64));
+    let empty = b.assign(regs::T0, Expr::val(1));
+    let getnext = b.load(n, Expr::reg(h).add(Expr::val(1)));
+    let stx = b.store_excl(regs::T1, Expr::val(HEAD.0 as i64), Expr::reg(n));
+    let getv = b.load(v, Expr::reg(h));
+    let rec = record_value(b, Expr::reg(v));
+    let set = b.assign(regs::T0, Expr::val(1));
+    let taken = if value_before_cas {
+        // STR flavour: read the value before attempting the CAS
+        let inner = b.seq(&[rec, set]);
+        let won = b.if_then(Expr::reg(regs::T1).eq(Expr::val(0)), inner);
+        b.seq(&[getnext, getv, stx, won])
+    } else {
+        // STC flavour: read the value only after winning the CAS
+        let inner = b.seq(&[getv, rec, set]);
+        let won = b.if_then(Expr::reg(regs::T1).eq(Expr::val(0)), inner);
+        b.seq(&[getnext, stx, won])
+    };
+    let branch = b.if_else(Expr::reg(h).eq(Expr::val(0)), empty, taken);
+    let body = b.seq(&[ld, branch]);
+    let w = b.while_loop(Expr::reg(regs::T0).eq(Expr::val(0)), body);
+    b.seq(&[init, w])
+}
+
+fn build(
+    name: String,
+    family: &'static str,
+    specs: &[Ops],
+    rust_flavour: bool,
+    optimised: bool,
+) -> Workload {
+    let mut threads = Vec::new();
+    let mut pushed: Vec<i64> = Vec::new();
+    for (tid, &Ops(a, bp, c)) in specs.iter().enumerate() {
+        let mut b = CodeBuilder::new();
+        let mut stmts = Vec::new();
+        let mut op = 0;
+        for _ in 0..a {
+            let value = (tid as i64 + 1) * 10 + op as i64 + 1;
+            pushed.push(value);
+            stmts.push(push(&mut b, tid, op, value, !optimised));
+            op += 1;
+        }
+        for _ in 0..bp {
+            stmts.push(pop(&mut b, rust_flavour));
+        }
+        for _ in 0..c {
+            let value = (tid as i64 + 1) * 10 + op as i64 + 1;
+            pushed.push(value);
+            stmts.push(push(&mut b, tid, op, value, !optimised));
+            op += 1;
+        }
+        assert!(op <= MAX_OPS, "arena too small for spec");
+        threads.push(b.finish_seq(&stmts));
+    }
+    let n_threads = threads.len();
+    let total_pushes = pushed.len();
+    let (psum, psumsq): (i64, i64) = pushed.iter().fold((0, 0), |(s, q), v| (s + v, q + v * v));
+
+    let check: Checker = Arc::new(move |o: &Outcome| {
+        // walk the remaining stack
+        let mut rem_sum = 0;
+        let mut rem_sumsq = 0;
+        let mut cur = o.loc(HEAD).0;
+        let mut steps = 0;
+        while cur != 0 {
+            steps += 1;
+            if steps > total_pushes + 1 {
+                return Err("stack is cyclic or over-long".to_string());
+            }
+            let v = o.loc(Loc(cur as u64)).0;
+            if v == 0 {
+                return Err(format!("node {cur} holds uninitialised data"));
+            }
+            rem_sum += v;
+            rem_sumsq += v * v;
+            cur = o.loc(Loc(cur as u64 + 1)).0;
+        }
+        let mut got_sum = rem_sum;
+        let mut got_sumsq = rem_sumsq;
+        for t in 0..n_threads {
+            let (s, q, _) = crate::util::observed(o, t);
+            got_sum += s;
+            got_sumsq += q;
+        }
+        if (got_sum, got_sumsq) != (psum, psumsq) {
+            return Err(format!(
+                "element conservation violated: popped+remaining ({got_sum}, {got_sumsq}) ≠ pushed ({psum}, {psumsq})"
+            ));
+        }
+        Ok(())
+    });
+
+    let mut shared = vec![HEAD];
+    shared.extend((0..(n_threads * MAX_OPS * 2) as u64).map(|i| Loc(ARENA + i)));
+    let max_ops = specs.iter().map(|&Ops(a, bp, c)| a + bp + c).max().unwrap_or(1);
+    Workload {
+        name,
+        family,
+        program: Arc::new(Program::new(threads)),
+        shared,
+        loop_fuel: 3 * max_ops.max(1),
+        check,
+    }
+}
+
+/// STC: the C++ Treiber stack. `specs` gives the per-thread `abc` op
+/// counts; `optimised` selects the §8 ARM-optimised variant.
+pub fn stc(specs: &[Ops], optimised: bool) -> Workload {
+    let suffix: Vec<String> = specs.iter().map(|o| format!("{}{}{}", o.0, o.1, o.2)).collect();
+    let name = format!(
+        "STC{}-{}",
+        if optimised { "(opt)" } else { "" },
+        suffix.join("-")
+    );
+    build(name, "STC", specs, false, optimised)
+}
+
+/// STR: the Rust Treiber stack (reads the value before the CAS).
+pub fn str_stack(specs: &[Ops], optimised: bool) -> Workload {
+    let suffix: Vec<String> = specs.iter().map(|o| format!("{}{}{}", o.0, o.1, o.2)).collect();
+    let name = format!(
+        "STR{}-{}",
+        if optimised { "(opt)" } else { "" },
+        suffix.join("-")
+    );
+    build(name, "STR", specs, true, optimised)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promising_core::{Arch, Machine};
+    use promising_explorer::explore;
+
+    fn run_and_check(w: &Workload) {
+        let m = Machine::new(w.program.clone(), w.config(Arch::Arm));
+        let exp = explore(&m);
+        assert!(!exp.outcomes.is_empty(), "{}: no outcomes", w.name);
+        let violations = w.violations(&exp.outcomes);
+        assert!(violations.is_empty(), "{}: {violations:?}", w.name);
+    }
+
+    #[test]
+    fn push_then_pop_single_thread() {
+        run_and_check(&stc(&[Ops(1, 1, 0)], false));
+    }
+
+    #[test]
+    fn producer_and_consumer_threads() {
+        run_and_check(&stc(&[Ops(1, 0, 0), Ops(0, 1, 0)], false));
+    }
+
+    #[test]
+    fn optimised_variant_still_correct() {
+        run_and_check(&stc(&[Ops(1, 0, 0), Ops(0, 1, 0)], true));
+    }
+
+    #[test]
+    fn rust_flavour_correct() {
+        run_and_check(&str_stack(&[Ops(1, 0, 0), Ops(0, 1, 0)], false));
+    }
+
+    #[test]
+    fn ops_parsing() {
+        assert_eq!(Ops::parse("210"), Some(Ops(2, 1, 0)));
+        assert_eq!(Ops::parse("10"), None);
+        assert_eq!(Ops::parse("abc"), None);
+    }
+}

@@ -1,0 +1,240 @@
+//! Shared building blocks for the §8 workloads: CAS loops, fetch-and-add,
+//! spin-acquire, and the `Workload` bundle the harness and benchmark
+//! tables consume.
+
+use promising_core::stmt::CodeBuilder;
+use promising_core::{Config, Expr, Loc, Outcome, Program, Reg, StmtId};
+use std::fmt;
+use std::sync::Arc;
+
+/// A checker: `Ok(())` for a correct final state, `Err(description)` for a
+/// violation (the "incorrect states" the paper's tool reports).
+pub type Checker = Arc<dyn Fn(&Outcome) -> Result<(), String> + Send + Sync>;
+
+/// A packaged evaluation workload.
+#[derive(Clone)]
+pub struct Workload {
+    /// Paper-style name (e.g. `SLA-7`, `QU-100-010-000`).
+    pub name: String,
+    /// Which datastructure family it belongs to (Table 1 row).
+    pub family: &'static str,
+    /// The program.
+    pub program: Arc<Program>,
+    /// Locations genuinely shared between threads (§7 optimisation); all
+    /// other locations are thread-private.
+    pub shared: Vec<Loc>,
+    /// Loop bound.
+    pub loop_fuel: u32,
+    /// Correctness predicate on final states.
+    pub check: Checker,
+}
+
+impl Workload {
+    /// The model configuration for running this workload (with the
+    /// shared-location optimisation on).
+    pub fn config(&self, arch: promising_core::Arch) -> Config {
+        Config::for_arch(arch)
+            .with_loop_fuel(self.loop_fuel)
+            .with_shared_locs(self.shared.iter().copied())
+    }
+
+    /// The configuration without the shared-location optimisation (for the
+    /// ablation benchmarks and for the Flat baseline, which has no such
+    /// optimisation).
+    pub fn config_unshared(&self, arch: promising_core::Arch) -> Config {
+        Config::for_arch(arch).with_loop_fuel(self.loop_fuel)
+    }
+
+    /// Threads in the program (Table 1's `Ts`).
+    pub fn num_threads(&self) -> usize {
+        self.program.num_threads()
+    }
+
+    /// Instruction count (Table 1's `LOC` analogue).
+    pub fn instruction_count(&self) -> usize {
+        self.program.instruction_count()
+    }
+
+    /// Check every outcome, returning the violations.
+    pub fn violations(&self, outcomes: &std::collections::BTreeSet<Outcome>) -> Vec<String> {
+        outcomes
+            .iter()
+            .filter_map(|o| (self.check)(o).err().map(|e| format!("{e} in [{o}]")))
+            .collect()
+    }
+}
+
+impl fmt::Debug for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("threads", &self.num_threads())
+            .field("instructions", &self.instruction_count())
+            .finish()
+    }
+}
+
+/// Per-thread register conventions used across the workloads.
+pub mod regs {
+    use promising_core::Reg;
+
+    /// Scratch registers (loop flags, temporaries).
+    pub const T0: Reg = Reg(1);
+    /// Scratch.
+    pub const T1: Reg = Reg(2);
+    /// Scratch.
+    pub const T2: Reg = Reg(3);
+    /// Scratch.
+    pub const T3: Reg = Reg(4);
+    /// Accumulator: sum of observed values.
+    pub const SUM: Reg = Reg(20);
+    /// Accumulator: sum of squares of observed values.
+    pub const SUMSQ: Reg = Reg(21);
+    /// Count of successful operations.
+    pub const OPS: Reg = Reg(22);
+}
+
+/// Emit `SUM += v; SUMSQ += v*v; OPS += 1` for an observed value in `v`.
+/// The (sum, sum-of-squares, count) triple identifies the small distinct
+/// value multisets the workloads use, so checkers can verify conservation
+/// without reading thread-private memory.
+pub fn record_value(b: &mut CodeBuilder, v: Expr) -> StmtId {
+    let s1 = b.assign(regs::SUM, Expr::reg(regs::SUM).add(v.clone()));
+    let s2 = b.assign(regs::SUMSQ, Expr::reg(regs::SUMSQ).add(v.clone().mul(v)));
+    let s3 = b.assign(regs::OPS, Expr::reg(regs::OPS).add(Expr::val(1)));
+    b.seq(&[s1, s2, s3])
+}
+
+/// Emit a bounded CAS-acquire spin: loop until `lock` is observed 0 by a
+/// load exclusive (with `acq` ordering) and the paired store exclusive of
+/// 1 succeeds. Uses `flag` as the loop flag register and `tmp`/`succ` as
+/// scratch.
+pub fn spin_lock_cas(
+    b: &mut CodeBuilder,
+    lock: Loc,
+    flag: Reg,
+    tmp: Reg,
+    succ: Reg,
+) -> StmtId {
+    let init = b.assign(flag, Expr::val(0));
+    let ld = b.load_excl_acq(tmp, Expr::val(lock.0 as i64));
+    let stx = b.store_excl(succ, Expr::val(lock.0 as i64), Expr::val(1));
+    let set = b.assign(flag, Expr::val(1));
+    let on_success = b.if_then(Expr::reg(succ).eq(Expr::val(0)), set);
+    let try_stx = b.seq(&[stx, on_success]);
+    let if_free = b.if_then(Expr::reg(tmp).eq(Expr::val(0)), try_stx);
+    let body = b.seq(&[ld, if_free]);
+    let w = b.while_loop(Expr::reg(flag).eq(Expr::val(0)), body);
+    b.seq(&[init, w])
+}
+
+/// Release the lock: `store_rel(lock, 0)`.
+pub fn spin_unlock(b: &mut CodeBuilder, lock: Loc) -> StmtId {
+    b.store_rel(Expr::val(lock.0 as i64), Expr::val(0))
+}
+
+/// Emit a bounded fetch-and-add loop: atomically `out := loc; loc += n`
+/// via a load-exclusive/store-exclusive retry loop.
+pub fn fetch_add(
+    b: &mut CodeBuilder,
+    loc: Loc,
+    n: i64,
+    out: Reg,
+    flag: Reg,
+    succ: Reg,
+) -> StmtId {
+    let init = b.assign(flag, Expr::val(0));
+    let ld = b.load_excl(out, Expr::val(loc.0 as i64));
+    let stx = b.store_excl(
+        succ,
+        Expr::val(loc.0 as i64),
+        Expr::reg(out).add(Expr::val(n)),
+    );
+    let set = b.assign(flag, Expr::val(1));
+    let on_success = b.if_then(Expr::reg(succ).eq(Expr::val(0)), set);
+    let body = b.seq(&[ld, stx, on_success]);
+    let w = b.while_loop(Expr::reg(flag).eq(Expr::val(0)), body);
+    b.seq(&[init, w])
+}
+
+/// Emit a bounded spin `while (load_acq(loc) != reg) {}` (ticket-lock
+/// wait). `tmp` receives the loaded value.
+pub fn spin_until_eq(b: &mut CodeBuilder, loc: Loc, reg: Reg, tmp: Reg) -> StmtId {
+    let ld0 = b.load_acq(tmp, Expr::val(loc.0 as i64));
+    let ld = b.load_acq(tmp, Expr::val(loc.0 as i64));
+    let w = b.while_loop(Expr::reg(tmp).ne(Expr::reg(reg)), ld);
+    b.seq(&[ld0, w])
+}
+
+/// Decode a `(sum, sumsq, ops)` observation triple from an outcome.
+pub fn observed(o: &Outcome, tid: usize) -> (i64, i64, i64) {
+    (
+        o.reg(tid, regs::SUM).0,
+        o.reg(tid, regs::SUMSQ).0,
+        o.reg(tid, regs::OPS).0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promising_core::{Machine, TId};
+    use promising_explorer::explore;
+
+    #[test]
+    fn fetch_add_is_atomic_across_threads() {
+        // two threads fetch-add the same counter; with retries bounded,
+        // completed executions must show counter = 2 and distinct tickets.
+        let mk = || {
+            let mut b = CodeBuilder::new();
+            let fa = fetch_add(&mut b, Loc(0), 1, regs::SUM, regs::T0, regs::T1);
+            b.finish_seq(&[fa])
+        };
+        let program = Arc::new(Program::new(vec![mk(), mk()]));
+        let m = Machine::new(program, Config::arm().with_loop_fuel(3));
+        let exp = explore(&m);
+        assert!(!exp.outcomes.is_empty());
+        for o in &exp.outcomes {
+            assert_eq!(o.loc(Loc(0)).0, 2, "both increments land: {o}");
+            let t0 = o.reg(0, regs::SUM).0;
+            let t1 = o.reg(1, regs::SUM).0;
+            assert_ne!(t0, t1, "tickets must be distinct: {o}");
+        }
+    }
+
+    #[test]
+    fn spin_lock_provides_mutual_exclusion() {
+        // two threads: lock; counter++; unlock. Every complete execution
+        // ends with counter = 2.
+        let mk = || {
+            let mut b = CodeBuilder::new();
+            let acq = spin_lock_cas(&mut b, Loc(0), regs::T0, regs::T1, regs::T2);
+            let ld = b.load(regs::T3, Expr::val(1));
+            let st = b.store(Expr::val(1), Expr::reg(regs::T3).add(Expr::val(1)));
+            let rel = spin_unlock(&mut b, Loc(0));
+            b.finish_seq(&[acq, ld, st, rel])
+        };
+        let program = Arc::new(Program::new(vec![mk(), mk()]));
+        let m = Machine::new(program, Config::arm().with_loop_fuel(4));
+        let exp = explore(&m);
+        assert!(!exp.outcomes.is_empty());
+        for o in &exp.outcomes {
+            assert_eq!(o.loc(Loc(1)).0, 2, "mutual exclusion: {o}");
+        }
+    }
+
+    #[test]
+    fn record_value_accumulates_sum_and_squares() {
+        let mut b = CodeBuilder::new();
+        let r1 = record_value(&mut b, Expr::val(2));
+        let r2 = record_value(&mut b, Expr::val(3));
+        let code = b.finish_seq(&[r1, r2]);
+        let program = Arc::new(Program::new(vec![code]));
+        let m = Machine::new(program, Config::arm());
+        let exp = explore(&m);
+        assert_eq!(exp.outcomes.len(), 1);
+        let o = exp.outcomes.iter().next().expect("one outcome");
+        assert_eq!(observed(o, 0), (5, 13, 2));
+        let _ = TId(0);
+    }
+}

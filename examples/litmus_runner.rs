@@ -1,0 +1,45 @@
+//! Run any litmus test — from the built-in catalogue or a file in the
+//! litmus format — under all three models and compare.
+//!
+//! Run with: `cargo run --release --example litmus_runner [NAME-or-FILE]`
+//! e.g.      `cargo run --release --example litmus_runner MP+dmb.sy+addr`
+
+use promising_litmus::{by_name, check_agreement, parse_litmus, ModelKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "PPOCA".to_string());
+    let test = if let Some(t) = by_name(&arg) {
+        t
+    } else {
+        let src = std::fs::read_to_string(&arg)
+            .map_err(|e| format!("`{arg}` is neither a catalogue test nor a readable file: {e}"))?;
+        parse_litmus(&src)?
+    };
+
+    println!("{test}\n");
+    let agreement = check_agreement(&test, &ModelKind::ALL)?;
+    for run in &agreement.runs {
+        let (holds, matches) = test.verdict(&run.outcomes);
+        println!(
+            "{:<16} {:>4} outcomes  {:>8.3}s  condition: {}{}",
+            run.kind.name(),
+            run.outcomes.len(),
+            run.duration.as_secs_f64(),
+            if holds { "observable" } else { "not observable" },
+            match matches {
+                Some(true) => "  (matches expectation)",
+                Some(false) => "  (EXPECTATION MISMATCH!)",
+                None => "",
+            }
+        );
+    }
+    println!(
+        "\nmodels agree: {}{}",
+        agreement.agree,
+        agreement
+            .mismatch
+            .map(|m| format!("\nmismatch: {m}"))
+            .unwrap_or_default()
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: define the message-passing (MP) litmus test, explore it
+//! exhaustively under Promising-ARM, and print every allowed outcome —
+//! then show that an address dependency forbids the weak one.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use promising_core::{parse_program, Config, Machine, Reg, Val};
+use promising_explorer::explore;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The MP shape of §4.1: a writer publishes x then y (ordered by a
+    // dmb.sy), a reader reads y then x with no ordering.
+    let (program, _) = parse_program(
+        "store(x, 37)\n\
+         dmb.sy\n\
+         store(y, 42)\n\
+         ---\n\
+         r1 = load(y)\n\
+         r2 = load(x)",
+    )?;
+    let machine = Machine::new(Arc::new(program), Config::arm());
+    let result = explore(&machine);
+
+    println!("MP+dmb.sy+po — allowed final states:");
+    for outcome in &result.outcomes {
+        println!("  {outcome}");
+    }
+    println!("search: {}", result.stats);
+
+    let weak = result
+        .outcomes
+        .iter()
+        .any(|o| o.reg(1, Reg(1)) == Val(42) && o.reg(1, Reg(2)) == Val(0));
+    println!("\nweak outcome r1=42, r2=0 allowed? {weak} (ARM says yes!)");
+    assert!(weak);
+
+    // Adding an address dependency on the reader forbids it (§4.1).
+    let (program, _) = parse_program(
+        "store(x, 37)\n\
+         dmb.sy\n\
+         store(y, 42)\n\
+         ---\n\
+         r1 = load(y)\n\
+         r2 = load(x + (r1 - r1))",
+    )?;
+    let machine = Machine::new(Arc::new(program), Config::arm());
+    let result = explore(&machine);
+    let weak = result
+        .outcomes
+        .iter()
+        .any(|o| o.reg(1, Reg(1)) == Val(42) && o.reg(1, Reg(2)) == Val(0));
+    println!("with an address dependency, allowed? {weak} (forbidden)");
+    assert!(!weak);
+    Ok(())
+}

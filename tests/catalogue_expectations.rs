@@ -1,0 +1,65 @@
+//! Cross-crate validation: every named catalogue test (the classic litmus
+//! shapes with literature expectations, plus the paper's own worked
+//! examples) must
+//!
+//! 1. match its architectural expectation under the Promising model, and
+//! 2. produce identical outcome sets under the promise-first search, the
+//!    naive search, the axiomatic model, and (where applicable) Flat-lite
+//!    — the executable version of Theorems 6.1 and 7.1.
+
+use promising_litmus::{catalogue, check_agreement, evaluate, ModelKind};
+
+#[test]
+fn catalogue_matches_expectations_under_promising() {
+    let mut failures = Vec::new();
+    for test in catalogue() {
+        let v = evaluate(&test, ModelKind::Promising).expect("run");
+        if v.matches_expectation != Some(true) {
+            failures.push(format!(
+                "{test}: condition holds = {}, expectation = {:?}",
+                v.holds, test.expect
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "expectation mismatches:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn catalogue_matches_expectations_under_axiomatic() {
+    let mut failures = Vec::new();
+    for test in catalogue() {
+        let v = evaluate(&test, ModelKind::Axiomatic).expect("run");
+        if v.matches_expectation != Some(true) {
+            failures.push(format!(
+                "{test}: condition holds = {}, expectation = {:?}",
+                v.holds, test.expect
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "expectation mismatches:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn catalogue_models_agree() {
+    let mut failures = Vec::new();
+    for test in catalogue() {
+        match check_agreement(&test, &ModelKind::ALL) {
+            Ok(a) if a.agree => {}
+            Ok(a) => failures.push(a.mismatch.unwrap_or_else(|| a.test.clone())),
+            Err(e) => failures.push(format!("{test}: {e}")),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "model disagreements:\n{}",
+        failures.join("\n")
+    );
+}

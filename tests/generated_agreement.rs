@@ -1,0 +1,73 @@
+//! Large-scale model agreement on the systematically generated litmus
+//! suites (shape × link × link cross products) — the analogue of the
+//! paper's validation of the executable model against herd on ~6,500 ARM
+//! and ~7,000 RISC-V litmus tests (§7).
+//!
+//! CI runs a deterministic subsample; `cargo run --release -p
+//! promising-bench --bin litmus_agreement` sweeps the full suites.
+
+use promising_core::Arch;
+use promising_litmus::{check_agreement, generate_subsample, ModelKind};
+
+const MODELS: [ModelKind; 3] = [
+    ModelKind::Promising,
+    ModelKind::Axiomatic,
+    ModelKind::Flat,
+];
+
+fn check_sample(arch: Arch, stride: usize, offset: usize) {
+    let tests = generate_subsample(arch, stride, offset);
+    assert!(!tests.is_empty());
+    let mut failures = Vec::new();
+    for test in &tests {
+        match check_agreement(test, &MODELS) {
+            Ok(a) if a.agree => {}
+            Ok(a) => failures.push(a.mismatch.unwrap_or(a.test)),
+            Err(e) => failures.push(format!("{test}: {e}")),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} disagreements out of {} {} tests:\n{}",
+        failures.len(),
+        tests.len(),
+        arch.name(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn arm_suite_sample_agrees() {
+    check_sample(Arch::Arm, 7, 0);
+}
+
+#[test]
+fn arm_suite_sample_agrees_alt_offset() {
+    check_sample(Arch::Arm, 7, 3);
+}
+
+#[test]
+fn riscv_suite_sample_agrees() {
+    check_sample(Arch::RiscV, 7, 0);
+}
+
+#[test]
+fn riscv_suite_sample_agrees_alt_offset() {
+    check_sample(Arch::RiscV, 7, 5);
+}
+
+#[test]
+fn promise_first_equals_naive_on_sample() {
+    // Theorem 7.1 at litmus scale.
+    for arch in [Arch::Arm, Arch::RiscV] {
+        let tests = generate_subsample(arch, 19, 1);
+        for test in &tests {
+            let a = check_agreement(
+                test,
+                &[ModelKind::Promising, ModelKind::PromisingNaive],
+            )
+            .expect("runs");
+            assert!(a.agree, "{:?}", a.mismatch);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Cross-crate workload validation (the §8 experiments at unit scale):
+//! every workload family verifies correct on small instances, the §8
+//! Michael-Scott bug is detected, and the promise-first search agrees
+//! with the naive search on a workload-shaped program.
+
+use promising_core::{Arch, Machine};
+use promising_explorer::{explore_naive, explore_promise_first, CertMode};
+use promising_workloads::{by_spec, init_for, Workload};
+
+fn explore_checked(w: &Workload) -> promising_explorer::Exploration {
+    let m = Machine::with_init(w.program.clone(), w.config(Arch::Arm), init_for(w));
+    let exp = explore_promise_first(&m);
+    assert!(
+        !exp.outcomes.is_empty(),
+        "{}: no complete execution within the bound",
+        w.name
+    );
+    exp
+}
+
+#[test]
+fn all_families_verify_correct_on_small_instances() {
+    for spec in [
+        "SLA-2",
+        "SLC-1",
+        "SLR-1",
+        "PCS-1-1",
+        "PCM-1-1-1",
+        "STC-100-010-000",
+        "STC(opt)-100-010-000",
+        "STR-100-010-000",
+        "DQ-100-1-0",
+        "DQ(opt)-100-1-0",
+        "QU-100-010-000",
+        "QU(opt)-100-000-000",
+    ] {
+        let w = by_spec(spec).expect("spec parses");
+        let exp = explore_checked(&w);
+        let violations = w.violations(&exp.outcomes);
+        assert!(violations.is_empty(), "{spec}: {violations:?}");
+    }
+}
+
+#[test]
+fn michael_scott_bug_is_found() {
+    let w = by_spec("QU(buggy)-100-010-000").expect("spec parses");
+    let exp = explore_checked(&w);
+    let violations = w.violations(&exp.outcomes);
+    assert!(
+        violations.iter().any(|v| v.contains("uninitialised")),
+        "the §8 publication bug must be reported: {violations:?}"
+    );
+}
+
+#[test]
+fn workloads_also_verify_on_riscv() {
+    for spec in ["SLA-2", "PCS-1-1", "STC-100-010-000"] {
+        let w = by_spec(spec).expect("spec parses");
+        let m = Machine::with_init(w.program.clone(), w.config(Arch::RiscV), init_for(&w));
+        let exp = explore_promise_first(&m);
+        assert!(!exp.outcomes.is_empty(), "{spec} (riscv): no outcomes");
+        let violations = w.violations(&exp.outcomes);
+        assert!(violations.is_empty(), "{spec} (riscv): {violations:?}");
+    }
+}
+
+#[test]
+fn promise_first_matches_naive_on_a_lock() {
+    let w = by_spec("SLA-1").expect("spec parses");
+    let m = Machine::with_init(w.program.clone(), w.config(Arch::Arm), init_for(&w));
+    let fast = explore_promise_first(&m);
+    let slow = explore_naive(&m, CertMode::Online);
+    assert_eq!(fast.outcomes, slow.outcomes, "Thm 7.1 on SLA-1");
+}
+
+#[test]
+fn shared_location_optimisation_preserves_shared_outcomes() {
+    // with and without the §7 optimisation, the *shared* part of the
+    // final state (lock + counter) must coincide
+    let w = by_spec("SLA-1").expect("spec parses");
+    let shared_run = {
+        let m = Machine::with_init(w.program.clone(), w.config(Arch::Arm), init_for(&w));
+        explore_promise_first(&m)
+    };
+    let unshared_run = {
+        let m = Machine::with_init(w.program.clone(), w.config_unshared(Arch::Arm), init_for(&w));
+        explore_promise_first(&m)
+    };
+    let project = |exp: &promising_explorer::Exploration| {
+        exp.outcomes
+            .iter()
+            .map(|o| {
+                w.shared
+                    .iter()
+                    .map(|&l| (l, o.loc(l)))
+                    .collect::<Vec<_>>()
+            })
+            .collect::<std::collections::BTreeSet<_>>()
+    };
+    assert_eq!(project(&shared_run), project(&unshared_run));
+}
