@@ -568,6 +568,7 @@ fn check_axioms(
                     if !a_matches {
                         continue;
                     }
+                    #[allow(clippy::needless_range_loop)] // a/b symmetry
                     for b in 0..n {
                         if !sk.po.contains(f, b) {
                             continue;

@@ -6,13 +6,32 @@
 //! substrate); the *shape* to verify is Promising ≪ Flat with the gap
 //! exploding as the parameters grow (ooT = over the per-cell timeout).
 //!
-//! Usage: `cargo run --release -p promising-bench --bin table2 [timeout-secs]`
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p promising-bench --bin table2 -- \
+//!     [timeout-secs] [--json PATH] [--legacy] [--no-flat] \
+//!     [--workers N,M,..] [--rows A,B,..]
+//! ```
+//!
+//! * `--json PATH` — also write a machine-readable snapshot (the
+//!   committed `BENCH_baseline.json` is produced this way) for
+//!   perf-trajectory tracking across PRs;
+//! * `--legacy` — additionally run the pre-optimisation clone-heavy
+//!   promise-first baseline (`promising_bench::legacy`) and report the
+//!   speedup; outcome sets are cross-checked;
+//! * `--no-flat` — skip the Flat-lite cells (useful when profiling or
+//!   timing only the promising side);
+//! * `--workers 2,4` — additionally run the promising side with those
+//!   worker counts (parallel frontier);
+//! * `--rows SLA-1,SLC-2` — restrict to the named rows.
 
-use promising_bench::{fmt_duration, Table};
+use promising_bench::{explore_promise_first_legacy, fmt_duration, Table};
 use promising_core::{Arch, Machine};
 use promising_explorer::explore_promise_first_deadline;
 use promising_flat::{explore_flat_deadline, FlatMachine};
 use promising_workloads::{by_spec, init_for};
+use std::fmt::Write as _;
 use std::time::Duration;
 
 /// The Table 2 rows (paper parameterisations, trimmed to what completes
@@ -30,24 +49,147 @@ pub const ROWS: &[&str] = &[
     "QU-100-000-000", "QU-100-010-000", "QU(opt)-100-000-000",
 ];
 
+struct Args {
+    timeout: Duration,
+    json: Option<String>,
+    legacy: bool,
+    no_flat: bool,
+    workers: Vec<usize>,
+    rows: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        timeout: Duration::from_secs(60),
+        json: None,
+        legacy: false,
+        no_flat: false,
+        workers: Vec::new(),
+        rows: ROWS.iter().map(|s| s.to_string()).collect(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => args.json = Some(it.next().expect("--json needs a path")),
+            "--legacy" => args.legacy = true,
+            "--no-flat" => args.no_flat = true,
+            "--workers" => {
+                let list = it.next().expect("--workers needs a list");
+                args.workers = list
+                    .split(',')
+                    .map(|w| w.parse().expect("worker counts are integers"))
+                    .collect();
+            }
+            "--rows" => {
+                let list = it.next().expect("--rows needs a list");
+                args.rows = list.split(',').map(|s| s.to_string()).collect();
+            }
+            other => match other.parse::<u64>() {
+                Ok(secs) => args.timeout = Duration::from_secs(secs),
+                Err(_) => panic!("unknown argument: {other}"),
+            },
+        }
+    }
+    args
+}
+
+/// One measured cell: `None` = over the timeout ("ooT").
+type Cell = Option<f64>;
+
+struct Row {
+    spec: String,
+    promising: Cell,
+    p_states: u64,
+    flat: Cell,
+    f_states: u64,
+    legacy: Cell,
+    by_workers: Vec<(usize, Cell)>,
+}
+
+fn json_cell(c: Cell) -> String {
+    match c {
+        Some(secs) => format!("{secs:.6}"),
+        None => "null".to_string(),
+    }
+}
+
+fn render_json(args: &Args, rows: &[Row]) -> String {
+    let timeout = args.timeout;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"suite\": \"table2\",");
+    let _ = writeln!(out, "  \"timeout_secs\": {},", timeout.as_secs());
+    // Interpreting the worker columns needs the host's parallelism: on a
+    // 1-CPU host they measure scheduling overhead, not scaling.
+    let _ = writeln!(
+        out,
+        "  \"host_cpus\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"test\": \"{}\", \"promising_secs\": {}, \"promising_states\": {}",
+            r.spec,
+            json_cell(r.promising),
+            r.p_states,
+        );
+        // Un-run cells are omitted entirely — `null` is reserved for a
+        // real timeout ("ooT") and must stay distinguishable.
+        if !args.no_flat {
+            let _ = write!(
+                out,
+                ", \"flat_secs\": {}, \"flat_states\": {}",
+                json_cell(r.flat),
+                r.f_states,
+            );
+        }
+        if args.legacy {
+            let _ = write!(out, ", \"legacy_secs\": {}", json_cell(r.legacy));
+            if let (Some(l), Some(p)) = (r.legacy, r.promising) {
+                let _ = write!(out, ", \"speedup_vs_legacy\": {:.2}", l / p.max(1e-9));
+            }
+        }
+        for (w, cell) in &r.by_workers {
+            let _ = write!(out, ", \"promising_w{}_secs\": {}", w, json_cell(*cell));
+        }
+        let _ = writeln!(out, "}}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = write!(out, "}}");
+    out
+}
+
 fn main() {
-    let timeout = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(60u64);
-    let timeout = Duration::from_secs(timeout);
+    let args = parse_args();
     println!(
         "Table 2: exhaustive run times in seconds (timeout {}s per cell)\n",
-        timeout.as_secs()
+        args.timeout.as_secs()
     );
-    let mut table = Table::new(&["Test", "Promising", "Flat", "P-states", "F-states"]);
-    for spec in ROWS {
-        let w = by_spec(spec).expect("table spec parses");
+    let mut header: Vec<String> = ["Test", "Promising", "Flat", "P-states", "F-states"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    if args.legacy {
+        header.push("Legacy".to_string());
+        header.push("Speedup".to_string());
+    }
+    for w in &args.workers {
+        header.push(format!("P-w{w}"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    let mut rows: Vec<Row> = Vec::new();
+
+    for spec in &args.rows {
+        let w = by_spec(spec)
+            .unwrap_or_else(|| panic!("unknown workload spec `{spec}` (see --rows / ROWS)"));
         let init = init_for(&w);
 
         let m = Machine::with_init(w.program.clone(), w.config(Arch::Arm), init.clone());
-        let p = explore_promise_first_deadline(&m, Some(timeout));
-        let p_time = (!p.stats.truncated).then_some(p.stats.duration);
+        let p = explore_promise_first_deadline(&m, Some(args.timeout));
+        let p_time = (!p.stats.truncated).then_some(p.stats.duration.as_secs_f64());
         if !p.stats.truncated {
             let violations = w.violations(&p.outcomes);
             if !violations.is_empty() {
@@ -55,18 +197,93 @@ fn main() {
             }
         }
 
-        let fm = FlatMachine::with_init(w.program.clone(), w.config_unshared(Arch::Arm), init);
-        let f = explore_flat_deadline(&fm, u64::MAX, Some(timeout));
-        let f_time = (!f.stats.truncated).then_some(f.stats.duration);
+        let legacy = args.legacy.then(|| {
+            let e = explore_promise_first_legacy(&m, Some(args.timeout));
+            if !e.stats.truncated && !p.stats.truncated {
+                assert_eq!(
+                    e.outcomes, p.outcomes,
+                    "{spec}: legacy and optimised outcome sets must agree"
+                );
+            }
+            (!e.stats.truncated).then_some(e.stats.duration.as_secs_f64())
+        });
 
-        table.row(&[
-            spec.to_string(),
-            fmt_duration(p_time),
-            fmt_duration(f_time),
-            p.stats.states.to_string(),
-            f.stats.states.to_string(),
-        ]);
-        eprintln!("  {spec}: promising {} flat {}", fmt_duration(p_time), fmt_duration(f_time));
+        let by_workers: Vec<(usize, Cell)> = args
+            .workers
+            .iter()
+            .map(|&n| {
+                let mw = Machine::with_init(
+                    w.program.clone(),
+                    w.config(Arch::Arm).with_workers(n),
+                    init.clone(),
+                );
+                let e = explore_promise_first_deadline(&mw, Some(args.timeout));
+                if !e.stats.truncated && !p.stats.truncated {
+                    assert_eq!(
+                        e.outcomes, p.outcomes,
+                        "{spec}: {n}-worker and serial outcome sets must agree"
+                    );
+                }
+                (n, (!e.stats.truncated).then_some(e.stats.duration.as_secs_f64()))
+            })
+            .collect();
+
+        let (f_time, f_states) = if args.no_flat {
+            (None, 0)
+        } else {
+            let fm =
+                FlatMachine::with_init(w.program.clone(), w.config_unshared(Arch::Arm), init);
+            let f = explore_flat_deadline(&fm, u64::MAX, Some(args.timeout));
+            (
+                (!f.stats.truncated).then_some(f.stats.duration.as_secs_f64()),
+                f.stats.states,
+            )
+        };
+
+        let row = Row {
+            spec: spec.clone(),
+            promising: p_time,
+            p_states: p.stats.states,
+            flat: f_time,
+            f_states,
+            legacy: legacy.flatten(),
+            by_workers,
+        };
+
+        let fmt_cell = |c: Cell| fmt_duration(c.map(Duration::from_secs_f64));
+        let mut cells = vec![
+            row.spec.clone(),
+            fmt_cell(row.promising),
+            if args.no_flat {
+                "-".to_string()
+            } else {
+                fmt_cell(row.flat)
+            },
+            row.p_states.to_string(),
+            row.f_states.to_string(),
+        ];
+        if args.legacy {
+            cells.push(fmt_cell(row.legacy));
+            cells.push(match (row.legacy, row.promising) {
+                (Some(l), Some(p)) => format!("{:.1}x", l / p.max(1e-9)),
+                _ => "-".to_string(),
+            });
+        }
+        for (_, c) in &row.by_workers {
+            cells.push(fmt_cell(*c));
+        }
+        table.row(&cells);
+        eprintln!(
+            "  {spec}: promising {} flat {}",
+            fmt_cell(row.promising),
+            fmt_cell(row.flat)
+        );
+        rows.push(row);
     }
     println!("{}", table.render());
+
+    if let Some(path) = &args.json {
+        std::fs::write(path, render_json(&args, &rows)).expect("write json snapshot");
+        println!("wrote {path}");
+    }
 }

@@ -1,9 +1,12 @@
 //! Benchmark-harness support: table formatting and timing helpers shared
 //! by the table-regenerating binaries (see DESIGN.md §4 for the
-//! experiment index).
+//! experiment index), plus the pre-optimisation [`legacy`] explorers used
+//! as the perf-trajectory baseline.
 
 #![warn(missing_docs)]
 
+pub mod legacy;
 pub mod table;
 
+pub use legacy::explore_promise_first_legacy;
 pub use table::{fmt_duration, Table};

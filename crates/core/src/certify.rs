@@ -17,10 +17,16 @@
 //!    whose pre-view and coherence view (at its location) are at most the
 //!    maximal timestamp of the memory before certification started.
 //!
-//! The search is memoised on (continuation, thread state, memory), which
-//! collapses the exponential blow-up from read-value enumeration whenever
-//! different orders reach the same state.
+//! The search is memoised on (continuation, thread state, memory) — as a
+//! 128-bit fingerprint key by default (see [`crate::fingerprint`]), or an
+//! exact collision-checked key in paranoid mode — which collapses the
+//! exponential blow-up from read-value enumeration whenever different
+//! orders reach the same state. The memo table ([`CertMemo`]) can be
+//! shared across calls: sibling branches of an exploration repeatedly
+//! certify near-identical configurations, and a shared memo turns those
+//! repeats into hash lookups.
 
+use crate::fingerprint::{Fingerprint, FpHashMap, FpHasher};
 use crate::machine::{
     apply_step, enabled_steps, Machine, StepEvent, ThreadInstance, TransitionKind,
 };
@@ -28,7 +34,8 @@ use crate::config::Config;
 use crate::ids::{TId, Timestamp};
 use crate::memory::{Memory, Msg};
 use crate::stmt::ThreadCode;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// Result of [`find_and_certify`].
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -45,29 +52,164 @@ pub struct CertResult {
     /// Whether the step bound was hit anywhere in the search; if so, the
     /// results are sound but possibly incomplete (like the paper's fuel).
     pub bound_hit: bool,
+    /// Whether a wall-clock deadline cut the search short; the results
+    /// are then a lower bound and the caller should report truncation
+    /// (the benchmark tables' "ooT").
+    pub deadline_hit: bool,
 }
 
-/// Run §B's `find_and_certify` for thread `tid` of `machine`.
+/// The exact identity of a certification sub-problem, kept alongside the
+/// fingerprint in paranoid mode.
+type ExactKey = (TId, Timestamp, ThreadInstance, Memory);
+
+/// A memoised sub-result: reachability, qualified promises, and whether
+/// the sub-search below this node hit the depth bound — so a later query
+/// that reuses the entry (possibly from a different call sharing the
+/// memo) still reports `bound_hit` for its possibly-incomplete answer.
+///
+/// `depth` records the remaining budget the entry was computed with; a
+/// *truncated* entry is an under-approximation specific to that budget,
+/// so it only satisfies queries with no more budget than that (deeper
+/// queries recompute and overwrite). Complete entries cover the full
+/// subtree and are budget-independent.
+#[derive(Clone)]
+struct MemoValue {
+    reached: bool,
+    qualified: BTreeSet<Msg>,
+    truncated: bool,
+    depth: u32,
+}
+
+struct MemoEntry {
+    /// Exact key for collision detection (paranoid mode only).
+    exact: Option<ExactKey>,
+    value: MemoValue,
+}
+
+/// A certification memo table, shareable across [`find_and_certify_with`]
+/// calls (and across exploration branches within one worker).
+///
+/// Entries are keyed by a fingerprint of the *full* sub-problem identity:
+/// acting thread id, promise-qualification base timestamp, thread
+/// instance, and memory — so a single table is sound for any sequence of
+/// queries against machines running the same program and configuration.
+#[derive(Default)]
+pub struct CertMemo {
+    paranoid: bool,
+    map: FpHashMap<MemoEntry>,
+}
+
+impl CertMemo {
+    /// An empty memo with fingerprint keys.
+    pub fn new() -> CertMemo {
+        CertMemo::default()
+    }
+
+    /// An empty memo for the given configuration (paranoid mode stores
+    /// exact keys and panics on fingerprint collisions).
+    pub fn for_config(config: &Config) -> CertMemo {
+        CertMemo {
+            paranoid: config.paranoid,
+            map: FpHashMap::default(),
+        }
+    }
+
+    /// Number of memoised sub-problems.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn key(tid: TId, base_ts: Timestamp, thread: &ThreadInstance, memory: &Memory) -> Fingerprint {
+        let mut h = FpHasher::new();
+        h.write_len(tid.0);
+        h.write_u32(base_ts.0);
+        thread.feed(&mut h);
+        memory.feed(&mut h);
+        h.finish128()
+    }
+
+    fn get(
+        &self,
+        fp: Fingerprint,
+        tid: TId,
+        base_ts: Timestamp,
+        thread: &ThreadInstance,
+        memory: &Memory,
+        depth: u32,
+    ) -> Option<&MemoValue> {
+        let entry = self.map.get(&fp)?;
+        if let Some((etid, ets, eth, emem)) = &entry.exact {
+            assert!(
+                (*etid, *ets) == (tid, base_ts) && eth == thread && emem == memory,
+                "certification fingerprint collision at {fp}: distinct sub-problems"
+            );
+        }
+        if entry.value.truncated && entry.value.depth < depth {
+            // Computed under a smaller budget than this query has: the
+            // under-approximation must not mask a deeper search.
+            return None;
+        }
+        Some(&entry.value)
+    }
+
+    fn insert(
+        &mut self,
+        fp: Fingerprint,
+        tid: TId,
+        base_ts: Timestamp,
+        thread: &ThreadInstance,
+        memory: &Memory,
+        value: MemoValue,
+    ) {
+        let exact = self
+            .paranoid
+            .then(|| (tid, base_ts, thread.clone(), memory.clone()));
+        self.map.insert(fp, MemoEntry { exact, value });
+    }
+}
+
+/// Run §B's `find_and_certify` for thread `tid` of `machine` with a fresh
+/// memo table and no deadline.
 pub fn find_and_certify(machine: &Machine, tid: TId) -> CertResult {
+    let mut memo = CertMemo::for_config(machine.config());
+    find_and_certify_with(machine, tid, &mut memo, None)
+}
+
+/// Run §B's `find_and_certify` for thread `tid` of `machine`, reusing
+/// `memo` across calls and aborting (with `deadline_hit`) past `deadline`.
+pub fn find_and_certify_with(
+    machine: &Machine,
+    tid: TId,
+    memo: &mut CertMemo,
+    deadline: Option<Instant>,
+) -> CertResult {
     let code = &machine.program().threads()[tid.0];
     let mut engine = Engine {
         config: machine.config(),
         code,
         tid,
         base_ts: machine.memory().max_timestamp(),
-        memo: HashMap::new(),
+        memo,
         bound_hit: false,
+        deadline,
+        deadline_hit: false,
+        ticks: 0,
     };
-    let root_thread = machine.thread(tid).clone();
-    let root_memory = machine.memory().clone();
+    let root_thread = machine.thread(tid);
+    let root_memory = machine.memory();
     let depth = machine.config().cert_depth;
 
-    let (certified, promisable) = engine.explore(&root_thread, &root_memory, depth);
+    let (certified, promisable) = engine.explore(root_thread, root_memory, depth);
 
     // Certified first steps: re-expand the root one step and query the memo
     // (already warm from the exploration above).
     let mut certified_first_steps = Vec::new();
-    for kind in enabled_steps(machine.config(), code, tid, &root_thread, &root_memory) {
+    for kind in enabled_steps(machine.config(), code, tid, root_thread, root_memory) {
         let mut th = root_thread.clone();
         let mut mem = root_memory.clone();
         apply_step(machine.config(), code, tid, &kind, &mut th, &mut mem)
@@ -83,7 +225,34 @@ pub fn find_and_certify(machine: &Machine, tid: TId) -> CertResult {
         promisable,
         certified_first_steps,
         bound_hit: engine.bound_hit,
+        deadline_hit: engine.deadline_hit,
     }
+}
+
+/// The promise-enumeration half of `find_and_certify` only (no certified
+/// first steps — the promise-first search needs just the legal promises).
+/// Returns the promisable set and whether the deadline cut the search.
+pub fn find_promises_with(
+    machine: &Machine,
+    tid: TId,
+    memo: &mut CertMemo,
+    deadline: Option<Instant>,
+) -> (BTreeSet<Msg>, bool) {
+    let code = &machine.program().threads()[tid.0];
+    let mut engine = Engine {
+        config: machine.config(),
+        code,
+        tid,
+        base_ts: machine.memory().max_timestamp(),
+        memo,
+        bound_hit: false,
+        deadline,
+        deadline_hit: false,
+        ticks: 0,
+    };
+    let depth = machine.config().cert_depth;
+    let (_, promisable) = engine.explore(machine.thread(tid), machine.memory(), depth);
+    (promisable, engine.deadline_hit)
 }
 
 /// Cheap certification check only (no promise enumeration): is the
@@ -95,7 +264,8 @@ pub fn is_certified(machine: &Machine, tid: TId) -> bool {
     find_and_certify(machine, tid).certified
 }
 
-type MemoKey = (ThreadInstance, Memory);
+/// How many explored nodes between wall-clock deadline checks.
+const DEADLINE_CHECK_PERIOD: u32 = 64;
 
 struct Engine<'a> {
     config: &'a Config,
@@ -104,11 +274,34 @@ struct Engine<'a> {
     /// Maximal timestamp of the memory before certification (the promise
     /// qualification bound of §B step 3).
     base_ts: Timestamp,
-    memo: HashMap<MemoKey, (bool, BTreeSet<Msg>)>,
+    memo: &'a mut CertMemo,
     bound_hit: bool,
+    deadline: Option<Instant>,
+    deadline_hit: bool,
+    ticks: u32,
 }
 
 impl Engine<'_> {
+    /// True once the deadline has passed (checked every
+    /// [`DEADLINE_CHECK_PERIOD`] nodes; sticky once hit).
+    fn out_of_time(&mut self) -> bool {
+        if self.deadline_hit {
+            return true;
+        }
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        self.ticks += 1;
+        if self.ticks >= DEADLINE_CHECK_PERIOD {
+            self.ticks = 0;
+            if Instant::now() >= deadline {
+                self.deadline_hit = true;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Returns `(reached, qualified)`: whether a promise-free state is
     /// reachable sequentially, and which normal writes on completing
     /// traces qualify as promises.
@@ -118,9 +311,20 @@ impl Engine<'_> {
         memory: &Memory,
         depth: u32,
     ) -> (bool, BTreeSet<Msg>) {
-        let key = (thread.clone(), memory.clone());
-        if let Some(hit) = self.memo.get(&key) {
-            return hit.clone();
+        let fp = CertMemo::key(self.tid, self.base_ts, thread, memory);
+        if let Some(hit) = self
+            .memo
+            .get(fp, self.tid, self.base_ts, thread, memory, depth)
+        {
+            // A reused entry computed under a depth-truncated sub-search
+            // must re-raise the incompleteness flag for *this* query too
+            // (the memo may be shared across calls).
+            self.bound_hit |= hit.truncated;
+            return (hit.reached, hit.qualified.clone());
+        }
+        if self.out_of_time() {
+            // Truncated: report what is locally known, memoise nothing.
+            return (thread.state.prom.is_empty(), BTreeSet::new());
         }
         if depth == 0 {
             self.bound_hit = true;
@@ -129,8 +333,14 @@ impl Engine<'_> {
 
         let mut reached = thread.state.prom.is_empty();
         let mut qualified = BTreeSet::new();
+        // Track whether *this* subtree hits the bound, separately from the
+        // engine-global sticky flag, to record it in the memo entry.
+        let bound_before = std::mem::replace(&mut self.bound_hit, false);
 
         for kind in enabled_steps(self.config, self.code, self.tid, thread, memory) {
+            if self.deadline_hit {
+                break;
+            }
             let mut th = thread.clone();
             let mut mem = memory.clone();
             // Record the coherence view at the store's location *before*
@@ -161,9 +371,27 @@ impl Engine<'_> {
             }
         }
 
-        let result = (reached, qualified);
-        self.memo.insert(key, result.clone());
-        result
+        let truncated = self.bound_hit;
+        self.bound_hit |= bound_before;
+        if !self.deadline_hit {
+            // A deadline-truncated sub-result is incomplete; memoising it
+            // would poison later (untruncated) queries. Depth-truncated
+            // results are memoised but carry the `truncated` flag.
+            self.memo.insert(
+                fp,
+                self.tid,
+                self.base_ts,
+                thread,
+                memory,
+                MemoValue {
+                    reached,
+                    qualified: qualified.clone(),
+                    truncated,
+                    depth,
+                },
+            );
+        }
+        (reached, qualified)
     }
 }
 
@@ -315,6 +543,86 @@ mod tests {
         assert!(!cert.promisable.contains(&Msg::new(y, Val(1), TId(0))));
         // and z = 1 is not a *new* promise (it is fulfilled, not promised)
         assert!(!cert.promisable.contains(&Msg::new(z, Val(1), TId(0))));
+    }
+
+    #[test]
+    fn shared_memo_reuse_preserves_bound_hit() {
+        // With a tiny cert depth, the search is depth-truncated. A second
+        // query through the same (shared) memo must still report
+        // bound_hit, even though it answers from memoised entries.
+        let mut b = CodeBuilder::new();
+        let stmts: Vec<_> = (0..6)
+            .map(|i| b.store(Expr::val(0), Expr::val(i)))
+            .collect();
+        let t = b.finish_seq(&stmts);
+        let program = Arc::new(Program::new(vec![t]));
+        let config = Config::arm().with_cert_depth(2);
+        let m = Machine::new(program, config);
+        let mut memo = CertMemo::for_config(m.config());
+        let first = find_and_certify_with(&m, TId(0), &mut memo, None);
+        assert!(first.bound_hit, "depth 2 must truncate a 6-store thread");
+        let second = find_and_certify_with(&m, TId(0), &mut memo, None);
+        assert_eq!(first.promisable, second.promisable);
+        assert!(
+            second.bound_hit,
+            "memo reuse must re-raise bound_hit for truncated entries"
+        );
+    }
+
+    #[test]
+    fn shallow_truncated_entries_do_not_answer_deeper_queries() {
+        // Certifying S0 memoises the post-store configuration as a
+        // *child* (remaining depth k-1, truncated). After the machine
+        // takes that store, the same configuration is the *root* of the
+        // next query with depth k: the memo must recompute rather than
+        // return the shallower under-approximation.
+        let mut b = CodeBuilder::new();
+        let stmts: Vec<_> = (1..=6)
+            .map(|i| b.store(Expr::val(0), Expr::val(i)))
+            .collect();
+        let t = b.finish_seq(&stmts);
+        let program = Arc::new(Program::new(vec![t]));
+        let config = Config::arm().with_cert_depth(3);
+        let mut m = Machine::new(program, config);
+        let mut shared = CertMemo::for_config(m.config());
+        let _ = find_and_certify_with(&m, TId(0), &mut shared, None);
+        m.apply(&Transition::new(
+            TId(0),
+            crate::machine::TransitionKind::WriteNormal,
+        ))
+        .unwrap();
+        let via_shared = find_and_certify_with(&m, TId(0), &mut shared, None);
+        let via_fresh = find_and_certify(&m, TId(0));
+        assert_eq!(via_shared.promisable, via_fresh.promisable);
+        assert_eq!(via_shared.certified, via_fresh.certified);
+        assert_eq!(
+            via_shared.certified_first_steps,
+            via_fresh.certified_first_steps
+        );
+    }
+
+    #[test]
+    fn shared_memo_reuse_matches_fresh_results() {
+        // Reusing a memo across machine states must give the same
+        // results as fresh memos (the naive explorer shares one per
+        // worker across its whole search).
+        let program = Arc::new(Program::new(vec![
+            lb_thread_dependent(),
+            lb_thread_independent(),
+        ]));
+        let mut m = Machine::new(program, Config::arm());
+        let mut shared = CertMemo::for_config(m.config());
+        let a1 = find_and_certify_with(&m, TId(1), &mut shared, None);
+        assert_eq!(a1, find_and_certify(&m, TId(1)));
+        // advance the machine and re-query through the same memo
+        m.apply(&Transition::new(
+            TId(1),
+            crate::machine::TransitionKind::Read { t: Timestamp::ZERO },
+        ))
+        .unwrap();
+        let a2 = find_and_certify_with(&m, TId(1), &mut shared, None);
+        assert_eq!(a2, find_and_certify(&m, TId(1)));
+        assert!(!shared.is_empty());
     }
 
     #[test]

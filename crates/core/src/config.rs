@@ -64,6 +64,17 @@ pub struct Config {
     pub cert_depth: u32,
     /// Shared-location declaration (§7 optimisation).
     pub shared: SharedLocs,
+    /// Worker threads used by the exhaustive exploration engines. `1`
+    /// (the default) runs the lock-free serial path; higher values run a
+    /// shared-frontier parallel search with a sharded visited set; `0`
+    /// means "use all available cores". The outcome set is identical for
+    /// every value.
+    pub workers: usize,
+    /// Paranoid state deduplication: store the exact state next to its
+    /// 128-bit fingerprint in every visited set and memo table, and
+    /// panic if two distinct states ever collide. Slower; intended for
+    /// tests validating the fingerprint layer.
+    pub paranoid: bool,
 }
 
 impl Config {
@@ -74,6 +85,8 @@ impl Config {
             loop_fuel: 64,
             cert_depth: 10_000,
             shared: SharedLocs::All,
+            workers: 1,
+            paranoid: false,
         }
     }
 
@@ -111,6 +124,20 @@ impl Config {
     #[must_use]
     pub fn with_shared_locs(mut self, locs: impl IntoIterator<Item = Loc>) -> Config {
         self.shared = SharedLocs::Only(locs.into_iter().collect());
+        self
+    }
+
+    /// Set the exploration worker count (`0` = use all available cores).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Config {
+        self.workers = workers;
+        self
+    }
+
+    /// Enable paranoid (collision-detecting) state deduplication.
+    #[must_use]
+    pub fn with_paranoid(mut self, paranoid: bool) -> Config {
+        self.paranoid = paranoid;
         self
     }
 }

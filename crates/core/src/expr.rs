@@ -99,16 +99,19 @@ impl Expr {
     }
 
     /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)] // builder DSL, not arithmetic on Expr values
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::binop(Op::Add, self, rhs)
     }
 
     /// `self - rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Expr) -> Expr {
         Expr::binop(Op::Sub, self, rhs)
     }
 
     /// `self * rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Expr) -> Expr {
         Expr::binop(Op::Mul, self, rhs)
     }
@@ -134,6 +137,7 @@ impl Expr {
     }
 
     /// `self % rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn rem(self, rhs: Expr) -> Expr {
         Expr::binop(Op::Mod, self, rhs)
     }

@@ -1,0 +1,218 @@
+//! Compact 128-bit state fingerprints for visited-set deduplication.
+//!
+//! The exploration engines visit millions of machine states; storing a
+//! deep [`crate::machine::StateKey`] clone per state makes the visited
+//! set the dominant cost (O(state size) hash + compare per lookup, and
+//! memory growing with `states × state size`). Instead, states are
+//! folded into a 128-bit [`Fingerprint`] over a canonical `u64`-stream
+//! encoding, and the visited sets store only the fingerprint.
+//!
+//! Collisions are possible in principle (probability ≈ `n² / 2¹²⁹` for
+//! `n` states — about 10⁻²⁰ at a billion states); the opt-in *paranoid*
+//! mode ([`crate::config::Config::paranoid`]) stores the exact key
+//! alongside each fingerprint and panics on any collision, and the test
+//! suite runs the full litmus catalogue in that mode.
+//!
+//! The hasher is a two-lane splitmix64 absorption: each written word is
+//! passed through an avalanche permutation into two independently-seeded
+//! accumulators. It is *not* keyed (no HashDoS resistance) — state
+//! encodings are not attacker-controlled.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A 128-bit state fingerprint.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Fingerprint(pub u128);
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// splitmix64's avalanche permutation (Stafford variant 13).
+#[inline]
+fn avalanche(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Streaming 128-bit hasher over a canonical `u64` encoding.
+///
+/// Writers must emit an unambiguous encoding: every variable-length
+/// collection is prefixed with its length ([`FpHasher::write_len`]) and
+/// every enum with a discriminant tag.
+#[derive(Clone, Debug)]
+pub struct FpHasher {
+    a: u64,
+    b: u64,
+}
+
+impl Default for FpHasher {
+    fn default() -> FpHasher {
+        FpHasher::new()
+    }
+}
+
+impl FpHasher {
+    /// A fresh hasher with fixed lane seeds.
+    pub fn new() -> FpHasher {
+        FpHasher {
+            a: 0x243f_6a88_85a3_08d3, // π
+            b: 0x1319_8a2e_0370_7344,
+        }
+    }
+
+    /// Absorb one 64-bit word.
+    ///
+    /// Mid-stream mixing is a cheap polynomial step per lane (one
+    /// multiply each, distinct odd constants, rotated input on lane b so
+    /// the lanes stay independent); the expensive avalanche permutation
+    /// runs once per lane in [`FpHasher::finish128`]. This keeps the
+    /// hot-path cost — exploration fingerprints a thread state per
+    /// explored node — at ~2 multiplies per word.
+    #[inline]
+    pub fn write_u64(&mut self, x: u64) {
+        self.a = (self.a ^ x).wrapping_mul(0x2d35_8dcc_aa6c_78a5);
+        self.b = (self.b ^ x.rotate_left(32)).wrapping_mul(0x8bb8_4b93_962e_acc9);
+    }
+
+    /// Absorb a 32-bit word.
+    #[inline]
+    pub fn write_u32(&mut self, x: u32) {
+        self.write_u64(x as u64);
+    }
+
+    /// Absorb a signed 64-bit word.
+    #[inline]
+    pub fn write_i64(&mut self, x: i64) {
+        self.write_u64(x as u64);
+    }
+
+    /// Absorb a collection length (or any `usize`).
+    #[inline]
+    pub fn write_len(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    /// Absorb a boolean.
+    #[inline]
+    pub fn write_bool(&mut self, b: bool) {
+        self.write_u64(b as u64);
+    }
+
+    /// Finish, producing the 128-bit digest: a full avalanche round per
+    /// lane, cross-mixed so each output half depends on both lanes.
+    #[inline]
+    pub fn finish128(self) -> Fingerprint {
+        let a = avalanche(self.a ^ self.b.rotate_left(17));
+        let b = avalanche(self.b ^ a);
+        Fingerprint(((a as u128) << 64) | b as u128)
+    }
+
+    /// Absorb another hasher's lane state — used to fold an incrementally
+    /// maintained digest (e.g. [`crate::memory::Memory`]'s running hash)
+    /// into a larger encoding in O(1).
+    #[inline]
+    pub fn absorb(&mut self, other: &FpHasher) {
+        self.write_u64(other.a);
+        self.write_u64(other.b);
+    }
+}
+
+/// A no-op [`Hasher`] for maps keyed by already-uniform fingerprints:
+/// folds the 128-bit key into 64 bits instead of re-hashing it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FpIdentityHasher(u64);
+
+impl Hasher for FpIdentityHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // generic fallback (not used on the hot path)
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.0 = avalanche(self.0 ^ u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 ^= n;
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.0 = (n as u64) ^ ((n >> 64) as u64).rotate_left(1);
+    }
+}
+
+/// [`std::collections::HashMap`] build-hasher for fingerprint keys.
+pub type FpBuildHasher = BuildHasherDefault<FpIdentityHasher>;
+
+/// A `HashMap` keyed by [`Fingerprint`]s without redundant re-hashing.
+pub type FpHashMap<V> = std::collections::HashMap<Fingerprint, V, FpBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(words: &[u64]) -> Fingerprint {
+        let mut h = FpHasher::new();
+        for &w in words {
+            h.write_u64(w);
+        }
+        h.finish128()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(fp(&[1, 2, 3]), fp(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn order_sensitive() {
+        assert_ne!(fp(&[1, 2]), fp(&[2, 1]));
+    }
+
+    #[test]
+    fn length_sensitive() {
+        assert_ne!(fp(&[0]), fp(&[0, 0]));
+        assert_ne!(fp(&[]), fp(&[0]));
+    }
+
+    #[test]
+    fn single_bit_flips_diffuse() {
+        let base = fp(&[7, 9]).0;
+        for bit in 0..64 {
+            let flipped = fp(&[7 ^ (1 << bit), 9]).0;
+            let dist = (base ^ flipped).count_ones();
+            assert!(dist > 20, "bit {bit}: hamming distance {dist}");
+        }
+    }
+
+    #[test]
+    fn no_collisions_on_small_dense_inputs() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100u64 {
+            for j in 0..100u64 {
+                assert!(seen.insert(fp(&[i, j])), "collision at ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn fp_hashmap_roundtrips() {
+        let mut m: FpHashMap<u32> = FpHashMap::default();
+        m.insert(fp(&[1]), 10);
+        m.insert(fp(&[2]), 20);
+        assert_eq!(m.get(&fp(&[1])), Some(&10));
+        assert_eq!(m.get(&fp(&[2])), Some(&20));
+        assert_eq!(m.get(&fp(&[3])), None);
+    }
+}

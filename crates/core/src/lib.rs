@@ -52,6 +52,7 @@
 pub mod certify;
 pub mod config;
 pub mod expr;
+pub mod fingerprint;
 pub mod ids;
 pub mod machine;
 pub mod memory;
@@ -61,12 +62,16 @@ pub mod pretty;
 pub mod stmt;
 pub mod thread;
 
-pub use certify::{find_and_certify, is_certified, CertResult};
+pub use certify::{
+    find_and_certify, find_and_certify_with, find_promises_with, is_certified, CertMemo,
+    CertResult,
+};
 pub use config::{Arch, Config, SharedLocs};
 pub use expr::{Expr, Op};
+pub use fingerprint::{Fingerprint, FpBuildHasher, FpHashMap, FpHasher, FpIdentityHasher};
 pub use ids::{Loc, Reg, TId, Timestamp, Val, View};
 pub use machine::{
-    apply_step, enabled_steps, Machine, StateKey, StepError, StepEvent, ThreadInstance,
+    apply_step, enabled_steps, Cont, Machine, StateKey, StepError, StepEvent, ThreadInstance,
     Transition, TransitionKind,
 };
 pub use memory::{Memory, Msg};

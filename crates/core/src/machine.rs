@@ -17,20 +17,62 @@
 
 use crate::config::{Arch, Config};
 use crate::expr::Expr;
+use crate::fingerprint::{Fingerprint, FpHasher};
 use crate::ids::{Loc, Reg, TId, Timestamp, Val, View};
 use crate::memory::{Memory, Msg};
 use crate::stmt::{Program, ReadKind, Stmt, StmtId, ThreadCode, WriteKind};
 use crate::thread::{ExclBank, Forward, StuckReason, ThreadState};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::ops::Deref;
 use std::sync::Arc;
+
+/// A continuation: the stack of statement ids still to run (next on top).
+///
+/// The stack is behind an [`Arc`] with copy-on-write mutation, so
+/// cloning a thread — which exploration does once per transition — is a
+/// reference-count bump; only the acting thread's stack is ever copied.
+/// Reads go through [`Deref`] to `[StmtId]`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Cont(Arc<Vec<StmtId>>);
+
+impl Cont {
+    /// A continuation from the given stack (next statement last).
+    pub fn new(stack: Vec<StmtId>) -> Cont {
+        Cont(Arc::new(stack))
+    }
+
+    /// Push a statement on top. Copy-on-write.
+    pub fn push(&mut self, s: StmtId) {
+        Arc::make_mut(&mut self.0).push(s);
+    }
+
+    /// Pop the top statement. Copy-on-write.
+    pub fn pop(&mut self) -> Option<StmtId> {
+        Arc::make_mut(&mut self.0).pop()
+    }
+
+    /// Force a private copy of the stack (see [`Machine::deep_clone`]).
+    #[doc(hidden)]
+    pub fn unshare(&mut self) {
+        Arc::make_mut(&mut self.0);
+    }
+}
+
+impl Deref for Cont {
+    type Target = [StmtId];
+
+    fn deref(&self) -> &[StmtId] {
+        &self.0
+    }
+}
 
 /// A thread of the pool: its continuation (a stack of statement ids; the
 /// next statement is the last element) and its state (`Thread ≝ St × TState`).
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct ThreadInstance {
     /// Remaining code, as a stack of arena ids (next on top).
-    pub cont: Vec<StmtId>,
+    pub cont: Cont,
     /// The thread state.
     pub state: ThreadState,
 }
@@ -39,6 +81,23 @@ impl ThreadInstance {
     /// Whether the thread has run its whole program (promises may remain).
     pub fn is_done(&self) -> bool {
         self.cont.is_empty()
+    }
+
+    /// Fold the thread (continuation + state) into a state fingerprint.
+    pub fn feed(&self, h: &mut FpHasher) {
+        h.write_len(self.cont.len());
+        for s in self.cont.iter() {
+            h.write_u32(s.0);
+        }
+        self.state.feed(h);
+    }
+
+    /// Force private copies of all shared structure (see
+    /// [`Machine::deep_clone`]).
+    #[doc(hidden)]
+    pub fn unshare(&mut self) {
+        self.cont.unshare();
+        self.state.unshare();
     }
 }
 
@@ -175,9 +234,15 @@ impl fmt::Display for StepError {
 impl std::error::Error for StepError {}
 
 /// The machine state `⟨T⃗, M⟩` (Fig. 2): a thread pool and a memory.
+///
+/// All slow-changing structure (configuration, program, continuation
+/// stacks, thread-state maps, memory) is structurally shared behind
+/// [`Arc`]s, so `Machine::clone` — the per-transition cost of every
+/// exploration strategy — is O(threads) reference-count bumps, and
+/// [`Machine::apply`] copies only the pieces the step actually mutates.
 #[derive(Clone, Debug)]
 pub struct Machine {
-    config: Config,
+    config: Arc<Config>,
     program: Arc<Program>,
     threads: Vec<ThreadInstance>,
     memory: Memory,
@@ -200,7 +265,7 @@ impl Machine {
             .iter()
             .map(|code| {
                 let mut t = ThreadInstance {
-                    cont: vec![code.entry()],
+                    cont: Cont::new(vec![code.entry()]),
                     state: ThreadState::new(config.loop_fuel),
                 };
                 normalize(code, &mut t.cont);
@@ -208,7 +273,7 @@ impl Machine {
             })
             .collect();
         Machine {
-            config,
+            config: Arc::new(config),
             program,
             threads,
             memory: Memory::with_init(init),
@@ -217,7 +282,7 @@ impl Machine {
 
     /// The configuration.
     pub fn config(&self) -> &Config {
-        &self.config
+        self.config.as_ref()
     }
 
     /// The program under execution.
@@ -277,6 +342,33 @@ impl Machine {
         enabled_steps(&self.config, code, tid, &self.threads[tid.0], &self.memory)
     }
 
+    /// Whether `tid`'s only enabled thread-local step is the
+    /// deterministic [`TransitionKind::Internal`] — equivalent to
+    /// `thread_steps(tid) == [Internal]` but without enumerating read
+    /// candidates or allocating. The explorers use this to drain
+    /// deterministic steps eagerly.
+    pub fn internal_only(&self, tid: TId) -> bool {
+        let thread = &self.threads[tid.0];
+        if thread.state.stuck.is_some() {
+            return false;
+        }
+        let Some(&top) = thread.cont.last() else {
+            return false;
+        };
+        match self.program.threads()[tid.0].stmt(top) {
+            Stmt::Skip | Stmt::Seq(..) => unreachable!("continuation is normalized"),
+            Stmt::Assign { .. }
+            | Stmt::Fence(_)
+            | Stmt::Isb
+            | Stmt::If { .. }
+            | Stmt::While { .. } => true,
+            Stmt::Load { addr, .. } | Stmt::Store { addr, .. } => {
+                let (loc, _) = eval_addr(addr, &thread.state);
+                !self.config.shared.is_shared(loc)
+            }
+        }
+    }
+
     /// Apply a transition, returning what happened.
     ///
     /// # Errors
@@ -322,13 +414,44 @@ impl Machine {
         out
     }
 
-    /// A deterministic fingerprint of the dynamic state (continuations,
-    /// thread states, memory) for state-space deduplication.
+    /// The exact dynamic state (continuations, thread states, memory) as
+    /// a hashable key. Used by the *paranoid* dedup mode
+    /// ([`crate::config::Config::paranoid`]) to detect fingerprint
+    /// collisions; the normal mode stores only [`Machine::fingerprint`].
+    /// Cheap: the clones are structural shares.
     pub fn state_key(&self) -> StateKey {
         StateKey {
             threads: self.threads.clone(),
             memory: self.memory.clone(),
         }
+    }
+
+    /// A 128-bit fingerprint of the dynamic state, for visited-set
+    /// deduplication. Two machines running the same program under the
+    /// same configuration are behaviourally identical whenever their
+    /// fingerprinted components agree; collisions across *different*
+    /// states are possible but vanishingly rare (see
+    /// [`crate::fingerprint`]).
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FpHasher::new();
+        h.write_len(self.threads.len());
+        for t in &self.threads {
+            t.feed(&mut h);
+        }
+        self.memory.feed(&mut h);
+        h.finish128()
+    }
+
+    /// A clone that shares *no* structure with `self` (every `Arc` is
+    /// copied). Only useful for benchmarking the pre-COW cost model —
+    /// exploration should always use the structural `Clone`.
+    pub fn deep_clone(&self) -> Machine {
+        let mut m = self.clone();
+        for t in &mut m.threads {
+            t.unshare();
+        }
+        m.memory.unshare();
+        m
     }
 }
 
@@ -343,7 +466,7 @@ pub struct StateKey {
 
 /// Drain administrative structure from the top of a continuation:
 /// `Seq(a, b)` unfolds to `a` then `b`; `skip` is dropped.
-pub(crate) fn normalize(code: &ThreadCode, cont: &mut Vec<StmtId>) {
+pub(crate) fn normalize(code: &ThreadCode, cont: &mut Cont) {
     while let Some(&top) = cont.last() {
         match code.stmt(top) {
             Stmt::Seq(a, b) => {
@@ -537,8 +660,7 @@ pub fn apply_step(
     let Some(&top) = thread.cont.last() else {
         return Err(StepError::ThreadDone);
     };
-    let stmt = code.stmt(top).clone();
-    let event = match (&stmt, kind) {
+    let event = match (code.stmt(top), kind) {
         (Stmt::Assign { reg, expr }, TransitionKind::Internal) => {
             let (v, view) = expr.eval(&thread.state.regs);
             thread.state.regs.set(*reg, v, view);
@@ -611,9 +733,7 @@ pub fn apply_step(
             }
             let (v, v_loc) = thread
                 .state
-                .local
-                .get(&loc)
-                .copied()
+                .local(loc)
                 .unwrap_or((memory.initial(loc), View::ZERO));
             thread.state.regs.set(*reg, v, v_addr.join(v_loc));
             thread.cont.pop();
@@ -631,7 +751,7 @@ pub fn apply_step(
                 return Err(StepError::WrongShape);
             }
             let (v, v_data) = data.eval(&thread.state.regs);
-            thread.state.local.insert(loc, (v, v_addr.join(v_data)));
+            thread.state.set_local(loc, v, v_addr.join(v_data));
             thread.state.regs.set(*succ, Val::SUCCESS, View::ZERO);
             thread.cont.pop();
             StepEvent::LocalWrite(loc, v)

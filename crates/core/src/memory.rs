@@ -6,9 +6,11 @@
 //! which give value 0 (or a per-location initial value supplied for litmus
 //! `{ x=1; }` sections) to every location.
 
+use crate::fingerprint::FpHasher;
 use crate::ids::{Loc, TId, Timestamp, Val};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A write message `⟨x := v⟩_tid` (Fig. 2).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -35,10 +37,45 @@ impl fmt::Display for Msg {
 }
 
 /// The shared memory: the propagated-write history plus initial values.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+///
+/// Both components are behind [`Arc`]s with copy-on-write mutation, so
+/// cloning a `Memory` — which exploration does once per visited state —
+/// is two reference-count bumps. [`Memory::push`] copies the message
+/// list only when it is shared with another state.
+///
+/// A running fingerprint of the contents is maintained *incrementally*
+/// ([`Memory::push`] absorbs the new message), so folding a memory into
+/// a state fingerprint ([`Memory::feed`]) is O(1) instead of O(|M|) —
+/// the certification engine fingerprints a memory per explored node.
+#[derive(Clone, Debug)]
 pub struct Memory {
-    msgs: Vec<Msg>,
-    init: BTreeMap<Loc, Val>,
+    msgs: Arc<Vec<Msg>>,
+    init: Arc<BTreeMap<Loc, Val>>,
+    fp: FpHasher,
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory::with_init(BTreeMap::new())
+    }
+}
+
+// Equality/hashing ignore the running fingerprint: it is a pure function
+// of the absorbed contents, so comparing contents is both sufficient and
+// collision-safe (exact keys exist to *catch* fingerprint collisions).
+impl PartialEq for Memory {
+    fn eq(&self, other: &Memory) -> bool {
+        self.msgs == other.msgs && self.init == other.init
+    }
+}
+
+impl Eq for Memory {}
+
+impl std::hash::Hash for Memory {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.msgs.hash(state);
+        self.init.hash(state);
+    }
 }
 
 impl Memory {
@@ -50,9 +87,16 @@ impl Memory {
     /// Memory with explicit initial values for some locations (litmus
     /// `{ x=1; y=2; }` init sections); unmentioned locations hold 0.
     pub fn with_init(init: BTreeMap<Loc, Val>) -> Memory {
+        let mut fp = FpHasher::new();
+        fp.write_len(init.len());
+        for (l, v) in &init {
+            fp.write_u64(l.0);
+            fp.write_i64(v.0);
+        }
         Memory {
-            msgs: Vec::new(),
-            init,
+            msgs: Arc::new(Vec::new()),
+            init: Arc::new(init),
+            fp,
         }
     }
 
@@ -63,7 +107,7 @@ impl Memory {
 
     /// The explicit initial-value map.
     pub fn init_values(&self) -> &BTreeMap<Loc, Val> {
-        &self.init
+        self.init.as_ref()
     }
 
     /// Number of propagated writes; also the maximal timestamp.
@@ -82,9 +126,29 @@ impl Memory {
     }
 
     /// Append a write at the next timestamp (`t = |M| + 1`), returning it.
+    /// Copy-on-write: the message list is copied only if another state
+    /// still shares it. The running fingerprint absorbs the message.
     pub fn push(&mut self, msg: Msg) -> Timestamp {
-        self.msgs.push(msg);
+        Arc::make_mut(&mut self.msgs).push(msg);
+        self.fp.write_u64(msg.loc.0);
+        self.fp.write_i64(msg.val.0);
+        self.fp.write_len(msg.tid.0);
         Timestamp(self.msgs.len() as u32)
+    }
+
+    /// Fold the memory into a state fingerprint: O(1), via the
+    /// incrementally maintained digest of (initial values ++ messages).
+    pub fn feed(&self, h: &mut FpHasher) {
+        h.absorb(&self.fp);
+        h.write_len(self.msgs.len());
+    }
+
+    /// Force private copies of all shared structure (see
+    /// [`crate::machine::Machine::deep_clone`]).
+    #[doc(hidden)]
+    pub fn unshare(&mut self) {
+        Arc::make_mut(&mut self.msgs);
+        Arc::make_mut(&mut self.init);
     }
 
     /// The message at timestamp `t ≥ 1` (`M(t)`), if within bounds.

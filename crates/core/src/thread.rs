@@ -8,16 +8,22 @@
 //! state-space deduplication.
 
 use crate::config::Arch;
+use crate::fingerprint::FpHasher;
 use crate::ids::{Loc, Reg, Timestamp, Val, View};
 use crate::stmt::ReadKind;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// The register state `regs : Reg → Val × V` (r8): every register holds a
 /// value and the view that was required to produce it.
+///
+/// The map is behind an [`Arc`] with copy-on-write mutation: cloning a
+/// thread state (once per explored transition) is a reference-count
+/// bump, and [`RegFile::set`] copies the map only when it is shared.
 #[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct RegFile {
-    regs: BTreeMap<Reg, (Val, View)>,
+    regs: Arc<BTreeMap<Reg, (Val, View)>>,
 }
 
 impl RegFile {
@@ -39,9 +45,9 @@ impl RegFile {
         self.get(r).0
     }
 
-    /// Write `v@view` to `r` (r9).
+    /// Write `v@view` to `r` (r9). Copy-on-write.
     pub fn set(&mut self, r: Reg, v: Val, view: View) {
-        self.regs.insert(r, (v, view));
+        Arc::make_mut(&mut self.regs).insert(r, (v, view));
     }
 
     /// Iterate over explicitly-written registers.
@@ -100,8 +106,8 @@ pub struct ThreadState {
     pub prom: BTreeSet<Timestamp>,
     /// Register file with views (r8).
     pub regs: RegFile,
-    /// Per-location coherence view (r11); defaults to 0.
-    coh: BTreeMap<Loc, View>,
+    /// Per-location coherence view (r11); defaults to 0. Copy-on-write.
+    coh: Arc<BTreeMap<Loc, View>>,
     /// Maximal post-view of all loads executed so far (r5).
     pub vr_old: View,
     /// Maximal post-view of all stores executed so far (r5).
@@ -114,15 +120,16 @@ pub struct ThreadState {
     pub v_cap: View,
     /// Maximal post-view of strong releases executed so far (ρ3).
     pub v_rel: View,
-    /// Forward bank (r13); defaults to the initial entry.
-    fwdb: BTreeMap<Loc, Forward>,
+    /// Forward bank (r13); defaults to the initial entry. Copy-on-write.
+    fwdb: Arc<BTreeMap<Loc, Forward>>,
     /// Exclusives bank (ρ8).
     pub xclb: Option<ExclBank>,
     /// Remaining taken-loop-iteration budget.
     pub fuel: u32,
     /// Thread-private memory for non-shared locations (§7 optimisation):
     /// value and view of the last private write per location.
-    pub local: BTreeMap<Loc, (Val, View)>,
+    /// Copy-on-write.
+    local: Arc<BTreeMap<Loc, (Val, View)>>,
     /// Set when the thread ran out of loop fuel.
     pub stuck: Option<StuckReason>,
 }
@@ -134,17 +141,17 @@ impl ThreadState {
         ThreadState {
             prom: BTreeSet::new(),
             regs: RegFile::new(),
-            coh: BTreeMap::new(),
+            coh: Arc::new(BTreeMap::new()),
             vr_old: View::ZERO,
             vw_old: View::ZERO,
             vr_new: View::ZERO,
             vw_new: View::ZERO,
             v_cap: View::ZERO,
             v_rel: View::ZERO,
-            fwdb: BTreeMap::new(),
+            fwdb: Arc::new(BTreeMap::new()),
             xclb: None,
             fuel,
-            local: BTreeMap::new(),
+            local: Arc::new(BTreeMap::new()),
             stuck: None,
         }
     }
@@ -154,9 +161,10 @@ impl ThreadState {
         self.coh.get(&l).copied().unwrap_or(View::ZERO)
     }
 
-    /// Join `v` into `coh(l)`.
+    /// Join `v` into `coh(l)`. Copy-on-write.
     pub fn bump_coh(&mut self, l: Loc, v: View) {
-        let e = self.coh.entry(l).or_insert(View::ZERO);
+        let coh = Arc::make_mut(&mut self.coh);
+        let e = coh.entry(l).or_insert(View::ZERO);
         *e = e.join(v);
     }
 
@@ -166,9 +174,25 @@ impl ThreadState {
         self.fwdb.get(&l).copied().unwrap_or_default()
     }
 
-    /// Overwrite the forward-bank entry for `l` (r14).
+    /// Overwrite the forward-bank entry for `l` (r14). Copy-on-write.
     pub fn set_fwd(&mut self, l: Loc, f: Forward) {
-        self.fwdb.insert(l, f);
+        Arc::make_mut(&mut self.fwdb).insert(l, f);
+    }
+
+    /// The thread-private value and view of non-shared location `l`, if
+    /// the thread has written it (§7 optimisation).
+    pub fn local(&self, l: Loc) -> Option<(Val, View)> {
+        self.local.get(&l).copied()
+    }
+
+    /// Write to thread-private (non-shared) location `l`. Copy-on-write.
+    pub fn set_local(&mut self, l: Loc, v: Val, view: View) {
+        Arc::make_mut(&mut self.local).insert(l, (v, view));
+    }
+
+    /// Iterate over the thread-private memory entries.
+    pub fn local_entries(&self) -> impl Iterator<Item = (Loc, Val, View)> + '_ {
+        self.local.iter().map(|(&l, &(v, n))| (l, v, n))
     }
 
     /// The `read-view(a, rk, f, t)` function of Fig. 5: when a load reads
@@ -195,6 +219,65 @@ impl ThreadState {
     /// Iterate over the explicit coherence entries.
     pub fn coh_entries(&self) -> impl Iterator<Item = (Loc, View)> + '_ {
         self.coh.iter().map(|(&l, &v)| (l, v))
+    }
+
+    /// Fold the full thread state into a state fingerprint. All maps are
+    /// ordered (`BTreeMap`/`BTreeSet`), so the encoding is canonical.
+    pub fn feed(&self, h: &mut FpHasher) {
+        h.write_len(self.prom.len());
+        for t in &self.prom {
+            h.write_u32(t.0);
+        }
+        h.write_len(self.regs.regs.len());
+        for (r, (v, n)) in self.regs.regs.iter() {
+            h.write_u32(r.0);
+            h.write_i64(v.0);
+            h.write_u32(n.0);
+        }
+        h.write_len(self.coh.len());
+        for (l, v) in self.coh.iter() {
+            h.write_u64(l.0);
+            h.write_u32(v.0);
+        }
+        h.write_u32(self.vr_old.0);
+        h.write_u32(self.vw_old.0);
+        h.write_u32(self.vr_new.0);
+        h.write_u32(self.vw_new.0);
+        h.write_u32(self.v_cap.0);
+        h.write_u32(self.v_rel.0);
+        h.write_len(self.fwdb.len());
+        for (l, f) in self.fwdb.iter() {
+            h.write_u64(l.0);
+            h.write_u32(f.time.0);
+            h.write_u32(f.view.0);
+            h.write_bool(f.exclusive);
+        }
+        match &self.xclb {
+            None => h.write_bool(false),
+            Some(x) => {
+                h.write_bool(true);
+                h.write_u32(x.time.0);
+                h.write_u32(x.view.0);
+            }
+        }
+        h.write_u32(self.fuel);
+        h.write_len(self.local.len());
+        for (l, (v, n)) in self.local.iter() {
+            h.write_u64(l.0);
+            h.write_i64(v.0);
+            h.write_u32(n.0);
+        }
+        h.write_bool(self.stuck.is_some());
+    }
+
+    /// Force private copies of all shared structure (see
+    /// [`crate::machine::Machine::deep_clone`]).
+    #[doc(hidden)]
+    pub fn unshare(&mut self) {
+        Arc::make_mut(&mut self.regs.regs);
+        Arc::make_mut(&mut self.coh);
+        Arc::make_mut(&mut self.fwdb);
+        Arc::make_mut(&mut self.local);
     }
 }
 

@@ -1,0 +1,390 @@
+//! The shared exploration frontier: a work pool of unexplored states, a
+//! sharded visited set, and a driver that runs the search serially or on
+//! scoped worker threads.
+//!
+//! Every exhaustive strategy in this workspace (naive, promise-first, and
+//! Flat-lite's interleaving search) is the same loop: pop a state, expand
+//! it, deduplicate successors against a visited set, push the fresh ones.
+//! [`drive`] owns that loop; a strategy supplies three closures:
+//!
+//! * `init` — build the per-worker accumulator (stats, outcomes, memo
+//!   tables; may contain non-`Send` data such as `Rc`, since it never
+//!   leaves its worker thread);
+//! * `step` — expand one state, pushing successors via [`Ctx::push`] and
+//!   signalling global cancellation via [`Ctx::stop`] (deadlines);
+//! * `finish` — reduce the accumulator to a `Send` result, merged by the
+//!   caller (e.g. via `Stats::absorb`).
+//!
+//! With `workers == 1` the driver runs a plain LIFO stack with no
+//! synchronisation — the serial path pays nothing for the abstraction.
+//! With more workers it runs a mutex-guarded shared stack with condvar
+//! parking and counts in-flight expansions for termination detection:
+//! the search is done when the pool is empty *and* no worker is mid-step.
+//! States are coarse-grained units (each expansion runs certification),
+//! so a single shared stack does not contend in practice.
+//!
+//! Order independence: expanding a state depends only on that state, and
+//! the visited set only ever *suppresses* re-expansion of an
+//! already-seen state, so the set of expanded states — and therefore the
+//! outcome set — is identical for any pop order and worker count.
+
+use promising_core::{Fingerprint, FpBuildHasher};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// A visited set keyed by 128-bit state fingerprints, striped over
+/// independently locked shards so parallel workers rarely contend.
+///
+/// In paranoid mode ([`promising_core::Config::paranoid`]) each entry
+/// additionally stores the exact state key `K`; inserting a *different*
+/// state with the same fingerprint panics, turning a silent dedup error
+/// into a loud test failure.
+pub struct ShardedVisited<K> {
+    shards: Vec<Mutex<HashMap<Fingerprint, Option<K>, FpBuildHasher>>>,
+    paranoid: bool,
+    /// `shards.len() - 1`; shard count is a power of two.
+    mask: u64,
+}
+
+impl<K: Eq + std::fmt::Debug> ShardedVisited<K> {
+    /// A visited set sized for `workers` parallel writers.
+    pub fn new(paranoid: bool, workers: usize) -> ShardedVisited<K> {
+        let shards = if workers <= 1 {
+            1
+        } else {
+            (workers * 8).next_power_of_two().min(256)
+        };
+        ShardedVisited {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::default())).collect(),
+            paranoid,
+            mask: shards as u64 - 1,
+        }
+    }
+
+    /// Insert a state, returning `true` if it was new. `exact` is only
+    /// evaluated in paranoid mode.
+    ///
+    /// # Panics
+    ///
+    /// In paranoid mode, panics if `fp` is already present with a
+    /// *different* exact key — a fingerprint collision.
+    pub fn insert(&self, fp: Fingerprint, exact: impl FnOnce() -> K) -> bool {
+        // The fingerprint is uniform; any bit range selects a shard. Use
+        // high bits — the identity hasher folds low bits into the bucket
+        // index within the shard.
+        let shard = ((fp.0 >> 64) as u64 >> 32) & self.mask;
+        let mut guard = self.shards[shard as usize].lock().expect("shard poisoned");
+        match guard.entry(fp) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                if self.paranoid {
+                    let stored = e.get();
+                    let fresh = exact();
+                    assert!(
+                        stored.as_ref() == Some(&fresh),
+                        "state fingerprint collision at {fp}:\n  stored: {stored:?}\n  fresh:  {fresh:?}"
+                    );
+                }
+                false
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(self.paranoid.then(exact));
+                true
+            }
+        }
+    }
+
+    /// Number of distinct states recorded.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether no state has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-step context: successor buffer and the global cancellation flag.
+pub struct Ctx<'a, S> {
+    out: Vec<S>,
+    stop: &'a AtomicBool,
+}
+
+impl<S> Ctx<'_, S> {
+    /// Schedule a successor state for expansion.
+    pub fn push(&mut self, s: S) {
+        self.out.push(s);
+    }
+
+    /// Cancel the whole search (deadline hit); workers drain and exit.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+struct Pool<S> {
+    state: Mutex<PoolState<S>>,
+    ready: Condvar,
+}
+
+struct PoolState<S> {
+    stack: Vec<S>,
+    /// Workers currently inside `step` (they may still push successors).
+    in_flight: usize,
+}
+
+/// Unwind guard around a `step` call: if the step panics, the worker
+/// would otherwise leave `in_flight` incremented forever and deadlock
+/// its parked siblings. The guard's `Drop` (reached only on unwind — the
+/// normal path defuses it with `mem::forget`) decrements the counter,
+/// raises the stop flag, and wakes everyone so the panic propagates out
+/// of `thread::scope` instead of hanging the process.
+struct AbortOnPanic<'a, S> {
+    pool: &'a Pool<S>,
+    stop: &'a AtomicBool,
+}
+
+impl<S> Drop for AbortOnPanic<'_, S> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let mut g = self
+            .pool
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        g.in_flight -= 1;
+        drop(g);
+        self.pool.ready.notify_all();
+    }
+}
+
+/// Run the exploration loop over `roots`.
+///
+/// Returns one `finish` result per worker (a single-element vector on the
+/// serial path). See the module docs for the closure contract.
+pub fn drive<S, L, R>(
+    roots: Vec<S>,
+    workers: usize,
+    init: impl Fn() -> L + Sync,
+    step: impl Fn(&mut L, S, &mut Ctx<'_, S>) + Sync,
+    finish: impl Fn(L) -> R + Sync,
+) -> Vec<R>
+where
+    S: Send,
+    R: Send,
+{
+    let stop = AtomicBool::new(false);
+
+    if workers <= 1 {
+        let mut local = init();
+        let mut stack = roots;
+        let mut ctx = Ctx {
+            out: Vec::new(),
+            stop: &stop,
+        };
+        while let Some(s) = stack.pop() {
+            if ctx.stopped() {
+                break;
+            }
+            step(&mut local, s, &mut ctx);
+            stack.append(&mut ctx.out);
+        }
+        return vec![finish(local)];
+    }
+
+    let pool = Pool {
+        state: Mutex::new(PoolState {
+            stack: roots,
+            in_flight: 0,
+        }),
+        ready: Condvar::new(),
+    };
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = init();
+                    let mut ctx = Ctx {
+                        out: Vec::new(),
+                        stop: &stop,
+                    };
+                    loop {
+                        // Pop a state, or park until one appears / the
+                        // search ends.
+                        let task = {
+                            let mut g = pool.state.lock().expect("pool poisoned");
+                            loop {
+                                if stop.load(Ordering::Relaxed) {
+                                    break None;
+                                }
+                                if let Some(s) = g.stack.pop() {
+                                    g.in_flight += 1;
+                                    break Some(s);
+                                }
+                                if g.in_flight == 0 {
+                                    break None;
+                                }
+                                g = pool.ready.wait(g).expect("pool poisoned");
+                            }
+                        };
+                        let Some(s) = task else { break };
+
+                        let guard = AbortOnPanic {
+                            pool: &pool,
+                            stop: &stop,
+                        };
+                        step(&mut local, s, &mut ctx);
+                        std::mem::forget(guard);
+
+                        let mut g = pool.state.lock().expect("pool poisoned");
+                        g.stack.append(&mut ctx.out);
+                        g.in_flight -= 1;
+                        drop(g);
+                        // Wake everyone: new work may have arrived, or this
+                        // was the last in-flight expansion (termination).
+                        pool.ready.notify_all();
+                    }
+                    // Unblock parked siblings so termination propagates.
+                    pool.ready.notify_all();
+                    finish(local)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
+
+/// The effective worker count for a machine configuration: the
+/// configured value, with `0` mapped to the available parallelism.
+pub fn effective_workers(configured: usize) -> usize {
+    if configured == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        configured
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promising_core::FpHasher;
+
+    fn fp_of(n: u64) -> Fingerprint {
+        let mut h = FpHasher::new();
+        h.write_u64(n);
+        h.finish128()
+    }
+
+    /// Exhaustively explore the binary tree of depths below `depth`,
+    /// counting nodes; every worker count must agree.
+    fn count_tree(workers: usize) -> (u64, usize) {
+        let visited: ShardedVisited<u64> = ShardedVisited::new(true, workers);
+        let root = 1u64;
+        assert!(visited.insert(fp_of(root), || root));
+        let results = drive(
+            vec![root],
+            workers,
+            || 0u64,
+            |count, node, ctx| {
+                *count += 1;
+                for child in [node * 2, node * 2 + 1] {
+                    if child < 128 && visited.insert(fp_of(child), || child) {
+                        ctx.push(child);
+                    }
+                }
+            },
+            |count| count,
+        );
+        (results.iter().sum(), visited.len())
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let (serial, serial_seen) = count_tree(1);
+        assert_eq!(serial, 127);
+        assert_eq!(serial_seen, 127);
+        for workers in [2, 4, 8] {
+            assert_eq!(count_tree(workers), (serial, serial_seen));
+        }
+    }
+
+    #[test]
+    fn revisits_are_suppressed() {
+        let visited: ShardedVisited<u64> = ShardedVisited::new(false, 1);
+        assert!(visited.insert(fp_of(7), || 7));
+        assert!(!visited.insert(fp_of(7), || 7));
+        assert_eq!(visited.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fingerprint collision")]
+    fn paranoid_mode_detects_collisions() {
+        let visited: ShardedVisited<u64> = ShardedVisited::new(true, 1);
+        assert!(visited.insert(fp_of(1), || 1));
+        // Same fingerprint, different exact key: must panic.
+        visited.insert(fp_of(1), || 2);
+    }
+
+    #[test]
+    fn stop_cancels_parallel_search() {
+        let visited: ShardedVisited<u64> = ShardedVisited::new(false, 4);
+        let results = drive(
+            vec![1u64],
+            4,
+            || 0u64,
+            |count, node, ctx| {
+                *count += 1;
+                if *count > 10 {
+                    ctx.stop();
+                    return;
+                }
+                for child in [node * 2, node * 2 + 1] {
+                    if visited.insert(fp_of(child), || child) {
+                        ctx.push(child);
+                    }
+                }
+            },
+            |count| count,
+        );
+        // Unbounded tree: only cancellation lets this return.
+        assert!(results.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn effective_workers_resolves_zero() {
+        assert!(effective_workers(0) >= 1);
+        assert_eq!(effective_workers(3), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        // A panicking step (e.g. a paranoid-mode collision assert) must
+        // cancel the pool and propagate, not strand parked siblings.
+        drive(
+            vec![1u64, 2, 3, 4],
+            4,
+            || (),
+            |_, node, ctx| {
+                if node == 3 {
+                    panic!("injected step failure");
+                }
+                ctx.push(node + 4);
+            },
+            |()| (),
+        );
+    }
+}

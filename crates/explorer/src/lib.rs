@@ -27,11 +27,13 @@
 
 #![warn(missing_docs)]
 
+pub mod frontier;
 pub mod interactive;
 pub mod naive;
 pub mod promise_first;
 pub mod stats;
 
+pub use frontier::{drive, effective_workers, Ctx, ShardedVisited};
 pub use interactive::{Session, TraceEntry};
 pub use naive::{explore_naive, explore_naive_deadline, CertMode, Exploration};
 pub use promising_core::Outcome;

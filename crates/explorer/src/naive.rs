@@ -5,15 +5,23 @@
 //! interleaving blow-up. The promise-first strategy
 //! ([`crate::promise_first`]) must produce identical outcome sets
 //! (Theorem 7.1), which the cross-model tests check.
+//!
+//! The search runs on the shared [`crate::frontier`]: states are
+//! deduplicated by 128-bit fingerprint (exact keys in paranoid mode),
+//! certification results are memoised across sibling branches
+//! ([`CertMemo`]), and `Config::workers > 1` explores the frontier on
+//! that many threads with identical outcome sets.
 
+use crate::frontier::{drive, effective_workers, Ctx, ShardedVisited};
 use promising_core::Outcome;
 use crate::stats::Stats;
 use promising_core::{
-    find_and_certify, Machine, StateKey, Transition, TransitionKind,
+    find_and_certify_with, find_promises_with, CertMemo, Machine, StateKey, Transition,
+    TransitionKind,
 };
 use promising_core::ids::TId;
-use std::collections::{BTreeSet, HashSet};
-use std::time::Instant;
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
 
 /// How the naive explorer uses certification (for the Theorem 6.2
 /// experiment).
@@ -38,6 +46,13 @@ pub struct Exploration {
     pub stats: Stats,
 }
 
+/// Per-worker search state.
+struct Local {
+    stats: Stats,
+    outcomes: BTreeSet<Outcome>,
+    memo: CertMemo,
+}
+
 /// Exhaustively explore all interleavings from `machine`, returning every
 /// outcome of a complete (terminated, promise-free) execution.
 pub fn explore_naive(machine: &Machine, mode: CertMode) -> Exploration {
@@ -45,94 +60,123 @@ pub fn explore_naive(machine: &Machine, mode: CertMode) -> Exploration {
 }
 
 /// Like [`explore_naive`] with a wall-clock deadline (`stats.truncated`
-/// set when hit).
+/// set when hit). The deadline also bounds certification work *inside*
+/// `find_and_certify`, so a single pathological certification cannot blow
+/// past the budget.
 pub fn explore_naive_deadline(
     machine: &Machine,
     mode: CertMode,
-    deadline: Option<std::time::Duration>,
+    deadline: Option<Duration>,
 ) -> Exploration {
     let start = Instant::now();
-    let mut stats = Stats::default();
-    let mut outcomes = BTreeSet::new();
-    let mut visited: HashSet<StateKey> = HashSet::new();
-    let mut stack: Vec<Machine> = Vec::new();
+    let deadline_at = deadline.map(|d| start + d);
+    let config = machine.config();
+    let workers = effective_workers(config.workers);
+    let visited: ShardedVisited<StateKey> = ShardedVisited::new(config.paranoid, workers);
 
+    let mut pre_stats = Stats::default();
     let mut root = machine.clone();
-    drain_internal(&mut root, &mut stats);
-    if visited.insert(root.state_key()) {
-        stack.push(root);
+    drain_internal(&mut root, &mut pre_stats);
+    let mut roots = Vec::new();
+    if visited.insert(root.fingerprint(), || root.state_key()) {
+        roots.push(root);
     }
 
-    while let Some(m) = stack.pop() {
-        stats.states += 1;
-        if let Some(d) = deadline {
-            if start.elapsed() > d {
-                stats.truncated = true;
-                break;
+    let step = |l: &mut Local, m: Machine, ctx: &mut Ctx<'_, Machine>| {
+        l.stats.states += 1;
+        if let Some(at) = deadline_at {
+            if Instant::now() >= at {
+                l.stats.truncated = true;
+                ctx.stop();
+                return;
             }
         }
         if m.terminated() {
-            outcomes.insert(Outcome::of_machine(&m));
-            continue;
+            l.outcomes.insert(Outcome::of_machine(&m));
+            return;
         }
         if m.any_stuck() {
-            stats.bound_hits += 1;
-            continue;
+            l.stats.bound_hits += 1;
+            return;
         }
-        let transitions = enabled(&m, mode, &mut stats);
+        let transitions = enabled(&m, mode, &mut l.stats, &mut l.memo, deadline_at);
+        if l.stats.truncated {
+            // a certification run hit the deadline: its step set may be
+            // incomplete, so stop rather than explore a skewed frontier
+            ctx.stop();
+            return;
+        }
         if transitions.is_empty() {
             // unfinished but no steps: an unfulfillable-promise deadlock
-            stats.deadlocks += 1;
-            continue;
+            l.stats.deadlocks += 1;
+            return;
         }
         for tr in transitions {
             let mut next = m.clone();
             next.apply(&tr).expect("enabled transition applies");
-            stats.transitions += 1;
-            drain_internal(&mut next, &mut stats);
-            if visited.insert(next.state_key()) {
-                stack.push(next);
+            l.stats.transitions += 1;
+            drain_internal(&mut next, &mut l.stats);
+            if visited.insert(next.fingerprint(), || next.state_key()) {
+                ctx.push(next);
             }
         }
-    }
+    };
 
+    let results = drive(
+        roots,
+        workers,
+        || Local {
+            stats: Stats::default(),
+            outcomes: BTreeSet::new(),
+            memo: CertMemo::for_config(config),
+        },
+        step,
+        |l| (l.stats, l.outcomes),
+    );
+
+    let mut stats = pre_stats;
+    let mut outcomes = BTreeSet::new();
+    for (s, o) in results {
+        stats.absorb(&s);
+        outcomes.extend(o);
+    }
     stats.duration = start.elapsed();
     Exploration { outcomes, stats }
 }
 
-/// Enumerate the transitions the naive search branches on.
-fn enabled(m: &Machine, mode: CertMode, stats: &mut Stats) -> Vec<Transition> {
+/// Enumerate the transitions the naive search branches on. Sets
+/// `stats.truncated` if a certification run was cut off by the deadline.
+fn enabled(
+    m: &Machine,
+    mode: CertMode,
+    stats: &mut Stats,
+    memo: &mut CertMemo,
+    deadline: Option<Instant>,
+) -> Vec<Transition> {
     let mut out = Vec::new();
     for tid in (0..m.num_threads()).map(TId) {
-        match mode {
-            CertMode::Online => {
-                if m.thread(tid).state.has_promises() {
-                    stats.certifications += 1;
-                    let cert = find_and_certify(m, tid);
-                    for k in cert.certified_first_steps {
-                        out.push(Transition::new(tid, k));
-                    }
-                    for msg in cert.promisable {
-                        out.push(Transition::new(tid, TransitionKind::Promise { msg }));
-                    }
-                } else {
-                    for k in m.thread_steps(tid) {
-                        out.push(Transition::new(tid, k));
-                    }
-                    stats.certifications += 1;
-                    for msg in find_and_certify(m, tid).promisable {
-                        out.push(Transition::new(tid, TransitionKind::Promise { msg }));
-                    }
-                }
+        let promising = m.thread(tid).state.has_promises();
+        stats.certifications += 1;
+        if mode == CertMode::Online && promising {
+            // r24: non-promise steps filtered to certified post-states.
+            let cert = find_and_certify_with(m, tid, memo, deadline);
+            stats.truncated |= cert.deadline_hit;
+            for k in cert.certified_first_steps {
+                out.push(Transition::new(tid, k));
             }
-            CertMode::PromisesOnly => {
-                for k in m.thread_steps(tid) {
-                    out.push(Transition::new(tid, k));
-                }
-                stats.certifications += 1;
-                for msg in find_and_certify(m, tid).promisable {
-                    out.push(Transition::new(tid, TransitionKind::Promise { msg }));
-                }
+            for msg in cert.promisable {
+                out.push(Transition::new(tid, TransitionKind::Promise { msg }));
+            }
+        } else {
+            // Steps run free; certification only enumerates promises, so
+            // skip the certified-first-steps re-expansion.
+            let (promisable, cut) = find_promises_with(m, tid, memo, deadline);
+            stats.truncated |= cut;
+            for k in m.thread_steps(tid) {
+                out.push(Transition::new(tid, k));
+            }
+            for msg in promisable {
+                out.push(Transition::new(tid, TransitionKind::Promise { msg }));
             }
         }
     }
@@ -145,16 +189,11 @@ pub(crate) fn drain_internal(m: &mut Machine, stats: &mut Stats) {
     loop {
         let mut progressed = false;
         for tid in (0..m.num_threads()).map(TId) {
-            loop {
-                let steps = m.thread_steps(tid);
-                if steps == [TransitionKind::Internal] {
-                    m.apply(&Transition::new(tid, TransitionKind::Internal))
-                        .expect("internal step applies");
-                    stats.transitions += 1;
-                    progressed = true;
-                } else {
-                    break;
-                }
+            while m.internal_only(tid) {
+                m.apply(&Transition::new(tid, TransitionKind::Internal))
+                    .expect("internal step applies");
+                stats.transitions += 1;
+                progressed = true;
             }
         }
         if !progressed {
@@ -293,5 +332,25 @@ mod tests {
             .collect();
         assert!(!pairs.contains(&(1, 0)), "coherence violation (1,0) forbidden");
         assert_eq!(pairs, BTreeSet::from([(0, 0), (0, 1), (1, 1)]));
+    }
+
+    #[test]
+    fn parallel_workers_and_paranoid_mode_agree_with_serial() {
+        for fenced in [false, true] {
+            let program = mp_program(fenced);
+            let serial = {
+                let m = Machine::new(Arc::clone(&program), Config::arm());
+                explore_naive(&m, CertMode::Online)
+            };
+            for config in [
+                Config::arm().with_workers(4),
+                Config::arm().with_paranoid(true),
+                Config::arm().with_workers(2).with_paranoid(true),
+            ] {
+                let m = Machine::new(Arc::clone(&program), config);
+                let exp = explore_naive(&m, CertMode::Online);
+                assert_eq!(exp.outcomes, serial.outcomes);
+            }
+        }
     }
 }

@@ -16,22 +16,125 @@
 //!
 //! This removes the read-interleaving blow-up that dominates the naive
 //! search and is the optimisation behind the paper's Table 2/3 results.
+//!
+//! Promise-mode states are deduplicated by a fingerprint of (per-thread
+//! promise sets, memory). Certification and the phase-2 per-thread
+//! searches are memoised *within* each state's work (fingerprint keys);
+//! unlike the naive search, the memos are not shared across states —
+//! every promise-mode state has a distinct memory, so cross-state keys
+//! could never hit and a shared table would only grow without bound.
+//! `Config::workers > 1` explores the promise frontier in parallel with
+//! identical outcome sets.
 
+use crate::frontier::{drive, effective_workers, Ctx, ShardedVisited};
 use crate::naive::Exploration;
 use promising_core::Outcome;
 use crate::stats::Stats;
 use promising_core::stmt::SCRATCH_REG_BASE;
 use promising_core::{
-    apply_step, enabled_steps, find_and_certify, Machine, Memory, Msg, Reg, ThreadInstance,
-    TransitionKind, Val,
+    apply_step, enabled_steps, find_promises_with, CertMemo, Fingerprint, FpHashMap, FpHasher,
+    Machine, Memory, Reg, ThreadInstance, Timestamp, TransitionKind, Val,
 };
 use promising_core::ids::TId;
 use promising_core::Transition;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 type RegMap = BTreeMap<Reg, Val>;
+
+/// Exact promise-mode state identity (paranoid dedup): the per-thread
+/// promise sets and the memory — the only parts that change in phase 1.
+type PromiseKey = (Vec<BTreeSet<Timestamp>>, Memory);
+
+fn promise_fp(m: &Machine) -> Fingerprint {
+    let mut h = FpHasher::new();
+    h.write_len(m.num_threads());
+    for t in m.threads() {
+        h.write_len(t.state.prom.len());
+        for ts in &t.state.prom {
+            h.write_u32(ts.0);
+        }
+    }
+    m.memory().feed(&mut h);
+    h.finish128()
+}
+
+fn promise_key(m: &Machine) -> PromiseKey {
+    (
+        m.threads().iter().map(|t| t.state.prom.clone()).collect(),
+        m.memory().clone(),
+    )
+}
+
+/// Exact phase-2 sub-problem identity, stored in paranoid mode only.
+type Phase2Exact = (TId, ThreadInstance, Memory);
+
+/// Memo of phase-2 per-thread outcome sets, keyed by a fingerprint of
+/// (thread id, thread instance, memory). The thread id is part of the
+/// key because two threads running *different* code can still have
+/// identical dynamic instances (e.g. the two IRIW readers in their
+/// initial states). Paranoid mode stores the exact key and panics on
+/// collisions.
+struct Phase2Memo {
+    paranoid: bool,
+    map: FpHashMap<(Option<Phase2Exact>, Rc<BTreeSet<RegMap>>)>,
+}
+
+impl Phase2Memo {
+    fn new(paranoid: bool) -> Phase2Memo {
+        Phase2Memo {
+            paranoid,
+            map: FpHashMap::default(),
+        }
+    }
+
+    fn key(tid: TId, thread: &ThreadInstance, mem_fp: Fingerprint) -> Fingerprint {
+        let mut h = FpHasher::new();
+        h.write_len(tid.0);
+        h.write_u64(mem_fp.0 as u64);
+        h.write_u64((mem_fp.0 >> 64) as u64);
+        thread.feed(&mut h);
+        h.finish128()
+    }
+
+    fn get(
+        &self,
+        fp: Fingerprint,
+        tid: TId,
+        thread: &ThreadInstance,
+        memory: &Memory,
+    ) -> Option<Rc<BTreeSet<RegMap>>> {
+        let (exact, value) = self.map.get(&fp)?;
+        if let Some((etid, eth, emem)) = exact {
+            assert!(
+                *etid == tid && eth == thread && emem == memory,
+                "phase-2 memo fingerprint collision at {fp}"
+            );
+        }
+        Some(Rc::clone(value))
+    }
+
+    fn insert(
+        &mut self,
+        fp: Fingerprint,
+        tid: TId,
+        thread: &ThreadInstance,
+        memory: &Memory,
+        value: Rc<BTreeSet<RegMap>>,
+    ) {
+        let exact = self
+            .paranoid
+            .then(|| (tid, thread.clone(), memory.clone()));
+        self.map.insert(fp, (exact, value));
+    }
+}
+
+/// Per-worker search state.
+struct Local {
+    stats: Stats,
+    outcomes: BTreeSet<Outcome>,
+}
 
 /// Exhaustively explore `machine` promise-first, returning the same
 /// outcome set as [`crate::naive::explore_naive`] (Theorem 7.1).
@@ -41,40 +144,51 @@ pub fn explore_promise_first(machine: &Machine) -> Exploration {
 
 /// Like [`explore_promise_first`], but giving up (with `stats.truncated`)
 /// once `deadline` has elapsed — the "out of time" guard for the
-/// benchmark tables.
+/// benchmark tables. The deadline also bounds certification work inside
+/// promise enumeration.
 pub fn explore_promise_first_deadline(
     machine: &Machine,
-    deadline: Option<std::time::Duration>,
+    deadline: Option<Duration>,
 ) -> Exploration {
     let start = Instant::now();
-    let mut stats = Stats::default();
-    let mut outcomes = BTreeSet::new();
+    let deadline_at = deadline.map(|d| start + d);
+    let config = machine.config();
+    let workers = effective_workers(config.workers);
+    let visited: ShardedVisited<PromiseKey> = ShardedVisited::new(config.paranoid, workers);
 
-    // Promise-mode search over (memory, promise-sets) states.
-    let mut visited: HashSet<(Vec<BTreeSet<promising_core::Timestamp>>, Memory)> = HashSet::new();
-    let mut stack = vec![machine.clone()];
-    visited.insert(promise_key(machine));
+    let root = machine.clone();
+    visited.insert(promise_fp(&root), || promise_key(&root));
+    let roots = vec![root];
 
-    // Cache of promisable sets, keyed by the acting thread's promise set
-    // and the memory (the rest of the thread state never changes in
-    // promise mode).
-    let mut promise_cache: HashMap<(TId, BTreeSet<promising_core::Timestamp>, Memory), BTreeSet<Msg>> =
-        HashMap::new();
-
-    while let Some(m) = stack.pop() {
-        stats.states += 1;
-        if let Some(d) = deadline {
-            if start.elapsed() > d {
-                stats.truncated = true;
-                break;
+    let step = |l: &mut Local, m: Machine, ctx: &mut Ctx<'_, Machine>| {
+        l.stats.states += 1;
+        if let Some(at) = deadline_at {
+            if Instant::now() >= at {
+                l.stats.truncated = true;
+                ctx.stop();
+                return;
             }
         }
 
         // Phase-2 check: is this memory final (all threads completable)?
+        let mem_fp = {
+            let mut h = FpHasher::new();
+            m.memory().feed(&mut h);
+            h.finish128()
+        };
+        let mut phase2 = Phase2Memo::new(config.paranoid);
         let mut per_thread: Vec<Rc<BTreeSet<RegMap>>> = Vec::with_capacity(m.num_threads());
         let mut all_complete = true;
+        let mut cut = false;
         for tid in (0..m.num_threads()).map(TId) {
-            let set = thread_outcomes(&m, tid, &mut stats);
+            let set = thread_outcomes(&m, tid, mem_fp, &mut phase2, &mut l.stats, deadline_at, &mut cut);
+            if cut {
+                // the per-thread search outran the wall clock: the outcome
+                // set is a lower bound from here on
+                l.stats.truncated = true;
+                ctx.stop();
+                return;
+            }
             if set.is_empty() {
                 all_complete = false;
                 break;
@@ -82,12 +196,12 @@ pub fn explore_promise_first_deadline(
             per_thread.push(set);
         }
         if all_complete {
-            stats.final_memories += 1;
+            l.stats.final_memories += 1;
             let memory: BTreeMap<_, _> = m
                 .memory()
                 .locations()
                 .into_iter()
-                .map(|l| (l, m.memory().final_value(l)))
+                .map(|loc| (loc, m.memory().final_value(loc)))
                 .collect();
             let mut regs_product: Vec<Vec<RegMap>> = vec![Vec::new()];
             for set in &per_thread {
@@ -102,7 +216,7 @@ pub fn explore_promise_first_deadline(
                 regs_product = next;
             }
             for regs in regs_product {
-                outcomes.insert(Outcome {
+                l.outcomes.insert(Outcome {
                     regs,
                     memory: memory.clone(),
                 });
@@ -111,93 +225,157 @@ pub fn explore_promise_first_deadline(
 
         // Expand: all certified promises of all threads.
         for tid in (0..m.num_threads()).map(TId) {
-            let key = (
-                tid,
-                m.thread(tid).state.prom.clone(),
-                m.memory().clone(),
-            );
-            let promisable = match promise_cache.get(&key) {
-                Some(p) => p.clone(),
-                None => {
-                    stats.certifications += 1;
-                    let p = find_and_certify(&m, tid).promisable;
-                    promise_cache.insert(key, p.clone());
-                    p
-                }
-            };
+            l.stats.certifications += 1;
+            let mut cert_memo = CertMemo::for_config(config);
+            let (promisable, cut) = find_promises_with(&m, tid, &mut cert_memo, deadline_at);
+            if cut {
+                l.stats.truncated = true;
+                ctx.stop();
+                return;
+            }
             for msg in promisable {
                 let mut next = m.clone();
                 next.apply(&Transition::new(tid, TransitionKind::Promise { msg }))
                     .expect("certified promise applies");
-                stats.transitions += 1;
-                let k = promise_key(&next);
-                if visited.insert(k) {
-                    stack.push(next);
+                l.stats.transitions += 1;
+                if visited.insert(promise_fp(&next), || promise_key(&next)) {
+                    ctx.push(next);
                 }
             }
         }
-    }
+    };
 
+    let results = drive(
+        roots,
+        workers,
+        || Local {
+            stats: Stats::default(),
+            outcomes: BTreeSet::new(),
+        },
+        step,
+        |l| (l.stats, l.outcomes),
+    );
+
+    let mut stats = Stats::default();
+    let mut outcomes = BTreeSet::new();
+    for (s, o) in results {
+        stats.absorb(&s);
+        outcomes.extend(o);
+    }
     stats.duration = start.elapsed();
     Exploration { outcomes, stats }
 }
 
-fn promise_key(m: &Machine) -> (Vec<BTreeSet<promising_core::Timestamp>>, Memory) {
-    (
-        m.threads().iter().map(|t| t.state.prom.clone()).collect(),
-        m.memory().clone(),
-    )
-}
+/// How many phase-2 nodes between wall-clock deadline checks.
+const PHASE2_DEADLINE_CHECK_PERIOD: u64 = 256;
 
 /// All final register valuations thread `tid` can reach running alone under
 /// the machine's (fixed) memory, taking no write-appending steps. Empty if
 /// the thread cannot complete (some promise unfulfillable, or it cannot
-/// terminate).
-fn thread_outcomes(m: &Machine, tid: TId, stats: &mut Stats) -> Rc<BTreeSet<RegMap>> {
+/// terminate). Memoised through `memo`, which the caller scopes to one
+/// promise-mode state (cross-state sharing cannot hit — see the module
+/// docs — but the memory is still part of the key so the memo stays
+/// sound however it is scoped). Sets `cut` (and returns a partial set)
+/// if `deadline` expires mid-search.
+#[allow(clippy::too_many_arguments)]
+fn thread_outcomes(
+    m: &Machine,
+    tid: TId,
+    mem_fp: Fingerprint,
+    memo: &mut Phase2Memo,
+    stats: &mut Stats,
+    deadline: Option<Instant>,
+    cut: &mut bool,
+) -> Rc<BTreeSet<RegMap>> {
     let code = &m.program().threads()[tid.0];
     let mut memory = m.memory().clone();
-    let mut memo: HashMap<ThreadInstance, Rc<BTreeSet<RegMap>>> = HashMap::new();
     let mem_len = memory.len();
-    let result = thread_dfs(m, tid, code, m.thread(tid), &mut memory, &mut memo, stats);
+    let mut dfs = ThreadDfs {
+        m,
+        tid,
+        code,
+        mem_fp,
+        memo,
+        stats,
+        deadline,
+        cut: false,
+        ticks: 0,
+    };
+    let result = dfs.run(m.thread(tid), &mut memory);
+    *cut |= dfs.cut;
     debug_assert_eq!(memory.len(), mem_len, "phase 2 must not append writes");
     result
 }
 
-fn thread_dfs(
-    m: &Machine,
+struct ThreadDfs<'a> {
+    m: &'a Machine,
     tid: TId,
-    code: &promising_core::ThreadCode,
-    thread: &ThreadInstance,
-    memory: &mut Memory,
-    memo: &mut HashMap<ThreadInstance, Rc<BTreeSet<RegMap>>>,
-    stats: &mut Stats,
-) -> Rc<BTreeSet<RegMap>> {
-    if let Some(hit) = memo.get(thread) {
-        return Rc::clone(hit);
-    }
-    let mut out = BTreeSet::new();
-    if thread.is_done() {
-        if !thread.state.has_promises() && thread.state.stuck.is_none() {
-            out.insert(observable_regs(thread));
+    code: &'a promising_core::ThreadCode,
+    mem_fp: Fingerprint,
+    memo: &'a mut Phase2Memo,
+    stats: &'a mut Stats,
+    deadline: Option<Instant>,
+    cut: bool,
+    ticks: u64,
+}
+
+impl ThreadDfs<'_> {
+    fn out_of_time(&mut self) -> bool {
+        if self.cut {
+            return true;
         }
-    } else if thread.state.stuck.is_some() {
-        stats.bound_hits += 1;
-    } else {
-        for kind in enabled_steps(m.config(), code, tid, thread, memory) {
-            if kind == TransitionKind::WriteNormal {
-                continue; // non-promise mode: no new writes
+        let Some(at) = self.deadline else { return false };
+        self.ticks += 1;
+        if self.ticks >= PHASE2_DEADLINE_CHECK_PERIOD {
+            self.ticks = 0;
+            if Instant::now() >= at {
+                self.cut = true;
+                return true;
             }
-            let mut th = thread.clone();
-            apply_step(m.config(), code, tid, &kind, &mut th, memory)
-                .expect("enabled step applies");
-            stats.transitions += 1;
-            let sub = thread_dfs(m, tid, code, &th, memory, memo, stats);
-            out.extend(sub.iter().cloned());
         }
+        false
     }
-    let rc = Rc::new(out);
-    memo.insert(thread.clone(), Rc::clone(&rc));
-    rc
+
+    fn run(&mut self, thread: &ThreadInstance, memory: &mut Memory) -> Rc<BTreeSet<RegMap>> {
+        let fp = Phase2Memo::key(self.tid, thread, self.mem_fp);
+        if let Some(hit) = self.memo.get(fp, self.tid, thread, memory) {
+            return hit;
+        }
+        if self.out_of_time() {
+            return Rc::new(BTreeSet::new());
+        }
+        let mut out = BTreeSet::new();
+        if thread.is_done() {
+            if !thread.state.has_promises() && thread.state.stuck.is_none() {
+                out.insert(observable_regs(thread));
+            }
+        } else if thread.state.stuck.is_some() {
+            self.stats.bound_hits += 1;
+        } else {
+            for kind in enabled_steps(self.m.config(), self.code, self.tid, thread, memory) {
+                if kind == TransitionKind::WriteNormal {
+                    continue; // non-promise mode: no new writes
+                }
+                if self.cut {
+                    break;
+                }
+                let mut th = thread.clone();
+                apply_step(self.m.config(), self.code, self.tid, &kind, &mut th, memory)
+                    .expect("enabled step applies");
+                self.stats.transitions += 1;
+                let sub = self.run(&th, memory);
+                out.extend(sub.iter().cloned());
+            }
+        }
+        let rc = Rc::new(out);
+        if !self.cut {
+            // deadline-truncated sets are partial; memoising them would
+            // poison later queries
+            self.memo
+                .insert(fp, self.tid, thread, memory, Rc::clone(&rc));
+        }
+        rc
+    }
 }
 
 fn observable_regs(thread: &ThreadInstance) -> RegMap {
@@ -321,5 +499,27 @@ mod tests {
         // exactly one final memory: [x := 1]
         assert_eq!(exp.stats.final_memories, 1);
         assert_eq!(exp.outcomes.len(), 1);
+    }
+
+    #[test]
+    fn parallel_and_paranoid_agree_with_serial() {
+        // LB shape with enough promise interleaving to exercise the pool.
+        let mk = |from: i64, to: i64, reg| {
+            let mut b = CodeBuilder::new();
+            let l = b.load(reg, Expr::val(from));
+            let s = b.store(Expr::val(to), Expr::val(1));
+            b.finish_seq(&[l, s])
+        };
+        let program = Arc::new(Program::new(vec![mk(0, 1, Reg(1)), mk(1, 0, Reg(2))]));
+        let serial = explore_promise_first(&Machine::new(Arc::clone(&program), Config::arm()));
+        for config in [
+            Config::arm().with_workers(4),
+            Config::arm().with_paranoid(true),
+            Config::arm().with_workers(2).with_paranoid(true),
+        ] {
+            let exp = explore_promise_first(&Machine::new(Arc::clone(&program), config));
+            assert_eq!(exp.outcomes, serial.outcomes);
+            assert_eq!(exp.stats.final_memories, serial.stats.final_memories);
+        }
     }
 }

@@ -2,10 +2,16 @@
 //! search over the nondeterministic transitions with visited-state
 //! deduplication — the cost profile Tables 2/3 of the paper measure
 //! against.
+//!
+//! Runs on the shared exploration frontier of `promising-explorer`
+//! ([`promising_explorer::frontier`]): fingerprinted visited set (exact
+//! keys in paranoid mode) and optional parallel workers via
+//! `Config::workers`, with outcome sets independent of the worker count.
 
 use crate::machine::{FlatMachine, FlatStateKey};
 use promising_core::Outcome;
-use std::collections::{BTreeSet, HashSet};
+use promising_explorer::frontier::{drive, effective_workers, Ctx, ShardedVisited};
+use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
 /// Counters from a Flat exploration.
@@ -23,6 +29,18 @@ pub struct FlatStats {
     pub duration: Duration,
     /// Whether the search stopped early on the state budget.
     pub truncated: bool,
+}
+
+impl FlatStats {
+    /// Merge counters from a per-worker sub-search.
+    pub fn absorb(&mut self, other: &FlatStats) {
+        self.states += other.states;
+        self.transitions += other.transitions;
+        self.bound_hits += other.bound_hits;
+        self.deadlocks += other.deadlocks;
+        self.duration += other.duration;
+        self.truncated |= other.truncated;
+    }
 }
 
 /// Result of a Flat exploration.
@@ -46,56 +64,84 @@ pub fn explore_flat_bounded(machine: &FlatMachine, max_states: u64) -> FlatExplo
     explore_flat_deadline(machine, max_states, None)
 }
 
-/// Fully bounded exploration: state budget and wall-clock deadline.
+/// Fully bounded exploration: state budget and wall-clock deadline. The
+/// state budget is global — total visits stay within `max_states`
+/// regardless of the worker count.
 pub fn explore_flat_deadline(
     machine: &FlatMachine,
     max_states: u64,
     deadline: Option<Duration>,
 ) -> FlatExploration {
     let start = Instant::now();
-    let mut stats = FlatStats::default();
-    let mut outcomes = BTreeSet::new();
-    let mut visited: HashSet<FlatStateKey> = HashSet::new();
-    let mut stack: Vec<FlatMachine> = Vec::new();
+    let deadline_at = deadline.map(|d| start + d);
+    let config = machine.config();
+    let workers = effective_workers(config.workers);
+    let total_states = std::sync::atomic::AtomicU64::new(0);
+    let visited: ShardedVisited<FlatStateKey> = ShardedVisited::new(config.paranoid, workers);
 
-    visited.insert(machine.state_key());
-    stack.push(machine.clone());
+    visited.insert(machine.fingerprint(), || machine.state_key());
+    let roots = vec![machine.clone()];
 
-    while let Some(m) = stack.pop() {
-        stats.states += 1;
-        if stats.states > max_states {
-            stats.truncated = true;
-            break;
+    struct Local {
+        stats: FlatStats,
+        outcomes: BTreeSet<Outcome>,
+    }
+
+    let step = |l: &mut Local, m: FlatMachine, ctx: &mut Ctx<'_, FlatMachine>| {
+        l.stats.states += 1;
+        let visited_so_far = total_states.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        if visited_so_far > max_states {
+            l.stats.truncated = true;
+            ctx.stop();
+            return;
         }
-        if let Some(d) = deadline {
-            if start.elapsed() > d {
-                stats.truncated = true;
-                break;
+        if let Some(at) = deadline_at {
+            if Instant::now() >= at {
+                l.stats.truncated = true;
+                ctx.stop();
+                return;
             }
         }
         if m.terminated() {
-            outcomes.insert(m.outcome());
-            continue;
+            l.outcomes.insert(m.outcome());
+            return;
         }
         if m.any_stuck() {
-            stats.bound_hits += 1;
-            continue;
+            l.stats.bound_hits += 1;
+            return;
         }
         let transitions = m.enabled();
         if transitions.is_empty() {
-            stats.deadlocks += 1;
-            continue;
+            l.stats.deadlocks += 1;
+            return;
         }
         for tr in transitions {
             let mut next = m.clone();
             next.apply(&tr);
-            stats.transitions += 1;
-            if visited.insert(next.state_key()) {
-                stack.push(next);
+            l.stats.transitions += 1;
+            if visited.insert(next.fingerprint(), || next.state_key()) {
+                ctx.push(next);
             }
         }
-    }
+    };
 
+    let results = drive(
+        roots,
+        workers,
+        || Local {
+            stats: FlatStats::default(),
+            outcomes: BTreeSet::new(),
+        },
+        step,
+        |l| (l.stats, l.outcomes),
+    );
+
+    let mut stats = FlatStats::default();
+    let mut outcomes = BTreeSet::new();
+    for (s, o) in results {
+        stats.absorb(&s);
+        outcomes.extend(o);
+    }
     stats.duration = start.elapsed();
     FlatExploration { outcomes, stats }
 }
@@ -249,6 +295,19 @@ mod tests {
                 successes,
                 "final counter must equal the number of successful increments: {o}"
             );
+        }
+    }
+
+    #[test]
+    fn flat_parallel_and_paranoid_agree_with_serial() {
+        let serial = run(mp(false));
+        for config in [
+            Config::arm().with_workers(4),
+            Config::arm().with_paranoid(true),
+        ] {
+            let m = FlatMachine::new(Arc::new(mp(false)), config);
+            let exp = explore_flat(&m);
+            assert_eq!(exp.outcomes, serial.outcomes);
         }
     }
 }

@@ -28,6 +28,7 @@
 use crate::instance::{InstOp, InstState, Instance, Src};
 use promising_core::config::Config;
 use promising_core::expr::Expr;
+use promising_core::fingerprint::{Fingerprint, FpHasher};
 use promising_core::ids::{Loc, Reg, TId, Timestamp, Val};
 use promising_core::memory::{Memory, Msg};
 use promising_core::stmt::{Program, ReadKind, Stmt, StmtId, WriteKind, SCRATCH_REG_BASE};
@@ -99,7 +100,7 @@ impl fmt::Display for FlatTransition {
 /// The Flat-lite machine state.
 #[derive(Clone, Debug)]
 pub struct FlatMachine {
-    config: Config,
+    config: Arc<Config>,
     program: Arc<Program>,
     threads: Vec<FlatThread>,
     memory: Memory,
@@ -137,7 +138,7 @@ impl FlatMachine {
             })
             .collect();
         let mut m = FlatMachine {
-            config,
+            config: Arc::new(config),
             program,
             threads,
             memory: Memory::with_init(init),
@@ -148,7 +149,7 @@ impl FlatMachine {
 
     /// The configuration.
     pub fn config(&self) -> &Config {
-        &self.config
+        self.config.as_ref()
     }
 
     /// The memory.
@@ -161,12 +162,87 @@ impl FlatMachine {
         &self.threads
     }
 
-    /// Dedup key.
+    /// Exact dedup key (stored by the paranoid visited-set mode to
+    /// detect fingerprint collisions).
     pub fn state_key(&self) -> FlatStateKey {
         FlatStateKey {
             threads: self.threads.clone(),
             memory: self.memory.clone(),
         }
+    }
+
+    /// A 128-bit fingerprint of the dynamic state for visited-set
+    /// deduplication (see [`promising_core::fingerprint`]).
+    ///
+    /// Instance operations are functions of their source statement except
+    /// for branches (speculation guess + squash continuation), so the
+    /// encoding covers `(stmt, state)` per instance plus the branch
+    /// extras — much cheaper than hashing the cloned expression trees.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FpHasher::new();
+        h.write_len(self.threads.len());
+        for t in &self.threads {
+            h.write_bool(t.stuck);
+            h.write_u32(t.fetch_fuel);
+            h.write_len(t.fetch_cont.len());
+            for s in &t.fetch_cont {
+                h.write_u32(s.0);
+            }
+            h.write_len(t.instances.len());
+            for inst in &t.instances {
+                h.write_u32(inst.stmt.0);
+                match &inst.op {
+                    InstOp::Assign { .. } => h.write_u64(0),
+                    InstOp::Load { .. } => h.write_u64(1),
+                    InstOp::Store { .. } => h.write_u64(2),
+                    InstOp::Fence(_) => h.write_u64(3),
+                    InstOp::Isb => h.write_u64(4),
+                    InstOp::Branch {
+                        guess, alt_cont, ..
+                    } => {
+                        h.write_u64(5);
+                        h.write_bool(*guess);
+                        h.write_len(alt_cont.len());
+                        for s in alt_cont {
+                            h.write_u32(s.0);
+                        }
+                    }
+                }
+                match inst.state {
+                    InstState::Pending => h.write_u64(0),
+                    InstState::Done { val } => {
+                        h.write_u64(1);
+                        h.write_i64(val.0);
+                    }
+                    InstState::Satisfied { src, val } => {
+                        h.write_u64(2);
+                        match src {
+                            Src::Memory(ts) => {
+                                h.write_u64(0);
+                                h.write_u32(ts.0);
+                            }
+                            Src::Forward(idx) => {
+                                h.write_u64(1);
+                                h.write_len(idx);
+                            }
+                        }
+                        h.write_i64(val.0);
+                    }
+                    InstState::Propagated { ts } => {
+                        h.write_u64(3);
+                        h.write_u32(ts.0);
+                    }
+                    InstState::Failed => h.write_u64(4),
+                    InstState::Committed => h.write_u64(5),
+                    InstState::Resolved { taken } => {
+                        h.write_u64(6);
+                        h.write_bool(taken);
+                    }
+                }
+            }
+        }
+        self.memory.feed(&mut h);
+        h.finish128()
     }
 
     /// Whether some thread exhausted the loop bound on a resolved path.
@@ -290,8 +366,7 @@ impl FlatMachine {
                 return progressed;
             }
             // normalize seq/skip
-            loop {
-                let Some(&top) = t.fetch_cont.last() else { break };
+            while let Some(&top) = t.fetch_cont.last() {
                 match code.stmt(top) {
                     Stmt::Seq(a, b) => {
                         t.fetch_cont.pop();
@@ -725,10 +800,8 @@ impl FlatMachine {
                     continue;
                 }
                 match &inst.op {
-                    InstOp::Load { .. } => {
-                        if self.load_source(tid, idx).is_some() {
-                            out.push(FlatTransition::Satisfy { tid, idx });
-                        }
+                    InstOp::Load { .. } if self.load_source(tid, idx).is_some() => {
+                        out.push(FlatTransition::Satisfy { tid, idx });
                     }
                     InstOp::Store { exclusive, .. } => {
                         if *exclusive {

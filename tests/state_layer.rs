@@ -1,0 +1,194 @@
+//! Validation of the structurally-shared state layer and the exploration
+//! frontier:
+//!
+//! * **Fingerprint vs exact keys** — on the full litmus catalogue, the
+//!   fingerprint-deduplicated searches must produce the same outcome
+//!   sets as the paranoid (exact-key, collision-checked) mode, for both
+//!   the promise-first and naive strategies. The paranoid runs panic on
+//!   any fingerprint collision, so passing also certifies that no
+//!   collision-induced dedup happened.
+//! * **Serial vs parallel** — per strategy (naive, promise-first,
+//!   Flat-lite), exploring with multiple workers must produce exactly
+//!   the serial outcome set.
+//! * **Deep clones are behavioural no-ops** — `Machine::deep_clone`
+//!   (the benchmarking helper that unshares all COW structure) must not
+//!   change fingerprints or outcomes.
+
+use promising_core::{Config, Machine};
+use promising_explorer::{explore_naive, explore_promise_first, CertMode};
+use promising_flat::{explore_flat, FlatMachine};
+use promising_litmus::{catalogue, LitmusTest, DEFAULT_FUEL};
+
+fn config_for(test: &LitmusTest) -> Config {
+    Config::for_arch(test.arch).with_loop_fuel(test.loop_fuel.unwrap_or(DEFAULT_FUEL))
+}
+
+fn machine_for(test: &LitmusTest, config: Config) -> Machine {
+    Machine::with_init(test.program.clone(), config, test.init.clone())
+}
+
+#[test]
+fn promise_first_fingerprint_and_exact_modes_agree_on_catalogue() {
+    for test in catalogue() {
+        let fast = explore_promise_first(&machine_for(&test, config_for(&test)));
+        // Paranoid: exact keys stored beside fingerprints in every
+        // visited set and memo; panics on collision.
+        let paranoid =
+            explore_promise_first(&machine_for(&test, config_for(&test).with_paranoid(true)));
+        assert_eq!(
+            fast.outcomes, paranoid.outcomes,
+            "{test}: fingerprint vs exact-key outcome sets differ (promise-first)"
+        );
+        assert_eq!(
+            fast.stats.states, paranoid.stats.states,
+            "{test}: fingerprint vs exact-key state counts differ (promise-first)"
+        );
+    }
+}
+
+#[test]
+fn naive_fingerprint_and_exact_modes_agree_on_catalogue() {
+    for test in catalogue() {
+        let fast = explore_naive(&machine_for(&test, config_for(&test)), CertMode::Online);
+        let paranoid = explore_naive(
+            &machine_for(&test, config_for(&test).with_paranoid(true)),
+            CertMode::Online,
+        );
+        assert_eq!(
+            fast.outcomes, paranoid.outcomes,
+            "{test}: fingerprint vs exact-key outcome sets differ (naive)"
+        );
+        assert_eq!(
+            fast.stats.states, paranoid.stats.states,
+            "{test}: fingerprint vs exact-key state counts differ (naive)"
+        );
+    }
+}
+
+#[test]
+fn flat_fingerprint_and_exact_modes_agree_on_catalogue() {
+    for test in catalogue() {
+        if test.flat_conservative {
+            continue;
+        }
+        let fast = explore_flat(&FlatMachine::with_init(
+            test.program.clone(),
+            config_for(&test),
+            test.init.clone(),
+        ));
+        let paranoid = explore_flat(&FlatMachine::with_init(
+            test.program.clone(),
+            config_for(&test).with_paranoid(true),
+            test.init.clone(),
+        ));
+        assert_eq!(
+            fast.outcomes, paranoid.outcomes,
+            "{test}: fingerprint vs exact-key outcome sets differ (flat)"
+        );
+        assert_eq!(
+            fast.stats.states, paranoid.stats.states,
+            "{test}: fingerprint vs exact-key state counts differ (flat)"
+        );
+    }
+}
+
+#[test]
+fn serial_and_parallel_explorations_agree_per_strategy() {
+    // Every 3rd catalogue test keeps the parallel sweep fast while still
+    // covering all shapes (MP, LB, SB, IRIW, exclusives, loops).
+    for (i, test) in catalogue().into_iter().enumerate() {
+        if i % 3 != 0 {
+            continue;
+        }
+        let serial_cfg = config_for(&test);
+        let parallel_cfg = config_for(&test).with_workers(4);
+
+        let s = explore_promise_first(&machine_for(&test, serial_cfg.clone()));
+        let p = explore_promise_first(&machine_for(&test, parallel_cfg.clone()));
+        assert_eq!(s.outcomes, p.outcomes, "{test}: promise-first 1 vs 4 workers");
+
+        let s = explore_naive(&machine_for(&test, serial_cfg.clone()), CertMode::Online);
+        let p = explore_naive(&machine_for(&test, parallel_cfg.clone()), CertMode::Online);
+        assert_eq!(s.outcomes, p.outcomes, "{test}: naive 1 vs 4 workers");
+
+        if !test.flat_conservative {
+            let s = explore_flat(&FlatMachine::with_init(
+                test.program.clone(),
+                serial_cfg,
+                test.init.clone(),
+            ));
+            let p = explore_flat(&FlatMachine::with_init(
+                test.program.clone(),
+                parallel_cfg,
+                test.init.clone(),
+            ));
+            assert_eq!(s.outcomes, p.outcomes, "{test}: flat 1 vs 4 workers");
+        }
+    }
+}
+
+#[test]
+fn parallel_workloads_agree_with_serial() {
+    use promising_core::Arch;
+    use promising_workloads::{by_spec, init_for};
+    for spec in ["SLA-2", "PCS-1-1", "STC-100-010-000"] {
+        let w = by_spec(spec).expect("spec parses");
+        let serial = explore_promise_first(&Machine::with_init(
+            w.program.clone(),
+            w.config(Arch::Arm),
+            init_for(&w),
+        ));
+        let parallel = explore_promise_first(&Machine::with_init(
+            w.program.clone(),
+            w.config(Arch::Arm).with_workers(4).with_paranoid(true),
+            init_for(&w),
+        ));
+        assert_eq!(serial.outcomes, parallel.outcomes, "{spec}");
+        assert_eq!(
+            serial.stats.final_memories, parallel.stats.final_memories,
+            "{spec}"
+        );
+    }
+}
+
+#[test]
+fn deep_clone_preserves_fingerprint_and_behaviour() {
+    let test = promising_litmus::by_name("MP+dmb.sy+addr").expect("catalogue test");
+    let m = machine_for(&test, config_for(&test));
+    let deep = m.deep_clone();
+    assert_eq!(m.fingerprint(), deep.fingerprint());
+    assert_eq!(m.state_key(), deep.state_key());
+    assert_eq!(
+        explore_promise_first(&m).outcomes,
+        explore_promise_first(&deep).outcomes
+    );
+}
+
+#[test]
+fn fingerprints_distinguish_catalogue_initial_states() {
+    // Distinct programs/initial memories give distinct fingerprints
+    // (smoke check of the canonical encoding).
+    let mut seen = std::collections::HashMap::new();
+    for test in catalogue() {
+        let m = machine_for(&test, config_for(&test));
+        if let Some(prev) = seen.insert(m.fingerprint(), test.name.clone()) {
+            // Identical initial dynamic state is legitimate only if the
+            // init sections agree and thread counts agree; catalogue
+            // programs differ in code, but the *dynamic* state (conts are
+            // per-arena ids) can coincide. Only flag exact dynamic dupes
+            // that also share a state key as fine.
+            let other = catalogue()
+                .into_iter()
+                .find(|t| t.name == prev)
+                .expect("test exists");
+            let m2 = machine_for(&other, config_for(&other));
+            assert_eq!(
+                m.state_key(),
+                m2.state_key(),
+                "fingerprint collision between {} and {}",
+                test.name,
+                prev
+            );
+        }
+    }
+}
