@@ -289,8 +289,11 @@ impl Unfolder<'_> {
                     let (v, deps) = path.eval(&cond);
                     path.ctrl.extend(deps);
                     path.cont.pop();
-                    path.cont
-                        .push(if v.as_bool() { then_branch } else { else_branch });
+                    path.cont.push(if v.as_bool() {
+                        then_branch
+                    } else {
+                        else_branch
+                    });
                 }
                 Stmt::While { cond, body } => {
                     let (v, deps) = path.eval(&cond);

@@ -173,10 +173,7 @@ mod tests {
                 let (program, _) = parse_program(src).unwrap();
                 let program = Arc::new(program);
                 let ax = enumerate_outcomes(&program, &AxConfig::new(arch)).unwrap();
-                let op = explore(&Machine::new(
-                    Arc::clone(&program),
-                    Config::for_arch(arch),
-                ));
+                let op = explore(&Machine::new(Arc::clone(&program), Config::for_arch(arch)));
                 assert_eq!(
                     ax.outcomes, op.outcomes,
                     "axiomatic and promising disagree on {src} ({arch:?})"

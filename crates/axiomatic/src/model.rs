@@ -388,8 +388,7 @@ fn enumerate_co(
         for (k, (l, _)) in locs.iter().enumerate() {
             let order = &per_loc_orders[k][idx[k]];
             // init write for this location
-            let init = sk
-                .writes_by_loc[*l]
+            let init = sk.writes_by_loc[*l]
                 .iter()
                 .copied()
                 .find(|&w| sk.events[w].is_init())
@@ -484,9 +483,9 @@ fn check_axioms(
     let fr = rf.inverse().compose(co);
 
     // internal: acyclic (po-loc | fr | co | rf)
-    let po_loc = sk.po.filter(|a, b| {
-        ev[a].loc().is_some() && ev[a].loc() == ev[b].loc()
-    });
+    let po_loc = sk
+        .po
+        .filter(|a, b| ev[a].loc().is_some() && ev[a].loc() == ev[b].loc());
     let mut internal = po_loc;
     internal.extend(&fr);
     internal.extend(co);
@@ -537,9 +536,7 @@ fn check_axioms(
     let ctrl_or_addrpo = ctrl.union(&addr.compose(&sk.po));
     dob.extend(&ctrl_or_addrpo.restrict(|_| true, |b| ev[b].is_write()));
     let to_isb = ctrl_or_addrpo.restrict(|_| true, |b| ev[b].is_isb());
-    let isb_po_r = sk
-        .po
-        .restrict(|a| ev[a].is_isb(), |b| ev[b].is_read());
+    let isb_po_r = sk.po.restrict(|a| ev[a].is_isb(), |b| ev[b].is_read());
     dob.extend(&to_isb.compose(&isb_po_r));
 
     // aob
@@ -590,13 +587,21 @@ fn check_axioms(
     ));
     // [AQ|AQpc]; po
     bob.extend(&sk.po.restrict(
-        |a| ev[a].read_kind().is_some_and(|rk| rk >= ReadKind::WeakAcquire),
+        |a| {
+            ev[a]
+                .read_kind()
+                .is_some_and(|rk| rk >= ReadKind::WeakAcquire)
+        },
         |_| true,
     ));
     // po; [RL|RLpc]
     bob.extend(&sk.po.restrict(
         |_| true,
-        |b| ev[b].write_kind().is_some_and(|wk| wk >= WriteKind::WeakRelease),
+        |b| {
+            ev[b]
+                .write_kind()
+                .is_some_and(|wk| wk >= WriteKind::WeakRelease)
+        },
     ));
     // RISC-V: rmw in bob
     if config.arch == Arch::RiscV {

@@ -136,11 +136,7 @@ impl Relation {
     /// Keep only edges whose source satisfies `dom` and target satisfies
     /// `rng` (the `[A]; r; [B]` idiom of cat files).
     #[must_use]
-    pub fn restrict(
-        &self,
-        dom: impl Fn(usize) -> bool,
-        rng: impl Fn(usize) -> bool,
-    ) -> Relation {
+    pub fn restrict(&self, dom: impl Fn(usize) -> bool, rng: impl Fn(usize) -> bool) -> Relation {
         let mut r = Relation::new(self.n);
         for a in 0..self.n {
             if !dom(a) {

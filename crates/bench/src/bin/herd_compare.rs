@@ -7,7 +7,7 @@
 use promising_axiomatic::{enumerate_outcomes, AxConfig};
 use promising_bench::{fmt_duration, Table};
 use promising_core::{Arch, Machine};
-use promising_explorer::explore_promise_first_deadline;
+use promising_explorer::{explore_promise_first_budget, SearchBudget};
 use promising_litmus::by_name;
 use promising_workloads::{by_spec, init_for};
 use std::time::{Duration, Instant};
@@ -39,7 +39,7 @@ fn main() {
             promising_core::Config::for_arch(t.arch).with_loop_fuel(8),
             t.init.clone(),
         );
-        let p = explore_promise_first_deadline(&m, Some(timeout));
+        let p = explore_promise_first_budget(&m, SearchBudget::deadline(Some(timeout)));
         let mut ax_cfg = AxConfig::new(t.arch);
         ax_cfg.init = t.init.clone();
         let start = Instant::now();
@@ -51,7 +51,7 @@ fn main() {
         };
         table.row(&[
             name.to_string(),
-            fmt_duration((!p.stats.truncated).then_some(p.stats.duration)),
+            fmt_duration((!p.stats.truncated).then_some(p.stats.wall_time)),
             ax_cell,
             cand,
         ]);
@@ -62,7 +62,7 @@ fn main() {
         let w = by_spec(spec).expect("spec parses");
         let init = init_for(&w);
         let m = Machine::with_init(w.program.clone(), w.config(Arch::Arm), init);
-        let p = explore_promise_first_deadline(&m, Some(timeout));
+        let p = explore_promise_first_budget(&m, SearchBudget::deadline(Some(timeout)));
         let mut ax_cfg = AxConfig::new(Arch::Arm);
         ax_cfg.loop_fuel = w.loop_fuel;
         ax_cfg.limits.max_traces = 2_000_000;
@@ -79,7 +79,7 @@ fn main() {
         };
         table.row(&[
             spec.to_string(),
-            fmt_duration((!p.stats.truncated).then_some(p.stats.duration)),
+            fmt_duration((!p.stats.truncated).then_some(p.stats.wall_time)),
             ax_cell,
             cand,
         ]);

@@ -2,25 +2,67 @@
 //! generated litmus suites plus the named catalogue — the analogue of the
 //! paper's ~6,500-ARM/~7,000-RISC-V herd validation (§7).
 //!
-//! Usage: `cargo run --release -p promising-bench --bin litmus_agreement`
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p promising-bench --bin litmus_agreement [-- --subsample STRIDE]
+//! ```
+//!
+//! `--subsample STRIDE` keeps every `STRIDE`-th generated test (the
+//! named catalogue is always kept in full) — the fast cross-model smoke
+//! check CI runs on every push; omit it for the full local sweep.
 
 use promising_core::Arch;
-use promising_litmus::{catalogue, check_agreement, generate_suite, generate_three_thread_suite, ModelKind};
+use promising_litmus::{
+    catalogue, check_agreement, generate_subsample, generate_suite, generate_three_thread_suite,
+    ModelKind,
+};
 use std::time::Instant;
 
 fn main() {
-    let models = [
-        ModelKind::Promising,
-        ModelKind::Axiomatic,
-        ModelKind::Flat,
-    ];
+    let mut subsample: Option<usize> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--subsample" => {
+                subsample = Some(
+                    it.next()
+                        .and_then(|n| n.parse().ok())
+                        .expect("--subsample needs a stride"),
+                )
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let models = [ModelKind::Promising, ModelKind::Axiomatic, ModelKind::Flat];
     let mut total = 0usize;
     let mut disagreements = Vec::new();
     let start = Instant::now();
 
     for arch in [Arch::Arm, Arch::RiscV] {
-        let mut tests = generate_suite(arch);
-        tests.extend(generate_three_thread_suite(arch));
+        let mut tests = match subsample {
+            // Offset the stride per arch so repeated CI runs with different
+            // strides don't keep re-checking the same prefix shapes. The
+            // three-thread suite (IRIW/WRC shapes) is strided too — it
+            // exercises cross-thread propagation paths the two-thread
+            // suite cannot.
+            Some(stride) => {
+                let mut t = generate_subsample(arch, stride, arch as usize % stride.max(1));
+                t.extend(
+                    generate_three_thread_suite(arch)
+                        .into_iter()
+                        .skip(arch as usize % stride.max(1))
+                        .step_by(stride.max(1)),
+                );
+                t
+            }
+            None => {
+                let mut t = generate_suite(arch);
+                t.extend(generate_three_thread_suite(arch));
+                t
+            }
+        };
         tests.extend(catalogue().into_iter().filter(|t| t.arch == arch));
         println!("{}: {} tests", arch.name(), tests.len());
         for (i, test) in tests.iter().enumerate() {
@@ -30,7 +72,12 @@ fn main() {
                 Err(e) => disagreements.push(format!("{test}: {e}")),
             }
             if (i + 1) % 200 == 0 {
-                println!("  …{}/{} ({:.1}s)", i + 1, tests.len(), start.elapsed().as_secs_f64());
+                println!(
+                    "  …{}/{} ({:.1}s)",
+                    i + 1,
+                    tests.len(),
+                    start.elapsed().as_secs_f64()
+                );
             }
         }
         total += tests.len();

@@ -11,7 +11,7 @@
 //! ```text
 //! cargo run --release -p promising-bench --bin table2 -- \
 //!     [timeout-secs] [--json PATH] [--legacy] [--no-flat] \
-//!     [--workers N,M,..] [--rows A,B,..]
+//!     [--workers N,M,..] [--rows A,B,..] [--sample N] [--seed S]
 //! ```
 //!
 //! * `--json PATH` — also write a machine-readable snapshot (the
@@ -24,12 +24,15 @@
 //!   timing only the promising side);
 //! * `--workers 2,4` — additionally run the promising side with those
 //!   worker counts (parallel frontier);
-//! * `--rows SLA-1,SLC-2` — restrict to the named rows.
+//! * `--rows SLA-1,SLC-2` — restrict to the named rows;
+//! * `--sample N` — additionally run `N` seeded random promise walks per
+//!   row (`Engine::sample`, deterministic for a fixed `--seed`); sampled
+//!   outcome sets are cross-checked to be subsets of the exhaustive sets.
 
 use promising_bench::{explore_promise_first_legacy, fmt_duration, Table};
 use promising_core::{Arch, Machine};
-use promising_explorer::explore_promise_first_deadline;
-use promising_flat::{explore_flat_deadline, FlatMachine};
+use promising_explorer::{explore_promise_first_budget, Engine, PromiseFirstModel, SearchBudget};
+use promising_flat::{explore_flat_budget, FlatMachine};
 use promising_workloads::{by_spec, init_for};
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -37,16 +40,29 @@ use std::time::Duration;
 /// The Table 2 rows (paper parameterisations, trimmed to what completes
 /// in reasonable wall-clock on the Promising side).
 pub const ROWS: &[&str] = &[
-    "SLA-1", "SLA-2", "SLA-3", "SLA-4",
-    "SLC-1", "SLC-2",
-    "SLR-1", "SLR-2",
-    "PCS-1-1", "PCS-2-2",
+    "SLA-1",
+    "SLA-2",
+    "SLA-3",
+    "SLA-4",
+    "SLC-1",
+    "SLC-2",
+    "SLR-1",
+    "SLR-2",
+    "PCS-1-1",
+    "PCS-2-2",
     "PCM-1-1-1",
     "TL-1",
-    "STC-100-010-000", "STC-100-010-010", "STC(opt)-100-010-000",
-    "STR-100-010-000", "STR-100-010-010",
-    "DQ-100-1-0", "DQ-110-1-0", "DQ(opt)-100-1-0",
-    "QU-100-000-000", "QU-100-010-000", "QU(opt)-100-000-000",
+    "STC-100-010-000",
+    "STC-100-010-010",
+    "STC(opt)-100-010-000",
+    "STR-100-010-000",
+    "STR-100-010-010",
+    "DQ-100-1-0",
+    "DQ-110-1-0",
+    "DQ(opt)-100-1-0",
+    "QU-100-000-000",
+    "QU-100-010-000",
+    "QU(opt)-100-000-000",
 ];
 
 struct Args {
@@ -56,6 +72,8 @@ struct Args {
     no_flat: bool,
     workers: Vec<usize>,
     rows: Vec<String>,
+    sample: Option<u64>,
+    seed: u64,
 }
 
 fn parse_args() -> Args {
@@ -66,6 +84,8 @@ fn parse_args() -> Args {
         no_flat: false,
         workers: Vec::new(),
         rows: ROWS.iter().map(|s| s.to_string()).collect(),
+        sample: None,
+        seed: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -84,6 +104,19 @@ fn parse_args() -> Args {
                 let list = it.next().expect("--rows needs a list");
                 args.rows = list.split(',').map(|s| s.to_string()).collect();
             }
+            "--sample" => {
+                args.sample = Some(
+                    it.next()
+                        .and_then(|n| n.parse().ok())
+                        .expect("--sample needs a trace count"),
+                )
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .expect("--seed needs an integer")
+            }
             other => match other.parse::<u64>() {
                 Ok(secs) => args.timeout = Duration::from_secs(secs),
                 Err(_) => panic!("unknown argument: {other}"),
@@ -99,11 +132,13 @@ type Cell = Option<f64>;
 struct Row {
     spec: String,
     promising: Cell,
+    p_cpu: f64,
     p_states: u64,
     flat: Cell,
     f_states: u64,
     legacy: Cell,
     by_workers: Vec<(usize, Cell)>,
+    sampled: Option<(Cell, usize)>,
 }
 
 fn json_cell(c: Cell) -> String {
@@ -130,9 +165,10 @@ fn render_json(args: &Args, rows: &[Row]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"test\": \"{}\", \"promising_secs\": {}, \"promising_states\": {}",
+            "    {{\"test\": \"{}\", \"promising_secs\": {}, \"promising_cpu_secs\": {:.6}, \"promising_states\": {}",
             r.spec,
             json_cell(r.promising),
+            r.p_cpu,
             r.p_states,
         );
         // Un-run cells are omitted entirely — `null` is reserved for a
@@ -153,6 +189,14 @@ fn render_json(args: &Args, rows: &[Row]) -> String {
         }
         for (w, cell) in &r.by_workers {
             let _ = write!(out, ", \"promising_w{}_secs\": {}", w, json_cell(*cell));
+        }
+        if let Some((cell, outcomes)) = &r.sampled {
+            let _ = write!(
+                out,
+                ", \"sample_secs\": {}, \"sample_outcomes\": {}",
+                json_cell(*cell),
+                outcomes
+            );
         }
         let _ = writeln!(out, "}}{}", if i + 1 < rows.len() { "," } else { "" });
     }
@@ -178,6 +222,9 @@ fn main() {
     for w in &args.workers {
         header.push(format!("P-w{w}"));
     }
+    if let Some(n) = args.sample {
+        header.push(format!("Sampled({n})"));
+    }
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut table = Table::new(&header_refs);
     let mut rows: Vec<Row> = Vec::new();
@@ -187,9 +234,10 @@ fn main() {
             .unwrap_or_else(|| panic!("unknown workload spec `{spec}` (see --rows / ROWS)"));
         let init = init_for(&w);
 
+        let budget = SearchBudget::deadline(Some(args.timeout));
         let m = Machine::with_init(w.program.clone(), w.config(Arch::Arm), init.clone());
-        let p = explore_promise_first_deadline(&m, Some(args.timeout));
-        let p_time = (!p.stats.truncated).then_some(p.stats.duration.as_secs_f64());
+        let p = explore_promise_first_budget(&m, budget);
+        let p_time = (!p.stats.truncated).then_some(p.stats.wall_time.as_secs_f64());
         if !p.stats.truncated {
             let violations = w.violations(&p.outcomes);
             if !violations.is_empty() {
@@ -205,7 +253,7 @@ fn main() {
                     "{spec}: legacy and optimised outcome sets must agree"
                 );
             }
-            (!e.stats.truncated).then_some(e.stats.duration.as_secs_f64())
+            (!e.stats.truncated).then_some(e.stats.wall_time.as_secs_f64())
         });
 
         let by_workers: Vec<(usize, Cell)> = args
@@ -217,37 +265,57 @@ fn main() {
                     w.config(Arch::Arm).with_workers(n),
                     init.clone(),
                 );
-                let e = explore_promise_first_deadline(&mw, Some(args.timeout));
+                let e = explore_promise_first_budget(&mw, budget);
                 if !e.stats.truncated && !p.stats.truncated {
                     assert_eq!(
                         e.outcomes, p.outcomes,
                         "{spec}: {n}-worker and serial outcome sets must agree"
                     );
                 }
-                (n, (!e.stats.truncated).then_some(e.stats.duration.as_secs_f64()))
+                (
+                    n,
+                    (!e.stats.truncated).then_some(e.stats.wall_time.as_secs_f64()),
+                )
             })
             .collect();
 
         let (f_time, f_states) = if args.no_flat {
             (None, 0)
         } else {
-            let fm =
-                FlatMachine::with_init(w.program.clone(), w.config_unshared(Arch::Arm), init);
-            let f = explore_flat_deadline(&fm, u64::MAX, Some(args.timeout));
+            let fm = FlatMachine::with_init(w.program.clone(), w.config_unshared(Arch::Arm), init);
+            let f = explore_flat_budget(&fm, budget);
             (
-                (!f.stats.truncated).then_some(f.stats.duration.as_secs_f64()),
+                (!f.stats.truncated).then_some(f.stats.wall_time.as_secs_f64()),
                 f.stats.states,
             )
         };
 
+        let sampled = args.sample.map(|n| {
+            let s = Engine::new(PromiseFirstModel::new(&m))
+                .with_budget(budget)
+                .sample(n, args.seed);
+            if !p.stats.truncated {
+                assert!(
+                    s.outcomes.is_subset(&p.outcomes),
+                    "{spec}: sampled outcomes must be a subset of exhaustive"
+                );
+            }
+            (
+                (!s.stats.truncated).then_some(s.stats.wall_time.as_secs_f64()),
+                s.outcomes.len(),
+            )
+        });
+
         let row = Row {
             spec: spec.clone(),
             promising: p_time,
+            p_cpu: p.stats.cpu_time.as_secs_f64(),
             p_states: p.stats.states,
             flat: f_time,
             f_states,
             legacy: legacy.flatten(),
             by_workers,
+            sampled,
         };
 
         let fmt_cell = |c: Cell| fmt_duration(c.map(Duration::from_secs_f64));
@@ -271,6 +339,9 @@ fn main() {
         }
         for (_, c) in &row.by_workers {
             cells.push(fmt_cell(*c));
+        }
+        if let Some((c, outcomes)) = &row.sampled {
+            cells.push(format!("{} ({} outc.)", fmt_cell(*c), outcomes));
         }
         table.row(&cells);
         eprintln!(

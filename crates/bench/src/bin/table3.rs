@@ -1,43 +1,100 @@
 //! Experiment T3 (DESIGN.md): regenerate Table 3 (Appendix E) — the full
 //! parameter sweep of Promising vs Flat, including the `(opt)` variants.
 //!
-//! Usage: `cargo run --release -p promising-bench --bin table3 [timeout-secs]`
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p promising-bench --bin table3 -- \
+//!     [timeout-secs] [--sample N] [--seed S]
+//! ```
+//!
+//! `--sample N` adds a sampled-promising column: `N` seeded random
+//! promise walks per row ([`Engine::sample`]) — a sound
+//! under-approximation that still reports outcomes on rows where the
+//! exhaustive search is ooT.
 
 use promising_bench::{fmt_duration, Table};
 use promising_core::{Arch, Machine};
-use promising_explorer::explore_promise_first_deadline;
-use promising_flat::{explore_flat_deadline, FlatMachine};
+use promising_explorer::{explore_promise_first_budget, Engine, PromiseFirstModel, SearchBudget};
+use promising_flat::{explore_flat_budget, FlatMachine};
 use promising_workloads::{by_spec, init_for};
 use std::time::Duration;
 
 /// The Table 3 grid: broader parameterisations per family.
 pub const ROWS: &[&str] = &[
-    "SLA-1", "SLA-2", "SLA-3", "SLA-4", "SLA-5", "SLA-6", "SLA-7",
-    "SLC-1", "SLC-2", "SLC-3",
-    "SLR-1", "SLR-2", "SLR-3",
-    "PCS-1-1", "PCS-2-2", "PCS-3-3",
-    "PCM-1-1-1", "PCM-2-2-2",
-    "TL-1", "TL-2",
-    "STC-100-010-000", "STC-100-010-010", "STC-110-011-000",
-    "STC(opt)-100-010-000", "STC(opt)-100-010-010",
-    "STR-100-010-000", "STR-100-010-010",
-    "DQ-100-1-0", "DQ-110-1-0", "DQ-110-1-1",
-    "DQ(opt)-100-1-0", "DQ(opt)-110-1-0",
-    "QU-100-000-000", "QU-100-010-000",
+    "SLA-1",
+    "SLA-2",
+    "SLA-3",
+    "SLA-4",
+    "SLA-5",
+    "SLA-6",
+    "SLA-7",
+    "SLC-1",
+    "SLC-2",
+    "SLC-3",
+    "SLR-1",
+    "SLR-2",
+    "SLR-3",
+    "PCS-1-1",
+    "PCS-2-2",
+    "PCS-3-3",
+    "PCM-1-1-1",
+    "PCM-2-2-2",
+    "TL-1",
+    "TL-2",
+    "STC-100-010-000",
+    "STC-100-010-010",
+    "STC-110-011-000",
+    "STC(opt)-100-010-000",
+    "STC(opt)-100-010-010",
+    "STR-100-010-000",
+    "STR-100-010-010",
+    "DQ-100-1-0",
+    "DQ-110-1-0",
+    "DQ-110-1-1",
+    "DQ(opt)-100-1-0",
+    "DQ(opt)-110-1-0",
+    "QU-100-000-000",
+    "QU-100-010-000",
     "QU(opt)-100-000-000",
 ];
 
 fn main() {
-    let timeout = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(120u64);
-    let timeout = Duration::from_secs(timeout);
+    let mut timeout = Duration::from_secs(120);
+    let mut sample: Option<u64> = None;
+    let mut seed = 0u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sample" => {
+                sample = Some(
+                    it.next()
+                        .and_then(|n| n.parse().ok())
+                        .expect("--sample needs a trace count"),
+                )
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .expect("--seed needs an integer")
+            }
+            other => match other.parse::<u64>() {
+                Ok(secs) => timeout = Duration::from_secs(secs),
+                Err(_) => panic!("unknown argument: {other}"),
+            },
+        }
+    }
     println!(
         "Table 3 (Appendix E): full run-time sweep, timeout {}s per cell\n",
         timeout.as_secs()
     );
-    let mut table = Table::new(&["Test", "Promising", "Flat"]);
+    let budget = SearchBudget::deadline(Some(timeout));
+    let mut header = vec!["Test", "Promising", "Flat"];
+    if sample.is_some() {
+        header.push("Sampled");
+    }
+    let mut table = Table::new(&header);
     for spec in ROWS {
         let Some(w) = by_spec(spec) else {
             eprintln!("skipping unparseable spec {spec}");
@@ -45,17 +102,34 @@ fn main() {
         };
         let init = init_for(&w);
         let m = Machine::with_init(w.program.clone(), w.config(Arch::Arm), init.clone());
-        let p = explore_promise_first_deadline(&m, Some(timeout));
-        let p_time = (!p.stats.truncated).then_some(p.stats.duration);
+        let p = explore_promise_first_budget(&m, budget);
+        let p_time = (!p.stats.truncated).then_some(p.stats.wall_time);
         let fm = FlatMachine::with_init(w.program.clone(), w.config_unshared(Arch::Arm), init);
-        let f = explore_flat_deadline(&fm, u64::MAX, Some(timeout));
-        let f_time = (!f.stats.truncated).then_some(f.stats.duration);
-        table.row(&[
-            spec.to_string(),
+        let f = explore_flat_budget(&fm, budget);
+        let f_time = (!f.stats.truncated).then_some(f.stats.wall_time);
+        let mut cells = vec![spec.to_string(), fmt_duration(p_time), fmt_duration(f_time)];
+        if let Some(n) = sample {
+            let s = Engine::new(PromiseFirstModel::new(&m))
+                .with_budget(budget)
+                .sample(n, seed);
+            if !p.stats.truncated {
+                assert!(
+                    s.outcomes.is_subset(&p.outcomes),
+                    "{spec}: sampled outcomes must be a subset of exhaustive"
+                );
+            }
+            cells.push(format!(
+                "{} ({} outc.)",
+                fmt_duration((!s.stats.truncated).then_some(s.stats.wall_time)),
+                s.outcomes.len()
+            ));
+        }
+        table.row(&cells);
+        eprintln!(
+            "  {spec}: promising {} flat {}",
             fmt_duration(p_time),
-            fmt_duration(f_time),
-        ]);
-        eprintln!("  {spec}: promising {} flat {}", fmt_duration(p_time), fmt_duration(f_time));
+            fmt_duration(f_time)
+        );
     }
     println!("{}", table.render());
 }

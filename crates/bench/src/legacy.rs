@@ -17,14 +17,14 @@
 //! sets against the optimised explorers on every row it completes.
 
 use promising_core::ids::TId;
+use promising_core::stmt::SCRATCH_REG_BASE;
+use promising_core::Reg;
+use promising_core::Val;
 use promising_core::{
     apply_step, enabled_steps, Machine, Memory, Msg, StepEvent, ThreadInstance, Timestamp,
     Transition, TransitionKind,
 };
 use promising_explorer::{Exploration, Outcome, Stats};
-use promising_core::stmt::SCRATCH_REG_BASE;
-use promising_core::Reg;
-use promising_core::Val;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
@@ -71,8 +71,7 @@ fn legacy_promisable(
         th.unshare();
         let mut mem = m.memory().clone();
         mem.unshare();
-        apply_step(config, code, tid, &kind, &mut th, &mut mem)
-            .expect("enabled step must apply");
+        apply_step(config, code, tid, &kind, &mut th, &mut mem).expect("enabled step must apply");
         let _ = engine.explore(&th, &mem, depth.saturating_sub(1));
     }
     *cut |= engine.cut;
@@ -95,7 +94,9 @@ impl LegacyCertEngine<'_> {
         if self.cut {
             return true;
         }
-        let Some(at) = self.deadline else { return false };
+        let Some(at) = self.deadline else {
+            return false;
+        };
         self.ticks += 1;
         if self.ticks >= LEGACY_DEADLINE_CHECK_PERIOD {
             self.ticks = 0;
@@ -149,10 +150,7 @@ impl LegacyCertEngine<'_> {
             qualified.extend(sub_qualified);
             if kind == TransitionKind::WriteNormal {
                 if let StepEvent::DidWrite {
-                    loc,
-                    val,
-                    pre_view,
-                    ..
+                    loc, val, pre_view, ..
                 } = ev
                 {
                     let coh_before = thread.state.coh(loc);
@@ -171,10 +169,7 @@ impl LegacyCertEngine<'_> {
 }
 
 /// The seed's promise-first search (§7) with the pre-rework cost model.
-pub fn explore_promise_first_legacy(
-    machine: &Machine,
-    deadline: Option<Duration>,
-) -> Exploration {
+pub fn explore_promise_first_legacy(machine: &Machine, deadline: Option<Duration>) -> Exploration {
     let start = Instant::now();
     let mut stats = Stats::default();
     let mut outcomes = BTreeSet::new();
@@ -277,7 +272,9 @@ pub fn explore_promise_first_legacy(
         }
     }
 
-    stats.duration = start.elapsed();
+    // Serial search: all compute time is wall time.
+    stats.cpu_time = start.elapsed();
+    stats.wall_time = stats.cpu_time;
     Exploration { outcomes, stats }
 }
 
@@ -332,7 +329,9 @@ impl LegacyThreadDfs<'_> {
         if self.cut {
             return true;
         }
-        let Some(at) = self.deadline else { return false };
+        let Some(at) = self.deadline else {
+            return false;
+        };
         self.ticks += 1;
         if self.ticks >= LEGACY_DEADLINE_CHECK_PERIOD {
             self.ticks = 0;

@@ -42,7 +42,11 @@ impl Table {
             out.push('\n');
         };
         line(&mut out, &self.header);
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().min(120)));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().min(120))
+        );
         for row in &self.rows {
             line(&mut out, row);
         }
@@ -77,9 +81,6 @@ mod tests {
     #[test]
     fn oot_formatting() {
         assert_eq!(fmt_duration(None), "ooT");
-        assert_eq!(
-            fmt_duration(Some(Duration::from_millis(1500))),
-            "1.50"
-        );
+        assert_eq!(fmt_duration(Some(Duration::from_millis(1500))), "1.50");
     }
 }

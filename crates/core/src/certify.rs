@@ -26,12 +26,12 @@
 //! certify near-identical configurations, and a shared memo turns those
 //! repeats into hash lookups.
 
+use crate::config::Config;
 use crate::fingerprint::{Fingerprint, FpHashMap, FpHasher};
+use crate::ids::{TId, Timestamp};
 use crate::machine::{
     apply_step, enabled_steps, Machine, StepEvent, ThreadInstance, TransitionKind,
 };
-use crate::config::Config;
-use crate::ids::{TId, Timestamp};
 use crate::memory::{Memory, Msg};
 use crate::stmt::ThreadCode;
 use std::collections::BTreeSet;
@@ -355,10 +355,7 @@ impl Engine<'_> {
             qualified.extend(sub_qualified);
             if kind == TransitionKind::WriteNormal {
                 if let StepEvent::DidWrite {
-                    loc,
-                    val,
-                    pre_view,
-                    ..
+                    loc, val, pre_view, ..
                 } = ev
                 {
                     // §B step 3: pre-view and coherence view (before the
@@ -431,9 +428,7 @@ mod tests {
         let m = Machine::new(program, Config::arm());
         let cert = find_and_certify(&m, TId(1));
         assert!(cert.certified);
-        assert!(cert
-            .promisable
-            .contains(&Msg::new(Loc(0), Val(42), TId(1))));
+        assert!(cert.promisable.contains(&Msg::new(Loc(0), Val(42), TId(1))));
     }
 
     #[test]

@@ -63,8 +63,7 @@ pub mod stmt;
 pub mod thread;
 
 pub use certify::{
-    find_and_certify, find_and_certify_with, find_promises_with, is_certified, CertMemo,
-    CertResult,
+    find_and_certify, find_and_certify_with, find_promises_with, is_certified, CertMemo, CertResult,
 };
 pub use config::{Arch, Config, SharedLocs};
 pub use expr::{Expr, Op};

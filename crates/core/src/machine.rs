@@ -255,11 +255,7 @@ impl Machine {
     }
 
     /// Initial machine with explicit initial values (litmus init section).
-    pub fn with_init(
-        program: Arc<Program>,
-        config: Config,
-        init: BTreeMap<Loc, Val>,
-    ) -> Machine {
+    pub fn with_init(program: Arc<Program>, config: Config, init: BTreeMap<Loc, Val>) -> Machine {
         let threads = program
             .threads()
             .iter()
@@ -590,9 +586,7 @@ pub fn enabled_steps(
                 if floor.timestamp() >= t {
                     continue;
                 }
-                let matches = memory
-                    .get(t)
-                    .is_some_and(|m| m.loc == loc && m.val == val);
+                let matches = memory.get(t).is_some_and(|m| m.loc == loc && m.val == val);
                 if !matches {
                     continue;
                 }
@@ -625,7 +619,6 @@ pub fn enabled_steps(
         }
     }
 }
-
 
 /// Apply one transition to a single thread (+ memory). This is the
 /// authoritative implementation of Fig. 5's rules; [`Machine::apply`], the
@@ -701,9 +694,11 @@ pub fn apply_step(
             let (v, view) = cond.eval(&thread.state.regs);
             thread.state.v_cap = thread.state.v_cap.join(view);
             thread.cont.pop();
-            thread
-                .cont
-                .push(if v.as_bool() { *then_branch } else { *else_branch });
+            thread.cont.push(if v.as_bool() {
+                *then_branch
+            } else {
+                *else_branch
+            });
             StepEvent::Branched(v.as_bool())
         }
         (Stmt::While { cond, body }, TransitionKind::Internal) => {
@@ -824,9 +819,7 @@ pub fn apply_step(
                 _ => unreachable!(),
             };
             // fulfil pre-conditions
-            if !thread.state.prom.contains(&t)
-                || memory.get(t) != Some(&Msg::new(loc, val, tid))
-            {
+            if !thread.state.prom.contains(&t) || memory.get(t) != Some(&Msg::new(loc, val, tid)) {
                 return Err(StepError::NotAPromise);
             }
             if *exclusive {
@@ -874,7 +867,12 @@ pub fn apply_step(
                 pre_view: v_pre,
             }
         }
-        (Stmt::Store { succ, exclusive, .. }, TransitionKind::ExclFail) => {
+        (
+            Stmt::Store {
+                succ, exclusive, ..
+            },
+            TransitionKind::ExclFail,
+        ) => {
             if !*exclusive {
                 return Err(StepError::WrongShape);
             }
@@ -957,14 +955,20 @@ mod tests {
         run_writer(&mut m);
         assert_eq!(m.memory().len(), 2);
         // d reads y = 42 at timestamp 2
-        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(2) }))
-            .unwrap();
+        m.apply(&Transition::new(
+            TId(1),
+            TransitionKind::Read { t: Timestamp(2) },
+        ))
+        .unwrap();
         assert_eq!(m.thread(TId(1)).state.regs.value(Reg(1)), Val(42));
         // e may still read the initial x = 0 (timestamp 0)
         let steps = m.thread_steps(TId(1));
         assert!(steps.contains(&TransitionKind::Read { t: Timestamp::ZERO }));
-        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp::ZERO }))
-            .unwrap();
+        m.apply(&Transition::new(
+            TId(1),
+            TransitionKind::Read { t: Timestamp::ZERO },
+        ))
+        .unwrap();
         assert_eq!(m.thread(TId(1)).state.regs.value(Reg(2)), Val(0));
         assert!(m.terminated());
     }
@@ -979,8 +983,11 @@ mod tests {
         let reader = b.finish_seq(&[l1, f, l2]);
         let mut m = machine_of(vec![mp_writer(), reader]);
         run_writer(&mut m);
-        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(2) }))
-            .unwrap();
+        m.apply(&Transition::new(
+            TId(1),
+            TransitionKind::Read { t: Timestamp(2) },
+        ))
+        .unwrap();
         m.apply(&Transition::new(TId(1), TransitionKind::Internal))
             .unwrap(); // dmb.sy
         let steps = m.thread_steps(TId(1));
@@ -996,8 +1003,11 @@ mod tests {
         let reader = b.finish_seq(&[l1, l2]);
         let mut m = machine_of(vec![mp_writer(), reader]);
         run_writer(&mut m);
-        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(2) }))
-            .unwrap();
+        m.apply(&Transition::new(
+            TId(1),
+            TransitionKind::Read { t: Timestamp(2) },
+        ))
+        .unwrap();
         let steps = m.thread_steps(TId(1));
         assert_eq!(steps, vec![TransitionKind::Read { t: Timestamp(1) }]);
     }
@@ -1013,10 +1023,16 @@ mod tests {
         let reader = b.finish_seq(&[l1, l2, l3]);
         let mut m = machine_of(vec![mp_writer(), reader]);
         run_writer(&mut m);
-        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(2) }))
-            .unwrap();
-        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(1) }))
-            .unwrap();
+        m.apply(&Transition::new(
+            TId(1),
+            TransitionKind::Read { t: Timestamp(2) },
+        ))
+        .unwrap();
+        m.apply(&Transition::new(
+            TId(1),
+            TransitionKind::Read { t: Timestamp(1) },
+        ))
+        .unwrap();
         // f: pre-view is 0 but coh(x) = 2 forbids the initial write
         let steps = m.thread_steps(TId(1));
         assert_eq!(steps, vec![TransitionKind::Read { t: Timestamp(1) }]);
@@ -1035,15 +1051,21 @@ mod tests {
         let mut m = machine_of(vec![mp_writer(), reader]);
         run_writer(&mut m);
         // d reads y = 42@2
-        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(2) }))
-            .unwrap();
+        m.apply(&Transition::new(
+            TId(1),
+            TransitionKind::Read { t: Timestamp(2) },
+        ))
+        .unwrap();
         // e writes y = 51@3
         m.apply(&Transition::new(TId(1), TransitionKind::WriteNormal))
             .unwrap();
         // f reads its own write by forwarding: post-view is the forward
         // view 0, not 3.
-        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(3) }))
-            .unwrap();
+        m.apply(&Transition::new(
+            TId(1),
+            TransitionKind::Read { t: Timestamp(3) },
+        ))
+        .unwrap();
         let (v, view) = m.thread(TId(1)).state.regs.get(Reg(1));
         assert_eq!(v, Val(51));
         assert_eq!(view, View::ZERO);
@@ -1074,18 +1096,27 @@ mod tests {
         .unwrap();
         assert!(m.thread(TId(1)).state.has_promises());
         // T1 reads x = 42 and writes y = 42
-        m.apply(&Transition::new(TId(0), TransitionKind::Read { t: Timestamp(1) }))
-            .unwrap();
+        m.apply(&Transition::new(
+            TId(0),
+            TransitionKind::Read { t: Timestamp(1) },
+        ))
+        .unwrap();
         m.apply(&Transition::new(TId(0), TransitionKind::WriteNormal))
             .unwrap();
         // T2 reads y = 42 … must NOT be able to fulfil afterwards if it
         // read too new? Here there is no dependency, so it can.
-        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(2) }))
-            .unwrap();
+        m.apply(&Transition::new(
+            TId(1),
+            TransitionKind::Read { t: Timestamp(2) },
+        ))
+        .unwrap();
         let steps = m.thread_steps(TId(1));
         assert!(steps.contains(&TransitionKind::Fulfil { t: Timestamp(1) }));
-        m.apply(&Transition::new(TId(1), TransitionKind::Fulfil { t: Timestamp(1) }))
-            .unwrap();
+        m.apply(&Transition::new(
+            TId(1),
+            TransitionKind::Fulfil { t: Timestamp(1) },
+        ))
+        .unwrap();
         assert!(m.terminated());
         assert_eq!(m.thread(TId(0)).state.regs.value(Reg(1)), Val(42));
         assert_eq!(m.thread(TId(1)).state.regs.value(Reg(2)), Val(42));
@@ -1111,20 +1142,29 @@ mod tests {
             },
         ))
         .unwrap();
-        m.apply(&Transition::new(TId(0), TransitionKind::Read { t: Timestamp(1) }))
-            .unwrap();
+        m.apply(&Transition::new(
+            TId(0),
+            TransitionKind::Read { t: Timestamp(1) },
+        ))
+        .unwrap();
         m.apply(&Transition::new(TId(0), TransitionKind::WriteNormal))
             .unwrap();
         // T2 reads y = 42@2 — now r2 has view 2, so the store's pre-view is
         // 2 ≥ 1 and the promise cannot be fulfilled.
-        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(2) }))
-            .unwrap();
+        m.apply(&Transition::new(
+            TId(1),
+            TransitionKind::Read { t: Timestamp(2) },
+        ))
+        .unwrap();
         let steps = m.thread_steps(TId(1));
         assert!(!steps.contains(&TransitionKind::Fulfil { t: Timestamp(1) }));
         // it can only do a (wrong-valued) fresh write — promise stays
         // unfulfilled, so this trace is discarded.
         assert_eq!(
-            m.apply(&Transition::new(TId(1), TransitionKind::Fulfil { t: Timestamp(1) })),
+            m.apply(&Transition::new(
+                TId(1),
+                TransitionKind::Fulfil { t: Timestamp(1) }
+            )),
             Err(StepError::TooLate)
         );
     }
@@ -1135,7 +1175,10 @@ mod tests {
         let mut b = CodeBuilder::new();
         let c = b.load(Reg(2), Expr::val(1));
         let st = b.store(Expr::val(0), Expr::val(42));
-        let br = b.if_then(Expr::reg(Reg(2)).sub(Expr::reg(Reg(2))).eq(Expr::val(0)), st);
+        let br = b.if_then(
+            Expr::reg(Reg(2)).sub(Expr::reg(Reg(2))).eq(Expr::val(0)),
+            st,
+        );
         let t2 = b.finish_seq(&[c, br]);
         let mut b = CodeBuilder::new();
         let a = b.load(Reg(1), Expr::val(0));
@@ -1149,12 +1192,18 @@ mod tests {
             },
         ))
         .unwrap();
-        m.apply(&Transition::new(TId(0), TransitionKind::Read { t: Timestamp(1) }))
-            .unwrap();
+        m.apply(&Transition::new(
+            TId(0),
+            TransitionKind::Read { t: Timestamp(1) },
+        ))
+        .unwrap();
         m.apply(&Transition::new(TId(0), TransitionKind::WriteNormal))
             .unwrap();
-        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(2) }))
-            .unwrap();
+        m.apply(&Transition::new(
+            TId(1),
+            TransitionKind::Read { t: Timestamp(2) },
+        ))
+        .unwrap();
         // branch merges r2's view into vCAP
         m.apply(&Transition::new(TId(1), TransitionKind::Internal))
             .unwrap();
@@ -1181,8 +1230,11 @@ mod tests {
         m.apply(&Transition::new(TId(0), TransitionKind::WriteNormal))
             .unwrap();
         // acquire-read y = 42@2: post-view 2 flows into vrNew
-        m.apply(&Transition::new(TId(1), TransitionKind::Read { t: Timestamp(2) }))
-            .unwrap();
+        m.apply(&Transition::new(
+            TId(1),
+            TransitionKind::Read { t: Timestamp(2) },
+        ))
+        .unwrap();
         let steps = m.thread_steps(TId(1));
         assert_eq!(steps, vec![TransitionKind::Read { t: Timestamp(1) }]);
     }
@@ -1194,8 +1246,11 @@ mod tests {
         let s = b.store_excl(Reg(2), Expr::val(0), Expr::reg(Reg(1)).add(Expr::val(1)));
         let t1 = b.finish_seq(&[l, s]);
         let mut m = machine_of(vec![t1]);
-        m.apply(&Transition::new(TId(0), TransitionKind::Read { t: Timestamp::ZERO }))
-            .unwrap();
+        m.apply(&Transition::new(
+            TId(0),
+            TransitionKind::Read { t: Timestamp::ZERO },
+        ))
+        .unwrap();
         let steps = m.thread_steps(TId(0));
         assert!(steps.contains(&TransitionKind::WriteNormal));
         assert!(steps.contains(&TransitionKind::ExclFail));

@@ -323,8 +323,14 @@ mod tests {
         let m = mem_with(&[(0, 1, 0), (1, 2, 0), (0, 3, 0)]);
         assert_eq!(m.latest_write_at_most(Loc(0), Timestamp(3)), Timestamp(3));
         assert_eq!(m.latest_write_at_most(Loc(0), Timestamp(2)), Timestamp(1));
-        assert_eq!(m.latest_write_at_most(Loc(1), Timestamp(1)), Timestamp::ZERO);
-        assert_eq!(m.latest_write_at_most(Loc(9), Timestamp(3)), Timestamp::ZERO);
+        assert_eq!(
+            m.latest_write_at_most(Loc(1), Timestamp(1)),
+            Timestamp::ZERO
+        );
+        assert_eq!(
+            m.latest_write_at_most(Loc(9), Timestamp(3)),
+            Timestamp::ZERO
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@
 
 use crate::expr::{Expr, Op};
 use crate::ids::{Loc, Reg};
-use crate::stmt::{AccessSet, CodeBuilder, Fence, Program, ReadKind, StmtId, ThreadCode, WriteKind};
+use crate::stmt::{
+    AccessSet, CodeBuilder, Fence, Program, ReadKind, StmtId, ThreadCode, WriteKind,
+};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -217,9 +219,7 @@ fn tokenize(src: &str) -> Result<Vec<Located>, ParseError> {
             } else {
                 let two: Option<&'static str> = {
                     let rest = &code[i..];
-                    ["==", "!=", "<="]
-                        .into_iter()
-                        .find(|s| rest.starts_with(s))
+                    ["==", "!=", "<="].into_iter().find(|s| rest.starts_with(s))
                 };
                 if let Some(sym) = two {
                     chars.next();
@@ -611,14 +611,36 @@ mod tests {
         )
         .unwrap();
         let stmts = first_stmts(&code);
-        assert!(
-            matches!(&stmts[0], Stmt::Load { kind: ReadKind::Plain, exclusive: false, .. })
-        );
-        assert!(
-            matches!(&stmts[1], Stmt::Load { kind: ReadKind::Acquire, exclusive: false, .. })
-        );
-        assert!(matches!(&stmts[2], Stmt::Load { exclusive: true, .. }));
-        assert!(matches!(&stmts[3], Stmt::Load { kind: ReadKind::WeakAcquire, .. }));
+        assert!(matches!(
+            &stmts[0],
+            Stmt::Load {
+                kind: ReadKind::Plain,
+                exclusive: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &stmts[1],
+            Stmt::Load {
+                kind: ReadKind::Acquire,
+                exclusive: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &stmts[2],
+            Stmt::Load {
+                exclusive: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &stmts[3],
+            Stmt::Load {
+                kind: ReadKind::WeakAcquire,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -65,9 +65,7 @@ impl Printer<'_> {
         // Print the address symbolically where a name is known; otherwise
         // fall back on the expression's own Display.
         match e {
-            Expr::Const(v) => self
-                .loc_name(e)
-                .unwrap_or_else(|| v.to_string()),
+            Expr::Const(v) => self.loc_name(e).unwrap_or_else(|| v.to_string()),
             _ => e.to_string(),
         }
     }

@@ -34,10 +34,7 @@ impl RegFile {
 
     /// Current value and view of `r` (registers start as `0@0`).
     pub fn get(&self, r: Reg) -> (Val, View) {
-        self.regs
-            .get(&r)
-            .copied()
-            .unwrap_or((Val(0), View::ZERO))
+        self.regs.get(&r).copied().unwrap_or((Val(0), View::ZERO))
     }
 
     /// Value of `r`, discarding the view.

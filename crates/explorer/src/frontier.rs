@@ -56,7 +56,9 @@ impl<K: Eq + std::fmt::Debug> ShardedVisited<K> {
             (workers * 8).next_power_of_two().min(256)
         };
         ShardedVisited {
-            shards: (0..shards).map(|_| Mutex::new(HashMap::default())).collect(),
+            shards: (0..shards)
+                .map(|_| Mutex::new(HashMap::default()))
+                .collect(),
             paranoid,
             mask: shards as u64 - 1,
         }

@@ -2,10 +2,8 @@
 //! thread states and memory, undo — the rmem-style debugging workflow of
 //! §7/§8 as a library API (and a CLI in `examples/interactive_debug.rs`).
 
-use promising_core::{
-    find_and_certify, Machine, StepEvent, Transition, TransitionKind,
-};
 use promising_core::ids::TId;
+use promising_core::{find_and_certify, Machine, StepEvent, Transition, TransitionKind};
 use std::fmt::Write as _;
 
 /// One recorded step of the session's trace.
@@ -126,7 +124,9 @@ impl Session {
                     TransitionKind::Read { t } => {
                         let m = self.machine.memory();
                         match m.get(*t) {
-                            Some(msg) => format!("{}: read {} = {} (t={})", tr.tid, msg.loc, msg.val, t),
+                            Some(msg) => {
+                                format!("{}: read {} = {} (t={})", tr.tid, msg.loc, msg.val, t)
+                            }
                             None => format!("{}: read initial value (t=0)", tr.tid),
                         }
                     }
@@ -201,9 +201,7 @@ mod tests {
         .unwrap();
         s.step(&Transition::new(
             TId(1),
-            TransitionKind::Read {
-                t: Timestamp::ZERO,
-            },
+            TransitionKind::Read { t: Timestamp::ZERO },
         ))
         .unwrap();
         assert!(s.finished());

@@ -1,10 +1,20 @@
-//! Exhaustive and interactive exploration for Promising-ARM/RISC-V (§7).
+//! Exhaustive, sampled, and interactive exploration for
+//! Promising-ARM/RISC-V (§7).
 //!
-//! * [`explore`] / [`explore_promise_first`] — the paper's two-phase
-//!   promise-first search (Theorem 7.1): enumerate final memories by
-//!   interleaving only promises, then run every thread independently.
-//! * [`explore_naive`] — full interleaving search, the correctness
-//!   reference for the promise-first optimisation.
+//! Every search discipline is a [`SearchModel`] run by the one generic
+//! [`Engine`] (see [`engine`]):
+//!
+//! * [`PromiseFirstModel`] / [`explore_promise_first`] — the paper's
+//!   two-phase promise-first search (Theorem 7.1): enumerate final
+//!   memories by interleaving only promises, then run every thread
+//!   independently.
+//! * [`NaiveModel`] / [`explore_naive`] — full interleaving search, the
+//!   correctness reference for the promise-first optimisation.
+//! * `FlatModel` (in `promising-flat`) — the Flat-lite baseline on the
+//!   same engine.
+//! * [`Engine::sample`] — seeded random-walk sampling over any of them:
+//!   a sound under-approximation for state spaces where exhaustive
+//!   search is out of reach.
 //! * [`Session`] — rmem-style interactive stepping with undo and traces.
 //!
 //! ```
@@ -27,18 +37,25 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod frontier;
 pub mod interactive;
 pub mod naive;
 pub mod promise_first;
 pub mod stats;
 
+pub use engine::{Engine, Exploration, SearchBudget, SearchModel, SplitMix64};
 pub use frontier::{drive, effective_workers, Ctx, ShardedVisited};
 pub use interactive::{Session, TraceEntry};
-pub use naive::{explore_naive, explore_naive_deadline, CertMode, Exploration};
+pub use naive::{explore_naive, explore_naive_budget, CertMode, NaiveModel};
+pub use promise_first::{explore_promise_first, explore_promise_first_budget, PromiseFirstModel};
 pub use promising_core::Outcome;
-pub use promise_first::{explore_promise_first, explore_promise_first_deadline};
 pub use stats::Stats;
+
+#[allow(deprecated)]
+pub use naive::explore_naive_deadline;
+#[allow(deprecated)]
+pub use promise_first::explore_promise_first_deadline;
 
 use promising_core::Machine;
 

@@ -6,22 +6,25 @@
 //! ([`crate::promise_first`]) must produce identical outcome sets
 //! (Theorem 7.1), which the cross-model tests check.
 //!
-//! The search runs on the shared [`crate::frontier`]: states are
-//! deduplicated by 128-bit fingerprint (exact keys in paranoid mode),
-//! certification results are memoised across sibling branches
-//! ([`CertMemo`]), and `Config::workers > 1` explores the frontier on
-//! that many threads with identical outcome sets.
+//! The strategy is a [`SearchModel`] ([`NaiveModel`]) run by the generic
+//! [`Engine`]: states are deduplicated by 128-bit fingerprint (exact keys
+//! in paranoid mode), certification results are memoised across sibling
+//! branches (the per-worker [`CertMemo`] cache), and `Config::workers >
+//! 1` explores the frontier on that many threads with identical outcome
+//! sets.
 
-use crate::frontier::{drive, effective_workers, Ctx, ShardedVisited};
-use promising_core::Outcome;
+use crate::engine::{Engine, SearchBudget, SearchModel};
 use crate::stats::Stats;
-use promising_core::{
-    find_and_certify_with, find_promises_with, CertMemo, Machine, StateKey, Transition,
-    TransitionKind,
-};
 use promising_core::ids::TId;
+use promising_core::Outcome;
+use promising_core::{
+    find_and_certify_with, find_promises_with, CertMemo, Config, Fingerprint, Machine, StateKey,
+    Transition, TransitionKind,
+};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
+
+pub use crate::engine::Exploration;
 
 /// How the naive explorer uses certification (for the Theorem 6.2
 /// experiment).
@@ -37,150 +40,151 @@ pub enum CertMode {
     PromisesOnly,
 }
 
-/// Result of an exhaustive exploration.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct Exploration {
-    /// The set of observable outcomes of all complete executions.
-    pub outcomes: BTreeSet<Outcome>,
-    /// Search statistics.
-    pub stats: Stats,
+/// The naive full-interleaving strategy as a [`SearchModel`]: states are
+/// whole [`Machine`]s, transitions are every certified step of every
+/// thread, and outcomes are read off terminated machines.
+pub struct NaiveModel {
+    root: Machine,
+    mode: CertMode,
 }
 
-/// Per-worker search state.
-struct Local {
-    stats: Stats,
-    outcomes: BTreeSet<Outcome>,
-    memo: CertMemo,
+impl NaiveModel {
+    /// The naive strategy rooted at `machine`.
+    pub fn new(machine: &Machine, mode: CertMode) -> NaiveModel {
+        NaiveModel {
+            root: machine.clone(),
+            mode,
+        }
+    }
+}
+
+impl SearchModel for NaiveModel {
+    type State = Machine;
+    type Transition = Transition;
+    type Exact = StateKey;
+    type Out = Outcome;
+    type Cache = CertMemo;
+
+    fn config(&self) -> &Config {
+        self.root.config()
+    }
+
+    fn root(&self, stats: &mut Stats) -> Machine {
+        let mut root = self.root.clone();
+        drain_internal(&mut root, stats);
+        root
+    }
+
+    fn cache(&self) -> CertMemo {
+        CertMemo::for_config(self.config())
+    }
+
+    fn fingerprint(&self, s: &Machine) -> Fingerprint {
+        s.fingerprint()
+    }
+
+    fn exact_key(&self, s: &Machine) -> StateKey {
+        s.state_key()
+    }
+
+    fn outcome(
+        &self,
+        s: &Machine,
+        _cache: &mut CertMemo,
+        _stats: &mut Stats,
+        _deadline: Option<Instant>,
+        out: &mut BTreeSet<Outcome>,
+    ) {
+        if s.terminated() {
+            out.insert(Outcome::of_machine(s));
+        }
+    }
+
+    fn is_final(&self, s: &Machine, stats: &mut Stats) -> bool {
+        if s.terminated() {
+            return true;
+        }
+        if s.any_stuck() {
+            stats.bound_hits += 1;
+            return true;
+        }
+        false
+    }
+
+    fn expand(
+        &self,
+        m: &Machine,
+        memo: &mut CertMemo,
+        stats: &mut Stats,
+        deadline: Option<Instant>,
+    ) -> Vec<Transition> {
+        let mut out = Vec::new();
+        for tid in (0..m.num_threads()).map(TId) {
+            let promising = m.thread(tid).state.has_promises();
+            stats.certifications += 1;
+            if self.mode == CertMode::Online && promising {
+                // r24: non-promise steps filtered to certified post-states.
+                let cert = find_and_certify_with(m, tid, memo, deadline);
+                stats.truncated |= cert.deadline_hit;
+                for k in cert.certified_first_steps {
+                    out.push(Transition::new(tid, k));
+                }
+                for msg in cert.promisable {
+                    out.push(Transition::new(tid, TransitionKind::Promise { msg }));
+                }
+            } else {
+                // Steps run free; certification only enumerates promises, so
+                // skip the certified-first-steps re-expansion.
+                let (promisable, cut) = find_promises_with(m, tid, memo, deadline);
+                stats.truncated |= cut;
+                for k in m.thread_steps(tid) {
+                    out.push(Transition::new(tid, k));
+                }
+                for msg in promisable {
+                    out.push(Transition::new(tid, TransitionKind::Promise { msg }));
+                }
+            }
+        }
+        out
+    }
+
+    fn apply(&self, s: &Machine, tr: &Transition, stats: &mut Stats) -> Machine {
+        let mut next = s.clone();
+        next.apply(tr).expect("enabled transition applies");
+        stats.transitions += 1;
+        drain_internal(&mut next, stats);
+        next
+    }
 }
 
 /// Exhaustively explore all interleavings from `machine`, returning every
 /// outcome of a complete (terminated, promise-free) execution.
 pub fn explore_naive(machine: &Machine, mode: CertMode) -> Exploration {
-    explore_naive_deadline(machine, mode, None)
+    explore_naive_budget(machine, mode, SearchBudget::UNBOUNDED)
 }
 
-/// Like [`explore_naive`] with a wall-clock deadline (`stats.truncated`
-/// set when hit). The deadline also bounds certification work *inside*
-/// `find_and_certify`, so a single pathological certification cannot blow
-/// past the budget.
+/// [`explore_naive`] under a [`SearchBudget`] (`stats.truncated` set when
+/// a bound is hit). The wall-clock deadline also bounds certification
+/// work *inside* `find_and_certify`, so a single pathological
+/// certification cannot blow past the budget.
+pub fn explore_naive_budget(
+    machine: &Machine,
+    mode: CertMode,
+    budget: SearchBudget,
+) -> Exploration {
+    Engine::new(NaiveModel::new(machine, mode))
+        .with_budget(budget)
+        .run()
+}
+
+/// Deprecated shim for [`explore_naive_budget`].
+#[deprecated(note = "use `explore_naive_budget` with a `SearchBudget`")]
 pub fn explore_naive_deadline(
     machine: &Machine,
     mode: CertMode,
     deadline: Option<Duration>,
 ) -> Exploration {
-    let start = Instant::now();
-    let deadline_at = deadline.map(|d| start + d);
-    let config = machine.config();
-    let workers = effective_workers(config.workers);
-    let visited: ShardedVisited<StateKey> = ShardedVisited::new(config.paranoid, workers);
-
-    let mut pre_stats = Stats::default();
-    let mut root = machine.clone();
-    drain_internal(&mut root, &mut pre_stats);
-    let mut roots = Vec::new();
-    if visited.insert(root.fingerprint(), || root.state_key()) {
-        roots.push(root);
-    }
-
-    let step = |l: &mut Local, m: Machine, ctx: &mut Ctx<'_, Machine>| {
-        l.stats.states += 1;
-        if let Some(at) = deadline_at {
-            if Instant::now() >= at {
-                l.stats.truncated = true;
-                ctx.stop();
-                return;
-            }
-        }
-        if m.terminated() {
-            l.outcomes.insert(Outcome::of_machine(&m));
-            return;
-        }
-        if m.any_stuck() {
-            l.stats.bound_hits += 1;
-            return;
-        }
-        let transitions = enabled(&m, mode, &mut l.stats, &mut l.memo, deadline_at);
-        if l.stats.truncated {
-            // a certification run hit the deadline: its step set may be
-            // incomplete, so stop rather than explore a skewed frontier
-            ctx.stop();
-            return;
-        }
-        if transitions.is_empty() {
-            // unfinished but no steps: an unfulfillable-promise deadlock
-            l.stats.deadlocks += 1;
-            return;
-        }
-        for tr in transitions {
-            let mut next = m.clone();
-            next.apply(&tr).expect("enabled transition applies");
-            l.stats.transitions += 1;
-            drain_internal(&mut next, &mut l.stats);
-            if visited.insert(next.fingerprint(), || next.state_key()) {
-                ctx.push(next);
-            }
-        }
-    };
-
-    let results = drive(
-        roots,
-        workers,
-        || Local {
-            stats: Stats::default(),
-            outcomes: BTreeSet::new(),
-            memo: CertMemo::for_config(config),
-        },
-        step,
-        |l| (l.stats, l.outcomes),
-    );
-
-    let mut stats = pre_stats;
-    let mut outcomes = BTreeSet::new();
-    for (s, o) in results {
-        stats.absorb(&s);
-        outcomes.extend(o);
-    }
-    stats.duration = start.elapsed();
-    Exploration { outcomes, stats }
-}
-
-/// Enumerate the transitions the naive search branches on. Sets
-/// `stats.truncated` if a certification run was cut off by the deadline.
-fn enabled(
-    m: &Machine,
-    mode: CertMode,
-    stats: &mut Stats,
-    memo: &mut CertMemo,
-    deadline: Option<Instant>,
-) -> Vec<Transition> {
-    let mut out = Vec::new();
-    for tid in (0..m.num_threads()).map(TId) {
-        let promising = m.thread(tid).state.has_promises();
-        stats.certifications += 1;
-        if mode == CertMode::Online && promising {
-            // r24: non-promise steps filtered to certified post-states.
-            let cert = find_and_certify_with(m, tid, memo, deadline);
-            stats.truncated |= cert.deadline_hit;
-            for k in cert.certified_first_steps {
-                out.push(Transition::new(tid, k));
-            }
-            for msg in cert.promisable {
-                out.push(Transition::new(tid, TransitionKind::Promise { msg }));
-            }
-        } else {
-            // Steps run free; certification only enumerates promises, so
-            // skip the certified-first-steps re-expansion.
-            let (promisable, cut) = find_promises_with(m, tid, memo, deadline);
-            stats.truncated |= cut;
-            for k in m.thread_steps(tid) {
-                out.push(Transition::new(tid, k));
-            }
-            for msg in promisable {
-                out.push(Transition::new(tid, TransitionKind::Promise { msg }));
-            }
-        }
-    }
-    out
+    explore_naive_budget(machine, mode, SearchBudget::deadline(deadline))
 }
 
 /// Eagerly run the deterministic `Internal` steps of every thread: they
@@ -330,7 +334,10 @@ mod tests {
             .iter()
             .map(|o| (o.reg(1, Reg(1)).0, o.reg(1, Reg(2)).0))
             .collect();
-        assert!(!pairs.contains(&(1, 0)), "coherence violation (1,0) forbidden");
+        assert!(
+            !pairs.contains(&(1, 0)),
+            "coherence violation (1,0) forbidden"
+        );
         assert_eq!(pairs, BTreeSet::from([(0, 0), (0, 1), (1, 1)]));
     }
 
@@ -352,5 +359,21 @@ mod tests {
                 assert_eq!(exp.outcomes, serial.outcomes);
             }
         }
+    }
+
+    #[test]
+    fn sampling_agrees_with_exhaustive_on_small_tests() {
+        // The full state space of MP is small enough that a handful of
+        // walks usually covers several outcomes; all must be exhaustive
+        // outcomes, and a fixed seed must reproduce exactly.
+        let program = mp_program(false);
+        let m = Machine::new(Arc::clone(&program), Config::arm());
+        let exhaustive = explore_naive(&m, CertMode::Online);
+        let a = Engine::new(NaiveModel::new(&m, CertMode::Online)).sample(24, 7);
+        assert!(a.outcomes.is_subset(&exhaustive.outcomes));
+        assert!(!a.outcomes.is_empty());
+        let b = Engine::new(NaiveModel::new(&m, CertMode::Online)).sample(24, 7);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.stats.states, b.stats.states);
     }
 }

@@ -17,31 +17,33 @@
 //! This removes the read-interleaving blow-up that dominates the naive
 //! search and is the optimisation behind the paper's Table 2/3 results.
 //!
-//! Promise-mode states are deduplicated by a fingerprint of (per-thread
-//! promise sets, memory). Certification and the phase-2 per-thread
+//! The strategy is a [`SearchModel`] ([`PromiseFirstModel`]) run by the
+//! generic [`Engine`]: promise-mode states are deduplicated by a
+//! fingerprint of (per-thread promise sets, memory); the phase-2
+//! all-threads-completable check is the model's *outcome* hook, run on
+//! every promise-mode state. Certification and the phase-2 per-thread
 //! searches are memoised *within* each state's work (fingerprint keys);
-//! unlike the naive search, the memos are not shared across states —
+//! unlike the naive strategy, the memos are not shared across states —
 //! every promise-mode state has a distinct memory, so cross-state keys
 //! could never hit and a shared table would only grow without bound.
 //! `Config::workers > 1` explores the promise frontier in parallel with
 //! identical outcome sets.
 
-use crate::frontier::{drive, effective_workers, Ctx, ShardedVisited};
-use crate::naive::Exploration;
-use promising_core::Outcome;
+use crate::engine::{Engine, Exploration, SearchBudget, SearchModel};
 use crate::stats::Stats;
-use promising_core::stmt::SCRATCH_REG_BASE;
-use promising_core::{
-    apply_step, enabled_steps, find_promises_with, CertMemo, Fingerprint, FpHashMap, FpHasher,
-    Machine, Memory, Reg, ThreadInstance, Timestamp, TransitionKind, Val,
-};
 use promising_core::ids::TId;
+use promising_core::stmt::SCRATCH_REG_BASE;
+use promising_core::Outcome;
 use promising_core::Transition;
+use promising_core::{
+    apply_step, enabled_steps, find_promises_with, CertMemo, Config, Fingerprint, FpHashMap,
+    FpHasher, Machine, Memory, Reg, ThreadInstance, Timestamp, TransitionKind,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
-type RegMap = BTreeMap<Reg, Val>;
+type RegMap = BTreeMap<Reg, promising_core::Val>;
 
 /// Exact promise-mode state identity (paranoid dedup): the per-thread
 /// promise sets and the memory — the only parts that change in phase 1.
@@ -123,70 +125,114 @@ impl Phase2Memo {
         memory: &Memory,
         value: Rc<BTreeSet<RegMap>>,
     ) {
-        let exact = self
-            .paranoid
-            .then(|| (tid, thread.clone(), memory.clone()));
+        let exact = self.paranoid.then(|| (tid, thread.clone(), memory.clone()));
         self.map.insert(fp, (exact, value));
     }
 }
 
-/// Per-worker search state.
-struct Local {
-    stats: Stats,
-    outcomes: BTreeSet<Outcome>,
+/// Per-worker cache for the promise-first model. Under the exhaustive
+/// scheduler it is empty: dedup guarantees every promise-mode state is
+/// expanded once, and distinct states have distinct memories, so a
+/// cross-state phase-2 memo could never hit and would only grow. Under
+/// the sampling scheduler there is no visited set — walks revisit the
+/// root and shared promise prefixes on every trace — so a shared
+/// phase-2 memo turns those repeated per-thread searches into lookups.
+pub struct PromiseFirstCache {
+    shared_phase2: Option<Phase2Memo>,
 }
 
-/// Exhaustively explore `machine` promise-first, returning the same
-/// outcome set as [`crate::naive::explore_naive`] (Theorem 7.1).
-pub fn explore_promise_first(machine: &Machine) -> Exploration {
-    explore_promise_first_deadline(machine, None)
+/// The promise-first strategy as a [`SearchModel`]: states are promise-mode
+/// [`Machine`]s (only promise sets and the memory evolve), transitions are
+/// certified promises, and the outcome hook is the phase-2 final-memory
+/// check — the per-thread independent runs whose register products are the
+/// memory's outcomes.
+pub struct PromiseFirstModel {
+    root: Machine,
 }
 
-/// Like [`explore_promise_first`], but giving up (with `stats.truncated`)
-/// once `deadline` has elapsed — the "out of time" guard for the
-/// benchmark tables. The deadline also bounds certification work inside
-/// promise enumeration.
-pub fn explore_promise_first_deadline(
-    machine: &Machine,
-    deadline: Option<Duration>,
-) -> Exploration {
-    let start = Instant::now();
-    let deadline_at = deadline.map(|d| start + d);
-    let config = machine.config();
-    let workers = effective_workers(config.workers);
-    let visited: ShardedVisited<PromiseKey> = ShardedVisited::new(config.paranoid, workers);
-
-    let root = machine.clone();
-    visited.insert(promise_fp(&root), || promise_key(&root));
-    let roots = vec![root];
-
-    let step = |l: &mut Local, m: Machine, ctx: &mut Ctx<'_, Machine>| {
-        l.stats.states += 1;
-        if let Some(at) = deadline_at {
-            if Instant::now() >= at {
-                l.stats.truncated = true;
-                ctx.stop();
-                return;
-            }
+impl PromiseFirstModel {
+    /// The promise-first strategy rooted at `machine`.
+    pub fn new(machine: &Machine) -> PromiseFirstModel {
+        PromiseFirstModel {
+            root: machine.clone(),
         }
+    }
+}
 
+impl SearchModel for PromiseFirstModel {
+    type State = Machine;
+    type Transition = Transition;
+    type Exact = PromiseKey;
+    type Out = Outcome;
+    type Cache = PromiseFirstCache;
+
+    /// Running out of certifiable promises is the normal end of phase 1,
+    /// not a deadlock.
+    const DEADLOCK_ON_EMPTY: bool = false;
+
+    fn config(&self) -> &Config {
+        self.root.config()
+    }
+
+    fn root(&self, _stats: &mut Stats) -> Machine {
+        self.root.clone()
+    }
+
+    fn cache(&self) -> PromiseFirstCache {
+        PromiseFirstCache {
+            shared_phase2: None,
+        }
+    }
+
+    fn walk_cache(&self) -> PromiseFirstCache {
+        PromiseFirstCache {
+            shared_phase2: Some(Phase2Memo::new(self.config().paranoid)),
+        }
+    }
+
+    fn fingerprint(&self, s: &Machine) -> Fingerprint {
+        promise_fp(s)
+    }
+
+    fn exact_key(&self, s: &Machine) -> PromiseKey {
+        promise_key(s)
+    }
+
+    fn outcome(
+        &self,
+        m: &Machine,
+        cache: &mut PromiseFirstCache,
+        stats: &mut Stats,
+        deadline: Option<Instant>,
+        out: &mut BTreeSet<Outcome>,
+    ) {
         // Phase-2 check: is this memory final (all threads completable)?
+        let config = self.config();
         let mem_fp = {
             let mut h = FpHasher::new();
             m.memory().feed(&mut h);
             h.finish128()
         };
-        let mut phase2 = Phase2Memo::new(config.paranoid);
+        // Per-state memo when exhaustive, worker-shared when sampling
+        // (the memo key includes the memory fingerprint, so sharing is
+        // sound either way — see `PromiseFirstCache`).
+        let mut local_phase2;
+        let phase2 = match cache.shared_phase2.as_mut() {
+            Some(shared) => shared,
+            None => {
+                local_phase2 = Phase2Memo::new(config.paranoid);
+                &mut local_phase2
+            }
+        };
         let mut per_thread: Vec<Rc<BTreeSet<RegMap>>> = Vec::with_capacity(m.num_threads());
         let mut all_complete = true;
         let mut cut = false;
         for tid in (0..m.num_threads()).map(TId) {
-            let set = thread_outcomes(&m, tid, mem_fp, &mut phase2, &mut l.stats, deadline_at, &mut cut);
+            let set = thread_outcomes(m, tid, mem_fp, phase2, stats, deadline, &mut cut);
             if cut {
                 // the per-thread search outran the wall clock: the outcome
                 // set is a lower bound from here on
-                l.stats.truncated = true;
-                ctx.stop();
+                stats.truncated = true;
                 return;
             }
             if set.is_empty() {
@@ -196,7 +242,7 @@ pub fn explore_promise_first_deadline(
             per_thread.push(set);
         }
         if all_complete {
-            l.stats.final_memories += 1;
+            stats.final_memories += 1;
             let memory: BTreeMap<_, _> = m
                 .memory()
                 .locations()
@@ -216,54 +262,78 @@ pub fn explore_promise_first_deadline(
                 regs_product = next;
             }
             for regs in regs_product {
-                l.outcomes.insert(Outcome {
+                out.insert(Outcome {
                     regs,
                     memory: memory.clone(),
                 });
             }
         }
+    }
 
-        // Expand: all certified promises of all threads.
+    /// Promise-mode states are never leaves: every state gets the phase-2
+    /// outcome check *and* an attempted promise expansion.
+    fn is_final(&self, _s: &Machine, _stats: &mut Stats) -> bool {
+        false
+    }
+
+    fn expand(
+        &self,
+        m: &Machine,
+        _cache: &mut PromiseFirstCache,
+        stats: &mut Stats,
+        deadline: Option<Instant>,
+    ) -> Vec<Transition> {
+        // All certified promises of all threads. The certification memo is
+        // per-query: every promise-mode state has a distinct memory, so
+        // cross-state keys never repeat (see the module docs).
+        let config = self.config();
+        let mut out = Vec::new();
         for tid in (0..m.num_threads()).map(TId) {
-            l.stats.certifications += 1;
+            stats.certifications += 1;
             let mut cert_memo = CertMemo::for_config(config);
-            let (promisable, cut) = find_promises_with(&m, tid, &mut cert_memo, deadline_at);
+            let (promisable, cut) = find_promises_with(m, tid, &mut cert_memo, deadline);
             if cut {
-                l.stats.truncated = true;
-                ctx.stop();
-                return;
+                stats.truncated = true;
+                return out;
             }
             for msg in promisable {
-                let mut next = m.clone();
-                next.apply(&Transition::new(tid, TransitionKind::Promise { msg }))
-                    .expect("certified promise applies");
-                l.stats.transitions += 1;
-                if visited.insert(promise_fp(&next), || promise_key(&next)) {
-                    ctx.push(next);
-                }
+                out.push(Transition::new(tid, TransitionKind::Promise { msg }));
             }
         }
-    };
-
-    let results = drive(
-        roots,
-        workers,
-        || Local {
-            stats: Stats::default(),
-            outcomes: BTreeSet::new(),
-        },
-        step,
-        |l| (l.stats, l.outcomes),
-    );
-
-    let mut stats = Stats::default();
-    let mut outcomes = BTreeSet::new();
-    for (s, o) in results {
-        stats.absorb(&s);
-        outcomes.extend(o);
+        out
     }
-    stats.duration = start.elapsed();
-    Exploration { outcomes, stats }
+
+    fn apply(&self, s: &Machine, tr: &Transition, stats: &mut Stats) -> Machine {
+        let mut next = s.clone();
+        next.apply(tr).expect("certified promise applies");
+        stats.transitions += 1;
+        next
+    }
+}
+
+/// Exhaustively explore `machine` promise-first, returning the same
+/// outcome set as [`crate::naive::explore_naive`] (Theorem 7.1).
+pub fn explore_promise_first(machine: &Machine) -> Exploration {
+    explore_promise_first_budget(machine, SearchBudget::UNBOUNDED)
+}
+
+/// [`explore_promise_first`] under a [`SearchBudget`] — the "out of time"
+/// guard for the benchmark tables. The wall-clock deadline also bounds
+/// certification work inside promise enumeration and the phase-2
+/// searches.
+pub fn explore_promise_first_budget(machine: &Machine, budget: SearchBudget) -> Exploration {
+    Engine::new(PromiseFirstModel::new(machine))
+        .with_budget(budget)
+        .run()
+}
+
+/// Deprecated shim for [`explore_promise_first_budget`].
+#[deprecated(note = "use `explore_promise_first_budget` with a `SearchBudget`")]
+pub fn explore_promise_first_deadline(
+    machine: &Machine,
+    deadline: Option<Duration>,
+) -> Exploration {
+    explore_promise_first_budget(machine, SearchBudget::deadline(deadline))
 }
 
 /// How many phase-2 nodes between wall-clock deadline checks.
@@ -324,7 +394,9 @@ impl ThreadDfs<'_> {
         if self.cut {
             return true;
         }
-        let Some(at) = self.deadline else { return false };
+        let Some(at) = self.deadline else {
+            return false;
+        };
         self.ticks += 1;
         if self.ticks >= PHASE2_DEADLINE_CHECK_PERIOD {
             self.ticks = 0;
@@ -392,7 +464,7 @@ fn observable_regs(thread: &ThreadInstance) -> RegMap {
 mod tests {
     use super::*;
     use crate::naive::{explore_naive, CertMode};
-    use promising_core::{CodeBuilder, Config, Expr, Program};
+    use promising_core::{CodeBuilder, Expr, Program, Val};
     use std::sync::Arc;
 
     fn check_agrees_with_naive(program: Arc<Program>, config: Config) {
@@ -521,5 +593,27 @@ mod tests {
             assert_eq!(exp.outcomes, serial.outcomes);
             assert_eq!(exp.stats.final_memories, serial.stats.final_memories);
         }
+    }
+
+    #[test]
+    fn sampling_promise_walks_are_sound_and_deterministic() {
+        // Sampled promise-first runs: every outcome found by a random
+        // promise walk must be in the exhaustive set, and a fixed seed
+        // reproduces exactly, including across worker counts.
+        let mk = |from: i64, to: i64, reg| {
+            let mut b = CodeBuilder::new();
+            let l = b.load(reg, Expr::val(from));
+            let s = b.store(Expr::val(to), Expr::val(1));
+            b.finish_seq(&[l, s])
+        };
+        let program = Arc::new(Program::new(vec![mk(0, 1, Reg(1)), mk(1, 0, Reg(2))]));
+        let m = Machine::new(Arc::clone(&program), Config::arm());
+        let exhaustive = explore_promise_first(&m);
+        let a = Engine::new(PromiseFirstModel::new(&m)).sample(16, 99);
+        assert!(a.outcomes.is_subset(&exhaustive.outcomes));
+        assert!(!a.outcomes.is_empty());
+        let mp = Machine::new(program, Config::arm().with_workers(4));
+        let b = Engine::new(PromiseFirstModel::new(&mp)).sample(16, 99);
+        assert_eq!(a.outcomes, b.outcomes);
     }
 }

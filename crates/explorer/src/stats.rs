@@ -4,10 +4,11 @@
 use std::fmt;
 use std::time::Duration;
 
-/// Counters from one exhaustive exploration.
+/// Counters from one exploration (exhaustive or sampled).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct Stats {
-    /// Distinct states visited (after deduplication).
+    /// Distinct states visited (after deduplication). In sampling runs,
+    /// total walk steps (walks do not deduplicate).
     pub states: u64,
     /// Transitions applied (including revisits).
     pub transitions: u64,
@@ -20,15 +21,25 @@ pub struct Stats {
     /// States with unfulfilled promises and no enabled transition (the ARM
     /// store-exclusive deadlocks of §4.3).
     pub deadlocks: u64,
-    /// Wall-clock time of the search.
-    pub duration: Duration,
-    /// Whether the search was cut short by a deadline (results are a
-    /// lower bound, like the paper's "ooT" cells).
+    /// Random-walk traces completed (sampling runs only).
+    pub traces: u64,
+    /// Summed time workers spent expanding states (excludes time parked
+    /// waiting for work), across all workers: total compute spent, not
+    /// elapsed time. ≈ `wall_time` on a serial search; up to
+    /// `workers × wall_time` on a saturated pool.
+    pub cpu_time: Duration,
+    /// Wall-clock time of the whole search, set once by the driver.
+    /// [`Stats::absorb`] keeps the maximum rather than summing, so
+    /// merging per-worker stats never inflates elapsed time.
+    pub wall_time: Duration,
+    /// Whether the search was cut short by a deadline or state budget
+    /// (results are a lower bound, like the paper's "ooT" cells).
     pub truncated: bool,
 }
 
 impl Stats {
-    /// Merge counters from a sub-search.
+    /// Merge counters from a sub-search: counters and `cpu_time` add up,
+    /// `wall_time` takes the maximum (sub-searches overlap in time).
     pub fn absorb(&mut self, other: &Stats) {
         self.states += other.states;
         self.transitions += other.transitions;
@@ -36,7 +47,9 @@ impl Stats {
         self.final_memories += other.final_memories;
         self.bound_hits += other.bound_hits;
         self.deadlocks += other.deadlocks;
-        self.duration += other.duration;
+        self.traces += other.traces;
+        self.cpu_time += other.cpu_time;
+        self.wall_time = self.wall_time.max(other.wall_time);
         self.truncated |= other.truncated;
     }
 }
@@ -45,15 +58,20 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} states, {} transitions, {} certifications, {} final memories, {} bound hits, {} deadlocks, {:.3}s",
+            "{} states, {} transitions, {} certifications, {} final memories, {} bound hits, {} deadlocks, {:.3}s wall ({:.3}s cpu)",
             self.states,
             self.transitions,
             self.certifications,
             self.final_memories,
             self.bound_hits,
             self.deadlocks,
-            self.duration.as_secs_f64()
-        )
+            self.wall_time.as_secs_f64(),
+            self.cpu_time.as_secs_f64()
+        )?;
+        if self.traces > 0 {
+            write!(f, ", {} traces", self.traces)?;
+        }
+        Ok(())
     }
 }
 
@@ -77,5 +95,25 @@ mod tests {
         assert_eq!(a.states, 11);
         assert_eq!(a.transitions, 2);
         assert_eq!(a.deadlocks, 1);
+    }
+
+    #[test]
+    fn absorb_sums_cpu_but_maxes_wall() {
+        // The pre-split `duration` field summed per-worker wall clocks,
+        // inflating reported elapsed time by ~workers×. The split keeps
+        // the sum (cpu_time) and the true elapsed time (wall_time) apart.
+        let mut a = Stats {
+            cpu_time: Duration::from_secs(2),
+            wall_time: Duration::from_secs(2),
+            ..Stats::default()
+        };
+        let b = Stats {
+            cpu_time: Duration::from_secs(3),
+            wall_time: Duration::from_secs(1),
+            ..Stats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.cpu_time, Duration::from_secs(5));
+        assert_eq!(a.wall_time, Duration::from_secs(2));
     }
 }

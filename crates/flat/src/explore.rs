@@ -3,147 +3,140 @@
 //! deduplication — the cost profile Tables 2/3 of the paper measure
 //! against.
 //!
-//! Runs on the shared exploration frontier of `promising-explorer`
-//! ([`promising_explorer::frontier`]): fingerprinted visited set (exact
-//! keys in paranoid mode) and optional parallel workers via
-//! `Config::workers`, with outcome sets independent of the worker count.
+//! The strategy is a [`SearchModel`] ([`FlatModel`]) run by the shared
+//! generic engine of `promising-explorer` ([`promising_explorer::Engine`]):
+//! fingerprinted visited set (exact keys in paranoid mode), wall-clock /
+//! state budgets, optional parallel workers via `Config::workers` (with
+//! outcome sets independent of the worker count), and seeded random-walk
+//! sampling via [`Engine::sample`].
 
-use crate::machine::{FlatMachine, FlatStateKey};
-use promising_core::Outcome;
-use promising_explorer::frontier::{drive, effective_workers, Ctx, ShardedVisited};
+use crate::machine::{FlatMachine, FlatStateKey, FlatTransition};
+use promising_core::{Config, Fingerprint, Outcome};
+use promising_explorer::{Engine, SearchBudget, SearchModel, Stats};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
-/// Counters from a Flat exploration.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub struct FlatStats {
-    /// Distinct states visited.
-    pub states: u64,
-    /// Transitions applied.
-    pub transitions: u64,
-    /// Traces that hit the loop bound.
-    pub bound_hits: u64,
-    /// Unfinished states with no enabled transition.
-    pub deadlocks: u64,
-    /// Wall-clock duration.
-    pub duration: Duration,
-    /// Whether the search stopped early on the state budget.
-    pub truncated: bool,
+/// Counters from a Flat exploration — the shared explorer [`Stats`].
+pub type FlatStats = Stats;
+
+/// Result of a Flat exploration — the shared explorer result type.
+pub type FlatExploration = promising_explorer::Exploration<Outcome>;
+
+/// The Flat-lite interleaving strategy as a [`SearchModel`]: states are
+/// whole [`FlatMachine`]s, transitions are every enabled micro-step
+/// (fetch, satisfy, propagate, resolve, …) of every thread.
+pub struct FlatModel {
+    root: FlatMachine,
 }
 
-impl FlatStats {
-    /// Merge counters from a per-worker sub-search.
-    pub fn absorb(&mut self, other: &FlatStats) {
-        self.states += other.states;
-        self.transitions += other.transitions;
-        self.bound_hits += other.bound_hits;
-        self.deadlocks += other.deadlocks;
-        self.duration += other.duration;
-        self.truncated |= other.truncated;
+impl FlatModel {
+    /// The Flat-lite strategy rooted at `machine`.
+    pub fn new(machine: &FlatMachine) -> FlatModel {
+        FlatModel {
+            root: machine.clone(),
+        }
     }
 }
 
-/// Result of a Flat exploration.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct FlatExploration {
-    /// Outcomes of all complete executions.
-    pub outcomes: BTreeSet<Outcome>,
-    /// Search statistics.
-    pub stats: FlatStats,
+impl SearchModel for FlatModel {
+    type State = FlatMachine;
+    type Transition = FlatTransition;
+    type Exact = FlatStateKey;
+    type Out = Outcome;
+    type Cache = ();
+
+    fn config(&self) -> &Config {
+        self.root.config()
+    }
+
+    fn root(&self, _stats: &mut Stats) -> FlatMachine {
+        self.root.clone()
+    }
+
+    fn cache(&self) {}
+
+    fn fingerprint(&self, s: &FlatMachine) -> Fingerprint {
+        s.fingerprint()
+    }
+
+    fn exact_key(&self, s: &FlatMachine) -> FlatStateKey {
+        s.state_key()
+    }
+
+    fn outcome(
+        &self,
+        s: &FlatMachine,
+        _cache: &mut (),
+        _stats: &mut Stats,
+        _deadline: Option<Instant>,
+        out: &mut BTreeSet<Outcome>,
+    ) {
+        if s.terminated() {
+            out.insert(s.outcome());
+        }
+    }
+
+    fn is_final(&self, s: &FlatMachine, stats: &mut Stats) -> bool {
+        if s.terminated() {
+            return true;
+        }
+        if s.any_stuck() {
+            stats.bound_hits += 1;
+            return true;
+        }
+        false
+    }
+
+    fn expand(
+        &self,
+        s: &FlatMachine,
+        _cache: &mut (),
+        _stats: &mut Stats,
+        _deadline: Option<Instant>,
+    ) -> Vec<FlatTransition> {
+        s.enabled()
+    }
+
+    fn apply(&self, s: &FlatMachine, tr: &FlatTransition, stats: &mut Stats) -> FlatMachine {
+        let mut next = s.clone();
+        next.apply(tr);
+        stats.transitions += 1;
+        next
+    }
 }
 
 /// Exhaustively explore all interleavings of `machine`.
 pub fn explore_flat(machine: &FlatMachine) -> FlatExploration {
-    explore_flat_bounded(machine, u64::MAX)
+    explore_flat_budget(machine, SearchBudget::UNBOUNDED)
 }
 
-/// Like [`explore_flat`] but giving up (with `stats.truncated`) after
-/// visiting `max_states` states — the "out of time" guard used by the
-/// benchmark tables.
+/// [`explore_flat`] under a [`SearchBudget`]: wall-clock deadline and/or
+/// global state budget (total visits stay within `max_states` regardless
+/// of the worker count), reported via `stats.truncated` — the "out of
+/// time" guard used by the benchmark tables.
+pub fn explore_flat_budget(machine: &FlatMachine, budget: SearchBudget) -> FlatExploration {
+    Engine::new(FlatModel::new(machine))
+        .with_budget(budget)
+        .run()
+}
+
+/// Deprecated shim for [`explore_flat_budget`].
+#[deprecated(note = "use `explore_flat_budget` with a `SearchBudget`")]
 pub fn explore_flat_bounded(machine: &FlatMachine, max_states: u64) -> FlatExploration {
-    explore_flat_deadline(machine, max_states, None)
+    explore_flat_budget(machine, SearchBudget::max_states(max_states))
 }
 
-/// Fully bounded exploration: state budget and wall-clock deadline. The
-/// state budget is global — total visits stay within `max_states`
-/// regardless of the worker count.
+/// Deprecated shim for [`explore_flat_budget`].
+#[deprecated(note = "use `explore_flat_budget` with a `SearchBudget`")]
 pub fn explore_flat_deadline(
     machine: &FlatMachine,
     max_states: u64,
     deadline: Option<Duration>,
 ) -> FlatExploration {
-    let start = Instant::now();
-    let deadline_at = deadline.map(|d| start + d);
-    let config = machine.config();
-    let workers = effective_workers(config.workers);
-    let total_states = std::sync::atomic::AtomicU64::new(0);
-    let visited: ShardedVisited<FlatStateKey> = ShardedVisited::new(config.paranoid, workers);
-
-    visited.insert(machine.fingerprint(), || machine.state_key());
-    let roots = vec![machine.clone()];
-
-    struct Local {
-        stats: FlatStats,
-        outcomes: BTreeSet<Outcome>,
-    }
-
-    let step = |l: &mut Local, m: FlatMachine, ctx: &mut Ctx<'_, FlatMachine>| {
-        l.stats.states += 1;
-        let visited_so_far = total_states.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-        if visited_so_far > max_states {
-            l.stats.truncated = true;
-            ctx.stop();
-            return;
-        }
-        if let Some(at) = deadline_at {
-            if Instant::now() >= at {
-                l.stats.truncated = true;
-                ctx.stop();
-                return;
-            }
-        }
-        if m.terminated() {
-            l.outcomes.insert(m.outcome());
-            return;
-        }
-        if m.any_stuck() {
-            l.stats.bound_hits += 1;
-            return;
-        }
-        let transitions = m.enabled();
-        if transitions.is_empty() {
-            l.stats.deadlocks += 1;
-            return;
-        }
-        for tr in transitions {
-            let mut next = m.clone();
-            next.apply(&tr);
-            l.stats.transitions += 1;
-            if visited.insert(next.fingerprint(), || next.state_key()) {
-                ctx.push(next);
-            }
-        }
-    };
-
-    let results = drive(
-        roots,
-        workers,
-        || Local {
-            stats: FlatStats::default(),
-            outcomes: BTreeSet::new(),
-        },
-        step,
-        |l| (l.stats, l.outcomes),
-    );
-
-    let mut stats = FlatStats::default();
-    let mut outcomes = BTreeSet::new();
-    for (s, o) in results {
-        stats.absorb(&s);
-        outcomes.extend(o);
-    }
-    stats.duration = start.elapsed();
-    FlatExploration { outcomes, stats }
+    explore_flat_budget(
+        machine,
+        SearchBudget::deadline(deadline).with_max_states(Some(max_states)),
+    )
 }
 
 #[cfg(test)]
@@ -286,10 +279,7 @@ mod tests {
         };
         let exp = run(Program::new(vec![mk(), mk()]));
         for o in &exp.outcomes {
-            let successes = [0, 1]
-                .iter()
-                .filter(|&&t| o.reg(t, Reg(2)).0 == 0)
-                .count() as i64;
+            let successes = [0, 1].iter().filter(|&&t| o.reg(t, Reg(2)).0 == 0).count() as i64;
             assert_eq!(
                 o.loc(promising_core::Loc(0)).0,
                 successes,
@@ -309,5 +299,25 @@ mod tests {
             let exp = explore_flat(&m);
             assert_eq!(exp.outcomes, serial.outcomes);
         }
+    }
+
+    #[test]
+    fn flat_state_budget_truncates() {
+        let m = FlatMachine::new(Arc::new(mp(false)), Config::arm());
+        let exp = explore_flat_budget(&m, SearchBudget::max_states(5));
+        assert!(exp.stats.truncated);
+        assert!(exp.stats.states <= 6);
+    }
+
+    #[test]
+    fn flat_sampling_is_sound_and_deterministic() {
+        let exhaustive = run(mp(false));
+        let m = FlatMachine::new(Arc::new(mp(false)), Config::arm());
+        let a = Engine::new(FlatModel::new(&m)).sample(32, 5);
+        assert!(a.outcomes.is_subset(&exhaustive.outcomes));
+        assert!(!a.outcomes.is_empty());
+        let b = Engine::new(FlatModel::new(&m)).sample(32, 5);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.stats.states, b.stats.states);
     }
 }

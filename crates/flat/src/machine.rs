@@ -88,7 +88,11 @@ impl fmt::Display for FlatTransition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlatTransition::FetchBranch { tid, taken } => {
-                write!(f, "{tid}: speculate {}", if *taken { "taken" } else { "not-taken" })
+                write!(
+                    f,
+                    "{tid}: speculate {}",
+                    if *taken { "taken" } else { "not-taken" }
+                )
             }
             FlatTransition::Satisfy { tid, idx } => write!(f, "{tid}: satisfy #{idx}"),
             FlatTransition::Propagate { tid, idx } => write!(f, "{tid}: propagate #{idx}"),
@@ -389,7 +393,8 @@ impl FlatMachine {
                 Stmt::Assign { reg, expr } => {
                     let t = &mut self.threads[tid.0];
                     t.fetch_cont.pop();
-                    t.instances.push(Instance::new(top, InstOp::Assign { reg, expr }));
+                    t.instances
+                        .push(Instance::new(top, InstOp::Assign { reg, expr }));
                 }
                 Stmt::Load {
                     reg,
@@ -616,9 +621,7 @@ impl FlatMachine {
         for j in (0..idx).rev() {
             let jinst = &t.instances[j];
             match &jinst.op {
-                InstOp::Load {
-                    rk: jrk, ..
-                } => {
+                InstOp::Load { rk: jrk, .. } => {
                     let jloc = self.addr_of(tid, j)?; // unresolved addr blocks
                     if *jrk >= ReadKind::WeakAcquire && !jinst.is_bound() {
                         return None; // acquire orders later reads
@@ -631,7 +634,10 @@ impl FlatMachine {
                     let jloc = self.addr_of(tid, j)?;
                     if *rk >= ReadKind::Acquire
                         && *wk >= WriteKind::Release
-                        && !matches!(jinst.state, InstState::Propagated { .. } | InstState::Failed)
+                        && !matches!(
+                            jinst.state,
+                            InstState::Propagated { .. } | InstState::Failed
+                        )
                     {
                         return None; // [RL]; po; [AQ]
                     }
@@ -679,11 +685,10 @@ impl FlatMachine {
                 Some((Src::Forward(j), val))
             }
             None => {
-                let ts = self.memory.latest_write_at_most(loc, self.memory.max_timestamp());
-                let val = self
+                let ts = self
                     .memory
-                    .read(loc, ts)
-                    .expect("latest write reads back");
+                    .latest_write_at_most(loc, self.memory.max_timestamp());
+                let val = self.memory.read(loc, ts).expect("latest write reads back");
                 Some((Src::Memory(ts), val))
             }
         }
@@ -748,7 +753,9 @@ impl FlatMachine {
         for j in (0..idx).rev() {
             let jinst = &t.instances[j];
             match &jinst.op {
-                InstOp::Store { exclusive: true, .. } => return None, // interposed
+                InstOp::Store {
+                    exclusive: true, ..
+                } => return None, // interposed
                 InstOp::Load {
                     exclusive: true, ..
                 } => {

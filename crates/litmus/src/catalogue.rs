@@ -146,8 +146,7 @@ mod tests {
         assert!(all.len() >= 50, "catalogue has {} tests", all.len());
         // names are unique per architecture (the same shape may exist for
         // both ARM and RISC-V)
-        let mut names: Vec<(Arch, &str)> =
-            all.iter().map(|t| (t.arch, t.name.as_str())).collect();
+        let mut names: Vec<(Arch, &str)> = all.iter().map(|t| (t.arch, t.name.as_str())).collect();
         names.sort_unstable();
         let before = names.len();
         names.dedup();

@@ -178,11 +178,7 @@ fn parse_init(
 }
 
 /// Parse `exists (P1:r1=1 /\ (P1:r2=0 \/ ~x=2))` / `forall (…)`.
-fn parse_condition(
-    text: &str,
-    locs: &mut LocTable,
-    line: usize,
-) -> Result<Condition, ParseError> {
+fn parse_condition(text: &str, locs: &mut LocTable, line: usize) -> Result<Condition, ParseError> {
     let (quantifier, rest) = if let Some(r) = text.strip_prefix("exists") {
         (Quantifier::Exists, r)
     } else if let Some(r) = text.strip_prefix("forall") {
@@ -402,10 +398,7 @@ expect forbidden
     fn negative_values_in_conditions() {
         let src = "ARM t\nstore(x, 0 - 3)\nexists (x=-3)";
         let t = parse_litmus(src).unwrap();
-        assert!(matches!(
-            t.condition.pred,
-            Pred::LocEq { val: Val(-3), .. }
-        ));
+        assert!(matches!(t.condition.pred, Pred::LocEq { val: Val(-3), .. }));
     }
 
     #[test]

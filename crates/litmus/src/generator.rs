@@ -376,9 +376,21 @@ pub fn generate_three_thread_suite(arch: Arch) -> Vec<LitmusTest> {
             let t1 = build_thread(&[R_(0), w(1, 1)], mid_link);
             let t2 = build_thread(&[R_(1), R_(0)], last_link);
             let pred = Pred::True
-                .and(Pred::RegEq { tid: 1, reg: Reg(1), val: Val(1) })
-                .and(Pred::RegEq { tid: 2, reg: Reg(1), val: Val(1) })
-                .and(Pred::RegEq { tid: 2, reg: Reg(2), val: Val(0) });
+                .and(Pred::RegEq {
+                    tid: 1,
+                    reg: Reg(1),
+                    val: Val(1),
+                })
+                .and(Pred::RegEq {
+                    tid: 2,
+                    reg: Reg(1),
+                    val: Val(1),
+                })
+                .and(Pred::RegEq {
+                    tid: 2,
+                    reg: Reg(2),
+                    val: Val(0),
+                });
             let mut locs = LocTable::new();
             locs.intern("x");
             locs.intern("y");
@@ -413,8 +425,16 @@ pub fn generate_three_thread_suite(arch: Arch) -> Vec<LitmusTest> {
         };
         let t2 = build_thread(&[R_(2), R_(0)], last_link);
         let pred = Pred::True
-            .and(Pred::RegEq { tid: 2, reg: Reg(1), val: Val(1) })
-            .and(Pred::RegEq { tid: 2, reg: Reg(2), val: Val(0) });
+            .and(Pred::RegEq {
+                tid: 2,
+                reg: Reg(1),
+                val: Val(1),
+            })
+            .and(Pred::RegEq {
+                tid: 2,
+                reg: Reg(2),
+                val: Val(0),
+            });
         let mut locs = LocTable::new();
         locs.intern("x");
         locs.intern("y");
@@ -483,8 +503,7 @@ mod tests {
         let all = generate_suite(Arch::Arm);
         let sub = generate_subsample(Arch::Arm, 10, 3);
         assert!(sub.len() <= all.len() / 10 + 1);
-        let names: std::collections::BTreeSet<&str> =
-            all.iter().map(|t| t.name.as_str()).collect();
+        let names: std::collections::BTreeSet<&str> = all.iter().map(|t| t.name.as_str()).collect();
         assert!(sub.iter().all(|t| names.contains(t.name.as_str())));
     }
 

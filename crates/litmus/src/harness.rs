@@ -5,8 +5,10 @@
 use crate::test::LitmusTest;
 use promising_axiomatic::{AxConfig, AxError};
 use promising_core::{Config, Machine, Outcome};
-use promising_explorer::{explore_naive, explore_promise_first, CertMode};
-use promising_flat::{explore_flat, FlatMachine};
+use promising_explorer::{
+    explore_naive, explore_promise_first, CertMode, Engine, NaiveModel, PromiseFirstModel,
+};
+use promising_flat::{explore_flat, FlatMachine, FlatModel};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -62,12 +64,18 @@ pub struct ModelRun {
 pub enum RunError {
     /// The axiomatic enumeration hit a resource cap.
     Axiomatic(AxError),
+    /// The model has no sampling scheduler (axiomatic enumeration is not
+    /// an operational transition system).
+    SamplingUnsupported(ModelKind),
 }
 
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RunError::Axiomatic(e) => write!(f, "axiomatic enumeration failed: {e}"),
+            RunError::SamplingUnsupported(k) => {
+                write!(f, "model {} does not support sampling", k.name())
+            }
         }
     }
 }
@@ -113,6 +121,50 @@ pub fn run_model(test: &LitmusTest, kind: ModelKind) -> Result<ModelRun, RunErro
         ModelKind::Flat => {
             let m = FlatMachine::with_init(test.program.clone(), config, test.init.clone());
             let e = explore_flat(&m);
+            (e.outcomes, e.stats.states)
+        }
+    };
+    Ok(ModelRun {
+        kind,
+        outcomes,
+        duration: start.elapsed(),
+        states,
+    })
+}
+
+/// Run `test` under `kind` with the sampling scheduler: `n_traces`
+/// seeded random walks ([`Engine::sample`]). The outcome set is a
+/// deterministic (for fixed `seed`) sound under-approximation of
+/// [`run_model`]'s.
+///
+/// # Errors
+///
+/// Returns [`RunError::SamplingUnsupported`] for the axiomatic model,
+/// which has no operational transition system to walk.
+pub fn run_model_sampled(
+    test: &LitmusTest,
+    kind: ModelKind,
+    n_traces: u64,
+    seed: u64,
+) -> Result<ModelRun, RunError> {
+    let fuel = test.loop_fuel.unwrap_or(DEFAULT_FUEL);
+    let config = Config::for_arch(test.arch).with_loop_fuel(fuel);
+    let start = Instant::now();
+    let (outcomes, states) = match kind {
+        ModelKind::Promising => {
+            let m = Machine::with_init(test.program.clone(), config, test.init.clone());
+            let e = Engine::new(PromiseFirstModel::new(&m)).sample(n_traces, seed);
+            (e.outcomes, e.stats.states)
+        }
+        ModelKind::PromisingNaive => {
+            let m = Machine::with_init(test.program.clone(), config, test.init.clone());
+            let e = Engine::new(NaiveModel::new(&m, CertMode::Online)).sample(n_traces, seed);
+            (e.outcomes, e.stats.states)
+        }
+        ModelKind::Axiomatic => return Err(RunError::SamplingUnsupported(kind)),
+        ModelKind::Flat => {
+            let m = FlatMachine::with_init(test.program.clone(), config, test.init.clone());
+            let e = Engine::new(FlatModel::new(&m)).sample(n_traces, seed);
             (e.outcomes, e.stats.states)
         }
     };
@@ -249,14 +301,35 @@ expect forbidden
     }
 
     #[test]
+    fn sampled_runs_are_sound_and_deterministic() {
+        let test = parse_litmus(MP_ADDR).unwrap();
+        for kind in [
+            ModelKind::Promising,
+            ModelKind::PromisingNaive,
+            ModelKind::Flat,
+        ] {
+            let full = run_model(&test, kind).unwrap();
+            let a = run_model_sampled(&test, kind, 16, 3).unwrap();
+            assert!(
+                a.outcomes.is_subset(&full.outcomes),
+                "{}: sampled ⊄ exhaustive",
+                kind.name()
+            );
+            let b = run_model_sampled(&test, kind, 16, 3).unwrap();
+            assert_eq!(a.outcomes, b.outcomes, "{}: same seed differs", kind.name());
+        }
+        assert!(matches!(
+            run_model_sampled(&test, ModelKind::Axiomatic, 16, 3),
+            Err(RunError::SamplingUnsupported(ModelKind::Axiomatic))
+        ));
+    }
+
+    #[test]
     fn flat_conservative_flag_skips_flat() {
         let mut test = parse_litmus(MP_ADDR).unwrap();
         test.flat_conservative = true;
         let agreement = check_agreement(&test, &ModelKind::ALL).unwrap();
         assert_eq!(agreement.runs.len(), 3);
-        assert!(agreement
-            .runs
-            .iter()
-            .all(|r| r.kind != ModelKind::Flat));
+        assert!(agreement.runs.iter().all(|r| r.kind != ModelKind::Flat));
     }
 }

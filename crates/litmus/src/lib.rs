@@ -24,9 +24,11 @@ pub mod test;
 
 pub use catalogue::{by_name, catalogue, catalogue_for};
 pub use format::parse_litmus;
-pub use generator::{generate_subsample, generate_suite, generate_three_thread_suite, links_for, Link};
+pub use generator::{
+    generate_subsample, generate_suite, generate_three_thread_suite, links_for, Link,
+};
 pub use harness::{
-    check_agreement, evaluate, run_model, Agreement, ModelKind, ModelRun, RunError, Verdict,
-    DEFAULT_FUEL,
+    check_agreement, evaluate, run_model, run_model_sampled, Agreement, ModelKind, ModelRun,
+    RunError, Verdict, DEFAULT_FUEL,
 };
 pub use test::{Condition, Expectation, LitmusTest, Pred, Quantifier};

@@ -136,10 +136,7 @@ pub struct LitmusTest {
 impl LitmusTest {
     /// The outcome-condition verdict for an explored outcome set, plus
     /// whether it matches the expectation (if one is recorded).
-    pub fn verdict(
-        &self,
-        outcomes: &std::collections::BTreeSet<Outcome>,
-    ) -> (bool, Option<bool>) {
+    pub fn verdict(&self, outcomes: &std::collections::BTreeSet<Outcome>) -> (bool, Option<bool>) {
         let holds = self.condition.holds(outcomes);
         let matches = self.expect.map(|e| match e {
             Expectation::Allowed => holds,

@@ -27,7 +27,11 @@ pub struct TestRng(u64);
 impl TestRng {
     /// Seed a generator; a zero seed is remapped to a fixed constant.
     pub fn new(seed: u64) -> TestRng {
-        TestRng(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+        TestRng(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
     }
 
     /// Next raw 64-bit value.
@@ -361,10 +365,7 @@ mod tests {
 
     #[test]
     fn oneof_and_map_compose() {
-        let s = prop_oneof![
-            (0..2i64).prop_map(|v| v * 10),
-            Just(99i64),
-        ];
+        let s = prop_oneof![(0..2i64).prop_map(|v| v * 10), Just(99i64),];
         let mut rng = TestRng::new(2);
         for _ in 0..50 {
             let v: i64 = s.sample(&mut rng);

@@ -37,10 +37,7 @@ fn push(b: &mut CodeBuilder, local_bottom: Reg, value: i64, optimised: bool) -> 
             Expr::reg(local_bottom).add(Expr::val(1)),
         )
     };
-    let bump = b.assign(
-        local_bottom,
-        Expr::reg(local_bottom).add(Expr::val(1)),
-    );
+    let bump = b.assign(local_bottom, Expr::reg(local_bottom).add(Expr::val(1)));
     b.seq(&[st, publish, bump])
 }
 
@@ -72,19 +69,13 @@ fn pop(b: &mut CodeBuilder, local_bottom: Reg) -> StmtId {
         let won = b.if_then(Expr::reg(Reg(15)).eq(Expr::val(0)), rec);
         let attempt = b.seq(&[stx, won]);
         let guard = b.if_then(Expr::reg(Reg(14)).eq(Expr::reg(t)), attempt);
-        let restore = b.store(
-            Expr::val(BOTTOM.0 as i64),
-            Expr::reg(bm1).add(Expr::val(1)),
-        );
+        let restore = b.store(Expr::val(BOTTOM.0 as i64), Expr::reg(bm1).add(Expr::val(1)));
         let keep = b.assign(local_bottom, Expr::reg(bm1).add(Expr::val(1)));
         b.seq(&[getv, ldx, guard, restore, keep])
     };
     // t > b-1: empty, restore bottom
     let empty = {
-        let restore = b.store(
-            Expr::val(BOTTOM.0 as i64),
-            Expr::reg(bm1).add(Expr::val(1)),
-        );
+        let restore = b.store(Expr::val(BOTTOM.0 as i64), Expr::reg(bm1).add(Expr::val(1)));
         let keep = b.assign(local_bottom, Expr::reg(bm1).add(Expr::val(1)));
         b.seq(&[restore, keep])
     };

@@ -165,8 +165,7 @@ mod tests {
     fn table1_has_ten_families() {
         let rows = table1_rows();
         assert_eq!(rows.len(), 10);
-        let families: std::collections::BTreeSet<&str> =
-            rows.iter().map(|w| w.family).collect();
+        let families: std::collections::BTreeSet<&str> = rows.iter().map(|w| w.family).collect();
         assert_eq!(families.len(), 10);
     }
 }

@@ -230,17 +230,22 @@ pub fn michael_scott(specs: &[Ops], variant: Variant) -> Workload {
         Ok(())
     });
 
-    let suffix: Vec<String> = specs.iter().map(|o| format!("{}{}{}", o.0, o.1, o.2)).collect();
+    let suffix: Vec<String> = specs
+        .iter()
+        .map(|o| format!("{}{}{}", o.0, o.1, o.2))
+        .collect();
     let tag = match variant {
         Variant::Conservative => "",
         Variant::Optimised => "(opt)",
         Variant::Buggy => "(buggy)",
     };
     let mut shared = vec![HEAD, TAIL, Loc(DUMMY as u64), Loc(DUMMY as u64 + 1)];
-    shared.extend(
-        (0..(n_threads * MAX_OPS * 2) as u64).map(|i| Loc(ARENA as u64 + i)),
-    );
-    let max_ops = specs.iter().map(|&Ops(a, bp, c)| a + bp + c).max().unwrap_or(1);
+    shared.extend((0..(n_threads * MAX_OPS * 2) as u64).map(|i| Loc(ARENA as u64 + i)));
+    let max_ops = specs
+        .iter()
+        .map(|&Ops(a, bp, c)| a + bp + c)
+        .max()
+        .unwrap_or(1);
     Workload {
         name: format!("QU{tag}-{}", suffix.join("-")),
         family: "QU",

@@ -33,15 +33,10 @@ pub fn pcs(n: u32, m: u32) -> Workload {
             let h = regs::T0;
             let ld = b.load_acq(h, Expr::val(HEAD.0 as i64));
             let ld2 = b.load_acq(h, Expr::val(HEAD.0 as i64));
-            let full = |b: &Expr| {
-                Expr::val(size).le(Expr::reg(t).sub(b.clone()))
-            };
+            let full = |b: &Expr| Expr::val(size).le(Expr::reg(t).sub(b.clone()));
             let w = b.while_loop(full(&Expr::reg(h)), ld2);
             let st = b.store(buf_at(Expr::reg(t), size), Expr::val(i as i64));
-            let pubt = b.store_rel(
-                Expr::val(TAIL.0 as i64),
-                Expr::reg(t).add(Expr::val(1)),
-            );
+            let pubt = b.store_rel(Expr::val(TAIL.0 as i64), Expr::reg(t).add(Expr::val(1)));
             let bump = b.assign(t, Expr::reg(t).add(Expr::val(1)));
             stmts.extend([ld, w, st, pubt, bump]);
         }
@@ -66,10 +61,7 @@ pub fn pcs(n: u32, m: u32) -> Workload {
                     .mul(Expr::val(n as i64 + 1))
                     .add(Expr::reg(v)),
             );
-            let pubh = b.store_rel(
-                Expr::val(HEAD.0 as i64),
-                Expr::reg(h).add(Expr::val(1)),
-            );
+            let pubh = b.store_rel(Expr::val(HEAD.0 as i64), Expr::reg(h).add(Expr::val(1)));
             let bump = b.assign(h, Expr::reg(h).add(Expr::val(1)));
             stmts.extend([ld, w, get, rec, ord, pubh, bump]);
         }
@@ -116,10 +108,7 @@ pub fn pcm(n: u32, a: u32, b_attempts: u32) -> Workload {
         let mut stmts = vec![b.assign(t, Expr::val(0))];
         for i in 1..=n {
             let st = b.store(buf_at(Expr::reg(t), size), Expr::val(i as i64));
-            let pubt = b.store_rel(
-                Expr::val(TAIL.0 as i64),
-                Expr::reg(t).add(Expr::val(1)),
-            );
+            let pubt = b.store_rel(Expr::val(TAIL.0 as i64), Expr::reg(t).add(Expr::val(1)));
             let bump = b.assign(t, Expr::reg(t).add(Expr::val(1)));
             stmts.extend([st, pubt, bump]);
         }
@@ -166,10 +155,7 @@ pub fn pcm(n: u32, a: u32, b_attempts: u32) -> Workload {
             rem_sumsq += v * v;
         }
         let (esum, esumsq) = sums(1, n as i64);
-        if s1 + s2 + rem_sum != esum
-            || q1 + q2 + rem_sumsq != esumsq
-            || c1 + c2 != head
-        {
+        if s1 + s2 + rem_sum != esum || q1 + q2 + rem_sumsq != esumsq || c1 + c2 != head {
             return Err(format!(
                 "conservation violated: consumed ({s1}+{s2}, {q1}+{q2}, {c1}+{c2}) + rest ({rem_sum}, {rem_sumsq}) ≠ produced ({esum}, {esumsq}, head {head})"
             ));

@@ -35,7 +35,12 @@ fn counter_checker(threads: usize) -> Checker {
     })
 }
 
-fn bundle(name: String, family: &'static str, threads: Vec<promising_core::ThreadCode>, fuel: u32) -> Workload {
+fn bundle(
+    name: String,
+    family: &'static str,
+    threads: Vec<promising_core::ThreadCode>,
+    fuel: u32,
+) -> Workload {
     let n = threads.len();
     Workload {
         name,

@@ -71,9 +71,7 @@ mod tests {
         // TL-n rows run in the benchmark harness
         let w = ticket_lock(1);
         let two = Workload {
-            program: Arc::new(Program::new(
-                w.program.threads()[..2].to_vec(),
-            )),
+            program: Arc::new(Program::new(w.program.threads()[..2].to_vec())),
             check: Arc::new(|o| {
                 if o.loc(COUNTER) == Val(2) {
                     Ok(())

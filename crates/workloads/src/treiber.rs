@@ -151,7 +151,11 @@ fn build(
 
     let mut shared = vec![HEAD];
     shared.extend((0..(n_threads * MAX_OPS * 2) as u64).map(|i| Loc(ARENA + i)));
-    let max_ops = specs.iter().map(|&Ops(a, bp, c)| a + bp + c).max().unwrap_or(1);
+    let max_ops = specs
+        .iter()
+        .map(|&Ops(a, bp, c)| a + bp + c)
+        .max()
+        .unwrap_or(1);
     Workload {
         name,
         family,
@@ -165,7 +169,10 @@ fn build(
 /// STC: the C++ Treiber stack. `specs` gives the per-thread `abc` op
 /// counts; `optimised` selects the §8 ARM-optimised variant.
 pub fn stc(specs: &[Ops], optimised: bool) -> Workload {
-    let suffix: Vec<String> = specs.iter().map(|o| format!("{}{}{}", o.0, o.1, o.2)).collect();
+    let suffix: Vec<String> = specs
+        .iter()
+        .map(|o| format!("{}{}{}", o.0, o.1, o.2))
+        .collect();
     let name = format!(
         "STC{}-{}",
         if optimised { "(opt)" } else { "" },
@@ -176,7 +183,10 @@ pub fn stc(specs: &[Ops], optimised: bool) -> Workload {
 
 /// STR: the Rust Treiber stack (reads the value before the CAS).
 pub fn str_stack(specs: &[Ops], optimised: bool) -> Workload {
-    let suffix: Vec<String> = specs.iter().map(|o| format!("{}{}{}", o.0, o.1, o.2)).collect();
+    let suffix: Vec<String> = specs
+        .iter()
+        .map(|o| format!("{}{}{}", o.0, o.1, o.2))
+        .collect();
     let name = format!(
         "STR{}-{}",
         if optimised { "(opt)" } else { "" },

@@ -109,13 +109,7 @@ pub fn record_value(b: &mut CodeBuilder, v: Expr) -> StmtId {
 /// load exclusive (with `acq` ordering) and the paired store exclusive of
 /// 1 succeeds. Uses `flag` as the loop flag register and `tmp`/`succ` as
 /// scratch.
-pub fn spin_lock_cas(
-    b: &mut CodeBuilder,
-    lock: Loc,
-    flag: Reg,
-    tmp: Reg,
-    succ: Reg,
-) -> StmtId {
+pub fn spin_lock_cas(b: &mut CodeBuilder, lock: Loc, flag: Reg, tmp: Reg, succ: Reg) -> StmtId {
     let init = b.assign(flag, Expr::val(0));
     let ld = b.load_excl_acq(tmp, Expr::val(lock.0 as i64));
     let stx = b.store_excl(succ, Expr::val(lock.0 as i64), Expr::val(1));
@@ -135,14 +129,7 @@ pub fn spin_unlock(b: &mut CodeBuilder, lock: Loc) -> StmtId {
 
 /// Emit a bounded fetch-and-add loop: atomically `out := loc; loc += n`
 /// via a load-exclusive/store-exclusive retry loop.
-pub fn fetch_add(
-    b: &mut CodeBuilder,
-    loc: Loc,
-    n: i64,
-    out: Reg,
-    flag: Reg,
-    succ: Reg,
-) -> StmtId {
+pub fn fetch_add(b: &mut CodeBuilder, loc: Loc, n: i64, out: Reg, flag: Reg, succ: Reg) -> StmtId {
     let init = b.assign(flag, Expr::val(0));
     let ld = b.load_excl(out, Expr::val(loc.0 as i64));
     let stx = b.store_excl(

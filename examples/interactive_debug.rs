@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             std::io::stdout().flush()?;
             let mut line = String::new();
             std::io::stdin().read_line(&mut line)?;
-            line.trim().parse::<usize>().unwrap_or(0).min(options.len() - 1)
+            line.trim()
+                .parse::<usize>()
+                .unwrap_or(0)
+                .min(options.len() - 1)
         } else {
             // scripted walk: drive towards the PPOCA outcome by taking the
             // first enabled transition of the *writer* until it finishes,
@@ -62,6 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("final state:\n{}", session.describe());
-    println!("trace length: {} steps (undo is available via Session::undo)", session.depth());
+    println!(
+        "trace length: {} steps (undo is available via Session::undo)",
+        session.depth()
+    );
     Ok(())
 }

@@ -7,7 +7,9 @@
 use promising_litmus::{by_name, check_agreement, parse_litmus, ModelKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "PPOCA".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "PPOCA".to_string());
     let test = if let Some(t) = by_name(&arg) {
         t
     } else {
@@ -25,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             run.kind.name(),
             run.outcomes.len(),
             run.duration.as_secs_f64(),
-            if holds { "observable" } else { "not observable" },
+            if holds {
+                "observable"
+            } else {
+                "not observable"
+            },
             match matches {
                 Some(true) => "  (matches expectation)",
                 Some(false) => "  (EXPECTATION MISMATCH!)",

@@ -23,7 +23,7 @@ fn check(variant: Variant, label: &str) {
         "{label:<14} {} outcomes, {} final memories, {:.2}s — {}",
         result.outcomes.len(),
         result.stats.final_memories,
-        result.stats.duration.as_secs_f64(),
+        result.stats.wall_time.as_secs_f64(),
         if violations.is_empty() {
             "no incorrect state".to_string()
         } else {

@@ -1,0 +1,79 @@
+//! Statistical exploration of the §8 workloads with the sampling
+//! scheduler ([`Engine::sample`]): seeded random promise walks over the
+//! promise-first search space.
+//!
+//! Exhaustive search is complete but blows up on the bigger workload
+//! parameterisations (the "ooT" cells of Tables 2/3). Sampling trades
+//! completeness for time while keeping two guarantees:
+//!
+//! * **soundness** — every sampled outcome is a real outcome (walks only
+//!   take certified transitions), so a reported violation is a real bug;
+//! * **determinism** — a fixed `(traces, seed)` pair reproduces the same
+//!   outcome set exactly, regardless of worker count (as long as no
+//!   budget bound cuts the run short).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example sampling [-- SPEC [TRACES [SEED]]]
+//! ```
+//!
+//! e.g. `cargo run --release --example sampling -- QU-100-010-000 512 7`.
+
+use promising_core::{Arch, Machine};
+use promising_explorer::{explore_promise_first_budget, Engine, PromiseFirstModel, SearchBudget};
+use promising_workloads::{by_spec, init_for};
+use std::time::Duration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let spec = args.next().unwrap_or_else(|| "QU-100-010-000".to_string());
+    let traces: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(256);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
+
+    let w = by_spec(&spec).unwrap_or_else(|| panic!("unknown workload spec `{spec}`"));
+    let machine = Machine::with_init(w.program.clone(), w.config(Arch::Arm), init_for(&w));
+    let engine = Engine::new(PromiseFirstModel::new(&machine));
+
+    println!("{spec}: {traces} random promise walks, seed {seed}");
+    let sampled = engine.sample(traces, seed);
+    let violations = w.violations(&sampled.outcomes);
+    println!(
+        "  sampled:    {} outcomes, {} final memories, {} walk steps, {:.2}s — {}",
+        sampled.outcomes.len(),
+        sampled.stats.final_memories,
+        sampled.stats.states,
+        sampled.stats.wall_time.as_secs_f64(),
+        match violations.first() {
+            Some(v) => format!("INCORRECT STATE: {v}"),
+            None => "no incorrect state sampled".to_string(),
+        }
+    );
+
+    // Determinism: the same seed reproduces the same outcome set.
+    assert_eq!(engine.sample(traces, seed).outcomes, sampled.outcomes);
+    println!("  determinism: same seed → identical outcome set ✓");
+
+    // Soundness, checked against exhaustive search when it finishes in
+    // time (on the big parameterisations it won't — that is the point).
+    let budget = SearchBudget::deadline(Some(Duration::from_secs(10)));
+    let exhaustive = explore_promise_first_budget(&machine, budget);
+    if exhaustive.stats.truncated {
+        println!(
+            "  exhaustive: ooT after 10s ({} states) — sampling is the only option here",
+            exhaustive.stats.states
+        );
+    } else {
+        assert!(
+            sampled.outcomes.is_subset(&exhaustive.outcomes),
+            "sampled outcomes must be a subset of exhaustive outcomes"
+        );
+        println!(
+            "  exhaustive: {} outcomes in {:.2}s — sampled set is a subset ✓ ({}/{} covered)",
+            exhaustive.outcomes.len(),
+            exhaustive.stats.wall_time.as_secs_f64(),
+            sampled.outcomes.len(),
+            exhaustive.outcomes.len()
+        );
+    }
+}

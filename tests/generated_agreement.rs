@@ -9,11 +9,7 @@
 use promising_core::Arch;
 use promising_litmus::{check_agreement, generate_subsample, ModelKind};
 
-const MODELS: [ModelKind; 3] = [
-    ModelKind::Promising,
-    ModelKind::Axiomatic,
-    ModelKind::Flat,
-];
+const MODELS: [ModelKind; 3] = [ModelKind::Promising, ModelKind::Axiomatic, ModelKind::Flat];
 
 fn check_sample(arch: Arch, stride: usize, offset: usize) {
     let tests = generate_subsample(arch, stride, offset);
@@ -62,11 +58,8 @@ fn promise_first_equals_naive_on_sample() {
     for arch in [Arch::Arm, Arch::RiscV] {
         let tests = generate_subsample(arch, 19, 1);
         for test in &tests {
-            let a = check_agreement(
-                test,
-                &[ModelKind::Promising, ModelKind::PromisingNaive],
-            )
-            .expect("runs");
+            let a = check_agreement(test, &[ModelKind::Promising, ModelKind::PromisingNaive])
+                .expect("runs");
             assert!(a.agree, "{:?}", a.mismatch);
         }
     }

@@ -1,5 +1,15 @@
-//! Validation of the structurally-shared state layer and the exploration
-//! frontier:
+//! Validation of the structurally-shared state layer and the generic
+//! search engine ([`promising_explorer::Engine`]):
+//!
+//! * **Engine equivalence** — the generic engine must reproduce the
+//!   pre-refactor searches: outcome sets equal to the seed's independent
+//!   promise-first implementation (`promising_bench::legacy`) across the
+//!   full litmus catalogue, and the three strategies must agree with
+//!   each other (Theorems 6.1/7.1) with serial == parallel state counts.
+//! * **Sampling soundness** — `Engine::sample` outcome sets must be
+//!   subsets of the exhaustive sets for every catalogue test and every
+//!   strategy (a property test randomises seeds and trace counts), and a
+//!   fixed seed must be deterministic across runs and worker counts.
 //!
 //! * **Fingerprint vs exact keys** — on the full litmus catalogue, the
 //!   fingerprint-deduplicated searches must produce the same outcome
@@ -15,8 +25,11 @@
 //!   change fingerprints or outcomes.
 
 use promising_core::{Config, Machine};
-use promising_explorer::{explore_naive, explore_promise_first, CertMode};
-use promising_flat::{explore_flat, FlatMachine};
+use promising_explorer::{
+    explore_naive, explore_naive_budget, explore_promise_first, explore_promise_first_budget,
+    CertMode, Engine, NaiveModel, PromiseFirstModel, SearchBudget,
+};
+use promising_flat::{explore_flat, explore_flat_budget, FlatMachine, FlatModel};
 use promising_litmus::{catalogue, LitmusTest, DEFAULT_FUEL};
 
 fn config_for(test: &LitmusTest) -> Config {
@@ -105,7 +118,10 @@ fn serial_and_parallel_explorations_agree_per_strategy() {
 
         let s = explore_promise_first(&machine_for(&test, serial_cfg.clone()));
         let p = explore_promise_first(&machine_for(&test, parallel_cfg.clone()));
-        assert_eq!(s.outcomes, p.outcomes, "{test}: promise-first 1 vs 4 workers");
+        assert_eq!(
+            s.outcomes, p.outcomes,
+            "{test}: promise-first 1 vs 4 workers"
+        );
 
         let s = explore_naive(&machine_for(&test, serial_cfg.clone()), CertMode::Online);
         let p = explore_naive(&machine_for(&test, parallel_cfg.clone()), CertMode::Online);
@@ -148,6 +164,174 @@ fn parallel_workloads_agree_with_serial() {
             serial.stats.final_memories, parallel.stats.final_memories,
             "{spec}"
         );
+    }
+}
+
+#[test]
+fn engine_reproduces_legacy_promise_first_on_catalogue() {
+    // The seed's promise-first search (exact keys, deep clones, its own
+    // loop — `promising_bench::legacy`) is the pre-refactor baseline:
+    // the generic engine must produce byte-identical outcome sets on the
+    // full catalogue.
+    for test in catalogue() {
+        let m = machine_for(&test, config_for(&test));
+        let engine = explore_promise_first(&m);
+        let legacy = promising_bench::explore_promise_first_legacy(&m, None);
+        assert_eq!(
+            engine.outcomes, legacy.outcomes,
+            "{test}: engine vs legacy outcome sets differ"
+        );
+        assert_eq!(
+            engine.stats.final_memories, legacy.stats.final_memories,
+            "{test}: engine vs legacy final-memory counts differ"
+        );
+    }
+}
+
+#[test]
+fn budget_entry_points_agree_with_unbounded_on_catalogue() {
+    // The budgeted entry points with no bounds must be the plain
+    // searches; with generous bounds they must be complete (untruncated)
+    // and identical. Every 5th test keeps the sweep fast.
+    for (i, test) in catalogue().into_iter().enumerate() {
+        if i % 5 != 0 {
+            continue;
+        }
+        let roomy = SearchBudget::max_states(u64::MAX >> 1);
+        let m = machine_for(&test, config_for(&test));
+        let a = explore_promise_first(&m);
+        let b = explore_promise_first_budget(&m, roomy);
+        assert!(!b.stats.truncated, "{test}");
+        assert_eq!(a.outcomes, b.outcomes, "{test}: promise-first budget");
+        assert_eq!(a.stats.states, b.stats.states, "{test}");
+
+        let a = explore_naive(&m, CertMode::Online);
+        let b = explore_naive_budget(&m, CertMode::Online, roomy);
+        assert_eq!(a.outcomes, b.outcomes, "{test}: naive budget");
+        assert_eq!(a.stats.states, b.stats.states, "{test}");
+
+        if !test.flat_conservative {
+            let fm =
+                FlatMachine::with_init(test.program.clone(), config_for(&test), test.init.clone());
+            let a = explore_flat(&fm);
+            let b = explore_flat_budget(&fm, roomy);
+            assert_eq!(a.outcomes, b.outcomes, "{test}: flat budget");
+            assert_eq!(a.stats.states, b.stats.states, "{test}");
+        }
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_still_run_the_engine() {
+    let test = promising_litmus::by_name("MP+dmb.sy+addr").expect("catalogue test");
+    let m = machine_for(&test, config_for(&test));
+    let budget = explore_promise_first_budget(&m, SearchBudget::UNBOUNDED);
+    assert_eq!(
+        promising_explorer::explore_promise_first_deadline(&m, None).outcomes,
+        budget.outcomes
+    );
+    assert_eq!(
+        promising_explorer::explore_naive_deadline(&m, CertMode::Online, None).outcomes,
+        budget.outcomes
+    );
+    let fm = FlatMachine::with_init(test.program.clone(), config_for(&test), test.init.clone());
+    assert_eq!(
+        promising_flat::explore_flat_deadline(&fm, u64::MAX, None).outcomes,
+        promising_flat::explore_flat_bounded(&fm, u64::MAX).outcomes
+    );
+}
+
+/// Sampling seeds vary per test so one lucky seed cannot hide a strategy
+/// bug across the whole catalogue.
+const SAMPLE_TRACES: u64 = 24;
+
+#[test]
+fn sampled_outcomes_subset_of_exhaustive_on_catalogue() {
+    // The sampling scheduler's soundness guarantee, checked for all
+    // three strategies on every catalogue test: sampled ⊆ exhaustive,
+    // and sampled sets are never empty (every walk ends somewhere).
+    for (i, test) in catalogue().into_iter().enumerate() {
+        let seed = 0xC0FFEE ^ i as u64;
+        let m = machine_for(&test, config_for(&test));
+
+        let exhaustive = explore_promise_first(&m);
+        let sampled = Engine::new(PromiseFirstModel::new(&m)).sample(SAMPLE_TRACES, seed);
+        assert!(
+            sampled.outcomes.is_subset(&exhaustive.outcomes),
+            "{test}: promise-first sampled ⊄ exhaustive"
+        );
+        assert!(!sampled.outcomes.is_empty(), "{test}: no sampled outcomes");
+
+        let sampled =
+            Engine::new(NaiveModel::new(&m, CertMode::Online)).sample(SAMPLE_TRACES, seed);
+        assert!(
+            sampled.outcomes.is_subset(&exhaustive.outcomes),
+            "{test}: naive sampled ⊄ exhaustive (naive exhaustive == promise-first, Thm 7.1)"
+        );
+
+        if !test.flat_conservative {
+            let fm =
+                FlatMachine::with_init(test.program.clone(), config_for(&test), test.init.clone());
+            let exhaustive = explore_flat(&fm);
+            let sampled = Engine::new(FlatModel::new(&fm)).sample(SAMPLE_TRACES, seed);
+            assert!(
+                sampled.outcomes.is_subset(&exhaustive.outcomes),
+                "{test}: flat sampled ⊄ exhaustive"
+            );
+        }
+    }
+}
+
+#[test]
+fn sampling_is_deterministic_across_runs_and_workers() {
+    // Fixed (n_traces, seed) must be a pure function: identical outcome
+    // sets, walk-step counts, and trace counts across repeat runs and
+    // worker counts. Every 4th test keeps the parallel sweep fast.
+    for (i, test) in catalogue().into_iter().enumerate() {
+        if i % 4 != 0 {
+            continue;
+        }
+        let seed = 7 + i as u64;
+        let m = machine_for(&test, config_for(&test));
+        let a = Engine::new(PromiseFirstModel::new(&m)).sample(SAMPLE_TRACES, seed);
+        let b = Engine::new(PromiseFirstModel::new(&m)).sample(SAMPLE_TRACES, seed);
+        assert_eq!(a.outcomes, b.outcomes, "{test}: same-seed runs differ");
+        assert_eq!(a.stats.states, b.stats.states, "{test}");
+        assert_eq!(a.stats.traces, b.stats.traces, "{test}");
+
+        let mp = machine_for(&test, config_for(&test).with_workers(4));
+        let c = Engine::new(PromiseFirstModel::new(&mp)).sample(SAMPLE_TRACES, seed);
+        assert_eq!(a.outcomes, c.outcomes, "{test}: 1 vs 4 workers differ");
+        assert_eq!(a.stats.states, c.stats.states, "{test}");
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig {
+        cases: 6,
+        ..proptest::prelude::ProptestConfig::default()
+    })]
+
+    /// Property: for arbitrary seeds and trace counts, sampling is a
+    /// sound under-approximation of exhaustive search on representative
+    /// catalogue tests of each shape (fences, dependencies, exclusives).
+    #[test]
+    fn prop_sampled_subset_for_arbitrary_seeds(seed in 0u64..u64::MAX, traces in 1u64..48) {
+        for name in ["MP+dmb.sy+addr", "LB+data+data", "LDX-STX-atomicity"] {
+            let test = promising_litmus::by_name(name).expect("catalogue test");
+            let m = machine_for(&test, config_for(&test));
+            let exhaustive = explore_promise_first(&m);
+            let sampled = Engine::new(PromiseFirstModel::new(&m)).sample(traces, seed);
+            proptest::prop_assert!(
+                sampled.outcomes.is_subset(&exhaustive.outcomes),
+                "{}: seed {} traces {}: sampled ⊄ exhaustive",
+                name,
+                seed,
+                traces
+            );
+            proptest::prop_assert_eq!(sampled.stats.traces, traces);
+        }
     }
 }
 

@@ -12,12 +12,8 @@
 
 use promising_axiomatic::{enumerate_outcomes, AxConfig};
 use promising_core::stmt::CodeBuilder;
-use promising_core::{
-    Arch, Config, Expr, Machine, Program, Reg, StmtId, ThreadCode, Transition,
-};
-use promising_explorer::{
-    explore_naive, explore_promise_first, CertMode,
-};
+use promising_core::{Arch, Config, Expr, Machine, Program, Reg, StmtId, ThreadCode, Transition};
+use promising_explorer::{explore_naive, explore_promise_first, CertMode};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -38,8 +34,11 @@ enum Recipe {
 
 fn recipe_strategy() -> impl Strategy<Value = Recipe> {
     prop_oneof![
-        (0..2i64, 1..3i64, any::<bool>())
-            .prop_map(|(loc, val, release)| Recipe::Store { loc, val, release }),
+        (0..2i64, 1..3i64, any::<bool>()).prop_map(|(loc, val, release)| Recipe::Store {
+            loc,
+            val,
+            release
+        }),
         (0..2i64, any::<bool>()).prop_map(|(loc, acquire)| Recipe::Load { loc, acquire }),
         (0..2i64).prop_map(|loc| Recipe::LoadDep { loc }),
         Just(Recipe::FenceSy),
@@ -109,11 +108,7 @@ fn build_thread(recipes: &[Recipe], arch: Arch) -> ThreadCode {
                 let succ = Reg(reg + 1);
                 reg += 2;
                 stmts.push(b.load_excl(dst, Expr::val(*loc)));
-                stmts.push(b.store_excl(
-                    succ,
-                    Expr::val(*loc),
-                    Expr::reg(dst).add(Expr::val(1)),
-                ));
+                stmts.push(b.store_excl(succ, Expr::val(*loc), Expr::reg(dst).add(Expr::val(1))));
                 last_load = Some(dst);
             }
         }
@@ -122,10 +117,7 @@ fn build_thread(recipes: &[Recipe], arch: Arch) -> ThreadCode {
 }
 
 fn program_strategy() -> impl Strategy<Value = Vec<Vec<Recipe>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(recipe_strategy(), 1..4),
-        2..3,
-    )
+    proptest::collection::vec(proptest::collection::vec(recipe_strategy(), 1..4), 2..3)
 }
 
 fn to_program(recipes: &[Vec<Recipe>], arch: Arch) -> Arc<Program> {
@@ -265,5 +257,8 @@ fn arm_exclusive_deadlock_exists_but_not_on_riscv() {
         ),
         CertMode::Online,
     );
-    assert_eq!(riscv.stats.deadlocks, 0, "RISC-V must not deadlock (Thm 6.3)");
+    assert_eq!(
+        riscv.stats.deadlocks, 0,
+        "RISC-V must not deadlock (Thm 6.3)"
+    );
 }

@@ -83,18 +83,17 @@ fn shared_location_optimisation_preserves_shared_outcomes() {
         explore_promise_first(&m)
     };
     let unshared_run = {
-        let m = Machine::with_init(w.program.clone(), w.config_unshared(Arch::Arm), init_for(&w));
+        let m = Machine::with_init(
+            w.program.clone(),
+            w.config_unshared(Arch::Arm),
+            init_for(&w),
+        );
         explore_promise_first(&m)
     };
     let project = |exp: &promising_explorer::Exploration| {
         exp.outcomes
             .iter()
-            .map(|o| {
-                w.shared
-                    .iter()
-                    .map(|&l| (l, o.loc(l)))
-                    .collect::<Vec<_>>()
-            })
+            .map(|o| w.shared.iter().map(|&l| (l, o.loc(l))).collect::<Vec<_>>())
             .collect::<std::collections::BTreeSet<_>>()
     };
     assert_eq!(project(&shared_run), project(&unshared_run));
