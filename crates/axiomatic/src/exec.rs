@@ -15,7 +15,7 @@ use crate::AxError;
 use promising_core::config::Arch;
 use promising_core::expr::Expr;
 use promising_core::ids::{Loc, Reg, TId, Val};
-use promising_core::stmt::{Fence, ReadKind, Stmt, StmtId, ThreadCode, WriteKind};
+use promising_core::stmt::{Fence, ReadKind, RmwOp, Stmt, StmtId, ThreadCode, WriteKind};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A memory-model event of a candidate execution.
@@ -344,6 +344,93 @@ impl Unfolder<'_> {
                         if exclusive {
                             p.pending_ldx = Some(idx);
                         }
+                        self.go(p)?;
+                    }
+                    return Ok(());
+                }
+                Stmt::Rmw {
+                    op,
+                    dst,
+                    succ,
+                    addr,
+                    expected,
+                    operand,
+                    rk,
+                    wk,
+                } => {
+                    let (av, addr_deps) = path.eval(&addr);
+                    let loc = Loc::from(av);
+                    path.cont.pop();
+                    for old in self.readable_values(loc) {
+                        let mut p = path.clone();
+                        let ridx = p.events.len();
+                        p.events.push(Event {
+                            tid: Some(self.tid),
+                            po: ridx,
+                            kind: EventKind::Read {
+                                loc,
+                                val: old,
+                                rk,
+                                exclusive: true,
+                            },
+                            addr_deps: addr_deps.clone(),
+                            data_deps: BTreeSet::new(),
+                            ctrl_deps: p.ctrl.clone(),
+                        });
+                        p.regs.insert(dst, (old, BTreeSet::from([ridx])));
+                        // CAS: the desugared compare guard taints control
+                        // on both branches (it feeds vCAP operationally)
+                        let success = match &expected {
+                            None => true,
+                            Some(exp) => {
+                                let (ev, deps) = p.eval(exp);
+                                p.ctrl.insert(ridx);
+                                p.ctrl.extend(deps);
+                                old == ev
+                            }
+                        };
+                        if !success {
+                            // compare failure: the read half alone; the
+                            // read stays charged in the pairing bank
+                            p.regs.insert(succ, (Val::FAIL, BTreeSet::new()));
+                            p.pending_ldx = Some(ridx);
+                            self.go(p)?;
+                            continue;
+                        }
+                        let (opv, op_deps) = p.eval(&operand);
+                        let new = op.apply(old, opv);
+                        let widx = p.events.len();
+                        let mut data_deps = op_deps;
+                        if !matches!(op, RmwOp::Cas | RmwOp::Swp) {
+                            // the fetch-ops' data reads the old value
+                            data_deps.insert(ridx);
+                        }
+                        p.events.push(Event {
+                            tid: Some(self.tid),
+                            po: widx,
+                            kind: EventKind::Write {
+                                loc,
+                                val: new,
+                                wk,
+                                exclusive: true,
+                            },
+                            addr_deps: addr_deps.clone(),
+                            data_deps,
+                            ctrl_deps: p.ctrl.clone(),
+                        });
+                        p.rmw.push((ridx, widx));
+                        // ρ12: the success register's dependency — none on
+                        // ARM, the write itself on RISC-V; branching on it
+                        // (the desugared loop exit) taints control there.
+                        let succ_deps = match self.arch {
+                            Arch::Arm => BTreeSet::new(),
+                            Arch::RiscV => BTreeSet::from([widx]),
+                        };
+                        if self.arch == Arch::RiscV {
+                            p.ctrl.insert(widx);
+                        }
+                        p.regs.insert(succ, (Val::SUCCESS, succ_deps));
+                        p.pending_ldx = None;
                         self.go(p)?;
                     }
                     return Ok(());

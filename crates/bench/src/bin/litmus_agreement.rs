@@ -14,9 +14,10 @@
 
 use promising_core::Arch;
 use promising_litmus::{
-    catalogue, check_agreement, generate_subsample, generate_suite, generate_three_thread_suite,
-    ModelKind,
+    catalogue, check_agreement, generate_rmw_subsample, generate_subsample, generate_suite,
+    generate_three_thread_suite, ModelKind,
 };
+use std::collections::BTreeSet;
 use std::time::Instant;
 
 fn main() {
@@ -54,6 +55,15 @@ fn main() {
                         .into_iter()
                         .skip(arch as usize % stride.max(1))
                         .step_by(stride.max(1)),
+                );
+                // stride the RMW cross separately (RMW links are a small
+                // fraction of the link set, so the plain subsample alone
+                // under-covers them), deduplicating by name
+                let have: BTreeSet<String> = t.iter().map(|x| x.name.clone()).collect();
+                t.extend(
+                    generate_rmw_subsample(arch, stride, arch as usize % stride.max(1))
+                        .into_iter()
+                        .filter(|x| !have.contains(&x.name)),
                 );
                 t
             }

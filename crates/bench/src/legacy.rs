@@ -148,15 +148,19 @@ impl LegacyCertEngine<'_> {
             }
             reached = true;
             qualified.extend(sub_qualified);
-            if kind == TransitionKind::WriteNormal {
-                if let StepEvent::DidWrite {
-                    loc, val, pre_view, ..
-                } = ev
-                {
-                    let coh_before = thread.state.coh(loc);
-                    if pre_view.join(coh_before).timestamp() <= self.base_ts {
-                        qualified.insert(Msg::new(loc, val, self.tid));
-                    }
+            if kind.appends_write() {
+                let (loc, val, pre_view) = match ev {
+                    StepEvent::DidWrite {
+                        loc, val, pre_view, ..
+                    } => (loc, val, pre_view),
+                    StepEvent::DidRmw {
+                        loc, new, pre_view, ..
+                    } => (loc, new, pre_view),
+                    _ => unreachable!("appends_write steps report their write"),
+                };
+                let coh_before = thread.state.coh(loc);
+                if pre_view.join(coh_before).timestamp() <= self.base_ts {
+                    qualified.insert(Msg::new(loc, val, self.tid));
                 }
             }
         }
@@ -364,7 +368,7 @@ impl LegacyThreadDfs<'_> {
             stats.bound_hits += 1;
         } else {
             for kind in enabled_steps(self.m.config(), self.code, self.tid, thread, memory) {
-                if kind == TransitionKind::WriteNormal {
+                if kind.appends_write() {
                     continue; // non-promise mode: no new writes
                 }
                 if self.cut {

@@ -353,17 +353,24 @@ impl Engine<'_> {
             }
             reached = true;
             qualified.extend(sub_qualified);
-            if kind == TransitionKind::WriteNormal {
-                if let StepEvent::DidWrite {
-                    loc, val, pre_view, ..
-                } = ev
-                {
-                    // §B step 3: pre-view and coherence view (before the
-                    // write) at most the pre-certification max timestamp.
-                    let coh_before = thread.state.coh(loc);
-                    if pre_view.join(coh_before).timestamp() <= self.base_ts {
-                        qualified.insert(Msg::new(loc, val, self.tid));
-                    }
+            if kind.appends_write() {
+                // §B step 3: pre-view and coherence view (before the
+                // write) at most the pre-certification max timestamp. For
+                // an RMW the event's pre_view already folds in the read's
+                // post-view, so joining the pre-transition coherence view
+                // reconstructs the bound at the write point.
+                let (loc, val, pre_view) = match ev {
+                    StepEvent::DidWrite {
+                        loc, val, pre_view, ..
+                    } => (loc, val, pre_view),
+                    StepEvent::DidRmw {
+                        loc, new, pre_view, ..
+                    } => (loc, new, pre_view),
+                    _ => unreachable!("appends_write steps report their write"),
+                };
+                let coh_before = thread.state.coh(loc);
+                if pre_view.join(coh_before).timestamp() <= self.base_ts {
+                    qualified.insert(Msg::new(loc, val, self.tid));
                 }
             }
         }

@@ -32,6 +32,14 @@ pub enum Op {
     Le,
     /// Euclidean remainder (used by the circular-buffer workloads).
     Mod,
+    /// Bitwise and (used by the `amo_and` desugaring).
+    BitAnd,
+    /// Bitwise or (used by the `amo_or` desugaring).
+    BitOr,
+    /// Bitwise xor (used by the `amo_xor` desugaring).
+    BitXor,
+    /// Signed maximum (used by the `amo_max` desugaring).
+    Max,
 }
 
 impl Op {
@@ -52,6 +60,10 @@ impl Op {
                     Val(a.0.rem_euclid(b.0))
                 }
             }
+            Op::BitAnd => Val(a.0 & b.0),
+            Op::BitOr => Val(a.0 | b.0),
+            Op::BitXor => Val(a.0 ^ b.0),
+            Op::Max => Val(a.0.max(b.0)),
         }
     }
 
@@ -66,6 +78,10 @@ impl Op {
             Op::Lt => "<",
             Op::Le => "<=",
             Op::Mod => "%",
+            Op::BitAnd => "&",
+            Op::BitOr => "|",
+            Op::BitXor => "^",
+            Op::Max => "max",
         }
     }
 }

@@ -77,6 +77,7 @@ pub use memory::{Memory, Msg};
 pub use outcome::Outcome;
 pub use parser::{parse_program, parse_thread, ParseError};
 pub use stmt::{
-    AccessSet, CodeBuilder, Fence, Program, ReadKind, Stmt, StmtId, ThreadCode, WriteKind,
+    desugar_program_rmws, desugar_rmws, AccessSet, CodeBuilder, Fence, Program, ReadKind, RmwOp,
+    Stmt, StmtId, ThreadCode, WriteKind,
 };
 pub use thread::{ExclBank, Forward, RegFile, StuckReason, ThreadState};

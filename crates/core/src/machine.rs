@@ -20,8 +20,8 @@ use crate::expr::Expr;
 use crate::fingerprint::{Fingerprint, FpHasher};
 use crate::ids::{Loc, Reg, TId, Timestamp, Val, View};
 use crate::memory::{Memory, Msg};
-use crate::stmt::{Program, ReadKind, Stmt, StmtId, ThreadCode, WriteKind};
-use crate::thread::{ExclBank, Forward, StuckReason, ThreadState};
+use crate::stmt::{Program, ReadKind, RmwOp, Stmt, StmtId, ThreadCode, WriteKind};
+use crate::thread::{ExclBank, Forward, RegFile, StuckReason, ThreadState};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Deref;
@@ -123,11 +123,38 @@ pub enum TransitionKind {
     WriteNormal,
     /// The next store exclusive fails (the `exclusive-failure` rule).
     ExclFail,
+    /// The next single-instruction RMW reads from `tr` and atomically
+    /// writes: fulfilling the outstanding promise `tw`, or (`tw = None`)
+    /// as a *normal write* at the end of memory (r20). The read and the
+    /// write happen in one transition; `atomic(M, l, tid, tr, tw)` must
+    /// hold, exactly as for a paired exclusive. A CAS observing a
+    /// non-expected value takes a [`TransitionKind::Read`] instead (the
+    /// read half alone, no write).
+    Rmw {
+        /// Timestamp the read half reads from.
+        tr: Timestamp,
+        /// Promise fulfilled by the write half (`None`: fresh normal
+        /// write at the end of memory).
+        tw: Option<Timestamp>,
+    },
     /// Promise the write `msg`, appending it to memory (the `promise` rule).
     Promise {
         /// The promised message.
         msg: Msg,
     },
+}
+
+impl TransitionKind {
+    /// Whether applying this transition appends a *fresh* write to memory
+    /// (a store or RMW executing as a normal write, r20) — as opposed to
+    /// fulfilling an existing promise. The promise-first phase-2 searches
+    /// skip exactly these.
+    pub fn appends_write(&self) -> bool {
+        matches!(
+            self,
+            TransitionKind::WriteNormal | TransitionKind::Rmw { tw: None, .. }
+        )
+    }
 }
 
 /// A transition: a thread plus its choice.
@@ -183,6 +210,25 @@ pub enum StepEvent {
     },
     /// A store exclusive failed.
     ExclFailed,
+    /// A single-instruction RMW read `old` from `tr` and atomically wrote
+    /// `new` at `tw`. `pre_view` is the write's pre-view *joined with the
+    /// read's post-view* — i.e. the §B promise-qualification bound
+    /// `νpre ⊔ coh-before-the-write` minus the pre-transition coherence
+    /// view, which certification joins back in.
+    DidRmw {
+        /// Location updated.
+        loc: Loc,
+        /// Value the read half obtained.
+        old: Val,
+        /// Value the write half wrote.
+        new: Val,
+        /// Timestamp read from.
+        tr: Timestamp,
+        /// Timestamp written at.
+        tw: Timestamp,
+        /// Write pre-view ⊔ read post-view (see above).
+        pre_view: View,
+    },
     /// A promise was made at timestamp `t`.
     Promised(Msg, Timestamp),
     /// The loop bound was exhausted; the thread is stuck.
@@ -358,7 +404,7 @@ impl Machine {
             | Stmt::Isb
             | Stmt::If { .. }
             | Stmt::While { .. } => true,
-            Stmt::Load { addr, .. } | Stmt::Store { addr, .. } => {
+            Stmt::Load { addr, .. } | Stmt::Store { addr, .. } | Stmt::Rmw { addr, .. } => {
                 let (loc, _) = eval_addr(addr, &thread.state);
                 !self.config.shared.is_shared(loc)
             }
@@ -533,6 +579,118 @@ pub(crate) fn read_candidates(
     out
 }
 
+/// The state update of the `read` rule (Fig. 5), shared by `Load` and the
+/// read half of `Rmw`: validates the timestamp against the
+/// no-newer-seen-write condition (r2/r12) *before* mutating, then writes
+/// the register, bumps coherence and the scalar views, and (for
+/// exclusives) charges the exclusives bank. Returns the value read and
+/// the read's post-view.
+#[allow(clippy::too_many_arguments)]
+fn apply_read_effects(
+    config: &Config,
+    memory: &Memory,
+    st: &mut ThreadState,
+    reg: Reg,
+    rk: ReadKind,
+    exclusive: bool,
+    loc: Loc,
+    v_addr: View,
+    t: Timestamp,
+) -> Result<(Val, View), StepError> {
+    let Some(val) = memory.read(loc, t) else {
+        return Err(StepError::NoSuchWrite);
+    };
+    let v_pre = load_pre_view(st, rk, v_addr);
+    // ∀t'. t < t' ≤ (νpre ⊔ coh(l)) ⇒ M(t').loc ≠ l
+    let bound = v_pre.join(st.coh(loc));
+    if memory.has_write_between(loc, t, bound.timestamp()) {
+        return Err(StepError::ReadSuperseded);
+    }
+    let v_post = v_pre.join(st.read_view(config.arch, rk, loc, t));
+    st.regs.set(reg, val, v_post);
+    st.bump_coh(loc, v_post);
+    st.vr_old = st.vr_old.join(v_post);
+    if rk >= ReadKind::WeakAcquire {
+        st.vr_new = st.vr_new.join(v_post);
+        st.vw_new = st.vw_new.join(v_post);
+    }
+    st.v_cap = st.v_cap.join(v_addr);
+    if exclusive {
+        st.xclb = Some(ExclBank {
+            time: t,
+            view: v_post,
+        });
+    }
+    Ok((val, v_post))
+}
+
+/// The state update of the `fulfil` rule (Fig. 5) *after* the
+/// promise-matching and atomicity checks, shared by `Store` and the write
+/// half of `Rmw`: enforces the pre-view/coherence constraint (`TooLate`),
+/// removes the promise, writes the success register (exclusives), bumps
+/// coherence/`vwOld`/`vCAP`/`vRel`, refreshes the forward bank, and
+/// clears the exclusives bank. Returns the write's pre-view.
+#[allow(clippy::too_many_arguments)]
+fn apply_write_effects(
+    config: &Config,
+    st: &mut ThreadState,
+    succ: Reg,
+    wk: WriteKind,
+    exclusive: bool,
+    loc: Loc,
+    v_addr: View,
+    v_data: View,
+    t: Timestamp,
+) -> Result<View, StepError> {
+    let v_pre = store_pre_view(config.arch, st, wk, exclusive, v_addr, v_data);
+    if v_pre.join(st.coh(loc)).timestamp() >= t {
+        return Err(StepError::TooLate);
+    }
+    let v_post = t.view();
+    st.prom.remove(&t);
+    if exclusive {
+        let v_succ = match config.arch {
+            Arch::RiscV => v_post,
+            Arch::Arm => View::ZERO,
+        };
+        st.regs.set(succ, Val::SUCCESS, v_succ);
+    }
+    st.bump_coh(loc, v_post);
+    st.vw_old = st.vw_old.join(v_post);
+    st.v_cap = st.v_cap.join(v_addr);
+    if wk >= WriteKind::Release {
+        st.v_rel = st.v_rel.join(v_post);
+    }
+    st.set_fwd(
+        loc,
+        Forward {
+            time: t,
+            view: v_addr.join(v_data),
+            exclusive,
+        },
+    );
+    if exclusive {
+        st.xclb = None;
+    }
+    Ok(v_pre)
+}
+
+/// The CAS compare of an [`Stmt::Rmw`]: the expected value, evaluated as
+/// the desugared guard does — with `dst` reading as the just-loaded old
+/// value — without cloning or mutating the register file (this runs on
+/// the exploration hot path).
+fn cas_expected(regs: &RegFile, dst: Reg, old: Val, expected: &Expr) -> Val {
+    match expected {
+        Expr::Const(v) => *v,
+        Expr::Reg(r) if *r == dst => old,
+        Expr::Reg(r) => regs.value(*r),
+        Expr::Binop(op, a, b) => op.apply(
+            cas_expected(regs, dst, old, a),
+            cas_expected(regs, dst, old, b),
+        ),
+    }
+}
+
 /// Classify and enumerate the enabled thread-local steps of one thread
 /// against a memory, outside a full machine. Exploration engines use this
 /// to run threads in isolation (certification, promise-first phase 2).
@@ -614,6 +772,68 @@ pub fn enabled_steps(
             }
             if *exclusive {
                 out.push(TransitionKind::ExclFail);
+            }
+            out
+        }
+        Stmt::Rmw {
+            op,
+            dst,
+            addr,
+            expected,
+            operand,
+            rk,
+            wk,
+            ..
+        } => {
+            let (loc, v_addr) = eval_addr(addr, state);
+            if !config.shared.is_shared(loc) {
+                return vec![TransitionKind::Internal];
+            }
+            let v_pre = load_pre_view(state, *rk, v_addr);
+            let mut out = Vec::new();
+            for tr in read_candidates(state, memory, loc, v_pre) {
+                let old = memory.read(loc, tr).expect("candidate reads back");
+                // simulate the read half on a (structurally-shared) copy
+                // to evaluate the compare, the data, and the write
+                // placement constraints in the post-read state
+                let mut st = state.clone();
+                let (_, v_old) =
+                    apply_read_effects(config, memory, &mut st, *dst, *rk, true, loc, v_addr, tr)
+                        .expect("candidate read applies");
+                if let Some(exp) = expected {
+                    let (ev, v_exp) = exp.eval(&st.regs);
+                    st.v_cap = st.v_cap.join(v_old).join(v_exp);
+                    if old != ev {
+                        // compare failure: the read half alone
+                        out.push(TransitionKind::Read { t: tr });
+                        continue;
+                    }
+                }
+                let (opv, v_op) = operand.eval(&st.regs);
+                let new = op.apply(old, opv);
+                let v_data = match op {
+                    RmwOp::Cas | RmwOp::Swp => v_op,
+                    _ => v_op.join(v_old),
+                };
+                let v_pre_w = store_pre_view(config.arch, &st, *wk, true, v_addr, v_data);
+                let floor = v_pre_w.join(st.coh(loc));
+                // fulfil an outstanding promise with a matching message
+                for &t in &state.prom {
+                    if floor.timestamp() >= t {
+                        continue;
+                    }
+                    let matches = memory.get(t).is_some_and(|m| m.loc == loc && m.val == new);
+                    if matches && memory.atomic(loc, tid, tr, t) {
+                        out.push(TransitionKind::Rmw { tr, tw: Some(t) });
+                    }
+                }
+                // normal write at the end of memory: permitted whenever no
+                // other thread's write to `loc` interposes after `tr`
+                let fresh = Timestamp(memory.max_timestamp().0 + 1);
+                debug_assert!(floor.timestamp() < fresh);
+                if memory.atomic(loc, tid, tr, fresh) {
+                    out.push(TransitionKind::Rmw { tr, tw: None });
+                }
             }
             out
         }
@@ -752,6 +972,55 @@ pub fn apply_step(
             StepEvent::LocalWrite(loc, v)
         }
         (
+            Stmt::Rmw {
+                op,
+                dst,
+                succ,
+                addr,
+                expected,
+                operand,
+                ..
+            },
+            TransitionKind::Internal,
+        ) => {
+            // non-shared location: a register read-modify-write (§7
+            // optimisation); trivially atomic, so it always succeeds
+            // except for a failed CAS compare.
+            let (loc, v_addr) = eval_addr(addr, &thread.state);
+            if config.shared.is_shared(loc) {
+                return Err(StepError::WrongShape);
+            }
+            let st = &mut thread.state;
+            let (old, v_loc) = st.local(loc).unwrap_or((memory.initial(loc), View::ZERO));
+            let v_old = v_addr.join(v_loc);
+            st.regs.set(*dst, old, v_old);
+            let compare_failed = match expected {
+                None => false,
+                Some(exp) => {
+                    let (ev, v_exp) = exp.eval(&st.regs);
+                    // the desugared compare guard merges its inputs into vCAP
+                    st.v_cap = st.v_cap.join(v_old).join(v_exp);
+                    old != ev
+                }
+            };
+            let event = if compare_failed {
+                st.regs.set(*succ, Val::FAIL, View::ZERO);
+                StepEvent::LocalRead(loc, old)
+            } else {
+                let (opv, v_op) = operand.eval(&st.regs);
+                let new = op.apply(old, opv);
+                let v_data = match op {
+                    RmwOp::Cas | RmwOp::Swp => v_op,
+                    _ => v_op.join(v_old),
+                };
+                st.set_local(loc, new, v_addr.join(v_data));
+                st.regs.set(*succ, Val::SUCCESS, View::ZERO);
+                StepEvent::LocalWrite(loc, new)
+            };
+            thread.cont.pop();
+            event
+        }
+        (
             Stmt::Load {
                 reg,
                 addr,
@@ -765,33 +1034,151 @@ pub fn apply_step(
             if !config.shared.is_shared(loc) {
                 return Err(StepError::WrongShape);
             }
-            let Some(val) = memory.read(loc, t) else {
-                return Err(StepError::NoSuchWrite);
-            };
-            let st = &mut thread.state;
-            let v_pre = load_pre_view(st, *rk, v_addr);
-            // ∀t'. t < t' ≤ (νpre ⊔ coh(l)) ⇒ M(t').loc ≠ l
-            let bound = v_pre.join(st.coh(loc));
-            if memory.has_write_between(loc, t, bound.timestamp()) {
-                return Err(StepError::ReadSuperseded);
-            }
-            let v_post = v_pre.join(st.read_view(config.arch, *rk, loc, t));
-            st.regs.set(*reg, val, v_post);
-            st.bump_coh(loc, v_post);
-            st.vr_old = st.vr_old.join(v_post);
-            if *rk >= ReadKind::WeakAcquire {
-                st.vr_new = st.vr_new.join(v_post);
-                st.vw_new = st.vw_new.join(v_post);
-            }
-            st.v_cap = st.v_cap.join(v_addr);
-            if *exclusive {
-                st.xclb = Some(ExclBank {
-                    time: t,
-                    view: v_post,
-                });
-            }
+            let (val, _) = apply_read_effects(
+                config,
+                memory,
+                &mut thread.state,
+                *reg,
+                *rk,
+                *exclusive,
+                loc,
+                v_addr,
+                t,
+            )?;
             thread.cont.pop();
             StepEvent::DidRead { loc, val, t }
+        }
+        (
+            Stmt::Rmw {
+                op,
+                dst,
+                succ,
+                addr,
+                expected,
+                rk,
+                ..
+            },
+            TransitionKind::Read { t },
+        ) => {
+            // CAS compare-failure: the read half alone (the desugared
+            // loop's `else` branch). Only enabled when the value read
+            // differs from the expected value.
+            let t = *t;
+            let (loc, v_addr) = eval_addr(addr, &thread.state);
+            if !config.shared.is_shared(loc) || *op != RmwOp::Cas {
+                return Err(StepError::WrongShape);
+            }
+            let Some(old) = memory.read(loc, t) else {
+                return Err(StepError::NoSuchWrite);
+            };
+            let expected = expected.as_ref().expect("CAS carries an expected value");
+            if old == cas_expected(&thread.state.regs, *dst, old, expected) {
+                return Err(StepError::WrongShape);
+            }
+            let st = &mut thread.state;
+            let (_, v_old) =
+                apply_read_effects(config, memory, st, *dst, *rk, true, loc, v_addr, t)?;
+            // the desugared compare guard merges its inputs into vCAP (r22)
+            let (_, v_exp) = expected.eval(&st.regs);
+            st.v_cap = st.v_cap.join(v_old).join(v_exp);
+            st.regs.set(*succ, Val::FAIL, View::ZERO);
+            thread.cont.pop();
+            StepEvent::DidRead { loc, val: old, t }
+        }
+        (
+            Stmt::Rmw {
+                op,
+                dst,
+                succ,
+                addr,
+                expected,
+                operand,
+                rk,
+                wk,
+            },
+            TransitionKind::Rmw { tr, tw },
+        ) => {
+            let (loc, v_addr) = eval_addr(addr, &thread.state);
+            if !config.shared.is_shared(loc) {
+                return Err(StepError::WrongShape);
+            }
+            let Some(old) = memory.read(loc, *tr) else {
+                return Err(StepError::NoSuchWrite);
+            };
+            if let Some(exp) = expected {
+                if old != cas_expected(&thread.state.regs, *dst, old, exp) {
+                    // the compare fails: only the read-only transition is
+                    // enabled for this timestamp
+                    return Err(StepError::WrongShape);
+                }
+            }
+            // Run the whole step against a scratch copy of the thread
+            // state (structural share, O(1) to clone) so a disabled
+            // transition leaves the machine — including the memory, for
+            // the normal-write case — completely untouched.
+            let mut st = thread.state.clone();
+            let (_, v_old) =
+                apply_read_effects(config, memory, &mut st, *dst, *rk, true, loc, v_addr, *tr)?;
+            if let Some(exp) = expected {
+                // the desugared compare guard merges its inputs into vCAP
+                let (_, v_exp) = exp.eval(&st.regs);
+                st.v_cap = st.v_cap.join(v_old).join(v_exp);
+            }
+            // the data of the canonical desugaring: the fetch-ops read the
+            // old value, swap and CAS write the operand alone
+            let (opv, v_op) = operand.eval(&st.regs);
+            let new = op.apply(old, opv);
+            let v_data = match op {
+                RmwOp::Cas | RmwOp::Swp => v_op,
+                _ => v_op.join(v_old),
+            };
+            // the write placement: fulfil `tw`, or a fresh normal write at
+            // the end of memory (r20) — appended only after every check
+            let t = match tw {
+                Some(t) => *t,
+                None => Timestamp(memory.max_timestamp().0 + 1),
+            };
+            if tw.is_some()
+                && (!st.prom.contains(&t) || memory.get(t) != Some(&Msg::new(loc, new, tid)))
+            {
+                return Err(StepError::NotAPromise);
+            }
+            // the read half charged the exclusives bank, so the pairing
+            // check is exactly the exclusive-pair `atomic` predicate
+            match &st.xclb {
+                Some(x) if memory.atomic(loc, tid, x.time, t) => {}
+                _ => return Err(StepError::NotAtomic),
+            }
+            if store_pre_view(config.arch, &st, *wk, true, v_addr, v_data)
+                .join(st.coh(loc))
+                .timestamp()
+                >= t
+            {
+                return Err(StepError::TooLate);
+            }
+            // every check passed: commit
+            if tw.is_none() {
+                let pushed = memory.push(Msg::new(loc, new, tid));
+                debug_assert_eq!(pushed, t);
+                st.prom.insert(t);
+            }
+            let v_pre =
+                apply_write_effects(config, &mut st, *succ, *wk, true, loc, v_addr, v_data, t)
+                    .expect("pre-view/coherence constraint checked above");
+            // the desugared loop exit branches on the success register,
+            // which on RISC-V carries the write's view (ρ12)
+            let (_, v_succ) = st.regs.get(*succ);
+            st.v_cap = st.v_cap.join(v_succ);
+            thread.state = st;
+            thread.cont.pop();
+            StepEvent::DidRmw {
+                loc,
+                old,
+                new,
+                tr: *tr,
+                tw: t,
+                pre_view: v_pre.join(v_old),
+            }
         }
         (
             Stmt::Store {
@@ -828,37 +1215,17 @@ pub fn apply_step(
                     _ => return Err(StepError::NotAtomic),
                 }
             }
-            let st = &mut thread.state;
-            let v_pre = store_pre_view(config.arch, st, *wk, *exclusive, v_addr, v_data);
-            if v_pre.join(st.coh(loc)).timestamp() >= t {
-                return Err(StepError::TooLate);
-            }
-            let v_post = t.view();
-            st.prom.remove(&t);
-            if *exclusive {
-                let v_succ = match config.arch {
-                    Arch::RiscV => v_post,
-                    Arch::Arm => View::ZERO,
-                };
-                st.regs.set(*succ, Val::SUCCESS, v_succ);
-            }
-            st.bump_coh(loc, v_post);
-            st.vw_old = st.vw_old.join(v_post);
-            st.v_cap = st.v_cap.join(v_addr);
-            if *wk >= WriteKind::Release {
-                st.v_rel = st.v_rel.join(v_post);
-            }
-            st.set_fwd(
+            let v_pre = apply_write_effects(
+                config,
+                &mut thread.state,
+                *succ,
+                *wk,
+                *exclusive,
                 loc,
-                Forward {
-                    time: t,
-                    view: v_addr.join(v_data),
-                    exclusive: *exclusive,
-                },
-            );
-            if *exclusive {
-                st.xclb = None;
-            }
+                v_addr,
+                v_data,
+                t,
+            )?;
             thread.cont.pop();
             StepEvent::DidWrite {
                 loc,
@@ -895,6 +1262,8 @@ impl fmt::Display for TransitionKind {
             TransitionKind::Fulfil { t } => write!(f, "fulfil@{t}"),
             TransitionKind::WriteNormal => write!(f, "write"),
             TransitionKind::ExclFail => write!(f, "excl-fail"),
+            TransitionKind::Rmw { tr, tw: Some(t) } => write!(f, "rmw@{tr}->fulfil@{t}"),
+            TransitionKind::Rmw { tr, tw: None } => write!(f, "rmw@{tr}->write"),
             TransitionKind::Promise { msg } => write!(f, "promise {msg}"),
         }
     }
@@ -1292,6 +1661,56 @@ mod tests {
         assert_eq!(ev, StepEvent::LoopBoundHit);
         assert!(m.any_stuck());
         assert!(m.thread_steps(TId(0)).is_empty());
+    }
+
+    #[test]
+    fn rmw_fetch_add_is_one_transition() {
+        let mut b = CodeBuilder::new();
+        let r = b.fetch_add(Reg(1), Expr::val(0), Expr::val(5));
+        let t0 = b.finish_seq(&[r]);
+        let mut m = machine_of(vec![t0]);
+        let steps = m.thread_steps(TId(0));
+        assert_eq!(
+            steps,
+            vec![TransitionKind::Rmw {
+                tr: Timestamp::ZERO,
+                tw: None
+            }]
+        );
+        m.apply(&Transition::new(TId(0), steps[0].clone())).unwrap();
+        assert!(m.terminated());
+        assert_eq!(m.thread(TId(0)).state.regs.value(Reg(1)), Val(0));
+        assert_eq!(m.memory().final_value(x()), Val(5));
+    }
+
+    #[test]
+    fn disabled_rmw_transition_leaves_machine_untouched() {
+        // Unlike the documented WriteNormal poisoning, a disabled RMW
+        // normal write must fail *before* touching memory or the thread:
+        // interactive steppers feed user-picked transitions to apply.
+        let mut b = CodeBuilder::new();
+        let r = b.fetch_add(Reg(1), Expr::val(0), Expr::val(1));
+        let t0 = b.finish_seq(&[r]);
+        let mut b = CodeBuilder::new();
+        let s1 = b.store(Expr::val(0), Expr::val(7));
+        let t1 = b.finish_seq(&[s1]);
+        let mut m = machine_of(vec![t0, t1]);
+        m.apply(&Transition::new(TId(1), TransitionKind::WriteNormal))
+            .unwrap();
+        let before_len = m.memory().len();
+        let before_fp = m.fingerprint();
+        // reading the initial write with T1's write interposing: the
+        // atomicity check fails, and nothing may have been appended
+        let err = m.apply(&Transition::new(
+            TId(0),
+            TransitionKind::Rmw {
+                tr: Timestamp::ZERO,
+                tw: None,
+            },
+        ));
+        assert_eq!(err, Err(StepError::NotAtomic));
+        assert_eq!(m.memory().len(), before_len);
+        assert_eq!(m.fingerprint(), before_fp);
     }
 
     #[test]

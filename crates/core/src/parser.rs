@@ -24,7 +24,7 @@
 use crate::expr::{Expr, Op};
 use crate::ids::{Loc, Reg};
 use crate::stmt::{
-    AccessSet, CodeBuilder, Fence, Program, ReadKind, StmtId, ThreadCode, WriteKind,
+    AccessSet, CodeBuilder, Fence, Program, ReadKind, RmwOp, StmtId, ThreadCode, WriteKind,
 };
 use std::collections::BTreeMap;
 use std::fmt;
@@ -241,6 +241,9 @@ fn tokenize(src: &str) -> Result<Vec<Located>, ParseError> {
                         '-' => "-",
                         '*' => "*",
                         '%' => "%",
+                        '&' => "&",
+                        '|' => "|",
+                        '^' => "^",
                         '<' => "<",
                         _ => {
                             return Err(ParseError {
@@ -450,6 +453,28 @@ impl Parser<'_> {
                 self.expect_sym(")")?;
                 return Ok(self.builder.store_kind(reg, addr, data, wk, true));
             }
+            if let Some((op, rk, wk)) = rmw_kind(&id) {
+                self.pos += 1;
+                self.expect_sym("(")?;
+                let addr = self.expr()?;
+                if addr.registers().contains(&reg) {
+                    return Err(self.err("RMW address must not depend on the destination register"));
+                }
+                self.expect_sym(",")?;
+                let expected = if op == RmwOp::Cas {
+                    let e = self.expr()?;
+                    self.expect_sym(",")?;
+                    Some(e)
+                } else {
+                    None
+                };
+                let operand = self.expr()?;
+                self.expect_sym(")")?;
+                return Ok(match expected {
+                    Some(exp) => self.builder.cas_kind(reg, addr, exp, operand, rk, wk),
+                    None => self.builder.amo_kind(op, reg, addr, operand, rk, wk),
+                });
+            }
         }
         let e = self.expr()?;
         Ok(self.builder.assign(reg, e))
@@ -507,6 +532,12 @@ impl Parser<'_> {
             let op = match self.peek() {
                 Some(Tok::Sym("*")) => Op::Mul,
                 Some(Tok::Sym("%")) => Op::Mod,
+                Some(Tok::Sym("&")) => Op::BitAnd,
+                Some(Tok::Sym("|")) => Op::BitOr,
+                Some(Tok::Sym("^")) => Op::BitXor,
+                // `max` in operator position (after an operand) — the
+                // infix spelling `Op::Max` pretty-prints as
+                Some(Tok::Ident(id)) if id == "max" => Op::Max,
                 _ => break,
             };
             self.pos += 1;
@@ -555,6 +586,36 @@ fn load_kind(id: &str) -> Option<(ReadKind, bool)> {
         "loadx_wacq" => Some((ReadKind::WeakAcquire, true)),
         _ => None,
     }
+}
+
+/// Parse an RMW mnemonic with optional `_wacq`/`_acq` and `_wrel`/`_rel`
+/// ordering suffixes: `cas`, `cas_acq_rel`, `amo_add_acq`, …
+fn rmw_kind(id: &str) -> Option<(RmwOp, ReadKind, WriteKind)> {
+    for op in RmwOp::ALL {
+        let Some(mut rest) = id.strip_prefix(op.mnemonic()) else {
+            continue;
+        };
+        let mut rk = ReadKind::Plain;
+        let mut wk = WriteKind::Plain;
+        if let Some(r) = rest.strip_prefix("_wacq") {
+            rk = ReadKind::WeakAcquire;
+            rest = r;
+        } else if let Some(r) = rest.strip_prefix("_acq") {
+            rk = ReadKind::Acquire;
+            rest = r;
+        }
+        if let Some(r) = rest.strip_prefix("_wrel") {
+            wk = WriteKind::WeakRelease;
+            rest = r;
+        } else if let Some(r) = rest.strip_prefix("_rel") {
+            wk = WriteKind::Release;
+            rest = r;
+        }
+        if rest.is_empty() {
+            return Some((op, rk, wk));
+        }
+    }
+    None
 }
 
 fn store_kind(id: &str) -> Option<(WriteKind, bool)> {
@@ -722,6 +783,62 @@ mod tests {
         match &first_stmts(&code)[0] {
             Stmt::Assign { expr, .. } => {
                 assert_eq!(*expr, Expr::val(-5));
+            }
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rmw_statements_parse_with_strength_suffixes() {
+        let mut locs = LocTable::new();
+        let code = parse_thread(
+            "r1 = cas(x, 0, 1)\nr2 = cas_acq_rel(x, r1, 2)\nr3 = amo_add(x, 1)\nr4 = amo_swap_rel(y, 7)\nr5 = amo_max_acq(y, r3)",
+            &mut locs,
+        )
+        .unwrap();
+        let stmts = first_stmts(&code);
+        assert!(matches!(
+            &stmts[0],
+            Stmt::Rmw {
+                op: RmwOp::Cas,
+                rk: ReadKind::Plain,
+                wk: WriteKind::Plain,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &stmts[1],
+            Stmt::Rmw {
+                op: RmwOp::Cas,
+                rk: ReadKind::Acquire,
+                wk: WriteKind::Release,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &stmts[3],
+            Stmt::Rmw {
+                op: RmwOp::Swp,
+                wk: WriteKind::Release,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rmw_address_must_not_use_destination() {
+        let mut locs = LocTable::new();
+        let err = parse_thread("r1 = amo_add(r1, 1)", &mut locs).unwrap_err();
+        assert!(err.message.contains("destination register"));
+    }
+
+    #[test]
+    fn max_is_an_infix_operator() {
+        let mut locs = LocTable::new();
+        let code = parse_thread("r1 = 2 max r2", &mut locs).unwrap();
+        match &first_stmts(&code)[0] {
+            Stmt::Assign { expr, .. } => {
+                assert_eq!(*expr, Expr::binop(Op::Max, Expr::val(2), Expr::reg(Reg(2))));
             }
             other => panic!("expected assign, got {other:?}"),
         }

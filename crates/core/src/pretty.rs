@@ -6,7 +6,9 @@
 use crate::expr::Expr;
 use crate::ids::Loc;
 use crate::parser::LocTable;
-use crate::stmt::{AccessSet, Fence, Program, ReadKind, Stmt, StmtId, ThreadCode, WriteKind};
+use crate::stmt::{
+    AccessSet, Fence, Program, ReadKind, RmwOp, Stmt, StmtId, ThreadCode, WriteKind,
+};
 use std::fmt::Write as _;
 
 /// Render a whole program in the parser's syntax, separating threads with
@@ -130,6 +132,38 @@ impl Printer<'_> {
                 let _ = write!(text, "{op}({}, {})", self.expr(addr), self.expr(data));
                 self.line(&text);
             }
+            Stmt::Rmw {
+                op,
+                dst,
+                addr,
+                expected,
+                operand,
+                rk,
+                wk,
+                ..
+            } => {
+                let sfx_r = match rk {
+                    ReadKind::Plain => "",
+                    ReadKind::WeakAcquire => "_wacq",
+                    ReadKind::Acquire => "_acq",
+                };
+                let sfx_w = match wk {
+                    WriteKind::Plain => "",
+                    WriteKind::WeakRelease => "_wrel",
+                    WriteKind::Release => "_rel",
+                };
+                let mut text = format!(
+                    "{dst} = {}{sfx_r}{sfx_w}({}",
+                    op.mnemonic(),
+                    self.expr(addr)
+                );
+                if *op == RmwOp::Cas {
+                    let exp = expected.as_ref().expect("CAS has an expected value");
+                    let _ = write!(text, ", {}", self.expr(exp));
+                }
+                let _ = write!(text, ", {})", self.expr(operand));
+                self.line(&text);
+            }
             Stmt::Fence(f) => {
                 let text = match *f {
                     Fence::FULL => "dmb.sy".to_string(),
@@ -212,6 +246,27 @@ mod tests {
         assert_eq!(
             normalize(&printed),
             normalize(&program_to_string(&p2, Some(&locs)))
+        );
+    }
+
+    #[test]
+    fn rmws_round_trip() {
+        let src = "r1 = cas(x, 0, 1)\nr2 = cas_acq_rel(x, r1, 2)\nr3 = amo_add(x, 1)\nr4 = amo_swap_rel(y, 7)\nr5 = amo_max_acq(y, r3)\nr6 = amo_and(y, 3)";
+        let (p1, locs) = parse_program(src).unwrap();
+        let printed = program_to_string(&p1, Some(&locs));
+        let (p2, _) = parse_program(&printed).unwrap();
+        assert_eq!(
+            normalize(&printed),
+            normalize(&program_to_string(&p2, Some(&locs)))
+        );
+        // the desugared build (exclusive retry loops with `max`/`&` data
+        // expressions) must round-trip too
+        let desugared = crate::stmt::desugar_program_rmws(&p1);
+        let printed = program_to_string(&desugared, Some(&locs));
+        let (p3, _) = parse_program(&printed).unwrap();
+        assert_eq!(
+            normalize(&printed),
+            normalize(&program_to_string(&p3, Some(&locs)))
         );
     }
 

@@ -4,8 +4,8 @@
 //! [`StmtId`]. This makes thread continuations (stacks of `StmtId`) cheap to
 //! clone, hash and compare — essential for exhaustive state-space search.
 
-use crate::expr::Expr;
-use crate::ids::Reg;
+use crate::expr::{Expr, Op};
+use crate::ids::{Reg, Val};
 use std::fmt;
 
 /// Read kinds (`rk ∈ RK`, Fig. 1), ordered `Plain ⊑ WeakAcquire ⊑ Acquire`.
@@ -108,6 +108,84 @@ impl Fence {
     };
 }
 
+/// The update performed by a single-instruction atomic read-modify-write
+/// (ARMv8.1 LSE `CAS`/`SWP`/`LD<op>`, RISC-V `AMO<op>`).
+///
+/// Every op reads the old value into the destination register and
+/// atomically stores a new value; `Cas` additionally compares the old
+/// value against an expected value and only writes on a match.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RmwOp {
+    /// Compare-and-swap: write the operand iff the old value equals the
+    /// expected value (ARM `CAS`, RISC-V `lr/sc` idiom).
+    Cas,
+    /// Atomic exchange (ARM `SWP`, RISC-V `amoswap`).
+    Swp,
+    /// Atomic add (ARM `LDADD`, RISC-V `amoadd`).
+    FetchAdd,
+    /// Atomic bitwise and (ARM `LDCLR`-family, RISC-V `amoand`).
+    FetchAnd,
+    /// Atomic bitwise or (ARM `LDSET`, RISC-V `amoor`).
+    FetchOr,
+    /// Atomic bitwise xor (ARM `LDEOR`, RISC-V `amoxor`).
+    FetchXor,
+    /// Atomic signed maximum (ARM `LDSMAX`, RISC-V `amomax`).
+    FetchMax,
+}
+
+impl RmwOp {
+    /// All ops, for generators and property tests.
+    pub const ALL: [RmwOp; 7] = [
+        RmwOp::Cas,
+        RmwOp::Swp,
+        RmwOp::FetchAdd,
+        RmwOp::FetchAnd,
+        RmwOp::FetchOr,
+        RmwOp::FetchXor,
+        RmwOp::FetchMax,
+    ];
+
+    /// The value written by a successful RMW with this op.
+    pub fn apply(self, old: Val, operand: Val) -> Val {
+        match self {
+            // a *successful* CAS writes the operand (the "new" value)
+            RmwOp::Cas | RmwOp::Swp => operand,
+            RmwOp::FetchAdd => Op::Add.apply(old, operand),
+            RmwOp::FetchAnd => Op::BitAnd.apply(old, operand),
+            RmwOp::FetchOr => Op::BitOr.apply(old, operand),
+            RmwOp::FetchXor => Op::BitXor.apply(old, operand),
+            RmwOp::FetchMax => Op::Max.apply(old, operand),
+        }
+    }
+
+    /// The data expression of the canonical desugaring: what the store
+    /// exclusive of the retry loop writes, given the loaded old value in
+    /// `old` (see [`desugar_rmws`]).
+    pub fn data_expr(self, old: Reg, operand: Expr) -> Expr {
+        match self {
+            RmwOp::Cas | RmwOp::Swp => operand,
+            RmwOp::FetchAdd => Expr::binop(Op::Add, Expr::reg(old), operand),
+            RmwOp::FetchAnd => Expr::binop(Op::BitAnd, Expr::reg(old), operand),
+            RmwOp::FetchOr => Expr::binop(Op::BitOr, Expr::reg(old), operand),
+            RmwOp::FetchXor => Expr::binop(Op::BitXor, Expr::reg(old), operand),
+            RmwOp::FetchMax => Expr::binop(Op::Max, Expr::reg(old), operand),
+        }
+    }
+
+    /// The concrete-syntax mnemonic (without an ordering suffix).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            RmwOp::Cas => "cas",
+            RmwOp::Swp => "amo_swap",
+            RmwOp::FetchAdd => "amo_add",
+            RmwOp::FetchAnd => "amo_and",
+            RmwOp::FetchOr => "amo_or",
+            RmwOp::FetchXor => "amo_xor",
+            RmwOp::FetchMax => "amo_max",
+        }
+    }
+}
+
 /// An index into a thread's statement arena.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct StmtId(pub u32);
@@ -149,6 +227,39 @@ pub enum Stmt {
         kind: WriteKind,
         /// Store exclusive (store conditional)?
         exclusive: bool,
+    },
+    /// A single-instruction atomic read-modify-write (ARMv8.1 LSE /
+    /// RISC-V AMO): atomically read the old value into `dst` and store the
+    /// updated value, in one machine transition. Semantically equivalent
+    /// to the canonical load-/store-exclusive retry loop
+    /// ([`desugar_rmws`]) executed without interruption; the machine
+    /// reuses the exclusive-pair machinery (pairing bank, `atomic`
+    /// predicate) internally.
+    ///
+    /// The address must not depend on `dst` (the desugaring would
+    /// re-evaluate it after the load clobbers `dst`).
+    Rmw {
+        /// The update performed.
+        op: RmwOp,
+        /// Destination register: receives the value read (the "old" value).
+        dst: Reg,
+        /// Success-flag register: 0 on a successful write, 1 when a CAS
+        /// observed a non-expected value and wrote nothing (other ops
+        /// always succeed).
+        succ: Reg,
+        /// Address expression.
+        addr: Expr,
+        /// CAS only: the expected value, compared against the old value
+        /// (evaluated after `dst` holds the old value, like the desugared
+        /// guard). `None` for every other op.
+        expected: Option<Expr>,
+        /// The operand: the stored value for `Cas`/`Swp`, the second
+        /// argument of the fetch-op otherwise.
+        operand: Expr,
+        /// Acquire strength of the read half.
+        rk: ReadKind,
+        /// Release strength of the write half.
+        wk: WriteKind,
     },
     /// A `fence_{K1,K2}` barrier (covers the ARM `dmb.*` macros).
     Fence(Fence),
@@ -207,11 +318,20 @@ impl ThreadCode {
     }
 
     /// Number of store statements in the arena (used by the axiomatic
-    /// model's value-pool chain bound).
+    /// model's value-pool chain bound). RMWs count: each successful RMW
+    /// produces one write.
     pub fn store_count(&self) -> usize {
         self.stmts
             .iter()
-            .filter(|s| matches!(s, Stmt::Store { .. }))
+            .filter(|s| matches!(s, Stmt::Store { .. } | Stmt::Rmw { .. }))
+            .count()
+    }
+
+    /// Number of single-instruction RMW statements in the arena.
+    pub fn rmw_count(&self) -> usize {
+        self.stmts
+            .iter()
+            .filter(|s| matches!(s, Stmt::Rmw { .. }))
             .count()
     }
 
@@ -225,6 +345,7 @@ impl ThreadCode {
                     s,
                     Stmt::Load { .. }
                         | Stmt::Store { .. }
+                        | Stmt::Rmw { .. }
                         | Stmt::Fence(_)
                         | Stmt::Isb
                         | Stmt::Assign { .. }
@@ -259,6 +380,11 @@ impl Program {
     /// Total instruction count across threads (Table 1's LOC analogue).
     pub fn instruction_count(&self) -> usize {
         self.threads.iter().map(ThreadCode::instruction_count).sum()
+    }
+
+    /// Total single-instruction RMW count across threads.
+    pub fn rmw_count(&self) -> usize {
+        self.threads.iter().map(ThreadCode::rmw_count).sum()
     }
 }
 
@@ -406,6 +532,185 @@ impl CodeBuilder {
         })
     }
 
+    /// General single-instruction RMW with explicit success register and
+    /// strengths. `expected` must be `Some` exactly for [`RmwOp::Cas`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected` presence does not match the op.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rmw_kind(
+        &mut self,
+        op: RmwOp,
+        dst: Reg,
+        succ: Reg,
+        addr: impl Into<Expr>,
+        expected: Option<Expr>,
+        operand: impl Into<Expr>,
+        rk: ReadKind,
+        wk: WriteKind,
+    ) -> StmtId {
+        assert_eq!(
+            expected.is_some(),
+            op == RmwOp::Cas,
+            "expected value iff CAS"
+        );
+        let addr = addr.into();
+        // the desugaring re-evaluates the address after the load clobbers
+        // `dst`, so a dst-dependent address has no coherent semantics
+        assert!(
+            !addr.registers().contains(&dst),
+            "RMW address must not depend on the destination register {dst}"
+        );
+        self.push(Stmt::Rmw {
+            op,
+            dst,
+            succ,
+            addr,
+            expected,
+            operand: operand.into(),
+            rk,
+            wk,
+        })
+    }
+
+    /// Plain CAS `dst = cas(addr, expected, new)` (success flag in a
+    /// scratch register; success is observable as `dst == expected`).
+    pub fn cas(
+        &mut self,
+        dst: Reg,
+        addr: impl Into<Expr>,
+        expected: impl Into<Expr>,
+        new: impl Into<Expr>,
+    ) -> StmtId {
+        self.cas_kind(dst, addr, expected, new, ReadKind::Plain, WriteKind::Plain)
+    }
+
+    /// Acquire CAS `dst = cas_acq(addr, expected, new)`.
+    pub fn cas_acq(
+        &mut self,
+        dst: Reg,
+        addr: impl Into<Expr>,
+        expected: impl Into<Expr>,
+        new: impl Into<Expr>,
+    ) -> StmtId {
+        self.cas_kind(
+            dst,
+            addr,
+            expected,
+            new,
+            ReadKind::Acquire,
+            WriteKind::Plain,
+        )
+    }
+
+    /// Release CAS `dst = cas_rel(addr, expected, new)`.
+    pub fn cas_rel(
+        &mut self,
+        dst: Reg,
+        addr: impl Into<Expr>,
+        expected: impl Into<Expr>,
+        new: impl Into<Expr>,
+    ) -> StmtId {
+        self.cas_kind(
+            dst,
+            addr,
+            expected,
+            new,
+            ReadKind::Plain,
+            WriteKind::Release,
+        )
+    }
+
+    /// Acquire-release CAS `dst = cas_acq_rel(addr, expected, new)`.
+    pub fn cas_acq_rel(
+        &mut self,
+        dst: Reg,
+        addr: impl Into<Expr>,
+        expected: impl Into<Expr>,
+        new: impl Into<Expr>,
+    ) -> StmtId {
+        self.cas_kind(
+            dst,
+            addr,
+            expected,
+            new,
+            ReadKind::Acquire,
+            WriteKind::Release,
+        )
+    }
+
+    /// CAS with explicit strengths (success flag in a scratch register).
+    pub fn cas_kind(
+        &mut self,
+        dst: Reg,
+        addr: impl Into<Expr>,
+        expected: impl Into<Expr>,
+        new: impl Into<Expr>,
+        rk: ReadKind,
+        wk: WriteKind,
+    ) -> StmtId {
+        let succ = self.fresh_scratch();
+        self.rmw_kind(
+            RmwOp::Cas,
+            dst,
+            succ,
+            addr,
+            Some(expected.into()),
+            new,
+            rk,
+            wk,
+        )
+    }
+
+    /// Non-CAS atomic `dst = amo_<op>(addr, operand)` with explicit
+    /// strengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is [`RmwOp::Cas`] (use [`CodeBuilder::cas_kind`]).
+    pub fn amo_kind(
+        &mut self,
+        op: RmwOp,
+        dst: Reg,
+        addr: impl Into<Expr>,
+        operand: impl Into<Expr>,
+        rk: ReadKind,
+        wk: WriteKind,
+    ) -> StmtId {
+        let succ = self.fresh_scratch();
+        self.rmw_kind(op, dst, succ, addr, None, operand, rk, wk)
+    }
+
+    /// Plain atomic exchange `dst = amo_swap(addr, operand)`.
+    pub fn swp(&mut self, dst: Reg, addr: impl Into<Expr>, operand: impl Into<Expr>) -> StmtId {
+        self.amo_kind(
+            RmwOp::Swp,
+            dst,
+            addr,
+            operand,
+            ReadKind::Plain,
+            WriteKind::Plain,
+        )
+    }
+
+    /// Plain atomic fetch-add `dst = amo_add(addr, operand)`.
+    pub fn fetch_add(
+        &mut self,
+        dst: Reg,
+        addr: impl Into<Expr>,
+        operand: impl Into<Expr>,
+    ) -> StmtId {
+        self.amo_kind(
+            RmwOp::FetchAdd,
+            dst,
+            addr,
+            operand,
+            ReadKind::Plain,
+            WriteKind::Plain,
+        )
+    }
+
     /// A `fence_{K1,K2}` barrier (or an ARM `dmb.*` via the [`Fence`]
     /// constants).
     pub fn fence(&mut self, f: Fence) -> StmtId {
@@ -502,6 +807,132 @@ impl CodeBuilder {
     pub fn finish_seq(mut self, stmts: &[StmtId]) -> ThreadCode {
         let entry = self.seq(stmts);
         self.finish(entry)
+    }
+}
+
+/// Register space used by [`desugar_rmws`] for its retry-loop flags:
+/// above [`SCRATCH_REG_BASE`] (so the flags stay hidden from outcomes)
+/// and disjoint from the scratch registers the original builder may have
+/// allocated.
+pub const DESUGAR_REG_BASE: u32 = 2_000_000;
+
+/// Rewrite every [`Stmt::Rmw`] of `code` into its canonical
+/// load-/store-exclusive retry loop:
+///
+/// ```text
+/// flag = 0
+/// while (flag == 0) {
+///     dst = loadx_rk(addr)
+///     // CAS only:
+///     if (dst == expected) { succ = storex_wk(addr, new); if (succ == 0) { flag = 1 } }
+///     else                 { succ = 1; flag = 1 }
+///     // other ops:
+///     succ = storex_wk(addr, op(dst, operand)); if (succ == 0) { flag = 1 }
+/// }
+/// ```
+///
+/// This is the reference semantics of the single-instruction RMW: its
+/// outcome sets equal the desugared loop's on every strategy and
+/// architecture (`tests/rmw_equivalence.rs`), but each desugared RMW
+/// costs a fuel-bounded loop of exclusive attempts (extra transitions,
+/// failure branches) instead of one transition — the LL/SC-vs-LSE
+/// ablation measures exactly that gap.
+pub fn desugar_rmws(code: &ThreadCode) -> ThreadCode {
+    let mut d = Desugarer {
+        b: CodeBuilder::new(),
+        fresh: 0,
+    };
+    let entry = d.copy(code, code.entry());
+    d.b.finish(entry)
+}
+
+/// [`desugar_rmws`] applied to every thread of a program.
+pub fn desugar_program_rmws(program: &Program) -> Program {
+    Program::new(program.threads().iter().map(desugar_rmws).collect())
+}
+
+struct Desugarer {
+    b: CodeBuilder,
+    fresh: u32,
+}
+
+impl Desugarer {
+    fn fresh_flag(&mut self) -> Reg {
+        let r = Reg(DESUGAR_REG_BASE + self.fresh);
+        self.fresh += 1;
+        r
+    }
+
+    fn copy(&mut self, code: &ThreadCode, id: StmtId) -> StmtId {
+        match code.stmt(id).clone() {
+            Stmt::Skip => self.b.skip(),
+            Stmt::Assign { reg, expr } => self.b.assign(reg, expr),
+            Stmt::Load {
+                reg,
+                addr,
+                kind,
+                exclusive,
+            } => self.b.load_kind(reg, addr, kind, exclusive),
+            Stmt::Store {
+                succ,
+                addr,
+                data,
+                kind,
+                exclusive,
+            } => self.b.store_kind(succ, addr, data, kind, exclusive),
+            Stmt::Fence(f) => self.b.fence(f),
+            Stmt::Isb => self.b.isb(),
+            Stmt::Seq(a, c) => {
+                let a = self.copy(code, a);
+                let c = self.copy(code, c);
+                self.b.then(a, c)
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let t = self.copy(code, then_branch);
+                let e = self.copy(code, else_branch);
+                self.b.if_else(cond, t, e)
+            }
+            Stmt::While { cond, body } => {
+                let body = self.copy(code, body);
+                self.b.while_loop(cond, body)
+            }
+            Stmt::Rmw {
+                op,
+                dst,
+                succ,
+                addr,
+                expected,
+                operand,
+                rk,
+                wk,
+            } => {
+                let flag = self.fresh_flag();
+                let b = &mut self.b;
+                let init = b.assign(flag, Expr::val(0));
+                let ld = b.load_kind(dst, addr.clone(), rk, true);
+                let data = op.data_expr(dst, operand);
+                let stx = b.store_kind(succ, addr, data, wk, true);
+                let set = b.assign(flag, Expr::val(1));
+                let on_success = b.if_then(Expr::reg(succ).eq(Expr::val(0)), set);
+                let attempt = b.then(stx, on_success);
+                let body = match expected {
+                    None => b.then(ld, attempt),
+                    Some(exp) => {
+                        let fail_succ = b.assign(succ, Expr::val(1));
+                        let fail_set = b.assign(flag, Expr::val(1));
+                        let fail = b.then(fail_succ, fail_set);
+                        let guard = b.if_else(Expr::reg(dst).eq(exp), attempt, fail);
+                        b.then(ld, guard)
+                    }
+                };
+                let w = b.while_loop(Expr::reg(flag).eq(Expr::val(0)), body);
+                b.then(init, w)
+            }
+        }
     }
 }
 

@@ -52,11 +52,6 @@ pub use promise_first::{explore_promise_first, explore_promise_first_budget, Pro
 pub use promising_core::Outcome;
 pub use stats::Stats;
 
-#[allow(deprecated)]
-pub use naive::explore_naive_deadline;
-#[allow(deprecated)]
-pub use promise_first::explore_promise_first_deadline;
-
 use promising_core::Machine;
 
 /// Explore a machine with the default (promise-first) strategy.

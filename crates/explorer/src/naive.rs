@@ -22,7 +22,7 @@ use promising_core::{
     Transition, TransitionKind,
 };
 use std::collections::BTreeSet;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 pub use crate::engine::Exploration;
 
@@ -175,16 +175,6 @@ pub fn explore_naive_budget(
     Engine::new(NaiveModel::new(machine, mode))
         .with_budget(budget)
         .run()
-}
-
-/// Deprecated shim for [`explore_naive_budget`].
-#[deprecated(note = "use `explore_naive_budget` with a `SearchBudget`")]
-pub fn explore_naive_deadline(
-    machine: &Machine,
-    mode: CertMode,
-    deadline: Option<Duration>,
-) -> Exploration {
-    explore_naive_budget(machine, mode, SearchBudget::deadline(deadline))
 }
 
 /// Eagerly run the deterministic `Internal` steps of every thread: they

@@ -41,7 +41,7 @@ use promising_core::{
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 type RegMap = BTreeMap<Reg, promising_core::Val>;
 
@@ -327,15 +327,6 @@ pub fn explore_promise_first_budget(machine: &Machine, budget: SearchBudget) -> 
         .run()
 }
 
-/// Deprecated shim for [`explore_promise_first_budget`].
-#[deprecated(note = "use `explore_promise_first_budget` with a `SearchBudget`")]
-pub fn explore_promise_first_deadline(
-    machine: &Machine,
-    deadline: Option<Duration>,
-) -> Exploration {
-    explore_promise_first_budget(machine, SearchBudget::deadline(deadline))
-}
-
 /// How many phase-2 nodes between wall-clock deadline checks.
 const PHASE2_DEADLINE_CHECK_PERIOD: u64 = 256;
 
@@ -425,8 +416,9 @@ impl ThreadDfs<'_> {
             self.stats.bound_hits += 1;
         } else {
             for kind in enabled_steps(self.m.config(), self.code, self.tid, thread, memory) {
-                if kind == TransitionKind::WriteNormal {
-                    continue; // non-promise mode: no new writes
+                if kind.appends_write() {
+                    continue; // non-promise mode: no new writes (stores
+                              // and RMWs may only fulfil promises)
                 }
                 if self.cut {
                     break;

@@ -14,7 +14,7 @@ use crate::machine::{FlatMachine, FlatStateKey, FlatTransition};
 use promising_core::{Config, Fingerprint, Outcome};
 use promising_explorer::{Engine, SearchBudget, SearchModel, Stats};
 use std::collections::BTreeSet;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Counters from a Flat exploration — the shared explorer [`Stats`].
 pub type FlatStats = Stats;
@@ -118,25 +118,6 @@ pub fn explore_flat_budget(machine: &FlatMachine, budget: SearchBudget) -> FlatE
     Engine::new(FlatModel::new(machine))
         .with_budget(budget)
         .run()
-}
-
-/// Deprecated shim for [`explore_flat_budget`].
-#[deprecated(note = "use `explore_flat_budget` with a `SearchBudget`")]
-pub fn explore_flat_bounded(machine: &FlatMachine, max_states: u64) -> FlatExploration {
-    explore_flat_budget(machine, SearchBudget::max_states(max_states))
-}
-
-/// Deprecated shim for [`explore_flat_budget`].
-#[deprecated(note = "use `explore_flat_budget` with a `SearchBudget`")]
-pub fn explore_flat_deadline(
-    machine: &FlatMachine,
-    max_states: u64,
-    deadline: Option<Duration>,
-) -> FlatExploration {
-    explore_flat_budget(
-        machine,
-        SearchBudget::deadline(deadline).with_max_states(Some(max_states)),
-    )
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 
 use promising_core::expr::Expr;
 use promising_core::ids::{Reg, Timestamp, Val};
-use promising_core::stmt::{Fence, ReadKind, StmtId, WriteKind};
+use promising_core::stmt::{Fence, ReadKind, RmwOp, StmtId, WriteKind};
 
 /// What an instance does.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -44,6 +44,29 @@ pub enum InstOp {
         wk: WriteKind,
         /// Store exclusive?
         exclusive: bool,
+    },
+    /// A single-instruction atomic RMW: reads the coherence-latest write
+    /// and appends the updated value in one execution step (trivially
+    /// atomic). Conservative like the store-exclusive handling: it never
+    /// forwards from unpropagated stores and binds both the old value and
+    /// the success flag only at execution.
+    Rmw {
+        /// The update performed.
+        op: RmwOp,
+        /// Old-value destination register.
+        dst: Reg,
+        /// Success-flag register.
+        succ: Reg,
+        /// Address expression.
+        addr: Expr,
+        /// CAS only: expected value.
+        expected: Option<Expr>,
+        /// Stored value / fetch-op operand.
+        operand: Expr,
+        /// Acquire strength of the read half.
+        rk: ReadKind,
+        /// Release strength of the write half.
+        wk: WriteKind,
     },
     /// A fence.
     Fence(Fence),
@@ -94,6 +117,17 @@ pub enum InstState {
     },
     /// Store exclusive failed.
     Failed,
+    /// RMW executed: read `old` at `tr`, and (unless a CAS compare
+    /// failed) wrote at `wrote`.
+    RmwDone {
+        /// Timestamp the read half read from.
+        tr: Timestamp,
+        /// The old value read.
+        old: Val,
+        /// Timestamp of the write (`None`: CAS compare failure, nothing
+        /// written).
+        wrote: Option<Timestamp>,
+    },
     /// Fence or `isb` committed.
     Committed,
     /// Branch resolved.
@@ -152,18 +186,30 @@ impl Instance {
                 InstState::Failed => Some(Val::FAIL),
                 _ => None,
             }),
+            InstOp::Rmw { dst, .. } if *dst == r => Some(match self.state {
+                InstState::RmwDone { old, .. } => Some(old),
+                _ => None,
+            }),
+            InstOp::Rmw { succ, .. } if *succ == r => Some(match self.state {
+                InstState::RmwDone { wrote, .. } => Some(if wrote.is_some() {
+                    Val::SUCCESS
+                } else {
+                    Val::FAIL
+                }),
+                _ => None,
+            }),
             _ => None,
         }
     }
 
-    /// Is this a load instance?
+    /// Is this a load instance (RMWs count: they read)?
     pub fn is_load(&self) -> bool {
-        matches!(self.op, InstOp::Load { .. })
+        matches!(self.op, InstOp::Load { .. } | InstOp::Rmw { .. })
     }
 
-    /// Is this a store instance?
+    /// Is this a store instance (RMWs count: they may write)?
     pub fn is_store(&self) -> bool {
-        matches!(self.op, InstOp::Store { .. })
+        matches!(self.op, InstOp::Store { .. } | InstOp::Rmw { .. })
     }
 }
 

@@ -47,7 +47,5 @@ pub mod instance;
 pub mod machine;
 
 pub use explore::{explore_flat, explore_flat_budget, FlatExploration, FlatModel, FlatStats};
-#[allow(deprecated)]
-pub use explore::{explore_flat_bounded, explore_flat_deadline};
 pub use instance::{InstOp, InstState, Instance, Src};
 pub use machine::{FlatMachine, FlatStateKey, FlatThread, FlatTransition};

@@ -26,12 +26,13 @@
 //! allow; the litmus harness skips exactly those shapes for Flat.
 
 use crate::instance::{InstOp, InstState, Instance, Src};
+use promising_core::config::Arch;
 use promising_core::config::Config;
 use promising_core::expr::Expr;
 use promising_core::fingerprint::{Fingerprint, FpHasher};
 use promising_core::ids::{Loc, Reg, TId, Timestamp, Val};
 use promising_core::memory::{Memory, Msg};
-use promising_core::stmt::{Program, ReadKind, Stmt, StmtId, WriteKind, SCRATCH_REG_BASE};
+use promising_core::stmt::{Program, ReadKind, RmwOp, Stmt, StmtId, WriteKind, SCRATCH_REG_BASE};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -82,6 +83,15 @@ pub enum FlatTransition {
         /// Instance index.
         idx: usize,
     },
+    /// Execute the pending RMW instance at `idx`: atomically read the
+    /// coherence-latest write and (unless the CAS compare fails) append
+    /// the updated value.
+    ExecRmw {
+        /// Acting thread.
+        tid: TId,
+        /// Instance index.
+        idx: usize,
+    },
 }
 
 impl fmt::Display for FlatTransition {
@@ -97,6 +107,7 @@ impl fmt::Display for FlatTransition {
             FlatTransition::Satisfy { tid, idx } => write!(f, "{tid}: satisfy #{idx}"),
             FlatTransition::Propagate { tid, idx } => write!(f, "{tid}: propagate #{idx}"),
             FlatTransition::FailStx { tid, idx } => write!(f, "{tid}: stx-fail #{idx}"),
+            FlatTransition::ExecRmw { tid, idx } => write!(f, "{tid}: rmw #{idx}"),
         }
     }
 }
@@ -201,6 +212,7 @@ impl FlatMachine {
                     InstOp::Store { .. } => h.write_u64(2),
                     InstOp::Fence(_) => h.write_u64(3),
                     InstOp::Isb => h.write_u64(4),
+                    InstOp::Rmw { .. } => h.write_u64(6),
                     InstOp::Branch {
                         guess, alt_cont, ..
                     } => {
@@ -242,6 +254,18 @@ impl FlatMachine {
                         h.write_u64(6);
                         h.write_bool(taken);
                     }
+                    InstState::RmwDone { tr, old, wrote } => {
+                        h.write_u64(7);
+                        h.write_u32(tr.0);
+                        h.write_i64(old.0);
+                        match wrote {
+                            None => h.write_bool(false),
+                            Some(ts) => {
+                                h.write_bool(true);
+                                h.write_u32(ts.0);
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -274,16 +298,17 @@ impl FlatMachine {
             .map(|t| {
                 let mut map: BTreeMap<Reg, Val> = BTreeMap::new();
                 for inst in &t.instances {
-                    let written: Option<Reg> = match &inst.op {
-                        InstOp::Assign { reg, .. } | InstOp::Load { reg, .. } => Some(*reg),
+                    let written: Vec<Reg> = match &inst.op {
+                        InstOp::Assign { reg, .. } | InstOp::Load { reg, .. } => vec![*reg],
                         InstOp::Store {
                             succ,
                             exclusive: true,
                             ..
-                        } => Some(*succ),
-                        _ => None,
+                        } => vec![*succ],
+                        InstOp::Rmw { dst, succ, .. } => vec![*dst, *succ],
+                        _ => Vec::new(),
                     };
-                    if let Some(r) = written {
+                    for r in written {
                         if r.0 < SCRATCH_REG_BASE {
                             let v = inst
                                 .written_reg(r)
@@ -335,7 +360,9 @@ impl FlatMachine {
     fn addr_of(&self, tid: TId, idx: usize) -> Option<Loc> {
         let inst = &self.threads[tid.0].instances[idx];
         let addr = match &inst.op {
-            InstOp::Load { addr, .. } | InstOp::Store { addr, .. } => addr,
+            InstOp::Load { addr, .. } | InstOp::Store { addr, .. } | InstOp::Rmw { addr, .. } => {
+                addr
+            }
             _ => return None,
         };
         self.eval_at(tid, idx, addr).map(Loc::from)
@@ -431,6 +458,32 @@ impl FlatMachine {
                             data,
                             wk: kind,
                             exclusive,
+                        },
+                    ));
+                }
+                Stmt::Rmw {
+                    op,
+                    dst,
+                    succ,
+                    addr,
+                    expected,
+                    operand,
+                    rk,
+                    wk,
+                } => {
+                    let t = &mut self.threads[tid.0];
+                    t.fetch_cont.pop();
+                    t.instances.push(Instance::new(
+                        top,
+                        InstOp::Rmw {
+                            op,
+                            dst,
+                            succ,
+                            addr,
+                            expected,
+                            operand,
+                            rk,
+                            wk,
                         },
                     ));
                 }
@@ -581,11 +634,14 @@ impl FlatMachine {
                 }
                 InstOp::Isb => {
                     // all po-earlier branches resolved and access addresses
-                    // determined (the ctrl/addr half-barriers of ρ7)
+                    // determined (the ctrl/addr half-barriers of ρ7); an
+                    // RMW's desugared loop exit is a branch on its success
+                    // flag, so unbound RMWs block like unresolved branches
                     (0..idx).all(|j| {
                         let jinst = &self.threads[tid.0].instances[j];
                         match &jinst.op {
                             InstOp::Branch { .. } => jinst.is_bound(),
+                            InstOp::Rmw { .. } => jinst.is_bound(),
                             InstOp::Load { .. } | InstOp::Store { .. } => {
                                 self.addr_of(tid, j).is_some()
                             }
@@ -650,6 +706,23 @@ impl FlatMachine {
                                 fwd = Some(j);
                             }
                         }
+                    }
+                }
+                InstOp::Rmw {
+                    rk: jrk, wk: jwk, ..
+                } => {
+                    // an RMW is both a read and a write for the blocking
+                    // rules; it never forwards (conservative, like pending
+                    // store exclusives)
+                    let jloc = self.addr_of(tid, j)?;
+                    if *jrk >= ReadKind::WeakAcquire && !jinst.is_bound() {
+                        return None; // acquire orders later reads
+                    }
+                    if *rk >= ReadKind::Acquire && *jwk >= WriteKind::Release && !jinst.is_bound() {
+                        return None; // [RL]; po; [AQ]
+                    }
+                    if jloc == loc && !jinst.is_bound() && fwd.is_none() {
+                        return None; // same-address accesses bind in order
                     }
                 }
                 InstOp::Fence(f) => {
@@ -734,6 +807,24 @@ impl FlatMachine {
                         return None;
                     }
                 }
+                InstOp::Rmw {
+                    op: jop, rk: jrk, ..
+                } => {
+                    let jloc = self.addr_of(tid, j)?;
+                    // same-address ordering and release pre-views as for
+                    // loads/stores, plus: an acquire RMW read orders later
+                    // stores (vwNew), a CAS's compare guard feeds vCAP on
+                    // both architectures, and on RISC-V the RMW's success
+                    // register does too (ρ12).
+                    let need_done = jloc == loc
+                        || *wk >= WriteKind::WeakRelease
+                        || *jrk >= ReadKind::WeakAcquire
+                        || *jop == RmwOp::Cas
+                        || self.config.arch == Arch::RiscV;
+                    if need_done && !jinst.is_bound() {
+                        return None;
+                    }
+                }
                 InstOp::Fence(f) => {
                     if f.post.includes_writes() && !jinst.is_bound() {
                         return None;
@@ -743,6 +834,113 @@ impl FlatMachine {
             }
         }
         Some((loc, val))
+    }
+
+    /// Evaluate `e` at instance position `idx` with register `dst` bound
+    /// to `old` — the RMW's operand/expected expressions see the old
+    /// value in the destination register, exactly as the promising and
+    /// axiomatic models evaluate them after the read half.
+    fn eval_at_with(&self, tid: TId, idx: usize, e: &Expr, dst: Reg, old: Val) -> Option<Val> {
+        match e {
+            Expr::Const(v) => Some(*v),
+            Expr::Reg(r) if *r == dst => Some(old),
+            Expr::Reg(r) => self.reg_value(tid, idx, *r),
+            Expr::Binop(op, a, b) => {
+                let va = self.eval_at_with(tid, idx, a, dst, old)?;
+                let vb = self.eval_at_with(tid, idx, b, dst, old)?;
+                Some(op.apply(va, vb))
+            }
+        }
+    }
+
+    /// The execution-blocking scan for RMW instance `idx`: the union of
+    /// the load-satisfy and store-propagate conditions (an RMW is both),
+    /// with no forwarding (conservative, like pending store exclusives —
+    /// every po-earlier same-address store must have propagated or
+    /// failed). Returns the old value's location, or `None` if blocked.
+    fn rmw_ready(&self, tid: TId, idx: usize) -> Option<Loc> {
+        let t = &self.threads[tid.0];
+        let inst = &t.instances[idx];
+        let InstOp::Rmw {
+            dst,
+            operand,
+            expected,
+            rk,
+            wk,
+            ..
+        } = &inst.op
+        else {
+            return None;
+        };
+        let loc = self.addr_of(tid, idx)?;
+        // the operand/expected inputs (other than dst, which binds to the
+        // old value at execution) must resolve
+        self.eval_at_with(tid, idx, operand, *dst, Val(0))?;
+        if let Some(exp) = expected {
+            self.eval_at_with(tid, idx, exp, *dst, Val(0))?;
+        }
+        for j in (0..idx).rev() {
+            let jinst = &t.instances[j];
+            match &jinst.op {
+                InstOp::Branch { .. } => {
+                    if !jinst.is_bound() {
+                        return None; // no speculative writes
+                    }
+                }
+                InstOp::Load { rk: jrk, .. } => {
+                    let jloc = self.addr_of(tid, j)?;
+                    let need_bound = jloc == loc
+                        || *jrk >= ReadKind::WeakAcquire
+                        || *wk >= WriteKind::WeakRelease;
+                    if need_bound && !jinst.is_bound() {
+                        return None;
+                    }
+                }
+                InstOp::Store { wk: jwk, .. } => {
+                    let jloc = self.addr_of(tid, j)?;
+                    let need_done = jloc == loc
+                        || *wk >= WriteKind::WeakRelease
+                        || (*rk >= ReadKind::Acquire && *jwk >= WriteKind::Release);
+                    if need_done
+                        && !matches!(
+                            jinst.state,
+                            InstState::Propagated { .. } | InstState::Failed
+                        )
+                    {
+                        return None;
+                    }
+                }
+                InstOp::Rmw {
+                    op: jop,
+                    rk: jrk,
+                    wk: jwk,
+                    ..
+                } => {
+                    let jloc = self.addr_of(tid, j)?;
+                    let need_done = jloc == loc
+                        || *wk >= WriteKind::WeakRelease
+                        || *jrk >= ReadKind::WeakAcquire
+                        || (*rk >= ReadKind::Acquire && *jwk >= WriteKind::Release)
+                        || *jop == RmwOp::Cas
+                        || self.config.arch == Arch::RiscV;
+                    if need_done && !jinst.is_bound() {
+                        return None;
+                    }
+                }
+                InstOp::Fence(f) => {
+                    if (f.post.includes_reads() || f.post.includes_writes()) && !jinst.is_bound() {
+                        return None;
+                    }
+                }
+                InstOp::Isb => {
+                    if !jinst.is_bound() {
+                        return None;
+                    }
+                }
+                InstOp::Assign { .. } => {}
+            }
+        }
+        Some(loc)
     }
 
     /// Find the paired load exclusive for store exclusive `idx` (ρ11): the
@@ -756,6 +954,17 @@ impl FlatMachine {
                 InstOp::Store {
                     exclusive: true, ..
                 } => return None, // interposed
+                InstOp::Rmw { .. } => {
+                    // a successful RMW consumes the pairing bank (like an
+                    // interposed store exclusive); a CAS compare failure
+                    // leaves its read charged in the bank
+                    return match jinst.state {
+                        InstState::RmwDone {
+                            tr, wrote: None, ..
+                        } => Some(tr),
+                        _ => None,
+                    };
+                }
                 InstOp::Load {
                     exclusive: true, ..
                 } => {
@@ -809,6 +1018,9 @@ impl FlatMachine {
                 match &inst.op {
                     InstOp::Load { .. } if self.load_source(tid, idx).is_some() => {
                         out.push(FlatTransition::Satisfy { tid, idx });
+                    }
+                    InstOp::Rmw { .. } if self.rmw_ready(tid, idx).is_some() => {
+                        out.push(FlatTransition::ExecRmw { tid, idx });
                     }
                     InstOp::Store { exclusive, .. } => {
                         if *exclusive {
@@ -910,6 +1122,45 @@ impl FlatMachine {
             }
             FlatTransition::FailStx { tid, idx } => {
                 self.threads[tid.0].instances[*idx].state = InstState::Failed;
+            }
+            FlatTransition::ExecRmw { tid, idx } => {
+                let loc = self.rmw_ready(*tid, *idx).expect("rmw transition enabled");
+                let inst = self.threads[tid.0].instances[*idx].clone();
+                let InstOp::Rmw {
+                    op,
+                    dst,
+                    expected,
+                    operand,
+                    ..
+                } = &inst.op
+                else {
+                    unreachable!("rmw transition targets an rmw instance");
+                };
+                // atomically read the coherence-latest write and append
+                // the update in one step — interposition-free by
+                // construction; operand/expected see the old value in dst
+                let tr = self
+                    .memory
+                    .latest_write_at_most(loc, self.memory.max_timestamp());
+                let old = self.memory.read(loc, tr).expect("latest write reads back");
+                let compare_failed = match expected {
+                    None => false,
+                    Some(exp) => {
+                        let ev = self
+                            .eval_at_with(*tid, *idx, exp, *dst, old)
+                            .expect("rmw_ready resolved the inputs");
+                        old != ev
+                    }
+                };
+                let wrote = if compare_failed {
+                    None
+                } else {
+                    let opv = self
+                        .eval_at_with(*tid, *idx, operand, *dst, old)
+                        .expect("rmw_ready resolved the inputs");
+                    Some(self.memory.push(Msg::new(loc, op.apply(old, opv), *tid)))
+                };
+                self.threads[tid.0].instances[*idx].state = InstState::RmwDone { tr, old, wrote };
             }
         }
         self.drain();

@@ -120,6 +120,27 @@ const ENTRIES: &[Entry] = &[
     t("ARM STX-unpaired-fails\nr2 = storex(x, 1)\nexists (P0:r2=0)\nexpect forbidden"),
     // §C.1: success-register dependency is NOT ordering on ARM
     t_noflat("ARM STX-succ-dep-reorder\nr1 = loadx(x)\nr2 = storex(x, r1 + 1)\nstore(p, 1 - r1 - r2)\n---\nr3 = load(p)\ndmb.sy\nr4 = load(x)\nexists (P1:r3=1 /\\ P1:r4=0)\nexpect allowed"),
+    // ---------------- single-instruction RMWs (ARMv8.1 LSE) ----------------
+    // CAS exclusivity (2+2W-style): two CASes expecting the initial 0
+    // cannot both succeed — one of them must observe the other's write.
+    t("ARM CAS-exclusivity\nr1 = cas(x, 0, 1)\n---\nr2 = cas(x, 0, 2)\nexists (P0:r1=0 /\\ P1:r2=0)\nexpect forbidden"),
+    // fetch-add coherence: increments never overlap — both observing the
+    // initial 0 would lose an update; the total is always 2.
+    t("ARM AMO-add-coherence\nr1 = amo_add(x, 1)\n---\nr2 = amo_add(x, 1)\nexists (P0:r1=0 /\\ P1:r2=0)\nexpect forbidden"),
+    t("ARM AMO-add-total\nr1 = amo_add(x, 1)\n---\nr2 = amo_add(x, 1)\nforall (x=2)\nexpect allowed"),
+    // swap atomicity against an interposing writer (the LDX-STX-atomicity
+    // shape with a single-instruction exchange).
+    t("ARM SWP-atomicity\nr1 = amo_swap(x, 42)\n---\nstore(x, 37)\nstore(x, 51)\nr3 = load(x)\nexists (P0:r1=37 /\\ P1:r3=42)\nexpect forbidden"),
+    // MP over a release CAS publish and an acquire RMW read: forbidden,
+    // exactly like store-release/load-acquire.
+    t("ARM MP+rel-cas+acq-amo\nstore(x, 1)\nr0 = cas_rel(y, 0, 1)\n---\nr1 = amo_add_acq(y, 0)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
+    // …and the plain-RMW variant stays allowed (no ordering from the
+    // atomic update itself on ARM).
+    t("ARM MP+swp+amo\nstore(x, 1)\nr0 = amo_swap(y, 1)\n---\nr1 = amo_add(y, 0)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect allowed"),
+    // a failed CAS is just a read: no write appears, and MP stays weak
+    // even when the reader's CAS fails with acquire semantics only on
+    // the *write* side.
+    t("ARM CAS-fail-is-read\n{ x=5 }\nr1 = cas(x, 0, 9)\nexists (P0:r1=5 /\\ x=5)\nexpect allowed"),
     // ---------------- RISC-V ----------------
     t("RISCV MP+fence.rw.rw+fence.rw.rw\nstore(x, 1)\nfence(rw, rw)\nstore(y, 1)\n---\nr1 = load(y)\nfence(rw, rw)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
     t("RISCV MP+fence.w.w+addr\nstore(x, 1)\nfence(w, w)\nstore(y, 1)\n---\nr1 = load(y)\nr2 = load(x + (r1 - r1))\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
@@ -133,6 +154,14 @@ const ENTRIES: &[Entry] = &[
     // RISC-V: success-register dependency IS ordering (ρ12)
     t_noflat("RISCV STX-succ-dep-order\nr1 = loadx(x)\nr2 = storex(x, r1 + 1)\nstore(p, 1 - r1 - r2)\n---\nr3 = load(p)\nfence(rw, rw)\nr4 = load(x)\nexists (P1:r3=1 /\\ P1:r4=0)\nexpect forbidden"),
     t("RISCV CoRR\nstore(x, 1)\n---\nr1 = load(x)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
+    // ---------------- single-instruction RMWs (RISC-V AMOs) ----------------
+    t("RISCV AMO-add-coherence\nr1 = amo_add(x, 1)\n---\nr2 = amo_add(x, 1)\nexists (P0:r1=0 /\\ P1:r2=0)\nexpect forbidden"),
+    t("RISCV CAS-exclusivity\nr1 = cas(x, 0, 1)\n---\nr2 = cas(x, 0, 2)\nexists (P0:r1=0 /\\ P1:r2=0)\nexpect forbidden"),
+    // MP over amoswap.rl / amoadd.aq: forbidden, the RVWMO analogue of
+    // the rel/acq pair.
+    t("RISCV MP+swp.rel+amo.acq\nstore(x, 1)\nr0 = amo_swap_rel(y, 1)\n---\nr1 = amo_add_acq(y, 0)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
+    // plain AMOs give no MP ordering on the read side…
+    t("RISCV MP+swp.rel+amo\nstore(x, 1)\nr0 = amo_swap_rel(y, 1)\n---\nr1 = amo_add(y, 0)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect allowed"),
 ];
 
 #[cfg(test)]

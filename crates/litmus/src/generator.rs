@@ -5,7 +5,7 @@
 
 use crate::test::{Condition, LitmusTest, Pred, Quantifier};
 use promising_core::parser::LocTable;
-use promising_core::stmt::CodeBuilder;
+use promising_core::stmt::{CodeBuilder, RmwOp};
 use promising_core::{Arch, Expr, Fence, Loc, Program, ReadKind, Reg, StmtId, Val, WriteKind};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -42,6 +42,18 @@ pub enum Link {
     Rel,
     /// Strengthen the second store to weak release.
     WRel,
+    /// Perform the first (read) access as a plain RMW read:
+    /// `r = amo_add(loc, 0)` — reads the value and re-publishes it.
+    AmoRead,
+    /// Perform the first (read) access as an *acquire* RMW read.
+    AmoReadAcq,
+    /// Perform the second (write) access as an atomic swap.
+    SwpWrite,
+    /// Perform the second (write) access as a *release* atomic swap.
+    SwpWriteRel,
+    /// Perform the second (write) access as a CAS expecting the initial
+    /// value 0 (may fail if the location was already overwritten).
+    CasWrite,
 }
 
 impl Link {
@@ -63,6 +75,11 @@ impl Link {
             Link::WAcq => "wacq".into(),
             Link::Rel => "rel".into(),
             Link::WRel => "wrel".into(),
+            Link::AmoRead => "amoadd".into(),
+            Link::AmoReadAcq => "amoadd.acq".into(),
+            Link::SwpWrite => "swp".into(),
+            Link::SwpWriteRel => "swp.rel".into(),
+            Link::CasWrite => "cas".into(),
         }
     }
 
@@ -75,6 +92,8 @@ impl Link {
             Link::Ctrl | Link::CtrlIsb => first == Dir::R,
             Link::Acq | Link::WAcq => first == Dir::R,
             Link::Rel | Link::WRel => second == Dir::W,
+            Link::AmoRead | Link::AmoReadAcq => first == Dir::R,
+            Link::SwpWrite | Link::SwpWriteRel | Link::CasWrite => second == Dir::W,
         }
     }
 }
@@ -103,6 +122,11 @@ pub fn links_for(arch: Arch) -> Vec<Link> {
             Link::Acq,
             Link::WAcq,
             Link::Rel,
+            Link::AmoRead,
+            Link::AmoReadAcq,
+            Link::SwpWrite,
+            Link::SwpWriteRel,
+            Link::CasWrite,
         ],
         Arch::RiscV => vec![
             Link::Po,
@@ -118,7 +142,28 @@ pub fn links_for(arch: Arch) -> Vec<Link> {
             Link::Acq,
             Link::Rel,
             Link::WRel,
+            Link::AmoRead,
+            Link::AmoReadAcq,
+            Link::SwpWrite,
+            Link::SwpWriteRel,
+            Link::CasWrite,
         ],
+    }
+}
+
+/// The RMW links: handy for filtering/striding the RMW cross of a suite.
+pub const RMW_LINKS: [Link; 5] = [
+    Link::AmoRead,
+    Link::AmoReadAcq,
+    Link::SwpWrite,
+    Link::SwpWriteRel,
+    Link::CasWrite,
+];
+
+impl Link {
+    /// Whether the link performs one of its accesses as an RMW.
+    pub fn is_rmw(self) -> bool {
+        RMW_LINKS.contains(&self)
     }
 }
 
@@ -212,11 +257,26 @@ fn build_thread(accs: &[Access; 2], link: Link) -> promising_core::ThreadCode {
         Link::WAcq => ReadKind::WeakAcquire,
         _ => ReadKind::Plain,
     };
-    match accs[0].dir {
-        Dir::R => {
+    match (accs[0].dir, link) {
+        // RMW-read links: read the location with a fetch-add of 0, which
+        // re-publishes the observed value as a fresh write
+        (Dir::R, Link::AmoRead) => {
+            stmts.push(b.fetch_add(first_reg, loc_expr(accs[0].loc), Expr::val(0)));
+        }
+        (Dir::R, Link::AmoReadAcq) => {
+            stmts.push(b.amo_kind(
+                RmwOp::FetchAdd,
+                first_reg,
+                loc_expr(accs[0].loc),
+                Expr::val(0),
+                ReadKind::Acquire,
+                WriteKind::Plain,
+            ));
+        }
+        (Dir::R, _) => {
             stmts.push(b.load_kind(first_reg, loc_expr(accs[0].loc), first_kind, false));
         }
-        Dir::W => {
+        (Dir::W, _) => {
             stmts.push(b.store(loc_expr(accs[0].loc), Expr::val(accs[0].val)));
         }
     }
@@ -249,6 +309,23 @@ fn build_thread(accs: &[Access; 2], link: Link) -> promising_core::ThreadCode {
     let second = match (accs[1].dir, link) {
         (Dir::R, Link::Addr) => b.load(second_reg, dep(loc_expr(accs[1].loc))),
         (Dir::R, _) => b.load(second_reg, loc_expr(accs[1].loc)),
+        // RMW-write links: perform the write as a single-instruction
+        // atomic update (the old value lands in an unused register)
+        (Dir::W, Link::SwpWrite) => b.swp(Reg(3), loc_expr(accs[1].loc), Expr::val(accs[1].val)),
+        (Dir::W, Link::SwpWriteRel) => b.amo_kind(
+            RmwOp::Swp,
+            Reg(3),
+            loc_expr(accs[1].loc),
+            Expr::val(accs[1].val),
+            ReadKind::Plain,
+            WriteKind::Release,
+        ),
+        (Dir::W, Link::CasWrite) => b.cas(
+            Reg(3),
+            loc_expr(accs[1].loc),
+            Expr::val(0),
+            Expr::val(accs[1].val),
+        ),
         (Dir::W, Link::Addr) => {
             let succ = Reg(900_000); // unused scratch-like register
             b.store_kind(
@@ -462,6 +539,25 @@ pub fn generate_three_thread_suite(arch: Arch) -> Vec<LitmusTest> {
 pub fn generate_subsample(arch: Arch, stride: usize, offset: usize) -> Vec<LitmusTest> {
     generate_suite(arch)
         .into_iter()
+        .skip(offset)
+        .step_by(stride.max(1))
+        .collect()
+}
+
+/// A deterministic subsample of the *RMW cross* of the suite: only the
+/// tests where at least one edge is an RMW link ([`RMW_LINKS`]), strided.
+/// The plain subsample dilutes these (RMW links are 5 of ~17), so the
+/// agreement gates stride them separately.
+pub fn generate_rmw_subsample(arch: Arch, stride: usize, offset: usize) -> Vec<LitmusTest> {
+    let rmw_names: Vec<String> = RMW_LINKS.iter().map(|l| l.name()).collect();
+    generate_suite(arch)
+        .into_iter()
+        .filter(|t| {
+            t.name
+                .split('+')
+                .skip(1)
+                .any(|part| rmw_names.iter().any(|n| n == part))
+        })
         .skip(offset)
         .step_by(stride.max(1))
         .collect()

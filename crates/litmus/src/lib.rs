@@ -25,7 +25,8 @@ pub mod test;
 pub use catalogue::{by_name, catalogue, catalogue_for};
 pub use format::parse_litmus;
 pub use generator::{
-    generate_subsample, generate_suite, generate_three_thread_suite, links_for, Link,
+    generate_rmw_subsample, generate_subsample, generate_suite, generate_three_thread_suite,
+    links_for, Link, RMW_LINKS,
 };
 pub use harness::{
     check_agreement, evaluate, run_model, run_model_sampled, Agreement, ModelKind, ModelRun,

@@ -40,22 +40,6 @@ fn node_addr(tid: usize, op: usize) -> i64 {
     ARENA + ((tid * MAX_OPS + op) * 2) as i64
 }
 
-/// Single-shot CAS attempt on `loc`: if its current (exclusive) read
-/// equals `expected`, try to store `new`. Failure is ignored.
-fn cas_once(
-    b: &mut CodeBuilder,
-    loc: Expr,
-    expected: Expr,
-    new: Expr,
-    tmp: Reg,
-    succ: Reg,
-) -> StmtId {
-    let ld = b.load_excl(tmp, loc.clone());
-    let stx = b.store_excl(succ, loc, new);
-    let guard = b.if_then(Expr::reg(tmp).eq(expected), stx);
-    b.seq(&[ld, guard])
-}
-
 fn enqueue(b: &mut CodeBuilder, tid: usize, op: usize, value: i64, variant: Variant) -> StmtId {
     let node = node_addr(tid, op);
     let t = Reg(11);
@@ -69,36 +53,41 @@ fn enqueue(b: &mut CodeBuilder, tid: usize, op: usize, value: i64, variant: Vari
         Variant::Optimised | Variant::Buggy => b.load(t, Expr::val(TAIL.0 as i64)),
     };
     let ld_next = b.load(tn, Expr::reg(t).add(Expr::val(1)));
-    // try to link: CAS(t.next, 0 -> node); publish must be a release
+    // try to link: CAS(t.next, 0 -> node); the publish must be a release
     // except in the buggy variant
-    let ldx = b.load_excl(regs::T1, Expr::reg(t).add(Expr::val(1)));
-    let stx = match variant {
-        Variant::Buggy => b.store_excl(regs::T2, Expr::reg(t).add(Expr::val(1)), Expr::val(node)),
-        _ => b.store_excl_rel(regs::T2, Expr::reg(t).add(Expr::val(1)), Expr::val(node)),
+    let link = match variant {
+        Variant::Buggy => b.cas(
+            regs::T1,
+            Expr::reg(t).add(Expr::val(1)),
+            Expr::val(0),
+            Expr::val(node),
+        ),
+        _ => b.cas_rel(
+            regs::T1,
+            Expr::reg(t).add(Expr::val(1)),
+            Expr::val(0),
+            Expr::val(node),
+        ),
     };
-    let swing = cas_once(
-        b,
+    // help the tail forward after a successful link (failure ignored)
+    let swing = b.cas(
+        Reg(13),
         Expr::val(TAIL.0 as i64),
         Expr::reg(t),
         Expr::val(node),
-        Reg(13),
-        Reg(14),
     );
     let set = b.assign(regs::T0, Expr::val(1));
     let linked = b.seq(&[swing, set]);
-    let won = b.if_then(Expr::reg(regs::T2).eq(Expr::val(0)), linked);
-    let try_link = b.seq(&[ldx, stx, won]);
-    let link_if_null = b.if_then(Expr::reg(regs::T1).eq(Expr::val(0)), try_link);
+    let won = b.if_then(Expr::reg(regs::T1).eq(Expr::val(0)), linked);
+    let try_link = b.seq(&[link, won]);
     // tail was behind: help swing it forward
-    let help = cas_once(
-        b,
+    let help = b.cas(
+        Reg(13),
         Expr::val(TAIL.0 as i64),
         Expr::reg(t),
         Expr::reg(tn),
-        Reg(13),
-        Reg(14),
     );
-    let branch = b.if_else(Expr::reg(tn).eq(Expr::val(0)), link_if_null, help);
+    let branch = b.if_else(Expr::reg(tn).eq(Expr::val(0)), try_link, help);
     let body = b.seq(&[ld_tail, ld_next, branch]);
     let w = b.while_loop(Expr::reg(regs::T0).eq(Expr::val(0)), body);
     b.seq(&[data, init, w])
@@ -123,28 +112,28 @@ fn dequeue(b: &mut CodeBuilder, variant: Variant) -> StmtId {
     };
     // empty: h == t and h.next == 0
     let done = b.assign(regs::T0, Expr::val(1));
-    let help = cas_once(
-        b,
+    let help = b.cas(
+        Reg(15),
         Expr::val(TAIL.0 as i64),
         Expr::reg(t),
         Expr::reg(hn),
-        Reg(15),
-        Reg(16),
     );
     let empty_or_help = b.if_else(Expr::reg(hn).eq(Expr::val(0)), done, help);
     // non-empty: read the value of h.next (address-dependent), then
     // CAS(head, h -> hn); record the value only if the CAS wins
     let pop_branch = {
         let getv = b.load(v, Expr::reg(hn));
-        let ldx = b.load_excl(Reg(15), Expr::val(HEAD.0 as i64));
-        let stx = b.store_excl(Reg(16), Expr::val(HEAD.0 as i64), Expr::reg(hn));
+        let cas = b.cas(
+            Reg(15),
+            Expr::val(HEAD.0 as i64),
+            Expr::reg(h),
+            Expr::reg(hn),
+        );
         let rec = record_value(b, Expr::reg(v));
         let set = b.assign(regs::T0, Expr::val(1));
         let taken = b.seq(&[rec, set]);
-        let won = b.if_then(Expr::reg(Reg(16)).eq(Expr::val(0)), taken);
-        let attempt = b.seq(&[stx, won]);
-        let guard = b.if_then(Expr::reg(Reg(15)).eq(Expr::reg(h)), attempt);
-        let body = b.seq(&[getv, ldx, guard]);
+        let won = b.if_then(Expr::reg(Reg(15)).eq(Expr::reg(h)), taken);
+        let body = b.seq(&[getv, cas, won]);
         b.if_then(Expr::reg(hn).ne(Expr::val(0)), body)
     };
     let branch = b.if_else(Expr::reg(h).eq(Expr::reg(t)), empty_or_help, pop_branch);

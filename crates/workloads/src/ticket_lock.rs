@@ -1,5 +1,6 @@
-//! The ticket lock (TL): fetch-and-add a ticket from `next`, spin until
-//! `owner` equals the ticket, then release by publishing `ticket + 1`.
+//! The ticket lock (TL): fetch-and-add a ticket from `next` (one
+//! `amo_add` instruction), spin until `owner` equals the ticket, then
+//! release by publishing `ticket + 1`.
 
 use crate::util::{fetch_add, regs, spin_until_eq, Checker, Workload};
 use promising_core::stmt::CodeBuilder;
@@ -16,7 +17,7 @@ pub fn ticket_lock(n: u32) -> Workload {
     let ticket = Reg(10);
     let mk = || {
         let mut b = CodeBuilder::new();
-        let take = fetch_add(&mut b, NEXT, 1, ticket, regs::T0, regs::T1);
+        let take = fetch_add(&mut b, NEXT, 1, ticket);
         let wait = spin_until_eq(&mut b, OWNER, ticket, regs::T2);
         let ld = b.load(regs::T3, Expr::val(COUNTER.0 as i64));
         let st = b.store(

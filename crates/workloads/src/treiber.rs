@@ -38,15 +38,21 @@ fn push(b: &mut CodeBuilder, tid: usize, op: usize, value: i64, acquire_head: bo
     let init = b.assign(regs::T0, Expr::val(0));
     let h = Reg(11);
     let ld = if acquire_head {
-        b.load_excl_acq(h, Expr::val(HEAD.0 as i64))
+        b.load_acq(h, Expr::val(HEAD.0 as i64))
     } else {
-        b.load_excl(h, Expr::val(HEAD.0 as i64))
+        b.load(h, Expr::val(HEAD.0 as i64))
     };
     let setnext = b.store(Expr::val(node + 1), Expr::reg(h));
-    let stx = b.store_excl_rel(regs::T1, Expr::val(HEAD.0 as i64), Expr::val(node));
+    // publish with a single release CAS: head h → node
+    let cas = b.cas_rel(
+        regs::T1,
+        Expr::val(HEAD.0 as i64),
+        Expr::reg(h),
+        Expr::val(node),
+    );
     let set = b.assign(regs::T0, Expr::val(1));
-    let won = b.if_then(Expr::reg(regs::T1).eq(Expr::val(0)), set);
-    let body = b.seq(&[ld, setnext, stx, won]);
+    let won = b.if_then(Expr::reg(regs::T1).eq(Expr::reg(h)), set);
+    let body = b.seq(&[ld, setnext, cas, won]);
     let w = b.while_loop(Expr::reg(regs::T0).eq(Expr::val(0)), body);
     b.seq(&[data, init, w])
 }
@@ -56,23 +62,28 @@ fn pop(b: &mut CodeBuilder, value_before_cas: bool) -> StmtId {
     let h = Reg(11);
     let n = Reg(12);
     let v = Reg(13);
-    let ld = b.load_excl_acq(h, Expr::val(HEAD.0 as i64));
+    let ld = b.load_acq(h, Expr::val(HEAD.0 as i64));
     let empty = b.assign(regs::T0, Expr::val(1));
     let getnext = b.load(n, Expr::reg(h).add(Expr::val(1)));
-    let stx = b.store_excl(regs::T1, Expr::val(HEAD.0 as i64), Expr::reg(n));
+    let cas = b.cas(
+        regs::T1,
+        Expr::val(HEAD.0 as i64),
+        Expr::reg(h),
+        Expr::reg(n),
+    );
     let getv = b.load(v, Expr::reg(h));
     let rec = record_value(b, Expr::reg(v));
     let set = b.assign(regs::T0, Expr::val(1));
     let taken = if value_before_cas {
         // STR flavour: read the value before attempting the CAS
         let inner = b.seq(&[rec, set]);
-        let won = b.if_then(Expr::reg(regs::T1).eq(Expr::val(0)), inner);
-        b.seq(&[getnext, getv, stx, won])
+        let won = b.if_then(Expr::reg(regs::T1).eq(Expr::reg(h)), inner);
+        b.seq(&[getnext, getv, cas, won])
     } else {
         // STC flavour: read the value only after winning the CAS
         let inner = b.seq(&[getv, rec, set]);
-        let won = b.if_then(Expr::reg(regs::T1).eq(Expr::val(0)), inner);
-        b.seq(&[getnext, stx, won])
+        let won = b.if_then(Expr::reg(regs::T1).eq(Expr::reg(h)), inner);
+        b.seq(&[getnext, cas, won])
     };
     let branch = b.if_else(Expr::reg(h).eq(Expr::val(0)), empty, taken);
     let body = b.seq(&[ld, branch]);

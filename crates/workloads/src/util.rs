@@ -1,8 +1,9 @@
-//! Shared building blocks for the §8 workloads: CAS loops, fetch-and-add,
-//! spin-acquire, and the `Workload` bundle the harness and benchmark
-//! tables consume.
+//! Shared building blocks for the §8 workloads: CAS/fetch-add atomics
+//! (single-instruction LSE/AMO RMWs, with mechanically-desugared LL/SC
+//! variants for the ablation), spin-acquire, and the `Workload` bundle
+//! the harness and benchmark tables consume.
 
-use promising_core::stmt::CodeBuilder;
+use promising_core::stmt::{desugar_program_rmws, CodeBuilder};
 use promising_core::{Config, Expr, Loc, Outcome, Program, Reg, StmtId};
 use std::fmt;
 use std::sync::Arc;
@@ -62,6 +63,23 @@ impl Workload {
             .filter_map(|o| (self.check)(o).err().map(|e| format!("{e} in [{o}]")))
             .collect()
     }
+
+    /// The LL/SC variant of this workload: every single-instruction RMW
+    /// mechanically desugared into its load-/store-exclusive retry loop
+    /// ([`desugar_program_rmws`]), with `extra_fuel` more loop budget (one
+    /// taken iteration per executed RMW at minimum — give failures room to
+    /// retry). Outcome sets are unchanged; the explored state space is the
+    /// LL/SC-vs-LSE ablation's measurement.
+    pub fn desugared(&self, extra_fuel: u32) -> Workload {
+        Workload {
+            name: format!("{}(llsc)", self.name),
+            family: self.family,
+            program: Arc::new(desugar_program_rmws(&self.program)),
+            shared: self.shared.clone(),
+            loop_fuel: self.loop_fuel + extra_fuel,
+            check: Arc::clone(&self.check),
+        }
+    }
 }
 
 impl fmt::Debug for Workload {
@@ -105,19 +123,18 @@ pub fn record_value(b: &mut CodeBuilder, v: Expr) -> StmtId {
     b.seq(&[s1, s2, s3])
 }
 
-/// Emit a bounded CAS-acquire spin: loop until `lock` is observed 0 by a
-/// load exclusive (with `acq` ordering) and the paired store exclusive of
-/// 1 succeeds. Uses `flag` as the loop flag register and `tmp`/`succ` as
-/// scratch.
-pub fn spin_lock_cas(b: &mut CodeBuilder, lock: Loc, flag: Reg, tmp: Reg, succ: Reg) -> StmtId {
+/// Emit a bounded CAS-acquire spin: loop until a single-instruction
+/// acquire CAS of `0 → 1` on `lock` succeeds (the old value lands in
+/// `old`). Uses `flag` as the loop flag register. A compare failure (lock
+/// held) retries — but unlike the LL/SC loop there is no spurious
+/// store-exclusive failure branch, so the state space is one transition
+/// per attempt.
+pub fn spin_lock_cas(b: &mut CodeBuilder, lock: Loc, flag: Reg, old: Reg) -> StmtId {
     let init = b.assign(flag, Expr::val(0));
-    let ld = b.load_excl_acq(tmp, Expr::val(lock.0 as i64));
-    let stx = b.store_excl(succ, Expr::val(lock.0 as i64), Expr::val(1));
+    let cas = b.cas_acq(old, Expr::val(lock.0 as i64), Expr::val(0), Expr::val(1));
     let set = b.assign(flag, Expr::val(1));
-    let on_success = b.if_then(Expr::reg(succ).eq(Expr::val(0)), set);
-    let try_stx = b.seq(&[stx, on_success]);
-    let if_free = b.if_then(Expr::reg(tmp).eq(Expr::val(0)), try_stx);
-    let body = b.seq(&[ld, if_free]);
+    let won = b.if_then(Expr::reg(old).eq(Expr::val(0)), set);
+    let body = b.seq(&[cas, won]);
     let w = b.while_loop(Expr::reg(flag).eq(Expr::val(0)), body);
     b.seq(&[init, w])
 }
@@ -127,21 +144,10 @@ pub fn spin_unlock(b: &mut CodeBuilder, lock: Loc) -> StmtId {
     b.store_rel(Expr::val(lock.0 as i64), Expr::val(0))
 }
 
-/// Emit a bounded fetch-and-add loop: atomically `out := loc; loc += n`
-/// via a load-exclusive/store-exclusive retry loop.
-pub fn fetch_add(b: &mut CodeBuilder, loc: Loc, n: i64, out: Reg, flag: Reg, succ: Reg) -> StmtId {
-    let init = b.assign(flag, Expr::val(0));
-    let ld = b.load_excl(out, Expr::val(loc.0 as i64));
-    let stx = b.store_excl(
-        succ,
-        Expr::val(loc.0 as i64),
-        Expr::reg(out).add(Expr::val(n)),
-    );
-    let set = b.assign(flag, Expr::val(1));
-    let on_success = b.if_then(Expr::reg(succ).eq(Expr::val(0)), set);
-    let body = b.seq(&[ld, stx, on_success]);
-    let w = b.while_loop(Expr::reg(flag).eq(Expr::val(0)), body);
-    b.seq(&[init, w])
+/// Atomically `out := loc; loc += n` — a single `amo_add` instruction
+/// (ARMv8.1 `LDADD` / RISC-V `amoadd`): one transition, no retry loop.
+pub fn fetch_add(b: &mut CodeBuilder, loc: Loc, n: i64, out: Reg) -> StmtId {
+    b.fetch_add(out, Expr::val(loc.0 as i64), Expr::val(n))
 }
 
 /// Emit a bounded spin `while (load_acq(loc) != reg) {}` (ticket-lock
@@ -174,7 +180,7 @@ mod tests {
         // completed executions must show counter = 2 and distinct tickets.
         let mk = || {
             let mut b = CodeBuilder::new();
-            let fa = fetch_add(&mut b, Loc(0), 1, regs::SUM, regs::T0, regs::T1);
+            let fa = fetch_add(&mut b, Loc(0), 1, regs::SUM);
             b.finish_seq(&[fa])
         };
         let program = Arc::new(Program::new(vec![mk(), mk()]));
@@ -195,7 +201,7 @@ mod tests {
         // ends with counter = 2.
         let mk = || {
             let mut b = CodeBuilder::new();
-            let acq = spin_lock_cas(&mut b, Loc(0), regs::T0, regs::T1, regs::T2);
+            let acq = spin_lock_cas(&mut b, Loc(0), regs::T0, regs::T1);
             let ld = b.load(regs::T3, Expr::val(1));
             let st = b.store(Expr::val(1), Expr::reg(regs::T3).add(Expr::val(1)));
             let rel = spin_unlock(&mut b, Loc(0));

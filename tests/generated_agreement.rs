@@ -7,15 +7,16 @@
 //! promising-bench --bin litmus_agreement` sweeps the full suites.
 
 use promising_core::Arch;
-use promising_litmus::{check_agreement, generate_subsample, ModelKind};
+use promising_litmus::{
+    check_agreement, generate_rmw_subsample, generate_subsample, LitmusTest, ModelKind,
+};
 
 const MODELS: [ModelKind; 3] = [ModelKind::Promising, ModelKind::Axiomatic, ModelKind::Flat];
 
-fn check_sample(arch: Arch, stride: usize, offset: usize) {
-    let tests = generate_subsample(arch, stride, offset);
+fn check_tests(arch: Arch, tests: &[LitmusTest]) {
     assert!(!tests.is_empty());
     let mut failures = Vec::new();
-    for test in &tests {
+    for test in tests {
         match check_agreement(test, &MODELS) {
             Ok(a) if a.agree => {}
             Ok(a) => failures.push(a.mismatch.unwrap_or(a.test)),
@@ -30,6 +31,10 @@ fn check_sample(arch: Arch, stride: usize, offset: usize) {
         arch.name(),
         failures.join("\n")
     );
+}
+
+fn check_sample(arch: Arch, stride: usize, offset: usize) {
+    check_tests(arch, &generate_subsample(arch, stride, offset));
 }
 
 #[test]
@@ -50,6 +55,32 @@ fn riscv_suite_sample_agrees() {
 #[test]
 fn riscv_suite_sample_agrees_alt_offset() {
     check_sample(Arch::RiscV, 7, 5);
+}
+
+#[test]
+fn arm_rmw_link_suite_sample_agrees() {
+    check_tests(Arch::Arm, &generate_rmw_subsample(Arch::Arm, 9, 0));
+}
+
+#[test]
+fn riscv_rmw_link_suite_sample_agrees() {
+    check_tests(Arch::RiscV, &generate_rmw_subsample(Arch::RiscV, 9, 4));
+}
+
+#[test]
+fn promise_first_equals_naive_on_rmw_sample() {
+    // Theorem 7.1 across the RMW cross: the promise-first search's
+    // atomic promise-and-fulfil handling of RMWs equals full
+    // interleaving.
+    for arch in [Arch::Arm, Arch::RiscV] {
+        let tests = generate_rmw_subsample(arch, 23, 2);
+        assert!(!tests.is_empty(), "{}: empty RMW sample", arch.name());
+        for test in &tests {
+            let a = check_agreement(test, &[ModelKind::Promising, ModelKind::PromisingNaive])
+                .expect("runs");
+            assert!(a.agree, "{:?}", a.mismatch);
+        }
+    }
 }
 
 #[test]

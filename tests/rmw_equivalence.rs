@@ -1,0 +1,306 @@
+//! Differential RMW battery: every single-instruction [`Stmt::Rmw`]
+//! produces *exactly* the outcome set of its canonical loadx/storex
+//! retry-loop desugaring ([`desugar_program_rmws`]), across the naive,
+//! promise-first, and Flat-lite strategies and both architectures —
+//! property-tested over ops, ordering strengths, surrounding code, and
+//! seeds. A second property checks the RMW semantics directly against
+//! the axiomatic model (the Theorem 6.1 analogue for RMW events).
+//!
+//! [`Stmt::Rmw`]: promising_core::Stmt::Rmw
+//! [`desugar_program_rmws`]: promising_core::stmt::desugar_program_rmws
+
+use promising_axiomatic::{enumerate_outcomes, AxConfig};
+use promising_core::stmt::{desugar_program_rmws, CodeBuilder, RmwOp};
+use promising_core::{
+    Arch, Config, Expr, Machine, Program, ReadKind, Reg, StmtId, ThreadCode, WriteKind,
+};
+use promising_explorer::{explore_naive, explore_promise_first, CertMode};
+use promising_flat::{explore_flat, FlatMachine};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Loop fuel for the promising-side comparisons. The desugared retry
+/// loops blow up exponentially in fuel under the naive search (that is
+/// the point of first-class RMWs); outcome sets are fuel-independent once
+/// every RMW gets one iteration, so a small bound loses no coverage.
+const FUEL: u32 = 3;
+
+/// Loop fuel for the Flat-lite comparison: Flat speculates each retry
+/// iteration (two fetch guesses per unresolved loop test), so even a
+/// single desugared CAS costs ~300k states at fuel 3. Fuel is a
+/// *per-thread* budget, so it must cover one first-try iteration per
+/// desugared RMW of the thread (at most two under
+/// [`small_program_strategy`]) — that already covers every outcome.
+const FLAT_FUEL: u32 = 2;
+
+/// One generated statement. RMW locations/values are kept tiny so the
+/// desugared retry loops stay explorable under the naive strategy.
+#[derive(Clone, Debug)]
+enum Recipe {
+    Store {
+        loc: i64,
+        val: i64,
+        release: bool,
+    },
+    Load {
+        loc: i64,
+        acquire: bool,
+    },
+    FenceSy,
+    Rmw {
+        op: usize,
+        loc: i64,
+        operand: i64,
+        expected: i64,
+        rk: usize,
+        wk: usize,
+    },
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    prop_oneof![
+        (0..2i64, 1..3i64, any::<bool>()).prop_map(|(loc, val, release)| Recipe::Store {
+            loc,
+            val,
+            release
+        }),
+        (0..2i64, any::<bool>()).prop_map(|(loc, acquire)| Recipe::Load { loc, acquire }),
+        Just(Recipe::FenceSy),
+        // over-weight RMWs: three arms so roughly half the statements are
+        // atomic updates crossing every op × strength combination
+        rmw_arm(),
+        rmw_arm(),
+        rmw_arm(),
+    ]
+}
+
+fn rmw_arm() -> impl Strategy<Value = Recipe> {
+    (
+        (0..7usize, 0..2i64),
+        (0..3i64, 0..3i64),
+        (0..3usize, 0..3usize),
+    )
+        .prop_map(|((op, loc), (operand, expected), (rk, wk))| Recipe::Rmw {
+            op,
+            loc,
+            operand,
+            expected,
+            rk,
+            wk,
+        })
+}
+
+fn read_kind(i: usize) -> ReadKind {
+    [ReadKind::Plain, ReadKind::WeakAcquire, ReadKind::Acquire][i]
+}
+
+fn write_kind(i: usize) -> WriteKind {
+    [WriteKind::Plain, WriteKind::WeakRelease, WriteKind::Release][i]
+}
+
+fn build_thread(recipes: &[Recipe]) -> ThreadCode {
+    let mut b = CodeBuilder::new();
+    let mut stmts: Vec<StmtId> = Vec::new();
+    let mut reg = 1u32;
+    for r in recipes {
+        match r {
+            Recipe::Store { loc, val, release } => {
+                stmts.push(if *release {
+                    b.store_rel(Expr::val(*loc), Expr::val(*val))
+                } else {
+                    b.store(Expr::val(*loc), Expr::val(*val))
+                });
+            }
+            Recipe::Load { loc, acquire } => {
+                let dst = Reg(reg);
+                reg += 1;
+                stmts.push(if *acquire {
+                    b.load_acq(dst, Expr::val(*loc))
+                } else {
+                    b.load(dst, Expr::val(*loc))
+                });
+            }
+            Recipe::FenceSy => stmts.push(b.dmb_sy()),
+            Recipe::Rmw {
+                op,
+                loc,
+                operand,
+                expected,
+                rk,
+                wk,
+            } => {
+                let dst = Reg(reg);
+                reg += 1;
+                let op = RmwOp::ALL[*op];
+                stmts.push(if op == RmwOp::Cas {
+                    b.cas_kind(
+                        dst,
+                        Expr::val(*loc),
+                        Expr::val(*expected),
+                        Expr::val(*operand),
+                        read_kind(*rk),
+                        write_kind(*wk),
+                    )
+                } else {
+                    b.amo_kind(
+                        op,
+                        dst,
+                        Expr::val(*loc),
+                        Expr::val(*operand),
+                        read_kind(*rk),
+                        write_kind(*wk),
+                    )
+                });
+            }
+        }
+    }
+    b.finish_seq(&stmts)
+}
+
+fn program_strategy() -> impl Strategy<Value = Vec<Vec<Recipe>>> {
+    proptest::collection::vec(proptest::collection::vec(recipe_strategy(), 1..4), 2..3)
+}
+
+/// Smaller programs for the Flat-lite and axiomatic legs (both models
+/// pay much more per statement).
+fn small_program_strategy() -> impl Strategy<Value = Vec<Vec<Recipe>>> {
+    proptest::collection::vec(proptest::collection::vec(recipe_strategy(), 1..3), 2..3)
+}
+
+fn has_rmw(recipes: &[Vec<Recipe>]) -> bool {
+    recipes
+        .iter()
+        .flatten()
+        .any(|r| matches!(r, Recipe::Rmw { .. }))
+}
+
+fn to_program(recipes: &[Vec<Recipe>]) -> Arc<Program> {
+    Arc::new(Program::new(
+        recipes.iter().map(|r| build_thread(r)).collect(),
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The headline differential property: RMW outcome sets equal the
+    /// desugared exclusive-retry-loop outcome sets under the naive and
+    /// promise-first searches, on both architectures.
+    #[test]
+    fn rmw_equals_desugared_promising(recipes in program_strategy(), riscv in any::<bool>()) {
+        let arch = if riscv { Arch::RiscV } else { Arch::Arm };
+        let program = to_program(&recipes);
+        let desugared = Arc::new(desugar_program_rmws(&program));
+        let config = Config::for_arch(arch).with_loop_fuel(FUEL);
+
+        let fast = explore_promise_first(&Machine::new(Arc::clone(&program), config.clone()));
+        let fast_d = explore_promise_first(&Machine::new(Arc::clone(&desugared), config.clone()));
+        prop_assert_eq!(
+            &fast.outcomes, &fast_d.outcomes,
+            "promise-first: rmw vs desugared mismatch on {:?} ({:?})", recipes, arch
+        );
+
+        let slow = explore_naive(
+            &Machine::new(Arc::clone(&program), config.clone()),
+            CertMode::Online,
+        );
+        prop_assert_eq!(
+            &slow.outcomes, &fast.outcomes,
+            "naive-rmw vs promise-first-rmw mismatch on {:?} ({:?})", recipes, arch
+        );
+        let slow_d = explore_naive(&Machine::new(desugared, config), CertMode::Online);
+        prop_assert_eq!(
+            &slow.outcomes, &slow_d.outcomes,
+            "naive: rmw vs desugared mismatch on {:?} ({:?})", recipes, arch
+        );
+    }
+
+    /// The same property under the Flat-lite baseline.
+    #[test]
+    fn rmw_equals_desugared_flat(recipes in small_program_strategy(), riscv in any::<bool>()) {
+        let arch = if riscv { Arch::RiscV } else { Arch::Arm };
+        let program = to_program(&recipes);
+        let desugared = Arc::new(desugar_program_rmws(&program));
+        let config = Config::for_arch(arch).with_loop_fuel(FLAT_FUEL);
+        let a = explore_flat(&FlatMachine::new(Arc::clone(&program), config.clone()));
+        let b = explore_flat(&FlatMachine::new(desugared, config));
+        prop_assert_eq!(
+            &a.outcomes, &b.outcomes,
+            "flat: rmw vs desugared mismatch on {:?} ({:?})", recipes, arch
+        );
+    }
+}
+
+proptest! {
+    // the axiomatic side enumerates rf/co candidates; keep it smaller
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Theorem 6.1 extended to RMW events: the operational RMW semantics
+    /// agrees with the axiomatic model's read-event/write-event pairs
+    /// joined by an `rmw` edge.
+    #[test]
+    fn rmw_promising_equals_axiomatic(recipes in small_program_strategy(), riscv in any::<bool>()) {
+        let arch = if riscv { Arch::RiscV } else { Arch::Arm };
+        let program = to_program(&recipes);
+        let op = explore_promise_first(&Machine::new(
+            Arc::clone(&program),
+            Config::for_arch(arch).with_loop_fuel(FUEL),
+        ));
+        let mut ax_cfg = AxConfig::new(arch);
+        ax_cfg.loop_fuel = FUEL;
+        let ax = enumerate_outcomes(&program, &ax_cfg).expect("axiomatic enumeration");
+        prop_assert_eq!(
+            &op.outcomes, &ax.outcomes,
+            "promising vs axiomatic mismatch on {:?} ({:?})", recipes, arch
+        );
+    }
+}
+
+/// Regression: an RMW whose operand references its own destination
+/// register sees the *old value* there (the desugared load writes `dst`
+/// before the data expression evaluates) — in every model. The Flat-lite
+/// machine once evaluated the operand against the stale pre-RMW register
+/// value instead.
+#[test]
+fn self_referential_operand_sees_old_value_in_every_model() {
+    let mut b = CodeBuilder::new();
+    let pre = b.assign(Reg(1), Expr::val(5));
+    let add = b.fetch_add(Reg(1), Expr::val(0), Expr::reg(Reg(1)));
+    let t0 = b.finish_seq(&[pre, add]);
+    let program = Arc::new(Program::new(vec![t0]));
+    let config = Config::arm().with_loop_fuel(FUEL);
+    let naive = explore_naive(
+        &Machine::new(Arc::clone(&program), config.clone()),
+        CertMode::Online,
+    );
+    // dst = old = 0, operand = dst = 0, so x stays 0 (not 0 + stale 5)
+    assert!(naive
+        .outcomes
+        .iter()
+        .all(|o| o.loc(promising_core::Loc(0)) == promising_core::Val(0)));
+    let flat = explore_flat(&FlatMachine::new(Arc::clone(&program), config));
+    assert_eq!(
+        naive.outcomes, flat.outcomes,
+        "flat diverges on dst-in-operand"
+    );
+    let ax = enumerate_outcomes(&program, &AxConfig::new(Arch::Arm)).expect("enumeration");
+    assert_eq!(
+        naive.outcomes, ax.outcomes,
+        "axiomatic diverges on dst-in-operand"
+    );
+}
+
+/// A deterministic sanity check that the generator actually produces RMWs
+/// (the properties above would pass vacuously otherwise).
+#[test]
+fn battery_contains_rmws() {
+    let mut rng = proptest::TestRng::new(proptest::seed_for("battery_contains_rmws"));
+    let strat = program_strategy();
+    let mut seen = 0;
+    for _ in 0..50 {
+        if has_rmw(&strat.sample(&mut rng)) {
+            seen += 1;
+        }
+    }
+    assert!(seen >= 25, "only {seen}/50 sampled programs contain an RMW");
+}

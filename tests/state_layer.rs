@@ -221,27 +221,6 @@ fn budget_entry_points_agree_with_unbounded_on_catalogue() {
     }
 }
 
-#[test]
-#[allow(deprecated)]
-fn deprecated_shims_still_run_the_engine() {
-    let test = promising_litmus::by_name("MP+dmb.sy+addr").expect("catalogue test");
-    let m = machine_for(&test, config_for(&test));
-    let budget = explore_promise_first_budget(&m, SearchBudget::UNBOUNDED);
-    assert_eq!(
-        promising_explorer::explore_promise_first_deadline(&m, None).outcomes,
-        budget.outcomes
-    );
-    assert_eq!(
-        promising_explorer::explore_naive_deadline(&m, CertMode::Online, None).outcomes,
-        budget.outcomes
-    );
-    let fm = FlatMachine::with_init(test.program.clone(), config_for(&test), test.init.clone());
-    assert_eq!(
-        promising_flat::explore_flat_deadline(&fm, u64::MAX, None).outcomes,
-        promising_flat::explore_flat_bounded(&fm, u64::MAX).outcomes
-    );
-}
-
 /// Sampling seeds vary per test so one lucky seed cannot hide a strategy
 /// bug across the whole catalogue.
 const SAMPLE_TRACES: u64 = 24;
