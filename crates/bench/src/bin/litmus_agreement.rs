@@ -14,8 +14,9 @@
 
 use promising_core::Arch;
 use promising_litmus::{
-    catalogue, check_agreement, generate_rmw_subsample, generate_subsample, generate_suite,
-    generate_three_thread_suite, ModelKind,
+    catalogue, check_agreement, check_lang_conformance, generate_lang_subsample,
+    generate_lang_suite, generate_rmw_subsample, generate_subsample, generate_suite,
+    generate_three_thread_suite, lang_catalogue, ModelKind,
 };
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -92,6 +93,32 @@ fn main() {
         }
         total += tests.len();
     }
+
+    // The language-level corpus: conformance is stricter than agreement —
+    // outcome sets must also coincide *across architectures* (each test
+    // compiles to both ARM and RISC-V). The named language catalogue is
+    // always kept in full; the generated language corpus is strided.
+    let mut lang_tests = lang_catalogue();
+    let have: BTreeSet<String> = lang_tests.iter().map(|t| t.name.clone()).collect();
+    lang_tests.extend(
+        match subsample {
+            Some(stride) => generate_lang_subsample(stride, 0),
+            None => generate_lang_suite(),
+        }
+        .into_iter()
+        // part (c) of the generated suite re-derives some named RMW
+        // catalogue shapes; don't check them twice
+        .filter(|t| !have.contains(&t.name)),
+    );
+    println!("lang: {} tests (×2 architectures)", lang_tests.len());
+    for test in &lang_tests {
+        match check_lang_conformance(test, &models) {
+            Ok(c) if c.agree => {}
+            Ok(c) => disagreements.push(c.mismatch.unwrap_or(c.test)),
+            Err(e) => disagreements.push(format!("{test}: {e}")),
+        }
+    }
+    total += lang_tests.len();
 
     println!(
         "\nchecked {total} litmus tests under {:?} in {:.1}s",

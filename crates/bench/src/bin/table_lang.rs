@@ -1,0 +1,184 @@
+//! Language-level conformance table: every test of the language corpus
+//! (named catalogue + generated suite) compiled to ARM *and* RISC-V and
+//! run under the promising, axiomatic, and Flat models — reporting
+//! per-architecture state counts and outcome-set sizes, and failing on
+//! any cross-model or cross-architecture disagreement or expectation
+//! mismatch.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p promising-bench --bin table_lang -- \
+//!     [--subsample STRIDE] [--catalogue-only] [--json PATH]
+//! ```
+//!
+//! * `--subsample STRIDE` — keep every `STRIDE`-th generated test (the
+//!   named language catalogue is always kept in full);
+//! * `--catalogue-only` — skip the generated suite entirely;
+//! * `--json PATH` — write a machine-readable snapshot.
+
+use promising_bench::Table;
+use promising_core::Arch;
+use promising_litmus::{
+    check_lang_conformance, generate_lang_subsample, generate_lang_suite, lang_catalogue,
+    Expectation, LangTest, ModelKind,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const MODELS: [ModelKind; 3] = [ModelKind::Promising, ModelKind::Axiomatic, ModelKind::Flat];
+
+fn main() {
+    let mut subsample: Option<usize> = None;
+    let mut catalogue_only = false;
+    let mut json: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--subsample" => {
+                subsample = Some(
+                    it.next()
+                        .and_then(|n| n.parse().ok())
+                        .expect("--subsample needs a stride"),
+                )
+            }
+            "--catalogue-only" => catalogue_only = true,
+            "--json" => json = Some(it.next().expect("--json needs a path")),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let mut corpus: Vec<(bool, LangTest)> =
+        lang_catalogue().into_iter().map(|t| (true, t)).collect();
+    if !catalogue_only {
+        let have: std::collections::BTreeSet<String> =
+            corpus.iter().map(|(_, t)| t.name.clone()).collect();
+        let generated = match subsample {
+            Some(stride) => generate_lang_subsample(stride, 0),
+            None => generate_lang_suite(),
+        };
+        // part (c) of the generated suite re-derives some named RMW
+        // catalogue shapes; keep one row per name
+        corpus.extend(
+            generated
+                .into_iter()
+                .filter(|t| !have.contains(&t.name))
+                .map(|t| (false, t)),
+        );
+    }
+
+    let start = Instant::now();
+    let mut table = Table::new(&[
+        "test",
+        "kind",
+        "arm-states",
+        "riscv-states",
+        "outcomes",
+        "agree",
+        "verdict",
+    ]);
+    let mut failures = Vec::new();
+    let mut json_rows = Vec::new();
+
+    for (named, test) in &corpus {
+        let c = match check_lang_conformance(test, &MODELS) {
+            Ok(c) => c,
+            Err(e) => {
+                failures.push(format!("{test}: {e}"));
+                continue;
+            }
+        };
+        if !c.agree {
+            failures.push(c.mismatch.clone().unwrap_or_else(|| c.test.clone()));
+        }
+        let states_of = |arch: Arch| {
+            c.runs
+                .iter()
+                .find(|(a, r)| *a == arch && r.kind == ModelKind::Promising)
+                .map(|(_, r)| r.states)
+                .unwrap_or(0)
+        };
+        let outcomes = c.runs.first().map(|(_, r)| r.outcomes.len()).unwrap_or(0);
+        let verdict = if test.expect.is_some() {
+            // evaluate the condition on the runs conformance already
+            // produced — no re-exploration
+            let ok = [Arch::Arm, Arch::RiscV].iter().all(|&arch| {
+                c.runs
+                    .iter()
+                    .find(|(a, r)| *a == arch && r.kind == ModelKind::Promising)
+                    .map(|(_, r)| {
+                        test.condition.holds(&r.outcomes)
+                            == (test.expect == Some(Expectation::Allowed))
+                    })
+                    .unwrap_or(false)
+            });
+            if !ok {
+                failures.push(format!("{}: expectation mismatch", test.name));
+            }
+            if ok {
+                "ok"
+            } else {
+                "MISMATCH"
+            }
+        } else {
+            "-"
+        };
+        // only catalogue rows go in the rendered table (the generated
+        // suite is hundreds of rows); everything lands in the JSON
+        if *named {
+            table.row(&[
+                test.name.clone(),
+                "catalogue".into(),
+                states_of(Arch::Arm).to_string(),
+                states_of(Arch::RiscV).to_string(),
+                outcomes.to_string(),
+                c.agree.to_string(),
+                verdict.to_string(),
+            ]);
+        }
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            "{{\"test\":\"{}\",\"named\":{},\"arm_states\":{},\"riscv_states\":{},\"outcomes\":{},\"agree\":{},\"verdict\":\"{}\"}}",
+            test.name,
+            named,
+            states_of(Arch::Arm),
+            states_of(Arch::RiscV),
+            outcomes,
+            c.agree,
+            verdict
+        );
+        json_rows.push(row);
+    }
+
+    println!("{}", table.render());
+    println!(
+        "checked {} language tests ({} named + {} generated) × {:?} × [arm, riscv] in {:.1}s",
+        corpus.len(),
+        corpus.iter().filter(|(n, _)| *n).count(),
+        corpus.iter().filter(|(n, _)| !*n).count(),
+        MODELS.map(|m| m.name()),
+        start.elapsed().as_secs_f64()
+    );
+
+    if let Some(path) = json {
+        let body = format!(
+            "{{\"total\":{},\"secs\":{:.3},\"rows\":[\n{}\n]}}\n",
+            corpus.len(),
+            start.elapsed().as_secs_f64(),
+            json_rows.join(",\n")
+        );
+        std::fs::write(&path, body).expect("write json snapshot");
+        println!("wrote {path}");
+    }
+
+    if failures.is_empty() {
+        println!("all compilations conform: identical outcome sets on ARM and RISC-V");
+    } else {
+        println!("{} FAILURES:", failures.len());
+        for f in &failures {
+            println!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

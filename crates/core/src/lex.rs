@@ -1,0 +1,446 @@
+//! Shared lexing and expression parsing for the textual frontends.
+//!
+//! Both the hardware-level statement parser ([`crate::parser`]) and the
+//! language-level atomics frontend (`promising-lang`) consume the same
+//! token stream and expression grammar; this module hosts the pieces they
+//! share: the tokenizer, the [`LocTable`] interning location names, the
+//! [`ParseError`] type, and a [`Tokens`] cursor with the expression
+//! grammar (`==`/`!=`/`<`/`<=` over `+`/`-` over `*`/`%`/`&`/`|`/`^`/
+//! infix `max` over atoms).
+
+use crate::expr::{Expr, Op};
+use crate::ids::{Loc, Reg};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maps location names to addresses, assigning fresh consecutive addresses
+/// on first use. Shared across the threads of one program so that `x`
+/// means the same address everywhere.
+#[derive(Clone, Debug, Default)]
+pub struct LocTable {
+    by_name: BTreeMap<String, Loc>,
+    next: u64,
+}
+
+impl LocTable {
+    /// Empty table.
+    pub fn new() -> LocTable {
+        LocTable::default()
+    }
+
+    /// The address of `name`, allocating one if new.
+    pub fn intern(&mut self, name: &str) -> Loc {
+        if let Some(&l) = self.by_name.get(name) {
+            return l;
+        }
+        let l = Loc(self.next);
+        self.next += 1;
+        self.by_name.insert(name.to_string(), l);
+        l
+    }
+
+    /// The address of `name`, if already interned.
+    pub fn get(&self, name: &str) -> Option<Loc> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Reverse lookup: the name of an address, if any.
+    pub fn name_of(&self, loc: Loc) -> Option<&str> {
+        self.by_name
+            .iter()
+            .find(|(_, &l)| l == loc)
+            .map(|(n, _)| n.as_str())
+    }
+
+    /// All (name, location) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Loc)> {
+        self.by_name.iter().map(|(n, &l)| (n.as_str(), l))
+    }
+}
+
+/// A parse error with a human-readable message and the offending line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Identifier (keywords, registers, location names; may contain `.`).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Punctuation / operator.
+    Sym(&'static str),
+}
+
+/// A token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Located {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line it starts on.
+    pub line: usize,
+}
+
+/// Tokenize a source fragment. `//` starts a line comment; every
+/// non-empty line contributes an implicit `;` separator at its end.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed literals or unknown characters.
+pub fn tokenize(src: &str) -> Result<Vec<Located>, ParseError> {
+    let mut out = Vec::new();
+    for (lno, raw_line) in src.lines().enumerate() {
+        let line = lno + 1;
+        let code = raw_line.split("//").next().unwrap_or("");
+        let mut chars = code.char_indices().peekable();
+        let mut line_had_token = false;
+        while let Some(&(i, c)) = chars.peek() {
+            if c.is_whitespace() {
+                chars.next();
+                continue;
+            }
+            line_had_token = true;
+            if c.is_ascii_digit()
+                || (c == '-' && {
+                    // unary minus before a digit, only in operand position
+                    let mut it = chars.clone();
+                    it.next();
+                    matches!(it.peek(), Some(&(_, d)) if d.is_ascii_digit())
+                        && matches!(
+                            out.last(),
+                            None | Some(Located {
+                                tok: Tok::Sym(_),
+                                ..
+                            })
+                        )
+                })
+            {
+                let start = i;
+                chars.next();
+                while let Some(&(_, d)) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let end = chars.peek().map(|&(j, _)| j).unwrap_or(code.len());
+                let text = &code[start..end];
+                let v = text.parse::<i64>().map_err(|_| ParseError {
+                    message: format!("bad integer literal `{text}`"),
+                    line,
+                })?;
+                out.push(Located {
+                    tok: Tok::Int(v),
+                    line,
+                });
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                chars.next();
+                while let Some(&(_, d)) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '.' {
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let end = chars.peek().map(|&(j, _)| j).unwrap_or(code.len());
+                out.push(Located {
+                    tok: Tok::Ident(code[start..end].to_string()),
+                    line,
+                });
+            } else {
+                let two: Option<&'static str> = {
+                    let rest = &code[i..];
+                    ["==", "!=", "<="].into_iter().find(|s| rest.starts_with(s))
+                };
+                if let Some(sym) = two {
+                    chars.next();
+                    chars.next();
+                    out.push(Located {
+                        tok: Tok::Sym(sym),
+                        line,
+                    });
+                } else {
+                    let sym = match c {
+                        '=' => "=",
+                        ';' => ";",
+                        ',' => ",",
+                        '(' => "(",
+                        ')' => ")",
+                        '{' => "{",
+                        '}' => "}",
+                        '+' => "+",
+                        '-' => "-",
+                        '*' => "*",
+                        '%' => "%",
+                        '&' => "&",
+                        '|' => "|",
+                        '^' => "^",
+                        '<' => "<",
+                        _ => {
+                            return Err(ParseError {
+                                message: format!("unexpected character `{c}`"),
+                                line,
+                            })
+                        }
+                    };
+                    chars.next();
+                    out.push(Located {
+                        tok: Tok::Sym(sym),
+                        line,
+                    });
+                }
+            }
+        }
+        if line_had_token {
+            // implicit statement separator at end of line
+            out.push(Located {
+                tok: Tok::Sym(";"),
+                line,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Parse `rN` register names.
+pub fn parse_reg(id: &str) -> Option<Reg> {
+    let digits = id.strip_prefix('r')?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse::<u32>().ok().map(Reg)
+}
+
+/// A cursor over a token stream, with the shared expression grammar.
+/// Identifiers in expressions resolve to registers (`rN`) or are interned
+/// as memory locations in the supplied [`LocTable`].
+#[derive(Debug)]
+pub struct Tokens {
+    toks: Vec<Located>,
+    pos: usize,
+}
+
+impl Tokens {
+    /// Tokenize `src` into a fresh cursor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on lexical errors.
+    pub fn new(src: &str) -> Result<Tokens, ParseError> {
+        Ok(Tokens {
+            toks: tokenize(src)?,
+            pos: 0,
+        })
+    }
+
+    /// A parse error located at the current token (or the last line).
+    pub fn err(&self, msg: impl Into<String>) -> ParseError {
+        let line = self
+            .toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0);
+        ParseError {
+            message: msg.into(),
+            line,
+        }
+    }
+
+    /// The next token, without consuming it.
+    pub fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    /// The token `n` places ahead of the cursor (`peek_ahead(0)` =
+    /// [`Tokens::peek`]), without consuming anything.
+    pub fn peek_ahead(&self, n: usize) -> Option<&Tok> {
+        self.toks.get(self.pos + n).map(|t| &t.tok)
+    }
+
+    /// Consume and return the next token. (Not an [`Iterator`]: parsers
+    /// interleave this with `peek`/`expect_sym` cursor movement.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume one token without looking at it (after a successful peek).
+    pub fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    /// Whether every token has been consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos == self.toks.len()
+    }
+
+    /// Consume the symbol `s` or fail.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] naming the expected symbol.
+    pub fn expect_sym(&mut self, s: &'static str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Tok::Sym(t)) if *t == s => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{s}`, found {other:?}"))),
+        }
+    }
+
+    /// Consume the symbol `s` if it is next.
+    pub fn eat_sym(&mut self, s: &'static str) -> bool {
+        match self.peek() {
+            Some(Tok::Sym(t)) if *t == s => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Skip any run of statement separators.
+    pub fn skip_semis(&mut self) {
+        while matches!(self.peek(), Some(Tok::Sym(";"))) {
+            self.pos += 1;
+        }
+    }
+
+    /// Parse a full expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed input.
+    pub fn expr(&mut self, locs: &mut LocTable) -> Result<Expr, ParseError> {
+        let lhs = self.additive(locs)?;
+        let op = match self.peek() {
+            Some(Tok::Sym("==")) => Some(Op::Eq),
+            Some(Tok::Sym("!=")) => Some(Op::Ne),
+            Some(Tok::Sym("<")) => Some(Op::Lt),
+            Some(Tok::Sym("<=")) => Some(Op::Le),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.additive(locs)?;
+            Ok(Expr::binop(op, lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn additive(&mut self, locs: &mut LocTable) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative(locs)?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Sym("+")) => Op::Add,
+                Some(Tok::Sym("-")) => Op::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.multiplicative(locs)?;
+            lhs = Expr::binop(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self, locs: &mut LocTable) -> Result<Expr, ParseError> {
+        let mut lhs = self.atom(locs)?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Sym("*")) => Op::Mul,
+                Some(Tok::Sym("%")) => Op::Mod,
+                Some(Tok::Sym("&")) => Op::BitAnd,
+                Some(Tok::Sym("|")) => Op::BitOr,
+                Some(Tok::Sym("^")) => Op::BitXor,
+                // `max` in operator position (after an operand)
+                Some(Tok::Ident(id)) if id == "max" => Op::Max,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.atom(locs)?;
+            lhs = Expr::binop(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn atom(&mut self, locs: &mut LocTable) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Expr::val(v)),
+            Some(Tok::Ident(id)) => {
+                if let Some(r) = parse_reg(&id) {
+                    Ok(Expr::reg(r))
+                } else {
+                    let loc = locs.intern(&id);
+                    Ok(Expr::val(loc.0 as i64))
+                }
+            }
+            Some(Tok::Sym("(")) => {
+                let e = self.expr(locs)?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_tracks_lines_and_inserts_separators() {
+        let toks = tokenize("a = 1\nb = 2").unwrap();
+        // a = 1 ; b = 2 ;
+        assert_eq!(toks.len(), 8);
+        assert_eq!(toks[3].line, 1);
+        assert!(matches!(toks[3].tok, Tok::Sym(";")));
+        assert_eq!(toks[4].line, 2);
+    }
+
+    #[test]
+    fn dotted_identifiers_lex_as_one_token() {
+        let toks = tokenize("dmb.sy").unwrap();
+        assert!(matches!(&toks[0].tok, Tok::Ident(s) if s == "dmb.sy"));
+    }
+
+    #[test]
+    fn expr_grammar_resolves_registers_and_locations() {
+        let mut locs = LocTable::new();
+        let mut t = Tokens::new("x + (r1 - r1)").unwrap();
+        t.skip_semis();
+        let e = t.expr(&mut locs).unwrap();
+        assert_eq!(e.registers(), vec![Reg(1)]);
+        assert_eq!(locs.get("x"), Some(Loc(0)));
+    }
+
+    #[test]
+    fn unary_minus_only_in_operand_position() {
+        let toks = tokenize("r1 - 5").unwrap();
+        assert!(matches!(toks[1].tok, Tok::Sym("-")));
+        let toks = tokenize("-5").unwrap();
+        assert!(matches!(toks[0].tok, Tok::Int(-5)));
+    }
+}

@@ -54,6 +54,7 @@ pub mod config;
 pub mod expr;
 pub mod fingerprint;
 pub mod ids;
+pub mod lex;
 pub mod machine;
 pub mod memory;
 pub mod outcome;
@@ -69,6 +70,7 @@ pub use config::{Arch, Config, SharedLocs};
 pub use expr::{Expr, Op};
 pub use fingerprint::{Fingerprint, FpBuildHasher, FpHashMap, FpHasher, FpIdentityHasher};
 pub use ids::{Loc, Reg, TId, Timestamp, Val, View};
+pub use lex::{LocTable, Tokens};
 pub use machine::{
     apply_step, enabled_steps, Cont, Machine, StateKey, StepError, StepEvent, ThreadInstance,
     Transition, TransitionKind,

@@ -20,76 +20,17 @@
 //! Identifiers that are not registers (`rN`) denote memory locations and
 //! are assigned consecutive addresses by a [`LocTable`]; threads of a
 //! program are separated by lines containing only `---`.
+//!
+//! Tokenization and the expression grammar are shared with the
+//! language-level atomics frontend (`promising-lang`) via [`crate::lex`].
 
-use crate::expr::{Expr, Op};
-use crate::ids::{Loc, Reg};
+use crate::ids::Reg;
+use crate::lex::{Tok, Tokens};
 use crate::stmt::{
     AccessSet, CodeBuilder, Fence, Program, ReadKind, RmwOp, StmtId, ThreadCode, WriteKind,
 };
-use std::collections::BTreeMap;
-use std::fmt;
 
-/// Maps location names to addresses, assigning fresh consecutive addresses
-/// on first use. Shared across the threads of one program so that `x`
-/// means the same address everywhere.
-#[derive(Clone, Debug, Default)]
-pub struct LocTable {
-    by_name: BTreeMap<String, Loc>,
-    next: u64,
-}
-
-impl LocTable {
-    /// Empty table.
-    pub fn new() -> LocTable {
-        LocTable::default()
-    }
-
-    /// The address of `name`, allocating one if new.
-    pub fn intern(&mut self, name: &str) -> Loc {
-        if let Some(&l) = self.by_name.get(name) {
-            return l;
-        }
-        let l = Loc(self.next);
-        self.next += 1;
-        self.by_name.insert(name.to_string(), l);
-        l
-    }
-
-    /// The address of `name`, if already interned.
-    pub fn get(&self, name: &str) -> Option<Loc> {
-        self.by_name.get(name).copied()
-    }
-
-    /// Reverse lookup: the name of an address, if any.
-    pub fn name_of(&self, loc: Loc) -> Option<&str> {
-        self.by_name
-            .iter()
-            .find(|(_, &l)| l == loc)
-            .map(|(n, _)| n.as_str())
-    }
-
-    /// All (name, location) pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, Loc)> {
-        self.by_name.iter().map(|(n, &l)| (n.as_str(), l))
-    }
-}
-
-/// A parse error with a human-readable message and the offending line.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct ParseError {
-    /// What went wrong.
-    pub message: String,
-    /// 1-based source line.
-    pub line: usize,
-}
-
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.message)
-    }
-}
-
-impl std::error::Error for ParseError {}
+pub use crate::lex::{parse_reg, LocTable, ParseError};
 
 /// Parse a whole program: thread sources separated by `---` lines. Returns
 /// the program and the location table used.
@@ -126,205 +67,41 @@ fn split_threads(src: &str) -> Vec<String> {
 ///
 /// Returns a [`ParseError`] on malformed input.
 pub fn parse_thread(src: &str, locs: &mut LocTable) -> Result<ThreadCode, ParseError> {
-    let tokens = tokenize(src)?;
     let mut p = Parser {
-        tokens,
-        pos: 0,
+        tokens: Tokens::new(src)?,
         builder: CodeBuilder::new(),
         locs,
     };
     let stmts = p.stmt_list(None)?;
-    if p.pos != p.tokens.len() {
-        return Err(p.err("trailing input"));
+    if !p.tokens.at_end() {
+        return Err(p.tokens.err("trailing input"));
     }
     let mut b = p.builder;
     let entry = b.seq(&stmts);
     Ok(b.finish(entry))
 }
 
-#[derive(Clone, PartialEq, Eq, Debug)]
-enum Tok {
-    Ident(String),
-    Int(i64),
-    Sym(&'static str),
-}
-
-struct Located {
-    tok: Tok,
-    line: usize,
-}
-
-fn tokenize(src: &str) -> Result<Vec<Located>, ParseError> {
-    let mut out = Vec::new();
-    for (lno, raw_line) in src.lines().enumerate() {
-        let line = lno + 1;
-        let code = raw_line.split("//").next().unwrap_or("");
-        let mut chars = code.char_indices().peekable();
-        let mut line_had_token = false;
-        while let Some(&(i, c)) = chars.peek() {
-            if c.is_whitespace() {
-                chars.next();
-                continue;
-            }
-            line_had_token = true;
-            if c.is_ascii_digit()
-                || (c == '-' && {
-                    // unary minus before a digit, only in operand position
-                    let mut it = chars.clone();
-                    it.next();
-                    matches!(it.peek(), Some(&(_, d)) if d.is_ascii_digit())
-                        && matches!(
-                            out.last(),
-                            None | Some(Located {
-                                tok: Tok::Sym(_),
-                                ..
-                            })
-                        )
-                })
-            {
-                let start = i;
-                chars.next();
-                while let Some(&(_, d)) = chars.peek() {
-                    if d.is_ascii_digit() {
-                        chars.next();
-                    } else {
-                        break;
-                    }
-                }
-                let end = chars.peek().map(|&(j, _)| j).unwrap_or(code.len());
-                let text = &code[start..end];
-                let v = text.parse::<i64>().map_err(|_| ParseError {
-                    message: format!("bad integer literal `{text}`"),
-                    line,
-                })?;
-                out.push(Located {
-                    tok: Tok::Int(v),
-                    line,
-                });
-            } else if c.is_ascii_alphabetic() || c == '_' {
-                let start = i;
-                chars.next();
-                while let Some(&(_, d)) = chars.peek() {
-                    if d.is_ascii_alphanumeric() || d == '_' || d == '.' {
-                        chars.next();
-                    } else {
-                        break;
-                    }
-                }
-                let end = chars.peek().map(|&(j, _)| j).unwrap_or(code.len());
-                out.push(Located {
-                    tok: Tok::Ident(code[start..end].to_string()),
-                    line,
-                });
-            } else {
-                let two: Option<&'static str> = {
-                    let rest = &code[i..];
-                    ["==", "!=", "<="].into_iter().find(|s| rest.starts_with(s))
-                };
-                if let Some(sym) = two {
-                    chars.next();
-                    chars.next();
-                    out.push(Located {
-                        tok: Tok::Sym(sym),
-                        line,
-                    });
-                } else {
-                    let sym = match c {
-                        '=' => "=",
-                        ';' => ";",
-                        ',' => ",",
-                        '(' => "(",
-                        ')' => ")",
-                        '{' => "{",
-                        '}' => "}",
-                        '+' => "+",
-                        '-' => "-",
-                        '*' => "*",
-                        '%' => "%",
-                        '&' => "&",
-                        '|' => "|",
-                        '^' => "^",
-                        '<' => "<",
-                        _ => {
-                            return Err(ParseError {
-                                message: format!("unexpected character `{c}`"),
-                                line,
-                            })
-                        }
-                    };
-                    chars.next();
-                    out.push(Located {
-                        tok: Tok::Sym(sym),
-                        line,
-                    });
-                }
-            }
-        }
-        if line_had_token {
-            // implicit statement separator at end of line
-            out.push(Located {
-                tok: Tok::Sym(";"),
-                line,
-            });
-        }
-    }
-    Ok(out)
-}
-
 struct Parser<'a> {
-    tokens: Vec<Located>,
-    pos: usize,
+    tokens: Tokens,
     builder: CodeBuilder,
     locs: &'a mut LocTable,
 }
 
 impl Parser<'_> {
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        let line = self
-            .tokens
-            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
-            .map(|t| t.line)
-            .unwrap_or(0);
-        ParseError {
-            message: msg.into(),
-            line,
-        }
+        self.tokens.err(msg)
     }
 
-    fn peek(&self) -> Option<&Tok> {
-        self.tokens.get(self.pos).map(|t| &t.tok)
-    }
-
-    fn next(&mut self) -> Option<Tok> {
-        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
-        if t.is_some() {
-            self.pos += 1;
-        }
-        t
-    }
-
-    fn expect_sym(&mut self, s: &'static str) -> Result<(), ParseError> {
-        match self.peek() {
-            Some(Tok::Sym(t)) if *t == s => {
-                self.pos += 1;
-                Ok(())
-            }
-            other => Err(self.err(format!("expected `{s}`, found {other:?}"))),
-        }
-    }
-
-    fn skip_semis(&mut self) {
-        while matches!(self.peek(), Some(Tok::Sym(";"))) {
-            self.pos += 1;
-        }
+    fn expr(&mut self) -> Result<crate::expr::Expr, ParseError> {
+        self.tokens.expr(self.locs)
     }
 
     /// Parse statements until `end` (a closing brace) or end of input.
     fn stmt_list(&mut self, end: Option<&'static str>) -> Result<Vec<StmtId>, ParseError> {
         let mut out = Vec::new();
         loop {
-            self.skip_semis();
-            match (self.peek(), end) {
+            self.tokens.skip_semis();
+            match (self.tokens.peek(), end) {
                 (None, None) => break,
                 (None, Some(e)) => return Err(self.err(format!("expected `{e}`"))),
                 (Some(Tok::Sym(s)), Some(e)) if *s == e => break,
@@ -335,58 +112,59 @@ impl Parser<'_> {
     }
 
     fn block(&mut self) -> Result<StmtId, ParseError> {
-        self.expect_sym("{")?;
+        self.tokens.expect_sym("{")?;
         let stmts = self.stmt_list(Some("}"))?;
-        self.expect_sym("}")?;
+        self.tokens.expect_sym("}")?;
         Ok(self.builder.seq(&stmts))
     }
 
     fn stmt(&mut self) -> Result<StmtId, ParseError> {
-        let tok = self.peek().cloned();
+        let tok = self.tokens.peek().cloned();
         match tok {
             Some(Tok::Ident(id)) => match id.as_str() {
                 "skip" => {
-                    self.pos += 1;
+                    self.tokens.bump();
                     Ok(self.builder.skip())
                 }
                 "dmb.sy" => {
-                    self.pos += 1;
+                    self.tokens.bump();
                     Ok(self.builder.dmb_sy())
                 }
                 "dmb.ld" => {
-                    self.pos += 1;
+                    self.tokens.bump();
                     Ok(self.builder.dmb_ld())
                 }
                 "dmb.st" => {
-                    self.pos += 1;
+                    self.tokens.bump();
                     Ok(self.builder.dmb_st())
                 }
                 "isb" => {
-                    self.pos += 1;
+                    self.tokens.bump();
                     Ok(self.builder.isb())
                 }
                 "fence.tso" => {
-                    self.pos += 1;
+                    self.tokens.bump();
                     Ok(self.builder.fence_tso())
                 }
                 "fence" => {
-                    self.pos += 1;
-                    self.expect_sym("(")?;
+                    self.tokens.bump();
+                    self.tokens.expect_sym("(")?;
                     let k1 = self.access_set()?;
-                    self.expect_sym(",")?;
+                    self.tokens.expect_sym(",")?;
                     let k2 = self.access_set()?;
-                    self.expect_sym(")")?;
+                    self.tokens.expect_sym(")")?;
                     Ok(self.builder.fence(Fence { pre: k1, post: k2 }))
                 }
                 "if" => {
-                    self.pos += 1;
-                    self.expect_sym("(")?;
+                    self.tokens.bump();
+                    self.tokens.expect_sym("(")?;
                     let cond = self.expr()?;
-                    self.expect_sym(")")?;
+                    self.tokens.expect_sym(")")?;
                     let then_b = self.block()?;
-                    self.skip_semis();
-                    let else_b = if matches!(self.peek(), Some(Tok::Ident(k)) if k == "else") {
-                        self.pos += 1;
+                    self.tokens.skip_semis();
+                    let else_b = if matches!(self.tokens.peek(), Some(Tok::Ident(k)) if k == "else")
+                    {
+                        self.tokens.bump();
                         self.block()?
                     } else {
                         self.builder.skip()
@@ -394,21 +172,21 @@ impl Parser<'_> {
                     Ok(self.builder.if_else(cond, then_b, else_b))
                 }
                 "while" => {
-                    self.pos += 1;
-                    self.expect_sym("(")?;
+                    self.tokens.bump();
+                    self.tokens.expect_sym("(")?;
                     let cond = self.expr()?;
-                    self.expect_sym(")")?;
+                    self.tokens.expect_sym(")")?;
                     let body = self.block()?;
                     Ok(self.builder.while_loop(cond, body))
                 }
                 s if store_kind(s).is_some() => {
                     let (wk, _xcl) = store_kind(s).expect("checked");
-                    self.pos += 1;
-                    self.expect_sym("(")?;
+                    self.tokens.bump();
+                    self.tokens.expect_sym("(")?;
                     let addr = self.expr()?;
-                    self.expect_sym(",")?;
+                    self.tokens.expect_sym(",")?;
                     let data = self.expr()?;
-                    self.expect_sym(")")?;
+                    self.tokens.expect_sym(")")?;
                     // bare store form: non-exclusive only
                     if s.starts_with("storex") {
                         return Err(
@@ -426,8 +204,8 @@ impl Parser<'_> {
                     let reg = parse_reg(&id).ok_or_else(|| {
                         self.err(format!("expected statement, found identifier `{id}`"))
                     })?;
-                    self.pos += 1;
-                    self.expect_sym("=")?;
+                    self.tokens.bump();
+                    self.tokens.expect_sym("=")?;
                     self.rhs(reg)
                 }
             },
@@ -436,40 +214,40 @@ impl Parser<'_> {
     }
 
     fn rhs(&mut self, reg: Reg) -> Result<StmtId, ParseError> {
-        if let Some(Tok::Ident(id)) = self.peek().cloned() {
+        if let Some(Tok::Ident(id)) = self.tokens.peek().cloned() {
             if let Some((rk, xcl)) = load_kind(&id) {
-                self.pos += 1;
-                self.expect_sym("(")?;
+                self.tokens.bump();
+                self.tokens.expect_sym("(")?;
                 let addr = self.expr()?;
-                self.expect_sym(")")?;
+                self.tokens.expect_sym(")")?;
                 return Ok(self.builder.load_kind(reg, addr, rk, xcl));
             }
             if let Some((wk, true)) = store_kind(&id) {
-                self.pos += 1;
-                self.expect_sym("(")?;
+                self.tokens.bump();
+                self.tokens.expect_sym("(")?;
                 let addr = self.expr()?;
-                self.expect_sym(",")?;
+                self.tokens.expect_sym(",")?;
                 let data = self.expr()?;
-                self.expect_sym(")")?;
+                self.tokens.expect_sym(")")?;
                 return Ok(self.builder.store_kind(reg, addr, data, wk, true));
             }
             if let Some((op, rk, wk)) = rmw_kind(&id) {
-                self.pos += 1;
-                self.expect_sym("(")?;
+                self.tokens.bump();
+                self.tokens.expect_sym("(")?;
                 let addr = self.expr()?;
                 if addr.registers().contains(&reg) {
                     return Err(self.err("RMW address must not depend on the destination register"));
                 }
-                self.expect_sym(",")?;
+                self.tokens.expect_sym(",")?;
                 let expected = if op == RmwOp::Cas {
                     let e = self.expr()?;
-                    self.expect_sym(",")?;
+                    self.tokens.expect_sym(",")?;
                     Some(e)
                 } else {
                     None
                 };
                 let operand = self.expr()?;
-                self.expect_sym(")")?;
+                self.tokens.expect_sym(")")?;
                 return Ok(match expected {
                     Some(exp) => self.builder.cas_kind(reg, addr, exp, operand, rk, wk),
                     None => self.builder.amo_kind(op, reg, addr, operand, rk, wk),
@@ -481,7 +259,7 @@ impl Parser<'_> {
     }
 
     fn access_set(&mut self) -> Result<AccessSet, ParseError> {
-        match self.next() {
+        match self.tokens.next() {
             Some(Tok::Ident(s)) => match s.as_str() {
                 "r" => Ok(AccessSet::R),
                 "w" => Ok(AccessSet::W),
@@ -491,89 +269,6 @@ impl Parser<'_> {
             other => Err(self.err(format!("expected r/w/rw, found {other:?}"))),
         }
     }
-
-    // expr := cmp (== != < <=) level, then +/-, then * %, then atoms
-    fn expr(&mut self) -> Result<Expr, ParseError> {
-        let lhs = self.additive()?;
-        let op = match self.peek() {
-            Some(Tok::Sym("==")) => Some(Op::Eq),
-            Some(Tok::Sym("!=")) => Some(Op::Ne),
-            Some(Tok::Sym("<")) => Some(Op::Lt),
-            Some(Tok::Sym("<=")) => Some(Op::Le),
-            _ => None,
-        };
-        if let Some(op) = op {
-            self.pos += 1;
-            let rhs = self.additive()?;
-            Ok(Expr::binop(op, lhs, rhs))
-        } else {
-            Ok(lhs)
-        }
-    }
-
-    fn additive(&mut self) -> Result<Expr, ParseError> {
-        let mut lhs = self.multiplicative()?;
-        loop {
-            let op = match self.peek() {
-                Some(Tok::Sym("+")) => Op::Add,
-                Some(Tok::Sym("-")) => Op::Sub,
-                _ => break,
-            };
-            self.pos += 1;
-            let rhs = self.multiplicative()?;
-            lhs = Expr::binop(op, lhs, rhs);
-        }
-        Ok(lhs)
-    }
-
-    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
-        let mut lhs = self.atom()?;
-        loop {
-            let op = match self.peek() {
-                Some(Tok::Sym("*")) => Op::Mul,
-                Some(Tok::Sym("%")) => Op::Mod,
-                Some(Tok::Sym("&")) => Op::BitAnd,
-                Some(Tok::Sym("|")) => Op::BitOr,
-                Some(Tok::Sym("^")) => Op::BitXor,
-                // `max` in operator position (after an operand) — the
-                // infix spelling `Op::Max` pretty-prints as
-                Some(Tok::Ident(id)) if id == "max" => Op::Max,
-                _ => break,
-            };
-            self.pos += 1;
-            let rhs = self.atom()?;
-            lhs = Expr::binop(op, lhs, rhs);
-        }
-        Ok(lhs)
-    }
-
-    fn atom(&mut self) -> Result<Expr, ParseError> {
-        match self.next() {
-            Some(Tok::Int(v)) => Ok(Expr::val(v)),
-            Some(Tok::Ident(id)) => {
-                if let Some(r) = parse_reg(&id) {
-                    Ok(Expr::reg(r))
-                } else {
-                    let loc = self.locs.intern(&id);
-                    Ok(Expr::val(loc.0 as i64))
-                }
-            }
-            Some(Tok::Sym("(")) => {
-                let e = self.expr()?;
-                self.expect_sym(")")?;
-                Ok(e)
-            }
-            other => Err(self.err(format!("expected expression, found {other:?}"))),
-        }
-    }
-}
-
-fn parse_reg(id: &str) -> Option<Reg> {
-    let digits = id.strip_prefix('r')?;
-    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
-        return None;
-    }
-    digits.parse::<u32>().ok().map(Reg)
 }
 
 fn load_kind(id: &str) -> Option<(ReadKind, bool)> {
@@ -633,6 +328,8 @@ fn store_kind(id: &str) -> Option<(WriteKind, bool)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::expr::{Expr, Op};
+    use crate::ids::Loc;
     use crate::stmt::Stmt;
 
     fn first_stmts(code: &ThreadCode) -> Vec<Stmt> {

@@ -13,19 +13,60 @@
 //! exists (P1:r1=1 /\ P1:r2=0)
 //! expect forbidden                 // optional
 //! ```
+//!
+//! A `LANG` header selects the *language-level* frontend instead: the
+//! body is surface-language syntax with C11 orderings
+//! (`promising_lang`), and the test compiles to either architecture —
+//! [`parse_litmus`] returns the ARM compilation (with the frontend
+//! source attached as [`LitmusTest::lang`]); [`parse_lang_litmus`]
+//! returns the uncompiled [`LangTest`].
+//!
+//! ```text
+//! LANG MP+rel+acq
+//! store(x, 1, rlx)
+//! store(y, 1, rel)
+//! ---
+//! r1 = load(y, acq)
+//! r2 = load(x, rlx)
+//! exists (P1:r1=1 /\ P1:r2=0)
+//! expect forbidden
+//! ```
 
-use crate::test::{Condition, Expectation, LitmusTest, Pred, Quantifier};
+use crate::test::{Condition, Expectation, LangTest, LitmusTest, Pred, Quantifier};
 use promising_core::parser::{parse_thread, LocTable, ParseError};
 use promising_core::{Arch, Loc, Program, Reg, Val};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// Parse a litmus test from its textual form.
-///
-/// # Errors
-///
-/// Returns a [`ParseError`] describing the offending line.
-pub fn parse_litmus(src: &str) -> Result<LitmusTest, ParseError> {
+/// The architecture token of a litmus header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum HeaderArch {
+    Hw(Arch),
+    Lang,
+}
+
+/// The raw sections of a litmus source, before any body parsing. Body
+/// lines keep their 1-based source line numbers so that thread-parse
+/// errors report positions in the *original* litmus source (not
+/// body-relative ones).
+struct Sections {
+    arch: HeaderArch,
+    name: String,
+    init: Option<(usize, String)>,
+    body: Vec<(usize, String)>,
+    cond: Option<(usize, String)>,
+    expect: Option<(usize, String)>,
+}
+
+/// Prefix an error with the test name, so multi-test failures (catalogue
+/// sweeps, generated corpora) identify the offending test, not just a
+/// line number.
+fn in_test(name: &str, mut e: ParseError) -> ParseError {
+    e.message = format!("in test `{name}`: {}", e.message);
+    e
+}
+
+fn split_sections(src: &str) -> Result<Sections, ParseError> {
     let mut lines = src.lines().enumerate().peekable();
 
     // header: ARCH NAME
@@ -43,11 +84,12 @@ pub fn parse_litmus(src: &str) -> Result<LitmusTest, ParseError> {
     };
     let mut hparts = header.splitn(2, char::is_whitespace);
     let arch = match hparts.next().unwrap_or("") {
-        "ARM" | "AArch64" => Arch::Arm,
-        "RISCV" | "RISC-V" => Arch::RiscV,
+        "ARM" | "AArch64" => HeaderArch::Hw(Arch::Arm),
+        "RISCV" | "RISC-V" => HeaderArch::Hw(Arch::RiscV),
+        "LANG" => HeaderArch::Lang,
         other => {
             return Err(ParseError {
-                message: format!("unknown architecture `{other}` (use ARM or RISCV)"),
+                message: format!("unknown architecture `{other}` (use ARM, RISCV or LANG)"),
                 line: hline,
             })
         }
@@ -55,53 +97,62 @@ pub fn parse_litmus(src: &str) -> Result<LitmusTest, ParseError> {
     let name = hparts.next().unwrap_or("unnamed").trim().to_string();
 
     // optional init section { x=1; y=2 }
-    let mut init_src: Option<(usize, String)> = None;
+    let mut init: Option<(usize, String)> = None;
     if let Some(&(n, l)) = lines.peek() {
         if l.trim_start().starts_with('{') {
-            init_src = Some((n + 1, l.trim().to_string()));
+            init = Some((n + 1, l.trim().to_string()));
             lines.next();
         }
     }
 
     // body: everything until the condition line
-    let mut body = String::new();
-    let mut cond_line: Option<(usize, String)> = None;
-    let mut expect_line: Option<(usize, String)> = None;
+    let mut body = Vec::new();
+    let mut cond: Option<(usize, String)> = None;
+    let mut expect: Option<(usize, String)> = None;
     for (n, l) in lines {
         let t = l.trim();
         if t.starts_with("exists") || t.starts_with("forall") {
-            cond_line = Some((n + 1, t.to_string()));
+            cond = Some((n + 1, t.to_string()));
         } else if t.starts_with("expect") {
-            expect_line = Some((n + 1, t.to_string()));
-        } else if cond_line.is_none() {
-            body.push_str(l);
-            body.push('\n');
+            expect = Some((n + 1, t.to_string()));
+        } else if cond.is_none() {
+            body.push((n + 1, l.to_string()));
         } else if !t.is_empty() {
-            return Err(ParseError {
-                message: format!("unexpected content after condition: `{t}`"),
-                line: n + 1,
-            });
+            return Err(in_test(
+                &name,
+                ParseError {
+                    message: format!("unexpected content after condition: `{t}`"),
+                    line: n + 1,
+                },
+            ));
         }
     }
 
-    let mut locs = LocTable::new();
-    let mut threads = Vec::new();
-    for section in split_threads(&body) {
-        threads.push(parse_thread(&section, &mut locs)?);
-    }
-    let program = Program::new(threads);
+    Ok(Sections {
+        arch,
+        name,
+        init,
+        body,
+        cond,
+        expect,
+    })
+}
 
-    let init = match init_src {
+/// Parse the init/condition/expect trailers shared by both frontends.
+#[allow(clippy::type_complexity)]
+fn parse_trailers(
+    s: &Sections,
+    locs: &mut LocTable,
+) -> Result<(BTreeMap<Loc, Val>, Condition, Option<Expectation>), ParseError> {
+    let init = match &s.init {
         None => BTreeMap::new(),
-        Some((n, text)) => parse_init(&text, &mut locs, n)?,
+        Some((n, text)) => parse_init(text, locs, *n).map_err(|e| in_test(&s.name, e))?,
     };
-
-    let condition = match cond_line {
+    let condition = match &s.cond {
         None => Condition::trivial(),
-        Some((n, text)) => parse_condition(&text, &mut locs, n)?,
+        Some((n, text)) => parse_condition(text, locs, *n).map_err(|e| in_test(&s.name, e))?,
     };
-
-    let expect = match expect_line {
+    let expect = match &s.expect {
         None => None,
         Some((n, text)) => {
             let rest = text.trim_start_matches("expect").trim();
@@ -109,40 +160,127 @@ pub fn parse_litmus(src: &str) -> Result<LitmusTest, ParseError> {
                 "allowed" => Some(Expectation::Allowed),
                 "forbidden" => Some(Expectation::Forbidden),
                 other => {
-                    return Err(ParseError {
-                        message: format!("expect must be allowed/forbidden, got `{other}`"),
-                        line: n,
-                    })
+                    return Err(in_test(
+                        &s.name,
+                        ParseError {
+                            message: format!("expect must be allowed/forbidden, got `{other}`"),
+                            line: *n,
+                        },
+                    ))
                 }
             }
         }
     };
+    Ok((init, condition, expect))
+}
 
-    Ok(LitmusTest {
-        name,
-        arch,
-        program: Arc::new(program),
+/// Parse a litmus test from its textual form. A `LANG` header parses the
+/// language-level frontend and returns its **ARM** compilation, with the
+/// frontend test attached as [`LitmusTest::lang`] — recompile via
+/// [`LangTest::compile`] for RISC-V.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the test and the offending line.
+pub fn parse_litmus(src: &str) -> Result<LitmusTest, ParseError> {
+    let sections = split_sections(src)?;
+    match sections.arch {
+        HeaderArch::Lang => Ok(build_lang_test(&sections)?.compile(Arch::Arm)),
+        HeaderArch::Hw(arch) => {
+            let mut locs = LocTable::new();
+            let mut threads = Vec::new();
+            for section in split_body_threads(&sections.body) {
+                let text: String = section.iter().map(|(_, l)| format!("{l}\n")).collect();
+                threads.push(
+                    parse_thread(&text, &mut locs)
+                        .map_err(|e| in_test(&sections.name, remap_line(e, &section)))?,
+                );
+            }
+            let program = Program::new(threads);
+            let (init, condition, expect) = parse_trailers(&sections, &mut locs)?;
+            Ok(LitmusTest {
+                name: sections.name,
+                arch,
+                program: Arc::new(program),
+                locs,
+                init,
+                condition,
+                expect,
+                loop_fuel: None,
+                flat_conservative: false,
+                lang: None,
+            })
+        }
+    }
+}
+
+/// Parse a language-level litmus test (a `LANG` header). The body is
+/// surface-language syntax; hardware-only syntax (e.g. `dmb.sy`,
+/// `loadx`, `fence(rw, w)`) is rejected with a pointed error.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the test and the offending line.
+pub fn parse_lang_litmus(src: &str) -> Result<LangTest, ParseError> {
+    let sections = split_sections(src)?;
+    match sections.arch {
+        HeaderArch::Lang => build_lang_test(&sections),
+        HeaderArch::Hw(_) => Err(ParseError {
+            message: format!(
+                "test `{}` has a hardware architecture header; language-level tests \
+                 start with `LANG <name>`",
+                sections.name
+            ),
+            line: 1,
+        }),
+    }
+}
+
+fn build_lang_test(sections: &Sections) -> Result<LangTest, ParseError> {
+    let mut locs = LocTable::new();
+    let mut threads = Vec::new();
+    for section in split_body_threads(&sections.body) {
+        let text: String = section.iter().map(|(_, l)| format!("{l}\n")).collect();
+        threads.push(
+            promising_lang::parse_thread(&text, &mut locs)
+                .map_err(|e| in_test(&sections.name, remap_line(e, &section)))?,
+        );
+    }
+    let program = promising_lang::Program::new(threads);
+    let (init, condition, expect) = parse_trailers(sections, &mut locs)?;
+    Ok(LangTest {
+        name: sections.name.clone(),
+        program,
         locs,
         init,
         condition,
         expect,
         loop_fuel: None,
-        flat_conservative: false,
     })
 }
 
-fn split_threads(src: &str) -> Vec<String> {
-    let mut sections = vec![String::new()];
-    for line in src.lines() {
+/// Split numbered body lines into per-thread sections at `---` lines.
+fn split_body_threads(body: &[(usize, String)]) -> Vec<Vec<(usize, String)>> {
+    let mut sections = vec![Vec::new()];
+    for (n, line) in body {
         if line.trim() == "---" {
-            sections.push(String::new());
+            sections.push(Vec::new());
         } else {
-            let s = sections.last_mut().expect("non-empty");
-            s.push_str(line);
-            s.push('\n');
+            sections
+                .last_mut()
+                .expect("non-empty")
+                .push((*n, line.clone()));
         }
     }
     sections
+}
+
+/// Map a section-relative error line back to the original source line.
+fn remap_line(mut e: ParseError, section: &[(usize, String)]) -> ParseError {
+    if e.line >= 1 && e.line <= section.len() {
+        e.line = section[e.line - 1].0;
+    }
+    e
 }
 
 fn parse_init(
@@ -399,6 +537,72 @@ expect forbidden
         let src = "ARM t\nstore(x, 0 - 3)\nexists (x=-3)";
         let t = parse_litmus(src).unwrap();
         assert!(matches!(t.condition.pred, Pred::LocEq { val: Val(-3), .. }));
+    }
+
+    #[test]
+    fn parse_errors_name_the_test() {
+        let src = "ARM MP+broken\nstore(x, 1)\n???\nexists (x=1)";
+        let err = parse_litmus(src).unwrap_err();
+        assert!(err.message.contains("MP+broken"), "{}", err.message);
+        assert_eq!(err.line, 3);
+        // …and in the init/condition trailers too
+        let err = parse_litmus("ARM T2\n{ x=oops }\nstore(x, 1)\nexists (x=1)").unwrap_err();
+        assert!(err.message.contains("T2"), "{}", err.message);
+        let err = parse_litmus("ARM T3\nstore(x, 1)\nexists (x=)").unwrap_err();
+        assert!(err.message.contains("T3"), "{}", err.message);
+    }
+
+    const LANG_MP: &str = "\
+LANG MP+rel+acq
+store(x, 1, rlx)
+store(y, 1, rel)
+---
+r1 = load(y, acq)
+r2 = load(x, rlx)
+exists (P1:r1=1 /\\ P1:r2=0)
+expect forbidden
+";
+
+    #[test]
+    fn lang_header_parses_and_compiles_to_arm_by_default() {
+        let t = parse_litmus(LANG_MP).unwrap();
+        assert_eq!(t.name, "MP+rel+acq");
+        assert_eq!(t.arch, Arch::Arm);
+        assert_eq!(t.expect, Some(Expectation::Forbidden));
+        let lang = t.lang.as_ref().expect("frontend source attached");
+        assert_eq!(lang.program.num_threads(), 2);
+        // recompiling for RISC-V places fences instead of strengths
+        let riscv = lang.compile(Arch::RiscV);
+        assert_eq!(riscv.arch, Arch::RiscV);
+        assert!(riscv.program.instruction_count() > t.program.instruction_count());
+    }
+
+    #[test]
+    fn parse_lang_litmus_returns_the_uncompiled_test() {
+        let t = parse_lang_litmus(LANG_MP).unwrap();
+        assert_eq!(t.name, "MP+rel+acq");
+        assert_eq!(t.program.access_count(), 4);
+        assert!(parse_lang_litmus(MP).is_err(), "hardware headers rejected");
+    }
+
+    #[test]
+    fn lang_header_rejects_hardware_syntax_with_pointed_error() {
+        let src = "LANG bad\nstore(x, 1, rlx)\ndmb.sy\nexists (x=1)";
+        let err = parse_litmus(src).unwrap_err();
+        assert!(err.message.contains("bad"), "{}", err.message);
+        assert!(err.message.contains("dmb.sy"), "{}", err.message);
+        assert!(err.message.contains("fence(sc)"), "{}", err.message);
+        let src = "LANG bad2\nfence(rw, w)\nexists (x=1)";
+        let err = parse_litmus(src).unwrap_err();
+        assert!(err.message.contains("access-set"), "{}", err.message);
+    }
+
+    #[test]
+    fn lang_init_sections_and_conditions_share_locations() {
+        let src = "LANG init\n{ x=5 }\nr1 = cas(x, 5, 9, rlx)\nexists (P0:r1=5 /\\ x=9)";
+        let t = parse_lang_litmus(src).unwrap();
+        let x = t.locs.get("x").unwrap();
+        assert_eq!(t.init.get(&x), Some(&Val(5)));
     }
 
     #[test]

@@ -425,6 +425,7 @@ pub fn generate_suite(arch: Arch) -> Vec<LitmusTest> {
                     expect: None,
                     loop_fuel: None,
                     flat_conservative: false,
+                    lang: None,
                 });
             }
         }
@@ -484,6 +485,7 @@ pub fn generate_three_thread_suite(arch: Arch) -> Vec<LitmusTest> {
                 expect: None,
                 loop_fuel: None,
                 flat_conservative: false,
+                lang: None,
             });
         }
         // ISA2: T0: Wx=1; dmb; Wy=1 — T1: Ry; data; Wz=ry — T2: Rz; δ'; Rx
@@ -529,6 +531,7 @@ pub fn generate_three_thread_suite(arch: Arch) -> Vec<LitmusTest> {
             expect: None,
             loop_fuel: None,
             flat_conservative: false,
+            lang: None,
         });
     }
     out
@@ -558,6 +561,373 @@ pub fn generate_rmw_subsample(arch: Arch, stride: usize, offset: usize) -> Vec<L
                 .skip(1)
                 .any(|part| rmw_names.iter().any(|n| n == part))
         })
+        .skip(offset)
+        .step_by(stride.max(1))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Language-level corpus (C11 orderings, compiled per architecture)
+// ---------------------------------------------------------------------
+
+/// A language-level event of a generated shape.
+#[derive(Clone, Copy, Debug)]
+enum LEvent {
+    /// `store(loc, val, ord)`.
+    W { loc: u64, val: i64 },
+    /// `rN = load(loc, ord)` (register allocated per thread).
+    R { loc: u64 },
+}
+
+/// One language-level shape: thread event lists plus the classic
+/// exists-condition.
+struct LShape {
+    name: &'static str,
+    threads: &'static [&'static [LEvent]],
+    reg_conds: &'static [(usize, u32, i64)],
+    mem_conds: &'static [(u64, i64)],
+}
+
+fn lang_shapes() -> Vec<LShape> {
+    vec![
+        LShape {
+            name: "SB",
+            threads: &[
+                &[LEvent::W { loc: 0, val: 1 }, LEvent::R { loc: 1 }],
+                &[LEvent::W { loc: 1, val: 1 }, LEvent::R { loc: 0 }],
+            ],
+            reg_conds: &[(0, 1, 0), (1, 1, 0)],
+            mem_conds: &[],
+        },
+        LShape {
+            name: "MP",
+            threads: &[
+                &[LEvent::W { loc: 0, val: 1 }, LEvent::W { loc: 1, val: 1 }],
+                &[LEvent::R { loc: 1 }, LEvent::R { loc: 0 }],
+            ],
+            reg_conds: &[(1, 1, 1), (1, 2, 0)],
+            mem_conds: &[],
+        },
+        LShape {
+            name: "LB",
+            threads: &[
+                &[LEvent::R { loc: 0 }, LEvent::W { loc: 1, val: 1 }],
+                &[LEvent::R { loc: 1 }, LEvent::W { loc: 0, val: 1 }],
+            ],
+            reg_conds: &[(0, 1, 1), (1, 1, 1)],
+            mem_conds: &[],
+        },
+        LShape {
+            name: "S",
+            threads: &[
+                &[LEvent::W { loc: 0, val: 2 }, LEvent::W { loc: 1, val: 1 }],
+                &[LEvent::R { loc: 1 }, LEvent::W { loc: 0, val: 1 }],
+            ],
+            reg_conds: &[(1, 1, 1)],
+            mem_conds: &[(0, 2)],
+        },
+        LShape {
+            name: "R",
+            threads: &[
+                &[LEvent::W { loc: 0, val: 1 }, LEvent::W { loc: 1, val: 1 }],
+                &[LEvent::W { loc: 1, val: 2 }, LEvent::R { loc: 0 }],
+            ],
+            reg_conds: &[(1, 1, 0)],
+            mem_conds: &[(1, 2)],
+        },
+        LShape {
+            name: "2+2W",
+            threads: &[
+                &[LEvent::W { loc: 0, val: 1 }, LEvent::W { loc: 1, val: 2 }],
+                &[LEvent::W { loc: 1, val: 1 }, LEvent::W { loc: 0, val: 2 }],
+            ],
+            reg_conds: &[],
+            mem_conds: &[(0, 1), (1, 1)],
+        },
+        LShape {
+            name: "CoRR",
+            threads: &[
+                &[LEvent::W { loc: 0, val: 1 }],
+                &[LEvent::R { loc: 0 }, LEvent::R { loc: 0 }],
+            ],
+            reg_conds: &[(1, 1, 1), (1, 2, 0)],
+            mem_conds: &[],
+        },
+    ]
+}
+
+use promising_lang::Ordering as LOrd;
+
+const LANG_STORE_ORDS: [LOrd; 3] = [LOrd::Relaxed, LOrd::Release, LOrd::SeqCst];
+const LANG_LOAD_ORDS: [LOrd; 3] = [LOrd::Relaxed, LOrd::Acquire, LOrd::SeqCst];
+
+/// The cross-architecture agreement fragment (see `docs/architecture.md`
+/// and [`promising_lang::compile`]): an `sc` load must not be preceded
+/// in its thread by a `rlx` access — the RISC-V lowering's leading
+/// `fence rw,rw` orders *all* program-order-earlier accesses before the
+/// load, where ARM's `ldar` is only ordered after earlier `rel`/`sc`
+/// stores (`vRel`) and `acq`/`sc` loads (`vrNew`). Shapes outside the
+/// fragment compile soundly but may show strictly fewer behaviours on
+/// RISC-V; the generated corpus (whose outcome sets are asserted
+/// *equal* across architectures) stays inside it.
+fn lang_fragment_ok(ords: &[(LEvent, LOrd)]) -> bool {
+    for (i, &(ev, ord)) in ords.iter().enumerate() {
+        if matches!(ev, LEvent::R { .. }) && ord == LOrd::SeqCst {
+            let weak_before = ords[..i]
+                .iter()
+                .any(|&(_, o)| matches!(o, LOrd::Relaxed | LOrd::NotAtomic));
+            if weak_before {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Enumerate the per-event ordering assignments of one thread that stay
+/// inside the agreement fragment.
+fn lang_thread_ords(events: &[LEvent]) -> Vec<Vec<(LEvent, LOrd)>> {
+    let mut out: Vec<Vec<(LEvent, LOrd)>> = vec![Vec::new()];
+    for &ev in events {
+        let choices: &[LOrd] = match ev {
+            LEvent::W { .. } => &LANG_STORE_ORDS,
+            LEvent::R { .. } => &LANG_LOAD_ORDS,
+        };
+        out = out
+            .into_iter()
+            .flat_map(|prefix| {
+                choices.iter().map(move |&o| {
+                    let mut v = prefix.clone();
+                    v.push((ev, o));
+                    v
+                })
+            })
+            .collect();
+    }
+    out.retain(|v| lang_fragment_ok(v));
+    out
+}
+
+fn lang_ord_tag(ords: &[(LEvent, LOrd)]) -> String {
+    ords.iter()
+        .map(|(_, o)| o.keyword())
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+/// Build one language-level thread from an ordered event list, with an
+/// optional standalone fence between the events.
+fn build_lang_thread(ords: &[(LEvent, LOrd)], fence: Option<LOrd>) -> promising_lang::Thread {
+    use promising_lang::Stmt as LStmt;
+    let mut stmts = Vec::new();
+    let mut reg = 1u32;
+    for (i, &(ev, ord)) in ords.iter().enumerate() {
+        if i == 1 {
+            if let Some(f) = fence {
+                stmts.push(LStmt::Fence(f));
+            }
+        }
+        match ev {
+            LEvent::W { loc, val } => stmts.push(LStmt::Store {
+                addr: Expr::val(loc as i64),
+                data: Expr::val(val),
+                ord,
+            }),
+            LEvent::R { loc } => {
+                stmts.push(LStmt::Load {
+                    reg: Reg(reg),
+                    addr: Expr::val(loc as i64),
+                    ord,
+                });
+                reg += 1;
+            }
+        }
+    }
+    promising_lang::Thread(stmts)
+}
+
+fn lang_shape_condition(shape: &LShape) -> Condition {
+    let mut pred = Pred::True;
+    for &(tid, reg, val) in shape.reg_conds {
+        pred = pred.and(Pred::RegEq {
+            tid,
+            reg: Reg(reg),
+            val: Val(val),
+        });
+    }
+    for &(loc, val) in shape.mem_conds {
+        pred = pred.and(Pred::LocEq {
+            loc: Loc(loc),
+            val: Val(val),
+        });
+    }
+    Condition {
+        quantifier: Quantifier::Exists,
+        pred,
+    }
+}
+
+fn lang_test(
+    name: String,
+    threads: Vec<promising_lang::Thread>,
+    condition: Condition,
+) -> crate::test::LangTest {
+    let mut locs = LocTable::new();
+    locs.intern("x");
+    locs.intern("y");
+    crate::test::LangTest {
+        name,
+        program: promising_lang::Program::new(threads),
+        locs,
+        init: BTreeMap::new(),
+        condition,
+        expect: None,
+        loop_fuel: None,
+    }
+}
+
+/// Generate the language-level corpus: the classic shapes crossed with
+/// every per-access C11 ordering assignment inside the cross-architecture
+/// agreement fragment, plus standalone-fence and RMW variants. The
+/// conformance gates assert that every test's outcome set is identical
+/// when compiled to ARM vs RISC-V, under every engine
+/// (`tests/compilation_soundness.rs`, `litmus_agreement`).
+pub fn generate_lang_suite() -> Vec<crate::test::LangTest> {
+    let mut out = Vec::new();
+
+    // (a) the per-access ordering cross
+    for shape in lang_shapes() {
+        let cond = lang_shape_condition(&shape);
+        let per_thread: Vec<Vec<Vec<(LEvent, LOrd)>>> =
+            shape.threads.iter().map(|t| lang_thread_ords(t)).collect();
+        debug_assert_eq!(per_thread.len(), 2);
+        for t0 in &per_thread[0] {
+            for t1 in &per_thread[1] {
+                let name = format!("{}+{}+{}", shape.name, lang_ord_tag(t0), lang_ord_tag(t1));
+                let threads = vec![build_lang_thread(t0, None), build_lang_thread(t1, None)];
+                out.push(lang_test(name, threads, cond.clone()));
+            }
+        }
+    }
+
+    // (b) standalone-fence variants: all-rlx accesses, the same fence in
+    // both threads. `acq` and `sc` fences lower to the *same* barrier on
+    // both architectures (`dmb.ld` = `fence r,rw`, `dmb.sy` =
+    // `fence rw,rw`), so they are always in the fragment. `rel` and
+    // `acq_rel` lower to `dmb.sy` on ARM (which additionally orders
+    // …→R) but to `fence rw,w` / `fence.tso` on RISC-V, so they leave
+    // the fragment whenever the fence must order something before a
+    // *later read*: `rel` on any …→R edge, `acq_rel` on a W→R edge
+    // (`fence.tso` still covers R→R).
+    for shape in lang_shapes() {
+        if shape.threads.iter().any(|t| t.len() < 2) {
+            continue;
+        }
+        let cond = lang_shape_condition(&shape);
+        let edge_allows = |t: &[LEvent], f: LOrd| {
+            matches!(
+                (t[0], t[1], f),
+                (_, _, LOrd::Acquire | LOrd::SeqCst)
+                    | (_, LEvent::W { .. }, LOrd::Release | LOrd::AcqRel)
+                    | (LEvent::R { .. }, LEvent::R { .. }, LOrd::AcqRel)
+            )
+        };
+        let fences: Vec<LOrd> = [LOrd::Acquire, LOrd::Release, LOrd::AcqRel, LOrd::SeqCst]
+            .into_iter()
+            .filter(|&f| shape.threads.iter().all(|t| edge_allows(t, f)))
+            .collect();
+        for &f in &fences {
+            let rlx = |t: &&[LEvent]| t.iter().map(|&e| (e, LOrd::Relaxed)).collect::<Vec<_>>();
+            let threads = shape
+                .threads
+                .iter()
+                .map(|t| build_lang_thread(&rlx(t), Some(f)))
+                .collect();
+            let name = format!("{}+fence.{}+fence.{}", shape.name, f.keyword(), f.keyword());
+            out.push(lang_test(name, threads, cond.clone()));
+        }
+    }
+
+    // (c) RMW variants on the MP shape: the writer publishes via a CAS or
+    // swap (its *last* event — an RMW may not precede a store in the
+    // agreement fragment, RISC-V's ρ12 success-dependency orders later
+    // stores after the RMW where ARM does not), the reader reads the flag
+    // via a fetch_add.
+    {
+        use promising_lang::Stmt as LStmt;
+        let cond = Condition {
+            quantifier: Quantifier::Exists,
+            pred: Pred::True
+                .and(Pred::RegEq {
+                    tid: 1,
+                    reg: Reg(1),
+                    val: Val(1),
+                })
+                .and(Pred::RegEq {
+                    tid: 1,
+                    reg: Reg(2),
+                    val: Val(0),
+                }),
+        };
+        for (wname, wop, word) in [
+            ("swap.rlx", RmwOp::Swp, LOrd::Relaxed),
+            ("swap.rel", RmwOp::Swp, LOrd::Release),
+            ("cas.rlx", RmwOp::Cas, LOrd::Relaxed),
+            ("cas.rel", RmwOp::Cas, LOrd::Release),
+            ("cas.sc", RmwOp::Cas, LOrd::SeqCst),
+        ] {
+            for (rname, rord) in [
+                ("amo.rlx", LOrd::Relaxed),
+                ("amo.acq", LOrd::Acquire),
+                ("amo.sc", LOrd::SeqCst),
+            ] {
+                let writer = promising_lang::Thread(vec![
+                    LStmt::Store {
+                        addr: Expr::val(0),
+                        data: Expr::val(1),
+                        ord: LOrd::Relaxed,
+                    },
+                    LStmt::Rmw {
+                        op: wop,
+                        dst: Reg(9),
+                        addr: Expr::val(1),
+                        expected: (wop == RmwOp::Cas).then(|| Expr::val(0)),
+                        operand: Expr::val(1),
+                        ord: word,
+                    },
+                ]);
+                let reader = promising_lang::Thread(vec![
+                    LStmt::Rmw {
+                        op: RmwOp::FetchAdd,
+                        dst: Reg(1),
+                        addr: Expr::val(1),
+                        expected: None,
+                        operand: Expr::val(0),
+                        ord: rord,
+                    },
+                    LStmt::Load {
+                        reg: Reg(2),
+                        addr: Expr::val(0),
+                        ord: LOrd::Relaxed,
+                    },
+                ]);
+                out.push(lang_test(
+                    format!("MP+{wname}+{rname}"),
+                    vec![writer, reader],
+                    cond.clone(),
+                ));
+            }
+        }
+    }
+
+    out
+}
+
+/// A deterministic subsample of the language corpus (every `stride`-th
+/// test, starting at `offset`).
+pub fn generate_lang_subsample(stride: usize, offset: usize) -> Vec<crate::test::LangTest> {
+    generate_lang_suite()
+        .into_iter()
         .skip(offset)
         .step_by(stride.max(1))
         .collect()
@@ -612,6 +982,68 @@ mod tests {
             assert!(suite.iter().any(|t| t.name.starts_with("ISA2+")));
             assert!(suite.iter().all(|t| t.program.num_threads() == 3));
         }
+    }
+
+    #[test]
+    fn lang_suite_is_substantial_with_unique_names() {
+        let suite = generate_lang_suite();
+        assert!(suite.len() >= 400, "lang suite has {} tests", suite.len());
+        let mut names: Vec<&str> = suite.iter().map(|t| t.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate lang suite names");
+        // the cross covers sc variants, fence variants, and RMW variants
+        assert!(suite.iter().any(|t| t.name == "SB+sc.sc+sc.sc"));
+        assert!(suite
+            .iter()
+            .any(|t| t.name == "MP+fence.acq_rel+fence.acq_rel"));
+        assert!(suite.iter().any(|t| t.name == "MP+cas.rel+amo.acq"));
+    }
+
+    #[test]
+    fn lang_suite_stays_in_the_agreement_fragment() {
+        use promising_lang::{Ordering as LOrd, Stmt as LStmt};
+        for t in generate_lang_suite() {
+            for thread in t.program.threads() {
+                let mut saw_weak = false;
+                let mut saw_rmw = false;
+                for s in &thread.0 {
+                    match s {
+                        LStmt::Load { ord, .. } => {
+                            assert!(
+                                *ord != LOrd::SeqCst || !saw_weak,
+                                "{}: sc load after a weak access",
+                                t.name
+                            );
+                            if matches!(ord, LOrd::Relaxed | LOrd::NotAtomic) {
+                                saw_weak = true;
+                            }
+                        }
+                        LStmt::Store { ord, .. } => {
+                            assert!(!saw_rmw, "{}: store after an RMW", t.name);
+                            if matches!(ord, LOrd::Relaxed | LOrd::NotAtomic) {
+                                saw_weak = true;
+                            }
+                        }
+                        LStmt::Rmw { .. } => {
+                            assert!(!saw_rmw, "{}: RMW after an RMW", t.name);
+                            saw_rmw = true;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lang_subsample_is_a_subset() {
+        let all = generate_lang_suite();
+        let sub = generate_lang_subsample(10, 3);
+        assert!(sub.len() <= all.len() / 10 + 1);
+        let names: std::collections::BTreeSet<&str> = all.iter().map(|t| t.name.as_str()).collect();
+        assert!(sub.iter().all(|t| names.contains(t.name.as_str())));
     }
 
     #[test]

@@ -2,9 +2,9 @@
 //! sets — the executable counterpart of the paper's Theorem 6.1 and of its
 //! §7 validation against herd.
 
-use crate::test::LitmusTest;
+use crate::test::{LangTest, LitmusTest};
 use promising_axiomatic::{AxConfig, AxError};
-use promising_core::{Config, Machine, Outcome};
+use promising_core::{Arch, Config, Machine, Outcome};
 use promising_explorer::{
     explore_naive, explore_promise_first, CertMode, Engine, NaiveModel, PromiseFirstModel,
 };
@@ -203,42 +203,46 @@ pub fn check_agreement(test: &LitmusTest, kinds: &[ModelKind]) -> Result<Agreeme
         }
         runs.push(run_model(test, k)?);
     }
-    let mut agree = true;
-    let mut mismatch = None;
-    for pair in runs.windows(2) {
-        if pair[0].outcomes != pair[1].outcomes {
-            agree = false;
-            let only_a: Vec<String> = pair[0]
-                .outcomes
-                .difference(&pair[1].outcomes)
-                .take(3)
-                .map(Outcome::to_string)
-                .collect();
-            let only_b: Vec<String> = pair[1]
-                .outcomes
-                .difference(&pair[0].outcomes)
-                .take(3)
-                .map(Outcome::to_string)
-                .collect();
-            mismatch = Some(format!(
-                "{}: {} vs {}: only-{}: [{}] only-{}: [{}]",
-                test.name,
-                pair[0].kind.name(),
-                pair[1].kind.name(),
-                pair[0].kind.name(),
-                only_a.join(" | "),
-                pair[1].kind.name(),
-                only_b.join(" | "),
-            ));
-            break;
-        }
-    }
+    let mismatch = first_mismatch(&test.name, &runs, |r| r, |r| r.kind.name().to_string());
     Ok(Agreement {
         test: test.name.clone(),
+        agree: mismatch.is_none(),
         runs,
-        agree,
         mismatch,
     })
+}
+
+/// Find the first adjacent pair of runs with differing outcome sets (by
+/// transitivity, none ⇔ all equal) and render a diff naming both runs
+/// via `label` and showing up to three outcomes unique to each side.
+fn first_mismatch<R>(
+    test: &str,
+    runs: &[R],
+    run_of: impl Fn(&R) -> &ModelRun,
+    label: impl Fn(&R) -> String,
+) -> Option<String> {
+    for pair in runs.windows(2) {
+        let (a, b) = (run_of(&pair[0]), run_of(&pair[1]));
+        if a.outcomes == b.outcomes {
+            continue;
+        }
+        let diff = |x: &ModelRun, y: &ModelRun| {
+            x.outcomes
+                .difference(&y.outcomes)
+                .take(3)
+                .map(Outcome::to_string)
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        return Some(format!(
+            "{test}: {la} vs {lb}: only-{la}: [{}] only-{lb}: [{}]",
+            diff(a, b),
+            diff(b, a),
+            la = label(&pair[0]),
+            lb = label(&pair[1]),
+        ));
+    }
+    None
 }
 
 /// Verdict of a single-model run against the test's condition/expectation.
@@ -264,6 +268,74 @@ pub fn evaluate(test: &LitmusTest, kind: ModelKind) -> Result<Verdict, RunError>
         holds,
         matches_expectation,
         run,
+    })
+}
+
+/// Run a *language-level* test under `kind`, compiled for `arch` — the
+/// write-once/run-anywhere entry point: the surface program lowers
+/// through [`LangTest::compile`] and runs exactly like a hardware test.
+///
+/// # Errors
+///
+/// Returns a [`RunError`] if the model hits a resource cap.
+pub fn run_lang_model(test: &LangTest, arch: Arch, kind: ModelKind) -> Result<ModelRun, RunError> {
+    run_model(&test.compile(arch), kind)
+}
+
+/// Evaluate a language-level test's condition under one model on `arch`.
+///
+/// # Errors
+///
+/// Returns a [`RunError`] if the model hits a resource cap.
+pub fn evaluate_lang(test: &LangTest, arch: Arch, kind: ModelKind) -> Result<Verdict, RunError> {
+    evaluate(&test.compile(arch), kind)
+}
+
+/// Result of a cross-architecture conformance check on a language-level
+/// test: every `(architecture, model)` pair must produce the same
+/// outcome set — cross-model agreement is the Theorem 6.1/7.1 check on
+/// each compiled program, cross-architecture agreement is the
+/// compilation-scheme equivalence the corpus is designed to exhibit.
+#[derive(Clone, Debug)]
+pub struct LangConformance {
+    /// The test name.
+    pub test: String,
+    /// Individual runs, tagged with the architecture they compiled to.
+    pub runs: Vec<(Arch, ModelRun)>,
+    /// Whether every pair of runs produced the same outcome set.
+    pub agree: bool,
+    /// Human-readable description of the first mismatch, if any.
+    pub mismatch: Option<String>,
+}
+
+/// Compile `test` for both architectures and run it under all `kinds`,
+/// comparing every outcome set.
+///
+/// # Errors
+///
+/// Returns a [`RunError`] if some model hits a resource cap.
+pub fn check_lang_conformance(
+    test: &LangTest,
+    kinds: &[ModelKind],
+) -> Result<LangConformance, RunError> {
+    let mut runs: Vec<(Arch, ModelRun)> = Vec::new();
+    for arch in [Arch::Arm, Arch::RiscV] {
+        let compiled = test.compile(arch);
+        for &k in kinds {
+            runs.push((arch, run_model(&compiled, k)?));
+        }
+    }
+    let mismatch = first_mismatch(
+        &test.name,
+        &runs,
+        |(_, r)| r,
+        |(arch, r)| format!("{}/{}", arch.name(), r.kind.name()),
+    );
+    Ok(LangConformance {
+        test: test.name.clone(),
+        agree: mismatch.is_none(),
+        runs,
+        mismatch,
     })
 }
 
@@ -322,6 +394,22 @@ expect forbidden
             run_model_sampled(&test, ModelKind::Axiomatic, 16, 3),
             Err(RunError::SamplingUnsupported(ModelKind::Axiomatic))
         ));
+    }
+
+    #[test]
+    fn lang_tests_run_and_conform_across_architectures() {
+        let test = crate::format::parse_lang_litmus(
+            "LANG MP+rel+acq\nstore(x, 1, rlx)\nstore(y, 1, rel)\n---\nr1 = load(y, acq)\nr2 = load(x, rlx)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden",
+        )
+        .unwrap();
+        let c = check_lang_conformance(&test, &ModelKind::ALL).unwrap();
+        assert!(c.agree, "{:?}", c.mismatch);
+        assert_eq!(c.runs.len(), 8, "4 models × 2 architectures");
+        for arch in [Arch::Arm, Arch::RiscV] {
+            let v = evaluate_lang(&test, arch, ModelKind::Promising).unwrap();
+            assert!(!v.holds);
+            assert_eq!(v.matches_expectation, Some(true));
+        }
     }
 
     #[test]

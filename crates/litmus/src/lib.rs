@@ -1,8 +1,11 @@
-//! Litmus tests for Promising-ARM/RISC-V: a textual format, the classic
-//! named catalogue with architectural expectations, a systematic
-//! diy-style generator, and a harness that runs any test under the
-//! Promising (promise-first or naive), axiomatic, and Flat-lite models
-//! and compares their outcome sets.
+//! Litmus tests for Promising-ARM/RISC-V: a textual format (hardware
+//! `ARM`/`RISCV` headers and language-level `LANG` headers), the classic
+//! named catalogue with architectural expectations plus a C11
+//! language-level catalogue, systematic diy-style generators for both
+//! layers, and a harness that runs any test under the Promising
+//! (promise-first or naive), axiomatic, and Flat-lite models and
+//! compares their outcome sets — for language-level tests, across both
+//! compiled architectures at once ([`check_lang_conformance`]).
 //!
 //! ```
 //! use promising_litmus::{by_name, evaluate, ModelKind};
@@ -22,14 +25,15 @@ pub mod generator;
 pub mod harness;
 pub mod test;
 
-pub use catalogue::{by_name, catalogue, catalogue_for};
-pub use format::parse_litmus;
+pub use catalogue::{by_name, catalogue, catalogue_for, lang_by_name, lang_catalogue};
+pub use format::{parse_lang_litmus, parse_litmus};
 pub use generator::{
-    generate_rmw_subsample, generate_subsample, generate_suite, generate_three_thread_suite,
-    links_for, Link, RMW_LINKS,
+    generate_lang_subsample, generate_lang_suite, generate_rmw_subsample, generate_subsample,
+    generate_suite, generate_three_thread_suite, links_for, Link, RMW_LINKS,
 };
 pub use harness::{
-    check_agreement, evaluate, run_model, run_model_sampled, Agreement, ModelKind, ModelRun,
-    RunError, Verdict, DEFAULT_FUEL,
+    check_agreement, check_lang_conformance, evaluate, evaluate_lang, run_lang_model, run_model,
+    run_model_sampled, Agreement, LangConformance, ModelKind, ModelRun, RunError, Verdict,
+    DEFAULT_FUEL,
 };
-pub use test::{Condition, Expectation, LitmusTest, Pred, Quantifier};
+pub use test::{Condition, Expectation, LangTest, LitmusTest, Pred, Quantifier};

@@ -131,6 +131,61 @@ pub struct LitmusTest {
     /// success-dependency relaxations): the harness then skips Flat in
     /// agreement checks.
     pub flat_conservative: bool,
+    /// When this hardware test was compiled from a language-level test
+    /// (a `LANG` header), the frontend source — recompile it for the
+    /// other architecture with [`LangTest::compile`].
+    pub lang: Option<Arc<LangTest>>,
+}
+
+/// A *language-level* litmus test: a surface-language program
+/// ([`promising_lang::Program`]) with C11 orderings, plus the usual
+/// init/condition/expectation. It has no architecture of its own —
+/// [`LangTest::compile`] lowers it to a hardware [`LitmusTest`] for
+/// either architecture via the IMM compilation schemes.
+#[derive(Clone, Debug)]
+pub struct LangTest {
+    /// Test name (e.g. `SB+sc`).
+    pub name: String,
+    /// The surface-language program.
+    pub program: promising_lang::Program,
+    /// Location-name table (shared by program and condition).
+    pub locs: LocTable,
+    /// Initial memory values.
+    pub init: BTreeMap<Loc, Val>,
+    /// The interesting final-state condition.
+    pub condition: Condition,
+    /// Expectation for the *compiled* programs (identical across
+    /// architectures on the supported corpus), if known.
+    pub expect: Option<Expectation>,
+    /// Loop bound override (`None`: harness default).
+    pub loop_fuel: Option<u32>,
+}
+
+impl LangTest {
+    /// Lower to a hardware litmus test for `arch`
+    /// ([`promising_lang::compile`]). The result keeps the name, carries
+    /// a backlink to `self`, and is never Flat-conservative (compiled
+    /// programs use single-instruction RMWs, not raw exclusives).
+    pub fn compile(&self, arch: Arch) -> LitmusTest {
+        LitmusTest {
+            name: self.name.clone(),
+            arch,
+            program: Arc::new(promising_lang::compile(&self.program, arch)),
+            locs: self.locs.clone(),
+            init: self.init.clone(),
+            condition: self.condition.clone(),
+            expect: self.expect,
+            loop_fuel: self.loop_fuel,
+            flat_conservative: false,
+            lang: Some(Arc::new(self.clone())),
+        }
+    }
+}
+
+impl fmt::Display for LangTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [lang]", self.name)
+    }
 }
 
 impl LitmusTest {

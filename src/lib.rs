@@ -9,5 +9,6 @@ pub use promising_axiomatic as axiomatic;
 pub use promising_core as core;
 pub use promising_explorer as explorer;
 pub use promising_flat as flat;
+pub use promising_lang as lang;
 pub use promising_litmus as litmus;
 pub use promising_workloads as workloads;

@@ -6,8 +6,18 @@
 //! 2. produce identical outcome sets under the promise-first search, the
 //!    naive search, the axiomatic model, and (where applicable) Flat-lite
 //!    — the executable version of Theorems 6.1 and 7.1.
+//!
+//! The *language-level* catalogue (C11 classics: SB/MP/LB/IRIW/2+2W/CoRR
+//! in `rlx`/`acq`-`rel`/`sc` variants) is checked the same way on **both**
+//! of its compilations — one expectation per test covers ARM and RISC-V,
+//! because the conformance battery guarantees the compiled outcome sets
+//! coincide.
 
-use promising_litmus::{catalogue, check_agreement, evaluate, ModelKind};
+use promising_core::Arch;
+use promising_litmus::{
+    catalogue, check_agreement, evaluate, evaluate_lang, lang_by_name, lang_catalogue, Expectation,
+    ModelKind,
+};
 
 #[test]
 fn catalogue_matches_expectations_under_promising() {
@@ -45,6 +55,62 @@ fn catalogue_matches_expectations_under_axiomatic() {
         "expectation mismatches:\n{}",
         failures.join("\n")
     );
+}
+
+#[test]
+fn lang_catalogue_matches_expectations_on_both_architectures() {
+    let mut failures = Vec::new();
+    for test in lang_catalogue() {
+        assert!(
+            test.expect.is_some(),
+            "{test}: catalogue entry without expectation"
+        );
+        for arch in [Arch::Arm, Arch::RiscV] {
+            for kind in [ModelKind::Promising, ModelKind::Axiomatic] {
+                let v = evaluate_lang(&test, arch, kind).expect("run");
+                if v.matches_expectation != Some(true) {
+                    failures.push(format!(
+                        "{test} [{}/{}]: condition holds = {}, expectation = {:?}",
+                        arch.name(),
+                        kind.name(),
+                        v.holds,
+                        test.expect
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "language-level expectation mismatches:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn lang_catalogue_carries_the_literature_verdicts() {
+    // spot-check the satellite's named expectations: SB+sc forbidden,
+    // MP+rel+acq forbidden, LB+rlx allowed — plus the two places the
+    // compiled (multicopy-atomic / RCsc-ordered) verdicts are stronger
+    // than the weakest C11 reading, and the RCpc acq-load mapping that
+    // keeps SB+rel+acq weak.
+    let expect = |name: &str, e: Expectation| {
+        let t = lang_by_name(name).unwrap_or_else(|| panic!("missing lang test {name}"));
+        assert_eq!(t.expect, Some(e), "{name}");
+    };
+    expect("SB+sc", Expectation::Forbidden);
+    expect("SB+rlx", Expectation::Allowed);
+    expect("SB+rel+acq", Expectation::Allowed);
+    expect("MP+rel+acq", Expectation::Forbidden);
+    expect("MP+rlx", Expectation::Allowed);
+    expect("MP+sc", Expectation::Forbidden);
+    expect("LB+rlx", Expectation::Allowed);
+    expect("LB+data", Expectation::Forbidden);
+    expect("2+2W+rlx", Expectation::Allowed);
+    expect("IRIW+rlx", Expectation::Allowed);
+    expect("IRIW+sc", Expectation::Forbidden);
+    expect("CoRR+rlx", Expectation::Forbidden);
+    assert!(lang_catalogue().len() >= 20);
 }
 
 #[test]

@@ -1,0 +1,341 @@
+//! Compilation-soundness battery for the language-level atomics
+//! frontend: every test of the language corpus (named catalogue +
+//! generated suite) is compiled to **both** ARM and RISC-V and must show
+//! *identical outcome sets* across
+//!
+//! * the naive, promise-first, and Flat engines (the Theorem 6.1/7.1
+//!   checks on each compiled program), and
+//! * the two architectures (the IMM compilation schemes are equally
+//!   strong on the corpus fragment — see `docs/architecture.md`),
+//!
+//! cross-checked against the axiomatic model on the compiled programs.
+//! A property test extends the check to randomly generated surface
+//! programs (ops × orderings × seeds) inside the agreement fragment.
+
+use promising_core::{Arch, RmwOp};
+use promising_core::{Config, Expr, Machine, Reg};
+use promising_explorer::{explore_naive, explore_promise_first, CertMode};
+use promising_flat::{explore_flat, FlatMachine};
+use promising_lang::{compile, Ordering as Ord, Program as LangProgram, Stmt as LStmt, Thread};
+use promising_litmus::{
+    check_lang_conformance, generate_lang_suite, lang_catalogue, LangTest, ModelKind,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// All four models: promise-first, naive, axiomatic, Flat.
+const ALL: [ModelKind; 4] = ModelKind::ALL;
+
+fn check_corpus(tests: &[LangTest], kinds: &[ModelKind]) {
+    assert!(!tests.is_empty());
+    let mut failures = Vec::new();
+    for test in tests {
+        match check_lang_conformance(test, kinds) {
+            Ok(c) if c.agree => {}
+            Ok(c) => failures.push(c.mismatch.unwrap_or(c.test)),
+            Err(e) => failures.push(format!("{test}: {e}")),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} conformance failures out of {} language tests:\n{}",
+        failures.len(),
+        tests.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn lang_catalogue_conforms_across_engines_and_architectures() {
+    check_corpus(&lang_catalogue(), &ALL);
+}
+
+#[test]
+fn generated_lang_suite_conforms_across_engines_and_architectures() {
+    // the full generated corpus (hundreds of shapes × ordering
+    // assignments), each run 4 models × 2 architectures
+    check_corpus(&generate_lang_suite(), &ALL);
+}
+
+// ---------------------------------------------------------------------
+// Property test: random surface programs, ARM vs RISC-V agreement
+// ---------------------------------------------------------------------
+
+/// One generated surface statement. Orderings are indices into the
+/// per-access ordering tables; the builder repairs selections that
+/// leave the cross-architecture agreement fragment (downgrading an `sc`
+/// load after a weak access to `acq`, turning a write after an RMW into
+/// a load) instead of discarding the sample.
+#[derive(Clone, Debug)]
+enum Recipe {
+    Store {
+        loc: i64,
+        val: i64,
+        ord: usize,
+    },
+    Load {
+        loc: i64,
+        ord: usize,
+    },
+    Fence {
+        sc: bool,
+    },
+    Rmw {
+        op: usize,
+        loc: i64,
+        operand: i64,
+        expected: i64,
+        ord: usize,
+    },
+}
+
+const STORE_ORDS: [Ord; 4] = [Ord::NotAtomic, Ord::Relaxed, Ord::Release, Ord::SeqCst];
+const LOAD_ORDS: [Ord; 4] = [Ord::NotAtomic, Ord::Relaxed, Ord::Acquire, Ord::SeqCst];
+const RMW_ORDS: [Ord; 5] = [
+    Ord::Relaxed,
+    Ord::Acquire,
+    Ord::Release,
+    Ord::AcqRel,
+    Ord::SeqCst,
+];
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    prop_oneof![
+        (0..2i64, 1..3i64, 0..4usize).prop_map(|(loc, val, ord)| Recipe::Store { loc, val, ord }),
+        (0..2i64, 0..4usize).prop_map(|(loc, ord)| Recipe::Load { loc, ord }),
+        any::<bool>().prop_map(|sc| Recipe::Fence { sc }),
+        ((0..7usize, 0..2i64), (0..3i64, 0..2i64), 0..5usize).prop_map(
+            |((op, loc), (operand, expected), ord)| Recipe::Rmw {
+                op,
+                loc,
+                operand,
+                expected,
+                ord
+            }
+        ),
+    ]
+}
+
+/// Whether an already-emitted access is strong enough to precede an
+/// `sc` load without leaving the agreement fragment: the RISC-V
+/// lowering's leading `fence rw,rw` orders it before the load
+/// unconditionally, so on ARM the `ldar` must already be ordered after
+/// it — via `vRel` (release writes) or `vrNew` (acquire reads).
+fn strong_before_sc_load(s: &LStmt) -> bool {
+    match s {
+        LStmt::Load { ord, .. } => matches!(ord, Ord::Acquire | Ord::SeqCst),
+        LStmt::Store { ord, .. } => matches!(ord, Ord::Release | Ord::SeqCst),
+        // the write half must be a release for `vRel` to cover it
+        LStmt::Rmw { ord, .. } => ord.is_release(),
+        LStmt::Fence(Ord::SeqCst) => true,
+        _ => false,
+    }
+}
+
+/// Build one thread from recipes, repairing fragment violations. At
+/// most two memory accesses per thread (the fence lowerings of
+/// `acq`/`rel` accesses are *cumulative* on RISC-V — they also order
+/// other po-earlier accesses — so longer access chains genuinely
+/// diverge between the schemes; see docs/architecture.md).
+fn build_thread(recipes: &[Recipe]) -> Thread {
+    let mut stmts: Vec<LStmt> = Vec::new();
+    let mut reg = 1u32;
+    let mut accesses = 0usize;
+    let mut last_was_rmw = false;
+    for r in recipes {
+        if accesses == 2 {
+            break;
+        }
+        match r {
+            Recipe::Fence { sc } => {
+                // acq/sc standalone fences lower to the same barrier on
+                // both architectures; rel/acq_rel do not, and are covered
+                // deterministically by the generated suite instead
+                stmts.push(LStmt::Fence(if *sc { Ord::SeqCst } else { Ord::Acquire }));
+                continue;
+            }
+            Recipe::Store { loc, val, ord } => {
+                let (loc, val, ord) = (*loc, *val, STORE_ORDS[*ord]);
+                if last_was_rmw {
+                    // ρ12: a store after an RMW is ordered on RISC-V but
+                    // not on ARM — read instead
+                    stmts.push(LStmt::Load {
+                        reg: Reg(reg),
+                        addr: Expr::val(loc),
+                        ord: Ord::Relaxed,
+                    });
+                    reg += 1;
+                } else {
+                    stmts.push(LStmt::Store {
+                        addr: Expr::val(loc),
+                        data: Expr::val(val),
+                        ord,
+                    });
+                }
+                accesses += 1;
+            }
+            Recipe::Load { loc, ord } => {
+                let mut ord = LOAD_ORDS[*ord];
+                if ord == Ord::SeqCst && !stmts.iter().all(strong_before_sc_load) {
+                    ord = Ord::Acquire;
+                }
+                stmts.push(LStmt::Load {
+                    reg: Reg(reg),
+                    addr: Expr::val(*loc),
+                    ord,
+                });
+                reg += 1;
+                accesses += 1;
+            }
+            Recipe::Rmw {
+                op,
+                loc,
+                operand,
+                expected,
+                ord,
+            } => {
+                if last_was_rmw {
+                    continue; // an RMW after an RMW is a write after an RMW
+                }
+                let op = RmwOp::ALL[*op];
+                stmts.push(LStmt::Rmw {
+                    op,
+                    dst: Reg(reg),
+                    addr: Expr::val(*loc),
+                    expected: (op == RmwOp::Cas).then(|| Expr::val(*expected)),
+                    operand: Expr::val(*operand),
+                    ord: RMW_ORDS[*ord],
+                });
+                reg += 1;
+                accesses += 1;
+                last_was_rmw = true;
+            }
+        }
+    }
+    Thread(stmts)
+}
+
+fn program_strategy() -> impl Strategy<Value = Vec<Vec<Recipe>>> {
+    proptest::collection::vec(proptest::collection::vec(recipe_strategy(), 1..5), 2..3)
+}
+
+fn to_lang_program(recipes: &[Vec<Recipe>]) -> LangProgram {
+    LangProgram::new(recipes.iter().map(|r| build_thread(r)).collect())
+}
+
+const FUEL: u32 = 8;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The headline property: a random surface program compiled to ARM
+    /// and to RISC-V has identical outcome sets — under both the
+    /// promise-first and the naive search.
+    #[test]
+    fn compiled_outcomes_agree_across_architectures(recipes in program_strategy()) {
+        let lang = to_lang_program(&recipes);
+        let arm = Arc::new(compile(&lang, Arch::Arm));
+        let riscv = Arc::new(compile(&lang, Arch::RiscV));
+        let arm_cfg = Config::for_arch(Arch::Arm).with_loop_fuel(FUEL);
+        let riscv_cfg = Config::for_arch(Arch::RiscV).with_loop_fuel(FUEL);
+
+        let a = explore_promise_first(&Machine::new(Arc::clone(&arm), arm_cfg.clone()));
+        let b = explore_promise_first(&Machine::new(Arc::clone(&riscv), riscv_cfg.clone()));
+        prop_assert_eq!(
+            &a.outcomes, &b.outcomes,
+            "promise-first: ARM vs RISC-V mismatch on\n{}", lang
+        );
+
+        let an = explore_naive(&Machine::new(arm, arm_cfg), CertMode::Online);
+        prop_assert_eq!(
+            &an.outcomes, &a.outcomes,
+            "ARM: naive vs promise-first mismatch on\n{}", lang
+        );
+        let bn = explore_naive(&Machine::new(riscv, riscv_cfg), CertMode::Online);
+        prop_assert_eq!(
+            &an.outcomes, &bn.outcomes,
+            "naive: ARM vs RISC-V mismatch on\n{}", lang
+        );
+    }
+
+    /// The same property under the Flat-lite baseline.
+    #[test]
+    fn compiled_outcomes_agree_under_flat(recipes in program_strategy()) {
+        let lang = to_lang_program(&recipes);
+        let arm = Arc::new(compile(&lang, Arch::Arm));
+        let riscv = Arc::new(compile(&lang, Arch::RiscV));
+        let a = explore_flat(&FlatMachine::new(
+            arm,
+            Config::for_arch(Arch::Arm).with_loop_fuel(FUEL),
+        ));
+        let b = explore_flat(&FlatMachine::new(
+            riscv,
+            Config::for_arch(Arch::RiscV).with_loop_fuel(FUEL),
+        ));
+        prop_assert_eq!(
+            &a.outcomes, &b.outcomes,
+            "flat: ARM vs RISC-V mismatch on\n{}", lang
+        );
+    }
+}
+
+proptest! {
+    // the axiomatic side enumerates rf/co candidates; keep it smaller
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Soundness of each scheme separately: the compiled program's
+    /// operational outcome set equals the axiomatic model's, per
+    /// architecture (Theorem 6.1 on compiled programs).
+    #[test]
+    fn compiled_promising_equals_axiomatic(recipes in program_strategy(), riscv in any::<bool>()) {
+        let arch = if riscv { Arch::RiscV } else { Arch::Arm };
+        let lang = to_lang_program(&recipes);
+        let program = Arc::new(compile(&lang, arch));
+        let op = explore_promise_first(&Machine::new(
+            Arc::clone(&program),
+            Config::for_arch(arch).with_loop_fuel(FUEL),
+        ));
+        let mut ax_cfg = promising_axiomatic::AxConfig::new(arch);
+        ax_cfg.loop_fuel = FUEL;
+        let ax = promising_axiomatic::enumerate_outcomes(&program, &ax_cfg)
+            .expect("axiomatic enumeration");
+        prop_assert_eq!(
+            &op.outcomes, &ax.outcomes,
+            "promising vs axiomatic mismatch ({:?}) on\n{}", arch, lang
+        );
+    }
+}
+
+/// The repair rules must not neuter the generator: sampled programs must
+/// still contain `sc` loads, RMWs, and release stores.
+#[test]
+fn battery_exercises_the_ordering_space() {
+    let mut rng =
+        proptest::TestRng::new(proptest::seed_for("battery_exercises_the_ordering_space"));
+    let strat = program_strategy();
+    let (mut sc_loads, mut rmws, mut rel_stores) = (0, 0, 0);
+    for _ in 0..200 {
+        let p = to_lang_program(&strat.sample(&mut rng));
+        for t in p.threads() {
+            for s in &t.0 {
+                match s {
+                    LStmt::Load {
+                        ord: Ord::SeqCst, ..
+                    } => sc_loads += 1,
+                    LStmt::Rmw { .. } => rmws += 1,
+                    LStmt::Store {
+                        ord: Ord::Release | Ord::SeqCst,
+                        ..
+                    } => rel_stores += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+    assert!(sc_loads > 10, "only {sc_loads} sc loads in 200 programs");
+    assert!(rmws > 50, "only {rmws} RMWs in 200 programs");
+    assert!(
+        rel_stores > 50,
+        "only {rel_stores} release stores in 200 programs"
+    );
+}
