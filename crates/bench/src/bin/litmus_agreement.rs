@@ -11,18 +11,57 @@
 //! `--subsample STRIDE` keeps every `STRIDE`-th generated test (the
 //! named catalogue is always kept in full) — the fast cross-model smoke
 //! check CI runs on every push; omit it for the full local sweep.
+//!
+//! `--por-sweep` additionally runs the two POR-reduced models
+//! (promising-naive and Flat-lite) with partial-order reduction *off*
+//! on every selected test and asserts the outcome sets are identical to
+//! the POR-on runs — the direct `Config::por` soundness sweep CI runs
+//! per push.
 
 use promising_core::Arch;
 use promising_litmus::{
     catalogue, check_agreement, check_lang_conformance, generate_lang_subsample,
     generate_lang_suite, generate_rmw_subsample, generate_subsample, generate_suite,
-    generate_three_thread_suite, lang_catalogue, ModelKind,
+    generate_three_thread_suite, lang_catalogue, run_model_with, LitmusTest, ModelKind,
 };
 use std::collections::BTreeSet;
 use std::time::Instant;
 
+/// POR-on vs POR-off outcome equality for the two reduced models.
+/// `flat_on` lets the caller pass the Flat outcome set the agreement
+/// check just computed (POR defaults to on there), so the sweep does not
+/// re-explore Flat's state space a third time per test.
+fn check_por_agreement(
+    test: &LitmusTest,
+    flat_on: Option<&BTreeSet<promising_core::Outcome>>,
+) -> Result<(), String> {
+    for kind in [ModelKind::PromisingNaive, ModelKind::Flat] {
+        let on = match (kind, flat_on) {
+            (ModelKind::Flat, Some(outcomes)) => outcomes.clone(),
+            _ => {
+                run_model_with(test, kind, |c| c.with_por(true))
+                    .map_err(|e| format!("{}: {} POR-on: {e}", test.name, kind.name()))?
+                    .outcomes
+            }
+        };
+        let off = run_model_with(test, kind, |c| c.with_por(false))
+            .map_err(|e| format!("{}: {} POR-off: {e}", test.name, kind.name()))?;
+        if on != off.outcomes {
+            return Err(format!(
+                "{}: {} POR-on and POR-off outcome sets differ ({} vs {} outcomes)",
+                test.name,
+                kind.name(),
+                on.len(),
+                off.outcomes.len(),
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn main() {
     let mut subsample: Option<usize> = None;
+    let mut por_sweep = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -33,6 +72,7 @@ fn main() {
                         .expect("--subsample needs a stride"),
                 )
             }
+            "--por-sweep" => por_sweep = true,
             other => panic!("unknown argument: {other}"),
         }
     }
@@ -77,10 +117,20 @@ fn main() {
         tests.extend(catalogue().into_iter().filter(|t| t.arch == arch));
         println!("{}: {} tests", arch.name(), tests.len());
         for (i, test) in tests.iter().enumerate() {
+            let mut flat_on = None;
             match check_agreement(test, &models) {
-                Ok(a) if a.agree => {}
-                Ok(a) => disagreements.push(a.mismatch.unwrap_or(a.test)),
+                Ok(a) => {
+                    if !a.agree {
+                        disagreements.push(a.mismatch.unwrap_or_else(|| a.test.clone()));
+                    }
+                    flat_on = a.runs.into_iter().find(|r| r.kind == ModelKind::Flat);
+                }
                 Err(e) => disagreements.push(format!("{test}: {e}")),
+            }
+            if por_sweep {
+                if let Err(e) = check_por_agreement(test, flat_on.as_ref().map(|r| &r.outcomes)) {
+                    disagreements.push(e);
+                }
             }
             if (i + 1) % 200 == 0 {
                 println!(
@@ -112,10 +162,30 @@ fn main() {
     );
     println!("lang: {} tests (×2 architectures)", lang_tests.len());
     for test in &lang_tests {
+        let mut flat_on: Vec<(Arch, promising_litmus::ModelRun)> = Vec::new();
         match check_lang_conformance(test, &models) {
-            Ok(c) if c.agree => {}
-            Ok(c) => disagreements.push(c.mismatch.unwrap_or(c.test)),
+            Ok(c) => {
+                if !c.agree {
+                    disagreements.push(c.mismatch.unwrap_or_else(|| c.test.clone()));
+                }
+                flat_on = c
+                    .runs
+                    .into_iter()
+                    .filter(|(_, r)| r.kind == ModelKind::Flat)
+                    .collect();
+            }
             Err(e) => disagreements.push(format!("{test}: {e}")),
+        }
+        if por_sweep {
+            for arch in [Arch::Arm, Arch::RiscV] {
+                let reuse = flat_on
+                    .iter()
+                    .find(|(a, _)| *a == arch)
+                    .map(|(_, r)| &r.outcomes);
+                if let Err(e) = check_por_agreement(&test.compile(arch), reuse) {
+                    disagreements.push(e);
+                }
+            }
         }
     }
     total += lang_tests.len();

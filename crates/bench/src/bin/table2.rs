@@ -10,7 +10,7 @@
 //!
 //! ```text
 //! cargo run --release -p promising-bench --bin table2 -- \
-//!     [timeout-secs] [--json PATH] [--legacy] [--no-flat] \
+//!     [timeout-secs] [--json PATH] [--legacy] [--no-flat] [--no-por] \
 //!     [--workers N,M,..] [--rows A,B,..] [--sample N] [--seed S]
 //! ```
 //!
@@ -22,6 +22,10 @@
 //!   speedup; outcome sets are cross-checked;
 //! * `--no-flat` — skip the Flat-lite cells (useful when profiling or
 //!   timing only the promising side);
+//! * `--no-por` — disable partial-order reduction (the escape hatch for
+//!   `Config::por`, which is on by default; outcome sets are identical
+//!   either way — the JSON rows carry a canonical `outcomes_digest` to
+//!   prove it across runs);
 //! * `--workers 2,4` — additionally run the promising side with those
 //!   worker counts (parallel frontier);
 //! * `--rows SLA-1,SLC-2` — restrict to the named rows;
@@ -29,7 +33,7 @@
 //!   row (`Engine::sample`, deterministic for a fixed `--seed`); sampled
 //!   outcome sets are cross-checked to be subsets of the exhaustive sets.
 
-use promising_bench::{explore_promise_first_legacy, fmt_duration, Table};
+use promising_bench::{explore_promise_first_legacy, fmt_duration, json_secs, Table};
 use promising_core::{Arch, Machine};
 use promising_explorer::{explore_promise_first_budget, Engine, PromiseFirstModel, SearchBudget};
 use promising_flat::{explore_flat_budget, FlatMachine};
@@ -70,6 +74,7 @@ struct Args {
     json: Option<String>,
     legacy: bool,
     no_flat: bool,
+    no_por: bool,
     workers: Vec<usize>,
     rows: Vec<String>,
     sample: Option<u64>,
@@ -82,6 +87,7 @@ fn parse_args() -> Args {
         json: None,
         legacy: false,
         no_flat: false,
+        no_por: false,
         workers: Vec::new(),
         rows: ROWS.iter().map(|s| s.to_string()).collect(),
         sample: None,
@@ -93,6 +99,7 @@ fn parse_args() -> Args {
             "--json" => args.json = Some(it.next().expect("--json needs a path")),
             "--legacy" => args.legacy = true,
             "--no-flat" => args.no_flat = true,
+            "--no-por" => args.no_por = true,
             "--workers" => {
                 let list = it.next().expect("--workers needs a list");
                 args.workers = list
@@ -134,18 +141,15 @@ struct Row {
     promising: Cell,
     p_cpu: f64,
     p_states: u64,
+    /// Canonically sorted outcome-set digest + size: identical for every
+    /// worker count and run, so `--json` snapshots diff cleanly.
+    p_outcomes: usize,
+    p_digest: String,
     flat: Cell,
     f_states: u64,
     legacy: Cell,
     by_workers: Vec<(usize, Cell)>,
     sampled: Option<(Cell, usize)>,
-}
-
-fn json_cell(c: Cell) -> String {
-    match c {
-        Some(secs) => format!("{secs:.6}"),
-        None => "null".to_string(),
-    }
 }
 
 fn render_json(args: &Args, rows: &[Row]) -> String {
@@ -165,11 +169,13 @@ fn render_json(args: &Args, rows: &[Row]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"test\": \"{}\", \"promising_secs\": {}, \"promising_cpu_secs\": {:.6}, \"promising_states\": {}",
+            "    {{\"test\": \"{}\", \"promising_secs\": {}, \"promising_cpu_secs\": {:.6}, \"promising_states\": {}, \"outcome_count\": {}, \"outcomes_digest\": \"{}\"",
             r.spec,
-            json_cell(r.promising),
+            json_secs(r.promising),
             r.p_cpu,
             r.p_states,
+            r.p_outcomes,
+            r.p_digest,
         );
         // Un-run cells are omitted entirely — `null` is reserved for a
         // real timeout ("ooT") and must stay distinguishable.
@@ -177,24 +183,24 @@ fn render_json(args: &Args, rows: &[Row]) -> String {
             let _ = write!(
                 out,
                 ", \"flat_secs\": {}, \"flat_states\": {}",
-                json_cell(r.flat),
+                json_secs(r.flat),
                 r.f_states,
             );
         }
         if args.legacy {
-            let _ = write!(out, ", \"legacy_secs\": {}", json_cell(r.legacy));
+            let _ = write!(out, ", \"legacy_secs\": {}", json_secs(r.legacy));
             if let (Some(l), Some(p)) = (r.legacy, r.promising) {
                 let _ = write!(out, ", \"speedup_vs_legacy\": {:.2}", l / p.max(1e-9));
             }
         }
         for (w, cell) in &r.by_workers {
-            let _ = write!(out, ", \"promising_w{}_secs\": {}", w, json_cell(*cell));
+            let _ = write!(out, ", \"promising_w{}_secs\": {}", w, json_secs(*cell));
         }
         if let Some((cell, outcomes)) = &r.sampled {
             let _ = write!(
                 out,
                 ", \"sample_secs\": {}, \"sample_outcomes\": {}",
-                json_cell(*cell),
+                json_secs(*cell),
                 outcomes
             );
         }
@@ -235,7 +241,12 @@ fn main() {
         let init = init_for(&w);
 
         let budget = SearchBudget::deadline(Some(args.timeout));
-        let m = Machine::with_init(w.program.clone(), w.config(Arch::Arm), init.clone());
+        let mk_config = |base: promising_core::Config| base.with_por(!args.no_por);
+        let m = Machine::with_init(
+            w.program.clone(),
+            mk_config(w.config(Arch::Arm)),
+            init.clone(),
+        );
         let p = explore_promise_first_budget(&m, budget);
         let p_time = (!p.stats.truncated).then_some(p.stats.wall_time.as_secs_f64());
         if !p.stats.truncated {
@@ -262,7 +273,7 @@ fn main() {
             .map(|&n| {
                 let mw = Machine::with_init(
                     w.program.clone(),
-                    w.config(Arch::Arm).with_workers(n),
+                    mk_config(w.config(Arch::Arm)).with_workers(n),
                     init.clone(),
                 );
                 let e = explore_promise_first_budget(&mw, budget);
@@ -282,7 +293,11 @@ fn main() {
         let (f_time, f_states) = if args.no_flat {
             (None, 0)
         } else {
-            let fm = FlatMachine::with_init(w.program.clone(), w.config_unshared(Arch::Arm), init);
+            let fm = FlatMachine::with_init(
+                w.program.clone(),
+                mk_config(w.config_unshared(Arch::Arm)),
+                init,
+            );
             let f = explore_flat_budget(&fm, budget);
             (
                 (!f.stats.truncated).then_some(f.stats.wall_time.as_secs_f64()),
@@ -311,6 +326,8 @@ fn main() {
             promising: p_time,
             p_cpu: p.stats.cpu_time.as_secs_f64(),
             p_states: p.stats.states,
+            p_outcomes: p.outcomes.len(),
+            p_digest: p.outcomes_digest(),
             flat: f_time,
             f_states,
             legacy: legacy.flatten(),

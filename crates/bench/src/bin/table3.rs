@@ -5,19 +5,25 @@
 //!
 //! ```text
 //! cargo run --release -p promising-bench --bin table3 -- \
-//!     [timeout-secs] [--sample N] [--seed S]
+//!     [timeout-secs] [--json PATH] [--no-por] [--sample N] [--seed S]
 //! ```
 //!
-//! `--sample N` adds a sampled-promising column: `N` seeded random
-//! promise walks per row ([`Engine::sample`]) — a sound
-//! under-approximation that still reports outcomes on rows where the
-//! exhaustive search is ooT.
+//! * `--sample N` adds a sampled-promising column: `N` seeded random
+//!   promise walks per row ([`Engine::sample`]) — a sound
+//!   under-approximation that still reports outcomes on rows where the
+//!   exhaustive search is ooT;
+//! * `--json PATH` writes a machine-readable snapshot. Outcome sets are
+//!   emitted as canonically sorted digests (`outcomes_digest`), so the
+//!   JSON is byte-identical across runs and worker counts — only the
+//!   timing fields vary;
+//! * `--no-por` disables partial-order reduction (`Config::por`).
 
-use promising_bench::{fmt_duration, Table};
+use promising_bench::{fmt_duration, json_secs, Table};
 use promising_core::{Arch, Machine};
 use promising_explorer::{explore_promise_first_budget, Engine, PromiseFirstModel, SearchBudget};
 use promising_flat::{explore_flat_budget, FlatMachine};
 use promising_workloads::{by_spec, init_for};
+use std::fmt::Write as _;
 use std::time::Duration;
 
 /// The Table 3 grid: broader parameterisations per family.
@@ -59,10 +65,22 @@ pub const ROWS: &[&str] = &[
     "QU(opt)-100-000-000",
 ];
 
+struct Row {
+    spec: String,
+    promising: Option<f64>,
+    p_states: u64,
+    outcome_count: usize,
+    digest: String,
+    flat: Option<f64>,
+    sampled: Option<(Option<f64>, usize)>,
+}
+
 fn main() {
     let mut timeout = Duration::from_secs(120);
     let mut sample: Option<u64> = None;
     let mut seed = 0u64;
+    let mut json: Option<String> = None;
+    let mut no_por = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -79,6 +97,8 @@ fn main() {
                     .and_then(|n| n.parse().ok())
                     .expect("--seed needs an integer")
             }
+            "--json" => json = Some(it.next().expect("--json needs a path")),
+            "--no-por" => no_por = true,
             other => match other.parse::<u64>() {
                 Ok(secs) => timeout = Duration::from_secs(secs),
                 Err(_) => panic!("unknown argument: {other}"),
@@ -95,20 +115,30 @@ fn main() {
         header.push("Sampled");
     }
     let mut table = Table::new(&header);
+    let mut rows: Vec<Row> = Vec::new();
     for spec in ROWS {
         let Some(w) = by_spec(spec) else {
             eprintln!("skipping unparseable spec {spec}");
             continue;
         };
         let init = init_for(&w);
-        let m = Machine::with_init(w.program.clone(), w.config(Arch::Arm), init.clone());
+        let m = Machine::with_init(
+            w.program.clone(),
+            w.config(Arch::Arm).with_por(!no_por),
+            init.clone(),
+        );
         let p = explore_promise_first_budget(&m, budget);
-        let p_time = (!p.stats.truncated).then_some(p.stats.wall_time);
-        let fm = FlatMachine::with_init(w.program.clone(), w.config_unshared(Arch::Arm), init);
+        let p_time = (!p.stats.truncated).then_some(p.stats.wall_time.as_secs_f64());
+        let fm = FlatMachine::with_init(
+            w.program.clone(),
+            w.config_unshared(Arch::Arm).with_por(!no_por),
+            init,
+        );
         let f = explore_flat_budget(&fm, budget);
-        let f_time = (!f.stats.truncated).then_some(f.stats.wall_time);
-        let mut cells = vec![spec.to_string(), fmt_duration(p_time), fmt_duration(f_time)];
-        if let Some(n) = sample {
+        let f_time = (!f.stats.truncated).then_some(f.stats.wall_time.as_secs_f64());
+        let fmt_cell = |c: Option<f64>| fmt_duration(c.map(Duration::from_secs_f64));
+        let mut cells = vec![spec.to_string(), fmt_cell(p_time), fmt_cell(f_time)];
+        let sampled = sample.map(|n| {
             let s = Engine::new(PromiseFirstModel::new(&m))
                 .with_budget(budget)
                 .sample(n, seed);
@@ -118,18 +148,59 @@ fn main() {
                     "{spec}: sampled outcomes must be a subset of exhaustive"
                 );
             }
-            cells.push(format!(
-                "{} ({} outc.)",
-                fmt_duration((!s.stats.truncated).then_some(s.stats.wall_time)),
-                s.outcomes.len()
-            ));
-        }
+            let cell = (!s.stats.truncated).then_some(s.stats.wall_time.as_secs_f64());
+            cells.push(format!("{} ({} outc.)", fmt_cell(cell), s.outcomes.len()));
+            (cell, s.outcomes.len())
+        });
         table.row(&cells);
         eprintln!(
             "  {spec}: promising {} flat {}",
-            fmt_duration(p_time),
-            fmt_duration(f_time)
+            fmt_cell(p_time),
+            fmt_cell(f_time)
         );
+        rows.push(Row {
+            spec: spec.to_string(),
+            promising: p_time,
+            p_states: p.stats.states,
+            outcome_count: p.outcomes.len(),
+            digest: p.outcomes_digest(),
+            flat: f_time,
+            sampled,
+        });
     }
     println!("{}", table.render());
+
+    if let Some(path) = &json {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"suite\": \"table3\",");
+        let _ = writeln!(out, "  \"timeout_secs\": {},", timeout.as_secs());
+        let _ = writeln!(out, "  \"por\": {},", !no_por);
+        let _ = writeln!(out, "  \"rows\": [");
+        for (i, r) in rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"test\": \"{}\", \"promising_secs\": {}, \"promising_states\": {}, \"outcome_count\": {}, \"outcomes_digest\": \"{}\", \"flat_secs\": {}",
+                r.spec,
+                json_secs(r.promising),
+                r.p_states,
+                r.outcome_count,
+                r.digest,
+                json_secs(r.flat),
+            );
+            if let Some((cell, outcomes)) = &r.sampled {
+                let _ = write!(
+                    out,
+                    ", \"sample_secs\": {}, \"sample_outcomes\": {}",
+                    json_secs(*cell),
+                    outcomes
+                );
+            }
+            let _ = writeln!(out, "}}{}", if i + 1 < rows.len() { "," } else { "" });
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = write!(out, "}}");
+        std::fs::write(path, out).expect("write json snapshot");
+        println!("wrote {path}");
+    }
 }

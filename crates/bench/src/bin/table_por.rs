@@ -1,0 +1,353 @@
+//! Experiment POR (PR 5): measure the partial-order reduction — visited
+//! states and pruned transitions with `Config::por` on vs off, on the
+//! two models the reduction applies to (the naive full-interleaving
+//! promising search and the Flat-lite baseline).
+//!
+//! Rows come in two groups:
+//!
+//! * the **Table-2 heavy rows** (SLC-2, STC, STR, QU). These are
+//!   *append-bound*: every thread keeps writing a contended location
+//!   (lock word, stack head, queue tail) until it retires, and appends
+//!   to the total order of memory never commute, so sound POR has
+//!   almost nothing to prune — the effective ordering reduction for
+//!   them is the promise-first strategy itself (Theorem 7.1), which is
+//!   what the Table-2 "Promising" column runs. The rows are included to
+//!   record exactly that;
+//! * **read-parallel rows** — IRIW-style multi-observer shapes (the
+//!   catalogue entries plus `RF-n-k` fan-outs: one writer of `k`
+//!   locations, `n` pure-reader threads) where co-enabled observers
+//!   collapse multiplicatively. This is the shape that dominates the
+//!   generated litmus corpora.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p promising-bench --bin table_por -- \
+//!     [timeout-secs] [--json PATH]
+//! ```
+//!
+//! Outcome sets are asserted identical POR-on vs POR-off on every row
+//! that completes both sides (the process exits non-zero otherwise).
+
+use promising_bench::Table;
+use promising_core::{Arch, CodeBuilder, Config, Expr, Machine, Program, Reg};
+use promising_explorer::{explore_naive_budget, CertMode, Exploration, SearchBudget};
+use promising_flat::{explore_flat_budget, FlatMachine};
+use promising_litmus::{catalogue, DEFAULT_FUEL};
+use promising_workloads::{by_spec, init_for};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The Table-2 heavy rows (append-bound — see the module docs).
+const HEAVY: &[&str] = &[
+    "SLC-2",
+    "STC-100-010-000",
+    "STC-100-010-010",
+    "STR-100-010-000",
+    "STR-100-010-010",
+    "QU-100-000-000",
+    "QU-100-010-000",
+];
+
+/// Read-parallel fan-outs: (readers, locations-each). The observer
+/// collapse compounds in the reader count — the off-side grows by the
+/// full multinomial of reader interleavings, the on-side by a sum.
+const FANOUTS: &[(usize, usize)] = &[
+    (2, 2),
+    (3, 2),
+    (2, 3),
+    (4, 2),
+    (3, 3),
+    (5, 2),
+    (4, 3),
+    (6, 2),
+];
+
+struct Row {
+    name: String,
+    model: &'static str,
+    group: &'static str,
+    states_on: u64,
+    states_off: u64,
+    pruned: u64,
+    truncated: bool,
+    equal: bool,
+}
+
+impl Row {
+    fn reduction(&self) -> f64 {
+        self.states_off as f64 / self.states_on.max(1) as f64
+    }
+}
+
+fn fanout_program(readers: usize, locs: usize) -> Arc<Program> {
+    let mut threads = Vec::new();
+    let mut b = CodeBuilder::new();
+    let stmts: Vec<_> = (0..locs)
+        .map(|l| b.store(Expr::val(l as i64), Expr::val(1)))
+        .collect();
+    threads.push(b.finish_seq(&stmts));
+    for _ in 0..readers {
+        let mut b = CodeBuilder::new();
+        let stmts: Vec<_> = (0..locs)
+            .map(|l| b.load(Reg(1 + l as u32), Expr::val((locs - 1 - l) as i64)))
+            .collect();
+        threads.push(b.finish_seq(&stmts));
+    }
+    Arc::new(Program::new(threads))
+}
+
+fn main() {
+    let mut timeout = Duration::from_secs(60);
+    let mut json: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = Some(it.next().expect("--json needs a path")),
+            other => match other.parse::<u64>() {
+                Ok(secs) => timeout = Duration::from_secs(secs),
+                Err(_) => panic!("unknown argument: {other}"),
+            },
+        }
+    }
+    let budget = SearchBudget::deadline(Some(timeout));
+    println!(
+        "POR ablation: visited states with Config::por on vs off ({}s per cell)\n",
+        timeout.as_secs()
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut measure = |name: String,
+                       model: &'static str,
+                       group: &'static str,
+                       on: Exploration,
+                       off: Exploration| {
+        let truncated = on.stats.truncated || off.stats.truncated;
+        let row = Row {
+            name: name.clone(),
+            model,
+            group,
+            states_on: on.stats.states,
+            states_off: off.stats.states,
+            pruned: on.stats.por_pruned,
+            truncated,
+            equal: truncated || on.outcomes == off.outcomes,
+        };
+        eprintln!(
+            "  {model} {name}: {} -> {} states ({:.2}x){}",
+            row.states_off,
+            row.states_on,
+            row.reduction(),
+            if truncated { " [truncated]" } else { "" }
+        );
+        rows.push(row);
+    };
+
+    let naive_pair = |program: &Arc<Program>, config: Config| {
+        let on = explore_naive_budget(
+            &Machine::new(Arc::clone(program), config.clone().with_por(true)),
+            CertMode::Online,
+            budget,
+        );
+        let off = explore_naive_budget(
+            &Machine::new(Arc::clone(program), config.with_por(false)),
+            CertMode::Online,
+            budget,
+        );
+        (on, off)
+    };
+
+    for spec in HEAVY {
+        let w = by_spec(spec).expect("heavy row spec parses");
+        let init = init_for(&w);
+        let config = w.config(Arch::Arm);
+        let on = explore_naive_budget(
+            &Machine::with_init(
+                w.program.clone(),
+                config.clone().with_por(true),
+                init.clone(),
+            ),
+            CertMode::Online,
+            budget,
+        );
+        let off = explore_naive_budget(
+            &Machine::with_init(w.program.clone(), config.with_por(false), init.clone()),
+            CertMode::Online,
+            budget,
+        );
+        measure(spec.to_string(), "naive", "table2-heavy", on, off);
+        let fc = w.config_unshared(Arch::Arm);
+        let f_on = explore_flat_budget(
+            &FlatMachine::with_init(w.program.clone(), fc.clone().with_por(true), init.clone()),
+            budget,
+        );
+        let f_off = explore_flat_budget(
+            &FlatMachine::with_init(w.program.clone(), fc.with_por(false), init),
+            budget,
+        );
+        measure(spec.to_string(), "flat", "table2-heavy", f_on, f_off);
+    }
+
+    for &(readers, locs) in FANOUTS {
+        let name = format!("RF-{readers}-{locs}");
+        let program = fanout_program(readers, locs);
+        let (on, off) = naive_pair(&program, Config::arm());
+        measure(name.clone(), "naive", "read-parallel", on, off);
+        let f_on = explore_flat_budget(
+            &FlatMachine::new(Arc::clone(&program), Config::arm()),
+            budget,
+        );
+        let f_off = explore_flat_budget(
+            &FlatMachine::new(Arc::clone(&program), Config::arm().with_por(false)),
+            budget,
+        );
+        measure(name, "flat", "read-parallel", f_on, f_off);
+    }
+
+    for t in catalogue() {
+        if t.arch != Arch::Arm || !t.name.starts_with("IRIW") {
+            continue;
+        }
+        let config = Config::for_arch(t.arch).with_loop_fuel(t.loop_fuel.unwrap_or(DEFAULT_FUEL));
+        let on = explore_naive_budget(
+            &Machine::with_init(
+                t.program.clone(),
+                config.clone().with_por(true),
+                t.init.clone(),
+            ),
+            CertMode::Online,
+            budget,
+        );
+        let off = explore_naive_budget(
+            &Machine::with_init(t.program.clone(), config.with_por(false), t.init.clone()),
+            CertMode::Online,
+            budget,
+        );
+        measure(t.name.clone(), "naive", "read-parallel", on, off);
+    }
+
+    let mut table = Table::new(&[
+        "Test",
+        "Model",
+        "Group",
+        "States-off",
+        "States-on",
+        "Reduction",
+        "Pruned",
+    ]);
+    for r in &rows {
+        table.row(&[
+            r.name.clone(),
+            r.model.to_string(),
+            r.group.to_string(),
+            r.states_off.to_string(),
+            if r.truncated {
+                format!("{} (ooT)", r.states_on)
+            } else {
+                r.states_on.to_string()
+            },
+            format!("{:.2}x", r.reduction()),
+            r.pruned.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // `None` = every row of the group was truncated, nothing to average
+    // (the JSON emits `null` then — never a bare NaN token).
+    let mean = |group: &str, model: Option<&str>| -> Option<f64> {
+        let ratios: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.group == group && !r.truncated && model.is_none_or(|m| r.model == m))
+            .map(Row::reduction)
+            .collect();
+        if ratios.is_empty() {
+            return None;
+        }
+        Some((ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp())
+    };
+    let fmt_mean = |m: Option<f64>| match m {
+        Some(m) => format!("{m:.2}x"),
+        None => "- (all rows truncated)".to_string(),
+    };
+    let heavy_mean = mean("table2-heavy", None);
+    let rp_mean = mean("read-parallel", None);
+    let rp_naive = mean("read-parallel", Some("naive"));
+    let rp_flat = mean("read-parallel", Some("flat"));
+    println!("geometric-mean state reduction (completed rows):");
+    println!(
+        "  table2-heavy:  {}  (append-bound — see module docs: POR",
+        fmt_mean(heavy_mean)
+    );
+    println!("                 cannot commute appends; promise-first is their reduction)");
+    println!(
+        "  read-parallel: {} (naive {}, flat {})",
+        fmt_mean(rp_mean),
+        fmt_mean(rp_naive),
+        fmt_mean(rp_flat)
+    );
+
+    let mismatches: Vec<&Row> = rows.iter().filter(|r| !r.equal).collect();
+    for r in &mismatches {
+        eprintln!(
+            "MISMATCH: {} {}: POR-on and POR-off outcome sets differ",
+            r.model, r.name
+        );
+    }
+
+    if let Some(path) = &json {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"suite\": \"table_por\",");
+        let _ = writeln!(out, "  \"timeout_secs\": {},", timeout.as_secs());
+        let json_mean = |m: Option<f64>| match m {
+            Some(m) => format!("{m:.4}"),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  \"mean_reduction_table2_heavy\": {},",
+            json_mean(heavy_mean)
+        );
+        let _ = writeln!(
+            out,
+            "  \"mean_reduction_read_parallel\": {},",
+            json_mean(rp_mean)
+        );
+        let _ = writeln!(
+            out,
+            "  \"mean_reduction_read_parallel_naive\": {},",
+            json_mean(rp_naive)
+        );
+        let _ = writeln!(
+            out,
+            "  \"mean_reduction_read_parallel_flat\": {},",
+            json_mean(rp_flat)
+        );
+        let _ = writeln!(out, "  \"rows\": [");
+        for (i, r) in rows.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"test\": \"{}\", \"model\": \"{}\", \"group\": \"{}\", \"states_off\": {}, \"states_on\": {}, \"reduction\": {:.4}, \"por_pruned\": {}, \"truncated\": {}, \"outcomes_equal\": {}}}{}",
+                r.name,
+                r.model,
+                r.group,
+                r.states_off,
+                r.states_on,
+                r.reduction(),
+                r.pruned,
+                r.truncated,
+                r.equal,
+                if i + 1 < rows.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = write!(out, "}}");
+        std::fs::write(path, out).expect("write json snapshot");
+        println!("wrote {path}");
+    }
+
+    if !mismatches.is_empty() {
+        std::process::exit(1);
+    }
+}

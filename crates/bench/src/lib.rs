@@ -9,4 +9,4 @@ pub mod legacy;
 pub mod table;
 
 pub use legacy::explore_promise_first_legacy;
-pub use table::{fmt_duration, Table};
+pub use table::{fmt_duration, json_secs, Table};

@@ -63,6 +63,16 @@ pub fn fmt_duration(d: Option<Duration>) -> String {
     }
 }
 
+/// JSON format for an optional seconds cell: six decimals, or `null`
+/// for a timeout ("ooT") — shared by every `--json` snapshot writer so
+/// no binary ever emits a bare `NaN`/`inf` token.
+pub fn json_secs(c: Option<f64>) -> String {
+    match c {
+        Some(secs) if secs.is_finite() => format!("{secs:.6}"),
+        _ => "null".to_string(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

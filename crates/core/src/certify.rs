@@ -603,6 +603,144 @@ mod tests {
         );
     }
 
+    /// Build a machine whose certification tree is big and branchy
+    /// enough that an expired deadline genuinely fires mid-search (the
+    /// deadline is polled every [`DEADLINE_CHECK_PERIOD`] nodes): thread
+    /// 0 alternates multi-candidate loads with data-dependent stores, so
+    /// the promisable set differs sharply between a truncated and a
+    /// complete search.
+    fn branchy_machine() -> Machine {
+        let mut b = CodeBuilder::new();
+        let mut stmts = Vec::new();
+        for i in 0..4 {
+            stmts.push(b.load(Reg(i), Expr::val(0)));
+            stmts.push(b.store(Expr::val(1), Expr::reg(Reg(i))));
+        }
+        let t0 = b.finish_seq(&stmts);
+        let mut b = CodeBuilder::new();
+        let s1: Vec<_> = (1..6)
+            .map(|v| b.store(Expr::val(0), Expr::val(v)))
+            .collect();
+        let t1 = b.finish_seq(&s1);
+        let mut m = Machine::new(Arc::new(Program::new(vec![t0, t1])), Config::arm());
+        for _ in 0..5 {
+            m.apply(&Transition::new(
+                TId(1),
+                crate::machine::TransitionKind::WriteNormal,
+            ))
+            .unwrap();
+        }
+        m.apply(&Transition::new(
+            TId(0),
+            crate::machine::TransitionKind::Promise {
+                msg: Msg::new(Loc(1), Val(0), TId(0)),
+            },
+        ))
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn deadline_truncated_search_does_not_poison_shared_memo() {
+        // Regression (PR 5 correctness sweep): a shared memo must never
+        // serve an entry computed under a deadline truncation as a
+        // complete answer. A query whose deadline has already expired
+        // runs partially (the engine only notices at the periodic check),
+        // memoising only sub-results whose subtrees completed *before*
+        // the cut; a later deadline-free query through the same memo must
+        // recompute everything else and match a fresh-memo run exactly.
+        let m = branchy_machine();
+        let fresh = find_and_certify(&m, TId(0));
+        assert!(!fresh.bound_hit && !fresh.deadline_hit);
+
+        let mut shared = CertMemo::for_config(m.config());
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        let cut = find_and_certify_with(&m, TId(0), &mut shared, Some(past));
+        assert!(
+            cut.deadline_hit,
+            "the expired deadline must actually fire mid-search \
+             (grow the program if this stops holding)"
+        );
+        assert!(
+            cut.promisable.len() < fresh.promisable.len(),
+            "the cut run must genuinely be truncated for this test to bite"
+        );
+
+        let reuse = find_and_certify_with(&m, TId(0), &mut shared, None);
+        assert!(!reuse.deadline_hit);
+        assert_eq!(
+            reuse.promisable, fresh.promisable,
+            "deadline-truncated memo entries leaked into a complete query"
+        );
+        assert_eq!(reuse.certified, fresh.certified);
+        assert_eq!(reuse.certified_first_steps, fresh.certified_first_steps);
+        assert!(!reuse.bound_hit, "no depth bound was hit anywhere");
+    }
+
+    #[test]
+    fn deadline_and_depth_truncations_compose_in_one_memo() {
+        // One memo fed by a deadline-cut query and a depth-bounded query
+        // (same machine state, different budgets — the memo is keyed by
+        // the sub-problem alone, not the budget) must still answer a
+        // final unbounded query exactly like a fresh memo. A bounded
+        // query against the warm memo may legitimately return *more*
+        // than a cold bounded run (complete entries serve any budget)
+        // but never more than the true answer, and never less than its
+        // cold result.
+        let m = branchy_machine();
+        let fresh_full = find_and_certify(&m, TId(0));
+        let shallow_config = Config::arm().with_cert_depth(3);
+        let fresh_shallow = {
+            // same dynamic state, shallow certification budget, cold memo
+            let mut memo = CertMemo::for_config(&shallow_config);
+            find_and_certify_shallow(&m, &shallow_config, &mut memo)
+        };
+        assert!(fresh_shallow.bound_hit, "depth 3 must truncate the search");
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        let mut memo = CertMemo::for_config(m.config());
+        let _ = find_and_certify_with(&m, TId(0), &mut memo, Some(past));
+        let shallow_warm = find_and_certify_shallow(&m, &shallow_config, &mut memo);
+        assert!(
+            shallow_warm.promisable.is_subset(&fresh_full.promisable),
+            "a bounded query must never exceed the true promisable set"
+        );
+        assert!(
+            fresh_shallow.promisable.is_subset(&shallow_warm.promisable),
+            "a warm memo must not lose promises a cold bounded run finds"
+        );
+        let full = find_and_certify_with(&m, TId(0), &mut memo, None);
+        assert_eq!(full.promisable, fresh_full.promisable);
+        assert_eq!(full.certified_first_steps, fresh_full.certified_first_steps);
+        assert!(!full.bound_hit && !full.deadline_hit);
+    }
+
+    /// Run `find_and_certify_with` under a different (shallower)
+    /// certification budget against the same dynamic state: rebuild the
+    /// machine with `config` and replay nothing — the memo key ignores
+    /// the config, so entries are shared with full-depth queries.
+    fn find_and_certify_shallow(m: &Machine, config: &Config, memo: &mut CertMemo) -> CertResult {
+        let mut replica = Machine::new(Arc::clone(m.program()), config.clone());
+        // replay thread 1's writes and thread 0's promise (see
+        // `branchy_machine`)
+        for _ in 0..5 {
+            replica
+                .apply(&Transition::new(
+                    TId(1),
+                    crate::machine::TransitionKind::WriteNormal,
+                ))
+                .unwrap();
+        }
+        replica
+            .apply(&Transition::new(
+                TId(0),
+                crate::machine::TransitionKind::Promise {
+                    msg: Msg::new(Loc(1), Val(0), TId(0)),
+                },
+            ))
+            .unwrap();
+        find_and_certify_with(&replica, TId(0), memo, None)
+    }
+
     #[test]
     fn shared_memo_reuse_matches_fresh_results() {
         // Reusing a memo across machine states must give the same

@@ -75,6 +75,12 @@ pub struct Config {
     /// panic if two distinct states ever collide. Slower; intended for
     /// tests validating the fingerprint layer.
     pub paranoid: bool,
+    /// Partial-order reduction: prune provably redundant interleavings
+    /// (persistent sets over transition footprints) from the exhaustive
+    /// search. On by default; outcome sets are identical either way
+    /// (`--no-por` in the table binaries is the escape hatch). See
+    /// [`crate::footprint`].
+    pub por: bool,
 }
 
 impl Config {
@@ -87,6 +93,7 @@ impl Config {
             shared: SharedLocs::All,
             workers: 1,
             paranoid: false,
+            por: true,
         }
     }
 
@@ -138,6 +145,13 @@ impl Config {
     #[must_use]
     pub fn with_paranoid(mut self, paranoid: bool) -> Config {
         self.paranoid = paranoid;
+        self
+    }
+
+    /// Enable or disable partial-order reduction (on by default).
+    #[must_use]
+    pub fn with_por(mut self, por: bool) -> Config {
+        self.por = por;
         self
     }
 }

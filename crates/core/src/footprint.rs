@@ -1,0 +1,241 @@
+//! Transition footprints for partial-order reduction.
+//!
+//! A [`Footprint`] abstracts what one transition touches: the acting
+//! thread, the shared locations it reads and writes, and three flags —
+//! whether it *appends* a message to memory (memory is a total order of
+//! messages, so any two appends conflict), whether it is
+//! *certification-coupled* (a promise, or any step of a thread holding
+//! promises: such steps are filtered through certification, which reads
+//! the whole memory, so any append can enable or disable them), and
+//! whether it is a view *fence*. Footprints drive the default
+//! [`independent`](Footprint::independent_with) relation of the
+//! exploration engine's `SearchModel` trait.
+//!
+//! The relation is deliberately conservative: `independent_with` returning
+//! `true` guarantees the two transitions are independent in the classical
+//! sense — co-enabled in some state, they commute (executing them in
+//! either order reaches the same state) and neither enables or disables
+//! the other. `false` makes no claim. Same-thread transitions are always
+//! dependent (they compete for the same program point), and an unknown
+//! agent ([`Footprint::opaque`]) is dependent with everything.
+
+use crate::ids::Loc;
+
+/// A tiny set of locations (transitions touch at most one or two).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LocSet(Vec<Loc>);
+
+impl LocSet {
+    /// The empty set.
+    pub fn new() -> LocSet {
+        LocSet(Vec::new())
+    }
+
+    /// A singleton set.
+    pub fn of(loc: Loc) -> LocSet {
+        LocSet(vec![loc])
+    }
+
+    /// Add a location.
+    pub fn insert(&mut self, loc: Loc) {
+        if !self.0.contains(&loc) {
+            self.0.push(loc);
+        }
+    }
+
+    /// Whether `loc` is in the set.
+    pub fn contains(&self, loc: Loc) -> bool {
+        self.0.contains(&loc)
+    }
+
+    /// Whether the sets share a location.
+    pub fn intersects(&self, other: &LocSet) -> bool {
+        self.0.iter().any(|l| other.0.contains(l))
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate over the locations.
+    pub fn iter(&self) -> impl Iterator<Item = Loc> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+/// What one transition touches — see the module docs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Footprint {
+    /// The acting thread (`None`: unknown — dependent with everything).
+    pub agent: Option<usize>,
+    /// Shared locations read from memory.
+    pub reads: LocSet,
+    /// Shared locations whose memory content the step writes.
+    pub writes: LocSet,
+    /// Whether the step appends a message to memory (normal writes,
+    /// RMW normal writes, promises). Memory is a total order, so any two
+    /// appends conflict regardless of location.
+    pub appends: bool,
+    /// Whether the step is certification-coupled: a promise, or any step
+    /// of a thread that currently holds promises (r24 filters those
+    /// through certification, which reads the whole memory).
+    pub promise: bool,
+    /// Whether the step is a view fence (thread-local; informational).
+    pub fence: bool,
+}
+
+impl Footprint {
+    /// The maximally conservative footprint: unknown agent, dependent
+    /// with every other transition. The engine's default for models that
+    /// do not override the footprint hook.
+    pub fn opaque() -> Footprint {
+        Footprint {
+            agent: None,
+            reads: LocSet::new(),
+            writes: LocSet::new(),
+            appends: true,
+            promise: true,
+            fence: false,
+        }
+    }
+
+    /// A purely thread-local step of `agent` (register ops, branches,
+    /// fences, exclusive-failures): no memory interaction at all.
+    pub fn local(agent: usize) -> Footprint {
+        Footprint {
+            agent: Some(agent),
+            reads: LocSet::new(),
+            writes: LocSet::new(),
+            appends: false,
+            promise: false,
+            fence: false,
+        }
+    }
+
+    /// A read of `loc` by `agent`.
+    pub fn read(agent: usize, loc: Loc) -> Footprint {
+        Footprint {
+            reads: LocSet::of(loc),
+            ..Footprint::local(agent)
+        }
+    }
+
+    /// A write of `loc` by `agent`; `appends` says whether it appends a
+    /// fresh message (as opposed to fulfilling one already in memory).
+    pub fn write(agent: usize, loc: Loc, appends: bool) -> Footprint {
+        Footprint {
+            writes: LocSet::of(loc),
+            appends,
+            ..Footprint::local(agent)
+        }
+    }
+
+    /// Mark the step certification-coupled (see the field docs).
+    #[must_use]
+    pub fn with_promise(mut self) -> Footprint {
+        self.promise = true;
+        self
+    }
+
+    /// Mark the step a view fence.
+    #[must_use]
+    pub fn with_fence(mut self) -> Footprint {
+        self.fence = true;
+        self
+    }
+
+    /// Whether two transitions with these footprints are independent:
+    /// wherever both are enabled they commute, and neither enables or
+    /// disables the other. Conservative — `false` makes no claim.
+    pub fn independent_with(&self, other: &Footprint) -> bool {
+        let (Some(a), Some(b)) = (self.agent, other.agent) else {
+            return false;
+        };
+        if a == b {
+            // same program point: alternative branches, never independent
+            return false;
+        }
+        if self.appends && other.appends {
+            // memory is a total order: appends never commute
+            return false;
+        }
+        // r24: a certification-coupled step can be enabled or disabled by
+        // any append (certification reads the whole memory)
+        if (self.promise && other.appends) || (other.promise && self.appends) {
+            return false;
+        }
+        // location conflicts: a write races every same-location access
+        if self.writes.intersects(&other.reads)
+            || self.writes.intersects(&other.writes)
+            || other.writes.intersects(&self.reads)
+        {
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locset_basics() {
+        let mut s = LocSet::of(Loc(1));
+        s.insert(Loc(2));
+        s.insert(Loc(1));
+        assert!(s.contains(Loc(1)) && s.contains(Loc(2)) && !s.contains(Loc(3)));
+        assert!(s.intersects(&LocSet::of(Loc(2))));
+        assert!(!s.intersects(&LocSet::of(Loc(3))));
+        assert_eq!(s.iter().count(), 2);
+    }
+
+    #[test]
+    fn opaque_is_dependent_with_everything() {
+        let o = Footprint::opaque();
+        assert!(!o.independent_with(&Footprint::local(1)));
+        assert!(!Footprint::local(1).independent_with(&o));
+    }
+
+    #[test]
+    fn same_agent_is_dependent() {
+        let a = Footprint::read(0, Loc(1));
+        let b = Footprint::read(0, Loc(2));
+        assert!(!a.independent_with(&b));
+    }
+
+    #[test]
+    fn cross_thread_reads_are_independent() {
+        let a = Footprint::read(0, Loc(1));
+        let b = Footprint::read(1, Loc(1));
+        assert!(a.independent_with(&b));
+        assert!(b.independent_with(&a));
+    }
+
+    #[test]
+    fn appends_conflict_even_across_locations() {
+        let a = Footprint::write(0, Loc(1), true);
+        let b = Footprint::write(1, Loc(2), true);
+        assert!(!a.independent_with(&b));
+    }
+
+    #[test]
+    fn write_conflicts_with_same_location_read() {
+        let w = Footprint::write(0, Loc(1), true);
+        let r = Footprint::read(1, Loc(1));
+        assert!(!w.independent_with(&r));
+        assert!(!r.independent_with(&w));
+        let r2 = Footprint::read(1, Loc(2));
+        assert!(w.independent_with(&r2));
+    }
+
+    #[test]
+    fn promise_coupling_blocks_appends() {
+        let fulfil = Footprint::write(0, Loc(1), false).with_promise();
+        let append = Footprint::write(1, Loc(2), true);
+        assert!(!fulfil.independent_with(&append));
+        // …but not local steps of other threads
+        assert!(fulfil.independent_with(&Footprint::local(1)));
+    }
+}

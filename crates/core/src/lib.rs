@@ -53,6 +53,7 @@ pub mod certify;
 pub mod config;
 pub mod expr;
 pub mod fingerprint;
+pub mod footprint;
 pub mod ids;
 pub mod lex;
 pub mod machine;
@@ -69,6 +70,7 @@ pub use certify::{
 pub use config::{Arch, Config, SharedLocs};
 pub use expr::{Expr, Op};
 pub use fingerprint::{Fingerprint, FpBuildHasher, FpHashMap, FpHasher, FpIdentityHasher};
+pub use footprint::{Footprint, LocSet};
 pub use ids::{Loc, Reg, TId, Timestamp, Val, View};
 pub use lex::{LocTable, Tokens};
 pub use machine::{
@@ -79,7 +81,7 @@ pub use memory::{Memory, Msg};
 pub use outcome::Outcome;
 pub use parser::{parse_program, parse_thread, ParseError};
 pub use stmt::{
-    desugar_program_rmws, desugar_rmws, AccessSet, CodeBuilder, Fence, Program, ReadKind, RmwOp,
-    Stmt, StmtId, ThreadCode, WriteKind,
+    desugar_program_rmws, desugar_rmws, AccessSet, CodeBuilder, Fence, MayAccess, Program,
+    ReadKind, RmwOp, Stmt, StmtId, ThreadCode, WriteKind,
 };
 pub use thread::{ExclBank, Forward, RegFile, StuckReason, ThreadState};

@@ -18,6 +18,7 @@
 use crate::config::{Arch, Config};
 use crate::expr::Expr;
 use crate::fingerprint::{Fingerprint, FpHasher};
+use crate::footprint::Footprint;
 use crate::ids::{Loc, Reg, TId, Timestamp, Val, View};
 use crate::memory::{Memory, Msg};
 use crate::stmt::{Program, ReadKind, RmwOp, Stmt, StmtId, ThreadCode, WriteKind};
@@ -454,6 +455,90 @@ impl Machine {
             }
         }
         out
+    }
+
+    /// The [`Footprint`] of an enabled transition: acting thread, the
+    /// shared locations it touches, and the append/certification-coupling
+    /// flags. Computed from the transition kind plus the acting thread's
+    /// head statement (the `enabled_steps`/`apply_step` shapes), without
+    /// applying anything. Conservative: a transition whose shape cannot
+    /// be classified gets [`Footprint::opaque`].
+    pub fn transition_footprint(&self, tr: &Transition) -> Footprint {
+        let tid = tr.tid.0;
+        let promising = self.threads[tid].state.has_promises();
+        // any step of a promising thread is certification-filtered (r24),
+        // so its enabledness is coupled to the whole memory
+        let couple = |fp: Footprint| if promising { fp.with_promise() } else { fp };
+        let head_loc = |stmt_addr: Option<&Expr>| {
+            stmt_addr.map(|addr| eval_addr(addr, &self.threads[tid].state).0)
+        };
+        match &tr.kind {
+            TransitionKind::Promise { msg } => Footprint::write(tid, msg.loc, true).with_promise(),
+            TransitionKind::Internal => match self.head(tr.tid) {
+                Some((_, Stmt::Fence(_))) => couple(Footprint::local(tid).with_fence()),
+                _ => couple(Footprint::local(tid)),
+            },
+            TransitionKind::ExclFail => couple(Footprint::local(tid)),
+            TransitionKind::Read { .. } => {
+                let addr = match self.head(tr.tid) {
+                    Some((_, Stmt::Load { addr, .. })) | Some((_, Stmt::Rmw { addr, .. })) => {
+                        Some(addr)
+                    }
+                    _ => None,
+                };
+                match head_loc(addr) {
+                    Some(loc) => couple(Footprint::read(tid, loc)),
+                    None => Footprint::opaque(),
+                }
+            }
+            TransitionKind::Fulfil { .. } => {
+                // fulfilment is memory-silent: the message has been in
+                // memory (and readable by everyone) since promise time,
+                // and only the acting thread's state changes — so no
+                // write-set entry. The thread is promising by definition,
+                // hence certification-coupled.
+                Footprint::local(tid).with_promise()
+            }
+            TransitionKind::WriteNormal => {
+                let addr = match self.head(tr.tid) {
+                    Some((_, Stmt::Store { addr, .. })) => Some(addr),
+                    _ => None,
+                };
+                match head_loc(addr) {
+                    Some(loc) => couple(Footprint::write(tid, loc, true)),
+                    None => Footprint::opaque(),
+                }
+            }
+            TransitionKind::Rmw { tw, .. } => {
+                let addr = match self.head(tr.tid) {
+                    Some((_, Stmt::Rmw { addr, .. })) => Some(addr),
+                    _ => None,
+                };
+                match head_loc(addr) {
+                    Some(loc) => {
+                        let mut fp = Footprint::write(tid, loc, tw.is_none());
+                        fp.reads.insert(loc);
+                        couple(fp)
+                    }
+                    None => Footprint::opaque(),
+                }
+            }
+        }
+    }
+
+    /// Whether thread `tid`'s *remaining* code can never write a shared
+    /// location (checked against the precomputed per-statement
+    /// [`crate::stmt::MayWrite`] sets of its continuation). Such a
+    /// thread is a *pure observer*: every step it will ever take is
+    /// thread-local or a read — it can never append to memory, promise,
+    /// or influence any other thread. The partial-order reduction
+    /// collapses the interleavings of co-enabled pure observers.
+    pub fn thread_is_pure_observer(&self, tid: TId) -> bool {
+        let code = &self.program.threads()[tid.0];
+        self.threads[tid.0]
+            .cont
+            .iter()
+            .all(|&id| !code.may_write(id).any_shared(&self.config.shared))
     }
 
     /// The exact dynamic state (continuations, thread states, memory) as

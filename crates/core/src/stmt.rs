@@ -4,8 +4,10 @@
 //! [`StmtId`]. This makes thread continuations (stacks of `StmtId`) cheap to
 //! clone, hash and compare — essential for exhaustive state-space search.
 
+use crate::config::SharedLocs;
 use crate::expr::{Expr, Op};
-use crate::ids::{Reg, Val};
+use crate::ids::{Loc, Reg, Val};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Read kinds (`rk ∈ RK`, Fig. 1), ordered `Plain ⊑ WeakAcquire ⊑ Acquire`.
@@ -285,11 +287,128 @@ pub enum Stmt {
     },
 }
 
+/// An over-approximation of the locations a statement subtree may access
+/// (its *may-read* or *may-write* set), precomputed per arena node when a
+/// [`ThreadCode`] is finished. Used by the partial-order reduction to
+/// decide whether a thread's remaining continuation can ever write (or
+/// read) a location — an access whose address expression is not a
+/// constant may touch [`MayAccess::Any`] location.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MayAccess {
+    /// Some access's address is dynamic: any location may be touched.
+    Any,
+    /// Only the listed locations may be touched (possibly none).
+    Locs(BTreeSet<Loc>),
+}
+
+impl MayAccess {
+    /// The empty set.
+    pub fn none() -> MayAccess {
+        MayAccess::Locs(BTreeSet::new())
+    }
+
+    /// Whether `loc` may be touched.
+    pub fn contains(&self, loc: Loc) -> bool {
+        match self {
+            MayAccess::Any => true,
+            MayAccess::Locs(s) => s.contains(&loc),
+        }
+    }
+
+    /// Whether no location may be touched.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, MayAccess::Locs(s) if s.is_empty())
+    }
+
+    /// Whether any *shared* location may be touched (under the given
+    /// shared-location declaration). A thread whose remaining code
+    /// cannot write any shared location is a *pure observer*: its steps
+    /// never append to memory, promise, or affect any other thread.
+    pub fn any_shared(&self, shared: &SharedLocs) -> bool {
+        match self {
+            MayAccess::Any => true,
+            MayAccess::Locs(s) => s.iter().any(|&l| shared.is_shared(l)),
+        }
+    }
+
+    /// Whether the sets may share a location.
+    pub fn intersects(&self, other: &MayAccess) -> bool {
+        match (self, other) {
+            (MayAccess::Any, o) | (o, MayAccess::Any) => o != &MayAccess::none(),
+            (MayAccess::Locs(a), MayAccess::Locs(b)) => a.iter().any(|l| b.contains(l)),
+        }
+    }
+
+    /// Merge `other` into `self`.
+    pub fn absorb(&mut self, other: &MayAccess) {
+        match (&mut *self, other) {
+            (MayAccess::Any, _) => {}
+            (_, MayAccess::Any) => *self = MayAccess::Any,
+            (MayAccess::Locs(a), MayAccess::Locs(b)) => a.extend(b.iter().copied()),
+        }
+    }
+
+    /// The set a single address expression may denote.
+    pub fn of_addr(addr: &Expr) -> MayAccess {
+        match addr {
+            Expr::Const(v) => MayAccess::Locs(BTreeSet::from([Loc::from(*v)])),
+            _ => MayAccess::Any,
+        }
+    }
+}
+
+/// The may-read/may-write sets of every node in a statement arena.
+/// Children are always allocated before their parents (the builders
+/// append bottom-up), so one forward pass suffices.
+fn may_access_tables(stmts: &[Stmt]) -> (Vec<MayAccess>, Vec<MayAccess>) {
+    let mut reads: Vec<MayAccess> = Vec::with_capacity(stmts.len());
+    let mut writes: Vec<MayAccess> = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        let (r, w) = match s {
+            Stmt::Skip | Stmt::Assign { .. } | Stmt::Fence(_) | Stmt::Isb => {
+                (MayAccess::none(), MayAccess::none())
+            }
+            Stmt::Load { addr, .. } => (MayAccess::of_addr(addr), MayAccess::none()),
+            Stmt::Store { addr, .. } => (MayAccess::none(), MayAccess::of_addr(addr)),
+            Stmt::Rmw { addr, .. } => (MayAccess::of_addr(addr), MayAccess::of_addr(addr)),
+            Stmt::Seq(a, b) => {
+                let mut r = reads[a.0 as usize].clone();
+                r.absorb(&reads[b.0 as usize]);
+                let mut w = writes[a.0 as usize].clone();
+                w.absorb(&writes[b.0 as usize]);
+                (r, w)
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let mut r = reads[then_branch.0 as usize].clone();
+                r.absorb(&reads[else_branch.0 as usize]);
+                let mut w = writes[then_branch.0 as usize].clone();
+                w.absorb(&writes[else_branch.0 as usize]);
+                (r, w)
+            }
+            Stmt::While { body, .. } => (
+                reads[body.0 as usize].clone(),
+                writes[body.0 as usize].clone(),
+            ),
+        };
+        reads.push(r);
+        writes.push(w);
+    }
+    (reads, writes)
+}
+
 /// The code of a single thread: a statement arena plus its entry point.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ThreadCode {
     stmts: Vec<Stmt>,
     entry: StmtId,
+    /// Per-statement may-read sets (parallel to `stmts`).
+    may_read: Vec<MayAccess>,
+    /// Per-statement may-write sets (parallel to `stmts`).
+    may_write: Vec<MayAccess>,
 }
 
 impl ThreadCode {
@@ -305,6 +424,26 @@ impl ThreadCode {
     /// The entry statement of the thread.
     pub fn entry(&self) -> StmtId {
         self.entry
+    }
+
+    /// The precomputed may-write set of the subtree rooted at `id`: an
+    /// over-approximation of the locations it can store to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this thread's arena.
+    pub fn may_write(&self, id: StmtId) -> &MayAccess {
+        &self.may_write[id.0 as usize]
+    }
+
+    /// The precomputed may-read set of the subtree rooted at `id`: an
+    /// over-approximation of the locations it can load from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this thread's arena.
+    pub fn may_read(&self, id: StmtId) -> &MayAccess {
+        &self.may_read[id.0 as usize]
     }
 
     /// Number of statements in the arena.
@@ -797,9 +936,12 @@ impl CodeBuilder {
             (entry.0 as usize) < self.stmts.len(),
             "entry statement out of range"
         );
+        let (may_read, may_write) = may_access_tables(&self.stmts);
         ThreadCode {
             stmts: self.stmts,
             entry,
+            may_read,
+            may_write,
         }
     }
 

@@ -34,9 +34,10 @@
 
 use crate::frontier::{drive, effective_workers, Ctx, ShardedVisited};
 use crate::stats::Stats;
-use promising_core::{Config, Fingerprint};
+use promising_core::{Config, Fingerprint, Footprint, FpHasher};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -50,6 +51,52 @@ pub struct Exploration<O = promising_core::Outcome> {
     pub outcomes: BTreeSet<O>,
     /// Search statistics.
     pub stats: Stats,
+}
+
+impl<O: Ord + fmt::Display> Exploration<O> {
+    /// The outcome set as a canonical JSON array of strings: outcomes in
+    /// their `Ord` order, rendered via `Display`. Byte-identical for any
+    /// worker count and pop order (the `BTreeSet` is already canonically
+    /// sorted) — the benchmark tables emit this so `--json` snapshots
+    /// diff cleanly across runs.
+    pub fn outcomes_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('"');
+            for c in o.to_string().chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        out.push(']');
+        out
+    }
+
+    /// A 128-bit hex digest of the canonically sorted outcome set —
+    /// a compact stand-in for [`Exploration::outcomes_json`] when the
+    /// full set is too large to embed in a snapshot.
+    pub fn outcomes_digest(&self) -> String {
+        let mut h = FpHasher::new();
+        h.write_len(self.outcomes.len());
+        for o in &self.outcomes {
+            let s = o.to_string();
+            h.write_len(s.len());
+            for b in s.bytes() {
+                h.write_u32(b as u32);
+            }
+        }
+        let fp = h.finish128();
+        let mut out = String::new();
+        let _ = write!(out, "{:032x}", fp.0);
+        out
+    }
 }
 
 /// Resource bounds for a search: a wall-clock deadline and a global
@@ -191,6 +238,31 @@ pub trait SearchModel: Sync {
     /// Apply `t` to `s`, producing the successor state (counting applied
     /// transitions on `stats`).
     fn apply(&self, s: &Self::State, t: &Self::Transition, stats: &mut Stats) -> Self::State;
+
+    /// The partial-order-reduction [`Footprint`] of `t` at `s`: acting
+    /// agent, locations touched, append/certification flags. The default
+    /// is [`Footprint::opaque`] — dependent with everything — so models
+    /// that do not opt in are never reduced.
+    fn footprint(&self, _s: &Self::State, _t: &Self::Transition) -> Footprint {
+        Footprint::opaque()
+    }
+
+    /// Whether `a` and `b` are *independent* at `s`: wherever both are
+    /// enabled they commute to the same state and neither enables or
+    /// disables the other. The default derives the answer from the
+    /// transitions' [`footprint`](SearchModel::footprint)s; `false`
+    /// makes no claim (the relation is conservative).
+    fn independent(&self, s: &Self::State, a: &Self::Transition, b: &Self::Transition) -> bool {
+        self.footprint(s, a).independent_with(&self.footprint(s, b))
+    }
+
+    /// Partial-order reduction: shrink the expansion of `s` to a
+    /// *persistent subset* of `transitions` — one whose exploration
+    /// provably reaches every outcome the full set reaches. Called by
+    /// both schedulers only when [`Config::por`] is set; the engine
+    /// counts removed transitions in `stats.por_pruned`. The default
+    /// keeps everything (sound for any model).
+    fn reduce(&self, _s: &Self::State, _transitions: &mut Vec<Self::Transition>) {}
 }
 
 /// Per-worker accumulator used by both schedulers.
@@ -237,6 +309,7 @@ impl<M: SearchModel> Engine<M> {
         let total_states = AtomicU64::new(0);
         let config = self.model.config();
         let workers = effective_workers(config.workers);
+        let por = config.por;
         let visited: ShardedVisited<M::Exact> = ShardedVisited::new(config.paranoid, workers);
         let model = &self.model;
 
@@ -271,7 +344,7 @@ impl<M: SearchModel> Engine<M> {
             if model.is_final(&s, &mut l.stats) {
                 return;
             }
-            let transitions = model.expand(&s, &mut l.cache, &mut l.stats, deadline_at);
+            let mut transitions = model.expand(&s, &mut l.cache, &mut l.stats, deadline_at);
             if l.stats.truncated {
                 // a certification run was cut off: the step set may be
                 // incomplete, so stop rather than explore a skewed frontier
@@ -283,6 +356,11 @@ impl<M: SearchModel> Engine<M> {
                     l.stats.deadlocks += 1;
                 }
                 return;
+            }
+            if por {
+                let before = transitions.len();
+                model.reduce(&s, &mut transitions);
+                l.stats.por_pruned += (before - transitions.len()) as u64;
             }
             for t in &transitions {
                 let next = model.apply(&s, t, &mut l.stats);
@@ -329,6 +407,7 @@ impl<M: SearchModel> Engine<M> {
         let total_states = AtomicU64::new(0);
         let config = self.model.config();
         let workers = effective_workers(config.workers);
+        let por = config.por;
         let model = &self.model;
 
         // Work items are trace indices; each step runs one full walk.
@@ -359,7 +438,7 @@ impl<M: SearchModel> Engine<M> {
                 if model.is_final(&s, &mut l.stats) {
                     break;
                 }
-                let transitions = model.expand(&s, &mut l.cache, &mut l.stats, deadline_at);
+                let mut transitions = model.expand(&s, &mut l.cache, &mut l.stats, deadline_at);
                 if l.stats.truncated {
                     ctx.stop();
                     return;
@@ -369,6 +448,14 @@ impl<M: SearchModel> Engine<M> {
                         l.stats.deadlocks += 1;
                     }
                     break;
+                }
+                if por {
+                    // walks draw from the reduced set: still a subset of
+                    // the exhaustive outcomes, and `reduce` is a pure
+                    // function of the state, so seeded determinism holds
+                    let before = transitions.len();
+                    model.reduce(&s, &mut transitions);
+                    l.stats.por_pruned += (before - transitions.len()) as u64;
                 }
                 let t = &transitions[rng.below(transitions.len())];
                 s = model.apply(&s, t, &mut l.stats);

@@ -18,8 +18,8 @@ use crate::stats::Stats;
 use promising_core::ids::TId;
 use promising_core::Outcome;
 use promising_core::{
-    find_and_certify_with, find_promises_with, CertMemo, Config, Fingerprint, Machine, StateKey,
-    Transition, TransitionKind,
+    find_and_certify_with, find_promises_with, CertMemo, Config, Fingerprint, Footprint, Machine,
+    StateKey, Transition, TransitionKind,
 };
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -155,6 +155,77 @@ impl SearchModel for NaiveModel {
         drain_internal(&mut next, stats);
         next
     }
+
+    fn footprint(&self, s: &Machine, t: &Transition) -> Footprint {
+        s.transition_footprint(t)
+    }
+
+    fn reduce(&self, m: &Machine, transitions: &mut Vec<Transition>) {
+        reduce_pure_observers(m, transitions);
+    }
+}
+
+/// Partial-order reduction for the full-interleaving search: collapse
+/// co-enabled *pure observers*.
+///
+/// A thread is an eligible observer when it holds no promises, every
+/// transition it currently has is a read (or exclusive-failure), and its
+/// remaining code can never write a shared location
+/// ([`Machine::thread_is_pure_observer`]). Every step such a thread will
+/// *ever* take is thread-local: it never appends to memory, never
+/// promises, and is certification-free, so it is independent — in both
+/// directions — of every transition any other thread will ever take
+/// (appends land above the observer's frozen read bound, so its specific
+/// read candidates stay enabled with unchanged effects; its own steps
+/// touch nothing others can see).
+///
+/// Keeping just ONE observer's transitions (plus everything else) is
+/// therefore a *persistent set*: any trace avoiding the kept set consists
+/// of other observers' reads, each independent of the whole kept set, so
+/// every reachable terminated state is still reached by running the kept
+/// thread first and the delayed observers later. Outcomes are read only
+/// off terminated states, hence POR-on and POR-off outcome sets are
+/// identical (asserted across the catalogue, the generated suites, and
+/// the language corpus by `tests/por_agreement.rs`).
+///
+/// Why nothing stronger: transitions that append — normal writes, RMW
+/// writes, promises — order themselves in memory's total order, so no two
+/// of them commute; and a thread whose *remaining* code may still write
+/// cannot be delayed past an append (its later reads could observe it),
+/// nor collapsed while promisable (hoisted writes are exactly what the
+/// promise transitions in the kept set represent). The interleaving-bound
+/// lock workloads (threads writing a contended location until they
+/// retire) therefore reduce only in their read-only phases; read-parallel
+/// shapes (IRIW-style multi-observer tests, which dominate the litmus
+/// corpora) collapse multiplicatively.
+pub(crate) fn reduce_pure_observers(m: &Machine, transitions: &mut Vec<Transition>) {
+    let n = m.num_threads();
+    let mut prunable = vec![false; n];
+    let mut seen = vec![false; n];
+    for t in transitions.iter() {
+        let tid = t.tid.0;
+        let read_like = matches!(
+            t.kind,
+            TransitionKind::Read { .. } | TransitionKind::ExclFail
+        );
+        if !seen[tid] {
+            seen[tid] = true;
+            prunable[tid] = read_like
+                && !m.thread(t.tid).state.has_promises()
+                && m.thread_is_pure_observer(t.tid);
+        } else {
+            prunable[tid] &= read_like;
+        }
+    }
+    let mut observers = (0..n).filter(|&t| prunable[t]);
+    let Some(keep) = observers.next() else {
+        return;
+    };
+    if observers.next().is_none() {
+        // a single observer has nothing to collapse against
+        return;
+    }
+    transitions.retain(|t| !prunable[t.tid.0] || t.tid.0 == keep);
 }
 
 /// Exhaustively explore all interleavings from `machine`, returning every

@@ -36,8 +36,8 @@ use promising_core::stmt::SCRATCH_REG_BASE;
 use promising_core::Outcome;
 use promising_core::Transition;
 use promising_core::{
-    apply_step, enabled_steps, find_promises_with, CertMemo, Config, Fingerprint, FpHashMap,
-    FpHasher, Machine, Memory, Reg, ThreadInstance, Timestamp, TransitionKind,
+    apply_step, enabled_steps, find_promises_with, CertMemo, Config, Fingerprint, Footprint,
+    FpHashMap, FpHasher, Machine, Memory, Reg, ThreadInstance, Timestamp, TransitionKind,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
@@ -308,6 +308,19 @@ impl SearchModel for PromiseFirstModel {
         next.apply(tr).expect("certified promise applies");
         stats.transitions += 1;
         next
+    }
+
+    /// POR metadata. Promise-mode transitions are all promises — appends
+    /// to memory's total order, pairwise dependent — so the footprint
+    /// marks them append+promise and the engine's reduction pass (the
+    /// default [`SearchModel::reduce`], a no-op) never prunes phase 1.
+    /// Phase 2 needs no reduction either: each thread runs alone against
+    /// a fixed memory, so there is no cross-thread interleaving left to
+    /// reduce — the promise-first strategy *is* already the aggressive
+    /// ordering reduction (Theorem 7.1), which is why the Table-2 heavy
+    /// rows run it rather than the POR-reduced naive search.
+    fn footprint(&self, s: &Machine, t: &Transition) -> Footprint {
+        s.transition_footprint(t)
     }
 }
 
@@ -585,6 +598,58 @@ mod tests {
             assert_eq!(exp.outcomes, serial.outcomes);
             assert_eq!(exp.stats.final_memories, serial.stats.final_memories);
         }
+    }
+
+    #[test]
+    fn deadline_cut_phase2_results_are_not_memoised() {
+        // Regression (PR 5 correctness sweep): the sampling scheduler
+        // shares one phase-2 memo across all walks of a worker. A walk
+        // cut off by the deadline mid-phase-2 must not leave truncated
+        // per-thread outcome sets in the memo where a later walk would
+        // consume them as complete.
+        let mk = |from: i64, to: i64, reg| {
+            let mut b = CodeBuilder::new();
+            let l = b.load(reg, Expr::val(from));
+            let s = b.store(Expr::val(to), Expr::val(1));
+            b.finish_seq(&[l, s])
+        };
+        let program = Arc::new(Program::new(vec![mk(0, 1, Reg(1)), mk(1, 0, Reg(2))]));
+        let m = Machine::new(program, Config::arm());
+        let model = PromiseFirstModel::new(&m);
+
+        let mut fresh_out = BTreeSet::new();
+        let mut stats = crate::stats::Stats::default();
+        let mut fresh_cache = model.walk_cache();
+        model.outcome(&m, &mut fresh_cache, &mut stats, None, &mut fresh_out);
+
+        let mut shared_cache = model.walk_cache();
+        let mut cut_out = BTreeSet::new();
+        let mut cut_stats = crate::stats::Stats::default();
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        model.outcome(
+            &m,
+            &mut shared_cache,
+            &mut cut_stats,
+            Some(past),
+            &mut cut_out,
+        );
+        // whether or not the tiny phase-2 tree outran the periodic check,
+        // a follow-up deadline-free query through the same memo must
+        // reproduce the fresh result exactly
+        let mut reuse_out = BTreeSet::new();
+        let mut reuse_stats = crate::stats::Stats::default();
+        model.outcome(
+            &m,
+            &mut shared_cache,
+            &mut reuse_stats,
+            None,
+            &mut reuse_out,
+        );
+        assert!(!reuse_stats.truncated);
+        assert_eq!(
+            reuse_out, fresh_out,
+            "deadline-truncated phase-2 entries leaked into a complete query"
+        );
     }
 
     #[test]

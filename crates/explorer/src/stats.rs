@@ -23,6 +23,10 @@ pub struct Stats {
     pub deadlocks: u64,
     /// Random-walk traces completed (sampling runs only).
     pub traces: u64,
+    /// Transitions pruned by partial-order reduction
+    /// ([`promising_core::Config::por`]): redundant interleavings the
+    /// search proved it need not take.
+    pub por_pruned: u64,
     /// Summed time workers spent expanding states (excludes time parked
     /// waiting for work), across all workers: total compute spent, not
     /// elapsed time. ≈ `wall_time` on a serial search; up to
@@ -48,6 +52,7 @@ impl Stats {
         self.bound_hits += other.bound_hits;
         self.deadlocks += other.deadlocks;
         self.traces += other.traces;
+        self.por_pruned += other.por_pruned;
         self.cpu_time += other.cpu_time;
         self.wall_time = self.wall_time.max(other.wall_time);
         self.truncated |= other.truncated;
@@ -70,6 +75,9 @@ impl fmt::Display for Stats {
         )?;
         if self.traces > 0 {
             write!(f, ", {} traces", self.traces)?;
+        }
+        if self.por_pruned > 0 {
+            write!(f, ", {} POR-pruned", self.por_pruned)?;
         }
         Ok(())
     }

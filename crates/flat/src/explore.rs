@@ -11,7 +11,8 @@
 //! sampling via [`Engine::sample`].
 
 use crate::machine::{FlatMachine, FlatStateKey, FlatTransition};
-use promising_core::{Config, Fingerprint, Outcome};
+use promising_core::ids::TId;
+use promising_core::{Config, Fingerprint, Footprint, MayAccess, Outcome};
 use promising_explorer::{Engine, SearchBudget, SearchModel, Stats};
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -102,6 +103,93 @@ impl SearchModel for FlatModel {
         next.apply(tr);
         stats.transitions += 1;
         next
+    }
+
+    fn footprint(&self, s: &FlatMachine, t: &FlatTransition) -> Footprint {
+        match *t {
+            // speculation guesses and store-exclusive failures touch only
+            // the acting thread's instance list
+            FlatTransition::FetchBranch { tid, .. } | FlatTransition::FailStx { tid, .. } => {
+                Footprint::local(tid.0)
+            }
+            FlatTransition::Satisfy { tid, idx } => match s.access_target(tid, idx) {
+                Some(loc) => Footprint::read(tid.0, loc),
+                None => Footprint::opaque(),
+            },
+            FlatTransition::Propagate { tid, idx } => match s.access_target(tid, idx) {
+                Some(loc) => Footprint::write(tid.0, loc, true),
+                None => Footprint::opaque(),
+            },
+            FlatTransition::ExecRmw { tid, idx } => match s.access_target(tid, idx) {
+                Some(loc) => {
+                    let mut fp = Footprint::write(tid.0, loc, true);
+                    fp.reads.insert(loc);
+                    fp
+                }
+                None => Footprint::opaque(),
+            },
+        }
+    }
+
+    /// Collapse co-enabled *pure observers*, as in the naive promising
+    /// search — with one Flat-specific strengthening. A `Satisfy` does
+    /// not name the write it binds (it always reads the coherence-latest
+    /// one), so a delayed observer's *future* loads must also be immune
+    /// to everyone else's appends: a thread is prunable only when it can
+    /// never append again ([`FlatMachine::thread_future_writes`] empty —
+    /// this also rules out pending store-exclusives, whose `FailStx`
+    /// would otherwise race their own propagation window) and no other
+    /// thread's possible future writes intersect its possible future
+    /// reads. Under that condition every step the thread will ever take
+    /// is thread-local with memory-independent effects, so keeping one
+    /// such thread and delaying the rest is a persistent set.
+    fn reduce(&self, m: &FlatMachine, transitions: &mut Vec<FlatTransition>) {
+        let n = m.threads().len();
+        let mut enabled_safe = vec![true; n];
+        let mut seen = vec![false; n];
+        for t in transitions.iter() {
+            let (tid, safe) = match t {
+                FlatTransition::FetchBranch { tid, .. } => (tid.0, true),
+                FlatTransition::Satisfy { tid, .. } => (tid.0, true),
+                FlatTransition::FailStx { tid, .. }
+                | FlatTransition::Propagate { tid, .. }
+                | FlatTransition::ExecRmw { tid, .. } => (tid.0, false),
+            };
+            seen[tid] = true;
+            enabled_safe[tid] &= safe;
+        }
+        let mut prunable = Vec::with_capacity(n);
+        let mut future_writes: Vec<Option<MayAccess>> = vec![None; n];
+        let mut writes_of = |m: &FlatMachine, tid: usize| -> MayAccess {
+            future_writes[tid]
+                .get_or_insert_with(|| m.thread_future_writes(TId(tid)))
+                .clone()
+        };
+        for tid in 0..n {
+            let ok = seen[tid] && enabled_safe[tid] && writes_of(m, tid).is_empty() && {
+                let reads = m.thread_future_reads(TId(tid));
+                (0..n).all(|other| other == tid || !writes_of(m, other).intersects(&reads))
+            };
+            prunable.push(ok);
+        }
+        let mut observers = (0..n).filter(|&t| prunable[t]);
+        let Some(keep) = observers.next() else {
+            return;
+        };
+        if observers.next().is_none() {
+            return;
+        }
+        let pruned = |t: &FlatTransition| -> bool {
+            let tid = match t {
+                FlatTransition::FetchBranch { tid, .. }
+                | FlatTransition::Satisfy { tid, .. }
+                | FlatTransition::FailStx { tid, .. }
+                | FlatTransition::Propagate { tid, .. }
+                | FlatTransition::ExecRmw { tid, .. } => tid.0,
+            };
+            prunable[tid] && tid != keep
+        };
+        transitions.retain(|t| !pruned(t));
     }
 }
 

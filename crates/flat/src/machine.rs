@@ -32,8 +32,10 @@ use promising_core::expr::Expr;
 use promising_core::fingerprint::{Fingerprint, FpHasher};
 use promising_core::ids::{Loc, Reg, TId, Timestamp, Val};
 use promising_core::memory::{Memory, Msg};
-use promising_core::stmt::{Program, ReadKind, RmwOp, Stmt, StmtId, WriteKind, SCRATCH_REG_BASE};
-use std::collections::BTreeMap;
+use promising_core::stmt::{
+    MayAccess, Program, ReadKind, RmwOp, Stmt, StmtId, WriteKind, SCRATCH_REG_BASE,
+};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -983,6 +985,75 @@ impl FlatMachine {
             }
         }
         None
+    }
+
+    // ---- partial-order-reduction metadata ----------------------------
+
+    /// The resolved target location of the memory access instance at
+    /// `idx` (load, store, or RMW), if its address is available — the
+    /// location a `Satisfy`/`Propagate`/`ExecRmw` transition on it
+    /// touches. Used by the POR footprints.
+    pub fn access_target(&self, tid: TId, idx: usize) -> Option<Loc> {
+        self.addr_of(tid, idx)
+    }
+
+    /// Over-approximation of the locations thread `tid` may still
+    /// *append* to from this state: resolved addresses of its unbound
+    /// store/RMW instances (an unresolved address means
+    /// [`MayAccess::Any`]), plus the static may-write sets of everything
+    /// it can still fetch — the remaining fetch continuation and, for
+    /// every unresolved branch, the alternative continuation a squash
+    /// would refetch.
+    pub fn thread_future_writes(&self, tid: TId) -> MayAccess {
+        self.thread_future_accesses(tid, false)
+    }
+
+    /// Over-approximation of the locations thread `tid` may still *read*
+    /// from this state (unbound loads/RMWs + fetchable code), in the same
+    /// way as [`FlatMachine::thread_future_writes`].
+    pub fn thread_future_reads(&self, tid: TId) -> MayAccess {
+        self.thread_future_accesses(tid, true)
+    }
+
+    fn thread_future_accesses(&self, tid: TId, reads: bool) -> MayAccess {
+        let t = &self.threads[tid.0];
+        let code = &self.program.threads()[tid.0];
+        let stmt_set = |id: StmtId| {
+            if reads {
+                code.may_read(id)
+            } else {
+                code.may_write(id)
+            }
+        };
+        let mut out = MayAccess::none();
+        for &id in &t.fetch_cont {
+            out.absorb(stmt_set(id));
+        }
+        for (idx, inst) in t.instances.iter().enumerate() {
+            if inst.is_bound() {
+                continue;
+            }
+            let relevant = match &inst.op {
+                InstOp::Load { .. } => reads,
+                InstOp::Store { .. } => !reads,
+                InstOp::Rmw { .. } => true,
+                InstOp::Branch { alt_cont, .. } => {
+                    // unresolved: a squash would refetch the other path
+                    for &id in alt_cont {
+                        out.absorb(stmt_set(id));
+                    }
+                    false
+                }
+                _ => false,
+            };
+            if relevant {
+                match self.addr_of(tid, idx) {
+                    Some(loc) => out.absorb(&MayAccess::Locs(BTreeSet::from([loc]))),
+                    None => out = MayAccess::Any,
+                }
+            }
+        }
+        out
     }
 
     /// Enumerate the enabled nondeterministic transitions.

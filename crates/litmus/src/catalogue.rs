@@ -141,6 +141,17 @@ const ENTRIES: &[Entry] = &[
     // even when the reader's CAS fails with acquire semantics only on
     // the *write* side.
     t("ARM CAS-fail-is-read\n{ x=5 }\nr1 = cas(x, 0, 9)\nexists (P0:r1=5 /\\ x=5)\nexpect allowed"),
+    // regression (PR 5): the read half of a *failed* CAS must retain the
+    // RMW's acquire strength — the desugared reference is a loadx_acq
+    // retry loop whose exit branch leaves the acquire read behind — so
+    // an always-failing cas_acq reader forbids the MP stale read…
+    t("ARM MP+rel+cas_acq-fail\nstore(x, 37)\nstore_rel(y, 42)\n---\nr1 = cas_acq(y, 7, 99)\nr2 = load(x)\nexists (P1:r1=42 /\\ P1:r2=0)\nexpect forbidden"),
+    // …as does the weak-acquire (LDAPR/RCpc) variant…
+    t("ARM MP+rel+cas_wacq-fail\nstore(x, 37)\nstore_rel(y, 42)\n---\nr1 = cas_wacq(y, 7, 99)\nr2 = load(x)\nexists (P1:r1=42 /\\ P1:r2=0)\nexpect forbidden"),
+    // …while a plain failing CAS gives no ordering at all (and a
+    // release-only CAS orders nothing on its read half either).
+    t("ARM MP+rel+cas-fail\nstore(x, 37)\nstore_rel(y, 42)\n---\nr1 = cas(y, 7, 99)\nr2 = load(x)\nexists (P1:r1=42 /\\ P1:r2=0)\nexpect allowed"),
+    t("ARM MP+rel+cas_rel-fail\nstore(x, 37)\nstore_rel(y, 42)\n---\nr1 = cas_rel(y, 7, 99)\nr2 = load(x)\nexists (P1:r1=42 /\\ P1:r2=0)\nexpect allowed"),
     // ---------------- RISC-V ----------------
     t("RISCV MP+fence.rw.rw+fence.rw.rw\nstore(x, 1)\nfence(rw, rw)\nstore(y, 1)\n---\nr1 = load(y)\nfence(rw, rw)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
     t("RISCV MP+fence.w.w+addr\nstore(x, 1)\nfence(w, w)\nstore(y, 1)\n---\nr1 = load(y)\nr2 = load(x + (r1 - r1))\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
@@ -162,6 +173,10 @@ const ENTRIES: &[Entry] = &[
     t("RISCV MP+swp.rel+amo.acq\nstore(x, 1)\nr0 = amo_swap_rel(y, 1)\n---\nr1 = amo_add_acq(y, 0)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
     // plain AMOs give no MP ordering on the read side…
     t("RISCV MP+swp.rel+amo\nstore(x, 1)\nr0 = amo_swap_rel(y, 1)\n---\nr1 = amo_add(y, 0)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect allowed"),
+    // regression (PR 5): a failed aq-CAS still reads with acquire
+    // strength (lr.aq retry-loop reference) — and a plain one does not.
+    t("RISCV MP+rel+cas_acq-fail\nstore(x, 37)\nstore_rel(y, 42)\n---\nr1 = cas_acq(y, 7, 99)\nr2 = load(x)\nexists (P1:r1=42 /\\ P1:r2=0)\nexpect forbidden"),
+    t("RISCV MP+rel+cas-fail\nstore(x, 37)\nstore_rel(y, 42)\n---\nr1 = cas(y, 7, 99)\nr2 = load(x)\nexists (P1:r1=42 /\\ P1:r2=0)\nexpect allowed"),
 ];
 
 /// The *language-level* catalogue: the classics written once in the C11

@@ -97,8 +97,24 @@ pub const DEFAULT_FUEL: u32 = 16;
 ///
 /// Returns a [`RunError`] if the model hits a resource cap.
 pub fn run_model(test: &LitmusTest, kind: ModelKind) -> Result<ModelRun, RunError> {
+    run_model_with(test, kind, |c| c)
+}
+
+/// Run `test` under `kind` with a configuration tweak (e.g.
+/// `|c| c.with_por(false)` for the POR-on/POR-off agreement sweeps, or a
+/// worker-count override). The axiomatic model has no operational
+/// configuration; the tweak only affects the three operational models.
+///
+/// # Errors
+///
+/// Returns a [`RunError`] if the model hits a resource cap.
+pub fn run_model_with(
+    test: &LitmusTest,
+    kind: ModelKind,
+    tweak: impl Fn(Config) -> Config,
+) -> Result<ModelRun, RunError> {
     let fuel = test.loop_fuel.unwrap_or(DEFAULT_FUEL);
-    let config = Config::for_arch(test.arch).with_loop_fuel(fuel);
+    let config = tweak(Config::for_arch(test.arch).with_loop_fuel(fuel));
     let start = Instant::now();
     let (outcomes, states) = match kind {
         ModelKind::Promising => {

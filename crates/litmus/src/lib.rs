@@ -33,7 +33,7 @@ pub use generator::{
 };
 pub use harness::{
     check_agreement, check_lang_conformance, evaluate, evaluate_lang, run_lang_model, run_model,
-    run_model_sampled, Agreement, LangConformance, ModelKind, ModelRun, RunError, Verdict,
-    DEFAULT_FUEL,
+    run_model_sampled, run_model_with, Agreement, LangConformance, ModelKind, ModelRun, RunError,
+    Verdict, DEFAULT_FUEL,
 };
 pub use test::{Condition, Expectation, LangTest, LitmusTest, Pred, Quantifier};

@@ -290,6 +290,84 @@ fn self_referential_operand_sees_old_value_in_every_model() {
     );
 }
 
+/// Regression (PR 5 correctness sweep): the read half of a *failed* CAS
+/// retains the RMW's acquire strength. An always-failing `cas_acq`
+/// reader in an MP shape must forbid the stale read — exactly as its
+/// desugared `loadx_acq` retry-loop reference does — on both
+/// architectures and in all four models; the plain-CAS variant must stay
+/// weak (the failure path must not *add* strength either). The shapes
+/// also live in the catalogue (`MP+rel+cas_acq-fail` &c.); this test
+/// additionally pins the operational-vs-desugared equivalence.
+#[test]
+fn failed_cas_keeps_acquire_strength() {
+    for arch in [Arch::Arm, Arch::RiscV] {
+        for (rk, forbidden) in [
+            (ReadKind::Acquire, true),
+            (ReadKind::WeakAcquire, true),
+            (ReadKind::Plain, false),
+        ] {
+            let mut b = CodeBuilder::new();
+            let s1 = b.store(Expr::val(0), Expr::val(37));
+            let s2 = b.store_rel(Expr::val(1), Expr::val(42));
+            let t0 = b.finish_seq(&[s1, s2]);
+            let mut b = CodeBuilder::new();
+            // expected 7 never matches {0, 42}: the CAS always fails
+            let c = b.cas_kind(
+                Reg(1),
+                Expr::val(1),
+                Expr::val(7),
+                Expr::val(99),
+                rk,
+                WriteKind::Plain,
+            );
+            let l = b.load(Reg(2), Expr::val(0));
+            let t1 = b.finish_seq(&[c, l]);
+            let program = Arc::new(Program::new(vec![t0, t1]));
+            let config = Config::for_arch(arch).with_loop_fuel(FUEL);
+
+            let stale = |outcomes: &std::collections::BTreeSet<promising_core::Outcome>| {
+                outcomes.iter().any(|o| {
+                    o.reg(1, Reg(1)) == promising_core::Val(42)
+                        && o.reg(1, Reg(2)) == promising_core::Val(0)
+                })
+            };
+            let label = format!("{}/{rk:?}", arch.name());
+
+            let naive = explore_naive(
+                &Machine::new(Arc::clone(&program), config.clone()),
+                CertMode::Online,
+            );
+            assert_eq!(
+                stale(&naive.outcomes),
+                !forbidden,
+                "{label}: naive stale-read verdict"
+            );
+            let pf = explore_promise_first(&Machine::new(Arc::clone(&program), config.clone()));
+            assert_eq!(
+                naive.outcomes, pf.outcomes,
+                "{label}: promise-first differs"
+            );
+
+            // the canonical desugaring (loadx_<rk> retry loop) must agree
+            let desugared = Arc::new(desugar_program_rmws(&program));
+            let de = explore_naive(
+                &Machine::new(Arc::clone(&desugared), config.clone()),
+                CertMode::Online,
+            );
+            assert_eq!(
+                naive.outcomes, de.outcomes,
+                "{label}: desugared retry loop diverges on CAS failure"
+            );
+
+            let flat = explore_flat(&FlatMachine::new(Arc::clone(&program), config));
+            assert_eq!(naive.outcomes, flat.outcomes, "{label}: flat differs");
+
+            let ax = enumerate_outcomes(&program, &AxConfig::new(arch)).expect("enumeration");
+            assert_eq!(naive.outcomes, ax.outcomes, "{label}: axiomatic differs");
+        }
+    }
+}
+
 /// A deterministic sanity check that the generator actually produces RMWs
 /// (the properties above would pass vacuously otherwise).
 #[test]

@@ -144,6 +144,77 @@ fn serial_and_parallel_explorations_agree_per_strategy() {
 }
 
 #[test]
+fn outcome_json_is_byte_identical_serial_vs_parallel() {
+    // Regression (PR 5): the canonical outcome serialisation the table
+    // binaries embed in their `--json` snapshots must be byte-identical
+    // for every worker count and strategy — `Exploration::outcomes` is a
+    // canonically sorted set, so the emitted JSON must never depend on
+    // scheduling (it used to be tempting to emit per-worker maps).
+    for (i, test) in catalogue().into_iter().enumerate() {
+        if i % 3 != 0 {
+            continue;
+        }
+        let serial_pf = explore_promise_first(&machine_for(&test, config_for(&test)));
+        let serial_naive = explore_naive(&machine_for(&test, config_for(&test)), CertMode::Online);
+        for workers in [2, 4] {
+            let par_pf =
+                explore_promise_first(&machine_for(&test, config_for(&test).with_workers(workers)));
+            assert_eq!(
+                serial_pf.outcomes_json(),
+                par_pf.outcomes_json(),
+                "{test}: promise-first outcome JSON differs at {workers} workers"
+            );
+            assert_eq!(
+                serial_pf.outcomes_digest(),
+                par_pf.outcomes_digest(),
+                "{test}: promise-first outcome digest differs at {workers} workers"
+            );
+            let par_naive = explore_naive(
+                &machine_for(&test, config_for(&test).with_workers(workers)),
+                CertMode::Online,
+            );
+            assert_eq!(
+                serial_naive.outcomes_json(),
+                par_naive.outcomes_json(),
+                "{test}: naive outcome JSON differs at {workers} workers"
+            );
+        }
+        if !test.flat_conservative {
+            let serial_flat = explore_flat(&FlatMachine::with_init(
+                test.program.clone(),
+                config_for(&test),
+                test.init.clone(),
+            ));
+            let par_flat = explore_flat(&FlatMachine::with_init(
+                test.program.clone(),
+                config_for(&test).with_workers(4),
+                test.init.clone(),
+            ));
+            assert_eq!(
+                serial_flat.outcomes_json(),
+                par_flat.outcomes_json(),
+                "{test}: flat outcome JSON differs at 4 workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn outcome_json_escapes_and_digest_shape() {
+    // The serialisation must be valid JSON material: quotes/backslashes
+    // escaped (outcome Display never emits them today, but the escape
+    // path must not rot) and the digest a fixed-width hex string.
+    let test = catalogue().into_iter().next().expect("catalogue nonempty");
+    let exp = explore_promise_first(&machine_for(&test, config_for(&test)));
+    let json = exp.outcomes_json();
+    assert!(json.starts_with('[') && json.ends_with(']'));
+    assert_eq!(json.matches('"').count() % 2, 0, "quotes must balance");
+    let digest = exp.outcomes_digest();
+    assert_eq!(digest.len(), 32);
+    assert!(digest.chars().all(|c| c.is_ascii_hexdigit()));
+}
+
+#[test]
 fn parallel_workloads_agree_with_serial() {
     use promising_core::Arch;
     use promising_workloads::{by_spec, init_for};
