@@ -51,7 +51,7 @@ fn main() {
         };
         table.row(&[
             name.to_string(),
-            fmt_duration((!p.stats.truncated).then_some(p.stats.wall_time)),
+            fmt_duration((!p.stats.truncated()).then_some(p.stats.wall_time)),
             ax_cell,
             cand,
         ]);
@@ -79,7 +79,7 @@ fn main() {
         };
         table.row(&[
             spec.to_string(),
-            fmt_duration((!p.stats.truncated).then_some(p.stats.wall_time)),
+            fmt_duration((!p.stats.truncated()).then_some(p.stats.wall_time)),
             ax_cell,
             cand,
         ]);

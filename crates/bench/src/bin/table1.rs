@@ -123,7 +123,7 @@ fn main() {
             let l = w.desugared(extra);
             let lm = Machine::with_init(l.program.clone(), l.config(Arch::Arm), init);
             let b = explore_naive_budget(&lm, CertMode::Online, budget);
-            if !a.stats.truncated && !b.stats.truncated {
+            if !a.stats.truncated() && !b.stats.truncated() {
                 assert_eq!(
                     a.outcomes, b.outcomes,
                     "{}: RMW and LL/SC outcome sets must agree",
@@ -136,9 +136,9 @@ fn main() {
             );
             RmwCell {
                 rmw_states: a.stats.states,
-                rmw_secs: (!a.stats.truncated).then_some(a.stats.wall_time.as_secs_f64()),
+                rmw_secs: (!a.stats.truncated()).then_some(a.stats.wall_time.as_secs_f64()),
                 llsc_states: b.stats.states,
-                llsc_secs: (!b.stats.truncated).then_some(b.stats.wall_time.as_secs_f64()),
+                llsc_secs: (!b.stats.truncated()).then_some(b.stats.wall_time.as_secs_f64()),
             }
         });
 

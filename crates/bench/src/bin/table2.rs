@@ -248,8 +248,8 @@ fn main() {
             init.clone(),
         );
         let p = explore_promise_first_budget(&m, budget);
-        let p_time = (!p.stats.truncated).then_some(p.stats.wall_time.as_secs_f64());
-        if !p.stats.truncated {
+        let p_time = (!p.stats.truncated()).then_some(p.stats.wall_time.as_secs_f64());
+        if !p.stats.truncated() {
             let violations = w.violations(&p.outcomes);
             if !violations.is_empty() {
                 println!("!! {spec}: incorrect states found: {}", violations[0]);
@@ -258,13 +258,13 @@ fn main() {
 
         let legacy = args.legacy.then(|| {
             let e = explore_promise_first_legacy(&m, Some(args.timeout));
-            if !e.stats.truncated && !p.stats.truncated {
+            if !e.stats.truncated() && !p.stats.truncated() {
                 assert_eq!(
                     e.outcomes, p.outcomes,
                     "{spec}: legacy and optimised outcome sets must agree"
                 );
             }
-            (!e.stats.truncated).then_some(e.stats.wall_time.as_secs_f64())
+            (!e.stats.truncated()).then_some(e.stats.wall_time.as_secs_f64())
         });
 
         let by_workers: Vec<(usize, Cell)> = args
@@ -277,7 +277,7 @@ fn main() {
                     init.clone(),
                 );
                 let e = explore_promise_first_budget(&mw, budget);
-                if !e.stats.truncated && !p.stats.truncated {
+                if !e.stats.truncated() && !p.stats.truncated() {
                     assert_eq!(
                         e.outcomes, p.outcomes,
                         "{spec}: {n}-worker and serial outcome sets must agree"
@@ -285,7 +285,7 @@ fn main() {
                 }
                 (
                     n,
-                    (!e.stats.truncated).then_some(e.stats.wall_time.as_secs_f64()),
+                    (!e.stats.truncated()).then_some(e.stats.wall_time.as_secs_f64()),
                 )
             })
             .collect();
@@ -300,7 +300,7 @@ fn main() {
             );
             let f = explore_flat_budget(&fm, budget);
             (
-                (!f.stats.truncated).then_some(f.stats.wall_time.as_secs_f64()),
+                (!f.stats.truncated()).then_some(f.stats.wall_time.as_secs_f64()),
                 f.stats.states,
             )
         };
@@ -309,14 +309,14 @@ fn main() {
             let s = Engine::new(PromiseFirstModel::new(&m))
                 .with_budget(budget)
                 .sample(n, args.seed);
-            if !p.stats.truncated {
+            if !p.stats.truncated() {
                 assert!(
                     s.outcomes.is_subset(&p.outcomes),
                     "{spec}: sampled outcomes must be a subset of exhaustive"
                 );
             }
             (
-                (!s.stats.truncated).then_some(s.stats.wall_time.as_secs_f64()),
+                (!s.stats.truncated()).then_some(s.stats.wall_time.as_secs_f64()),
                 s.outcomes.len(),
             )
         });

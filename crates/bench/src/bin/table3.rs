@@ -128,27 +128,27 @@ fn main() {
             init.clone(),
         );
         let p = explore_promise_first_budget(&m, budget);
-        let p_time = (!p.stats.truncated).then_some(p.stats.wall_time.as_secs_f64());
+        let p_time = (!p.stats.truncated()).then_some(p.stats.wall_time.as_secs_f64());
         let fm = FlatMachine::with_init(
             w.program.clone(),
             w.config_unshared(Arch::Arm).with_por(!no_por),
             init,
         );
         let f = explore_flat_budget(&fm, budget);
-        let f_time = (!f.stats.truncated).then_some(f.stats.wall_time.as_secs_f64());
+        let f_time = (!f.stats.truncated()).then_some(f.stats.wall_time.as_secs_f64());
         let fmt_cell = |c: Option<f64>| fmt_duration(c.map(Duration::from_secs_f64));
         let mut cells = vec![spec.to_string(), fmt_cell(p_time), fmt_cell(f_time)];
         let sampled = sample.map(|n| {
             let s = Engine::new(PromiseFirstModel::new(&m))
                 .with_budget(budget)
                 .sample(n, seed);
-            if !p.stats.truncated {
+            if !p.stats.truncated() {
                 assert!(
                     s.outcomes.is_subset(&p.outcomes),
                     "{spec}: sampled outcomes must be a subset of exhaustive"
                 );
             }
-            let cell = (!s.stats.truncated).then_some(s.stats.wall_time.as_secs_f64());
+            let cell = (!s.stats.truncated()).then_some(s.stats.wall_time.as_secs_f64());
             cells.push(format!("{} ({} outc.)", fmt_cell(cell), s.outcomes.len()));
             (cell, s.outcomes.len())
         });

@@ -123,7 +123,7 @@ fn main() {
                        group: &'static str,
                        on: Exploration,
                        off: Exploration| {
-        let truncated = on.stats.truncated || off.stats.truncated;
+        let truncated = on.stats.truncated() || off.stats.truncated();
         let row = Row {
             name: name.clone(),
             model,

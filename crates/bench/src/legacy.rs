@@ -24,7 +24,7 @@ use promising_core::{
     apply_step, enabled_steps, Machine, Memory, Msg, StepEvent, ThreadInstance, Timestamp,
     Transition, TransitionKind,
 };
-use promising_explorer::{Exploration, Outcome, Stats};
+use promising_explorer::{Exploration, Outcome, Stats, StopReason};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
@@ -194,7 +194,7 @@ pub fn explore_promise_first_legacy(machine: &Machine, deadline: Option<Duration
         stats.states += 1;
         if let Some(at) = deadline_at {
             if Instant::now() >= at {
-                stats.truncated = true;
+                stats.note_stop(StopReason::DeadlineExceeded);
                 break;
             }
         }
@@ -215,7 +215,7 @@ pub fn explore_promise_first_legacy(machine: &Machine, deadline: Option<Duration
             per_thread.push(set);
         }
         if cut {
-            stats.truncated = true;
+            stats.note_stop(StopReason::DeadlineExceeded);
             break;
         }
         if all_complete {
@@ -256,7 +256,7 @@ pub fn explore_promise_first_legacy(machine: &Machine, deadline: Option<Duration
                     let mut cut = false;
                     let p = legacy_promisable(&m, tid, deadline_at, &mut cut);
                     if cut {
-                        stats.truncated = true;
+                        stats.note_stop(StopReason::DeadlineExceeded);
                         break 'search;
                     }
                     promise_cache.insert(key, p.clone());

@@ -5,8 +5,13 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod legacy;
 pub mod table;
 
+pub use batch::{
+    cache_key, run_campaign, verdict_db, write_verdict_db, BatchConfig, CampaignReport,
+    ResultCache, Tier, TierBudgets, VerdictRecord,
+};
 pub use legacy::explore_promise_first_legacy;
 pub use table::{fmt_duration, json_secs, Table};

@@ -48,16 +48,17 @@ pub fn parse_program(src: &str) -> Result<(Program, LocTable), ParseError> {
 }
 
 fn split_threads(src: &str) -> Vec<String> {
-    let mut sections = vec![String::new()];
+    let mut sections = Vec::new();
+    let mut current = String::new();
     for line in src.lines() {
         if line.trim() == "---" {
-            sections.push(String::new());
+            sections.push(std::mem::take(&mut current));
         } else {
-            let s = sections.last_mut().expect("non-empty");
-            s.push_str(line);
-            s.push('\n');
+            current.push_str(line);
+            current.push('\n');
         }
     }
+    sections.push(current);
     sections
 }
 
@@ -179,34 +180,34 @@ impl Parser<'_> {
                     let body = self.block()?;
                     Ok(self.builder.while_loop(cond, body))
                 }
-                s if store_kind(s).is_some() => {
-                    let (wk, _xcl) = store_kind(s).expect("checked");
-                    self.tokens.bump();
-                    self.tokens.expect_sym("(")?;
-                    let addr = self.expr()?;
-                    self.tokens.expect_sym(",")?;
-                    let data = self.expr()?;
-                    self.tokens.expect_sym(")")?;
-                    // bare store form: non-exclusive only
-                    if s.starts_with("storex") {
-                        return Err(
-                            self.err("store exclusive needs a success register: r = storex(…)")
-                        );
+                s => {
+                    if let Some((wk, _xcl)) = store_kind(s) {
+                        self.tokens.bump();
+                        self.tokens.expect_sym("(")?;
+                        let addr = self.expr()?;
+                        self.tokens.expect_sym(",")?;
+                        let data = self.expr()?;
+                        self.tokens.expect_sym(")")?;
+                        // bare store form: non-exclusive only
+                        if s.starts_with("storex") {
+                            return Err(
+                                self.err("store exclusive needs a success register: r = storex(…)")
+                            );
+                        }
+                        Ok(match wk {
+                            WriteKind::Plain => self.builder.store(addr, data),
+                            WriteKind::WeakRelease => self.builder.store_wrel(addr, data),
+                            WriteKind::Release => self.builder.store_rel(addr, data),
+                        })
+                    } else {
+                        // `rN = …` assignment / load / store-exclusive
+                        let reg = parse_reg(&id).ok_or_else(|| {
+                            self.err(format!("expected statement, found identifier `{id}`"))
+                        })?;
+                        self.tokens.bump();
+                        self.tokens.expect_sym("=")?;
+                        self.rhs(reg)
                     }
-                    Ok(match wk {
-                        WriteKind::Plain => self.builder.store(addr, data),
-                        WriteKind::WeakRelease => self.builder.store_wrel(addr, data),
-                        WriteKind::Release => self.builder.store_rel(addr, data),
-                    })
-                }
-                _ => {
-                    // `rN = …` assignment / load / store-exclusive
-                    let reg = parse_reg(&id).ok_or_else(|| {
-                        self.err(format!("expected statement, found identifier `{id}`"))
-                    })?;
-                    self.tokens.bump();
-                    self.tokens.expect_sym("=")?;
-                    self.rhs(reg)
                 }
             },
             other => Err(self.err(format!("expected statement, found {other:?}"))),
@@ -346,6 +347,45 @@ mod tests {
             }
         }
         out
+    }
+
+    #[test]
+    fn malformed_programs_error_without_panicking() {
+        // User-input paths must degrade to ParseError, never panic —
+        // this battery holds the line the robustness audit drew.
+        for src in [
+            "",
+            "---",
+            "---\n---\n---",
+            "store(",
+            "store(x",
+            "store(x,",
+            "store(x, 1",
+            "storex(x, 1)",
+            "r1 =",
+            "= 5",
+            "r1 = load(",
+            "r1 = (((",
+            "if (",
+            "if (r1) {",
+            "while (r1",
+            "fence(",
+            "fence(r",
+            "fence(r,",
+            "r1 = 1 +",
+            "r1 = cas(r1, 0, 1)",
+            "store(x, 1) store(y, 2)",
+            "r999999999999999999999 = 1",
+            "🦀",
+            "store(x, 1)\n)",
+        ] {
+            // Returning at all is the property under test (Ok or Err
+            // both fine — e.g. "" is a valid empty thread); a panic
+            // fails the harness.
+            let mut locs = LocTable::new();
+            let _ = parse_thread(src, &mut locs);
+            let _ = parse_program(src);
+        }
     }
 
     #[test]

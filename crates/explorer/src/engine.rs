@@ -13,8 +13,9 @@
 //!   opt-in exact-key paranoid mode;
 //! * per-worker caches (e.g. the naive strategy's shared [`CertMemo`]),
 //!   built once per worker and never crossing threads;
-//! * the [`SearchBudget`]: wall-clock deadline and global state budget,
-//!   both reported via `stats.truncated`;
+//! * the [`SearchBudget`]: wall-clock deadline, global state budget, and
+//!   approximate memory budget, reported via `stats.stop` (a structured
+//!   [`StopReason`], `stats.truncated()` for the boolean view);
 //! * [`Stats`] accounting, including the `cpu_time`/`wall_time` split.
 //!
 //! Two schedulers run on any model:
@@ -33,7 +34,7 @@
 //! [`CertMemo`]: promising_core::CertMemo
 
 use crate::frontier::{drive, effective_workers, Ctx, ShardedVisited};
-use crate::stats::Stats;
+use crate::stats::{Stats, StopReason};
 use promising_core::{Config, Fingerprint, Footprint, FpHasher};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -99,19 +100,31 @@ impl<O: Ord + fmt::Display> Exploration<O> {
     }
 }
 
-/// Resource bounds for a search: a wall-clock deadline and a global
-/// visited-state budget. Either bound, when hit, sets `stats.truncated`
+/// Resource bounds for a search: a wall-clock deadline, a global
+/// visited-state budget, and an approximate memory budget. Any bound,
+/// when hit, records the corresponding [`StopReason`] on `stats.stop`
 /// and stops all workers; the outcome set is then a lower bound (the
 /// paper's "ooT" cells).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct SearchBudget {
-    /// Stop once this much wall-clock time has elapsed. The deadline also
-    /// reaches *inside* certification and phase-2 searches via the
-    /// model's `expand`/`outcome` hooks.
+    /// Stop once this much wall-clock time has elapsed
+    /// ([`StopReason::DeadlineExceeded`]). The deadline also reaches
+    /// *inside* certification and phase-2 searches via the model's
+    /// `expand`/`outcome` hooks.
     pub deadline: Option<Duration>,
     /// Stop once this many states have been visited, summed across all
-    /// workers (and across walk steps when sampling).
+    /// workers (and across walk steps when sampling) —
+    /// [`StopReason::StateBudget`].
     pub max_states: Option<u64>,
+    /// Stop once the *approximate* resident bytes of the visited set and
+    /// frontier cross this cap ([`StopReason::MemoryBudget`]): each
+    /// retained state is charged its [`SearchModel::approx_state_bytes`]
+    /// plus the visited-set entry overhead. The estimate is deliberately
+    /// cheap (no heap walking), so big rows degrade gracefully instead
+    /// of getting OOM-killed; it does not bound transient allocations
+    /// inside a single expansion. Sampling runs retain only one walk
+    /// state per worker and are never memory-bounded.
+    pub max_bytes: Option<u64>,
 }
 
 impl SearchBudget {
@@ -119,6 +132,7 @@ impl SearchBudget {
     pub const UNBOUNDED: SearchBudget = SearchBudget {
         deadline: None,
         max_states: None,
+        max_bytes: None,
     };
 
     /// Budget with only a wall-clock deadline (`None` = unbounded).
@@ -137,6 +151,14 @@ impl SearchBudget {
         }
     }
 
+    /// Budget with only an approximate memory cap.
+    pub fn max_bytes(max_bytes: u64) -> SearchBudget {
+        SearchBudget {
+            max_bytes: Some(max_bytes),
+            ..SearchBudget::UNBOUNDED
+        }
+    }
+
     /// Replace the deadline.
     pub fn with_deadline(mut self, deadline: Option<Duration>) -> SearchBudget {
         self.deadline = deadline;
@@ -148,6 +170,23 @@ impl SearchBudget {
         self.max_states = max_states;
         self
     }
+
+    /// Replace the approximate memory cap.
+    pub fn with_max_bytes(mut self, max_bytes: Option<u64>) -> SearchBudget {
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// Scale every finite bound by `factor` (saturating) — the batch
+    /// runner's escalating-retry ladder.
+    #[must_use]
+    pub fn scaled(self, factor: u32) -> SearchBudget {
+        SearchBudget {
+            deadline: self.deadline.map(|d| d.saturating_mul(factor)),
+            max_states: self.max_states.map(|s| s.saturating_mul(factor as u64)),
+            max_bytes: self.max_bytes.map(|b| b.saturating_mul(factor as u64)),
+        }
+    }
 }
 
 /// A search discipline over some transition system: what the generic
@@ -158,10 +197,10 @@ impl SearchBudget {
 /// outcomes only exist at leaves check for themselves),
 /// [`is_final`](SearchModel::is_final), then
 /// [`expand`](SearchModel::expand) + [`apply`](SearchModel::apply) with
-/// fingerprint dedup on each successor. A hook that sets
-/// `stats.truncated` (certification outran the deadline, say) cancels
-/// the whole search immediately, so a truncated frontier is never
-/// half-explored silently.
+/// fingerprint dedup on each successor. A hook that records a stop
+/// reason via [`Stats::note_stop`] (certification outran the deadline,
+/// say) cancels the whole search immediately, so a truncated frontier is
+/// never half-explored silently.
 pub trait SearchModel: Sync {
     /// A node of the search graph (cheap to clone: COW machine state).
     type State: Clone + Send;
@@ -209,8 +248,17 @@ pub trait SearchModel: Sync {
     /// Exact dedup key of a state (only evaluated in paranoid mode).
     fn exact_key(&self, s: &Self::State) -> Self::Exact;
 
-    /// Record the outcomes observable at `s` (often none). May set
-    /// `stats.truncated` if internal work outran `deadline`.
+    /// Approximate resident size of a retained state, in bytes — feeds
+    /// the [`SearchBudget::max_bytes`] accounting. The default is the
+    /// shallow `size_of`; models whose states own heap data should add
+    /// their dominant heap terms (an estimate is fine — the budget is
+    /// a degradation trigger, not an allocator).
+    fn approx_state_bytes(&self, _s: &Self::State) -> usize {
+        std::mem::size_of::<Self::State>()
+    }
+
+    /// Record the outcomes observable at `s` (often none). May record
+    /// a stop reason if internal work outran `deadline`.
     fn outcome(
         &self,
         s: &Self::State,
@@ -224,7 +272,7 @@ pub trait SearchModel: Sync {
     /// on `stats` as appropriate); leaves are not expanded.
     fn is_final(&self, s: &Self::State, stats: &mut Stats) -> bool;
 
-    /// The transitions to branch on from `s`. May set `stats.truncated`
+    /// The transitions to branch on from `s`. May record a stop reason
     /// if enumeration (certification) outran `deadline`, in which case
     /// the returned set is discarded and the search stops.
     fn expand(
@@ -265,6 +313,11 @@ pub trait SearchModel: Sync {
     fn reduce(&self, _s: &Self::State, _transitions: &mut Vec<Self::Transition>) {}
 }
 
+/// Assumed per-entry bookkeeping cost of a visited-set slot beyond the
+/// stored key/value themselves (hash-table control bytes, load-factor
+/// slack). Part of the deliberately-approximate memory accounting.
+const VISITED_SLOT_OVERHEAD: usize = 16;
+
 /// Per-worker accumulator used by both schedulers.
 struct Local<M: SearchModel> {
     stats: Stats,
@@ -300,13 +353,23 @@ impl<M: SearchModel> Engine<M> {
     }
 
     /// Exhaustively explore the model's state space. Complete (every
-    /// reachable outcome is found) unless `stats.truncated`; the outcome
-    /// set is identical for every worker count and pop order.
+    /// reachable outcome is found) unless `stats.truncated()`; the
+    /// outcome set is identical for every worker count and pop order.
     pub fn run(&self) -> Exploration<M::Out> {
         let start = Instant::now();
         let deadline_at = self.budget.deadline.map(|d| start + d);
         let max_states = self.budget.max_states.unwrap_or(u64::MAX);
+        let max_bytes = self.budget.max_bytes.unwrap_or(u64::MAX);
         let total_states = AtomicU64::new(0);
+        // Approximate resident bytes: every retained state is charged its
+        // model-estimated size plus the visited-set entry (fingerprint,
+        // optional exact key, hash-table slot overhead). Charged at
+        // insertion and never released — retained states stay resident
+        // for the whole search.
+        let total_bytes = AtomicU64::new(0);
+        let entry_bytes = (std::mem::size_of::<Fingerprint>()
+            + std::mem::size_of::<Option<M::Exact>>()
+            + VISITED_SLOT_OVERHEAD) as u64;
         let config = self.model.config();
         let workers = effective_workers(config.workers);
         let por = config.por;
@@ -317,25 +380,34 @@ impl<M: SearchModel> Engine<M> {
         let root = model.root(&mut pre_stats);
         let mut roots = Vec::new();
         if visited.insert(model.fingerprint(&root), || model.exact_key(&root)) {
+            total_bytes.fetch_add(
+                model.approx_state_bytes(&root) as u64 + entry_bytes,
+                Ordering::Relaxed,
+            );
             roots.push(root);
         }
 
         let expand = |l: &mut Local<M>, s: M::State, ctx: &mut Ctx<'_, M::State>| {
             l.stats.states += 1;
             if total_states.fetch_add(1, Ordering::Relaxed) + 1 > max_states {
-                l.stats.truncated = true;
+                l.stats.note_stop(StopReason::StateBudget);
+                ctx.stop();
+                return;
+            }
+            if total_bytes.load(Ordering::Relaxed) > max_bytes {
+                l.stats.note_stop(StopReason::MemoryBudget);
                 ctx.stop();
                 return;
             }
             if let Some(at) = deadline_at {
                 if Instant::now() >= at {
-                    l.stats.truncated = true;
+                    l.stats.note_stop(StopReason::DeadlineExceeded);
                     ctx.stop();
                     return;
                 }
             }
             model.outcome(&s, &mut l.cache, &mut l.stats, deadline_at, &mut l.outcomes);
-            if l.stats.truncated {
+            if l.stats.truncated() {
                 // internal work (phase-2 search) hit the deadline: the
                 // outcome set is a lower bound from here on
                 ctx.stop();
@@ -345,7 +417,7 @@ impl<M: SearchModel> Engine<M> {
                 return;
             }
             let mut transitions = model.expand(&s, &mut l.cache, &mut l.stats, deadline_at);
-            if l.stats.truncated {
+            if l.stats.truncated() {
                 // a certification run was cut off: the step set may be
                 // incomplete, so stop rather than explore a skewed frontier
                 ctx.stop();
@@ -365,6 +437,10 @@ impl<M: SearchModel> Engine<M> {
             for t in &transitions {
                 let next = model.apply(&s, t, &mut l.stats);
                 if visited.insert(model.fingerprint(&next), || model.exact_key(&next)) {
+                    total_bytes.fetch_add(
+                        model.approx_state_bytes(&next) as u64 + entry_bytes,
+                        Ordering::Relaxed,
+                    );
                     ctx.push(next);
                 }
             }
@@ -393,7 +469,7 @@ impl<M: SearchModel> Engine<M> {
     ///   only from `(seed, i)`, so as long as no budget bound fires the
     ///   result is a pure function of `(n_traces, seed)`, independent of
     ///   worker count and scheduling. A *truncated* run
-    ///   (`stats.truncated`) is still sound, but which walks were cut
+    ///   (`stats.truncated()`) is still sound, but which walks were cut
     ///   off depends on timing and scheduling, so truncated results are
     ///   not reproducible — size `n_traces` to the budget instead.
     ///
@@ -419,19 +495,19 @@ impl<M: SearchModel> Engine<M> {
             loop {
                 l.stats.states += 1;
                 if total_states.fetch_add(1, Ordering::Relaxed) + 1 > max_states {
-                    l.stats.truncated = true;
+                    l.stats.note_stop(StopReason::StateBudget);
                     ctx.stop();
                     return;
                 }
                 if let Some(at) = deadline_at {
                     if Instant::now() >= at {
-                        l.stats.truncated = true;
+                        l.stats.note_stop(StopReason::DeadlineExceeded);
                         ctx.stop();
                         return;
                     }
                 }
                 model.outcome(&s, &mut l.cache, &mut l.stats, deadline_at, &mut l.outcomes);
-                if l.stats.truncated {
+                if l.stats.truncated() {
                     ctx.stop();
                     return;
                 }
@@ -439,7 +515,7 @@ impl<M: SearchModel> Engine<M> {
                     break;
                 }
                 let mut transitions = model.expand(&s, &mut l.cache, &mut l.stats, deadline_at);
-                if l.stats.truncated {
+                if l.stats.truncated() {
                     ctx.stop();
                     return;
                 }
@@ -669,13 +745,34 @@ mod tests {
         let exp = engine(1 << 20, 1)
             .with_budget(SearchBudget::max_states(100))
             .run();
-        assert!(exp.stats.truncated);
+        assert!(exp.stats.truncated());
+        assert_eq!(exp.stats.stop, StopReason::StateBudget);
         assert!(exp.stats.states <= 101);
 
         let exp = engine(1 << 20, 1)
             .with_budget(SearchBudget::deadline(Some(Duration::ZERO)))
             .run();
-        assert!(exp.stats.truncated);
+        assert!(exp.stats.truncated());
+        assert_eq!(exp.stats.stop, StopReason::DeadlineExceeded);
+    }
+
+    #[test]
+    fn memory_budget_truncates_run() {
+        // Each CountUp state is charged size_of::<u64>() + entry
+        // overhead, so a 2 KiB cap trips after a few dozen states where
+        // the unbounded search would visit ~2^20.
+        let exp = engine(1 << 20, 1)
+            .with_budget(SearchBudget::max_bytes(2048))
+            .run();
+        assert!(exp.stats.truncated());
+        assert_eq!(exp.stats.stop, StopReason::MemoryBudget);
+        assert!(exp.stats.states < 1000);
+        // A generous cap never fires.
+        let exp = engine(10, 1)
+            .with_budget(SearchBudget::max_bytes(1 << 20))
+            .run();
+        assert_eq!(exp.stats.stop, StopReason::Completed);
+        assert_eq!(exp.outcomes, BTreeSet::from([10, 11]));
     }
 
     #[test]
@@ -683,8 +780,100 @@ mod tests {
         let exp = engine(1 << 20, 1)
             .with_budget(SearchBudget::max_states(50))
             .sample(1000, 7);
-        assert!(exp.stats.truncated);
+        assert!(exp.stats.truncated());
+        assert_eq!(exp.stats.stop, StopReason::StateBudget);
         assert!(exp.stats.traces < 1000);
+    }
+
+    #[test]
+    fn scaled_budget_multiplies_every_bound() {
+        let b = SearchBudget {
+            deadline: Some(Duration::from_secs(2)),
+            max_states: Some(100),
+            max_bytes: Some(1000),
+        }
+        .scaled(4);
+        assert_eq!(b.deadline, Some(Duration::from_secs(8)));
+        assert_eq!(b.max_states, Some(400));
+        assert_eq!(b.max_bytes, Some(4000));
+        assert_eq!(SearchBudget::UNBOUNDED.scaled(8), SearchBudget::UNBOUNDED);
+    }
+
+    /// A wrapper model that panics while expanding the state whose value
+    /// equals the trigger — the panic-injection probe used to validate
+    /// panic isolation end to end (a buggy model must yield a captured
+    /// payload, not a dead process or a hung pool).
+    struct PanicOn {
+        inner: CountUp,
+        trigger: u64,
+    }
+
+    impl SearchModel for PanicOn {
+        type State = u64;
+        type Transition = u64;
+        type Exact = u64;
+        type Out = u64;
+        type Cache = ();
+
+        fn config(&self) -> &Config {
+            self.inner.config()
+        }
+        fn root(&self, stats: &mut Stats) -> u64 {
+            self.inner.root(stats)
+        }
+        fn cache(&self) {}
+        fn fingerprint(&self, s: &u64) -> Fingerprint {
+            self.inner.fingerprint(s)
+        }
+        fn exact_key(&self, s: &u64) -> u64 {
+            *s
+        }
+        fn outcome(
+            &self,
+            s: &u64,
+            cache: &mut (),
+            stats: &mut Stats,
+            deadline: Option<Instant>,
+            out: &mut BTreeSet<u64>,
+        ) {
+            self.inner.outcome(s, cache, stats, deadline, out);
+        }
+        fn is_final(&self, s: &u64, stats: &mut Stats) -> bool {
+            self.inner.is_final(s, stats)
+        }
+        fn expand(
+            &self,
+            s: &u64,
+            cache: &mut (),
+            stats: &mut Stats,
+            deadline: Option<Instant>,
+        ) -> Vec<u64> {
+            assert!(*s != self.trigger, "injected model bug at state {s}");
+            self.inner.expand(s, cache, stats, deadline)
+        }
+        fn apply(&self, s: &u64, t: &u64, stats: &mut Stats) -> u64 {
+            self.inner.apply(s, t, stats)
+        }
+    }
+
+    #[test]
+    fn model_panic_is_catchable_with_payload_serial_and_parallel() {
+        for workers in [1, 4] {
+            let eng = Engine::new(PanicOn {
+                inner: CountUp {
+                    limit: 64,
+                    config: Config::arm().with_workers(workers),
+                },
+                trigger: 7,
+            });
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| eng.run()))
+                .expect_err("trigger state is reachable; the run must panic");
+            let msg = crate::frontier::panic_message(err.as_ref());
+            assert!(
+                msg.contains("injected model bug at state 7"),
+                "payload lost: {msg} (workers={workers})"
+            );
+        }
     }
 
     #[test]

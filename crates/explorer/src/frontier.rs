@@ -31,7 +31,33 @@
 use promising_core::{Fingerprint, FpBuildHasher};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Lock a mutex, resuming it if a panicking worker poisoned it. Every
+/// structure guarded here (visited-set shards, the work pool) is kept
+/// consistent *within* each critical section — a panic can only strike
+/// between data-structure operations (inside `exact()` in paranoid mode,
+/// say), never mid-rehash — so the stored data is still valid and the
+/// remaining workers can keep draining instead of cascading panics off
+/// a poisoned lock.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Render a panic payload as text: the `&str`/`String` payloads produced
+/// by `panic!` and `assert!` are shown verbatim; anything else (a
+/// `panic_any` value) falls back to a placeholder naming the type
+/// opaquely. Used to surface worker panics and to record `Panicked`
+/// verdicts in the batch runner.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// A visited set keyed by 128-bit state fingerprints, striped over
 /// independently locked shards so parallel workers rarely contend.
@@ -76,7 +102,7 @@ impl<K: Eq + std::fmt::Debug> ShardedVisited<K> {
         // high bits — the identity hasher folds low bits into the bucket
         // index within the shard.
         let shard = ((fp.0 >> 64) as u64 >> 32) & self.mask;
-        let mut guard = self.shards[shard as usize].lock().expect("shard poisoned");
+        let mut guard = lock_recover(&self.shards[shard as usize]);
         match guard.entry(fp) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 if self.paranoid {
@@ -98,10 +124,7 @@ impl<K: Eq + std::fmt::Debug> ShardedVisited<K> {
 
     /// Number of distinct states recorded.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| lock_recover(s).len()).sum()
     }
 
     /// Whether no state has been recorded.
@@ -224,7 +247,7 @@ where
                         // Pop a state, or park until one appears / the
                         // search ends.
                         let task = {
-                            let mut g = pool.state.lock().expect("pool poisoned");
+                            let mut g = lock_recover(&pool.state);
                             loop {
                                 if stop.load(Ordering::Relaxed) {
                                     break None;
@@ -236,7 +259,10 @@ where
                                 if g.in_flight == 0 {
                                     break None;
                                 }
-                                g = pool.ready.wait(g).expect("pool poisoned");
+                                g = pool
+                                    .ready
+                                    .wait(g)
+                                    .unwrap_or_else(|poisoned| poisoned.into_inner());
                             }
                         };
                         let Some(s) = task else { break };
@@ -248,7 +274,7 @@ where
                         step(&mut local, s, &mut ctx);
                         std::mem::forget(guard);
 
-                        let mut g = pool.state.lock().expect("pool poisoned");
+                        let mut g = lock_recover(&pool.state);
                         g.stack.append(&mut ctx.out);
                         g.in_flight -= 1;
                         drop(g);
@@ -262,10 +288,30 @@ where
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
+
+        // Join every worker before deciding the run's fate: siblings of a
+        // panicking worker drain normally (AbortOnPanic raised the stop
+        // flag), so nothing is left running. If any worker panicked,
+        // re-raise ONE panic that names the first failing worker and
+        // carries its payload text — the per-test isolation layer
+        // (`catch_unwind` in the harness) turns that into a `Panicked`
+        // verdict instead of a dead campaign.
+        let mut results = Vec::with_capacity(workers);
+        let mut first_panic: Option<(usize, String)> = None;
+        for (ix, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(r) => results.push(r),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some((ix, panic_message(payload.as_ref())));
+                    }
+                }
+            }
+        }
+        if let Some((ix, msg)) = first_panic {
+            panic!("exploration worker {ix} of {workers} panicked: {msg}");
+        }
+        results
     })
 }
 
@@ -372,21 +418,57 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "worker panicked")]
-    fn worker_panic_propagates_instead_of_deadlocking() {
+    fn worker_panic_surfaces_payload_and_worker_index() {
         // A panicking step (e.g. a paranoid-mode collision assert) must
-        // cancel the pool and propagate, not strand parked siblings.
-        drive(
-            vec![1u64, 2, 3, 4],
-            4,
-            || (),
-            |_, node, ctx| {
-                if node == 3 {
-                    panic!("injected step failure");
-                }
-                ctx.push(node + 4);
-            },
-            |()| (),
-        );
+        // cancel the pool and propagate — naming the failing worker and
+        // carrying the original payload — not strand parked siblings or
+        // die with an anonymous "worker panicked".
+        let err = std::panic::catch_unwind(|| {
+            drive(
+                vec![1u64, 2, 3, 4],
+                4,
+                || (),
+                |_, node, ctx| {
+                    if node == 3 {
+                        panic!("injected step failure");
+                    }
+                    ctx.push(node + 4);
+                },
+                |()| (),
+            )
+        })
+        .expect_err("a worker panicked; drive must re-raise");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("exploration worker"), "{msg}");
+        assert!(msg.contains("of 4 panicked"), "{msg}");
+        assert!(msg.contains("injected step failure"), "{msg}");
+    }
+
+    #[test]
+    fn visited_set_recovers_from_poisoned_shards() {
+        // Paranoid-mode collision asserts panic while holding a shard
+        // lock; subsequent inserts on that shard must keep working (the
+        // map itself is still consistent — the panic fires between map
+        // operations).
+        let visited: std::sync::Arc<ShardedVisited<u64>> =
+            std::sync::Arc::new(ShardedVisited::new(true, 1));
+        assert!(visited.insert(fp_of(1), || 1));
+        let v = std::sync::Arc::clone(&visited);
+        let poisoner = std::thread::spawn(move || {
+            v.insert(fp_of(1), || 2); // collision: panics holding the lock
+        });
+        assert!(poisoner.join().is_err(), "collision assert must fire");
+        // The single shard is now poisoned; inserts still succeed.
+        assert!(visited.insert(fp_of(2), || 2));
+        assert!(!visited.insert(fp_of(2), || 2));
+        assert_eq!(visited.len(), 2);
+    }
+
+    #[test]
+    fn panic_message_renders_common_payloads() {
+        let err = std::panic::catch_unwind(|| panic!("plain {}", "text")).unwrap_err();
+        assert_eq!(panic_message(err.as_ref()), "plain text");
+        let err = std::panic::catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(panic_message(err.as_ref()), "<non-string panic payload>");
     }
 }

@@ -45,12 +45,12 @@ pub mod promise_first;
 pub mod stats;
 
 pub use engine::{Engine, Exploration, SearchBudget, SearchModel, SplitMix64};
-pub use frontier::{drive, effective_workers, Ctx, ShardedVisited};
+pub use frontier::{drive, effective_workers, panic_message, Ctx, ShardedVisited};
 pub use interactive::{Session, TraceEntry};
 pub use naive::{explore_naive, explore_naive_budget, CertMode, NaiveModel};
 pub use promise_first::{explore_promise_first, explore_promise_first_budget, PromiseFirstModel};
 pub use promising_core::Outcome;
-pub use stats::Stats;
+pub use stats::{Stats, StopReason};
 
 use promising_core::Machine;
 

@@ -14,7 +14,7 @@
 //! sets.
 
 use crate::engine::{Engine, SearchBudget, SearchModel};
-use crate::stats::Stats;
+use crate::stats::{Stats, StopReason};
 use promising_core::ids::TId;
 use promising_core::Outcome;
 use promising_core::{
@@ -125,7 +125,9 @@ impl SearchModel for NaiveModel {
             if self.mode == CertMode::Online && promising {
                 // r24: non-promise steps filtered to certified post-states.
                 let cert = find_and_certify_with(m, tid, memo, deadline);
-                stats.truncated |= cert.deadline_hit;
+                if cert.deadline_hit {
+                    stats.note_stop(StopReason::DeadlineExceeded);
+                }
                 for k in cert.certified_first_steps {
                     out.push(Transition::new(tid, k));
                 }
@@ -136,7 +138,9 @@ impl SearchModel for NaiveModel {
                 // Steps run free; certification only enumerates promises, so
                 // skip the certified-first-steps re-expansion.
                 let (promisable, cut) = find_promises_with(m, tid, memo, deadline);
-                stats.truncated |= cut;
+                if cut {
+                    stats.note_stop(StopReason::DeadlineExceeded);
+                }
                 for k in m.thread_steps(tid) {
                     out.push(Transition::new(tid, k));
                 }
@@ -234,8 +238,8 @@ pub fn explore_naive(machine: &Machine, mode: CertMode) -> Exploration {
     explore_naive_budget(machine, mode, SearchBudget::UNBOUNDED)
 }
 
-/// [`explore_naive`] under a [`SearchBudget`] (`stats.truncated` set when
-/// a bound is hit). The wall-clock deadline also bounds certification
+/// [`explore_naive`] under a [`SearchBudget`] (`stats.stop` records which
+/// bound was hit). The wall-clock deadline also bounds certification
 /// work *inside* `find_and_certify`, so a single pathological
 /// certification cannot blow past the budget.
 pub fn explore_naive_budget(

@@ -30,7 +30,7 @@
 //! identical outcome sets.
 
 use crate::engine::{Engine, Exploration, SearchBudget, SearchModel};
-use crate::stats::Stats;
+use crate::stats::{Stats, StopReason};
 use promising_core::ids::TId;
 use promising_core::stmt::SCRATCH_REG_BASE;
 use promising_core::Outcome;
@@ -232,7 +232,7 @@ impl SearchModel for PromiseFirstModel {
             if cut {
                 // the per-thread search outran the wall clock: the outcome
                 // set is a lower bound from here on
-                stats.truncated = true;
+                stats.note_stop(StopReason::DeadlineExceeded);
                 return;
             }
             if set.is_empty() {
@@ -293,7 +293,7 @@ impl SearchModel for PromiseFirstModel {
             let mut cert_memo = CertMemo::for_config(config);
             let (promisable, cut) = find_promises_with(m, tid, &mut cert_memo, deadline);
             if cut {
-                stats.truncated = true;
+                stats.note_stop(StopReason::DeadlineExceeded);
                 return out;
             }
             for msg in promisable {
@@ -645,7 +645,7 @@ mod tests {
             None,
             &mut reuse_out,
         );
-        assert!(!reuse_stats.truncated);
+        assert!(!reuse_stats.truncated());
         assert_eq!(
             reuse_out, fresh_out,
             "deadline-truncated phase-2 entries leaked into a complete query"

@@ -4,6 +4,72 @@
 use std::fmt;
 use std::time::Duration;
 
+/// Why a search stopped — the structured replacement for the old boolean
+/// `truncated` flag. Every exploration ends with exactly one of these;
+/// anything other than [`StopReason::Completed`] means the outcome set
+/// is a lower bound (the paper's "ooT" cells).
+///
+/// The variants are ordered by *severity*: when per-worker results merge
+/// ([`Stats::absorb`]) or a search trips several bounds, the most severe
+/// reason wins, so a panic is never masked by a concurrent deadline and
+/// a resource trip is never masked by a clean sibling worker.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum StopReason {
+    /// The search ran to exhaustion: the outcome set is complete.
+    #[default]
+    Completed,
+    /// The wall-clock deadline of the [`crate::SearchBudget`] fired
+    /// (including inside certification / phase-2 sub-searches).
+    DeadlineExceeded,
+    /// The visited-state budget (`max_states`) was exhausted.
+    StateBudget,
+    /// The approximate memory budget (`max_bytes`) was exhausted: the
+    /// resident visited-set + frontier estimate crossed the cap.
+    MemoryBudget,
+    /// The exploration panicked (a model bug); the search was cancelled
+    /// and the panic payload captured by the caller's isolation layer.
+    Panicked,
+}
+
+impl StopReason {
+    /// Every variant, in severity order — drives the serialisation
+    /// round-trip tests.
+    pub const ALL: [StopReason; 5] = [
+        StopReason::Completed,
+        StopReason::DeadlineExceeded,
+        StopReason::StateBudget,
+        StopReason::MemoryBudget,
+        StopReason::Panicked,
+    ];
+
+    /// Stable machine-readable name, used by the verdict database.
+    pub fn name(self) -> &'static str {
+        match self {
+            StopReason::Completed => "completed",
+            StopReason::DeadlineExceeded => "deadline",
+            StopReason::StateBudget => "state-budget",
+            StopReason::MemoryBudget => "memory-budget",
+            StopReason::Panicked => "panicked",
+        }
+    }
+
+    /// Parse a [`StopReason::name`] back (the verdict-database reader).
+    pub fn parse(s: &str) -> Option<StopReason> {
+        StopReason::ALL.into_iter().find(|r| r.name() == s)
+    }
+
+    /// Whether the search stopped early (any reason but `Completed`).
+    pub fn truncated(self) -> bool {
+        self != StopReason::Completed
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Counters from one exploration (exhaustive or sampled).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct Stats {
@@ -36,12 +102,26 @@ pub struct Stats {
     /// [`Stats::absorb`] keeps the maximum rather than summing, so
     /// merging per-worker stats never inflates elapsed time.
     pub wall_time: Duration,
-    /// Whether the search was cut short by a deadline or state budget
-    /// (results are a lower bound, like the paper's "ooT" cells).
-    pub truncated: bool,
+    /// Why the search stopped. [`StopReason::Completed`] unless a budget
+    /// bound fired or the exploration panicked; anything else means the
+    /// outcome set is a lower bound (the paper's "ooT" cells).
+    pub stop: StopReason,
 }
 
 impl Stats {
+    /// Whether the search was cut short (any [`StopReason`] but
+    /// `Completed`) — the old boolean `truncated` flag.
+    pub fn truncated(&self) -> bool {
+        self.stop.truncated()
+    }
+
+    /// Record a stop reason, keeping the most severe one seen so far
+    /// (severity is the [`StopReason`] ordering — a panic is never
+    /// downgraded to a mere budget trip).
+    pub fn note_stop(&mut self, reason: StopReason) {
+        self.stop = self.stop.max(reason);
+    }
+
     /// Merge counters from a sub-search: counters and `cpu_time` add up,
     /// `wall_time` takes the maximum (sub-searches overlap in time).
     pub fn absorb(&mut self, other: &Stats) {
@@ -55,7 +135,7 @@ impl Stats {
         self.por_pruned += other.por_pruned;
         self.cpu_time += other.cpu_time;
         self.wall_time = self.wall_time.max(other.wall_time);
-        self.truncated |= other.truncated;
+        self.stop = self.stop.max(other.stop);
     }
 }
 
@@ -78,6 +158,9 @@ impl fmt::Display for Stats {
         }
         if self.por_pruned > 0 {
             write!(f, ", {} POR-pruned", self.por_pruned)?;
+        }
+        if self.stop.truncated() {
+            write!(f, ", stopped: {}", self.stop)?;
         }
         Ok(())
     }
@@ -123,5 +206,34 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.cpu_time, Duration::from_secs(5));
         assert_eq!(a.wall_time, Duration::from_secs(2));
+    }
+
+    #[test]
+    fn absorb_keeps_most_severe_stop_reason() {
+        let mut a = Stats {
+            stop: StopReason::DeadlineExceeded,
+            ..Stats::default()
+        };
+        a.absorb(&Stats::default());
+        assert_eq!(a.stop, StopReason::DeadlineExceeded, "not masked by clean");
+        a.absorb(&Stats {
+            stop: StopReason::Panicked,
+            ..Stats::default()
+        });
+        assert_eq!(a.stop, StopReason::Panicked);
+        a.note_stop(StopReason::StateBudget);
+        assert_eq!(a.stop, StopReason::Panicked, "never downgraded");
+        assert!(a.truncated());
+    }
+
+    #[test]
+    fn stop_reason_names_round_trip() {
+        for r in StopReason::ALL {
+            assert_eq!(StopReason::parse(r.name()), Some(r));
+            assert_eq!(r.to_string(), r.name());
+        }
+        assert_eq!(StopReason::parse("bogus"), None);
+        assert!(!StopReason::Completed.truncated());
+        assert!(StopReason::MemoryBudget.truncated());
     }
 }

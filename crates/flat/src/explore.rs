@@ -200,7 +200,7 @@ pub fn explore_flat(machine: &FlatMachine) -> FlatExploration {
 
 /// [`explore_flat`] under a [`SearchBudget`]: wall-clock deadline and/or
 /// global state budget (total visits stay within `max_states` regardless
-/// of the worker count), reported via `stats.truncated` — the "out of
+/// of the worker count), reported via `stats.stop` — the "out of
 /// time" guard used by the benchmark tables.
 pub fn explore_flat_budget(machine: &FlatMachine, budget: SearchBudget) -> FlatExploration {
     Engine::new(FlatModel::new(machine))
@@ -374,7 +374,7 @@ mod tests {
     fn flat_state_budget_truncates() {
         let m = FlatMachine::new(Arc::new(mp(false)), Config::arm());
         let exp = explore_flat_budget(&m, SearchBudget::max_states(5));
-        assert!(exp.stats.truncated);
+        assert!(exp.stats.truncated());
         assert!(exp.stats.states <= 6);
     }
 

@@ -261,17 +261,16 @@ fn build_lang_test(sections: &Sections) -> Result<LangTest, ParseError> {
 
 /// Split numbered body lines into per-thread sections at `---` lines.
 fn split_body_threads(body: &[(usize, String)]) -> Vec<Vec<(usize, String)>> {
-    let mut sections = vec![Vec::new()];
+    let mut sections = Vec::new();
+    let mut current = Vec::new();
     for (n, line) in body {
         if line.trim() == "---" {
-            sections.push(Vec::new());
+            sections.push(std::mem::take(&mut current));
         } else {
-            sections
-                .last_mut()
-                .expect("non-empty")
-                .push((*n, line.clone()));
+            current.push((*n, line.clone()));
         }
     }
+    sections.push(current);
     sections
 }
 
@@ -377,25 +376,31 @@ impl CondParser<'_> {
     }
 
     fn or_expr(&mut self) -> Result<Pred, ParseError> {
-        let mut parts = vec![self.and_expr()?];
+        let first = self.and_expr()?;
+        let mut rest = Vec::new();
         while self.eat("\\/") {
-            parts.push(self.and_expr()?);
+            rest.push(self.and_expr()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("one element")
+        Ok(if rest.is_empty() {
+            first
         } else {
+            let mut parts = vec![first];
+            parts.append(&mut rest);
             Pred::Or(parts)
         })
     }
 
     fn and_expr(&mut self) -> Result<Pred, ParseError> {
-        let mut parts = vec![self.atom()?];
+        let first = self.atom()?;
+        let mut rest = Vec::new();
         while self.eat("/\\") {
-            parts.push(self.atom()?);
+            rest.push(self.atom()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("one element")
+        Ok(if rest.is_empty() {
+            first
         } else {
+            let mut parts = vec![first];
+            parts.append(&mut rest);
             Pred::And(parts)
         })
     }
@@ -481,6 +486,44 @@ r2 = load(x + (r1 - r1))
 exists (P1:r1=1 /\\ P1:r2=0)
 expect forbidden
 ";
+
+    #[test]
+    fn malformed_litmus_files_error_without_panicking() {
+        // User-input paths must degrade to ParseError, never panic.
+        for src in [
+            "",
+            "ARM",
+            "ARM \n",
+            "BOGUS T\nstore(x, 1)",
+            "ARM T",
+            "ARM T\nexists",
+            "ARM T\nexists (",
+            "ARM T\nexists ()",
+            "ARM T\nexists (P0:r1)",
+            "ARM T\nexists (P0:r1=)",
+            "ARM T\nexists (Px:r1=0)",
+            "ARM T\nexists (P0:r1=0 /\\)",
+            "ARM T\nexists (P0:r1=0 \\/)",
+            "ARM T\nexists (~)",
+            "ARM T\nexists (((P0:r1=0)",
+            "ARM T\ninit { x=1",
+            "ARM T\ninit x=1 }",
+            "ARM T\ninit { x }",
+            "ARM T\ninit { =1 }",
+            "ARM T\nstore(x, 1)\nexpect maybe",
+            "ARM T\nstore(\nexists (P0:r1=0)",
+            "ARM T\n---\n---\n---\nexists true",
+            "LANG T",
+            "LANG T\nstore(x, 1, bogus)",
+            "LANG T\nstore(x, 1, rlx)\nexists (P0:r1=",
+            "ARM T\nfuel -3\nstore(x, 1)",
+            "ARM T\nfuel\nstore(x, 1)",
+        ] {
+            // Ok or Err both fine; a panic fails the harness.
+            let _ = parse_litmus(src);
+            let _ = parse_lang_litmus(src);
+        }
+    }
 
     #[test]
     fn parses_full_test() {

@@ -6,11 +6,13 @@ use crate::test::{LangTest, LitmusTest};
 use promising_axiomatic::{AxConfig, AxError};
 use promising_core::{Arch, Config, Machine, Outcome};
 use promising_explorer::{
-    explore_naive, explore_promise_first, CertMode, Engine, NaiveModel, PromiseFirstModel,
+    explore_naive_budget, explore_promise_first_budget, panic_message, CertMode, Engine,
+    NaiveModel, PromiseFirstModel, SearchBudget, StopReason,
 };
-use promising_flat::{explore_flat, FlatMachine, FlatModel};
+use promising_flat::{explore_flat_budget, FlatMachine, FlatModel};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Which model to run.
@@ -44,6 +46,11 @@ impl ModelKind {
             ModelKind::Flat => "flat",
         }
     }
+
+    /// Parse a [`ModelKind::name`] back (CLI flags, cache files).
+    pub fn parse(s: &str) -> Option<ModelKind> {
+        ModelKind::ALL.into_iter().find(|k| k.name() == s)
+    }
 }
 
 /// Result of running one model on one test.
@@ -57,6 +64,10 @@ pub struct ModelRun {
     pub duration: Duration,
     /// States visited (0 for the axiomatic model; it counts candidates).
     pub states: u64,
+    /// Why the search stopped ([`StopReason::Completed`] unless a budget
+    /// bound fired). Truncated runs carry a *lower bound* of the outcome
+    /// set, so `outcomes` can only be trusted one-sidedly.
+    pub stop: StopReason,
 }
 
 /// Errors from running a model.
@@ -67,6 +78,14 @@ pub enum RunError {
     /// The model has no sampling scheduler (axiomatic enumeration is not
     /// an operational transition system).
     SamplingUnsupported(ModelKind),
+    /// The exploration panicked — a model bug, caught by
+    /// [`run_model_isolated`] so one bad test cannot kill a campaign.
+    Panicked {
+        /// The model that panicked.
+        kind: ModelKind,
+        /// The panic payload (message), best-effort rendered.
+        payload: String,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -75,6 +94,9 @@ impl fmt::Display for RunError {
             RunError::Axiomatic(e) => write!(f, "axiomatic enumeration failed: {e}"),
             RunError::SamplingUnsupported(k) => {
                 write!(f, "model {} does not support sampling", k.name())
+            }
+            RunError::Panicked { kind, payload } => {
+                write!(f, "model {} panicked: {payload}", kind.name())
             }
         }
     }
@@ -113,31 +135,63 @@ pub fn run_model_with(
     kind: ModelKind,
     tweak: impl Fn(Config) -> Config,
 ) -> Result<ModelRun, RunError> {
+    run_model_budgeted_with(test, kind, SearchBudget::UNBOUNDED, tweak)
+}
+
+/// Run `test` under `kind` with a [`SearchBudget`] governing the search.
+/// A tripped bound is reported in [`ModelRun::stop`], not as an error:
+/// the outcome set found so far is still a sound lower bound. The
+/// axiomatic model enumerates candidates (no frontier), so its runs
+/// ignore the budget and always report [`StopReason::Completed`] or an
+/// [`RunError::Axiomatic`] resource error.
+///
+/// # Errors
+///
+/// Returns a [`RunError`] if the model hits a resource cap.
+pub fn run_model_budgeted(
+    test: &LitmusTest,
+    kind: ModelKind,
+    budget: SearchBudget,
+) -> Result<ModelRun, RunError> {
+    run_model_budgeted_with(test, kind, budget, |c| c)
+}
+
+/// [`run_model_budgeted`] with a configuration tweak.
+///
+/// # Errors
+///
+/// Returns a [`RunError`] if the model hits a resource cap.
+pub fn run_model_budgeted_with(
+    test: &LitmusTest,
+    kind: ModelKind,
+    budget: SearchBudget,
+    tweak: impl Fn(Config) -> Config,
+) -> Result<ModelRun, RunError> {
     let fuel = test.loop_fuel.unwrap_or(DEFAULT_FUEL);
     let config = tweak(Config::for_arch(test.arch).with_loop_fuel(fuel));
     let start = Instant::now();
-    let (outcomes, states) = match kind {
+    let (outcomes, states, stop) = match kind {
         ModelKind::Promising => {
             let m = Machine::with_init(test.program.clone(), config, test.init.clone());
-            let e = explore_promise_first(&m);
-            (e.outcomes, e.stats.states)
+            let e = explore_promise_first_budget(&m, budget);
+            (e.outcomes, e.stats.states, e.stats.stop)
         }
         ModelKind::PromisingNaive => {
             let m = Machine::with_init(test.program.clone(), config, test.init.clone());
-            let e = explore_naive(&m, CertMode::Online);
-            (e.outcomes, e.stats.states)
+            let e = explore_naive_budget(&m, CertMode::Online, budget);
+            (e.outcomes, e.stats.states, e.stats.stop)
         }
         ModelKind::Axiomatic => {
             let mut ax = AxConfig::new(test.arch);
             ax.loop_fuel = fuel;
             ax.init = test.init.clone();
             let r = promising_axiomatic::enumerate_outcomes(&test.program, &ax)?;
-            (r.outcomes, r.stats.candidates)
+            (r.outcomes, r.stats.candidates, StopReason::Completed)
         }
         ModelKind::Flat => {
             let m = FlatMachine::with_init(test.program.clone(), config, test.init.clone());
-            let e = explore_flat(&m);
-            (e.outcomes, e.stats.states)
+            let e = explore_flat_budget(&m, budget);
+            (e.outcomes, e.stats.states, e.stats.stop)
         }
     };
     Ok(ModelRun {
@@ -145,7 +199,36 @@ pub fn run_model_with(
         outcomes,
         duration: start.elapsed(),
         states,
+        stop,
     })
+}
+
+/// Run `test` under `kind` inside a panic-isolation boundary: a model
+/// bug (collision assert, certification invariant, arithmetic overflow)
+/// becomes an [`RunError::Panicked`] carrying the payload instead of
+/// unwinding through the caller — one bad test cannot kill a campaign.
+///
+/// The exploration engine's `AbortOnPanic` guard keeps its worker pool
+/// and shared locks consistent on unwind, so catching here is safe: no
+/// engine state outlives the call.
+///
+/// # Errors
+///
+/// Returns [`RunError::Panicked`] if the exploration panicked, or any
+/// other [`RunError`] the underlying run reports.
+pub fn run_model_isolated(
+    test: &LitmusTest,
+    kind: ModelKind,
+    budget: SearchBudget,
+) -> Result<ModelRun, RunError> {
+    catch_unwind(AssertUnwindSafe(|| run_model_budgeted(test, kind, budget))).unwrap_or_else(
+        |payload| {
+            Err(RunError::Panicked {
+                kind,
+                payload: panic_message(payload.as_ref()),
+            })
+        },
+    )
 }
 
 /// Run `test` under `kind` with the sampling scheduler: `n_traces`
@@ -163,25 +246,51 @@ pub fn run_model_sampled(
     n_traces: u64,
     seed: u64,
 ) -> Result<ModelRun, RunError> {
+    run_model_sampled_budgeted(test, kind, n_traces, seed, SearchBudget::UNBOUNDED)
+}
+
+/// [`run_model_sampled`] under a [`SearchBudget`] — the degradation
+/// ladder's last rung: even sampling is bounded, so a pathological test
+/// cannot stall a campaign. A tripped bound is reported in
+/// [`ModelRun::stop`] (budget-truncated sampling runs lose per-seed
+/// determinism — see [`Engine::sample`]).
+///
+/// # Errors
+///
+/// Returns [`RunError::SamplingUnsupported`] for the axiomatic model,
+/// which has no operational transition system to walk.
+pub fn run_model_sampled_budgeted(
+    test: &LitmusTest,
+    kind: ModelKind,
+    n_traces: u64,
+    seed: u64,
+    budget: SearchBudget,
+) -> Result<ModelRun, RunError> {
     let fuel = test.loop_fuel.unwrap_or(DEFAULT_FUEL);
     let config = Config::for_arch(test.arch).with_loop_fuel(fuel);
     let start = Instant::now();
-    let (outcomes, states) = match kind {
+    let (outcomes, states, stop) = match kind {
         ModelKind::Promising => {
             let m = Machine::with_init(test.program.clone(), config, test.init.clone());
-            let e = Engine::new(PromiseFirstModel::new(&m)).sample(n_traces, seed);
-            (e.outcomes, e.stats.states)
+            let e = Engine::new(PromiseFirstModel::new(&m))
+                .with_budget(budget)
+                .sample(n_traces, seed);
+            (e.outcomes, e.stats.states, e.stats.stop)
         }
         ModelKind::PromisingNaive => {
             let m = Machine::with_init(test.program.clone(), config, test.init.clone());
-            let e = Engine::new(NaiveModel::new(&m, CertMode::Online)).sample(n_traces, seed);
-            (e.outcomes, e.stats.states)
+            let e = Engine::new(NaiveModel::new(&m, CertMode::Online))
+                .with_budget(budget)
+                .sample(n_traces, seed);
+            (e.outcomes, e.stats.states, e.stats.stop)
         }
         ModelKind::Axiomatic => return Err(RunError::SamplingUnsupported(kind)),
         ModelKind::Flat => {
             let m = FlatMachine::with_init(test.program.clone(), config, test.init.clone());
-            let e = Engine::new(FlatModel::new(&m)).sample(n_traces, seed);
-            (e.outcomes, e.stats.states)
+            let e = Engine::new(FlatModel::new(&m))
+                .with_budget(budget)
+                .sample(n_traces, seed);
+            (e.outcomes, e.stats.states, e.stats.stop)
         }
     };
     Ok(ModelRun {
@@ -189,6 +298,7 @@ pub fn run_model_sampled(
         outcomes,
         duration: start.elapsed(),
         states,
+        stop,
     })
 }
 
@@ -426,6 +536,46 @@ expect forbidden
             assert!(!v.holds);
             assert_eq!(v.matches_expectation, Some(true));
         }
+    }
+
+    #[test]
+    fn budgeted_run_records_stop_reason() {
+        let test = parse_litmus(MP_ADDR).unwrap();
+        let full = run_model(&test, ModelKind::Promising).unwrap();
+        assert_eq!(full.stop, StopReason::Completed);
+
+        let cut =
+            run_model_budgeted(&test, ModelKind::Promising, SearchBudget::max_states(1)).unwrap();
+        assert_eq!(cut.stop, StopReason::StateBudget);
+        assert!(
+            cut.outcomes.is_subset(&full.outcomes),
+            "truncated runs are lower bounds"
+        );
+
+        let tight = run_model_budgeted(&test, ModelKind::Flat, SearchBudget::max_bytes(1)).unwrap();
+        assert_eq!(tight.stop, StopReason::MemoryBudget);
+    }
+
+    #[test]
+    fn isolated_run_passes_through_clean_results() {
+        let test = parse_litmus(MP_ADDR).unwrap();
+        let full = run_model(&test, ModelKind::Promising).unwrap();
+        let isolated =
+            run_model_isolated(&test, ModelKind::Promising, SearchBudget::UNBOUNDED).unwrap();
+        assert_eq!(isolated.outcomes, full.outcomes);
+        assert_eq!(isolated.stop, StopReason::Completed);
+    }
+
+    #[test]
+    fn panicked_error_formats_payload() {
+        let e = RunError::Panicked {
+            kind: ModelKind::Promising,
+            payload: "injected model bug".to_string(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "model promising panicked: injected model bug"
+        );
     }
 
     #[test]

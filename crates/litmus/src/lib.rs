@@ -33,7 +33,9 @@ pub use generator::{
 };
 pub use harness::{
     check_agreement, check_lang_conformance, evaluate, evaluate_lang, run_lang_model, run_model,
-    run_model_sampled, run_model_with, Agreement, LangConformance, ModelKind, ModelRun, RunError,
-    Verdict, DEFAULT_FUEL,
+    run_model_budgeted, run_model_budgeted_with, run_model_isolated, run_model_sampled,
+    run_model_sampled_budgeted, run_model_with, Agreement, LangConformance, ModelKind, ModelRun,
+    RunError, Verdict, DEFAULT_FUEL,
 };
+pub use promising_explorer::{SearchBudget, StopReason};
 pub use test::{Condition, Expectation, LangTest, LitmusTest, Pred, Quantifier};

@@ -58,7 +58,7 @@ fn main() {
     // time (on the big parameterisations it won't — that is the point).
     let budget = SearchBudget::deadline(Some(Duration::from_secs(10)));
     let exhaustive = explore_promise_first_budget(&machine, budget);
-    if exhaustive.stats.truncated {
+    if exhaustive.stats.truncated() {
         println!(
             "  exhaustive: ooT after 10s ({} states) — sampling is the only option here",
             exhaustive.stats.states

@@ -1,0 +1,245 @@
+//! Robustness suite for the fault-tolerant batch runner: panic
+//! isolation, degradation tiers, the crash-safe cache, and the
+//! deterministic verdict database (ISSUE 6).
+//!
+//! The fine-grained cases live next to the implementation
+//! (`crates/bench/src/batch.rs`, `crates/explorer/src/engine.rs`);
+//! this suite exercises the cross-crate surface the `litmus_batch`
+//! binary composes, plus property tests over the serialisation
+//! boundaries.
+
+use promising_bench::batch::{
+    run_campaign, verdict_db, BatchConfig, ResultCache, Tier, TierBudgets, VerdictRecord,
+};
+use promising_core::Arch;
+use promising_litmus::{catalogue, parse_litmus, LitmusTest, ModelKind, SearchBudget, StopReason};
+use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("batch-robustness-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create test tmp dir");
+    dir
+}
+
+fn small_corpus() -> Vec<LitmusTest> {
+    // A handful of named catalogue tests across both architectures:
+    // enough shape diversity to exercise every ladder outcome without
+    // making the suite slow.
+    let names = [
+        "MP+dmb.sy+addr",
+        "SB+dmb.sy+dmb.sy",
+        "LB+data+data",
+        "2+2W+po+po",
+    ];
+    let picked: Vec<LitmusTest> = catalogue()
+        .into_iter()
+        .filter(|t| names.contains(&t.name.as_str()))
+        .collect();
+    assert!(
+        picked.len() >= 3,
+        "catalogue moved; update the corpus names ({:?})",
+        picked.iter().map(|t| t.name.clone()).collect::<Vec<_>>()
+    );
+    picked
+}
+
+#[test]
+fn injected_panic_is_contained_and_other_verdicts_survive() {
+    let corpus = small_corpus();
+    let trigger = corpus[0].name.clone();
+    let clean = run_campaign(&corpus, &BatchConfig::default()).expect("campaign I/O");
+    let faulty = run_campaign(
+        &corpus,
+        &BatchConfig {
+            inject_panic: Some(trigger.clone()),
+            ..BatchConfig::default()
+        },
+    )
+    .expect("campaign I/O");
+
+    let panicked: Vec<_> = faulty.panicked().collect();
+    assert!(!panicked.is_empty(), "the injected fault must be recorded");
+    assert!(panicked.iter().all(|r| r.test == trigger));
+    assert!(
+        panicked.iter().all(|r| !r.mismatch()),
+        "a caught panic is an infrastructure fault, not a conformance failure"
+    );
+    let spared = |r: &&VerdictRecord| r.test != trigger;
+    assert_eq!(
+        clean.records.iter().filter(spared).collect::<Vec<_>>(),
+        faulty.records.iter().filter(spared).collect::<Vec<_>>(),
+        "verdicts of unaffected tests must be identical"
+    );
+}
+
+#[test]
+fn over_budget_tests_degrade_to_tagged_sampled_verdicts() {
+    let corpus = small_corpus();
+    let report = run_campaign(
+        &corpus,
+        &BatchConfig {
+            models: vec![ModelKind::Promising, ModelKind::Flat],
+            budgets: TierBudgets {
+                base: SearchBudget::max_states(1),
+                retry_scale: 2,
+                sample_traces: 128,
+                sample_seed: 7,
+            },
+            ..BatchConfig::default()
+        },
+    )
+    .expect("campaign I/O");
+    assert!(
+        report.degraded().count() > 0,
+        "1-state budgets must degrade"
+    );
+    for rec in report.degraded() {
+        assert_eq!(rec.tier, Tier::Sampled, "{}", rec.test);
+    }
+    assert_eq!(
+        report.mismatches().count(),
+        0,
+        "sampling the catalogue's allowed/forbidden shapes stays conformant"
+    );
+}
+
+#[test]
+fn interrupted_campaign_resumes_to_byte_identical_database() {
+    let dir = tmp_dir("resume");
+    let cache = dir.join("cache.tsv");
+    let corpus = small_corpus();
+    let cfg = |cache_path, campaign_budget| BatchConfig {
+        models: vec![ModelKind::Promising, ModelKind::Flat],
+        cache_path,
+        campaign_state_budget: campaign_budget,
+        ..BatchConfig::default()
+    };
+
+    let reference = run_campaign(&corpus, &cfg(None, None)).expect("campaign I/O");
+    let reference_db = verdict_db(&reference.records);
+
+    // "kill" the campaign after the first unit of work...
+    let partial = run_campaign(&corpus, &cfg(Some(cache.clone()), Some(1))).expect("campaign I/O");
+    assert!(partial.aborted, "the campaign budget must abort the run");
+    assert!(
+        !ResultCache::load(&cache)
+            .expect("cache readable")
+            .is_empty(),
+        "aborting must still flush completed verdicts"
+    );
+
+    // ...and resume: cached verdicts are hits, the database is
+    // byte-identical to the uninterrupted run's.
+    let resumed = run_campaign(&corpus, &cfg(Some(cache), None)).expect("campaign I/O");
+    assert!(!resumed.aborted);
+    assert_eq!(
+        resumed.cache_hits, partial.executed,
+        "resume reuses all flushed work"
+    );
+    assert_eq!(verdict_db(&resumed.records), reference_db);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn memory_budget_yields_memory_budget_stop_reason_end_to_end() {
+    let test = parse_litmus(
+        "ARM MP+tiny\nstore(x, 1)\nstore(y, 1)\n---\nr1 = load(y)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect allowed",
+    )
+    .expect("valid litmus source");
+    let run = promising_litmus::run_model_budgeted(
+        &test,
+        ModelKind::Promising,
+        SearchBudget::max_bytes(1),
+    )
+    .expect("run succeeds");
+    assert_eq!(run.stop, StopReason::MemoryBudget);
+}
+
+/// Pull every `"stop": "..."` field back out of the verdict database —
+/// the shape the round-trip property feeds through [`StopReason::parse`].
+fn stops_in_db(db: &str) -> Vec<String> {
+    db.lines()
+        .filter_map(|line| {
+            let (_, rest) = line.split_once("\"stop\": \"")?;
+            let (value, _) = rest.split_once('"')?;
+            Some(value.to_string())
+        })
+        .collect()
+}
+
+fn record_with(ix: usize, stop: StopReason, tier: Tier, holds: Option<bool>) -> VerdictRecord {
+    VerdictRecord {
+        key: format!("{ix:032x}-{:032x}", u128::MAX - ix as u128),
+        test: format!("GEN-{ix}+po\\\"quote"),
+        arch: if ix.is_multiple_of(2) {
+            Arch::Arm
+        } else {
+            Arch::RiscV
+        },
+        model: ModelKind::ALL[ix % ModelKind::ALL.len()],
+        tier,
+        stop,
+        holds,
+        matches_expectation: holds.map(|h| h == ix.is_multiple_of(3)),
+        outcomes: (ix as u64).wrapping_mul(7),
+        states: (ix as u64).wrapping_mul(131),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every [`StopReason`] survives the trip into the JSON verdict
+    /// database and back through [`StopReason::parse`] — including on
+    /// records with hostile test names and every tier/holds shape.
+    #[test]
+    fn stop_reasons_round_trip_through_verdict_db(
+        ix in 0usize..4096,
+        stop_ix in 0usize..StopReason::ALL.len(),
+        tier_ix in 0usize..Tier::ALL.len(),
+        holds_ix in 0usize..3,
+    ) {
+        let stop = StopReason::ALL[stop_ix];
+        let tier = Tier::ALL[tier_ix];
+        let holds = [None, Some(false), Some(true)][holds_ix];
+        let records = vec![
+            record_with(ix, stop, tier, holds),
+            record_with(ix + 1, StopReason::Completed, Tier::Exhaustive, Some(true)),
+        ];
+        let db = verdict_db(&records);
+        let stops = stops_in_db(&db);
+        prop_assert_eq!(stops.len(), 2, "one stop field per record: {}", db.clone());
+        let parsed: Vec<StopReason> = stops
+            .iter()
+            .map(|s| StopReason::parse(s).expect("db stop names parse"))
+            .collect();
+        prop_assert!(parsed.contains(&stop), "lost {:?} in {}", stop, db);
+    }
+
+    /// Verdict records survive the cache's line format exactly.
+    #[test]
+    fn records_round_trip_through_cache_lines(
+        ix in 0usize..4096,
+        stop_ix in 0usize..StopReason::ALL.len(),
+        tier_ix in 0usize..Tier::ALL.len(),
+        holds_ix in 0usize..3,
+    ) {
+        let rec = record_with(
+            ix,
+            StopReason::ALL[stop_ix],
+            Tier::ALL[tier_ix],
+            [None, Some(false), Some(true)][holds_ix],
+        );
+        let mut cache = ResultCache::new();
+        cache.insert(rec.clone());
+        let dir = tmp_dir("cache-prop");
+        let path = dir.join(format!("c{ix}.tsv"));
+        cache.flush(&path).expect("flush");
+        let reloaded = ResultCache::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(reloaded.get(&rec.key), Some(&rec));
+    }
+}

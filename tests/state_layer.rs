@@ -272,7 +272,7 @@ fn budget_entry_points_agree_with_unbounded_on_catalogue() {
         let m = machine_for(&test, config_for(&test));
         let a = explore_promise_first(&m);
         let b = explore_promise_first_budget(&m, roomy);
-        assert!(!b.stats.truncated, "{test}");
+        assert!(!b.stats.truncated(), "{test}");
         assert_eq!(a.outcomes, b.outcomes, "{test}: promise-first budget");
         assert_eq!(a.stats.states, b.stats.states, "{test}");
 
