@@ -13,10 +13,11 @@
 //! check CI runs on every push; omit it for the full local sweep.
 //!
 //! `--por-sweep` additionally runs the two POR-reduced models
-//! (promising-naive and Flat-lite) with partial-order reduction *off*
-//! on every selected test and asserts the outcome sets are identical to
-//! the POR-on runs — the direct `Config::por` soundness sweep CI runs
-//! per push.
+//! (promising-naive and Flat-lite) with partial-order reduction *off*,
+//! and with the static POR on but the per-location dynamic layer
+//! (`Config::dpor`) *off*, on every selected test, asserting the
+//! outcome sets are identical to the default (por+dpor on) runs — the
+//! direct `Config::{por, dpor}` soundness sweep CI runs per push.
 
 use promising_core::Arch;
 use promising_litmus::{
@@ -44,16 +45,22 @@ fn check_por_agreement(
                     .outcomes
             }
         };
-        let off = run_model_with(test, kind, |c| c.with_por(false))
-            .map_err(|e| format!("{}: {} POR-off: {e}", test.name, kind.name()))?;
-        if on != off.outcomes {
-            return Err(format!(
-                "{}: {} POR-on and POR-off outcome sets differ ({} vs {} outcomes)",
-                test.name,
-                kind.name(),
-                on.len(),
-                off.outcomes.len(),
-            ));
+        type Tweak = fn(promising_core::Config) -> promising_core::Config;
+        for (label, tweak) in [
+            ("POR-off", (|c| c.with_por(false)) as Tweak),
+            ("DPOR-off", (|c| c.with_por(true).with_dpor(false)) as Tweak),
+        ] {
+            let off = run_model_with(test, kind, tweak)
+                .map_err(|e| format!("{}: {} {label}: {e}", test.name, kind.name()))?;
+            if on != off.outcomes {
+                return Err(format!(
+                    "{}: {} default and {label} outcome sets differ ({} vs {} outcomes)",
+                    test.name,
+                    kind.name(),
+                    on.len(),
+                    off.outcomes.len(),
+                ));
+            }
         }
     }
     Ok(())

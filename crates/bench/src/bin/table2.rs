@@ -11,7 +11,7 @@
 //! ```text
 //! cargo run --release -p promising-bench --bin table2 -- \
 //!     [timeout-secs] [--json PATH] [--legacy] [--no-flat] [--no-por] \
-//!     [--workers N,M,..] [--rows A,B,..] [--sample N] [--seed S]
+//!     [--no-dpor] [--workers N,M,..] [--rows A,B,..] [--sample N] [--seed S]
 //! ```
 //!
 //! * `--json PATH` — also write a machine-readable snapshot (the
@@ -26,6 +26,10 @@
 //!   `Config::por`, which is on by default; outcome sets are identical
 //!   either way — the JSON rows carry a canonical `outcomes_digest` to
 //!   prove it across runs);
+//! * `--no-dpor` — keep the static POR but disable the per-location
+//!   dynamic refinement (`Config::dpor`): delayable-thread collapse,
+//!   the flat model's canonical per-location state encoding, and the
+//!   restricted-fingerprint certification memo keys;
 //! * `--workers 2,4` — additionally run the promising side with those
 //!   worker counts (parallel frontier);
 //! * `--rows SLA-1,SLC-2` — restrict to the named rows;
@@ -75,6 +79,7 @@ struct Args {
     legacy: bool,
     no_flat: bool,
     no_por: bool,
+    no_dpor: bool,
     workers: Vec<usize>,
     rows: Vec<String>,
     sample: Option<u64>,
@@ -88,6 +93,7 @@ fn parse_args() -> Args {
         legacy: false,
         no_flat: false,
         no_por: false,
+        no_dpor: false,
         workers: Vec::new(),
         rows: ROWS.iter().map(|s| s.to_string()).collect(),
         sample: None,
@@ -100,6 +106,7 @@ fn parse_args() -> Args {
             "--legacy" => args.legacy = true,
             "--no-flat" => args.no_flat = true,
             "--no-por" => args.no_por = true,
+            "--no-dpor" => args.no_dpor = true,
             "--workers" => {
                 let list = it.next().expect("--workers needs a list");
                 args.workers = list
@@ -145,8 +152,13 @@ struct Row {
     /// worker count and run, so `--json` snapshots diff cleanly.
     p_outcomes: usize,
     p_digest: String,
+    /// Why the promising search stopped ([`StopReason::name`]): explains
+    /// a `null` timing — "deadline" (the classic ooT), a resource budget,
+    /// or "completed" for a cell that ran to exhaustion.
+    p_stop: &'static str,
     flat: Cell,
     f_states: u64,
+    f_stop: &'static str,
     legacy: Cell,
     by_workers: Vec<(usize, Cell)>,
     sampled: Option<(Cell, usize)>,
@@ -169,11 +181,12 @@ fn render_json(args: &Args, rows: &[Row]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"test\": \"{}\", \"promising_secs\": {}, \"promising_cpu_secs\": {:.6}, \"promising_states\": {}, \"outcome_count\": {}, \"outcomes_digest\": \"{}\"",
+            "    {{\"test\": \"{}\", \"promising_secs\": {}, \"promising_cpu_secs\": {:.6}, \"promising_states\": {}, \"promising_stop\": \"{}\", \"outcome_count\": {}, \"outcomes_digest\": \"{}\"",
             r.spec,
             json_secs(r.promising),
             r.p_cpu,
             r.p_states,
+            r.p_stop,
             r.p_outcomes,
             r.p_digest,
         );
@@ -182,9 +195,10 @@ fn render_json(args: &Args, rows: &[Row]) -> String {
         if !args.no_flat {
             let _ = write!(
                 out,
-                ", \"flat_secs\": {}, \"flat_states\": {}",
+                ", \"flat_secs\": {}, \"flat_states\": {}, \"flat_stop\": \"{}\"",
                 json_secs(r.flat),
                 r.f_states,
+                r.f_stop,
             );
         }
         if args.legacy {
@@ -241,7 +255,8 @@ fn main() {
         let init = init_for(&w);
 
         let budget = SearchBudget::deadline(Some(args.timeout));
-        let mk_config = |base: promising_core::Config| base.with_por(!args.no_por);
+        let mk_config =
+            |base: promising_core::Config| base.with_por(!args.no_por).with_dpor(!args.no_dpor);
         let m = Machine::with_init(
             w.program.clone(),
             mk_config(w.config(Arch::Arm)),
@@ -290,8 +305,8 @@ fn main() {
             })
             .collect();
 
-        let (f_time, f_states) = if args.no_flat {
-            (None, 0)
+        let (f_time, f_states, f_stop) = if args.no_flat {
+            (None, 0, "completed")
         } else {
             let fm = FlatMachine::with_init(
                 w.program.clone(),
@@ -302,6 +317,7 @@ fn main() {
             (
                 (!f.stats.truncated()).then_some(f.stats.wall_time.as_secs_f64()),
                 f.stats.states,
+                f.stats.stop.name(),
             )
         };
 
@@ -328,8 +344,10 @@ fn main() {
             p_states: p.stats.states,
             p_outcomes: p.outcomes.len(),
             p_digest: p.outcomes_digest(),
+            p_stop: p.stats.stop.name(),
             flat: f_time,
             f_states,
+            f_stop,
             legacy: legacy.flatten(),
             by_workers,
             sampled,

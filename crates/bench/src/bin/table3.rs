@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! cargo run --release -p promising-bench --bin table3 -- \
-//!     [timeout-secs] [--json PATH] [--no-por] [--sample N] [--seed S]
+//!     [timeout-secs] [--json PATH] [--no-por] [--no-dpor] [--sample N] [--seed S]
 //! ```
 //!
 //! * `--sample N` adds a sampled-promising column: `N` seeded random
@@ -16,7 +16,9 @@
 //!   emitted as canonically sorted digests (`outcomes_digest`), so the
 //!   JSON is byte-identical across runs and worker counts — only the
 //!   timing fields vary;
-//! * `--no-por` disables partial-order reduction (`Config::por`).
+//! * `--no-por` disables partial-order reduction (`Config::por`);
+//! * `--no-dpor` keeps the static POR but disables the per-location
+//!   dynamic refinement (`Config::dpor`).
 
 use promising_bench::{fmt_duration, json_secs, Table};
 use promising_core::{Arch, Machine};
@@ -69,9 +71,13 @@ struct Row {
     spec: String,
     promising: Option<f64>,
     p_states: u64,
+    /// [`StopReason::name`] for the promising cell — explains a `null`
+    /// timing ("deadline" vs a resource budget vs "completed").
+    p_stop: &'static str,
     outcome_count: usize,
     digest: String,
     flat: Option<f64>,
+    f_stop: &'static str,
     sampled: Option<(Option<f64>, usize)>,
 }
 
@@ -81,6 +87,7 @@ fn main() {
     let mut seed = 0u64;
     let mut json: Option<String> = None;
     let mut no_por = false;
+    let mut no_dpor = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -99,6 +106,7 @@ fn main() {
             }
             "--json" => json = Some(it.next().expect("--json needs a path")),
             "--no-por" => no_por = true,
+            "--no-dpor" => no_dpor = true,
             other => match other.parse::<u64>() {
                 Ok(secs) => timeout = Duration::from_secs(secs),
                 Err(_) => panic!("unknown argument: {other}"),
@@ -124,14 +132,16 @@ fn main() {
         let init = init_for(&w);
         let m = Machine::with_init(
             w.program.clone(),
-            w.config(Arch::Arm).with_por(!no_por),
+            w.config(Arch::Arm).with_por(!no_por).with_dpor(!no_dpor),
             init.clone(),
         );
         let p = explore_promise_first_budget(&m, budget);
         let p_time = (!p.stats.truncated()).then_some(p.stats.wall_time.as_secs_f64());
         let fm = FlatMachine::with_init(
             w.program.clone(),
-            w.config_unshared(Arch::Arm).with_por(!no_por),
+            w.config_unshared(Arch::Arm)
+                .with_por(!no_por)
+                .with_dpor(!no_dpor),
             init,
         );
         let f = explore_flat_budget(&fm, budget);
@@ -162,9 +172,11 @@ fn main() {
             spec: spec.to_string(),
             promising: p_time,
             p_states: p.stats.states,
+            p_stop: p.stats.stop.name(),
             outcome_count: p.outcomes.len(),
             digest: p.outcomes_digest(),
             flat: f_time,
+            f_stop: f.stats.stop.name(),
             sampled,
         });
     }
@@ -176,17 +188,20 @@ fn main() {
         let _ = writeln!(out, "  \"suite\": \"table3\",");
         let _ = writeln!(out, "  \"timeout_secs\": {},", timeout.as_secs());
         let _ = writeln!(out, "  \"por\": {},", !no_por);
+        let _ = writeln!(out, "  \"dpor\": {},", !no_dpor);
         let _ = writeln!(out, "  \"rows\": [");
         for (i, r) in rows.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"test\": \"{}\", \"promising_secs\": {}, \"promising_states\": {}, \"outcome_count\": {}, \"outcomes_digest\": \"{}\", \"flat_secs\": {}",
+                "    {{\"test\": \"{}\", \"promising_secs\": {}, \"promising_states\": {}, \"promising_stop\": \"{}\", \"outcome_count\": {}, \"outcomes_digest\": \"{}\", \"flat_secs\": {}, \"flat_stop\": \"{}\"",
                 r.spec,
                 json_secs(r.promising),
                 r.p_states,
+                r.p_stop,
                 r.outcome_count,
                 r.digest,
                 json_secs(r.flat),
+                r.f_stop,
             );
             if let Some((cell, outcomes)) = &r.sampled {
                 let _ = write!(

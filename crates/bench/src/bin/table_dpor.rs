@@ -1,32 +1,31 @@
-//! Experiment POR (PR 5): measure the partial-order reduction — visited
-//! states and pruned transitions with `Config::por` on vs off, on the
-//! two models the reduction applies to (the naive full-interleaving
-//! promising search and the Flat-lite baseline).
+//! Experiment DPOR (PR 6): measure the per-location dynamic reduction —
+//! visited states with `Config::dpor` on vs off, with `Config::por` on in
+//! *both* cells, so the off side is exactly the PR 5 static-observer POR
+//! and the ratio isolates what the per-location refinement adds.
 //!
-//! Rows come in two groups:
+//! Rows come in the same two groups as `table_por`:
 //!
-//! * the **Table-2 heavy rows** (SLC-2, STC, STR, QU). These are
-//!   *append-bound*: every thread keeps writing a contended location
-//!   (lock word, stack head, queue tail) until it retires, and appends
-//!   to the total order of memory never commute, so sound POR has
-//!   almost nothing to prune — the effective ordering reduction for
-//!   them is the promise-first strategy itself (Theorem 7.1), which is
-//!   what the Table-2 "Promising" column runs. The rows are included to
-//!   record exactly that;
-//! * **read-parallel rows** — IRIW-style multi-observer shapes (the
-//!   catalogue entries plus `RF-n-k` fan-outs: one writer of `k`
-//!   locations, `n` pure-reader threads) where co-enabled observers
-//!   collapse multiplicatively. This is the shape that dominates the
-//!   generated litmus corpora.
+//! * the **Table-2 heavy rows** (SLC-2, STC, STR, QU) — append-bound
+//!   workloads where the static reduction recorded 1.0x. The dynamic
+//!   reduction attacks them from two sides: the flat model's canonical
+//!   per-location state encoding merges interleavings that differ only
+//!   in the global order of appends to disjoint locations, and the
+//!   naive model's restricted-fingerprint `CertMemo` keys let a
+//!   thread's certification survive sibling appends to locations
+//!   outside its may-access scope (the `survived` counter);
+//! * **read-parallel rows** — the IRIW-style shapes the static POR
+//!   already collapses. These are regression guards: the dynamic
+//!   delayable-thread rule strictly contains the pure-observer rule,
+//!   so the dpor cell must stay within noise of the PR 5 cell.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p promising-bench --bin table_por -- \
+//! cargo run --release -p promising-bench --bin table_dpor -- \
 //!     [timeout-secs] [--json PATH]
 //! ```
 //!
-//! Outcome sets are asserted identical POR-on vs POR-off on every row
+//! Outcome sets are asserted identical dpor-on vs dpor-off on every row
 //! that completes both sides (the process exits non-zero otherwise).
 
 use promising_bench::Table;
@@ -50,9 +49,9 @@ const HEAVY: &[&str] = &[
     "QU-100-010-000",
 ];
 
-/// Read-parallel fan-outs: (readers, locations-each). The observer
-/// collapse compounds in the reader count — the off-side grows by the
-/// full multinomial of reader interleavings, the on-side by a sum.
+/// Read-parallel fan-outs: (readers, locations-each), matching
+/// `table_por` so the regression check lines up row-for-row with
+/// `BENCH_por.json`.
 const FANOUTS: &[(usize, usize)] = &[
     (2, 2),
     (3, 2),
@@ -68,20 +67,23 @@ struct Row {
     name: String,
     model: &'static str,
     group: &'static str,
-    states_on: u64,
-    states_off: u64,
+    /// Visited states with por on, dpor on.
+    states_dpor: u64,
+    /// Visited states with por on, dpor off — the PR 5 baseline.
+    states_base: u64,
     pruned: u64,
-    /// [`StopReason::name`] per side — explains *why* a truncated cell
-    /// stopped (deadline vs resource budget) instead of a bare flag.
-    stop_on: &'static str,
-    stop_off: &'static str,
+    cert_hits: u64,
+    cert_misses: u64,
+    cert_survived: u64,
+    stop_dpor: &'static str,
+    stop_base: &'static str,
     truncated: bool,
     equal: bool,
 }
 
 impl Row {
     fn reduction(&self) -> f64 {
-        self.states_off as f64 / self.states_on.max(1) as f64
+        self.states_base as f64 / self.states_dpor.max(1) as f64
     }
 }
 
@@ -117,7 +119,7 @@ fn main() {
     }
     let budget = SearchBudget::deadline(Some(timeout));
     println!(
-        "POR ablation: visited states with Config::por on vs off ({}s per cell)\n",
+        "DPOR ablation: visited states with Config::dpor on vs off, por on in both ({}s per cell)\n",
         timeout.as_secs()
     );
 
@@ -132,33 +134,66 @@ fn main() {
             name: name.clone(),
             model,
             group,
-            states_on: on.stats.states,
-            states_off: off.stats.states,
+            states_dpor: on.stats.states,
+            states_base: off.stats.states,
             pruned: on.stats.por_pruned,
-            stop_on: on.stats.stop.name(),
-            stop_off: off.stats.stop.name(),
+            cert_hits: on.stats.cert_hits,
+            cert_misses: on.stats.cert_misses,
+            cert_survived: on.stats.cert_survived,
+            stop_dpor: on.stats.stop.name(),
+            stop_base: off.stats.stop.name(),
             truncated,
             equal: truncated || on.outcomes == off.outcomes,
         };
         eprintln!(
-            "  {model} {name}: {} -> {} states ({:.2}x){}",
-            row.states_off,
-            row.states_on,
+            "  {model} {name}: {} -> {} states ({:.2}x), {} survived{}",
+            row.states_base,
+            row.states_dpor,
             row.reduction(),
+            row.cert_survived,
             if truncated { " [truncated]" } else { "" }
         );
         rows.push(row);
     };
 
-    let naive_pair = |program: &Arc<Program>, config: Config| {
+    // Both cells run with por on; only dpor differs.
+    type Init = std::collections::BTreeMap<promising_core::Loc, promising_core::Val>;
+    let naive_pair = |program: &Arc<Program>, config: Config, init: &Init| {
         let on = explore_naive_budget(
-            &Machine::new(Arc::clone(program), config.clone().with_por(true)),
+            &Machine::with_init(
+                Arc::clone(program),
+                config.clone().with_por(true).with_dpor(true),
+                init.clone(),
+            ),
             CertMode::Online,
             budget,
         );
         let off = explore_naive_budget(
-            &Machine::new(Arc::clone(program), config.with_por(false)),
+            &Machine::with_init(
+                Arc::clone(program),
+                config.with_por(true).with_dpor(false),
+                init.clone(),
+            ),
             CertMode::Online,
+            budget,
+        );
+        (on, off)
+    };
+    let flat_pair = |program: &Arc<Program>, config: Config, init: &Init| {
+        let on = explore_flat_budget(
+            &FlatMachine::with_init(
+                Arc::clone(program),
+                config.clone().with_por(true).with_dpor(true),
+                init.clone(),
+            ),
+            budget,
+        );
+        let off = explore_flat_budget(
+            &FlatMachine::with_init(
+                Arc::clone(program),
+                config.with_por(true).with_dpor(false),
+                init.clone(),
+            ),
             budget,
         );
         (on, off)
@@ -167,47 +202,19 @@ fn main() {
     for spec in HEAVY {
         let w = by_spec(spec).expect("heavy row spec parses");
         let init = init_for(&w);
-        let config = w.config(Arch::Arm);
-        let on = explore_naive_budget(
-            &Machine::with_init(
-                w.program.clone(),
-                config.clone().with_por(true),
-                init.clone(),
-            ),
-            CertMode::Online,
-            budget,
-        );
-        let off = explore_naive_budget(
-            &Machine::with_init(w.program.clone(), config.with_por(false), init.clone()),
-            CertMode::Online,
-            budget,
-        );
+        let (on, off) = naive_pair(&w.program, w.config(Arch::Arm), &init);
         measure(spec.to_string(), "naive", "table2-heavy", on, off);
-        let fc = w.config_unshared(Arch::Arm);
-        let f_on = explore_flat_budget(
-            &FlatMachine::with_init(w.program.clone(), fc.clone().with_por(true), init.clone()),
-            budget,
-        );
-        let f_off = explore_flat_budget(
-            &FlatMachine::with_init(w.program.clone(), fc.with_por(false), init),
-            budget,
-        );
+        let (f_on, f_off) = flat_pair(&w.program, w.config_unshared(Arch::Arm), &init);
         measure(spec.to_string(), "flat", "table2-heavy", f_on, f_off);
     }
 
+    let no_init = Init::new();
     for &(readers, locs) in FANOUTS {
         let name = format!("RF-{readers}-{locs}");
         let program = fanout_program(readers, locs);
-        let (on, off) = naive_pair(&program, Config::arm());
+        let (on, off) = naive_pair(&program, Config::arm(), &no_init);
         measure(name.clone(), "naive", "read-parallel", on, off);
-        let f_on = explore_flat_budget(
-            &FlatMachine::new(Arc::clone(&program), Config::arm()),
-            budget,
-        );
-        let f_off = explore_flat_budget(
-            &FlatMachine::new(Arc::clone(&program), Config::arm().with_por(false)),
-            budget,
-        );
+        let (f_on, f_off) = flat_pair(&program, Config::arm(), &no_init);
         measure(name, "flat", "read-parallel", f_on, f_off);
     }
 
@@ -216,20 +223,7 @@ fn main() {
             continue;
         }
         let config = Config::for_arch(t.arch).with_loop_fuel(t.loop_fuel.unwrap_or(DEFAULT_FUEL));
-        let on = explore_naive_budget(
-            &Machine::with_init(
-                t.program.clone(),
-                config.clone().with_por(true),
-                t.init.clone(),
-            ),
-            CertMode::Online,
-            budget,
-        );
-        let off = explore_naive_budget(
-            &Machine::with_init(t.program.clone(), config.with_por(false), t.init.clone()),
-            CertMode::Online,
-            budget,
-        );
+        let (on, off) = naive_pair(&t.program, config, &t.init);
         measure(t.name.clone(), "naive", "read-parallel", on, off);
     }
 
@@ -237,24 +231,26 @@ fn main() {
         "Test",
         "Model",
         "Group",
-        "States-off",
-        "States-on",
+        "States-base",
+        "States-dpor",
         "Reduction",
         "Pruned",
+        "Cert h/m/surv",
     ]);
     for r in &rows {
         table.row(&[
             r.name.clone(),
             r.model.to_string(),
             r.group.to_string(),
-            r.states_off.to_string(),
+            r.states_base.to_string(),
             if r.truncated {
-                format!("{} (ooT)", r.states_on)
+                format!("{} (ooT)", r.states_dpor)
             } else {
-                r.states_on.to_string()
+                r.states_dpor.to_string()
             },
             format!("{:.2}x", r.reduction()),
             r.pruned.to_string(),
+            format!("{}/{}/{}", r.cert_hits, r.cert_misses, r.cert_survived),
         ]);
     }
     println!("{}", table.render());
@@ -277,26 +273,23 @@ fn main() {
         None => "- (all rows truncated)".to_string(),
     };
     let heavy_mean = mean("table2-heavy", None);
+    let heavy_flat = mean("table2-heavy", Some("flat"));
     let rp_mean = mean("read-parallel", None);
-    let rp_naive = mean("read-parallel", Some("naive"));
-    let rp_flat = mean("read-parallel", Some("flat"));
-    println!("geometric-mean state reduction (completed rows):");
+    println!("geometric-mean state reduction over the PR 5 POR (completed rows):");
     println!(
-        "  table2-heavy:  {}  (append-bound — see module docs: POR",
-        fmt_mean(heavy_mean)
+        "  table2-heavy:  {} (flat {})",
+        fmt_mean(heavy_mean),
+        fmt_mean(heavy_flat)
     );
-    println!("                 cannot commute appends; promise-first is their reduction)");
     println!(
-        "  read-parallel: {} (naive {}, flat {})",
-        fmt_mean(rp_mean),
-        fmt_mean(rp_naive),
-        fmt_mean(rp_flat)
+        "  read-parallel: {} (regression guard: must stay ~1.0x or better)",
+        fmt_mean(rp_mean)
     );
 
     let mismatches: Vec<&Row> = rows.iter().filter(|r| !r.equal).collect();
     for r in &mismatches {
         eprintln!(
-            "MISMATCH: {} {}: POR-on and POR-off outcome sets differ",
+            "MISMATCH: {} {}: dpor-on and dpor-off outcome sets differ",
             r.model, r.name
         );
     }
@@ -304,7 +297,7 @@ fn main() {
     if let Some(path) = &json {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"suite\": \"table_por\",");
+        let _ = writeln!(out, "  \"suite\": \"table_dpor\",");
         let _ = writeln!(out, "  \"timeout_secs\": {},", timeout.as_secs());
         let json_mean = |m: Option<f64>| match m {
             Some(m) => format!("{m:.4}"),
@@ -317,33 +310,31 @@ fn main() {
         );
         let _ = writeln!(
             out,
+            "  \"mean_reduction_table2_heavy_flat\": {},",
+            json_mean(heavy_flat)
+        );
+        let _ = writeln!(
+            out,
             "  \"mean_reduction_read_parallel\": {},",
             json_mean(rp_mean)
-        );
-        let _ = writeln!(
-            out,
-            "  \"mean_reduction_read_parallel_naive\": {},",
-            json_mean(rp_naive)
-        );
-        let _ = writeln!(
-            out,
-            "  \"mean_reduction_read_parallel_flat\": {},",
-            json_mean(rp_flat)
         );
         let _ = writeln!(out, "  \"rows\": [");
         for (i, r) in rows.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "    {{\"test\": \"{}\", \"model\": \"{}\", \"group\": \"{}\", \"states_off\": {}, \"states_on\": {}, \"reduction\": {:.4}, \"por_pruned\": {}, \"stop_on\": \"{}\", \"stop_off\": \"{}\", \"truncated\": {}, \"outcomes_equal\": {}}}{}",
+                "    {{\"test\": \"{}\", \"model\": \"{}\", \"group\": \"{}\", \"states_base\": {}, \"states_dpor\": {}, \"reduction\": {:.4}, \"por_pruned\": {}, \"cert_hits\": {}, \"cert_misses\": {}, \"cert_survived\": {}, \"stop_dpor\": \"{}\", \"stop_base\": \"{}\", \"truncated\": {}, \"outcomes_equal\": {}}}{}",
                 r.name,
                 r.model,
                 r.group,
-                r.states_off,
-                r.states_on,
+                r.states_base,
+                r.states_dpor,
                 r.reduction(),
                 r.pruned,
-                r.stop_on,
-                r.stop_off,
+                r.cert_hits,
+                r.cert_misses,
+                r.cert_survived,
+                r.stop_dpor,
+                r.stop_base,
                 r.truncated,
                 r.equal,
                 if i + 1 < rows.len() { "," } else { "" }

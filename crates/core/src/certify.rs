@@ -28,12 +28,12 @@
 
 use crate::config::Config;
 use crate::fingerprint::{Fingerprint, FpHashMap, FpHasher};
-use crate::ids::{TId, Timestamp};
+use crate::ids::{Loc, TId, Timestamp, Val};
 use crate::machine::{
     apply_step, enabled_steps, Machine, StepEvent, ThreadInstance, TransitionKind,
 };
 use crate::memory::{Memory, Msg};
-use crate::stmt::ThreadCode;
+use crate::stmt::{MayAccess, ThreadCode};
 use std::collections::BTreeSet;
 use std::time::Instant;
 
@@ -60,7 +60,29 @@ pub struct CertResult {
 
 /// The exact identity of a certification sub-problem, kept alongside the
 /// fingerprint in paranoid mode.
-type ExactKey = (TId, Timestamp, ThreadInstance, Memory);
+///
+/// Two key families coexist in one memo (their fingerprints carry
+/// distinct tags). `Full` is the conservative identity: base timestamp
+/// plus the whole memory. `Restricted` is the incremental-recertification
+/// key used at nodes whose memory is still the pre-certification one
+/// (no cert-local appends yet) when the certifying thread's access scope
+/// is statically known: only the in-scope slice of memory (with absolute
+/// timestamps) identifies the sub-problem, so the entry survives sibling
+/// appends to out-of-scope locations. Distinct full memories legitimately
+/// share one `Restricted` key — the exact key compares the restricted
+/// view, not the memory.
+#[derive(PartialEq, Eq)]
+enum ExactKey {
+    Full(TId, Timestamp, ThreadInstance, Memory),
+    Restricted {
+        tid: TId,
+        thread: ThreadInstance,
+        /// The scope with each location's initial value.
+        scope: Vec<(Loc, Val)>,
+        /// The in-scope messages, absolute timestamps preserved.
+        msgs: Vec<(Timestamp, Msg)>,
+    },
+}
 
 /// A memoised sub-result: reachability, qualified promises, and whether
 /// the sub-search below this node hit the depth bound — so a later query
@@ -83,20 +105,30 @@ struct MemoValue {
 struct MemoEntry {
     /// Exact key for collision detection (paranoid mode only).
     exact: Option<ExactKey>,
+    /// For restricted entries: a stamp of the full context (base
+    /// timestamp + whole memory) at insertion time. A later hit whose
+    /// context stamp differs is a *survived* hit — the certificate
+    /// outlived appends the full key would have been invalidated by.
+    stamp: Option<Fingerprint>,
     value: MemoValue,
 }
 
 /// A certification memo table, shareable across [`find_and_certify_with`]
 /// calls (and across exploration branches within one worker).
 ///
-/// Entries are keyed by a fingerprint of the *full* sub-problem identity:
-/// acting thread id, promise-qualification base timestamp, thread
-/// instance, and memory — so a single table is sound for any sequence of
-/// queries against machines running the same program and configuration.
+/// Entries are keyed by a fingerprint of the sub-problem identity — see
+/// [`ExactKey`] for the two key families (full and restricted-memory) —
+/// so a single table is sound for any sequence of queries against
+/// machines running the same program and configuration. The table counts
+/// its hits, misses, and *survived* hits (restricted-key hits from a
+/// different full-memory context than the entry was computed in).
 #[derive(Default)]
 pub struct CertMemo {
     paranoid: bool,
     map: FpHashMap<MemoEntry>,
+    hits: u64,
+    misses: u64,
+    survived: u64,
 }
 
 impl CertMemo {
@@ -110,7 +142,7 @@ impl CertMemo {
     pub fn for_config(config: &Config) -> CertMemo {
         CertMemo {
             paranoid: config.paranoid,
-            map: FpHashMap::default(),
+            ..CertMemo::default()
         }
     }
 
@@ -124,8 +156,22 @@ impl CertMemo {
         self.map.is_empty()
     }
 
-    fn key(tid: TId, base_ts: Timestamp, thread: &ThreadInstance, memory: &Memory) -> Fingerprint {
+    /// `(hits, misses, survived)` since creation. *Survived* hits are
+    /// restricted-key hits served in a different full-memory context
+    /// than the one the entry was computed in — certificates that
+    /// outlived sibling appends to out-of-scope locations.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.survived)
+    }
+
+    fn full_key(
+        tid: TId,
+        base_ts: Timestamp,
+        thread: &ThreadInstance,
+        memory: &Memory,
+    ) -> Fingerprint {
         let mut h = FpHasher::new();
+        h.write_u64(0); // key-family tag: full
         h.write_len(tid.0);
         h.write_u32(base_ts.0);
         thread.feed(&mut h);
@@ -133,26 +179,77 @@ impl CertMemo {
         h.finish128()
     }
 
-    fn get(
-        &self,
-        fp: Fingerprint,
+    /// The restricted-memory key: thread id, thread instance, and the
+    /// in-scope slice of memory — scope locations with their initial
+    /// values, then every in-scope message with its *absolute* timestamp.
+    /// No base timestamp and no out-of-scope content: appends to
+    /// out-of-scope locations land above every view and every in-scope
+    /// message, so they change neither the key nor any certification
+    /// verdict computable from it (see the soundness note on
+    /// [`Engine::explore`]).
+    fn restricted_key(
         tid: TId,
-        base_ts: Timestamp,
         thread: &ThreadInstance,
         memory: &Memory,
+        scope: &BTreeSet<Loc>,
+    ) -> Fingerprint {
+        let mut h = FpHasher::new();
+        h.write_u64(1); // key-family tag: restricted
+        h.write_len(tid.0);
+        thread.feed(&mut h);
+        h.write_len(scope.len());
+        for &loc in scope {
+            h.write_u64(loc.0);
+            h.write_i64(memory.initial(loc).0);
+        }
+        for (ts, msg) in memory.iter() {
+            if scope.contains(&msg.loc) {
+                h.write_u32(ts.0);
+                h.write_u64(msg.loc.0);
+                h.write_i64(msg.val.0);
+                h.write_len(msg.tid.0);
+            }
+        }
+        h.finish128()
+    }
+
+    /// A stamp of the full certification context, for the survived-hit
+    /// counter: two contexts with equal stamps have identical memories.
+    fn context_stamp(base_ts: Timestamp, memory: &Memory) -> Fingerprint {
+        let mut h = FpHasher::new();
+        h.write_u32(base_ts.0);
+        memory.feed(&mut h);
+        h.finish128()
+    }
+
+    fn get(
+        &mut self,
+        fp: Fingerprint,
+        exact: impl FnOnce() -> ExactKey,
+        stamp: Option<Fingerprint>,
         depth: u32,
     ) -> Option<&MemoValue> {
-        let entry = self.map.get(&fp)?;
-        if let Some((etid, ets, eth, emem)) = &entry.exact {
+        let Some(entry) = self.map.get(&fp) else {
+            self.misses += 1;
+            return None;
+        };
+        if let Some(stored) = &entry.exact {
             assert!(
-                (*etid, *ets) == (tid, base_ts) && eth == thread && emem == memory,
+                *stored == exact(),
                 "certification fingerprint collision at {fp}: distinct sub-problems"
             );
         }
         if entry.value.truncated && entry.value.depth < depth {
             // Computed under a smaller budget than this query has: the
             // under-approximation must not mask a deeper search.
+            self.misses += 1;
             return None;
+        }
+        self.hits += 1;
+        if let (Some(now), Some(then)) = (stamp, entry.stamp) {
+            if now != then {
+                self.survived += 1;
+            }
         }
         Some(&entry.value)
     }
@@ -160,16 +257,12 @@ impl CertMemo {
     fn insert(
         &mut self,
         fp: Fingerprint,
-        tid: TId,
-        base_ts: Timestamp,
-        thread: &ThreadInstance,
-        memory: &Memory,
+        exact: impl FnOnce() -> ExactKey,
+        stamp: Option<Fingerprint>,
         value: MemoValue,
     ) {
-        let exact = self
-            .paranoid
-            .then(|| (tid, base_ts, thread.clone(), memory.clone()));
-        self.map.insert(fp, MemoEntry { exact, value });
+        let exact = self.paranoid.then(exact);
+        self.map.insert(fp, MemoEntry { exact, stamp, value });
     }
 }
 
@@ -194,6 +287,7 @@ pub fn find_and_certify_with(
         code,
         tid,
         base_ts: machine.memory().max_timestamp(),
+        scope: cert_scope(machine, tid),
         memo,
         bound_hit: false,
         deadline,
@@ -244,6 +338,7 @@ pub fn find_promises_with(
         code,
         tid,
         base_ts: machine.memory().max_timestamp(),
+        scope: cert_scope(machine, tid),
         memo,
         bound_hit: false,
         deadline,
@@ -253,6 +348,24 @@ pub fn find_promises_with(
     let depth = machine.config().cert_depth;
     let (_, promisable) = engine.explore(machine.thread(tid), machine.memory(), depth);
     (promisable, engine.deadline_hit)
+}
+
+/// The certifying thread's access scope as a concrete location set: the
+/// union of its continuation's may-read and may-write sets. `None` when
+/// any remaining access has a dynamic address ([`MayAccess::Any`]) or the
+/// per-location layer is disabled ([`Config::dpor`] off) — the
+/// conservative fallback under which every memo key is a full key,
+/// reproducing the whole-memory behaviour exactly.
+fn cert_scope(machine: &Machine, tid: TId) -> Option<BTreeSet<Loc>> {
+    if !machine.config().dpor {
+        return None;
+    }
+    let mut acc = machine.thread_may_reads(tid);
+    acc.absorb(&machine.thread_may_writes(tid));
+    match acc {
+        MayAccess::Any => None,
+        MayAccess::Locs(locs) => Some(locs),
+    }
 }
 
 /// Cheap certification check only (no promise enumeration): is the
@@ -274,6 +387,10 @@ struct Engine<'a> {
     /// Maximal timestamp of the memory before certification (the promise
     /// qualification bound of §B step 3).
     base_ts: Timestamp,
+    /// The certifying thread's statically-known access scope, when it
+    /// has one (see [`cert_scope`]): enables restricted-memory memo keys
+    /// at nodes with no cert-local appends yet.
+    scope: Option<BTreeSet<Loc>>,
     memo: &'a mut CertMemo,
     bound_hit: bool,
     deadline: Option<Instant>,
@@ -305,17 +422,69 @@ impl Engine<'_> {
     /// Returns `(reached, qualified)`: whether a promise-free state is
     /// reachable sequentially, and which normal writes on completing
     /// traces qualify as promises.
+    ///
+    /// # Restricted-key soundness
+    ///
+    /// Nodes whose memory is still the pre-certification one (the run
+    /// has appended nothing yet — the root and every pure-read prefix)
+    /// are keyed by the *restricted* key when the thread's access scope
+    /// `A` is known: `(tid, thread state, memory slice at A with
+    /// absolute timestamps)`. Two contexts sharing that key have
+    /// identical certification answers:
+    ///
+    /// * every view in the thread state is ≤ that context's base
+    ///   timestamp (a machine invariant — views point at existing
+    ///   messages), so equal view numerics are below *both* bases;
+    /// * the run only reads, forwards, and checks interposition at
+    ///   `A`-locations, whose content and absolute positions agree;
+    /// * cert-local appends land at `base+1, base+2, …` in each context;
+    ///   the order-isomorphism mapping `base₁+i ↔ base₂+i` (identity
+    ///   below `min(base₁, base₂)`) relates the two sub-searches
+    ///   step-for-step, and §B's qualification check `pre_view ≤ base`
+    ///   agrees on both sides (shared numerics sit below both bases,
+    ///   iso-mapped ones sit above their own base).
+    ///
+    /// Nodes *with* cert-local appends are keyed by the full key: their
+    /// thread states and memories embed absolute cert-append positions,
+    /// so sharing them across contexts with different bases would
+    /// confuse `pre_view ≤ base` verdicts (a position can be cert-local
+    /// in one context and pre-existing in another).
     fn explore(
         &mut self,
         thread: &ThreadInstance,
         memory: &Memory,
         depth: u32,
     ) -> (bool, BTreeSet<Msg>) {
-        let fp = CertMemo::key(self.tid, self.base_ts, thread, memory);
-        if let Some(hit) = self
-            .memo
-            .get(fp, self.tid, self.base_ts, thread, memory, depth)
-        {
+        let (tid, base_ts) = (self.tid, self.base_ts);
+        // Cloned out of `self` (the sets are tiny) so the exact-key
+        // closure below borrows no engine state across the recursion.
+        let restricted: Option<BTreeSet<Loc>> = if memory.max_timestamp() == base_ts {
+            self.scope.clone()
+        } else {
+            None
+        };
+        let restricted = restricted.as_ref();
+        let (fp, stamp) = match restricted {
+            Some(scope) => (
+                CertMemo::restricted_key(tid, thread, memory, scope),
+                Some(CertMemo::context_stamp(base_ts, memory)),
+            ),
+            None => (CertMemo::full_key(tid, base_ts, thread, memory), None),
+        };
+        let exact = || match restricted {
+            Some(scope) => ExactKey::Restricted {
+                tid,
+                thread: thread.clone(),
+                scope: scope.iter().map(|&l| (l, memory.initial(l))).collect(),
+                msgs: memory
+                    .iter()
+                    .filter(|(_, m)| scope.contains(&m.loc))
+                    .map(|(t, m)| (t, *m))
+                    .collect(),
+            },
+            None => ExactKey::Full(tid, base_ts, thread.clone(), memory.clone()),
+        };
+        if let Some(hit) = self.memo.get(fp, exact, stamp, depth) {
             // A reused entry computed under a depth-truncated sub-search
             // must re-raise the incompleteness flag for *this* query too
             // (the memo may be shared across calls).
@@ -383,10 +552,8 @@ impl Engine<'_> {
             // results are memoised but carry the `truncated` flag.
             self.memo.insert(
                 fp,
-                self.tid,
-                self.base_ts,
-                thread,
-                memory,
+                exact,
+                stamp,
                 MemoValue {
                     reached,
                     qualified: qualified.clone(),

@@ -81,6 +81,14 @@ pub struct Config {
     /// (`--no-por` in the table binaries is the escape hatch). See
     /// [`crate::footprint`].
     pub por: bool,
+    /// Per-location dynamic layer on top of [`por`](Config::por):
+    /// per-location append independence (with the flat model's canonical
+    /// per-location state encoding), the generalized per-state
+    /// persistent sets, and the restricted-memory certification memo
+    /// key. On by default; only effective while `por` is on. `--no-dpor`
+    /// in the table binaries falls back to the PR 5 whole-memory
+    /// reduction. Outcome sets are identical either way.
+    pub dpor: bool,
 }
 
 impl Config {
@@ -94,6 +102,7 @@ impl Config {
             workers: 1,
             paranoid: false,
             por: true,
+            dpor: true,
         }
     }
 
@@ -152,6 +161,14 @@ impl Config {
     #[must_use]
     pub fn with_por(mut self, por: bool) -> Config {
         self.por = por;
+        self
+    }
+
+    /// Enable or disable the per-location dynamic POR layer (on by
+    /// default; only effective while [`por`](Config::por) is on).
+    #[must_use]
+    pub fn with_dpor(mut self, dpor: bool) -> Config {
+        self.dpor = dpor;
         self
     }
 }

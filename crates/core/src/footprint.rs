@@ -1,66 +1,125 @@
 //! Transition footprints for partial-order reduction.
 //!
 //! A [`Footprint`] abstracts what one transition touches: the acting
-//! thread, the shared locations it reads and writes, and three flags —
-//! whether it *appends* a message to memory (memory is a total order of
-//! messages, so any two appends conflict), whether it is
+//! thread, the shared locations it reads and writes, the locations at
+//! which it *appends* fresh messages to memory, whether it is
 //! *certification-coupled* (a promise, or any step of a thread holding
-//! promises: such steps are filtered through certification, which reads
-//! the whole memory, so any append can enable or disable them), and
-//! whether it is a view *fence*. Footprints drive the default
+//! promises: such steps are filtered through certification), and whether
+//! it is a view *fence*. Footprints drive the default
 //! [`independent`](Footprint::independent_with) relation of the
 //! exploration engine's `SearchModel` trait.
 //!
-//! The relation is deliberately conservative: `independent_with` returning
-//! `true` guarantees the two transitions are independent in the classical
+//! Two append relations are offered. The strict one
+//! ([`independent_with`](Footprint::independent_with)) keeps *any* two
+//! appends dependent: in the promising machine, memory is a single total
+//! order of messages and views are scalar timestamps into it, so the
+//! relative order of two appends — even to different locations — is
+//! observable (a view covering one message covers everything below it).
+//! The per-location one
+//! ([`independent_with_commuting_appends`](Footprint::independent_with_commuting_appends))
+//! lets appends to *disjoint* location sets commute; it is sound only
+//! for models whose states are identified up to per-location message
+//! order (the flat model under its canonical per-location state
+//! encoding — see `promising-flat`).
+//!
+//! Certification coupling is refined by an optional *certification
+//! scope* ([`Footprint::cert_scope`]): when the certifying thread's
+//! continuation can only ever access a known location set, appends
+//! outside that set cannot change any certification verdict (they land
+//! above every view and every in-scope message), so the coupled step and
+//! the append are independent even under the strict relation.
+//!
+//! The relations are deliberately conservative: returning `true`
+//! guarantees the two transitions are independent in the classical
 //! sense — co-enabled in some state, they commute (executing them in
-//! either order reaches the same state) and neither enables or disables
-//! the other. `false` makes no claim. Same-thread transitions are always
-//! dependent (they compete for the same program point), and an unknown
-//! agent ([`Footprint::opaque`]) is dependent with everything.
+//! either order reaches the same state, up to the model's state
+//! identification) and neither enables or disables the other. `false`
+//! makes no claim. Same-thread transitions are always dependent (they
+//! compete for the same program point), and an unknown agent
+//! ([`Footprint::opaque`]) is dependent with everything.
 
 use crate::ids::Loc;
 
-/// A tiny set of locations (transitions touch at most one or two).
+/// A small set of locations, bitmask-backed: locations `0..64` live in
+/// one machine word (set intersection is on the hot path of per-location
+/// independence), anything above spills into a side vector. Litmus tests
+/// and the workload suites use a handful of locations; the spill path is
+/// the conservative fallback for programs with more than 64.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
-pub struct LocSet(Vec<Loc>);
+pub struct LocSet {
+    bits: u64,
+    spill: Vec<Loc>,
+}
+
+/// Width of the bitmask fast path: locations `0..SPILL_AT` are bits,
+/// the rest spill.
+const SPILL_AT: u64 = 64;
 
 impl LocSet {
     /// The empty set.
     pub fn new() -> LocSet {
-        LocSet(Vec::new())
+        LocSet::default()
     }
 
     /// A singleton set.
     pub fn of(loc: Loc) -> LocSet {
-        LocSet(vec![loc])
+        let mut s = LocSet::new();
+        s.insert(loc);
+        s
     }
 
     /// Add a location.
     pub fn insert(&mut self, loc: Loc) {
-        if !self.0.contains(&loc) {
-            self.0.push(loc);
+        if loc.0 < SPILL_AT {
+            self.bits |= 1 << loc.0;
+        } else if !self.spill.contains(&loc) {
+            self.spill.push(loc);
         }
     }
 
     /// Whether `loc` is in the set.
     pub fn contains(&self, loc: Loc) -> bool {
-        self.0.contains(&loc)
+        if loc.0 < SPILL_AT {
+            self.bits & (1 << loc.0) != 0
+        } else {
+            self.spill.contains(&loc)
+        }
     }
 
     /// Whether the sets share a location.
     pub fn intersects(&self, other: &LocSet) -> bool {
-        self.0.iter().any(|l| other.0.contains(l))
+        self.bits & other.bits != 0
+            || self.spill.iter().any(|l| other.spill.contains(l))
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.bits == 0 && self.spill.is_empty()
     }
 
-    /// Iterate over the locations.
+    /// Iterate over the locations (bitmask part in ascending order,
+    /// then the spill in insertion order).
     pub fn iter(&self) -> impl Iterator<Item = Loc> + '_ {
-        self.0.iter().copied()
+        let mut bits = self.bits;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let i = bits.trailing_zeros() as u64;
+            bits &= bits - 1;
+            Some(Loc(i))
+        })
+        .chain(self.spill.iter().copied())
+    }
+}
+
+impl FromIterator<Loc> for LocSet {
+    fn from_iter<I: IntoIterator<Item = Loc>>(iter: I) -> LocSet {
+        let mut s = LocSet::new();
+        for loc in iter {
+            s.insert(loc);
+        }
+        s
     }
 }
 
@@ -73,14 +132,23 @@ pub struct Footprint {
     pub reads: LocSet,
     /// Shared locations whose memory content the step writes.
     pub writes: LocSet,
-    /// Whether the step appends a message to memory (normal writes,
-    /// RMW normal writes, promises). Memory is a total order, so any two
-    /// appends conflict regardless of location.
-    pub appends: bool,
+    /// Locations at which the step appends fresh messages to memory
+    /// (normal writes, RMW normal writes, promises). Always a subset of
+    /// `writes`. Under the strict relation any two appends conflict
+    /// regardless of location; the per-location relation conflicts them
+    /// only when these sets intersect.
+    pub appends: LocSet,
     /// Whether the step is certification-coupled: a promise, or any step
     /// of a thread that currently holds promises (r24 filters those
-    /// through certification, which reads the whole memory).
+    /// through certification, which reads memory).
     pub promise: bool,
+    /// When the step is certification-coupled and the certifying
+    /// thread's continuation can only access a known location set, that
+    /// set (reads ∪ writes of every remaining statement): appends
+    /// outside it cannot change any certification verdict. `None` means
+    /// unknown scope — couple with every append (today's conservative
+    /// behaviour).
+    pub cert_scope: Option<LocSet>,
     /// Whether the step is a view fence (thread-local; informational).
     pub fence: bool,
 }
@@ -94,8 +162,9 @@ impl Footprint {
             agent: None,
             reads: LocSet::new(),
             writes: LocSet::new(),
-            appends: true,
+            appends: LocSet::new(),
             promise: true,
+            cert_scope: None,
             fence: false,
         }
     }
@@ -107,8 +176,9 @@ impl Footprint {
             agent: Some(agent),
             reads: LocSet::new(),
             writes: LocSet::new(),
-            appends: false,
+            appends: LocSet::new(),
             promise: false,
+            cert_scope: None,
             fence: false,
         }
     }
@@ -126,7 +196,7 @@ impl Footprint {
     pub fn write(agent: usize, loc: Loc, appends: bool) -> Footprint {
         Footprint {
             writes: LocSet::of(loc),
-            appends,
+            appends: if appends { LocSet::of(loc) } else { LocSet::new() },
             ..Footprint::local(agent)
         }
     }
@@ -138,6 +208,14 @@ impl Footprint {
         self
     }
 
+    /// Record the certifying thread's access scope (see the field docs).
+    /// Only meaningful on certification-coupled footprints.
+    #[must_use]
+    pub fn with_cert_scope(mut self, scope: Option<LocSet>) -> Footprint {
+        self.cert_scope = scope;
+        self
+    }
+
     /// Mark the step a view fence.
     #[must_use]
     pub fn with_fence(mut self) -> Footprint {
@@ -145,10 +223,26 @@ impl Footprint {
         self
     }
 
-    /// Whether two transitions with these footprints are independent:
-    /// wherever both are enabled they commute, and neither enables or
-    /// disables the other. Conservative — `false` makes no claim.
+    /// The strict independence relation: wherever both transitions are
+    /// enabled they commute *state-identically*, and neither enables or
+    /// disables the other. Any two appends conflict (global message
+    /// order is observable through scalar views in the promising
+    /// machine). Conservative — `false` makes no claim.
     pub fn independent_with(&self, other: &Footprint) -> bool {
+        self.independent(other, false)
+    }
+
+    /// The per-location independence relation: appends conflict only
+    /// when their location sets intersect. Sound only for models whose
+    /// state identification quotients out the relative order of
+    /// different-location messages (the flat model's canonical
+    /// per-location encoding); under it, disjoint-location appends
+    /// commute to the *same canonical state*.
+    pub fn independent_with_commuting_appends(&self, other: &Footprint) -> bool {
+        self.independent(other, true)
+    }
+
+    fn independent(&self, other: &Footprint, per_loc_appends: bool) -> bool {
         let (Some(a), Some(b)) = (self.agent, other.agent) else {
             return false;
         };
@@ -156,16 +250,29 @@ impl Footprint {
             // same program point: alternative branches, never independent
             return false;
         }
-        if self.appends && other.appends {
-            // memory is a total order: appends never commute
+        let both_append = !self.appends.is_empty() && !other.appends.is_empty();
+        if !per_loc_appends && both_append {
+            // strict mode: memory is a total order, appends never commute
             return false;
         }
         // r24: a certification-coupled step can be enabled or disabled by
-        // any append (certification reads the whole memory)
-        if (self.promise && other.appends) || (other.promise && self.appends) {
+        // an append into the certifying thread's access scope (an append
+        // outside it lands above every view and every in-scope message,
+        // so no certification verdict can change; unknown scope couples
+        // with everything)
+        let couples = |coupled: &Footprint, appender: &Footprint| {
+            coupled.promise
+                && !appender.appends.is_empty()
+                && match &coupled.cert_scope {
+                    None => true,
+                    Some(scope) => scope.intersects(&appender.appends),
+                }
+        };
+        if couples(self, other) || couples(other, self) {
             return false;
         }
         // location conflicts: a write races every same-location access
+        // (same-location appends are caught here too: appends ⊆ writes)
         if self.writes.intersects(&other.reads)
             || self.writes.intersects(&other.writes)
             || other.writes.intersects(&self.reads)
@@ -192,10 +299,43 @@ mod tests {
     }
 
     #[test]
+    fn locset_spill_boundary() {
+        // Loc(63) is the last bitmask slot, Loc(64) the first spilled
+        // one: membership, intersection, iteration, and idempotent
+        // insertion must behave identically across the boundary.
+        let mut s = LocSet::of(Loc(63));
+        s.insert(Loc(64));
+        s.insert(Loc(64));
+        s.insert(Loc(1000));
+        assert!(s.contains(Loc(63)) && s.contains(Loc(64)) && s.contains(Loc(1000)));
+        assert!(!s.contains(Loc(62)) && !s.contains(Loc(65)));
+        assert_eq!(s.iter().count(), 3);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![Loc(63), Loc(64), Loc(1000)]
+        );
+        // intersection across the representations
+        assert!(s.intersects(&LocSet::of(Loc(64))));
+        assert!(s.intersects(&LocSet::of(Loc(63))));
+        assert!(!s.intersects(&LocSet::of(Loc(65))));
+        assert!(!LocSet::of(Loc(64)).intersects(&LocSet::of(Loc(65))));
+        assert!(LocSet::of(Loc(1000)).intersects(&s));
+        assert!(!s.is_empty() && LocSet::new().is_empty());
+    }
+
+    #[test]
+    fn locset_from_iter() {
+        let s: LocSet = [Loc(2), Loc(70), Loc(2)].into_iter().collect();
+        assert_eq!(s.iter().count(), 2);
+        assert!(s.contains(Loc(2)) && s.contains(Loc(70)));
+    }
+
+    #[test]
     fn opaque_is_dependent_with_everything() {
         let o = Footprint::opaque();
         assert!(!o.independent_with(&Footprint::local(1)));
         assert!(!Footprint::local(1).independent_with(&o));
+        assert!(!o.independent_with_commuting_appends(&Footprint::local(1)));
     }
 
     #[test]
@@ -203,6 +343,7 @@ mod tests {
         let a = Footprint::read(0, Loc(1));
         let b = Footprint::read(0, Loc(2));
         assert!(!a.independent_with(&b));
+        assert!(!a.independent_with_commuting_appends(&b));
     }
 
     #[test]
@@ -214,10 +355,21 @@ mod tests {
     }
 
     #[test]
-    fn appends_conflict_even_across_locations() {
+    fn appends_conflict_even_across_locations_in_strict_mode() {
         let a = Footprint::write(0, Loc(1), true);
         let b = Footprint::write(1, Loc(2), true);
         assert!(!a.independent_with(&b));
+        // …while the per-location relation commutes them
+        assert!(a.independent_with_commuting_appends(&b));
+        assert!(b.independent_with_commuting_appends(&a));
+    }
+
+    #[test]
+    fn same_location_appends_conflict_in_both_modes() {
+        let a = Footprint::write(0, Loc(1), true);
+        let b = Footprint::write(1, Loc(1), true);
+        assert!(!a.independent_with(&b));
+        assert!(!a.independent_with_commuting_appends(&b));
     }
 
     #[test]
@@ -226,6 +378,7 @@ mod tests {
         let r = Footprint::read(1, Loc(1));
         assert!(!w.independent_with(&r));
         assert!(!r.independent_with(&w));
+        assert!(!w.independent_with_commuting_appends(&r));
         let r2 = Footprint::read(1, Loc(2));
         assert!(w.independent_with(&r2));
     }
@@ -237,5 +390,24 @@ mod tests {
         assert!(!fulfil.independent_with(&append));
         // …but not local steps of other threads
         assert!(fulfil.independent_with(&Footprint::local(1)));
+    }
+
+    #[test]
+    fn cert_scope_releases_out_of_scope_appends() {
+        // A coupled step whose certification can only touch {1, 3} is
+        // independent of an append at 2 — the append lands above every
+        // in-scope message — but still couples with an append at 3.
+        let scope: LocSet = [Loc(1), Loc(3)].into_iter().collect();
+        let fulfil = Footprint::write(0, Loc(1), false)
+            .with_promise()
+            .with_cert_scope(Some(scope));
+        let out = Footprint::write(1, Loc(2), true);
+        let into = Footprint::write(1, Loc(3), true);
+        assert!(fulfil.independent_with(&out));
+        assert!(out.independent_with(&fulfil));
+        assert!(!fulfil.independent_with(&into));
+        // unknown scope keeps today's conservative coupling
+        let unknown = Footprint::write(0, Loc(1), false).with_promise();
+        assert!(!unknown.independent_with(&out));
     }
 }

@@ -18,10 +18,10 @@
 use crate::config::{Arch, Config};
 use crate::expr::Expr;
 use crate::fingerprint::{Fingerprint, FpHasher};
-use crate::footprint::Footprint;
+use crate::footprint::{Footprint, LocSet};
 use crate::ids::{Loc, Reg, TId, Timestamp, Val, View};
 use crate::memory::{Memory, Msg};
-use crate::stmt::{Program, ReadKind, RmwOp, Stmt, StmtId, ThreadCode, WriteKind};
+use crate::stmt::{MayAccess, Program, ReadKind, RmwOp, Stmt, StmtId, ThreadCode, WriteKind};
 use crate::thread::{ExclBank, Forward, RegFile, StuckReason, ThreadState};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -467,8 +467,18 @@ impl Machine {
         let tid = tr.tid.0;
         let promising = self.threads[tid].state.has_promises();
         // any step of a promising thread is certification-filtered (r24),
-        // so its enabledness is coupled to the whole memory
-        let couple = |fp: Footprint| if promising { fp.with_promise() } else { fp };
+        // so its enabledness is coupled to memory — but only through the
+        // locations the certifying continuation can ever access: an
+        // append outside that scope lands above every view and every
+        // in-scope message, so no certification verdict changes
+        let couple = |fp: Footprint| {
+            if promising {
+                fp.with_promise()
+                    .with_cert_scope(self.thread_cert_scope(tr.tid))
+            } else {
+                fp
+            }
+        };
         let head_loc = |stmt_addr: Option<&Expr>| {
             stmt_addr.map(|addr| eval_addr(addr, &self.threads[tid].state).0)
         };
@@ -496,8 +506,10 @@ impl Machine {
                 // memory (and readable by everyone) since promise time,
                 // and only the acting thread's state changes — so no
                 // write-set entry. The thread is promising by definition,
-                // hence certification-coupled.
-                Footprint::local(tid).with_promise()
+                // hence certification-coupled (within its access scope).
+                Footprint::local(tid)
+                    .with_promise()
+                    .with_cert_scope(self.thread_cert_scope(tr.tid))
             }
             TransitionKind::WriteNormal => {
                 let addr = match self.head(tr.tid) {
@@ -539,6 +551,60 @@ impl Machine {
             .cont
             .iter()
             .all(|&id| !code.may_write(id).any_shared(&self.config.shared))
+    }
+
+    /// The union of the may-read sets of thread `tid`'s remaining
+    /// continuation: every location any future step of the thread could
+    /// possibly read.
+    pub fn thread_may_reads(&self, tid: TId) -> MayAccess {
+        let code = &self.program.threads()[tid.0];
+        let mut acc = MayAccess::none();
+        for &id in self.threads[tid.0].cont.iter() {
+            acc.absorb(code.may_read(id));
+            if acc == MayAccess::Any {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// The union of the may-write sets of thread `tid`'s remaining
+    /// continuation.
+    pub fn thread_may_writes(&self, tid: TId) -> MayAccess {
+        let code = &self.program.threads()[tid.0];
+        let mut acc = MayAccess::none();
+        for &id in self.threads[tid.0].cont.iter() {
+            acc.absorb(code.may_write(id));
+            if acc == MayAccess::Any {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// The *certification scope* of thread `tid`: the set of locations a
+    /// certification run of the thread could ever touch — the union of
+    /// the may-read and may-write sets of its remaining continuation
+    /// (certification reads at may-read locations, appends and checks
+    /// interposition at may-write ones). `None` when any remaining
+    /// access has a dynamic address ([`MayAccess::Any`]): unknown scope,
+    /// couple with every append.
+    pub fn thread_cert_scope(&self, tid: TId) -> Option<LocSet> {
+        let code = &self.program.threads()[tid.0];
+        let mut scope = LocSet::new();
+        for &id in self.threads[tid.0].cont.iter() {
+            for may in [code.may_read(id), code.may_write(id)] {
+                match may {
+                    MayAccess::Any => return None,
+                    MayAccess::Locs(locs) => {
+                        for &l in locs {
+                            scope.insert(l);
+                        }
+                    }
+                }
+            }
+        }
+        Some(scope)
     }
 
     /// The exact dynamic state (continuations, thread states, memory) as

@@ -311,6 +311,12 @@ pub trait SearchModel: Sync {
     /// counts removed transitions in `stats.por_pruned`. The default
     /// keeps everything (sound for any model).
     fn reduce(&self, _s: &Self::State, _transitions: &mut Vec<Self::Transition>) {}
+
+    /// Called once per worker when its search ends, before the worker's
+    /// results are merged: fold any counters the per-worker cache
+    /// accumulated (e.g. certification-memo hit rates) into its `Stats`.
+    /// The default does nothing.
+    fn drain_cache(&self, _cache: &mut Self::Cache, _stats: &mut Stats) {}
 }
 
 /// Assumed per-entry bookkeeping cost of a visited-set slot beyond the
@@ -450,7 +456,7 @@ impl<M: SearchModel> Engine<M> {
         self.finish(
             start,
             pre_stats,
-            drive(roots, workers, || self.local(false), step, Self::seal),
+            drive(roots, workers, || self.local(false), step, Self::seal(model)),
         )
     }
 
@@ -543,7 +549,7 @@ impl<M: SearchModel> Engine<M> {
         self.finish(
             start,
             Stats::default(),
-            drive(roots, workers, || self.local(true), step, Self::seal),
+            drive(roots, workers, || self.local(true), step, Self::seal(model)),
         )
     }
 
@@ -573,9 +579,13 @@ impl<M: SearchModel> Engine<M> {
         }
     }
 
-    /// Reduce a worker's accumulator to its `Send` result.
-    fn seal(l: Local<M>) -> (Stats, BTreeSet<M::Out>) {
-        (l.stats, l.outcomes)
+    /// Reduce a worker's accumulator to its `Send` result, draining any
+    /// cache counters into the worker's stats first.
+    fn seal(model: &M) -> impl Fn(Local<M>) -> (Stats, BTreeSet<M::Out>) + Sync + '_ {
+        |mut l| {
+            model.drain_cache(&mut l.cache, &mut l.stats);
+            (l.stats, l.outcomes)
+        }
     }
 
     fn finish(

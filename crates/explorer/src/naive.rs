@@ -19,7 +19,7 @@ use promising_core::ids::TId;
 use promising_core::Outcome;
 use promising_core::{
     find_and_certify_with, find_promises_with, CertMemo, Config, Fingerprint, Footprint, Machine,
-    StateKey, Transition, TransitionKind,
+    MayAccess, StateKey, Transition, TransitionKind,
 };
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -165,7 +165,18 @@ impl SearchModel for NaiveModel {
     }
 
     fn reduce(&self, m: &Machine, transitions: &mut Vec<Transition>) {
-        reduce_pure_observers(m, transitions);
+        if self.config().dpor {
+            reduce_delayable_threads(m, transitions);
+        } else {
+            reduce_pure_observers(m, transitions);
+        }
+    }
+
+    fn drain_cache(&self, memo: &mut CertMemo, stats: &mut Stats) {
+        let (hits, misses, survived) = memo.counters();
+        stats.cert_hits += hits;
+        stats.cert_misses += misses;
+        stats.cert_survived += survived;
     }
 }
 
@@ -230,6 +241,89 @@ pub(crate) fn reduce_pure_observers(m: &Machine, transitions: &mut Vec<Transitio
         return;
     }
     transitions.retain(|t| !prunable[t.tid.0] || t.tid.0 == keep);
+}
+
+/// Per-state persistent sets over the per-location conflict structure
+/// (the [`promising_core::Config::dpor`] layer): collapse co-enabled
+/// *delayable* threads, where delayable generalises PR 5's pure
+/// observers with a second, per-location case.
+///
+/// A thread `q` (holding no promises) is *delayable* when either
+///
+/// 1. it is a pure observer with only read-like transitions enabled —
+///    exactly [`reduce_pure_observers`]'s condition, kept verbatim so
+///    the dynamic layer never reduces less than the static one; or
+///
+/// 2. its future accesses are *private*: `may_writes(q)` (the locations
+///    q's remaining code may still write, [`Machine::thread_may_writes`])
+///    is disjoint from every other thread's future reads and writes, and
+///    `may_reads(q)` is disjoint from every other thread's future
+///    writes.
+///
+/// Case 2 is where per-location footprints earn their keep: a thread
+/// that appends — which PR 5 could never delay, because appends
+/// order themselves in memory's single total order — can be delayed
+/// when nobody will ever observe its locations. Delaying it is *not*
+/// state-identical commutation: running the kept thread first and `q`
+/// later produces a memory whose messages sit at different absolute
+/// timestamps than in the avoided interleaving. It is outcome-preserving
+/// by a renumbering argument: the two executions are related by the
+/// order-isomorphism φ on timestamps that matches messages per location
+/// in stream order. φ respects every rule the machine evaluates —
+/// per-location coherence compares only same-location timestamps, view
+/// joins are monotone under φ, and certification of either side reads
+/// only locations the conditions keep disjoint from the other — so each
+/// avoided trace has a kept-first counterpart reaching a terminated
+/// state with the same register files and the same per-location final
+/// values, which is all an [`Outcome`] records.
+///
+/// Keeping the lowest delayable thread (plus every non-delayable
+/// thread's transitions) is a pure function of the state — the decision
+/// reads only `transitions` and the static may-access sets of the
+/// remaining code — so fingerprint deduplication stays sound: any two
+/// states with equal fingerprints prune identically. (Sleep-set-style
+/// history-dependent pruning would not survive dedup; see
+/// docs/architecture.md.)
+///
+/// `tests/dpor_agreement.rs` asserts dpor-on ≡ dpor-off outcome sets
+/// across the catalogue, the generated RMW suites, and the language
+/// corpus, and an anti-rot test checks case 2 actually fires on a
+/// disjoint-writer workload.
+pub(crate) fn reduce_delayable_threads(m: &Machine, transitions: &mut Vec<Transition>) {
+    let n = m.num_threads();
+    let mut seen = vec![false; n];
+    let mut all_read_like = vec![true; n];
+    for t in transitions.iter() {
+        let tid = t.tid.0;
+        seen[tid] = true;
+        all_read_like[tid] &= matches!(
+            t.kind,
+            TransitionKind::Read { .. } | TransitionKind::ExclFail
+        );
+    }
+    let reads: Vec<MayAccess> = (0..n).map(|t| m.thread_may_reads(TId(t))).collect();
+    let writes: Vec<MayAccess> = (0..n).map(|t| m.thread_may_writes(TId(t))).collect();
+    let mut delayable = vec![false; n];
+    for q in 0..n {
+        if !seen[q] || m.thread(TId(q)).state.has_promises() {
+            continue;
+        }
+        delayable[q] = (all_read_like[q] && m.thread_is_pure_observer(TId(q)))
+            || (0..n).filter(|&r| r != q).all(|r| {
+                !writes[q].intersects(&reads[r])
+                    && !writes[q].intersects(&writes[r])
+                    && !reads[q].intersects(&writes[r])
+            });
+    }
+    let mut candidates = (0..n).filter(|&t| delayable[t]);
+    let Some(keep) = candidates.next() else {
+        return;
+    };
+    if candidates.next().is_none() {
+        // a single delayable thread has nothing to collapse against
+        return;
+    }
+    transitions.retain(|t| !delayable[t.tid.0] || t.tid.0 == keep);
 }
 
 /// Exhaustively explore all interleavings from `machine`, returning every

@@ -292,6 +292,10 @@ impl SearchModel for PromiseFirstModel {
             stats.certifications += 1;
             let mut cert_memo = CertMemo::for_config(config);
             let (promisable, cut) = find_promises_with(m, tid, &mut cert_memo, deadline);
+            let (hits, misses, survived) = cert_memo.counters();
+            stats.cert_hits += hits;
+            stats.cert_misses += misses;
+            stats.cert_survived += survived;
             if cut {
                 stats.note_stop(StopReason::DeadlineExceeded);
                 return out;

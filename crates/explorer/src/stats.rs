@@ -93,6 +93,16 @@ pub struct Stats {
     /// ([`promising_core::Config::por`]): redundant interleavings the
     /// search proved it need not take.
     pub por_pruned: u64,
+    /// Certification-memo lookups answered from the table
+    /// ([`promising_core::CertMemo`]).
+    pub cert_hits: u64,
+    /// Certification-memo lookups that had to recompute.
+    pub cert_misses: u64,
+    /// Restricted-key memo hits served in a *different* full-memory
+    /// context than the entry was computed in — certificates that
+    /// survived sibling appends to out-of-scope locations (the
+    /// incremental-recertification win; zero with `Config::dpor` off).
+    pub cert_survived: u64,
     /// Summed time workers spent expanding states (excludes time parked
     /// waiting for work), across all workers: total compute spent, not
     /// elapsed time. ≈ `wall_time` on a serial search; up to
@@ -133,6 +143,9 @@ impl Stats {
         self.deadlocks += other.deadlocks;
         self.traces += other.traces;
         self.por_pruned += other.por_pruned;
+        self.cert_hits += other.cert_hits;
+        self.cert_misses += other.cert_misses;
+        self.cert_survived += other.cert_survived;
         self.cpu_time += other.cpu_time;
         self.wall_time = self.wall_time.max(other.wall_time);
         self.stop = self.stop.max(other.stop);
@@ -159,6 +172,15 @@ impl fmt::Display for Stats {
         if self.por_pruned > 0 {
             write!(f, ", {} POR-pruned", self.por_pruned)?;
         }
+        if self.cert_hits > 0 || self.cert_misses > 0 {
+            write!(
+                f,
+                ", cert-memo {}/{} hits ({} survived)",
+                self.cert_hits,
+                self.cert_hits + self.cert_misses,
+                self.cert_survived
+            )?;
+        }
         if self.stop.truncated() {
             write!(f, ", stopped: {}", self.stop)?;
         }
@@ -180,12 +202,17 @@ mod tests {
         let b = Stats {
             states: 10,
             deadlocks: 1,
+            cert_hits: 3,
+            cert_misses: 2,
+            cert_survived: 1,
             ..Stats::default()
         };
         a.absorb(&b);
         assert_eq!(a.states, 11);
         assert_eq!(a.transitions, 2);
         assert_eq!(a.deadlocks, 1);
+        a.absorb(&b);
+        assert_eq!((a.cert_hits, a.cert_misses, a.cert_survived), (6, 4, 2));
     }
 
     #[test]

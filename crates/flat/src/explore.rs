@@ -131,66 +131,222 @@ impl SearchModel for FlatModel {
         }
     }
 
-    /// Collapse co-enabled *pure observers*, as in the naive promising
-    /// search — with one Flat-specific strengthening. A `Satisfy` does
-    /// not name the write it binds (it always reads the coherence-latest
-    /// one), so a delayed observer's *future* loads must also be immune
-    /// to everyone else's appends: a thread is prunable only when it can
-    /// never append again ([`FlatMachine::thread_future_writes`] empty —
-    /// this also rules out pending store-exclusives, whose `FailStx`
-    /// would otherwise race their own propagation window) and no other
-    /// thread's possible future writes intersect its possible future
-    /// reads. Under that condition every step the thread will ever take
-    /// is thread-local with memory-independent effects, so keeping one
-    /// such thread and delaying the rest is a persistent set.
-    fn reduce(&self, m: &FlatMachine, transitions: &mut Vec<FlatTransition>) {
-        let n = m.threads().len();
-        let mut enabled_safe = vec![true; n];
-        let mut seen = vec![false; n];
-        for t in transitions.iter() {
-            let (tid, safe) = match t {
-                FlatTransition::FetchBranch { tid, .. } => (tid.0, true),
-                FlatTransition::Satisfy { tid, .. } => (tid.0, true),
-                FlatTransition::FailStx { tid, .. }
-                | FlatTransition::Propagate { tid, .. }
-                | FlatTransition::ExecRmw { tid, .. } => (tid.0, false),
-            };
-            seen[tid] = true;
-            enabled_safe[tid] &= safe;
+    /// With the per-location dynamic layer on (`Config::dpor`), appends
+    /// to *disjoint* locations are independent: the canonical per-location
+    /// state encoding ([`FlatMachine::canonical_words`]) makes their two
+    /// interleavings fingerprint-equal, so they commute in the exact sense
+    /// the commutation proptests check. With it off, the strict relation
+    /// (appends never commute) of PR 5 applies.
+    fn independent(&self, s: &FlatMachine, a: &FlatTransition, b: &FlatTransition) -> bool {
+        let (fa, fb) = (self.footprint(s, a), self.footprint(s, b));
+        if self.config().por && self.config().dpor {
+            fa.independent_with_commuting_appends(&fb)
+        } else {
+            fa.independent_with(&fb)
         }
-        let mut prunable = Vec::with_capacity(n);
-        let mut future_writes: Vec<Option<MayAccess>> = vec![None; n];
-        let mut writes_of = |m: &FlatMachine, tid: usize| -> MayAccess {
-            future_writes[tid]
-                .get_or_insert_with(|| m.thread_future_writes(TId(tid)))
-                .clone()
-        };
-        for tid in 0..n {
-            let ok = seen[tid] && enabled_safe[tid] && writes_of(m, tid).is_empty() && {
-                let reads = m.thread_future_reads(TId(tid));
-                (0..n).all(|other| other == tid || !writes_of(m, other).intersects(&reads))
-            };
-            prunable.push(ok);
-        }
-        let mut observers = (0..n).filter(|&t| prunable[t]);
-        let Some(keep) = observers.next() else {
-            return;
-        };
-        if observers.next().is_none() {
-            return;
-        }
-        let pruned = |t: &FlatTransition| -> bool {
-            let tid = match t {
-                FlatTransition::FetchBranch { tid, .. }
-                | FlatTransition::Satisfy { tid, .. }
-                | FlatTransition::FailStx { tid, .. }
-                | FlatTransition::Propagate { tid, .. }
-                | FlatTransition::ExecRmw { tid, .. } => tid.0,
-            };
-            prunable[tid] && tid != keep
-        };
-        transitions.retain(|t| !pruned(t));
     }
+
+    fn reduce(&self, m: &FlatMachine, transitions: &mut Vec<FlatTransition>) {
+        if self.config().dpor {
+            if !reduce_flat_frozen_reads(m, transitions) {
+                reduce_flat_delayable(m, transitions);
+            }
+        } else {
+            reduce_flat_observers(m, transitions);
+        }
+    }
+}
+
+fn tid_of(t: &FlatTransition) -> usize {
+    match t {
+        FlatTransition::FetchBranch { tid, .. }
+        | FlatTransition::Satisfy { tid, .. }
+        | FlatTransition::FailStx { tid, .. }
+        | FlatTransition::Propagate { tid, .. }
+        | FlatTransition::ExecRmw { tid, .. } => tid.0,
+    }
+}
+
+/// Collapse co-enabled *pure observers*, as in the naive promising
+/// search — with one Flat-specific strengthening. A `Satisfy` does
+/// not name the write it binds (it always reads the coherence-latest
+/// one), so a delayed observer's *future* loads must also be immune
+/// to everyone else's appends: a thread is prunable only when it can
+/// never append again ([`FlatMachine::thread_future_writes`] empty —
+/// this also rules out pending store-exclusives, whose `FailStx`
+/// would otherwise race their own propagation window) and no other
+/// thread's possible future writes intersect its possible future
+/// reads. Under that condition every step the thread will ever take
+/// is thread-local with memory-independent effects, so keeping one
+/// such thread and delaying the rest is a persistent set.
+fn reduce_flat_observers(m: &FlatMachine, transitions: &mut Vec<FlatTransition>) {
+    let n = m.threads().len();
+    let mut enabled_safe = vec![true; n];
+    let mut seen = vec![false; n];
+    for t in transitions.iter() {
+        let (tid, safe) = match t {
+            FlatTransition::FetchBranch { tid, .. } => (tid.0, true),
+            FlatTransition::Satisfy { tid, .. } => (tid.0, true),
+            FlatTransition::FailStx { tid, .. }
+            | FlatTransition::Propagate { tid, .. }
+            | FlatTransition::ExecRmw { tid, .. } => (tid.0, false),
+        };
+        seen[tid] = true;
+        enabled_safe[tid] &= safe;
+    }
+    let mut prunable = Vec::with_capacity(n);
+    let mut future_writes: Vec<Option<MayAccess>> = vec![None; n];
+    let mut writes_of = |m: &FlatMachine, tid: usize| -> MayAccess {
+        future_writes[tid]
+            .get_or_insert_with(|| m.thread_future_writes(TId(tid)))
+            .clone()
+    };
+    for tid in 0..n {
+        let ok = seen[tid] && enabled_safe[tid] && writes_of(m, tid).is_empty() && {
+            let reads = m.thread_future_reads(TId(tid));
+            (0..n).all(|other| other == tid || !writes_of(m, other).intersects(&reads))
+        };
+        prunable.push(ok);
+    }
+    let mut observers = (0..n).filter(|&t| prunable[t]);
+    let Some(keep) = observers.next() else {
+        return;
+    };
+    if observers.next().is_none() {
+        return;
+    }
+    transitions.retain(|t| !prunable[tid_of(t)] || tid_of(t) == keep);
+}
+
+/// Frozen-read persistent sets (the sharper half of the `Config::dpor`
+/// layer): when every enabled transition of some thread `q` is a
+/// speculation guess (`FetchBranch`) or a `Satisfy` of a location **no
+/// other thread may ever write again**, exploring *only* `q`'s
+/// transitions at this state is a persistent set — every other thread's
+/// transitions (including its appends) are dropped here and re-examined
+/// one `q`-step later.
+///
+/// Why the set is persistent:
+///
+/// * every enabledness scan of the flat machine (`load_source`,
+///   `store_ready`, `rmw_ready`, the fetch point) reads only the acting
+///   thread's instance list and registers — memory is consulted only
+///   for a satisfy's *value* and the store-exclusive `atomic` gate
+///   (which foreign appends can switch off but never on). So `q`'s
+///   enabled set cannot change, and no disabled `q`-transition can
+///   become enabled, until `q` itself moves: the eligibility check
+///   covers exactly the transitions any interleaving of the others
+///   could ever put in front of `q`'s;
+/// * each member of the set commutes *state-identically* with every
+///   other thread's transition: it mutates only `q`'s instance list and
+///   reads only locations whose streams are frozen (a delayed `Satisfy`
+///   binds the coherence-latest write of its location, which no other
+///   thread may append to; a forwarded `Satisfy` and a `FetchBranch`
+///   never read memory at all), while the other transition neither
+///   reads `q`'s state nor can be disabled by it;
+/// * the flat state graph is acyclic (fetch fuel strictly decreases on
+///   loop back-edges, instances only advance), so the classical
+///   ignoring problem cannot arise and persistent sets preserve every
+///   terminated state — which is where outcomes are read.
+///
+/// The choice of `q` (lowest eligible tid) is a pure function of the
+/// state, so fingerprint dedup stays sound. Returns whether the rule
+/// fired; if not, the caller falls back to the delayable-thread
+/// collapse. This is the rule that cracks the append-bound stack/queue
+/// rows: a popper reading the immutable fields of an already-published
+/// node runs to its next CAS before any sibling interleaves.
+fn reduce_flat_frozen_reads(m: &FlatMachine, transitions: &mut Vec<FlatTransition>) -> bool {
+    let n = m.threads().len();
+    if n < 2 {
+        return false;
+    }
+    let mut writes: Vec<Option<MayAccess>> = vec![None; n];
+    let mut writes_of = |r: usize| -> MayAccess {
+        writes[r]
+            .get_or_insert_with(|| m.thread_future_writes(TId(r)))
+            .clone()
+    };
+    let mut has = vec![false; n];
+    let mut eligible = vec![true; n];
+    for t in transitions.iter() {
+        let q = tid_of(t);
+        has[q] = true;
+        eligible[q] &= match *t {
+            FlatTransition::FetchBranch { .. } => true,
+            FlatTransition::Satisfy { tid, idx } => match m.access_target(tid, idx) {
+                Some(loc) => {
+                    let l = MayAccess::Locs(BTreeSet::from([loc]));
+                    (0..n).all(|r| r == q || !writes_of(r).intersects(&l))
+                }
+                None => false,
+            },
+            // anything that may touch memory (or, for `FailStx`, races
+            // its own propagation window) disqualifies the thread
+            _ => false,
+        };
+    }
+    let Some(keep) = (0..n).find(|&q| has[q] && eligible[q]) else {
+        return false;
+    };
+    if transitions.iter().all(|t| tid_of(t) == keep) {
+        return false;
+    }
+    transitions.retain(|t| tid_of(t) == keep);
+    true
+}
+
+/// Per-state persistent sets over the per-location conflict structure
+/// (the `Config::dpor` layer): collapse co-enabled *delayable* threads.
+///
+/// A thread `q` is delayable when its future accesses are mutually
+/// disjoint from every other thread's: no other thread may still write
+/// a location `q` may still read (a delayed `Satisfy` binds the
+/// coherence-latest write, so foreign appends to its location would
+/// change its value), and `q` may never write a location any other
+/// thread may still read *or write*. Unlike the PR 5 pure-observer rule
+/// ([`reduce_flat_observers`], still used with `dpor` off), `q` may
+/// still append — to locations nobody else touches — and every
+/// transition kind is allowed: under the canonical per-location state
+/// encoding ([`FlatMachine::canonical_words`]) `q`'s appends commute
+/// with everyone else's (the interleaving order of disjoint appends is
+/// erased by the encoding), its store-exclusive `atomic` windows read
+/// only its own locations' streams, and its reads bind identical values
+/// either side of the swap. Keeping the lowest delayable thread plus
+/// every non-delayable thread's transitions is therefore a persistent
+/// set up to the renumbering bisimulation the encoding quotients by.
+///
+/// The delayable set strictly contains the PR 5 prunable set (empty
+/// future writes make the new conditions collapse to the old ones), so
+/// read-parallel workloads reduce at least as much; disjoint-writer
+/// workloads — which PR 5 could not touch — now collapse too
+/// (`tests/dpor_agreement.rs` has the anti-rot check). The decision is
+/// a pure function of the state, so fingerprint dedup stays sound.
+fn reduce_flat_delayable(m: &FlatMachine, transitions: &mut Vec<FlatTransition>) {
+    let n = m.threads().len();
+    let mut seen = vec![false; n];
+    for t in transitions.iter() {
+        seen[tid_of(t)] = true;
+    }
+    let reads: Vec<MayAccess> = (0..n).map(|t| m.thread_future_reads(TId(t))).collect();
+    let writes: Vec<MayAccess> = (0..n).map(|t| m.thread_future_writes(TId(t))).collect();
+    let mut delayable = vec![false; n];
+    for q in 0..n {
+        delayable[q] = seen[q]
+            && (0..n).filter(|&r| r != q).all(|r| {
+                !writes[r].intersects(&reads[q])
+                    && !writes[q].intersects(&reads[r])
+                    && !writes[q].intersects(&writes[r])
+            });
+    }
+    let mut candidates = (0..n).filter(|&t| delayable[t]);
+    let Some(keep) = candidates.next() else {
+        return;
+    };
+    if candidates.next().is_none() {
+        // a single delayable thread has nothing to collapse against
+        return;
+    }
+    transitions.retain(|t| !delayable[tid_of(t)] || tid_of(t) == keep);
 }
 
 /// Exhaustively explore all interleavings of `machine`.

@@ -125,11 +125,21 @@ pub struct FlatMachine {
 
 /// Hashable dynamic state for visited-set deduplication.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-pub struct FlatStateKey {
-    /// Per-thread instance lists and fetch state.
-    pub threads: Vec<FlatThread>,
-    /// Memory contents.
-    pub memory: Memory,
+pub enum FlatStateKey {
+    /// Raw state — per-thread instance lists and fetch state plus the
+    /// absolute-timestamp memory (used with `Config::dpor` off).
+    Raw {
+        /// Per-thread instance lists and fetch state.
+        threads: Vec<FlatThread>,
+        /// Memory contents.
+        memory: Memory,
+    },
+    /// Canonical per-location word stream
+    /// ([`FlatMachine::canonical_words`], used with `Config::dpor` on):
+    /// states that differ only in the interleaving order of appends to
+    /// *different* locations share one key, merging them in the visited
+    /// set.
+    Canon(Vec<u64>),
 }
 
 impl FlatMachine {
@@ -180,22 +190,329 @@ impl FlatMachine {
     }
 
     /// Exact dedup key (stored by the paranoid visited-set mode to
-    /// detect fingerprint collisions).
+    /// detect fingerprint collisions). With the per-location dynamic POR
+    /// layer on (`Config::dpor`), this is the canonical word stream of
+    /// [`FlatMachine::canonical_words`], so bisimilar states *compare
+    /// equal* — merging them is the point, not a collision.
     pub fn state_key(&self) -> FlatStateKey {
-        FlatStateKey {
-            threads: self.threads.clone(),
-            memory: self.memory.clone(),
+        if self.config.por && self.config.dpor {
+            FlatStateKey::Canon(self.canonical_words())
+        } else {
+            FlatStateKey::Raw {
+                threads: self.threads.clone(),
+                memory: self.memory.clone(),
+            }
         }
+    }
+
+    /// Canonical per-location encoding of the dynamic state, as an
+    /// unambiguous (length-prefixed) word stream.
+    ///
+    /// Absolute timestamps are replaced by `(location, per-location
+    /// index)` pairs and memory by its per-location message streams, so
+    /// two states that differ only in the *interleaving order* of
+    /// appends to different locations encode identically. This is sound
+    /// because Flat-lite's future behaviour observes memory only through
+    /// per-location structure:
+    ///
+    /// * `latest_write_at_most(loc, |M|)` (load satisfy, RMW read) is the
+    ///   last message of `loc`'s stream;
+    /// * `atomic(loc, tid, tr, |M|+1)` (store-exclusive success) is
+    ///   vacuous when the paired read `tr` was to a different location,
+    ///   and otherwise quantifies only over `loc`'s messages after `tr`'s
+    ///   per-location position;
+    /// * `outcome()` reads per-location final values and register values
+    ///   stored directly in instance states;
+    /// * enabledness scans, footprints and the POR reduce look only at
+    ///   instance states, resolved addresses and the static may-access
+    ///   sets.
+    ///
+    /// Hence the timestamp order-isomorphism matching messages per
+    /// location in stream order is a bisimulation relating two such
+    /// states, and deduplicating them preserves the outcome set — this
+    /// is the per-location append independence of the dynamic POR layer,
+    /// realised as state merging rather than transition pruning. (The
+    /// *promising* machine cannot do this: its scalar views cover
+    /// timestamp prefixes, so the interleaving order of disjoint appends
+    /// is observable there.)
+    ///
+    /// Instance operations are functions of their source statement except
+    /// for branches, exactly as in [`FlatMachine::fingerprint`], so
+    /// `(stmt, state)` per instance plus the branch extras is complete.
+    ///
+    /// # Retired-prefix summarisation
+    ///
+    /// On top of the timestamp renaming, each thread's maximal fully
+    /// *bound* instance prefix is collapsed to what the thread's future
+    /// can still observe of it. Every nondeterministic-transition guard
+    /// ([`FlatMachine::load_source`], [`FlatMachine::store_ready`],
+    /// [`FlatMachine::rmw_ready`]) passes bound instances through with
+    /// no effect (a bound store is `Propagated`/`Failed`, so it is never
+    /// a forwarding source and satisfies every `need_done` arm; bound
+    /// loads/RMWs/fences pass every `is_bound` arm; bound addresses
+    /// always evaluate), so a retired prefix influences the future only
+    /// through three channels, which the encoding keeps:
+    ///
+    /// * **register values** — `reg_value`/`eval_at`/`outcome` read the
+    ///   nearest po-earlier writer via `written_reg`; the prefix
+    ///   collapses to its final register map. User-visible registers
+    ///   keep explicit zero entries (`outcome` reports a register iff
+    ///   some instance wrote it); scratch registers drop value-0 entries
+    ///   (`reg_value` falls back to 0 and `outcome` ignores them);
+    /// * **the exclusive-pairing bank** — [`FlatMachine::stx_pairing`]
+    ///   walks back to the first exclusive-relevant instance; once that
+    ///   walk enters a bound prefix its answer is frozen (every arm is
+    ///   final on bound instances), so the prefix collapses to that one
+    ///   `Option<Timestamp>`;
+    /// * **forwarded sources** — a bound load's `Src::Forward(k)` whose
+    ///   source store has propagated at `ts` is observationally
+    ///   `Src::Memory(ts)` (`stx_pairing` resolves both identically and
+    ///   nothing else reads a bound load's source), so such sources are
+    ///   canonicalised to the memory form and suffix-internal forward
+    ///   indices are rebased.
+    ///
+    /// Two states with equal words are therefore bisimilar: equal
+    /// suffixes, fetch state, register summaries, banks and per-location
+    /// memory streams induce identical enabled transitions with
+    /// identical effects, and equal outcomes on termination. This is
+    /// what cracks the append-bound retry loops: a retired CAS-retry
+    /// iteration leaves only its final register values behind, so
+    /// executions that failed the same number of times against
+    /// different (dead) old values of the contended word merge.
+    pub fn canonical_words(&self) -> Vec<u64> {
+        // ts -> (loc+1, per-location index); ts 0 (the initial write,
+        // distinguished) -> (0, 0).
+        let mut next: BTreeMap<Loc, u64> = BTreeMap::new();
+        let mut canon: Vec<(u64, u64)> = Vec::with_capacity(self.memory.len());
+        let mut streams: BTreeMap<Loc, Vec<&Msg>> = BTreeMap::new();
+        for (_, m) in self.memory.iter() {
+            let idx = next.entry(m.loc).or_insert(0);
+            canon.push((m.loc.0 + 1, *idx));
+            *idx += 1;
+            streams.entry(m.loc).or_default().push(m);
+        }
+        let canon_ts = |ts: Timestamp| -> (u64, u64) {
+            if ts.is_initial() {
+                (0, 0)
+            } else {
+                canon[ts.0 as usize - 1]
+            }
+        };
+        let mut out = Vec::new();
+        let ts = |out: &mut Vec<u64>, t: Timestamp| {
+            let (a, b) = canon_ts(t);
+            out.push(a);
+            out.push(b);
+        };
+        out.push(self.threads.len() as u64);
+        for t in &self.threads {
+            out.push(t.stuck as u64);
+            out.push(t.fetch_fuel as u64);
+            out.push(t.fetch_cont.len() as u64);
+            for s in &t.fetch_cont {
+                out.push(s.0 as u64);
+            }
+            // Maximal fully-bound prefix: collapsed to its final
+            // register map and exclusive-pairing bank (see the doc
+            // comment — bound instances are invisible to every
+            // transition guard beyond those two channels).
+            let live = t
+                .instances
+                .iter()
+                .position(|i| !i.is_bound())
+                .unwrap_or(t.instances.len());
+            let mut regs: BTreeMap<Reg, Val> = BTreeMap::new();
+            for inst in &t.instances[..live] {
+                let written: Vec<Reg> = match &inst.op {
+                    InstOp::Assign { reg, .. } | InstOp::Load { reg, .. } => vec![*reg],
+                    InstOp::Store {
+                        succ,
+                        exclusive: true,
+                        ..
+                    } => vec![*succ],
+                    InstOp::Rmw { dst, succ, .. } => vec![*dst, *succ],
+                    _ => Vec::new(),
+                };
+                for r in written {
+                    let v = inst
+                        .written_reg(r)
+                        .flatten()
+                        .expect("bound instance has its register value");
+                    regs.insert(r, v);
+                }
+            }
+            // Scratch registers are invisible to `outcome` and read back
+            // as 0 when unwritten, so value-0 entries are the unwritten
+            // state; user registers must keep them (`outcome` reports a
+            // register iff written).
+            regs.retain(|r, v| r.0 < SCRATCH_REG_BASE || v.0 != 0);
+            out.push(regs.len() as u64);
+            for (r, v) in &regs {
+                out.push(r.0 as u64);
+                out.push(v.0 as u64);
+            }
+            // The prefix's exclusive-pairing bank: the answer
+            // `stx_pairing` gives once its backward walk crosses into
+            // the bound prefix (every arm is final there).
+            let mut bank: Option<Timestamp> = None;
+            for j in (0..live).rev() {
+                let jinst = &t.instances[j];
+                match &jinst.op {
+                    InstOp::Store {
+                        exclusive: true, ..
+                    } => break, // interposed: bank stays empty
+                    InstOp::Rmw { .. } => {
+                        if let InstState::RmwDone {
+                            tr, wrote: None, ..
+                        } = jinst.state
+                        {
+                            bank = Some(tr);
+                        }
+                        break;
+                    }
+                    InstOp::Load {
+                        exclusive: true, ..
+                    } => {
+                        if let InstState::Satisfied { src, .. } = jinst.state {
+                            bank = match src {
+                                Src::Memory(t) => Some(t),
+                                Src::Forward(k) => match t.instances[k].state {
+                                    InstState::Propagated { ts } => Some(ts),
+                                    _ => None,
+                                },
+                            };
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            match bank {
+                None => out.push(0),
+                Some(t) => {
+                    out.push(1);
+                    ts(&mut out, t);
+                }
+            }
+            out.push((t.instances.len() - live) as u64);
+            for inst in &t.instances[live..] {
+                out.push(inst.stmt.0 as u64);
+                match &inst.op {
+                    InstOp::Assign { .. } => out.push(0),
+                    InstOp::Load { .. } => out.push(1),
+                    InstOp::Store { .. } => out.push(2),
+                    InstOp::Fence(_) => out.push(3),
+                    InstOp::Isb => out.push(4),
+                    InstOp::Rmw { .. } => out.push(6),
+                    InstOp::Branch {
+                        guess, alt_cont, ..
+                    } => {
+                        out.push(5);
+                        out.push(*guess as u64);
+                        out.push(alt_cont.len() as u64);
+                        for s in alt_cont {
+                            out.push(s.0 as u64);
+                        }
+                    }
+                }
+                match inst.state {
+                    InstState::Pending => out.push(0),
+                    InstState::Done { val } => {
+                        out.push(1);
+                        out.push(val.0 as u64);
+                    }
+                    InstState::Satisfied { src, val } => {
+                        out.push(2);
+                        match src {
+                            Src::Memory(t) => {
+                                out.push(0);
+                                ts(&mut out, t);
+                            }
+                            // A forwarded source that has since
+                            // propagated is observationally a memory
+                            // source (`stx_pairing` resolves both to the
+                            // same timestamp; nothing else reads a bound
+                            // load's source) — canonicalise it so the
+                            // distinction doesn't split states.
+                            Src::Forward(k) => match t.instances[k].state {
+                                InstState::Propagated { ts: pt } => {
+                                    out.push(0);
+                                    ts(&mut out, pt);
+                                }
+                                _ => {
+                                    debug_assert!(
+                                        k >= live,
+                                        "unpropagated forward source must be unbound"
+                                    );
+                                    out.push(1);
+                                    out.push((k - live) as u64);
+                                }
+                            },
+                        }
+                        out.push(val.0 as u64);
+                    }
+                    InstState::Propagated { ts: t } => {
+                        out.push(3);
+                        ts(&mut out, t);
+                    }
+                    InstState::Failed => out.push(4),
+                    InstState::Committed => out.push(5),
+                    InstState::Resolved { taken } => {
+                        out.push(6);
+                        out.push(taken as u64);
+                    }
+                    InstState::RmwDone { tr, old, wrote } => {
+                        out.push(7);
+                        ts(&mut out, tr);
+                        out.push(old.0 as u64);
+                        match wrote {
+                            None => out.push(0),
+                            Some(t) => {
+                                out.push(1);
+                                ts(&mut out, t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.push(self.memory.init_values().len() as u64);
+        for (l, v) in self.memory.init_values() {
+            out.push(l.0);
+            out.push(v.0 as u64);
+        }
+        out.push(streams.len() as u64);
+        for (l, msgs) in &streams {
+            out.push(l.0);
+            out.push(msgs.len() as u64);
+            for m in msgs {
+                out.push(m.val.0 as u64);
+                out.push(m.tid.0 as u64);
+            }
+        }
+        out
     }
 
     /// A 128-bit fingerprint of the dynamic state for visited-set
     /// deduplication (see [`promising_core::fingerprint`]).
+    ///
+    /// With the per-location dynamic POR layer on (`Config::dpor`), the
+    /// fingerprint hashes the canonical word stream
+    /// ([`FlatMachine::canonical_words`]) so bisimilar states merge;
+    /// otherwise it hashes the raw state with absolute timestamps.
     ///
     /// Instance operations are functions of their source statement except
     /// for branches (speculation guess + squash continuation), so the
     /// encoding covers `(stmt, state)` per instance plus the branch
     /// extras — much cheaper than hashing the cloned expression trees.
     pub fn fingerprint(&self) -> Fingerprint {
+        if self.config.por && self.config.dpor {
+            let mut h = FpHasher::new();
+            for w in self.canonical_words() {
+                h.write_u64(w);
+            }
+            return h.finish128();
+        }
         let mut h = FpHasher::new();
         h.write_len(self.threads.len());
         for t in &self.threads {

@@ -370,7 +370,7 @@ fn footprints_classify_the_transition_zoo() {
             msg: Msg::new(Loc(0), Val(1), TId(0)),
         },
     ));
-    assert!(promise.appends && promise.promise);
+    assert!(promise.appends.contains(Loc(0)) && promise.promise);
     assert_eq!(promise.agent, Some(0));
 
     let fulfil = m.transition_footprint(&Transition::new(
@@ -380,7 +380,7 @@ fn footprints_classify_the_transition_zoo() {
         },
     ));
     // memory-silent: the message has been visible since promise time
-    assert!(!fulfil.appends && fulfil.promise);
+    assert!(fulfil.appends.is_empty() && fulfil.promise);
     assert!(fulfil.writes.is_empty() && fulfil.reads.is_empty());
 
     let read = m.transition_footprint(&Transition::new(
@@ -389,7 +389,7 @@ fn footprints_classify_the_transition_zoo() {
             t: promising_core::Timestamp(0),
         },
     ));
-    assert!(!read.appends && !read.promise);
+    assert!(read.appends.is_empty() && !read.promise);
     assert!(read.reads.contains(Loc(0)));
 
     // a clean observer's read is independent of the promising thread's
