@@ -262,7 +262,14 @@ impl CertMemo {
         value: MemoValue,
     ) {
         let exact = self.paranoid.then(exact);
-        self.map.insert(fp, MemoEntry { exact, stamp, value });
+        self.map.insert(
+            fp,
+            MemoEntry {
+                exact,
+                stamp,
+                value,
+            },
+        );
     }
 }
 

@@ -45,6 +45,12 @@ use crate::ids::Loc;
 /// independence), anything above spills into a side vector. Litmus tests
 /// and the workload suites use a handful of locations; the spill path is
 /// the conservative fallback for programs with more than 64.
+///
+/// The spill vector is kept **sorted**, so the derived `PartialEq`/`Eq`
+/// are set-semantic: two sets holding the same locations compare equal
+/// regardless of insertion order. (An insertion-ordered spill would make
+/// equality order-sensitive exactly for programs with more than 64
+/// locations — the real-code workloads of the closure harness.)
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct LocSet {
     bits: u64,
@@ -72,8 +78,8 @@ impl LocSet {
     pub fn insert(&mut self, loc: Loc) {
         if loc.0 < SPILL_AT {
             self.bits |= 1 << loc.0;
-        } else if !self.spill.contains(&loc) {
-            self.spill.push(loc);
+        } else if let Err(at) = self.spill.binary_search(&loc) {
+            self.spill.insert(at, loc);
         }
     }
 
@@ -82,14 +88,13 @@ impl LocSet {
         if loc.0 < SPILL_AT {
             self.bits & (1 << loc.0) != 0
         } else {
-            self.spill.contains(&loc)
+            self.spill.binary_search(&loc).is_ok()
         }
     }
 
     /// Whether the sets share a location.
     pub fn intersects(&self, other: &LocSet) -> bool {
-        self.bits & other.bits != 0
-            || self.spill.iter().any(|l| other.spill.contains(l))
+        self.bits & other.bits != 0 || self.spill.iter().any(|l| other.spill.contains(l))
     }
 
     /// Whether the set is empty.
@@ -97,8 +102,8 @@ impl LocSet {
         self.bits == 0 && self.spill.is_empty()
     }
 
-    /// Iterate over the locations (bitmask part in ascending order,
-    /// then the spill in insertion order).
+    /// Iterate over the locations in ascending order (bitmask part
+    /// first, then the sorted spill).
     pub fn iter(&self) -> impl Iterator<Item = Loc> + '_ {
         let mut bits = self.bits;
         std::iter::from_fn(move || {
@@ -196,7 +201,11 @@ impl Footprint {
     pub fn write(agent: usize, loc: Loc, appends: bool) -> Footprint {
         Footprint {
             writes: LocSet::of(loc),
-            appends: if appends { LocSet::of(loc) } else { LocSet::new() },
+            appends: if appends {
+                LocSet::of(loc)
+            } else {
+                LocSet::new()
+            },
             ..Footprint::local(agent)
         }
     }
@@ -321,6 +330,60 @@ mod tests {
         assert!(!LocSet::of(Loc(64)).intersects(&LocSet::of(Loc(65))));
         assert!(LocSet::of(Loc(1000)).intersects(&s));
         assert!(!s.is_empty() && LocSet::new().is_empty());
+    }
+
+    #[test]
+    fn locset_spill_equality_is_insertion_order_independent() {
+        // regression: with an insertion-ordered spill vector the derived
+        // PartialEq compared [Loc(70), Loc(80)] ≠ [Loc(80), Loc(70)]
+        let mut a = LocSet::new();
+        a.insert(Loc(70));
+        a.insert(Loc(80));
+        let mut b = LocSet::new();
+        b.insert(Loc(80));
+        b.insert(Loc(70));
+        assert_eq!(a, b);
+        // and across the bitmask boundary, mixed with duplicates
+        let fwd: LocSet = [Loc(3), Loc(64), Loc(200), Loc(100)].into_iter().collect();
+        let rev: LocSet = [Loc(100), Loc(200), Loc(200), Loc(64), Loc(3)]
+            .into_iter()
+            .collect();
+        assert_eq!(fwd, rev);
+        assert_ne!(fwd, LocSet::of(Loc(3)));
+        // iteration is ascending regardless of insertion order
+        assert_eq!(
+            rev.iter().collect::<Vec<_>>(),
+            vec![Loc(3), Loc(64), Loc(100), Loc(200)]
+        );
+    }
+
+    #[test]
+    fn locset_spill_equality_proptest_over_many_locations() {
+        use proptest::{collection, Strategy, TestRng};
+        // >64 locations so the spill path is exercised: insert a random
+        // multiset in two different orders (forward and a deterministic
+        // shuffle) and require set-semantic equality plus membership and
+        // intersection agreement with a BTreeSet reference model.
+        let mut rng = TestRng::new(0xF00D_F00D);
+        let strat = collection::vec(0u64..160, 65..140);
+        for _ in 0..64 {
+            let locs: Vec<u64> = strat.sample(&mut rng);
+            let fwd: LocSet = locs.iter().map(|&l| Loc(l)).collect();
+            let mut shuffled = locs.clone();
+            // Fisher–Yates with the proptest rng
+            for i in (1..shuffled.len()).rev() {
+                let j = rng.below(i as u64 + 1) as usize;
+                shuffled.swap(i, j);
+            }
+            let bwd: LocSet = shuffled.iter().map(|&l| Loc(l)).collect();
+            assert_eq!(fwd, bwd, "insertion order leaked into equality");
+            let reference: std::collections::BTreeSet<u64> = locs.iter().copied().collect();
+            for l in 0..170 {
+                assert_eq!(fwd.contains(Loc(l)), reference.contains(&l));
+            }
+            assert_eq!(fwd.iter().count(), reference.len());
+            assert!(fwd.intersects(&bwd) || reference.is_empty());
+        }
     }
 
     #[test]

@@ -456,7 +456,13 @@ impl<M: SearchModel> Engine<M> {
         self.finish(
             start,
             pre_stats,
-            drive(roots, workers, || self.local(false), step, Self::seal(model)),
+            drive(
+                roots,
+                workers,
+                || self.local(false),
+                step,
+                Self::seal(model),
+            ),
         )
     }
 

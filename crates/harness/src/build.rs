@@ -1,0 +1,254 @@
+//! Lower a recorded path set to a surface-language thread.
+//!
+//! The recorder explores a closure's decision tree by feeding every
+//! candidate value to every load/RMW; this module re-assembles those
+//! linear traces into a `crates/lang` statement tree. Three properties
+//! matter for fidelity:
+//!
+//! * **Canonical registers.** The value op at choice depth `d` writes
+//!   `Reg(d + 1)` in *every* branch (the result register is `Reg(0)`),
+//!   so structurally identical continuations are syntactically identical
+//!   and merge.
+//! * **Subtree merging.** Candidate values whose continuations are
+//!   identical share one emission with no branch at all — a spin loop
+//!   re-checking a flag compiles to a linear chain, not a `3^depth` blowup.
+//! * **Prefix/suffix factoring.** When continuations do differ, their
+//!   common leading and trailing statements are hoisted out of the `if`
+//!   chain. Without this, an event that does not actually depend on a
+//!   loaded value (e.g. the store in an LB shape) would sit under a
+//!   branch on that value, introducing a spurious control dependency
+//!   that forbids architecturally-allowed outcomes.
+
+use crate::error::HarnessError;
+use crate::record::{Event, PathTrace};
+use promising_core::{Expr, Loc, Op, Reg};
+use promising_lang::{Stmt, Thread};
+use std::collections::BTreeMap;
+
+/// The register each closure's return value is assigned to (per thread).
+pub const RESULT_REG: Reg = Reg(0);
+
+fn loc_expr(loc: Loc) -> Expr {
+    // Locations print as raw addresses in the surface syntax and re-intern
+    // by value, so the recorded program round-trips through the parser.
+    Expr::val(loc.0 as i64)
+}
+
+fn nondet(tid: usize, detail: &str) -> HarnessError {
+    HarnessError::Nondeterministic {
+        thread: tid,
+        detail: detail.to_owned(),
+    }
+}
+
+/// Lower one thread's recorded paths to a statement tree.
+pub(crate) fn build_thread(
+    paths: &[PathTrace],
+    cands: &BTreeMap<Loc, Vec<i64>>,
+    tid: usize,
+) -> Result<Thread, HarnessError> {
+    let group: Vec<&PathTrace> = paths.iter().collect();
+    Ok(Thread(emit(&group, 0, 0, cands, tid)?))
+}
+
+/// Emit statements for a group of paths sharing `depth` choices and
+/// `cursor` events.
+fn emit(
+    group: &[&PathTrace],
+    depth: usize,
+    cursor: usize,
+    cands: &BTreeMap<Loc, Vec<i64>>,
+    tid: usize,
+) -> Result<Vec<Stmt>, HarnessError> {
+    let rep = group[0];
+    let mut out = Vec::new();
+    let mut cur = cursor;
+    loop {
+        let Some(ev) = rep.events.get(cur) else {
+            return Err(nondet(tid, "trace ended without a return marker"));
+        };
+        for p in &group[1..] {
+            if p.events.get(cur) != Some(ev) {
+                return Err(nondet(
+                    tid,
+                    "executions fed identical values recorded different events",
+                ));
+            }
+        }
+        match *ev {
+            Event::Fence(ord) => {
+                out.push(Stmt::Fence(ord));
+                cur += 1;
+            }
+            Event::Store { loc, val, ord } => {
+                out.push(Stmt::Store {
+                    addr: loc_expr(loc),
+                    data: Expr::val(val),
+                    ord,
+                });
+                cur += 1;
+            }
+            Event::Ret(v) => {
+                out.push(Stmt::Assign {
+                    reg: RESULT_REG,
+                    expr: Expr::val(v),
+                });
+                return Ok(out);
+            }
+            Event::Diverged => {
+                // The closure was cut off here: encode divergence as an
+                // infinite loop. Exhausting the machine's loop fuel marks
+                // the thread stuck, so the state never becomes final and
+                // contributes no outcome — exactly "this execution never
+                // finishes".
+                out.push(Stmt::While {
+                    cond: Expr::val(1),
+                    body: vec![Stmt::Skip],
+                });
+                return Ok(out);
+            }
+            Event::Load { loc, ord } => {
+                let reg = Reg(depth as u32 + 1);
+                out.push(Stmt::Load {
+                    reg,
+                    addr: loc_expr(loc),
+                    ord,
+                });
+                cur += 1;
+                out.extend(branch(group, depth, cur, loc, reg, cands, tid)?);
+                return Ok(out);
+            }
+            Event::Rmw {
+                loc,
+                op,
+                expected,
+                operand,
+                ord,
+            } => {
+                let reg = Reg(depth as u32 + 1);
+                out.push(Stmt::Rmw {
+                    op,
+                    dst: reg,
+                    addr: loc_expr(loc),
+                    expected: expected.map(Expr::val),
+                    operand: Expr::val(operand),
+                    ord,
+                });
+                cur += 1;
+                out.extend(branch(group, depth, cur, loc, reg, cands, tid)?);
+                return Ok(out);
+            }
+        }
+    }
+}
+
+/// Emit the continuation after a value op: recurse per candidate value,
+/// merge identical subtrees, factor common prefix/suffix, and chain the
+/// rest as `if (r == v) { … } else { … }`.
+fn branch(
+    group: &[&PathTrace],
+    depth: usize,
+    cursor: usize,
+    loc: Loc,
+    reg: Reg,
+    cands: &BTreeMap<Loc, Vec<i64>>,
+    tid: usize,
+) -> Result<Vec<Stmt>, HarnessError> {
+    let empty = Vec::new();
+    let values = cands.get(&loc).unwrap_or(&empty);
+    let mut subs: Vec<(i64, Vec<Stmt>)> = Vec::with_capacity(values.len());
+    for &v in values {
+        let sub: Vec<&PathTrace> = group
+            .iter()
+            .copied()
+            .filter(|p| p.choices.get(depth) == Some(&v))
+            .collect();
+        if sub.is_empty() {
+            // The enumeration feeds every candidate; an uncovered value
+            // means the closure changed behaviour between runs.
+            return Err(nondet(
+                tid,
+                "a candidate value has no recorded continuation",
+            ));
+        }
+        subs.push((v, emit(&sub, depth + 1, cursor, cands, tid)?));
+    }
+    // Group candidate values whose continuations are identical.
+    let mut classes: Vec<(Vec<i64>, Vec<Stmt>)> = Vec::new();
+    for (v, stmts) in subs {
+        if let Some(c) = classes.iter_mut().find(|(_, s)| *s == stmts) {
+            c.0.push(v);
+        } else {
+            classes.push((vec![v], stmts));
+        }
+    }
+    if classes.len() == 1 {
+        let (_, body) = classes.remove(0);
+        return Ok(body);
+    }
+    // Hoist statements common to every class out of the branch.
+    let bodies: Vec<&[Stmt]> = classes.iter().map(|(_, b)| b.as_slice()).collect();
+    let pre = common_prefix(&bodies);
+    let post = common_suffix(&bodies, pre);
+    let mut out: Vec<Stmt> = bodies[0][..pre].to_vec();
+    let middles: Vec<Vec<Stmt>> = bodies
+        .iter()
+        .map(|b| b[pre..b.len() - post].to_vec())
+        .collect();
+    out.push(chain(reg, &classes, &middles, 0));
+    out.extend_from_slice(&bodies[0][bodies[0].len() - post..]);
+    Ok(out)
+}
+
+/// Longest shared leading run of statements across all bodies.
+fn common_prefix(bodies: &[&[Stmt]]) -> usize {
+    let mut n = bodies.iter().map(|b| b.len()).min().unwrap_or(0);
+    for b in &bodies[1..] {
+        let mut k = 0;
+        while k < n && b[k] == bodies[0][k] {
+            k += 1;
+        }
+        n = k;
+    }
+    n
+}
+
+/// Longest shared trailing run, not overlapping the prefix.
+fn common_suffix(bodies: &[&[Stmt]], prefix: usize) -> usize {
+    let mut n = bodies.iter().map(|b| b.len() - prefix).min().unwrap_or(0);
+    for b in &bodies[1..] {
+        let mut k = 0;
+        while k < n && b[b.len() - 1 - k] == bodies[0][bodies[0].len() - 1 - k] {
+            k += 1;
+        }
+        n = k;
+    }
+    n
+}
+
+/// `r == v1 | r == v2 | …` over one class's candidate values.
+fn or_eq(reg: Reg, vals: &[i64]) -> Expr {
+    let mut it = vals.iter();
+    let first = it.next().copied().unwrap_or(0);
+    let mut e = Expr::reg(reg).eq(Expr::val(first));
+    for &v in it {
+        e = Expr::binop(Op::BitOr, e, Expr::reg(reg).eq(Expr::val(v)));
+    }
+    e
+}
+
+/// Nested `if` chain over the equivalence classes; the last class is the
+/// final `else`.
+fn chain(reg: Reg, classes: &[(Vec<i64>, Vec<Stmt>)], middles: &[Vec<Stmt>], i: usize) -> Stmt {
+    let cond = or_eq(reg, &classes[i].0);
+    let else_branch = if i + 2 == classes.len() {
+        middles[i + 1].clone()
+    } else {
+        vec![chain(reg, classes, middles, i + 1)]
+    };
+    Stmt::If {
+        cond,
+        then_branch: middles[i].clone(),
+        else_branch,
+    }
+}

@@ -1,0 +1,1087 @@
+//! The ported literature corpus: classic litmus shapes from the temper
+//! memlog suite (stackoverflow answers), Preshing's blog series, "Rust
+//! Atomics and Locks" (Mara Bos), and the C++/herd seq-cst classics —
+//! each written as Rust closures and checked against a documented
+//! expected outcome set on both architectures under every operational
+//! strategy.
+//!
+//! Outcome vectors list per-thread closure return values in thread
+//! order. Reader threads that make two observations encode them in one
+//! return value (documented per test). Unless noted, the expected set is
+//! identical on ARM and RISC-V; the one shape where the compilation
+//! schemes genuinely differ in strength (`acq_rel` fences: `dmb.sy` vs
+//! `fence.tso`) documents both sets.
+
+use crate::{Environment, LogTest};
+use promising_core::Arch;
+use std::collections::BTreeSet;
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release, SeqCst};
+
+/// One ported literature test.
+pub struct CorpusTest {
+    /// Test name.
+    pub name: &'static str,
+    /// Family: `stackoverflow`, `preshing`, `rust-atomics`, `cpp-sc`.
+    pub family: &'static str,
+    /// Citation / provenance.
+    pub source: &'static str,
+    /// Build the closure test.
+    pub build: fn() -> LogTest,
+    /// Expected exact outcome set on ARM.
+    pub expected: &'static [&'static [i64]],
+    /// Expected exact outcome set on RISC-V, when the compilation
+    /// schemes genuinely differ in strength on this shape; `None` means
+    /// identical to [`CorpusTest::expected`].
+    pub expected_riscv: Option<&'static [&'static [i64]]>,
+}
+
+impl CorpusTest {
+    /// Check the test's recorded outcome set against the expectation on
+    /// both architectures (each under all strategies, which must agree).
+    ///
+    /// # Errors
+    ///
+    /// A rendered mismatch or harness error.
+    pub fn check(&self) -> Result<(), String> {
+        self.check_against(&(self.build)())
+    }
+
+    /// As [`CorpusTest::check`], against an already-built [`LogTest`]
+    /// (whose exploration matrix is cached across calls) — for drivers
+    /// that also want the matrix for reporting.
+    ///
+    /// # Errors
+    ///
+    /// A rendered mismatch or harness error.
+    pub fn check_against(&self, lt: &LogTest) -> Result<(), String> {
+        for arch in [Arch::Arm, Arch::RiscV] {
+            let want: BTreeSet<Vec<i64>> = match (arch, self.expected_riscv) {
+                (Arch::RiscV, Some(rv)) => rv.iter().map(|o| o.to_vec()).collect(),
+                _ => self.expected.iter().map(|o| o.to_vec()).collect(),
+            };
+            let got = lt
+                .outcomes_on(arch)
+                .map_err(|e| format!("{} [{}]: {e}", self.name, arch.name()))?;
+            if got != want {
+                return Err(format!(
+                    "{} [{}]: expected {} but explored {}",
+                    self.name,
+                    arch.name(),
+                    crate::fmt_outcomes(&want),
+                    crate::fmt_outcomes(&got),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn two(
+    name: &str,
+    t0: impl Fn(Environment) -> i64 + 'static,
+    t1: impl Fn(Environment) -> i64 + 'static,
+) -> LogTest {
+    let mut lt = LogTest::named(name);
+    lt.add(t0);
+    lt.add(t1);
+    lt
+}
+
+// --- C++ / herd seq-cst classics -----------------------------------------
+
+fn sb(
+    ord_store: std::sync::atomic::Ordering,
+    ord_load: std::sync::atomic::Ordering,
+    name: &str,
+) -> LogTest {
+    let mut lt = LogTest::named(name);
+    lt.add(move |e: Environment| {
+        e.a.store(1, ord_store);
+        e.b.load(ord_load)
+    });
+    lt.add(move |e: Environment| {
+        e.b.store(1, ord_store);
+        e.a.load(ord_load)
+    });
+    lt
+}
+
+fn mp(
+    ord_store: std::sync::atomic::Ordering,
+    ord_load: std::sync::atomic::Ordering,
+    name: &str,
+) -> LogTest {
+    let mut lt = LogTest::named(name);
+    lt.add(move |e: Environment| {
+        e.a.store(1, Relaxed);
+        e.b.store(1, ord_store);
+        0
+    });
+    // Reader encodes (flag, data) as 2*flag + data.
+    lt.add(move |e: Environment| {
+        let flag = e.b.load(ord_load);
+        let data = e.a.load(Relaxed);
+        2 * flag + data
+    });
+    lt
+}
+
+fn iriw(ord: std::sync::atomic::Ordering, name: &str) -> LogTest {
+    let mut lt = LogTest::named(name);
+    lt.add(move |e: Environment| {
+        e.a.store(1, ord);
+        0
+    });
+    lt.add(move |e: Environment| {
+        e.b.store(1, ord);
+        0
+    });
+    // Readers encode their two observations as 2*first + second.
+    lt.add(move |e: Environment| {
+        let x = e.a.load(ord);
+        let y = e.b.load(ord);
+        2 * x + y
+    });
+    lt.add(move |e: Environment| {
+        let y = e.b.load(ord);
+        let x = e.a.load(ord);
+        2 * y + x
+    });
+    lt
+}
+
+fn wrc(
+    write_ord: std::sync::atomic::Ordering,
+    read_ord: std::sync::atomic::Ordering,
+    name: &str,
+) -> LogTest {
+    let mut lt = LogTest::named(name);
+    lt.add(move |e: Environment| {
+        e.a.store(1, Relaxed);
+        0
+    });
+    lt.add(move |e: Environment| {
+        let r1 = e.a.load(Relaxed);
+        e.b.store(1, write_ord);
+        r1
+    });
+    lt.add(move |e: Environment| {
+        let r2 = e.b.load(read_ord);
+        let r3 = e.a.load(Relaxed);
+        2 * r2 + r3
+    });
+    lt
+}
+
+// --- the corpus ----------------------------------------------------------
+
+/// The full corpus.
+#[allow(clippy::too_many_lines)]
+pub fn corpus() -> Vec<CorpusTest> {
+    vec![
+        // ------------------------------------------------ cpp-sc family
+        CorpusTest {
+            name: "sb_sc",
+            family: "cpp-sc",
+            source: "Dekker's store buffering; C++11 seq_cst flagship (herd SB)",
+            build: || sb(SeqCst, SeqCst, "sb_sc"),
+            // seq_cst forbids both threads missing the other's store
+            expected: &[&[0, 1], &[1, 0], &[1, 1]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "sb_rlx",
+            family: "cpp-sc",
+            source: "SB with relaxed accesses (herd SB+rlx)",
+            build: || sb(Relaxed, Relaxed, "sb_rlx"),
+            expected: &[&[0, 0], &[0, 1], &[1, 0], &[1, 1]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "sb_rel_acq",
+            family: "cpp-sc",
+            source: "SB with release stores / acquire loads: rel/acq does NOT \
+                     forbid store buffering (stlr;ldapr may reorder)",
+            build: || sb(Release, Acquire, "sb_rel_acq"),
+            expected: &[&[0, 0], &[0, 1], &[1, 0], &[1, 1]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "sb_sc_fence",
+            family: "cpp-sc",
+            source: "SB with relaxed accesses and seq_cst fences between \
+                     (dmb.sy / fence rw,rw restore the SC result)",
+            build: || {
+                let mut lt = LogTest::named("sb_sc_fence");
+                lt.add(|mut e: Environment| {
+                    e.a.store(1, Relaxed);
+                    e.fence(SeqCst);
+                    e.b.load(Relaxed)
+                });
+                lt.add(|mut e: Environment| {
+                    e.b.store(1, Relaxed);
+                    e.fence(SeqCst);
+                    e.a.load(Relaxed)
+                });
+                lt
+            },
+            expected: &[&[0, 1], &[1, 0], &[1, 1]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "mp_sc",
+            family: "cpp-sc",
+            source: "message passing, all seq_cst (herd MP); reader returns \
+                     2*flag + data",
+            build: || mp(SeqCst, SeqCst, "mp_sc"),
+            // flag=1 ∧ data=0 (enc 2) forbidden
+            expected: &[&[0, 0], &[0, 1], &[0, 3]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "mp_rel_acq",
+            family: "cpp-sc",
+            source: "MP with release flag store / acquire flag load \
+                     (the canonical C11 handoff)",
+            build: || mp(Release, Acquire, "mp_rel_acq"),
+            expected: &[&[0, 0], &[0, 1], &[0, 3]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "mp_rlx",
+            family: "cpp-sc",
+            source: "MP all relaxed: both reorderings observable",
+            build: || mp(Relaxed, Relaxed, "mp_rlx"),
+            expected: &[&[0, 0], &[0, 1], &[0, 2], &[0, 3]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "mp_rel_rlx",
+            family: "cpp-sc",
+            source: "MP with release store but relaxed load: the reader's \
+                     load-load reordering breaks the handoff",
+            build: || mp(Release, Relaxed, "mp_rel_rlx"),
+            expected: &[&[0, 0], &[0, 1], &[0, 2], &[0, 3]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "mp_rlx_acq",
+            family: "cpp-sc",
+            source: "MP with acquire load but relaxed store: the writer's \
+                     store-store reordering breaks the handoff",
+            build: || mp(Relaxed, Acquire, "mp_rlx_acq"),
+            expected: &[&[0, 0], &[0, 1], &[0, 2], &[0, 3]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "mp_acqrel_fences",
+            family: "cpp-sc",
+            source: "MP with relaxed accesses and acq_rel fences: W→W and \
+                     R→R ordering suffices (dmb.sy / fence.tso both give it)",
+            build: || {
+                let mut lt = LogTest::named("mp_acqrel_fences");
+                lt.add(|mut e: Environment| {
+                    e.a.store(1, Relaxed);
+                    e.fence(AcqRel);
+                    e.b.store(1, Relaxed);
+                    0
+                });
+                lt.add(|mut e: Environment| {
+                    let flag = e.b.load(Relaxed);
+                    e.fence(AcqRel);
+                    let data = e.a.load(Relaxed);
+                    2 * flag + data
+                });
+                lt
+            },
+            expected: &[&[0, 0], &[0, 1], &[0, 3]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "lb_rlx",
+            family: "cpp-sc",
+            source: "load buffering, relaxed (herd LB): the promising \
+                     model's flagship — [1,1] is architecturally allowed",
+            build: || {
+                two(
+                    "lb_rlx",
+                    |e: Environment| {
+                        let r1 = e.b.load(Relaxed);
+                        e.a.store(1, Relaxed);
+                        r1
+                    },
+                    |e: Environment| {
+                        let r2 = e.a.load(Relaxed);
+                        e.b.store(1, Relaxed);
+                        r2
+                    },
+                )
+            },
+            expected: &[&[0, 0], &[0, 1], &[1, 0], &[1, 1]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "lb_sc",
+            family: "cpp-sc",
+            source: "LB with seq_cst accesses: [1,1] forbidden",
+            build: || {
+                two(
+                    "lb_sc",
+                    |e: Environment| {
+                        let r1 = e.b.load(SeqCst);
+                        e.a.store(1, SeqCst);
+                        r1
+                    },
+                    |e: Environment| {
+                        let r2 = e.a.load(SeqCst);
+                        e.b.store(1, SeqCst);
+                        r2
+                    },
+                )
+            },
+            expected: &[&[0, 0], &[0, 1], &[1, 0]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "lb_ctrl_po",
+            family: "cpp-sc",
+            source: "LB+ctrl+po: control dependency on one side forbids the \
+                     dependent cycle but not the plain one",
+            build: || {
+                two(
+                    "lb_ctrl_po",
+                    |e: Environment| {
+                        let r1 = e.a.load(Relaxed);
+                        if r1 == 1 {
+                            e.b.store(1, Relaxed);
+                        }
+                        r1
+                    },
+                    |e: Environment| {
+                        let r2 = e.b.load(Relaxed);
+                        e.a.store(1, Relaxed);
+                        r2
+                    },
+                )
+            },
+            // [0,1] needs T1 to read b=1 which only exists if T0 read a=1
+            expected: &[&[0, 0], &[1, 0], &[1, 1]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "lb_data_po",
+            family: "cpp-sc",
+            source: "LB+data+po: the recorded branch's common store is \
+                     hoisted out, so the value-independent store stays \
+                     promisable and [1,1] remains allowed",
+            build: || {
+                two(
+                    "lb_data_po",
+                    |e: Environment| {
+                        let r1 = e.a.load(Relaxed);
+                        e.b.store(r1, Relaxed);
+                        r1
+                    },
+                    |e: Environment| {
+                        let r2 = e.b.load(Relaxed);
+                        e.a.store(1, Relaxed);
+                        r2
+                    },
+                )
+            },
+            expected: &[&[0, 0], &[1, 0], &[1, 1]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "iriw_sc",
+            family: "cpp-sc",
+            source: "independent reads of independent writes, seq_cst: the \
+                     readers must agree on the write order; readers return \
+                     2*first + second",
+            build: || iriw(SeqCst, "iriw_sc"),
+            expected: &[
+                &[0, 0, 0, 0],
+                &[0, 0, 0, 1],
+                &[0, 0, 0, 2],
+                &[0, 0, 0, 3],
+                &[0, 0, 1, 0],
+                &[0, 0, 1, 1],
+                &[0, 0, 1, 2],
+                &[0, 0, 1, 3],
+                &[0, 0, 2, 0],
+                &[0, 0, 2, 1],
+                &[0, 0, 2, 3],
+                &[0, 0, 3, 0],
+                &[0, 0, 3, 1],
+                &[0, 0, 3, 2],
+                &[0, 0, 3, 3],
+            ],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "iriw_acq",
+            family: "cpp-sc",
+            source: "IRIW with acquire loads: multi-copy atomicity already \
+                     forbids the split verdict once each reader's loads are \
+                     ordered (ARMv8 ldapr suffices)",
+            build: || {
+                let mut lt = LogTest::named("iriw_acq");
+                lt.add(|e: Environment| {
+                    e.a.store(1, Relaxed);
+                    0
+                });
+                lt.add(|e: Environment| {
+                    e.b.store(1, Relaxed);
+                    0
+                });
+                lt.add(|e: Environment| {
+                    let x = e.a.load(Acquire);
+                    let y = e.b.load(Acquire);
+                    2 * x + y
+                });
+                lt.add(|e: Environment| {
+                    let y = e.b.load(Acquire);
+                    let x = e.a.load(Acquire);
+                    2 * y + x
+                });
+                lt
+            },
+            expected: &[
+                &[0, 0, 0, 0],
+                &[0, 0, 0, 1],
+                &[0, 0, 0, 2],
+                &[0, 0, 0, 3],
+                &[0, 0, 1, 0],
+                &[0, 0, 1, 1],
+                &[0, 0, 1, 2],
+                &[0, 0, 1, 3],
+                &[0, 0, 2, 0],
+                &[0, 0, 2, 1],
+                &[0, 0, 2, 3],
+                &[0, 0, 3, 0],
+                &[0, 0, 3, 1],
+                &[0, 0, 3, 2],
+                &[0, 0, 3, 3],
+            ],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "iriw_rlx",
+            family: "cpp-sc",
+            source: "IRIW with relaxed loads: each reader's loads may \
+                     reorder, so every verdict is observable",
+            build: || iriw(Relaxed, "iriw_rlx"),
+            expected: &[
+                &[0, 0, 0, 0],
+                &[0, 0, 0, 1],
+                &[0, 0, 0, 2],
+                &[0, 0, 0, 3],
+                &[0, 0, 1, 0],
+                &[0, 0, 1, 1],
+                &[0, 0, 1, 2],
+                &[0, 0, 1, 3],
+                &[0, 0, 2, 0],
+                &[0, 0, 2, 1],
+                &[0, 0, 2, 2],
+                &[0, 0, 2, 3],
+                &[0, 0, 3, 0],
+                &[0, 0, 3, 1],
+                &[0, 0, 3, 2],
+                &[0, 0, 3, 3],
+            ],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "wrc_sc",
+            family: "cpp-sc",
+            source: "write-to-read causality, seq_cst (herd WRC); T1 \
+                     returns its read of a, T2 returns 2*r_b + r_a",
+            build: || wrc(SeqCst, SeqCst, "wrc_sc"),
+            // forbidden: T1 saw a=1, T2 saw b=1 then a=0 → [0,1,2]
+            expected: &[
+                &[0, 0, 0],
+                &[0, 0, 1],
+                &[0, 0, 2],
+                &[0, 0, 3],
+                &[0, 1, 0],
+                &[0, 1, 1],
+                &[0, 1, 3],
+            ],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "wrc_rel_acq",
+            family: "cpp-sc",
+            source: "WRC with release store / acquire load on the relay: \
+                     multi-copy atomicity + rel/acq forbids the stale read",
+            build: || wrc(Release, Acquire, "wrc_rel_acq"),
+            expected: &[
+                &[0, 0, 0],
+                &[0, 0, 1],
+                &[0, 0, 2],
+                &[0, 0, 3],
+                &[0, 1, 0],
+                &[0, 1, 1],
+                &[0, 1, 3],
+            ],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "corr_rlx",
+            family: "cpp-sc",
+            source: "coherence of read-read (herd CoRR): two relaxed loads \
+                     of one location may not observe its writes out of \
+                     coherence order; reader returns 2*first + second",
+            build: || {
+                two(
+                    "corr_rlx",
+                    |e: Environment| {
+                        e.a.store(1, Relaxed);
+                        0
+                    },
+                    |e: Environment| {
+                        let r1 = e.a.load(Relaxed);
+                        let r2 = e.a.load(Relaxed);
+                        2 * r1 + r2
+                    },
+                )
+            },
+            expected: &[&[0, 0], &[0, 1], &[0, 3]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "isa2_rel_acq",
+            family: "cpp-sc",
+            source: "ISA2-style transitive handoff: two release/acquire \
+                     hops propagate the payload across three threads",
+            build: || {
+                let mut lt = LogTest::named("isa2_rel_acq");
+                lt.add(|e: Environment| {
+                    e.a.store(42, Relaxed);
+                    e.b.store(1, Release);
+                    0
+                });
+                lt.add(|e: Environment| {
+                    while e.b.load(Acquire) == 0 {}
+                    e.c.store(1, Release);
+                    0
+                });
+                lt.add(|e: Environment| {
+                    while e.c.load(Acquire) == 0 {}
+                    e.a.load(Relaxed)
+                });
+                lt
+            },
+            expected: &[&[0, 0, 42]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "rmw_atomicity",
+            family: "cpp-sc",
+            source: "two relaxed swaps on one location: RMW atomicity \
+                     orders them, so exactly one observes the other",
+            build: || {
+                two(
+                    "rmw_atomicity",
+                    |e: Environment| e.a.swap(1, Relaxed),
+                    |e: Environment| e.a.swap(2, Relaxed),
+                )
+            },
+            expected: &[&[0, 1], &[2, 0]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "cas_acq_handoff",
+            family: "cpp-sc",
+            source: "acquire CAS as the reader side of an MP handoff: a \
+                     successful CAS observes the released payload",
+            build: || {
+                two(
+                    "cas_acq_handoff",
+                    |e: Environment| {
+                        e.a.store(42, Relaxed);
+                        e.b.store(1, Release);
+                        0
+                    },
+                    |e: Environment| match e.b.compare_exchange(1, 2, Acquire, Acquire) {
+                        Ok(_) => e.a.load(Relaxed),
+                        Err(_) => -1,
+                    },
+                )
+            },
+            expected: &[&[0, -1], &[0, 42]],
+            expected_riscv: None,
+        },
+        // ------------------------------------------- stackoverflow family
+        CorpusTest {
+            name: "so_seqcst_sync",
+            family: "stackoverflow",
+            source: "temper memlog test_seq_cst (stackoverflow): a seq_cst \
+                     load does not release earlier relaxed stores — the \
+                     chain a=1; (b sc); c=1 leaks a=0 to the observer",
+            build: || {
+                let mut lt = LogTest::named("so_seqcst_sync");
+                lt.add(|e: Environment| {
+                    e.a.store(1, Relaxed);
+                    if e.b.load(SeqCst) == 1 {
+                        e.c.store(1, Relaxed);
+                    }
+                    0
+                });
+                lt.add(|e: Environment| {
+                    e.b.store(1, SeqCst);
+                    if e.c.load(Relaxed) == 1 {
+                        e.a.load(Relaxed)
+                    } else {
+                        2
+                    }
+                });
+                lt
+            },
+            expected: &[&[0, 0], &[0, 1], &[0, 2]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "so_exchange",
+            family: "stackoverflow",
+            source: "temper memlog test_exchange (stackoverflow, ported \
+                     with release exchanges): RMW exchanges do not make an \
+                     SB shape sequentially consistent — both threads can \
+                     still miss. (The original's acq_rel read half trips a \
+                     documented conservatism of the flat strategy's \
+                     single-step RMW: see docs/architecture.md.)",
+            build: || {
+                two(
+                    "so_exchange",
+                    |e: Environment| {
+                        let _ = e.a.exchange_weak(0, 1, Release);
+                        e.b.load(Relaxed)
+                    },
+                    |e: Environment| {
+                        let _ = e.b.exchange_weak(0, 1, Release);
+                        e.a.load(Relaxed)
+                    },
+                )
+            },
+            expected: &[&[0, 0], &[0, 1], &[1, 0], &[1, 1]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "so_exchange_fence",
+            family: "stackoverflow",
+            source: "temper memlog test_exchange_fence (stackoverflow): SB \
+                     with acq_rel fences. C11 leaves [0,0] allowed; the ARM \
+                     scheme's dmb.sy forbids it while RISC-V's fence.tso \
+                     (no W→R order) preserves it — a documented \
+                     compilation-scheme strength divergence",
+            build: || {
+                two(
+                    "so_exchange_fence",
+                    |mut e: Environment| {
+                        e.a.store(1, Relaxed);
+                        e.fence(AcqRel);
+                        e.b.load(Relaxed)
+                    },
+                    |mut e: Environment| {
+                        e.b.store(1, Relaxed);
+                        e.fence(AcqRel);
+                        e.a.load(Relaxed)
+                    },
+                )
+            },
+            expected: &[&[0, 1], &[1, 0], &[1, 1]],
+            expected_riscv: Some(&[&[0, 0], &[0, 1], &[1, 0], &[1, 1]]),
+        },
+        // ------------------------------------------------ preshing family
+        CorpusTest {
+            name: "preshing_mp_rel_acq",
+            family: "preshing",
+            source: "Preshing, \"Acquire and Release Semantics\": the \
+                     canonical guard/payload handoff with a spinning reader",
+            build: || {
+                two(
+                    "preshing_mp_rel_acq",
+                    |e: Environment| {
+                        e.a.store(42, Relaxed);
+                        e.b.store(1, Release);
+                        0
+                    },
+                    |e: Environment| {
+                        while e.b.load(Acquire) == 0 {}
+                        e.a.load(Relaxed)
+                    },
+                )
+            },
+            expected: &[&[0, 42]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "preshing_rel_fence",
+            family: "preshing",
+            source: "Preshing, \"Acquire and Release Fences\": a release \
+                     fence before the guard store replaces the release store",
+            build: || {
+                two(
+                    "preshing_rel_fence",
+                    |mut e: Environment| {
+                        e.a.store(42, Relaxed);
+                        e.fence(Release);
+                        e.b.store(1, Relaxed);
+                        0
+                    },
+                    |e: Environment| {
+                        while e.b.load(Acquire) == 0 {}
+                        e.a.load(Relaxed)
+                    },
+                )
+            },
+            expected: &[&[0, 42]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "preshing_acq_fence",
+            family: "preshing",
+            source: "Preshing, \"Acquire and Release Fences\": an acquire \
+                     fence after the guard load replaces the acquire load",
+            build: || {
+                two(
+                    "preshing_acq_fence",
+                    |e: Environment| {
+                        e.a.store(42, Relaxed);
+                        e.b.store(1, Release);
+                        0
+                    },
+                    |mut e: Environment| {
+                        while e.b.load(Relaxed) == 0 {}
+                        e.fence(Acquire);
+                        e.a.load(Relaxed)
+                    },
+                )
+            },
+            expected: &[&[0, 42]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "preshing_wrong_release",
+            family: "preshing",
+            source: "Preshing, \"Fences Don't Work the Way You'd Expect\" \
+                     (adapted): a release on the *payload* store orders \
+                     nothing after it — the guard can still overtake",
+            build: || {
+                two(
+                    "preshing_wrong_release",
+                    |e: Environment| {
+                        e.a.store(42, Release);
+                        e.b.store(1, Relaxed);
+                        0
+                    },
+                    |e: Environment| {
+                        while e.b.load(Acquire) == 0 {}
+                        e.a.load(Relaxed)
+                    },
+                )
+            },
+            expected: &[&[0, 0], &[0, 42]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "preshing_guard_payload",
+            family: "preshing",
+            source: "Preshing, \"The Synchronizes-With Relation\": \
+                     non-spinning guard check; a set guard implies the \
+                     payload",
+            build: || {
+                two(
+                    "preshing_guard_payload",
+                    |e: Environment| {
+                        e.a.store(42, Relaxed);
+                        e.b.store(1, Release);
+                        0
+                    },
+                    |e: Environment| {
+                        if e.b.load(Acquire) == 1 {
+                            e.a.load(Relaxed)
+                        } else {
+                            -1
+                        }
+                    },
+                )
+            },
+            expected: &[&[0, -1], &[0, 42]],
+            expected_riscv: None,
+        },
+        // --------------------------------------------- rust-atomics family
+        CorpusTest {
+            name: "ral_stop_flag",
+            family: "rust-atomics",
+            source: "Rust Atomics and Locks ch. 1/3 (Mara Bos): a relaxed \
+                     stop flag is eventually observed",
+            build: || {
+                two(
+                    "ral_stop_flag",
+                    |e: Environment| {
+                        e.a.store(1, Relaxed);
+                        0
+                    },
+                    |e: Environment| {
+                        while e.a.load(Relaxed) == 0 {}
+                        7
+                    },
+                )
+            },
+            expected: &[&[0, 7]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "ral_progress",
+            family: "rust-atomics",
+            source: "Rust Atomics and Locks ch. 2 (Mara Bos): progress \
+                     reporting — monotone relaxed stores observed in \
+                     coherence order until completion",
+            build: || {
+                let mut lt = LogTest::named("ral_progress");
+                lt.add(|e: Environment| {
+                    e.a.store(1, Relaxed);
+                    e.a.store(2, Relaxed);
+                    e.a.store(3, Relaxed);
+                    0
+                });
+                lt.add(|e: Environment| {
+                    while e.a.load(Relaxed) != 3 {}
+                    0
+                });
+                lt.with_value_op_cap(5);
+                lt
+            },
+            expected: &[&[0, 0]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "ral_mp_data",
+            family: "rust-atomics",
+            source: "Rust Atomics and Locks ch. 4 (Mara Bos): \
+                     release/acquire data handoff between two threads",
+            build: || {
+                two(
+                    "ral_mp_data",
+                    |e: Environment| {
+                        e.a.store(123, Relaxed);
+                        e.b.store(1, Release);
+                        0
+                    },
+                    |e: Environment| {
+                        while e.b.load(Acquire) == 0 {}
+                        e.a.load(Relaxed)
+                    },
+                )
+            },
+            expected: &[&[0, 123]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "ral_lazy_init_race",
+            family: "rust-atomics",
+            source: "Rust Atomics and Locks ch. 2 (Mara Bos): racy lazy \
+                     initialisation via load-check-store; both threads may \
+                     win, but observers of a published value agree with its \
+                     publisher",
+            build: || {
+                two(
+                    "ral_lazy_init_race",
+                    |e: Environment| {
+                        let r = e.a.load(Relaxed);
+                        if r == 0 {
+                            e.a.store(11, Relaxed);
+                            11
+                        } else {
+                            r
+                        }
+                    },
+                    |e: Environment| {
+                        let r = e.a.load(Relaxed);
+                        if r == 0 {
+                            e.a.store(22, Relaxed);
+                            22
+                        } else {
+                            r
+                        }
+                    },
+                )
+            },
+            // one thread seeing the other's value forces the seen thread
+            // to have raced past a zero read, fixing its return value
+            expected: &[&[11, 11], &[11, 22], &[22, 22]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "ral_lazy_init_cas",
+            family: "rust-atomics",
+            source: "Rust Atomics and Locks ch. 2 (Mara Bos): lazy \
+                     initialisation with compare_exchange — exactly one \
+                     thread wins and both agree on the winner's value",
+            build: || {
+                two(
+                    "ral_lazy_init_cas",
+                    |e: Environment| match e.a.compare_exchange(0, 11, Relaxed, Relaxed) {
+                        Ok(_) => 11,
+                        Err(v) => v,
+                    },
+                    |e: Environment| match e.a.compare_exchange(0, 22, Relaxed, Relaxed) {
+                        Ok(_) => 22,
+                        Err(v) => v,
+                    },
+                )
+            },
+            expected: &[&[11, 11], &[22, 22]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "ral_ticket_fetch_add",
+            family: "rust-atomics",
+            source: "Rust Atomics and Locks ch. 2/3 (Mara Bos): concurrent \
+                     fetch_add hands out unique tickets",
+            build: || {
+                two(
+                    "ral_ticket_fetch_add",
+                    |e: Environment| e.a.fetch_add(1, Relaxed),
+                    |e: Environment| e.a.fetch_add(1, Relaxed),
+                )
+            },
+            expected: &[&[0, 1], &[1, 0]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "ral_fetch_max",
+            family: "rust-atomics",
+            source: "Rust Atomics and Locks ch. 2 (Mara Bos, adapted): \
+                     concurrent fetch_max — RMW atomicity orders the \
+                     updates, so the old values betray the order",
+            build: || {
+                two(
+                    "ral_fetch_max",
+                    |e: Environment| e.a.fetch_max(5, Relaxed),
+                    |e: Environment| e.a.fetch_max(3, Relaxed),
+                )
+            },
+            expected: &[&[0, 5], &[3, 0]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "ral_spinlock",
+            family: "rust-atomics",
+            source: "Rust Atomics and Locks ch. 4 (Mara Bos): a \
+                     swap-acquire / store-release spinlock protecting a \
+                     plain counter — increments serialise",
+            build: || {
+                let mut lt = LogTest::named("ral_spinlock");
+                let worker = |e: Environment| {
+                    while e.a.swap(1, Acquire) == 1 {}
+                    let v = e.b.load(Relaxed);
+                    e.b.store(v + 1, Relaxed);
+                    e.a.store(0, Release);
+                    v + 1
+                };
+                lt.add(worker);
+                lt.add(worker);
+                lt.with_value_op_cap(4);
+                lt
+            },
+            expected: &[&[1, 2], &[2, 1]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "ral_oota",
+            family: "rust-atomics",
+            source: "Rust Atomics and Locks ch. 3 (Mara Bos): the \
+                     out-of-thin-air shape — relaxed cannot invent values",
+            build: || {
+                two(
+                    "ral_oota",
+                    |e: Environment| {
+                        let v = e.a.load(Relaxed);
+                        e.b.store(v, Relaxed);
+                        v
+                    },
+                    |e: Environment| {
+                        let v = e.b.load(Relaxed);
+                        e.a.store(v, Relaxed);
+                        v
+                    },
+                )
+            },
+            expected: &[&[0, 0]],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "ral_total_order",
+            family: "rust-atomics",
+            source: "Rust Atomics and Locks ch. 3 (Mara Bos): every atomic \
+                     location has a total modification order — two readers \
+                     cannot observe two writes in opposite orders. Readers \
+                     return 1 for `1 then 2`, 2 for `2 then 1`, else 0",
+            build: || {
+                let mut lt = LogTest::named("ral_total_order");
+                lt.add(|e: Environment| {
+                    e.a.store(1, Relaxed);
+                    0
+                });
+                lt.add(|e: Environment| {
+                    e.a.store(2, Relaxed);
+                    0
+                });
+                let reader = |e: Environment| {
+                    let r1 = e.a.load(Relaxed);
+                    let r2 = e.a.load(Relaxed);
+                    if r1 == 1 && r2 == 2 {
+                        1
+                    } else if r1 == 2 && r2 == 1 {
+                        2
+                    } else {
+                        0
+                    }
+                };
+                lt.add(reader);
+                lt.add(reader);
+                lt
+            },
+            expected: &[
+                &[0, 0, 0, 0],
+                &[0, 0, 0, 1],
+                &[0, 0, 0, 2],
+                &[0, 0, 1, 0],
+                &[0, 0, 1, 1],
+                &[0, 0, 2, 0],
+                &[0, 0, 2, 2],
+            ],
+            expected_riscv: None,
+        },
+        CorpusTest {
+            name: "ral_fence_sync",
+            family: "rust-atomics",
+            source: "Rust Atomics and Locks ch. 4 (Mara Bos): \
+                     release/acquire fences synchronise through relaxed \
+                     guard accesses",
+            build: || {
+                two(
+                    "ral_fence_sync",
+                    |mut e: Environment| {
+                        e.a.store(42, Relaxed);
+                        e.fence(Release);
+                        e.b.store(1, Relaxed);
+                        0
+                    },
+                    |mut e: Environment| {
+                        if e.b.load(Relaxed) == 1 {
+                            e.fence(Acquire);
+                            e.a.load(Relaxed)
+                        } else {
+                            -1
+                        }
+                    },
+                )
+            },
+            expected: &[&[0, -1], &[0, 42]],
+            expected_riscv: None,
+        },
+    ]
+}

@@ -1,0 +1,144 @@
+//! Harness errors. Every recorder guard and exploration failure surfaces
+//! here — untrusted test closures and budget trips must never hang or
+//! panic the harness.
+
+use promising_core::Arch;
+use promising_lang::CompileError;
+use promising_litmus::{ModelKind, RunError, StopReason};
+use std::fmt;
+
+/// Why a [`crate::LogTest`] could not be recorded or explored.
+#[derive(Clone, Debug)]
+pub enum HarnessError {
+    /// `record` was called on a test with no closures.
+    NoThreads,
+    /// A test closure panicked during recording (including misuse panics
+    /// mirroring `std::sync::atomic`, e.g. a `Release` load).
+    ClosurePanicked {
+        /// Thread index of the closure.
+        thread: usize,
+        /// Rendered panic payload.
+        payload: String,
+    },
+    /// Two executions of a closure that were fed identical values
+    /// diverged — the closure reads external state (clock, RNG, captured
+    /// `Cell`) and cannot be recorded faithfully.
+    Nondeterministic {
+        /// Thread index of the closure.
+        thread: usize,
+        /// What differed.
+        detail: String,
+    },
+    /// A closure's decision tree exceeded the per-thread path limit.
+    PathExplosion {
+        /// Thread index of the closure.
+        thread: usize,
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// A location accumulated more candidate values than the limit
+    /// (e.g. an unbounded counter).
+    CandidateExplosion {
+        /// Location name.
+        loc: String,
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// The candidate-value fixpoint did not converge within the round
+    /// limit.
+    FixpointDivergence {
+        /// Rounds executed.
+        rounds: usize,
+    },
+    /// The recorded program failed to compile (internal error: recorded
+    /// programs only use valid orderings).
+    Compile(CompileError),
+    /// A model run failed.
+    Run(RunError),
+    /// A search budget bound fired before the exploration completed, so
+    /// the outcome set is only a lower bound.
+    Truncated {
+        /// Architecture of the truncated run.
+        arch: Arch,
+        /// Model of the truncated run.
+        model: ModelKind,
+        /// Which bound fired.
+        stop: StopReason,
+    },
+    /// Two exploration strategies disagreed on the outcome set for the
+    /// same architecture — a model bug.
+    Disagreement {
+        /// Architecture on which the strategies disagreed.
+        arch: Arch,
+        /// Rendered outcome-set difference.
+        detail: String,
+    },
+    /// The two architectures produced different outcome sets. Not
+    /// necessarily a bug — the compilation schemes differ in strength on
+    /// some shapes (e.g. `acq_rel` fences: `dmb.sy` vs `fence.tso`); use
+    /// the per-architecture queries for such tests.
+    ArchDivergence {
+        /// Rendered outcome-set difference.
+        detail: String,
+    },
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::NoThreads => write!(f, "the test has no threads; call add() first"),
+            HarnessError::ClosurePanicked { thread, payload } => {
+                write!(f, "thread {thread} closure panicked: {payload}")
+            }
+            HarnessError::Nondeterministic { thread, detail } => {
+                write!(f, "thread {thread} closure is non-deterministic: {detail}")
+            }
+            HarnessError::PathExplosion { thread, limit } => write!(
+                f,
+                "thread {thread} exceeded {limit} execution paths; \
+                 lower the value-op cap or simplify the closure"
+            ),
+            HarnessError::CandidateExplosion { loc, limit } => write!(
+                f,
+                "location `{loc}` exceeded {limit} candidate values; \
+                 the closure writes an unbounded range"
+            ),
+            HarnessError::FixpointDivergence { rounds } => write!(
+                f,
+                "candidate-value fixpoint did not converge after {rounds} rounds"
+            ),
+            HarnessError::Compile(e) => write!(f, "recorded program failed to compile: {e}"),
+            HarnessError::Run(e) => write!(f, "model run failed: {e}"),
+            HarnessError::Truncated { arch, model, stop } => write!(
+                f,
+                "search truncated on {}/{} ({stop:?}); raise the budget",
+                arch.name(),
+                model.name()
+            ),
+            HarnessError::Disagreement { arch, detail } => write!(
+                f,
+                "exploration strategies disagree on {}: {detail}",
+                arch.name()
+            ),
+            HarnessError::ArchDivergence { detail } => write!(
+                f,
+                "architectures disagree (use outcomes_on / assert_outcomes_on \
+                 for scheme-divergent shapes): {detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+impl From<CompileError> for HarnessError {
+    fn from(e: CompileError) -> HarnessError {
+        HarnessError::Compile(e)
+    }
+}
+
+impl From<RunError> for HarnessError {
+    fn from(e: RunError) -> HarnessError {
+        HarnessError::Run(e)
+    }
+}

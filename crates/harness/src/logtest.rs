@@ -1,0 +1,408 @@
+//! The [`LogTest`] front door: collect closures, record them once, and
+//! explore the recorded program on both architectures under every
+//! operational strategy.
+
+use crate::build::{build_thread, RESULT_REG};
+use crate::error::HarnessError;
+use crate::record::{record_program, Environment, Limits};
+use promising_core::{Arch, Outcome};
+use promising_lang::Program;
+use promising_litmus::{
+    run_model_budgeted_with, Condition, LangTest, ModelKind, SearchBudget, StopReason,
+};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// The two target architectures every test is checked on.
+pub const ARCHES: [Arch; 2] = [Arch::Arm, Arch::RiscV];
+
+/// The operational strategies every test is checked under.
+pub const STRATEGIES: [ModelKind; 3] = [
+    ModelKind::Promising,
+    ModelKind::PromisingNaive,
+    ModelKind::Flat,
+];
+
+/// A closure-defined litmus test in the style of Loom / temper's memlog:
+/// each [`LogTest::add`] closure is one thread over shared [`crate::Atomic`]
+/// handles; its return value is the thread's observation.
+///
+/// ```
+/// use promising_harness::{Environment, LogTest};
+/// use std::sync::atomic::Ordering;
+///
+/// let mut lt = LogTest::named("mp");
+/// lt.add(|e: Environment| {
+///     e.a.store(1, Ordering::Relaxed);
+///     e.b.store(1, Ordering::Release);
+///     0
+/// });
+/// lt.add(|e: Environment| {
+///     if e.b.load(Ordering::Acquire) == 1 {
+///         e.a.load(Ordering::Relaxed)
+///     } else {
+///         2
+///     }
+/// });
+/// lt.assert_forbidden(&[0, 0]); // saw the flag but not the payload
+/// lt.assert_allowed(&[0, 1]);
+/// ```
+#[derive(Default)]
+pub struct LogTest {
+    name: String,
+    threads: Vec<Box<dyn Fn(Environment) -> i64>>,
+    limits: Limits,
+    budget: SearchBudget,
+    workers: Option<usize>,
+    cached: RefCell<Option<Rc<Matrix>>>,
+}
+
+/// The recorded form of a [`LogTest`]: a language-level litmus test
+/// (trivial condition — the harness compares outcome sets, not a single
+/// final-state predicate) plus the thread count for projection.
+#[derive(Clone, Debug)]
+pub struct RecordedTest {
+    /// The recorded surface-language test. Compile with
+    /// [`LangTest::compile`] / run with the `promising-litmus` harness.
+    pub lang: LangTest,
+    /// Number of recorded threads.
+    pub threads: usize,
+}
+
+impl RecordedTest {
+    /// The recorded program's surface syntax (re-parseable; locations
+    /// print as raw addresses).
+    pub fn program_text(&self) -> String {
+        self.lang.program.to_string()
+    }
+}
+
+/// One exploration: an (architecture, strategy) cell of the matrix.
+#[derive(Clone, Debug)]
+pub struct MatrixRun {
+    /// Target architecture.
+    pub arch: Arch,
+    /// Exploration strategy.
+    pub model: ModelKind,
+    /// Outcome set projected to per-thread return values.
+    pub outcomes: BTreeSet<Vec<i64>>,
+    /// States visited.
+    pub states: u64,
+    /// Why the search stopped.
+    pub stop: StopReason,
+}
+
+/// All six explorations of a recorded test (2 architectures × 3
+/// strategies), with the recorded program they ran.
+#[derive(Clone, Debug)]
+pub struct Matrix {
+    /// The recorded test.
+    pub recorded: RecordedTest,
+    /// The six runs.
+    pub runs: Vec<MatrixRun>,
+}
+
+/// Render an outcome set as `{[0, 1], [1, 0]}`.
+pub fn fmt_outcomes(set: &BTreeSet<Vec<i64>>) -> String {
+    let mut s = String::from("{");
+    for (i, o) in set.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{o:?}");
+    }
+    s.push('}');
+    s
+}
+
+impl Matrix {
+    /// The agreed outcome set on one architecture.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Truncated`] if a budget bound fired, or
+    /// [`HarnessError::Disagreement`] if the strategies differ — a model
+    /// bug.
+    pub fn outcomes_on(&self, arch: Arch) -> Result<&BTreeSet<Vec<i64>>, HarnessError> {
+        let runs: Vec<&MatrixRun> = self.runs.iter().filter(|r| r.arch == arch).collect();
+        for r in &runs {
+            if r.stop != StopReason::Completed {
+                return Err(HarnessError::Truncated {
+                    arch,
+                    model: r.model,
+                    stop: r.stop,
+                });
+            }
+        }
+        let first = &runs[0];
+        for r in &runs[1..] {
+            if r.outcomes != first.outcomes {
+                return Err(HarnessError::Disagreement {
+                    arch,
+                    detail: format!(
+                        "{} found {} but {} found {}",
+                        first.model.name(),
+                        fmt_outcomes(&first.outcomes),
+                        r.model.name(),
+                        fmt_outcomes(&r.outcomes),
+                    ),
+                });
+            }
+        }
+        Ok(&first.outcomes)
+    }
+
+    /// The outcome set agreed across *both* architectures and all
+    /// strategies.
+    ///
+    /// # Errors
+    ///
+    /// As [`Matrix::outcomes_on`], plus [`HarnessError::ArchDivergence`]
+    /// when the two compilation schemes genuinely differ on this shape.
+    pub fn outcomes(&self) -> Result<&BTreeSet<Vec<i64>>, HarnessError> {
+        let arm = self.outcomes_on(Arch::Arm)?;
+        let riscv = self.outcomes_on(Arch::RiscV)?;
+        if arm != riscv {
+            return Err(HarnessError::ArchDivergence {
+                detail: format!("arm {} vs riscv {}", fmt_outcomes(arm), fmt_outcomes(riscv)),
+            });
+        }
+        Ok(arm)
+    }
+}
+
+/// Project a machine outcome to the per-thread return values (the value
+/// each thread's closure returned, read from [`RESULT_REG`]).
+fn project(outcomes: &BTreeSet<Outcome>, threads: usize) -> BTreeSet<Vec<i64>> {
+    outcomes
+        .iter()
+        .map(|o| (0..threads).map(|t| o.reg(t, RESULT_REG).0).collect())
+        .collect()
+}
+
+impl LogTest {
+    /// An empty test.
+    pub fn new() -> LogTest {
+        LogTest::default()
+    }
+
+    /// An empty test with a name (used in recorded-program headers and
+    /// assertion messages).
+    pub fn named(name: impl Into<String>) -> LogTest {
+        LogTest {
+            name: name.into(),
+            ..LogTest::default()
+        }
+    }
+
+    /// Add one thread. The closure must be deterministic in the values
+    /// its loads/RMWs observe; it is re-executed many times during
+    /// recording.
+    pub fn add(&mut self, f: impl Fn(Environment) -> i64 + 'static) -> &mut LogTest {
+        self.threads.push(Box::new(f));
+        self.invalidate()
+    }
+
+    /// Cap the number of value-returning operations (loads/RMWs) per
+    /// execution — the spin-loop bound. Executions cut off at the cap
+    /// are recorded as diverging (default 12).
+    pub fn with_value_op_cap(&mut self, cap: usize) -> &mut LogTest {
+        self.limits.value_cap = cap;
+        self.invalidate()
+    }
+
+    /// Cap the number of explored paths per thread (default 20 000).
+    pub fn with_max_paths(&mut self, max: usize) -> &mut LogTest {
+        self.limits.max_paths = max;
+        self.invalidate()
+    }
+
+    /// Bound every exploration with a [`SearchBudget`]. Tripped bounds
+    /// surface as [`HarnessError::Truncated`] from the outcome queries.
+    pub fn with_budget(&mut self, budget: SearchBudget) -> &mut LogTest {
+        self.budget = budget;
+        self.invalidate()
+    }
+
+    /// Override the engine worker count (default: the engine picks).
+    pub fn with_workers(&mut self, workers: usize) -> &mut LogTest {
+        self.workers = Some(workers);
+        self.invalidate()
+    }
+
+    fn invalidate(&mut self) -> &mut LogTest {
+        *self.cached.borrow_mut() = None;
+        self
+    }
+
+    /// Record the closures into a surface-language litmus test without
+    /// running it.
+    ///
+    /// # Errors
+    ///
+    /// Any recorder-side [`HarnessError`] (panicking / non-deterministic
+    /// closure, guard limits).
+    pub fn record(&self) -> Result<RecordedTest, HarnessError> {
+        let rec = record_program(&self.threads, self.limits)?;
+        let mut threads = Vec::with_capacity(rec.threads.len());
+        for (tid, paths) in rec.threads.iter().enumerate() {
+            threads.push(build_thread(paths, &rec.cands, tid)?);
+        }
+        let name = if self.name.is_empty() {
+            "logtest".to_owned()
+        } else {
+            self.name.clone()
+        };
+        Ok(RecordedTest {
+            threads: threads.len(),
+            lang: LangTest {
+                name,
+                program: Program::new(threads),
+                locs: rec.locs,
+                init: BTreeMap::new(),
+                condition: Condition::trivial(),
+                expect: None,
+                // Recorded programs have no real loops — only `while (1)`
+                // divergence markers, which a single iteration of fuel
+                // suffices to mark stuck.
+                loop_fuel: Some(1),
+            },
+        })
+    }
+
+    /// Record (if not already cached) and explore the test on every
+    /// architecture under every strategy.
+    ///
+    /// # Errors
+    ///
+    /// Recorder-side errors, [`HarnessError::Compile`], or
+    /// [`HarnessError::Run`].
+    pub fn matrix(&self) -> Result<Rc<Matrix>, HarnessError> {
+        if let Some(m) = self.cached.borrow().as_ref() {
+            return Ok(m.clone());
+        }
+        let recorded = self.record()?;
+        let mut runs = Vec::with_capacity(ARCHES.len() * STRATEGIES.len());
+        for arch in ARCHES {
+            let compiled = recorded.lang.try_compile(arch)?;
+            for model in STRATEGIES {
+                let workers = self.workers;
+                let run =
+                    run_model_budgeted_with(&compiled, model, self.budget, |c| match workers {
+                        Some(w) => c.with_workers(w),
+                        None => c,
+                    })?;
+                runs.push(MatrixRun {
+                    arch,
+                    model,
+                    outcomes: project(&run.outcomes, recorded.threads),
+                    states: run.states,
+                    stop: run.stop,
+                });
+            }
+        }
+        let m = Rc::new(Matrix { recorded, runs });
+        *self.cached.borrow_mut() = Some(m.clone());
+        Ok(m)
+    }
+
+    /// The outcome set (per-thread return-value tuples), agreed across
+    /// both architectures and all strategies.
+    ///
+    /// # Errors
+    ///
+    /// As [`Matrix::outcomes`].
+    pub fn outcomes(&self) -> Result<BTreeSet<Vec<i64>>, HarnessError> {
+        self.matrix().and_then(|m| m.outcomes().cloned())
+    }
+
+    /// The outcome set on one architecture (for shapes where the two
+    /// compilation schemes genuinely differ in strength).
+    ///
+    /// # Errors
+    ///
+    /// As [`Matrix::outcomes_on`].
+    pub fn outcomes_on(&self, arch: Arch) -> Result<BTreeSet<Vec<i64>>, HarnessError> {
+        self.matrix().and_then(|m| m.outcomes_on(arch).cloned())
+    }
+
+    fn expect_outcomes(&self) -> BTreeSet<Vec<i64>> {
+        match self.outcomes() {
+            Ok(o) => o,
+            Err(e) => panic!("test `{}`: {e}", self.name),
+        }
+    }
+
+    /// Assert the outcome set is exactly `expected` on both
+    /// architectures.
+    ///
+    /// # Panics
+    ///
+    /// On recorder/exploration errors or an outcome-set mismatch.
+    pub fn assert_outcomes(&self, expected: &[&[i64]]) {
+        let got = self.expect_outcomes();
+        let want: BTreeSet<Vec<i64>> = expected.iter().map(|o| o.to_vec()).collect();
+        assert_eq!(
+            got,
+            want,
+            "test `{}`: outcome set mismatch\n  expected {}\n  got      {}",
+            self.name,
+            fmt_outcomes(&want),
+            fmt_outcomes(&got),
+        );
+    }
+
+    /// Assert the outcome set is exactly `expected` on `arch`.
+    ///
+    /// # Panics
+    ///
+    /// On recorder/exploration errors or an outcome-set mismatch.
+    pub fn assert_outcomes_on(&self, arch: Arch, expected: &[&[i64]]) {
+        let got = match self.outcomes_on(arch) {
+            Ok(o) => o,
+            Err(e) => panic!("test `{}`: {e}", self.name),
+        };
+        let want: BTreeSet<Vec<i64>> = expected.iter().map(|o| o.to_vec()).collect();
+        assert_eq!(
+            got,
+            want,
+            "test `{}` on {}: outcome set mismatch\n  expected {}\n  got      {}",
+            self.name,
+            arch.name(),
+            fmt_outcomes(&want),
+            fmt_outcomes(&got),
+        );
+    }
+
+    /// Assert `outcome` is reachable on both architectures.
+    ///
+    /// # Panics
+    ///
+    /// On recorder/exploration errors or if the outcome is absent.
+    pub fn assert_allowed(&self, outcome: &[i64]) {
+        let got = self.expect_outcomes();
+        assert!(
+            got.contains(outcome),
+            "test `{}`: expected {outcome:?} to be allowed; outcomes are {}",
+            self.name,
+            fmt_outcomes(&got),
+        );
+    }
+
+    /// Assert `outcome` is unreachable on both architectures.
+    ///
+    /// # Panics
+    ///
+    /// On recorder/exploration errors or if the outcome is present.
+    pub fn assert_forbidden(&self, outcome: &[i64]) {
+        let got = self.expect_outcomes();
+        assert!(
+            !got.contains(outcome),
+            "test `{}`: expected {outcome:?} to be forbidden; outcomes are {}",
+            self.name,
+            fmt_outcomes(&got),
+        );
+    }
+}

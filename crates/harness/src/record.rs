@@ -1,0 +1,602 @@
+//! Closure recording: execute a Rust test closure over [`Atomic`] handles
+//! repeatedly, feeding every value-returning operation (load, RMW) each of
+//! its candidate values in turn, until the closure's full decision tree has
+//! been observed.
+//!
+//! The closure never touches real shared memory. Each handle operation
+//! appends an [`Event`] to the recorder; loads and RMWs additionally
+//! consult a *choice oracle* that replays a planned prefix of values and
+//! extends it depth-first when the execution runs past it. Candidate
+//! values per location start at `{0}` (the initial memory value) and grow
+//! by a fixpoint over the values the recorded paths store — see
+//! [`record_program`].
+
+use crate::error::HarnessError;
+use promising_core::parser::LocTable;
+use promising_core::{Loc, RmwOp, Val};
+use promising_lang::Ordering as LangOrd;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::atomic::Ordering as StdOrd;
+
+/// Map a `std::sync::atomic::Ordering` to the surface-language ordering.
+pub(crate) fn lang_ordering(ord: StdOrd) -> LangOrd {
+    match ord {
+        StdOrd::Relaxed => LangOrd::Relaxed,
+        StdOrd::Acquire => LangOrd::Acquire,
+        StdOrd::Release => LangOrd::Release,
+        StdOrd::AcqRel => LangOrd::AcqRel,
+        StdOrd::SeqCst => LangOrd::SeqCst,
+        // `Ordering` is #[non_exhaustive] upstream.
+        _ => LangOrd::SeqCst,
+    }
+}
+
+/// One recorded handle operation. Equality is used to detect
+/// non-deterministic closures: two executions sharing a choice prefix must
+/// produce identical event prefixes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Event {
+    /// A value-returning load; the value fed is in `PathTrace::choices`.
+    Load { loc: Loc, ord: LangOrd },
+    /// A value-returning RMW; the *old* value fed is in
+    /// `PathTrace::choices`. `expected` is `Some` for CAS.
+    Rmw {
+        loc: Loc,
+        op: RmwOp,
+        expected: Option<i64>,
+        operand: i64,
+        ord: LangOrd,
+    },
+    /// A store of a concrete value.
+    Store { loc: Loc, val: i64, ord: LangOrd },
+    /// A standalone fence.
+    Fence(LangOrd),
+    /// The closure returned this value.
+    Ret(i64),
+    /// The execution was cut off at the value-op or event cap: the
+    /// closure is (conservatively) treated as diverging past this point.
+    Diverged,
+}
+
+/// One fully-explored execution of a closure: the values fed to its
+/// value-returning operations, and the event sequence they produced
+/// (terminated by `Ret` or `Diverged`).
+#[derive(Clone, Debug)]
+pub(crate) struct PathTrace {
+    pub choices: Vec<i64>,
+    pub events: Vec<Event>,
+}
+
+/// Recorder guards. All limits abort with a [`HarnessError`], never a
+/// hang: closures are untrusted test code.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Limits {
+    /// Max value-returning operations per execution (spin-loop bound).
+    pub value_cap: usize,
+    /// Max recorded events per execution (catches value-op-free loops).
+    pub event_cap: usize,
+    /// Max explored paths per thread.
+    pub max_paths: usize,
+    /// Max candidate values per location.
+    pub max_cands: usize,
+    /// Hard cap on fixpoint rounds (the reachability bound is usually
+    /// far smaller).
+    pub max_rounds: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            value_cap: 12,
+            event_cap: 256,
+            max_paths: 20_000,
+            max_cands: 24,
+            max_rounds: 64,
+        }
+    }
+}
+
+/// Panic payload used to abort a capped execution mid-closure. Caught by
+/// the enumeration loop; never escapes the crate.
+struct DivergeSignal;
+
+/// Panic payload for a detected non-deterministic closure.
+struct NondetSignal(String);
+
+/// The recorder uses panics as control flow (divergence caps,
+/// non-determinism detection) and always catches them, but the default
+/// panic hook prints a backtrace *before* unwinding reaches the
+/// `catch_unwind` — polluting stderr on perfectly successful recordings.
+/// Install, once per process, a hook that stays silent for the
+/// recorder's two private payloads and delegates everything else to the
+/// hook that was active at first recording.
+fn silence_recorder_signals() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            if !p.is::<DivergeSignal>() && !p.is::<NondetSignal>() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+pub(crate) struct RecorderState {
+    pub locs: LocTable,
+    /// Sorted candidate values per location (always contains 0, the
+    /// initial memory value).
+    pub cands: BTreeMap<Loc, Vec<i64>>,
+    /// Depth-first choice stack: `(loc, index into cands[loc])` per
+    /// value op. A run replays the planned prefix and extends it.
+    oracle: Vec<(Loc, usize)>,
+    /// Value ops consumed so far in the current run.
+    pos: usize,
+    events: Vec<Event>,
+    choices: Vec<i64>,
+    limits: Limits,
+}
+
+pub(crate) type Rec = Rc<RefCell<RecorderState>>;
+
+impl RecorderState {
+    pub(crate) fn new(limits: Limits) -> RecorderState {
+        let mut locs = LocTable::new();
+        // Intern the fixed handles eagerly so location numbering does not
+        // depend on which handles a closure touches first.
+        for name in ["a", "b", "c", "d", "e", "f"] {
+            locs.intern(name);
+        }
+        RecorderState {
+            locs,
+            cands: BTreeMap::new(),
+            oracle: Vec::new(),
+            pos: 0,
+            events: Vec::new(),
+            choices: Vec::new(),
+            limits,
+        }
+    }
+
+    fn begin_run(&mut self) {
+        self.pos = 0;
+        self.events.clear();
+        self.choices.clear();
+    }
+
+    fn check_event_cap(&mut self) {
+        if self.events.len() >= self.limits.event_cap {
+            self.events.push(Event::Diverged);
+            panic_any(DivergeSignal);
+        }
+    }
+
+    pub(crate) fn plain_op(&mut self, ev: Event) {
+        self.check_event_cap();
+        self.events.push(ev);
+    }
+
+    /// Record a value-returning op and produce the value to feed it.
+    pub(crate) fn value_op(&mut self, loc: Loc, ev: Event) -> i64 {
+        self.check_event_cap();
+        if self.pos >= self.limits.value_cap {
+            self.events.push(Event::Diverged);
+            panic_any(DivergeSignal);
+        }
+        self.events.push(ev);
+        let cands = self.cands.entry(loc).or_insert_with(|| vec![0]).clone();
+        let i = self.pos;
+        self.pos += 1;
+        let val = if i < self.oracle.len() {
+            let (oloc, idx) = self.oracle[i];
+            if oloc != loc {
+                panic_any(NondetSignal(format!(
+                    "value op #{i} touched a different location than the \
+                     previous execution with the same fed values \
+                     ({} vs {})",
+                    loc_name(&self.locs, loc),
+                    loc_name(&self.locs, oloc),
+                )));
+            }
+            cands[idx]
+        } else {
+            self.oracle.push((loc, 0));
+            cands[0]
+        };
+        self.choices.push(val);
+        val
+    }
+}
+
+pub(crate) fn loc_name(locs: &LocTable, loc: Loc) -> String {
+    locs.name_of(loc)
+        .map_or_else(|| format!("loc#{}", loc.0), str::to_owned)
+}
+
+/// A handle to one shared atomic location, mirroring the
+/// `std::sync::atomic` integer API. Operations record events; they never
+/// touch real memory.
+#[derive(Clone)]
+pub struct Atomic {
+    loc: Loc,
+    rec: Rec,
+}
+
+impl Atomic {
+    /// Atomic load.
+    pub fn load(&self, ord: StdOrd) -> i64 {
+        assert!(
+            !matches!(ord, StdOrd::Release | StdOrd::AcqRel),
+            "there is no such thing as a release load"
+        );
+        let o = lang_ordering(ord);
+        self.rec.borrow_mut().value_op(
+            self.loc,
+            Event::Load {
+                loc: self.loc,
+                ord: o,
+            },
+        )
+    }
+
+    /// Atomic store.
+    pub fn store(&self, val: i64, ord: StdOrd) {
+        assert!(
+            !matches!(ord, StdOrd::Acquire | StdOrd::AcqRel),
+            "there is no such thing as an acquire store"
+        );
+        let o = lang_ordering(ord);
+        self.rec.borrow_mut().plain_op(Event::Store {
+            loc: self.loc,
+            val,
+            ord: o,
+        });
+    }
+
+    /// Atomic exchange: store `val`, return the old value.
+    pub fn swap(&self, val: i64, ord: StdOrd) -> i64 {
+        self.rmw(RmwOp::Swp, None, val, ord)
+    }
+
+    /// Atomic add, returning the old value.
+    pub fn fetch_add(&self, val: i64, ord: StdOrd) -> i64 {
+        self.rmw(RmwOp::FetchAdd, None, val, ord)
+    }
+
+    /// Atomic bitwise and, returning the old value.
+    pub fn fetch_and(&self, val: i64, ord: StdOrd) -> i64 {
+        self.rmw(RmwOp::FetchAnd, None, val, ord)
+    }
+
+    /// Atomic bitwise or, returning the old value.
+    pub fn fetch_or(&self, val: i64, ord: StdOrd) -> i64 {
+        self.rmw(RmwOp::FetchOr, None, val, ord)
+    }
+
+    /// Atomic bitwise xor, returning the old value.
+    pub fn fetch_xor(&self, val: i64, ord: StdOrd) -> i64 {
+        self.rmw(RmwOp::FetchXor, None, val, ord)
+    }
+
+    /// Atomic signed maximum, returning the old value.
+    pub fn fetch_max(&self, val: i64, ord: StdOrd) -> i64 {
+        self.rmw(RmwOp::FetchMax, None, val, ord)
+    }
+
+    /// Compare-and-exchange: `Ok(current)` on success, `Err(old)` on
+    /// failure. The failure ordering is accepted for API fidelity but
+    /// ignored: the recorded RMW carries `success` (see the soundness
+    /// caveats in `docs/architecture.md` — the operational model gives
+    /// failed RMWs the read half of the single recorded ordering).
+    pub fn compare_exchange(
+        &self,
+        current: i64,
+        new: i64,
+        success: StdOrd,
+        _failure: StdOrd,
+    ) -> Result<i64, i64> {
+        let old = self.rmw(RmwOp::Cas, Some(current), new, success);
+        if old == current {
+            Ok(old)
+        } else {
+            Err(old)
+        }
+    }
+
+    /// Weak compare-and-exchange. Modeled as the strong variant: the
+    /// model has no spurious failure transition (documented caveat).
+    pub fn compare_exchange_weak(
+        &self,
+        current: i64,
+        new: i64,
+        success: StdOrd,
+        failure: StdOrd,
+    ) -> Result<i64, i64> {
+        self.compare_exchange(current, new, success, failure)
+    }
+
+    /// temper-style spelling of [`Atomic::compare_exchange_weak`] with a
+    /// single ordering.
+    pub fn exchange_weak(&self, current: i64, new: i64, ord: StdOrd) -> Result<i64, i64> {
+        self.compare_exchange(current, new, ord, ord)
+    }
+
+    fn rmw(&self, op: RmwOp, expected: Option<i64>, operand: i64, ord: StdOrd) -> i64 {
+        let o = lang_ordering(ord);
+        self.rec.borrow_mut().value_op(
+            self.loc,
+            Event::Rmw {
+                loc: self.loc,
+                op,
+                expected,
+                operand,
+                ord: o,
+            },
+        )
+    }
+}
+
+/// The per-closure environment: six pre-named atomic handles (`a`–`f`,
+/// all initially 0), a fence, and [`Environment::atomic`] for further
+/// named locations. Mirrors the temper memlog `Environment`.
+pub struct Environment {
+    /// Handle on location `a`.
+    pub a: Atomic,
+    /// Handle on location `b`.
+    pub b: Atomic,
+    /// Handle on location `c`.
+    pub c: Atomic,
+    /// Handle on location `d`.
+    pub d: Atomic,
+    /// Handle on location `e`.
+    pub e: Atomic,
+    /// Handle on location `f`.
+    pub f: Atomic,
+    rec: Rec,
+}
+
+impl Environment {
+    fn new(rec: &Rec) -> Environment {
+        let handle = |name: &str| Atomic {
+            loc: rec.borrow_mut().locs.intern(name),
+            rec: rec.clone(),
+        };
+        Environment {
+            a: handle("a"),
+            b: handle("b"),
+            c: handle("c"),
+            d: handle("d"),
+            e: handle("e"),
+            f: handle("f"),
+            rec: rec.clone(),
+        }
+    }
+
+    /// A standalone fence (`std::sync::atomic::fence`).
+    pub fn fence(&mut self, ord: StdOrd) {
+        assert!(
+            ord != StdOrd::Relaxed,
+            "there is no such thing as a relaxed fence"
+        );
+        let o = lang_ordering(ord);
+        self.rec.borrow_mut().plain_op(Event::Fence(o));
+    }
+
+    /// A handle on a named location beyond the fixed six (initially 0).
+    pub fn atomic(&mut self, name: &str) -> Atomic {
+        Atomic {
+            loc: self.rec.borrow_mut().locs.intern(name),
+            rec: self.rec.clone(),
+        }
+    }
+}
+
+/// The full recording of a program: per-thread path sets, the converged
+/// candidate values, and the location table.
+pub(crate) struct Recording {
+    pub threads: Vec<Vec<PathTrace>>,
+    pub cands: BTreeMap<Loc, Vec<i64>>,
+    pub locs: LocTable,
+}
+
+/// Enumerate every execution path of one closure under the current
+/// candidate sets, depth-first over the choice oracle.
+fn enumerate_thread(
+    f: &dyn Fn(Environment) -> i64,
+    st: &Rec,
+    tid: usize,
+) -> Result<Vec<PathTrace>, HarnessError> {
+    silence_recorder_signals();
+    let limits = st.borrow().limits;
+    st.borrow_mut().oracle.clear();
+    let mut paths: Vec<PathTrace> = Vec::new();
+    loop {
+        st.borrow_mut().begin_run();
+        let env = Environment::new(st);
+        let result = catch_unwind(AssertUnwindSafe(|| f(env)));
+        {
+            let mut s = st.borrow_mut();
+            match result {
+                Ok(ret) => s.events.push(Event::Ret(ret)),
+                Err(payload) => {
+                    if payload.is::<DivergeSignal>() {
+                        // events already ends with Diverged
+                    } else if let Some(n) = payload.downcast_ref::<NondetSignal>() {
+                        return Err(HarnessError::Nondeterministic {
+                            thread: tid,
+                            detail: n.0.clone(),
+                        });
+                    } else {
+                        return Err(HarnessError::ClosurePanicked {
+                            thread: tid,
+                            payload: promising_explorer::panic_message(payload.as_ref()),
+                        });
+                    }
+                }
+            }
+            if s.pos < s.oracle.len() {
+                return Err(HarnessError::Nondeterministic {
+                    thread: tid,
+                    detail: format!(
+                        "closure performed {} value-returning operations where a \
+                         previous execution with the same fed values performed {}",
+                        s.pos,
+                        s.oracle.len()
+                    ),
+                });
+            }
+            paths.push(PathTrace {
+                choices: s.choices.clone(),
+                events: s.events.clone(),
+            });
+            if paths.len() > limits.max_paths {
+                return Err(HarnessError::PathExplosion {
+                    thread: tid,
+                    limit: limits.max_paths,
+                });
+            }
+            // Depth-first advance: bump the deepest unexhausted choice.
+            loop {
+                let Some(&(loc, idx)) = s.oracle.last() else {
+                    return Ok(paths);
+                };
+                let n = s.cands.get(&loc).map_or(1, Vec::len);
+                if idx + 1 < n {
+                    if let Some(last) = s.oracle.last_mut() {
+                        last.1 = idx + 1;
+                    }
+                    break;
+                }
+                s.oracle.pop();
+            }
+        }
+    }
+}
+
+/// The value a successful RMW stores, given the old value it read.
+/// `None` for a failed CAS (no store).
+pub(crate) fn rmw_written(op: RmwOp, expected: Option<i64>, operand: i64, old: i64) -> Option<i64> {
+    match expected {
+        Some(e) if e != old => None,
+        _ => Some(op.apply(Val(old), Val(operand)).0),
+    }
+}
+
+/// Record all threads of a program to a fixpoint over candidate values.
+///
+/// Candidates per location start at `{0}` and grow by the values stored
+/// along recorded paths (including values computed by RMWs from fed old
+/// values). Rounds stop early once the candidate sets are *reachability
+/// complete*: any value a real machine execution can put in memory is
+/// derived by at most `Σ_t m_t` store/RMW events, where `m_t` is the
+/// largest number of such events on any recorded path of thread `t` —
+/// one machine run executes one path per thread. Values the fixpoint
+/// would add beyond that bound require longer derivation chains than any
+/// single execution performs, so the decision trees recorded in the
+/// final round cover every machine-readable value.
+pub(crate) fn record_program(
+    fns: &[Box<dyn Fn(Environment) -> i64>],
+    limits: Limits,
+) -> Result<Recording, HarnessError> {
+    if fns.is_empty() {
+        return Err(HarnessError::NoThreads);
+    }
+    let st: Rec = Rc::new(RefCell::new(RecorderState::new(limits)));
+    let mut round = 0usize;
+    // Running maximum of the per-round reachability bound: a later round
+    // can expose branches with more stores, raising the bound.
+    let mut writes_bound = 1usize;
+    loop {
+        round += 1;
+        if round > limits.max_rounds {
+            return Err(HarnessError::FixpointDivergence { rounds: round - 1 });
+        }
+        let mut all = Vec::with_capacity(fns.len());
+        for (tid, f) in fns.iter().enumerate() {
+            all.push(enumerate_thread(f.as_ref(), &st, tid)?);
+        }
+        // Reachability bound: 1 + Σ_t (max store/RMW events on a path).
+        let round_bound: usize = 1 + all
+            .iter()
+            .map(|paths| {
+                paths
+                    .iter()
+                    .map(|p| {
+                        p.events
+                            .iter()
+                            .filter(|e| matches!(e, Event::Store { .. } | Event::Rmw { .. }))
+                            .count()
+                    })
+                    .max()
+                    .unwrap_or(0)
+            })
+            .sum::<usize>();
+        writes_bound = writes_bound.max(round_bound);
+        // Collect the values stored along every path.
+        let mut observed: Vec<(Loc, i64)> = Vec::new();
+        for paths in &all {
+            for p in paths {
+                let mut k = 0usize;
+                for ev in &p.events {
+                    match *ev {
+                        Event::Load { .. } => k += 1,
+                        Event::Store { loc, val, .. } => observed.push((loc, val)),
+                        Event::Rmw {
+                            loc,
+                            op,
+                            expected,
+                            operand,
+                            ..
+                        } => {
+                            let old = p.choices[k];
+                            k += 1;
+                            if let Some(v) = rmw_written(op, expected, operand, old) {
+                                observed.push((loc, v));
+                            }
+                        }
+                        Event::Fence(_) | Event::Ret(_) | Event::Diverged => {}
+                    }
+                }
+            }
+        }
+        let grew = {
+            let s = st.borrow();
+            observed
+                .iter()
+                .any(|(loc, v)| s.cands.get(loc).is_none_or(|c| c.binary_search(v).is_err()))
+        };
+        // The recorded paths must stay consistent with the candidate sets
+        // they were enumerated under, so return *before* merging: on the
+        // bounded stop, the values the merge would add need longer
+        // derivation chains than any single execution performs and are
+        // unreachable — discarding them is exactly the bound's claim.
+        if !grew || round >= writes_bound {
+            let s = st.borrow();
+            return Ok(Recording {
+                threads: all,
+                cands: s.cands.clone(),
+                locs: s.locs.clone(),
+            });
+        }
+        {
+            let mut s = st.borrow_mut();
+            for (loc, v) in observed {
+                let c = s.cands.entry(loc).or_insert_with(|| vec![0]);
+                if let Err(at) = c.binary_search(&v) {
+                    c.insert(at, v);
+                    if c.len() > limits.max_cands {
+                        let name = loc_name(&s.locs, loc);
+                        return Err(HarnessError::CandidateExplosion {
+                            loc: name,
+                            limit: limits.max_cands,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}

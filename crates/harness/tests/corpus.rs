@@ -1,0 +1,38 @@
+//! Run the full literature corpus: every test's recorded outcome set
+//! must exactly match its documented expectation on both architectures,
+//! under all three operational strategies (which must agree).
+
+use promising_harness::corpus::corpus;
+use std::collections::BTreeSet;
+
+#[test]
+fn corpus_is_large_enough() {
+    let tests = corpus();
+    assert!(
+        tests.len() >= 40,
+        "corpus has only {} tests; the port requires at least 40",
+        tests.len()
+    );
+    let families: BTreeSet<&str> = tests.iter().map(|t| t.family).collect();
+    for fam in ["cpp-sc", "preshing", "rust-atomics", "stackoverflow"] {
+        assert!(families.contains(fam), "family `{fam}` missing from corpus");
+    }
+    let names: BTreeSet<&str> = tests.iter().map(|t| t.name).collect();
+    assert_eq!(names.len(), tests.len(), "duplicate corpus test names");
+}
+
+#[test]
+fn corpus_conforms() {
+    let mut failures = Vec::new();
+    for t in corpus() {
+        if let Err(e) = t.check() {
+            failures.push(e);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} corpus test(s) failed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

@@ -56,32 +56,162 @@ use promising_core::stmt::{
     CodeBuilder, Fence, Program as CoreProgram, ReadKind, StmtId, ThreadCode, WriteKind,
 };
 use promising_core::Arch;
+use std::fmt;
 
-/// Compile a surface program for `arch`.
-pub fn compile(program: &Program, arch: Arch) -> CoreProgram {
-    CoreProgram::new(
+/// An invalid surface program reached the compiler: an access carries an
+/// ordering its access type does not admit. The parser rejects these at
+/// parse time; programmatically-built ASTs (the closure-recording
+/// harness, library users constructing [`Stmt`] values directly) hit
+/// them here — as an error, not a panic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CompileError {
+    /// Thread index of the offending statement.
+    pub thread: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread {}: {}", self.thread, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Check every access's ordering against its access type — the same
+/// validity tables the parser enforces ([`Ordering::valid_for_load`]
+/// and friends), applied to an arbitrary AST.
+///
+/// # Errors
+///
+/// Returns the first offending statement as a [`CompileError`].
+pub fn validate(program: &Program) -> Result<(), CompileError> {
+    fn check(tid: usize, stmts: &[Stmt]) -> Result<(), CompileError> {
+        let err = |message: String| {
+            Err(CompileError {
+                thread: tid,
+                message,
+            })
+        };
+        for s in stmts {
+            match s {
+                Stmt::Load { ord, .. } if !ord.valid_for_load() => {
+                    return err(format!(
+                        "`{ord}` is not a load ordering; C11 loads are rlx, acq or sc \
+                         (or non-atomic)"
+                    ));
+                }
+                Stmt::Store { ord, .. } if !ord.valid_for_store() => {
+                    return err(format!(
+                        "`{ord}` is not a store ordering; C11 stores are rlx, rel or sc \
+                         (or non-atomic)"
+                    ));
+                }
+                Stmt::Rmw { op, ord, .. } if !ord.valid_for_rmw() => {
+                    return err(format!(
+                        "an RMW is always atomic; give `{}` an atomic ordering \
+                         (rlx, acq, rel, acq_rel or sc)",
+                        crate::ast::rmw_surface_name(*op)
+                    ));
+                }
+                Stmt::Fence(ord) if !ord.valid_for_fence() => {
+                    return err(format!(
+                        "`{ord}` is not a fence ordering; C11 fences are acq, rel, \
+                         acq_rel or sc"
+                    ));
+                }
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    check(tid, then_branch)?;
+                    check(tid, else_branch)?;
+                }
+                Stmt::While { body, .. } => check(tid, body)?,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+    for (tid, t) in program.threads().iter().enumerate() {
+        check(tid, &t.0)?;
+    }
+    Ok(())
+}
+
+/// Compile a surface program for `arch`, validating it first.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] if an access carries an ordering its
+/// access type does not admit (see [`validate`]).
+pub fn try_compile(program: &Program, arch: Arch) -> Result<CoreProgram, CompileError> {
+    validate(program)?;
+    Ok(CoreProgram::new(
         program
             .threads()
             .iter()
-            .map(|t| compile_thread(t, arch))
+            .map(|t| compile_thread_unchecked(t, arch))
             .collect(),
-    )
+    ))
+}
+
+/// Compile a surface program for `arch`.
+///
+/// # Panics
+///
+/// Panics if the program is invalid (an ordering its access type does
+/// not admit). Parser- and recorder-produced programs are always valid;
+/// for hand-built ASTs prefer [`try_compile`].
+pub fn compile(program: &Program, arch: Arch) -> CoreProgram {
+    try_compile(program, arch)
+        .unwrap_or_else(|e| panic!("compiling an invalid surface program: {e}"))
 }
 
 /// Compile for ARMv8: orderings become access strengths
 /// (`ldapr`/`ldar`/`stlr`) plus `dmb` barriers for standalone fences.
+///
+/// # Panics
+///
+/// Panics on an invalid program — see [`compile`]/[`try_compile`].
 pub fn compile_arm(program: &Program) -> CoreProgram {
     compile(program, Arch::Arm)
 }
 
 /// Compile for RISC-V: orderings become `fence` placements around plain
 /// accesses (AMOs keep their `aq`/`rl` bits).
+///
+/// # Panics
+///
+/// Panics on an invalid program — see [`compile`]/[`try_compile`].
 pub fn compile_riscv(program: &Program) -> CoreProgram {
     compile(program, Arch::RiscV)
 }
 
+/// Compile one thread for `arch`, validating it first.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] (with thread index 0) if an access
+/// carries an ordering its access type does not admit.
+pub fn try_compile_thread(thread: &Thread, arch: Arch) -> Result<ThreadCode, CompileError> {
+    validate(&Program::new(vec![thread.clone()]))?;
+    Ok(compile_thread_unchecked(thread, arch))
+}
+
 /// Compile one thread for `arch`.
+///
+/// # Panics
+///
+/// Panics on an invalid thread — see [`compile`]/[`try_compile`].
 pub fn compile_thread(thread: &Thread, arch: Arch) -> ThreadCode {
+    try_compile_thread(thread, arch)
+        .unwrap_or_else(|e| panic!("compiling an invalid surface thread: {e}"))
+}
+
+fn compile_thread_unchecked(thread: &Thread, arch: Arch) -> ThreadCode {
     let mut b = CodeBuilder::new();
     let entry = compile_block(&mut b, &thread.0, arch);
     b.finish(entry)

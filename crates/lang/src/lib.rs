@@ -34,5 +34,8 @@ pub mod compile;
 pub mod parser;
 
 pub use ast::{rmw_surface_name, Ordering, Program, Stmt, Thread};
-pub use compile::{compile, compile_arm, compile_riscv, compile_thread};
+pub use compile::{
+    compile, compile_arm, compile_riscv, compile_thread, try_compile, try_compile_thread, validate,
+    CompileError,
+};
 pub use parser::{parse_program, parse_thread};

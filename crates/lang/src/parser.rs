@@ -44,8 +44,7 @@ fn split_threads(src: &str) -> Vec<String> {
     for line in src.lines() {
         if line.trim() == "---" {
             sections.push(String::new());
-        } else {
-            let s = sections.last_mut().expect("non-empty");
+        } else if let Some(s) = sections.last_mut() {
             s.push_str(line);
             s.push('\n');
         }

@@ -166,11 +166,30 @@ impl LangTest {
     /// ([`promising_lang::compile`]). The result keeps the name, carries
     /// a backlink to `self`, and is never Flat-conservative (compiled
     /// programs use single-instruction RMWs, not raw exclusives).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the surface program is invalid (an ordering its access
+    /// type does not admit) — impossible for parser- or
+    /// recorder-produced tests; use [`LangTest::try_compile`] for
+    /// hand-built programs.
     pub fn compile(&self, arch: Arch) -> LitmusTest {
-        LitmusTest {
+        self.try_compile(arch)
+            .unwrap_or_else(|e| panic!("in lang test `{}`: {e}", self.name))
+    }
+
+    /// [`LangTest::compile`], with invalid surface programs reported as
+    /// a [`promising_lang::CompileError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`promising_lang::CompileError`] if an access carries
+    /// an ordering its access type does not admit.
+    pub fn try_compile(&self, arch: Arch) -> Result<LitmusTest, promising_lang::CompileError> {
+        Ok(LitmusTest {
             name: self.name.clone(),
             arch,
-            program: Arc::new(promising_lang::compile(&self.program, arch)),
+            program: Arc::new(promising_lang::try_compile(&self.program, arch)?),
             locs: self.locs.clone(),
             init: self.init.clone(),
             condition: self.condition.clone(),
@@ -178,7 +197,7 @@ impl LangTest {
             loop_fuel: self.loop_fuel,
             flat_conservative: false,
             lang: Some(Arc::new(self.clone())),
-        }
+        })
     }
 }
 

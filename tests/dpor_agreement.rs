@@ -11,14 +11,12 @@
 //! [`Config::dpor`]: promising_core::Config
 
 use promising_core::ids::TId;
-use promising_core::{
-    find_and_certify, find_and_certify_with, Arch, CertMemo, Config, Machine,
-};
+use promising_core::{find_and_certify, find_and_certify_with, Arch, CertMemo, Config, Machine};
 use promising_explorer::{explore_naive, CertMode, NaiveModel, SearchModel, Stats};
 use promising_flat::{explore_flat, FlatMachine};
 use promising_litmus::{
-    catalogue, generate_lang_subsample, generate_rmw_subsample, generate_subsample,
-    lang_catalogue, run_model_with, LitmusTest, ModelKind, DEFAULT_FUEL,
+    catalogue, generate_lang_subsample, generate_rmw_subsample, generate_subsample, lang_catalogue,
+    run_model_with, LitmusTest, ModelKind, DEFAULT_FUEL,
 };
 use promising_workloads::{by_spec, init_for};
 use proptest::prelude::*;
@@ -130,7 +128,10 @@ fn dpor_actually_prunes_append_bound_shapes() {
     // Naive: the delayable-thread reduce must fire (all threads have
     // pairwise-disjoint future footprints here) and shrink the search.
     let n_on = explore_naive(
-        &Machine::new(program.clone(), Config::arm().with_por(true).with_dpor(true)),
+        &Machine::new(
+            program.clone(),
+            Config::arm().with_por(true).with_dpor(true),
+        ),
         CertMode::Online,
     );
     let n_off = explore_naive(
@@ -205,8 +206,16 @@ fn check_memo_agrees_with_fresh(test: &LitmusTest, seed: u64) {
                 continue; // truncated answers are lower bounds, not exact
             }
             assert_eq!(
-                (shared.certified, &shared.promisable, &shared.certified_first_steps),
-                (fresh.certified, &fresh.promisable, &fresh.certified_first_steps),
+                (
+                    shared.certified,
+                    &shared.promisable,
+                    &shared.certified_first_steps
+                ),
+                (
+                    fresh.certified,
+                    &fresh.promisable,
+                    &fresh.certified_first_steps
+                ),
                 "{test}: memoised certification of thread {tid} diverges from fresh"
             );
         }

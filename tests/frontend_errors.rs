@@ -1,0 +1,306 @@
+//! Malformed-input battery for the frontend paths: every bad input must
+//! surface a typed error (`ParseError`, `CompileError`, `HarnessError`)
+//! — never a panic and never silent acceptance.
+
+use promising_core::{Expr, Reg};
+use promising_harness::{Environment, HarnessError, LogTest, SearchBudget};
+use promising_lang::{parse_program, try_compile, validate, Ordering, Program, Stmt, Thread};
+use std::sync::atomic::Ordering as StdOrd;
+
+// ---- parser: malformed surface syntax ----------------------------------
+
+#[test]
+fn parser_rejects_malformed_inputs() {
+    let bad = [
+        "store(",                  // unclosed call
+        "store(x, 1",              // missing ordering + paren
+        "store(x, 1, rlx",         // unclosed paren
+        "store(x, 1, bogus)",      // unknown ordering keyword
+        "r1 =",                    // dangling assignment
+        "r1 = frob(x, 1, rlx)",    // unknown RMW / builtin
+        "if r1 == 1 {",            // unclosed block
+        "while {}",                // missing condition
+        "load(x, rlx)",            // load without destination
+        "r1 = load(x, rlx) extra", // trailing tokens
+        "} store(x, 1, rlx)",      // stray close brace
+        "r1 = cas(x, 1, rlx)",     // RMW arity wrong
+    ];
+    for src in bad {
+        assert!(
+            parse_program(src).is_err(),
+            "parser accepted malformed input: {src:?}"
+        );
+    }
+}
+
+#[test]
+fn parser_accepts_recorded_surface_syntax() {
+    // sanity: the battery is testing the real grammar
+    let ok = "r1 = load(x, acq)\nstore(y, 1, rel)\n---\nr2 = load(y, rlx)";
+    assert!(parse_program(ok).is_ok());
+}
+
+// ---- compile: invalid hand-built ASTs errors, not panics ---------------
+
+fn one_thread(stmts: Vec<Stmt>) -> Program {
+    Program::new(vec![Thread(stmts)])
+}
+
+#[test]
+fn compile_rejects_invalid_orderings() {
+    let loc = Expr::val(0);
+    let cases: Vec<(Program, &str)> = vec![
+        (
+            one_thread(vec![Stmt::Load {
+                reg: Reg(0),
+                addr: loc.clone(),
+                ord: Ordering::Release,
+            }]),
+            "release load",
+        ),
+        (
+            one_thread(vec![Stmt::Load {
+                reg: Reg(0),
+                addr: loc.clone(),
+                ord: Ordering::AcqRel,
+            }]),
+            "acq_rel load",
+        ),
+        (
+            one_thread(vec![Stmt::Store {
+                addr: loc.clone(),
+                data: Expr::val(1),
+                ord: Ordering::Acquire,
+            }]),
+            "acquire store",
+        ),
+        (
+            one_thread(vec![Stmt::Store {
+                addr: loc.clone(),
+                data: Expr::val(1),
+                ord: Ordering::AcqRel,
+            }]),
+            "acq_rel store",
+        ),
+        (
+            one_thread(vec![Stmt::Fence(Ordering::Relaxed)]),
+            "relaxed fence",
+        ),
+        (
+            one_thread(vec![Stmt::Fence(Ordering::NotAtomic)]),
+            "non-atomic fence",
+        ),
+    ];
+    for (program, what) in cases {
+        assert!(validate(&program).is_err(), "validate accepted a {what}");
+        for arch in [promising_core::Arch::Arm, promising_core::Arch::RiscV] {
+            let r = try_compile(&program, arch);
+            assert!(r.is_err(), "try_compile accepted a {what} on {arch:?}");
+        }
+    }
+    // nested inside control flow is caught too
+    let nested = one_thread(vec![Stmt::If {
+        cond: Expr::val(1),
+        then_branch: vec![Stmt::While {
+            cond: Expr::val(1),
+            body: vec![Stmt::Load {
+                reg: Reg(0),
+                addr: Expr::val(0),
+                ord: Ordering::Release,
+            }],
+        }],
+        else_branch: vec![],
+    }]);
+    assert!(validate(&nested).is_err(), "nested release load accepted");
+}
+
+// ---- harness: recorder guards ------------------------------------------
+
+#[test]
+fn harness_no_threads() {
+    let lt = LogTest::new();
+    assert!(matches!(lt.outcomes(), Err(HarnessError::NoThreads)));
+}
+
+#[test]
+fn harness_misuse_panics_are_reported() {
+    // std-mirroring misuse inside a closure (a Release load) surfaces as
+    // ClosurePanicked with the payload, not as a harness crash.
+    let mut lt = LogTest::named("release-load");
+    lt.add(|e: Environment| e.a.load(StdOrd::Release));
+    match lt.outcomes() {
+        Err(HarnessError::ClosurePanicked { thread: 0, payload }) => {
+            assert!(payload.contains("release load"), "payload: {payload}");
+        }
+        other => panic!("expected ClosurePanicked, got {other:?}"),
+    }
+
+    let mut lt = LogTest::named("acquire-store");
+    lt.add(|e: Environment| {
+        e.a.store(1, StdOrd::Acquire);
+        0
+    });
+    assert!(matches!(
+        lt.outcomes(),
+        Err(HarnessError::ClosurePanicked { thread: 0, .. })
+    ));
+
+    let mut lt = LogTest::named("relaxed-fence");
+    lt.add(|mut e: Environment| {
+        e.fence(StdOrd::Relaxed);
+        0
+    });
+    assert!(matches!(
+        lt.outcomes(),
+        Err(HarnessError::ClosurePanicked { thread: 0, .. })
+    ));
+}
+
+#[test]
+fn harness_user_panic_is_reported() {
+    let mut lt = LogTest::named("boom");
+    lt.add(|_e: Environment| panic!("closure exploded"));
+    match lt.outcomes() {
+        Err(HarnessError::ClosurePanicked { thread: 0, payload }) => {
+            assert!(payload.contains("closure exploded"), "payload: {payload}");
+        }
+        other => panic!("expected ClosurePanicked, got {other:?}"),
+    }
+}
+
+#[test]
+fn harness_detects_nondeterministic_location_choice() {
+    // From its third execution on, the closure reads a different
+    // location than the recorded oracle replays — detectable
+    // nondeterminism (a closure must depend only on the values its
+    // operations observe).
+    let n = std::cell::Cell::new(0u32);
+    let mut lt = LogTest::named("nondet-loc");
+    lt.add(move |e: Environment| {
+        let k = n.get();
+        n.set(k + 1);
+        if k <= 1 {
+            e.a.load(StdOrd::Relaxed)
+        } else {
+            e.b.load(StdOrd::Relaxed)
+        }
+    });
+    lt.add(|e: Environment| {
+        e.a.store(1, StdOrd::Relaxed);
+        0
+    });
+    assert!(matches!(
+        lt.outcomes(),
+        Err(HarnessError::Nondeterministic { thread: 0, .. })
+    ));
+}
+
+#[test]
+fn harness_detects_nondeterministic_op_count() {
+    // From its third execution on, the closure performs fewer
+    // value-returning operations than recorded.
+    let n = std::cell::Cell::new(0u32);
+    let mut lt = LogTest::named("nondet-count");
+    lt.add(move |e: Environment| {
+        let k = n.get();
+        n.set(k + 1);
+        if k <= 1 {
+            e.a.load(StdOrd::Relaxed)
+        } else {
+            7
+        }
+    });
+    lt.add(|e: Environment| {
+        e.a.store(1, StdOrd::Relaxed);
+        0
+    });
+    assert!(matches!(
+        lt.outcomes(),
+        Err(HarnessError::Nondeterministic { thread: 0, .. })
+    ));
+}
+
+#[test]
+fn harness_path_explosion_is_bounded() {
+    let mut lt = LogTest::named("path-explosion");
+    lt.add(|e: Environment| {
+        let mut s = 0;
+        for _ in 0..4 {
+            s += e.a.load(StdOrd::Relaxed);
+        }
+        s
+    });
+    lt.add(|e: Environment| {
+        e.a.store(1, StdOrd::Relaxed);
+        0
+    });
+    lt.with_max_paths(8);
+    assert!(matches!(
+        lt.outcomes(),
+        Err(HarnessError::PathExplosion {
+            thread: 0,
+            limit: 8
+        })
+    ));
+}
+
+#[test]
+fn harness_candidate_explosion_is_bounded() {
+    // 30 distinct stored values blow the candidate cap (24) for `a`.
+    let mut lt = LogTest::named("cand-explosion");
+    lt.add(|e: Environment| {
+        for i in 1..=30 {
+            e.a.store(i, StdOrd::Relaxed);
+        }
+        0
+    });
+    lt.add(|e: Environment| e.a.load(StdOrd::Relaxed));
+    assert!(matches!(
+        lt.outcomes(),
+        Err(HarnessError::CandidateExplosion { .. })
+    ));
+}
+
+#[test]
+fn harness_budget_trips_surface_as_truncated() {
+    let mut lt = LogTest::named("tiny-budget");
+    lt.add(|e: Environment| {
+        e.a.store(1, StdOrd::Relaxed);
+        e.b.load(StdOrd::Relaxed)
+    });
+    lt.add(|e: Environment| {
+        e.b.store(1, StdOrd::Relaxed);
+        e.a.load(StdOrd::Relaxed)
+    });
+    lt.with_budget(SearchBudget {
+        max_states: Some(1),
+        ..SearchBudget::default()
+    });
+    assert!(matches!(lt.outcomes(), Err(HarnessError::Truncated { .. })));
+}
+
+#[test]
+fn harness_arch_divergence_is_reported() {
+    // SB with acq_rel fences: ARM's dmb.sy forbids [0,0], RISC-V's
+    // fence.tso allows it — `outcomes()` must refuse to pick a winner.
+    let mut lt = LogTest::named("arch-divergent");
+    lt.add(|mut e: Environment| {
+        e.a.store(1, StdOrd::Relaxed);
+        e.fence(StdOrd::AcqRel);
+        e.b.load(StdOrd::Relaxed)
+    });
+    lt.add(|mut e: Environment| {
+        e.b.store(1, StdOrd::Relaxed);
+        e.fence(StdOrd::AcqRel);
+        e.a.load(StdOrd::Relaxed)
+    });
+    assert!(matches!(
+        lt.outcomes(),
+        Err(HarnessError::ArchDivergence { .. })
+    ));
+    // ...while the per-arch queries both succeed.
+    let arm = lt.outcomes_on(promising_core::Arch::Arm).unwrap();
+    let riscv = lt.outcomes_on(promising_core::Arch::RiscV).unwrap();
+    assert!(!arm.contains(&vec![0, 0]));
+    assert!(riscv.contains(&vec![0, 0]));
+}

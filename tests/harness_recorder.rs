@@ -1,0 +1,165 @@
+//! Recorder coverage (closure frontend):
+//!
+//! * **Round-trip** — a recorded program's pretty-printed surface syntax
+//!   re-parses to an identical AST, for the whole literature corpus and
+//!   for a property test over randomly generated straight-line closures.
+//! * **Determinism** — recording the same test twice yields the same
+//!   program text, and exploration outcomes are independent of the
+//!   worker count.
+
+use promising_harness::corpus::corpus;
+use promising_harness::{Environment, LogTest};
+use promising_lang::parse_program;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
+
+#[test]
+fn corpus_programs_round_trip_through_the_parser() {
+    for t in corpus() {
+        let lt = (t.build)();
+        let rec = lt.record().unwrap_or_else(|e| panic!("{}: {e}", t.name));
+        let text = rec.program_text();
+        let (reparsed, _locs) = parse_program(&text).unwrap_or_else(|e| {
+            panic!("{}: recorded text failed to re-parse: {e}\n{text}", t.name)
+        });
+        assert_eq!(
+            reparsed, rec.lang.program,
+            "{}: re-parsed AST differs from the recorded one:\n{text}",
+            t.name
+        );
+    }
+}
+
+#[test]
+fn random_straight_line_closures_round_trip() {
+    use proptest::TestRng;
+    // A closure is generated from a plan: a list of recorded operations
+    // over the six locations. No data-dependent control flow — branching
+    // fidelity is covered by the corpus round-trip above — but stores of
+    // multiple distinct values grow real candidate sets.
+    #[derive(Clone, Copy)]
+    enum PlanOp {
+        Load(usize, usize),       // loc, ord (rlx/acq/sc)
+        Store(usize, i64, usize), // loc, val, ord (rlx/rel/sc)
+        Fence(usize),             // ord (acq/rel/acqrel/sc)
+        Swap(usize, i64, usize),  // loc, val, ord
+        Add(usize, i64, usize),   // loc, operand, ord
+    }
+    fn handle(e: &Environment, i: usize) -> &promising_harness::Atomic {
+        match i {
+            0 => &e.a,
+            1 => &e.b,
+            2 => &e.c,
+            _ => &e.d,
+        }
+    }
+    fn run_plan(plan: &[PlanOp], mut e: Environment) -> i64 {
+        let mut last = 0;
+        for op in plan {
+            match *op {
+                PlanOp::Load(l, o) => {
+                    last = handle(&e, l).load([Relaxed, Acquire, SeqCst][o]);
+                }
+                PlanOp::Store(l, v, o) => handle(&e, l).store(v, [Relaxed, Release, SeqCst][o]),
+                PlanOp::Fence(o) => e.fence(
+                    [
+                        Acquire,
+                        Release,
+                        std::sync::atomic::Ordering::AcqRel,
+                        SeqCst,
+                    ][o],
+                ),
+                PlanOp::Swap(l, v, o) => {
+                    last = handle(&e, l).swap(v, [Relaxed, Release, SeqCst][o]);
+                }
+                PlanOp::Add(l, v, o) => {
+                    last = handle(&e, l).fetch_add(v, [Relaxed, Release, SeqCst][o]);
+                }
+            }
+        }
+        last
+    }
+    let mut rng = TestRng::new(0x4EC0_4DE4);
+    for case in 0..40u32 {
+        let mut lt = LogTest::named(format!("random-{case}"));
+        let n_threads = 1 + rng.below(3) as usize;
+        for _ in 0..n_threads {
+            let n_ops = rng.below(4) as usize;
+            let mut plan = Vec::with_capacity(n_ops);
+            for _ in 0..n_ops {
+                let loc = rng.below(4) as usize;
+                let val = rng.below(3) as i64 + 1;
+                plan.push(match rng.below(5) {
+                    0 => PlanOp::Load(loc, rng.below(3) as usize),
+                    1 => PlanOp::Store(loc, val, rng.below(3) as usize),
+                    2 => PlanOp::Fence(rng.below(4) as usize),
+                    3 => PlanOp::Swap(loc, val, rng.below(3) as usize),
+                    // operand fixed at 1: compounding adds across threads
+                    // otherwise blow the candidate/path caps by design
+                    _ => PlanOp::Add(loc, 1, rng.below(3) as usize),
+                });
+            }
+            lt.add(move |e: Environment| run_plan(&plan, e));
+        }
+        let rec = match lt.record() {
+            Ok(r) => r,
+            Err(e) => panic!("case {case}: recording failed: {e}"),
+        };
+        let text = rec.program_text();
+        let (reparsed, _locs) = parse_program(&text)
+            .unwrap_or_else(|e| panic!("case {case}: re-parse failed: {e}\n{text}"));
+        assert_eq!(
+            reparsed, rec.lang.program,
+            "case {case}: round-trip changed the AST:\n{text}"
+        );
+        // recording is a pure function of the closures
+        let again = lt.record().expect("second recording");
+        assert_eq!(
+            text,
+            again.program_text(),
+            "case {case}: unstable recording"
+        );
+    }
+}
+
+#[test]
+fn recording_twice_is_identical() {
+    let build = || {
+        let mut lt = LogTest::named("mp");
+        lt.add(|e: Environment| {
+            e.a.store(1, Relaxed);
+            e.b.store(1, Release);
+            0
+        });
+        lt.add(|e: Environment| {
+            if e.b.load(Acquire) == 1 {
+                e.a.load(Relaxed)
+            } else {
+                -1
+            }
+        });
+        lt
+    };
+    let t1 = build().record().expect("records").program_text();
+    let t2 = build().record().expect("records").program_text();
+    assert_eq!(t1, t2);
+}
+
+#[test]
+fn outcomes_are_independent_of_worker_count() {
+    let build = |workers: usize| {
+        let mut lt = LogTest::named("sb");
+        lt.add(|e: Environment| {
+            e.a.store(1, SeqCst);
+            e.b.load(SeqCst)
+        });
+        lt.add(|e: Environment| {
+            e.b.store(1, SeqCst);
+            e.a.load(SeqCst)
+        });
+        lt.with_workers(workers);
+        lt
+    };
+    let serial = build(1).outcomes().expect("serial explores");
+    let parallel = build(2).outcomes().expect("parallel explores");
+    assert_eq!(serial, parallel, "worker count changed the outcome set");
+}
