@@ -120,7 +120,14 @@ impl SearchModel for FlatModel {
                 Some(loc) => Footprint::write(tid.0, loc, true),
                 None => Footprint::opaque(),
             },
-            FlatTransition::ExecRmw { tid, idx } => match s.access_target(tid, idx) {
+            // the RMW's read half is a plain read of its location; the
+            // write half is an append whose pairing gate also *reads*
+            // the location's stream (a foreign append disables it)
+            FlatTransition::BindRmw { tid, idx } => match s.access_target(tid, idx) {
+                Some(loc) => Footprint::read(tid.0, loc),
+                None => Footprint::opaque(),
+            },
+            FlatTransition::PropagateRmw { tid, idx } => match s.access_target(tid, idx) {
                 Some(loc) => {
                     let mut fp = Footprint::write(tid.0, loc, true);
                     fp.reads.insert(loc);
@@ -163,7 +170,8 @@ fn tid_of(t: &FlatTransition) -> usize {
         | FlatTransition::Satisfy { tid, .. }
         | FlatTransition::FailStx { tid, .. }
         | FlatTransition::Propagate { tid, .. }
-        | FlatTransition::ExecRmw { tid, .. } => tid.0,
+        | FlatTransition::BindRmw { tid, .. }
+        | FlatTransition::PropagateRmw { tid, .. } => tid.0,
     }
 }
 
@@ -189,7 +197,8 @@ fn reduce_flat_observers(m: &FlatMachine, transitions: &mut Vec<FlatTransition>)
             FlatTransition::Satisfy { tid, .. } => (tid.0, true),
             FlatTransition::FailStx { tid, .. }
             | FlatTransition::Propagate { tid, .. }
-            | FlatTransition::ExecRmw { tid, .. } => (tid.0, false),
+            | FlatTransition::BindRmw { tid, .. }
+            | FlatTransition::PropagateRmw { tid, .. } => (tid.0, false),
         };
         seen[tid] = true;
         enabled_safe[tid] &= safe;
@@ -229,9 +238,10 @@ fn reduce_flat_observers(m: &FlatMachine, transitions: &mut Vec<FlatTransition>)
 /// Why the set is persistent:
 ///
 /// * every enabledness scan of the flat machine (`load_source`,
-///   `store_ready`, `rmw_ready`, the fetch point) reads only the acting
-///   thread's instance list and registers — memory is consulted only
-///   for a satisfy's *value* and the store-exclusive `atomic` gate
+///   `store_ready`, `rmw_bind_ready`/`rmw_propagate_ready`, the fetch
+///   point) reads only the acting thread's instance list and registers
+///   — memory is consulted only for a satisfy's/bind's *value* and the
+///   `atomic` pairing gates of store-exclusives and bound RMWs
 ///   (which foreign appends can switch off but never on). So `q`'s
 ///   enabled set cannot change, and no disabled `q`-transition can
 ///   become enabled, until `q` itself moves: the eligibility check

@@ -45,11 +45,15 @@ pub enum InstOp {
         /// Store exclusive?
         exclusive: bool,
     },
-    /// A single-instruction atomic RMW: reads the coherence-latest write
-    /// and appends the updated value in one execution step (trivially
-    /// atomic). Conservative like the store-exclusive handling: it never
-    /// forwards from unpropagated stores and binds both the old value and
-    /// the success flag only at execution.
+    /// A single-instruction atomic RMW, executed in two phases: a
+    /// read-bind step binds the old value from the coherence-latest
+    /// write (satisfying the acquire strength of the read half), and a
+    /// later write-propagate step appends the updated value — guarded
+    /// by the exclusive-pairing invariant that no other thread's write
+    /// to the location lands in between. Conservative like the
+    /// store-exclusive handling: it never forwards from unpropagated
+    /// stores, and the success flag binds only when the write half
+    /// resolves.
     Rmw {
         /// The update performed.
         op: RmwOp,
@@ -117,7 +121,18 @@ pub enum InstState {
     },
     /// Store exclusive failed.
     Failed,
-    /// RMW executed: read `old` at `tr`, and (unless a CAS compare
+    /// RMW read half bound: read `old` at `tr`, write half still
+    /// pending. The read's acquire strength is satisfied here, so
+    /// po-later loads blocked only on the acquire may now bind — the
+    /// `rmw` edge of the axiomatic model runs read→write, the wrong
+    /// direction to order anything po-later after the *write*.
+    RmwBound {
+        /// Timestamp the read half read from.
+        tr: Timestamp,
+        /// The old value read.
+        old: Val,
+    },
+    /// RMW retired: read `old` at `tr`, and (unless a CAS compare
     /// failed) wrote at `wrote`.
     RmwDone {
         /// Timestamp the read half read from.
@@ -159,9 +174,25 @@ impl Instance {
     }
 
     /// Whether the instance has reached a final state (its effects are
-    /// bound and it can never change again).
+    /// bound and it can never change again). A bound-but-unpropagated
+    /// RMW is *not* final: its write half is still a pending append.
     pub fn is_bound(&self) -> bool {
-        !matches!(self.state, InstState::Pending)
+        !matches!(self.state, InstState::Pending | InstState::RmwBound { .. })
+    }
+
+    /// Whether the instance's *read half* is bound. For loads this is
+    /// [`is_bound`](Self::is_bound); for RMWs the read binds at
+    /// `RmwBound`, before the write half propagates. Instances without
+    /// a read half are vacuously satisfied.
+    pub fn read_satisfied(&self) -> bool {
+        match &self.op {
+            InstOp::Load { .. } => self.is_bound(),
+            InstOp::Rmw { .. } => matches!(
+                self.state,
+                InstState::RmwBound { .. } | InstState::RmwDone { .. }
+            ),
+            _ => true,
+        }
     }
 
     /// The value this instance wrote to `r`, if it writes `r` and the
@@ -187,7 +218,10 @@ impl Instance {
                 _ => None,
             }),
             InstOp::Rmw { dst, .. } if *dst == r => Some(match self.state {
-                InstState::RmwDone { old, .. } => Some(old),
+                // The old value is visible as soon as the read half
+                // binds — po-later dependents need not wait for the
+                // write to land.
+                InstState::RmwBound { old, .. } | InstState::RmwDone { old, .. } => Some(old),
                 _ => None,
             }),
             InstOp::Rmw { succ, .. } if *succ == r => Some(match self.state {
@@ -261,6 +295,41 @@ mod tests {
         i.state = InstState::Failed;
         assert_eq!(i.written_reg(Reg(2)), Some(Some(Val::FAIL)));
         i.state = InstState::Propagated { ts: Timestamp(1) };
+        assert_eq!(i.written_reg(Reg(2)), Some(Some(Val::SUCCESS)));
+    }
+
+    #[test]
+    fn rmw_old_value_binds_at_read_half_success_at_write_half() {
+        let mut i = Instance::new(
+            StmtId(0),
+            InstOp::Rmw {
+                op: RmwOp::FetchAdd,
+                dst: Reg(1),
+                succ: Reg(2),
+                addr: Expr::val(0),
+                expected: None,
+                operand: Expr::val(1),
+                rk: ReadKind::Acquire,
+                wk: WriteKind::Plain,
+            },
+        );
+        assert!(!i.read_satisfied());
+        i.state = InstState::RmwBound {
+            tr: Timestamp(0),
+            old: Val(7),
+        };
+        // Read half bound: old value visible, success still pending,
+        // and the instance as a whole is not final.
+        assert!(i.read_satisfied());
+        assert!(!i.is_bound());
+        assert_eq!(i.written_reg(Reg(1)), Some(Some(Val(7))));
+        assert_eq!(i.written_reg(Reg(2)), Some(None));
+        i.state = InstState::RmwDone {
+            tr: Timestamp(0),
+            old: Val(7),
+            wrote: Some(Timestamp(1)),
+        };
+        assert!(i.is_bound());
         assert_eq!(i.written_reg(Reg(2)), Some(Some(Val::SUCCESS)));
     }
 

@@ -8,7 +8,11 @@
 //!   (or forwards from an unpropagated po-earlier store);
 //! * **store propagate** — appends to memory, out of order where the
 //!   architecture allows;
-//! * **store-exclusive fail**.
+//! * **store-exclusive fail**;
+//! * **RMW bind / RMW propagate** — the two halves of a
+//!   single-instruction atomic: the bind satisfies the read (and the
+//!   acquire strength), the propagate appends the write, gated on no
+//!   foreign same-location write having landed in between.
 //!
 //! Everything else (fetch of non-branches, register computation, branch
 //! resolution + mis-speculation squash, fence/isb commit) is deterministic
@@ -85,10 +89,21 @@ pub enum FlatTransition {
         /// Instance index.
         idx: usize,
     },
-    /// Execute the pending RMW instance at `idx`: atomically read the
-    /// coherence-latest write and (unless the CAS compare fails) append
-    /// the updated value.
-    ExecRmw {
+    /// Bind the read half of the pending RMW instance at `idx`: read the
+    /// coherence-latest write, satisfying the acquire strength. A CAS
+    /// whose compare fails degrades here to a bare bound read and
+    /// retires immediately.
+    BindRmw {
+        /// Acting thread.
+        tid: TId,
+        /// Instance index.
+        idx: usize,
+    },
+    /// Propagate the write half of the bound RMW instance at `idx`:
+    /// append the updated value, guarded by the exclusive-pairing
+    /// invariant (no other thread's write to the location between the
+    /// bound read and the append).
+    PropagateRmw {
         /// Acting thread.
         tid: TId,
         /// Instance index.
@@ -109,7 +124,10 @@ impl fmt::Display for FlatTransition {
             FlatTransition::Satisfy { tid, idx } => write!(f, "{tid}: satisfy #{idx}"),
             FlatTransition::Propagate { tid, idx } => write!(f, "{tid}: propagate #{idx}"),
             FlatTransition::FailStx { tid, idx } => write!(f, "{tid}: stx-fail #{idx}"),
-            FlatTransition::ExecRmw { tid, idx } => write!(f, "{tid}: rmw #{idx}"),
+            FlatTransition::BindRmw { tid, idx } => write!(f, "{tid}: rmw-bind #{idx}"),
+            FlatTransition::PropagateRmw { tid, idx } => {
+                write!(f, "{tid}: rmw-propagate #{idx}")
+            }
         }
     }
 }
@@ -473,6 +491,11 @@ impl FlatMachine {
                             }
                         }
                     }
+                    InstState::RmwBound { tr, old } => {
+                        out.push(8);
+                        ts(&mut out, tr);
+                        out.push(old.0 as u64);
+                    }
                 }
             }
         }
@@ -584,6 +607,11 @@ impl FlatMachine {
                                 h.write_u32(ts.0);
                             }
                         }
+                    }
+                    InstState::RmwBound { tr, old } => {
+                        h.write_u64(8);
+                        h.write_u32(tr.0);
+                        h.write_i64(old.0);
                     }
                 }
             }
@@ -914,9 +942,11 @@ impl FlatMachine {
                         // mis-speculation: discard everything younger and
                         // refetch down the other path.
                         debug_assert!(
-                            t.instances[idx + 1..]
-                                .iter()
-                                .all(|i| !matches!(i.state, InstState::Propagated { .. })),
+                            t.instances[idx + 1..].iter().all(|i| !matches!(
+                                i.state,
+                                InstState::Propagated { .. }
+                                    | InstState::RmwDone { wrote: Some(_), .. }
+                            )),
                             "speculative stores must never propagate"
                         );
                         t.instances.truncate(idx + 1);
@@ -945,9 +975,13 @@ impl FlatMachine {
             }
             let ready = match &inst.op {
                 InstOp::Fence(f) => {
+                    // The read pre-set is satisfied by an RMW's bound
+                    // read half (`read_satisfied`); the write pre-set
+                    // needs its write half landed (`is_bound`). For
+                    // plain loads the two predicates coincide.
                     let t = &self.threads[tid.0];
                     t.instances[..idx].iter().all(|j| {
-                        (!f.pre.includes_reads() || !j.is_load() || j.is_bound())
+                        (!f.pre.includes_reads() || !j.is_load() || j.read_satisfied())
                             && (!f.pre.includes_writes() || !j.is_store() || j.is_bound())
                     })
                 }
@@ -1032,13 +1066,17 @@ impl FlatMachine {
                 } => {
                     // an RMW is both a read and a write for the blocking
                     // rules; it never forwards (conservative, like pending
-                    // store exclusives)
+                    // store exclusives). The acquire strength lives on the
+                    // read half: once that is bound (`RmwBound`) po-later
+                    // loads may satisfy — the axiomatic `rmw` edge runs
+                    // read→write, so nothing orders a later load after the
+                    // RMW's *write*.
                     let jloc = self.addr_of(tid, j)?;
-                    if *jrk >= ReadKind::WeakAcquire && !jinst.is_bound() {
-                        return None; // acquire orders later reads
+                    if *jrk >= ReadKind::WeakAcquire && !jinst.read_satisfied() {
+                        return None; // acquire read orders later reads
                     }
                     if *rk >= ReadKind::Acquire && *jwk >= WriteKind::Release && !jinst.is_bound() {
-                        return None; // [RL]; po; [AQ]
+                        return None; // [RL]; po; [AQ]: needs the write half
                     }
                     if jloc == loc && !jinst.is_bound() && fwd.is_none() {
                         return None; // same-address accesses bind in order
@@ -1130,17 +1168,21 @@ impl FlatMachine {
                     op: jop, rk: jrk, ..
                 } => {
                     let jloc = self.addr_of(tid, j)?;
-                    // same-address ordering and release pre-views as for
-                    // loads/stores, plus: an acquire RMW read orders later
-                    // stores (vwNew), a CAS's compare guard feeds vCAP on
-                    // both architectures, and on RISC-V the RMW's success
-                    // register does too (ρ12).
+                    // Write-half edges — same-address ordering, release
+                    // pre-views, and RISC-V's ρ12 (the success register
+                    // feeds vCAP, and success is decided by the write) —
+                    // need the RMW retired. Read-half edges — the acquire
+                    // strength of the read (vwNew) and a CAS's compare
+                    // guard feeding vCAP as a ctrl from the read — are
+                    // discharged as soon as the read binds (`RmwBound`).
                     let need_done = jloc == loc
                         || *wk >= WriteKind::WeakRelease
-                        || *jrk >= ReadKind::WeakAcquire
-                        || *jop == RmwOp::Cas
                         || self.config.arch == Arch::RiscV;
                     if need_done && !jinst.is_bound() {
+                        return None;
+                    }
+                    let need_read = *jrk >= ReadKind::WeakAcquire || *jop == RmwOp::Cas;
+                    if need_read && !jinst.read_satisfied() {
                         return None;
                     }
                 }
@@ -1172,32 +1214,121 @@ impl FlatMachine {
         }
     }
 
-    /// The execution-blocking scan for RMW instance `idx`: the union of
-    /// the load-satisfy and store-propagate conditions (an RMW is both),
-    /// with no forwarding (conservative, like pending store exclusives —
-    /// every po-earlier same-address store must have propagated or
-    /// failed). Returns the old value's location, or `None` if blocked.
-    fn rmw_ready(&self, tid: TId, idx: usize) -> Option<Loc> {
+    /// The read-bind blocking scan for RMW instance `idx`: the
+    /// load-satisfy conditions for a read of strength `rk`, with no
+    /// forwarding (conservative, like pending store exclusives — every
+    /// po-earlier same-address store must have propagated or failed).
+    /// The bind may be speculative: unresolved branches do not block it
+    /// (a squash truncates the bound read with no memory effect),
+    /// matching the speculative load-exclusive of the desugared LL/SC
+    /// build. The CAS `expected` input must resolve (the compare is
+    /// decided at bind); the `operand` is only needed at propagate.
+    /// Returns the target location, or `None` if blocked.
+    fn rmw_bind_ready(&self, tid: TId, idx: usize) -> Option<Loc> {
         let t = &self.threads[tid.0];
         let inst = &t.instances[idx];
         let InstOp::Rmw {
+            dst, expected, rk, ..
+        } = &inst.op
+        else {
+            return None;
+        };
+        let loc = self.addr_of(tid, idx)?;
+        if let Some(exp) = expected {
+            // dst binds to the old value at bind time
+            self.eval_at_with(tid, idx, exp, *dst, Val(0))?;
+        }
+        for j in (0..idx).rev() {
+            let jinst = &t.instances[j];
+            match &jinst.op {
+                InstOp::Load { rk: jrk, .. } => {
+                    let jloc = self.addr_of(tid, j)?;
+                    if *jrk >= ReadKind::WeakAcquire && !jinst.is_bound() {
+                        return None; // acquire orders later reads
+                    }
+                    if jloc == loc && !jinst.is_bound() {
+                        return None; // same-address reads bind in order
+                    }
+                }
+                InstOp::Store { wk: jwk, .. } => {
+                    let jloc = self.addr_of(tid, j)?;
+                    if *rk >= ReadKind::Acquire
+                        && *jwk >= WriteKind::Release
+                        && !matches!(
+                            jinst.state,
+                            InstState::Propagated { .. } | InstState::Failed
+                        )
+                    {
+                        return None; // [RL]; po; [AQ]
+                    }
+                    if jloc == loc
+                        && !matches!(
+                            jinst.state,
+                            InstState::Propagated { .. } | InstState::Failed
+                        )
+                    {
+                        return None; // no forwarding into an RMW
+                    }
+                }
+                InstOp::Rmw {
+                    rk: jrk, wk: jwk, ..
+                } => {
+                    let jloc = self.addr_of(tid, j)?;
+                    if *jrk >= ReadKind::WeakAcquire && !jinst.read_satisfied() {
+                        return None; // acquire read orders later reads
+                    }
+                    if *rk >= ReadKind::Acquire && *jwk >= WriteKind::Release && !jinst.is_bound() {
+                        return None; // [RL]; po; [AQ]: needs the write half
+                    }
+                    if jloc == loc && !jinst.is_bound() {
+                        return None; // same-address accesses bind in order
+                    }
+                }
+                InstOp::Fence(f) => {
+                    if f.post.includes_reads() && !jinst.is_bound() {
+                        return None;
+                    }
+                }
+                InstOp::Isb => {
+                    if !jinst.is_bound() {
+                        return None;
+                    }
+                }
+                InstOp::Branch { .. } | InstOp::Assign { .. } => {}
+            }
+        }
+        Some(loc)
+    }
+
+    /// The write-propagate blocking scan for the bound RMW instance at
+    /// `idx`: the store-propagate conditions for a write of strength
+    /// `wk` (unresolved branches block — no speculative writes).
+    /// Returns the target location and the updated value to append, or
+    /// `None` if blocked. Does not check the exclusive-pairing
+    /// invariant — the caller gates on [`Memory::atomic`] over the
+    /// bound read timestamp; an interposed foreign write leaves the
+    /// propagate permanently disabled (the pairing has failed, the
+    /// machine cannot terminate down that branch, and any
+    /// interposition-free interleaving remains reachable by binding
+    /// later).
+    fn rmw_propagate_ready(&self, tid: TId, idx: usize) -> Option<(Loc, Val)> {
+        let t = &self.threads[tid.0];
+        let inst = &t.instances[idx];
+        let InstOp::Rmw {
+            op,
             dst,
             operand,
-            expected,
-            rk,
             wk,
             ..
         } = &inst.op
         else {
             return None;
         };
+        let InstState::RmwBound { old, .. } = inst.state else {
+            return None;
+        };
         let loc = self.addr_of(tid, idx)?;
-        // the operand/expected inputs (other than dst, which binds to the
-        // old value at execution) must resolve
-        self.eval_at_with(tid, idx, operand, *dst, Val(0))?;
-        if let Some(exp) = expected {
-            self.eval_at_with(tid, idx, exp, *dst, Val(0))?;
-        }
+        let opv = self.eval_at_with(tid, idx, operand, *dst, old)?;
         for j in (0..idx).rev() {
             let jinst = &t.instances[j];
             match &jinst.op {
@@ -1215,11 +1346,9 @@ impl FlatMachine {
                         return None;
                     }
                 }
-                InstOp::Store { wk: jwk, .. } => {
+                InstOp::Store { .. } => {
                     let jloc = self.addr_of(tid, j)?;
-                    let need_done = jloc == loc
-                        || *wk >= WriteKind::WeakRelease
-                        || (*rk >= ReadKind::Acquire && *jwk >= WriteKind::Release);
+                    let need_done = jloc == loc || *wk >= WriteKind::WeakRelease;
                     if need_done
                         && !matches!(
                             jinst.state,
@@ -1230,36 +1359,29 @@ impl FlatMachine {
                     }
                 }
                 InstOp::Rmw {
-                    op: jop,
-                    rk: jrk,
-                    wk: jwk,
-                    ..
+                    op: jop, rk: jrk, ..
                 } => {
                     let jloc = self.addr_of(tid, j)?;
                     let need_done = jloc == loc
                         || *wk >= WriteKind::WeakRelease
-                        || *jrk >= ReadKind::WeakAcquire
-                        || (*rk >= ReadKind::Acquire && *jwk >= WriteKind::Release)
-                        || *jop == RmwOp::Cas
                         || self.config.arch == Arch::RiscV;
                     if need_done && !jinst.is_bound() {
                         return None;
                     }
+                    let need_read = *jrk >= ReadKind::WeakAcquire || *jop == RmwOp::Cas;
+                    if need_read && !jinst.read_satisfied() {
+                        return None;
+                    }
                 }
                 InstOp::Fence(f) => {
-                    if (f.post.includes_reads() || f.post.includes_writes()) && !jinst.is_bound() {
+                    if f.post.includes_writes() && !jinst.is_bound() {
                         return None;
                     }
                 }
-                InstOp::Isb => {
-                    if !jinst.is_bound() {
-                        return None;
-                    }
-                }
-                InstOp::Assign { .. } => {}
+                InstOp::Isb | InstOp::Assign { .. } => {}
             }
         }
-        Some(loc)
+        Some((loc, op.apply(old, opv)))
     }
 
     /// Find the paired load exclusive for store exclusive `idx` (ρ11): the
@@ -1276,7 +1398,9 @@ impl FlatMachine {
                 InstOp::Rmw { .. } => {
                     // a successful RMW consumes the pairing bank (like an
                     // interposed store exclusive); a CAS compare failure
-                    // leaves its read charged in the bank
+                    // leaves its read charged in the bank. A bound-but-
+                    // unpropagated RMW's fate is undecided: the walk
+                    // answers `None` until its write half resolves.
                     return match jinst.state {
                         InstState::RmwDone {
                             tr, wrote: None, ..
@@ -1308,8 +1432,8 @@ impl FlatMachine {
 
     /// The resolved target location of the memory access instance at
     /// `idx` (load, store, or RMW), if its address is available — the
-    /// location a `Satisfy`/`Propagate`/`ExecRmw` transition on it
-    /// touches. Used by the POR footprints.
+    /// location a `Satisfy`/`Propagate`/`BindRmw`/`PropagateRmw`
+    /// transition on it touches. Used by the POR footprints.
     pub fn access_target(&self, tid: TId, idx: usize) -> Option<Loc> {
         self.addr_of(tid, idx)
     }
@@ -1353,7 +1477,11 @@ impl FlatMachine {
             let relevant = match &inst.op {
                 InstOp::Load { .. } => reads,
                 InstOp::Store { .. } => !reads,
-                InstOp::Rmw { .. } => true,
+                // A bound-but-unpropagated RMW is a pending *append* but
+                // no longer a future read — its read half has already
+                // bound. The DPOR persistent sets rely on the write side
+                // staying conservative here.
+                InstOp::Rmw { .. } => !reads || !inst.read_satisfied(),
                 InstOp::Branch { alt_cont, .. } => {
                     // unresolved: a squash would refetch the other path
                     for &id in alt_cont {
@@ -1400,6 +1528,20 @@ impl FlatMachine {
             }
             for idx in 0..t.instances.len() {
                 let inst = &t.instances[idx];
+                if let InstState::RmwBound { tr, .. } = inst.state {
+                    // write-propagate of a bound RMW, gated by the
+                    // exclusive-pairing invariant: no foreign write to
+                    // the location may have landed since the bound read
+                    // (if one has, the pairing failed and the propagate
+                    // stays disabled).
+                    if let Some((loc, _)) = self.rmw_propagate_ready(tid, idx) {
+                        let fresh = Timestamp(self.memory.max_timestamp().0 + 1);
+                        if self.memory.atomic(loc, tid, tr, fresh) {
+                            out.push(FlatTransition::PropagateRmw { tid, idx });
+                        }
+                    }
+                    continue;
+                }
                 if inst.state != InstState::Pending {
                     continue;
                 }
@@ -1407,8 +1549,8 @@ impl FlatMachine {
                     InstOp::Load { .. } if self.load_source(tid, idx).is_some() => {
                         out.push(FlatTransition::Satisfy { tid, idx });
                     }
-                    InstOp::Rmw { .. } if self.rmw_ready(tid, idx).is_some() => {
-                        out.push(FlatTransition::ExecRmw { tid, idx });
+                    InstOp::Rmw { .. } if self.rmw_bind_ready(tid, idx).is_some() => {
+                        out.push(FlatTransition::BindRmw { tid, idx });
                     }
                     InstOp::Store { exclusive, .. } => {
                         if *exclusive {
@@ -1511,22 +1653,18 @@ impl FlatMachine {
             FlatTransition::FailStx { tid, idx } => {
                 self.threads[tid.0].instances[*idx].state = InstState::Failed;
             }
-            FlatTransition::ExecRmw { tid, idx } => {
-                let loc = self.rmw_ready(*tid, *idx).expect("rmw transition enabled");
+            FlatTransition::BindRmw { tid, idx } => {
+                let loc = self
+                    .rmw_bind_ready(*tid, *idx)
+                    .expect("bind transition enabled");
                 let inst = self.threads[tid.0].instances[*idx].clone();
-                let InstOp::Rmw {
-                    op,
-                    dst,
-                    expected,
-                    operand,
-                    ..
-                } = &inst.op
-                else {
+                let InstOp::Rmw { dst, expected, .. } = &inst.op else {
                     unreachable!("rmw transition targets an rmw instance");
                 };
-                // atomically read the coherence-latest write and append
-                // the update in one step — interposition-free by
-                // construction; operand/expected see the old value in dst
+                // bind the read half to the coherence-latest write; the
+                // compare (CAS) is decided here, against the bound old
+                // value — a failed compare degrades to a bare bound read
+                // and retires immediately, nothing written.
                 let tr = self
                     .memory
                     .latest_write_at_most(loc, self.memory.max_timestamp());
@@ -1536,19 +1674,37 @@ impl FlatMachine {
                     Some(exp) => {
                         let ev = self
                             .eval_at_with(*tid, *idx, exp, *dst, old)
-                            .expect("rmw_ready resolved the inputs");
+                            .expect("rmw_bind_ready resolved the inputs");
                         old != ev
                     }
                 };
-                let wrote = if compare_failed {
-                    None
+                self.threads[tid.0].instances[*idx].state = if compare_failed {
+                    InstState::RmwDone {
+                        tr,
+                        old,
+                        wrote: None,
+                    }
                 } else {
-                    let opv = self
-                        .eval_at_with(*tid, *idx, operand, *dst, old)
-                        .expect("rmw_ready resolved the inputs");
-                    Some(self.memory.push(Msg::new(loc, op.apply(old, opv), *tid)))
+                    InstState::RmwBound { tr, old }
                 };
-                self.threads[tid.0].instances[*idx].state = InstState::RmwDone { tr, old, wrote };
+            }
+            FlatTransition::PropagateRmw { tid, idx } => {
+                let (loc, val) = self
+                    .rmw_propagate_ready(*tid, *idx)
+                    .expect("propagate transition enabled");
+                let InstState::RmwBound { tr, old } = self.threads[tid.0].instances[*idx].state
+                else {
+                    unreachable!("rmw propagate targets a bound rmw");
+                };
+                // the enabledness gate checked `Memory::atomic(loc, tid,
+                // tr, fresh)`, so the append lands adjacent to the bound
+                // read in the location's stream — the pairing invariant.
+                let tw = self.memory.push(Msg::new(loc, val, *tid));
+                self.threads[tid.0].instances[*idx].state = InstState::RmwDone {
+                    tr,
+                    old,
+                    wrote: Some(tw),
+                };
             }
         }
         self.drain();

@@ -644,21 +644,20 @@ pub fn corpus() -> Vec<CorpusTest> {
         CorpusTest {
             name: "so_exchange",
             family: "stackoverflow",
-            source: "temper memlog test_exchange (stackoverflow, ported \
-                     with release exchanges): RMW exchanges do not make an \
-                     SB shape sequentially consistent — both threads can \
-                     still miss. (The original's acq_rel read half trips a \
-                     documented conservatism of the flat strategy's \
-                     single-step RMW: see docs/architecture.md.)",
+            source: "temper memlog test_exchange (stackoverflow): RMW \
+                     exchanges do not make an SB shape sequentially \
+                     consistent — both threads can still miss, even with \
+                     acq_rel exchanges (the rmw edge runs read→write, the \
+                     wrong direction to close the cycle)",
             build: || {
                 two(
                     "so_exchange",
                     |e: Environment| {
-                        let _ = e.a.exchange_weak(0, 1, Release);
+                        let _ = e.a.exchange_weak(0, 1, AcqRel);
                         e.b.load(Relaxed)
                     },
                     |e: Environment| {
-                        let _ = e.b.exchange_weak(0, 1, Release);
+                        let _ = e.b.exchange_weak(0, 1, AcqRel);
                         e.a.load(Relaxed)
                     },
                 )

@@ -152,6 +152,33 @@ const ENTRIES: &[Entry] = &[
     // release-only CAS orders nothing on its read half either).
     t("ARM MP+rel+cas-fail\nstore(x, 37)\nstore_rel(y, 42)\n---\nr1 = cas(y, 7, 99)\nr2 = load(x)\nexists (P1:r1=42 /\\ P1:r2=0)\nexpect allowed"),
     t("ARM MP+rel+cas_rel-fail\nstore(x, 37)\nstore_rel(y, 42)\n---\nr1 = cas_rel(y, 7, 99)\nr2 = load(x)\nexists (P1:r1=42 /\\ P1:r2=0)\nexpect allowed"),
+    // ---------------- rmw-acq-po-ld family (PR 9) ----------------
+    // An acquire RMW orders po-later loads after its *read*, not its
+    // *write* (the axiomatic rmw edge runs read→write — the wrong
+    // direction to close an ob cycle), so SB with acquire exchanges
+    // still admits both loads stale. The single-step flat RMW used to
+    // forbid these; the bind/propagate split recovers them.
+    t("ARM RMW-acq-ld+amo.acq+po\nr1 = amo_add_acq(x, 1)\nr2 = load(y)\n---\nr3 = amo_add_acq(y, 1)\nr4 = load(x)\nexists (P0:r2=0 /\\ P1:r4=0)\nexpect allowed"),
+    t("ARM RMW-acq-ld+amo.acq+addr\nr1 = amo_add_acq(x, 1)\nr2 = load(y + (r1 - r1))\n---\nr3 = amo_add_acq(y, 1)\nr4 = load(x + (r3 - r3))\nexists (P0:r2=0 /\\ P1:r4=0)\nexpect allowed"),
+    t("ARM RMW-acq-ld+amo.wacq+po\nr1 = amo_add_wacq(x, 1)\nr2 = load(y)\n---\nr3 = amo_add_wacq(y, 1)\nr4 = load(x)\nexists (P0:r2=0 /\\ P1:r4=0)\nexpect allowed"),
+    t("ARM RMW-acq-ld+amo.wacq+addr\nr1 = amo_add_wacq(x, 1)\nr2 = load(y + (r1 - r1))\n---\nr3 = amo_add_wacq(y, 1)\nr4 = load(x + (r3 - r3))\nexists (P0:r2=0 /\\ P1:r4=0)\nexpect allowed"),
+    t("ARM RMW-acq-ld+swp.acq+po\nr1 = amo_swap_acq(x, 1)\nr2 = load(y)\n---\nr3 = amo_swap_acq(y, 1)\nr4 = load(x)\nexists (P0:r2=0 /\\ P1:r4=0)\nexpect allowed"),
+    t("ARM RMW-acq-ld+cas.acq+po\nr1 = cas_acq(x, 0, 1)\nr2 = load(y)\n---\nr3 = cas_acq(y, 0, 1)\nr4 = load(x)\nexists (P0:r2=0 /\\ P1:r4=0)\nexpect allowed"),
+    // …a dmb.sy after the exchange restores SC (W→R over dmb.sy closes
+    // the cycle), pinning that the split did not weaken fences…
+    t("ARM RMW-acq-ld+amo.acq+dmb.sy\nr1 = amo_add_acq(x, 1)\ndmb.sy\nr2 = load(y)\n---\nr3 = amo_add_acq(y, 1)\ndmb.sy\nr4 = load(x)\nexists (P0:r2=0 /\\ P1:r4=0)\nexpect forbidden"),
+    // …and acq_rel exchanges with *acquire* po-later loads are RCsc-
+    // forbidden ([RL]; po; [AQ] runs from the write half — the one
+    // blocking condition the split must keep at full strength).
+    t("ARM RMW-acq-ld+amo.acqrel+ld.acq\nr1 = amo_add_acq_rel(x, 1)\nr2 = load_acq(y)\n---\nr3 = amo_add_acq_rel(y, 1)\nr4 = load_acq(x)\nexists (P0:r2=0 /\\ P1:r4=0)\nexpect forbidden"),
+    // rmw_ready audit regressions (PR 9): an acquire RMW read orders
+    // po-later *stores* after the read half only, so the write halves
+    // can land after the observer's stale read…
+    t("ARM RMW-audit+amo.acq+str\nr1 = amo_add_acq(x, 1)\nstore(y, 1)\n---\nr2 = load(y)\nr3 = load(x + (r2 - r2))\nexists (P1:r2=1 /\\ P1:r3=0)\nexpect allowed"),
+    t("ARM RMW-audit+amo+str\nr1 = amo_add(x, 1)\nstore(y, 1)\n---\nr2 = load(y)\nr3 = load(x + (r2 - r2))\nexists (P1:r2=1 /\\ P1:r3=0)\nexpect allowed"),
+    // …while a CAS's compare guard is a ctrl from the read into vCAP on
+    // both architectures: LB through a successful CAS stays forbidden.
+    t("ARM RMW-audit+cas.ctrl+data\nr1 = cas(x, 1, 2)\nstore(y, 1)\n---\nr2 = load(y)\nstore(x, r2 - r2 + 1)\nexists (P0:r1=1 /\\ P1:r2=1)\nexpect forbidden"),
     // ---------------- RISC-V ----------------
     t("RISCV MP+fence.rw.rw+fence.rw.rw\nstore(x, 1)\nfence(rw, rw)\nstore(y, 1)\n---\nr1 = load(y)\nfence(rw, rw)\nr2 = load(x)\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
     t("RISCV MP+fence.w.w+addr\nstore(x, 1)\nfence(w, w)\nstore(y, 1)\n---\nr1 = load(y)\nr2 = load(x + (r1 - r1))\nexists (P1:r1=1 /\\ P1:r2=0)\nexpect forbidden"),
@@ -177,6 +204,21 @@ const ENTRIES: &[Entry] = &[
     // strength (lr.aq retry-loop reference) — and a plain one does not.
     t("RISCV MP+rel+cas_acq-fail\nstore(x, 37)\nstore_rel(y, 42)\n---\nr1 = cas_acq(y, 7, 99)\nr2 = load(x)\nexists (P1:r1=42 /\\ P1:r2=0)\nexpect forbidden"),
     t("RISCV MP+rel+cas-fail\nstore(x, 37)\nstore_rel(y, 42)\n---\nr1 = cas(y, 7, 99)\nr2 = load(x)\nexists (P1:r1=42 /\\ P1:r2=0)\nexpect allowed"),
+    // ---------------- rmw-acq-po-ld family (PR 9, RVWMO) ----------------
+    // Same shape as the ARM family: the aq annotation orders po-later
+    // loads after the AMO's *read*, so SB with aq-exchanges admits both
+    // loads stale on RISC-V too (ρ12 concerns po-later *stores* only).
+    t("RISCV RMW-acq-ld+amo.acq+po\nr1 = amo_add_acq(x, 1)\nr2 = load(y)\n---\nr3 = amo_add_acq(y, 1)\nr4 = load(x)\nexists (P0:r2=0 /\\ P1:r4=0)\nexpect allowed"),
+    t("RISCV RMW-acq-ld+amo.acq+addr\nr1 = amo_add_acq(x, 1)\nr2 = load(y + (r1 - r1))\n---\nr3 = amo_add_acq(y, 1)\nr4 = load(x + (r3 - r3))\nexists (P0:r2=0 /\\ P1:r4=0)\nexpect allowed"),
+    t("RISCV RMW-acq-ld+amo.wacq+po\nr1 = amo_add_wacq(x, 1)\nr2 = load(y)\n---\nr3 = amo_add_wacq(y, 1)\nr4 = load(x)\nexists (P0:r2=0 /\\ P1:r4=0)\nexpect allowed"),
+    t("RISCV RMW-acq-ld+amo.wacq+addr\nr1 = amo_add_wacq(x, 1)\nr2 = load(y + (r1 - r1))\n---\nr3 = amo_add_wacq(y, 1)\nr4 = load(x + (r3 - r3))\nexists (P0:r2=0 /\\ P1:r4=0)\nexpect allowed"),
+    // full fences after the exchanges restore SC (anti-rot control).
+    t("RISCV RMW-acq-ld+amo.acq+fence.rw.rw\nr1 = amo_add_acq(x, 1)\nfence(rw, rw)\nr2 = load(y)\n---\nr3 = amo_add_acq(y, 1)\nfence(rw, rw)\nr4 = load(x)\nexists (P0:r2=0 /\\ P1:r4=0)\nexpect forbidden"),
+    // rmw_ready audit regression (PR 9): ρ12 orders po-later stores
+    // after the RMW's *write* half on RISC-V (the desugared sc's
+    // success register feeds the loop exit), so the ARM-allowed
+    // RMW-audit+amo+str shape is forbidden here.
+    t("RISCV RMW-audit+amo+str\nr1 = amo_add(x, 1)\nstore(y, 1)\n---\nr2 = load(y)\nr3 = load(x + (r2 - r2))\nexists (P1:r2=1 /\\ P1:r3=0)\nexpect forbidden"),
 ];
 
 /// The *language-level* catalogue: the classics written once in the C11

@@ -55,6 +55,45 @@ fn catalogue_dpor_on_off_agree() {
     }
 }
 
+/// PR 9 anti-rot for the bind/propagate split: the `rmw-acq-po-ld`
+/// family introduces a new interleaving point (the write half of an
+/// acquire RMW propagating *after* po-later loads bound), and the
+/// per-location DPOR layer must neither prune the recovered weak
+/// outcome nor invent it. Beyond on ≡ off (which
+/// [`catalogue_dpor_on_off_agree`] already covers), this pins the
+/// expectation verdict — the `exists` witness present exactly on the
+/// `allowed` entries — in *both* DPOR modes, for every strategy.
+#[test]
+fn rmw_acq_po_ld_family_verdicts_survive_dpor() {
+    let family: Vec<LitmusTest> = catalogue()
+        .into_iter()
+        .filter(|t| t.name.contains("RMW-acq-ld") || t.name.contains("RMW-audit"))
+        .collect();
+    assert!(
+        family.len() >= 17,
+        "family shrank: only {} RMW-acq-ld/RMW-audit entries",
+        family.len()
+    );
+    for test in &family {
+        let allowed = test.expect == Some(promising_litmus::Expectation::Allowed);
+        for kind in MODELS {
+            if test.flat_conservative && kind == ModelKind::Flat {
+                continue;
+            }
+            for dpor in [true, false] {
+                let run = run_model_with(test, kind, |c| c.with_por(true).with_dpor(dpor))
+                    .expect("family run");
+                assert_eq!(
+                    test.condition.holds(&run.outcomes),
+                    allowed,
+                    "{test}: {} (dpor={dpor}) verdict flipped",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn generated_suites_dpor_on_off_agree() {
     // The shape × ordering cross plus the RMW-link cross, on both

@@ -167,6 +167,67 @@ fn small_program_strategy() -> impl Strategy<Value = Vec<Vec<Recipe>>> {
     proptest::collection::vec(proptest::collection::vec(recipe_strategy(), 1..3), 2..3)
 }
 
+/// Rewrite every statement po-after the first RMW of a thread into a
+/// load of the same location. The flat-vs-desugared comparison is only
+/// exact on such programs: the desugared retry loop's exit branch is an
+/// unresolved branch until the store-exclusive resolves, and Flat-lite
+/// conservatively blocks *all* po-later stores behind unresolved
+/// branches — so the desugared build over-orders `rmw; po; store`
+/// shapes that the first-class RMW (like the promising and axiomatic
+/// models, which the unrestricted legs above check) correctly leaves
+/// unordered. Po-later *loads* speculate past branches in Flat-lite, so
+/// the load-only suffix keeps the two builds step-for-step equivalent.
+fn loads_only_after_rmw(mut recipes: Vec<Vec<Recipe>>) -> Vec<Vec<Recipe>> {
+    for thread in &mut recipes {
+        let mut seen_rmw = false;
+        for r in thread {
+            if seen_rmw {
+                match *r {
+                    Recipe::Store { loc, .. } | Recipe::Rmw { loc, .. } => {
+                        *r = Recipe::Load {
+                            loc,
+                            acquire: false,
+                        };
+                    }
+                    Recipe::Load { .. } | Recipe::FenceSy => {}
+                }
+            } else {
+                seen_rmw = matches!(r, Recipe::Rmw { .. });
+            }
+        }
+    }
+    recipes
+}
+
+/// Programs for the flat-vs-desugared leg: generated shapes with the
+/// post-RMW statements flattened to loads (see [`loads_only_after_rmw`]).
+fn flat_program_strategy() -> impl Strategy<Value = Vec<Vec<Recipe>>> {
+    small_program_strategy().prop_map(loads_only_after_rmw)
+}
+
+/// RMW-heavy programs: *every* thread leads with an atomic update,
+/// followed by up to two loads or fences — the `rmw; po; ld`
+/// neighbourhood the bind/propagate split recovers, crossed over ops,
+/// strengths, and locations.
+fn rmw_heavy_program_strategy() -> impl Strategy<Value = Vec<Vec<Recipe>>> {
+    let thread = (
+        rmw_arm(),
+        proptest::collection::vec(
+            prop_oneof![
+                (0..2i64, any::<bool>()).prop_map(|(loc, acquire)| Recipe::Load { loc, acquire }),
+                Just(Recipe::FenceSy),
+            ],
+            0..3,
+        ),
+    )
+        .prop_map(|(rmw, mut tail)| {
+            let mut v = vec![rmw];
+            v.append(&mut tail);
+            v
+        });
+    proptest::collection::vec(thread, 2..3)
+}
+
 fn has_rmw(recipes: &[Vec<Recipe>]) -> bool {
     recipes
         .iter()
@@ -215,9 +276,12 @@ proptest! {
         );
     }
 
-    /// The same property under the Flat-lite baseline.
+    /// The same property under the Flat-lite baseline, scoped to
+    /// programs whose post-RMW statements are loads (see
+    /// [`loads_only_after_rmw`] for why the desugared build is only an
+    /// exact Flat-lite reference on that fragment).
     #[test]
-    fn rmw_equals_desugared_flat(recipes in small_program_strategy(), riscv in any::<bool>()) {
+    fn rmw_equals_desugared_flat(recipes in flat_program_strategy(), riscv in any::<bool>()) {
         let arch = if riscv { Arch::RiscV } else { Arch::Arm };
         let program = to_program(&recipes);
         let desugared = Arc::new(desugar_program_rmws(&program));
@@ -227,6 +291,33 @@ proptest! {
         prop_assert_eq!(
             &a.outcomes, &b.outcomes,
             "flat: rmw vs desugared mismatch on {:?} ({:?})", recipes, arch
+        );
+    }
+
+    /// PR 9 tentpole property: on RMW-heavy `rmw; po; ld*` programs the
+    /// split (bind/propagate) flat RMW matches both the desugared
+    /// exclusive-pair build under Flat-lite *and* the promise-first
+    /// search — i.e. the read half unblocks po-later loads exactly as an
+    /// in-flight load-exclusive would, no more and no less.
+    #[test]
+    fn split_flat_equals_desugared_on_rmw_heavy(
+        recipes in rmw_heavy_program_strategy(),
+        riscv in any::<bool>(),
+    ) {
+        let arch = if riscv { Arch::RiscV } else { Arch::Arm };
+        let program = to_program(&recipes);
+        let desugared = Arc::new(desugar_program_rmws(&program));
+        let config = Config::for_arch(arch).with_loop_fuel(FLAT_FUEL);
+        let a = explore_flat(&FlatMachine::new(Arc::clone(&program), config.clone()));
+        let b = explore_flat(&FlatMachine::new(desugared, config.clone()));
+        prop_assert_eq!(
+            &a.outcomes, &b.outcomes,
+            "flat: rmw vs desugared mismatch on {:?} ({:?})", recipes, arch
+        );
+        let pf = explore_promise_first(&Machine::new(program, config));
+        prop_assert_eq!(
+            &a.outcomes, &pf.outcomes,
+            "flat vs promise-first mismatch on {:?} ({:?})", recipes, arch
         );
     }
 }
@@ -364,6 +455,100 @@ fn failed_cas_keeps_acquire_strength() {
 
             let ax = enumerate_outcomes(&program, &AxConfig::new(arch)).expect("enumeration");
             assert_eq!(naive.outcomes, ax.outcomes, "{label}: axiomatic differs");
+        }
+    }
+}
+
+/// PR 9 headline regression: the `rmw-acq-po-ld` family. Symmetric SB
+/// where each thread's store is an acquire atomic update and the po-later
+/// load reads the other location, optionally through an address
+/// dependency on the RMW's old value:
+///
+/// ```text
+/// r1 = amo_add_acq(x, 1)        r3 = amo_add_acq(y, 1)
+/// r2 = load(y [+ (r1 - r1)])    r4 = load(x [+ (r3 - r3)])
+/// ```
+///
+/// Acquire on an RMW orders po-later loads after the *read* half only;
+/// the write half may propagate late, so `[r2=0, r4=0]` is allowed on
+/// both architectures (the axiomatic `rmw` edge runs read→write — the
+/// wrong direction to close the ob/global-order cycle). The
+/// single-step flat RMW used to forbid it by holding po-later loads
+/// until the write landed. Asserts the outcome is present and that all
+/// models — naive, promise-first, flat, the desugared build (naive and
+/// flat), and axiomatic — produce identical outcome sets.
+#[test]
+fn rmw_acq_po_ld_family_agrees_in_every_model() {
+    for arch in [Arch::Arm, Arch::RiscV] {
+        for rk in [ReadKind::Acquire, ReadKind::WeakAcquire] {
+            for addr_dep in [false, true] {
+                let mk = |own: i64, other: i64| {
+                    let mut b = CodeBuilder::new();
+                    let r = b.amo_kind(
+                        RmwOp::FetchAdd,
+                        Reg(1),
+                        Expr::val(own),
+                        Expr::val(1),
+                        rk,
+                        WriteKind::Plain,
+                    );
+                    let addr = if addr_dep {
+                        Expr::val(other).add(Expr::reg(Reg(1)).sub(Expr::reg(Reg(1))))
+                    } else {
+                        Expr::val(other)
+                    };
+                    let l = b.load(Reg(2), addr);
+                    b.finish_seq(&[r, l])
+                };
+                let program = Arc::new(Program::new(vec![mk(0, 1), mk(1, 0)]));
+                let desugared = Arc::new(desugar_program_rmws(&program));
+                let config = Config::for_arch(arch).with_loop_fuel(FLAT_FUEL);
+                let label = format!(
+                    "{}/{rk:?}/{}",
+                    arch.name(),
+                    if addr_dep { "addr" } else { "po" }
+                );
+
+                let naive = explore_naive(
+                    &Machine::new(Arc::clone(&program), config.clone()),
+                    CertMode::Online,
+                );
+                assert!(
+                    naive.outcomes.iter().any(|o| {
+                        o.reg(0, Reg(2)) == promising_core::Val(0)
+                            && o.reg(1, Reg(2)) == promising_core::Val(0)
+                    }),
+                    "{label}: both-stale outcome missing from the reference model"
+                );
+
+                let pf = explore_promise_first(&Machine::new(Arc::clone(&program), config.clone()));
+                assert_eq!(
+                    naive.outcomes, pf.outcomes,
+                    "{label}: promise-first differs"
+                );
+
+                let flat = explore_flat(&FlatMachine::new(Arc::clone(&program), config.clone()));
+                assert_eq!(naive.outcomes, flat.outcomes, "{label}: flat differs");
+
+                let de_naive = explore_naive(
+                    &Machine::new(Arc::clone(&desugared), config.clone()),
+                    CertMode::Online,
+                );
+                assert_eq!(
+                    naive.outcomes, de_naive.outcomes,
+                    "{label}: desugared (naive) differs"
+                );
+                let de_flat = explore_flat(&FlatMachine::new(Arc::clone(&desugared), config));
+                assert_eq!(
+                    naive.outcomes, de_flat.outcomes,
+                    "{label}: desugared (flat) differs"
+                );
+
+                let mut ax_cfg = AxConfig::new(arch);
+                ax_cfg.loop_fuel = FLAT_FUEL;
+                let ax = enumerate_outcomes(&program, &ax_cfg).expect("axiomatic enumeration");
+                assert_eq!(naive.outcomes, ax.outcomes, "{label}: axiomatic differs");
+            }
         }
     }
 }
