@@ -16,7 +16,7 @@
 //!   quick CI sweeps);
 //! * `--json PATH` — write a machine-readable verdict snapshot.
 
-use promising_bench::Table;
+use promising_bench::{host_cpus, Table};
 use promising_core::Arch;
 use promising_harness::corpus::corpus;
 use promising_harness::ModelKind;
@@ -112,9 +112,10 @@ fn main() {
 
     if let Some(path) = json {
         let body = format!(
-            "{{\"checked\":{},\"total\":{},\"failed\":{},\"elapsed_s\":{:.1},\n\"rows\":[\n{}\n]}}\n",
+            "{{\"checked\":{},\"total\":{},\"failed\":{},\"cores\":{},\"elapsed_s\":{:.1},\n\"rows\":[\n{}\n]}}\n",
             tests.len(),
             total,
+            host_cpus(),
             failures.len(),
             start.elapsed().as_secs_f64(),
             json_rows.join(",\n")

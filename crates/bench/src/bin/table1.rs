@@ -20,7 +20,7 @@
 //! * rows without any RMW instruction desugar to themselves and report a
 //!   ratio of 1.
 
-use promising_bench::{fmt_duration, Table};
+use promising_bench::{fmt_duration, host_cpus, Table};
 use promising_core::{Arch, Machine};
 use promising_explorer::{explore_naive_budget, CertMode, SearchBudget};
 use promising_workloads::{init_for, table1_rows};
@@ -183,6 +183,7 @@ fn main() {
         let _ = writeln!(out, "{{");
         let _ = writeln!(out, "  \"suite\": \"table1-rmw\",");
         let _ = writeln!(out, "  \"timeout_secs\": {},", args.timeout.as_secs());
+        let _ = writeln!(out, "  \"cores\": {},", host_cpus());
         let _ = writeln!(out, "  \"llsc_extra_fuel\": {LLSC_EXTRA_FUEL},");
         let _ = writeln!(out, "  \"rows\": [");
         let _ = writeln!(out, "{}", json_rows.join(",\n"));

@@ -11,7 +11,8 @@
 //! ```text
 //! cargo run --release -p promising-bench --bin table2 -- \
 //!     [timeout-secs] [--json PATH] [--legacy] [--no-flat] [--no-por] \
-//!     [--no-dpor] [--workers N,M,..] [--rows A,B,..] [--sample N] [--seed S]
+//!     [--no-dpor] [--workers N,M,..] [--worker-sweep N,M,..] \
+//!     [--rows A,B,..] [--sample N] [--seed S]
 //! ```
 //!
 //! * `--json PATH` — also write a machine-readable snapshot (the
@@ -32,12 +33,23 @@
 //!   restricted-fingerprint certification memo keys;
 //! * `--workers 2,4` — additionally run the promising side with those
 //!   worker counts (parallel frontier);
+//! * `--worker-sweep 1,2,4,8` — the multi-core bench protocol: run the
+//!   promising side once per worker count, assert the outcome digests
+//!   byte-identical across counts, and emit a per-row `worker_sweep`
+//!   series (secs, steal counts, and — only when the host has more than
+//!   one logical core — speedup vs the 1-worker cell). The snapshot's
+//!   top-level `cores`/`worker_mode` pair says how to read the series:
+//!   on a 1-CPU host it is marked `overhead-only` and no speedup ratio
+//!   is ever printed;
 //! * `--rows SLA-1,SLC-2` — restrict to the named rows;
 //! * `--sample N` — additionally run `N` seeded random promise walks per
 //!   row (`Engine::sample`, deterministic for a fixed `--seed`); sampled
 //!   outcome sets are cross-checked to be subsets of the exhaustive sets.
 
-use promising_bench::{explore_promise_first_legacy, fmt_duration, json_secs, Table};
+use promising_bench::{
+    explore_promise_first_legacy, fmt_duration, host_cpus, json_secs, parse_worker_list,
+    sweep_cell_text, sweep_json, worker_mode, SweepCell, Table,
+};
 use promising_core::{Arch, Machine};
 use promising_explorer::{explore_promise_first_budget, Engine, PromiseFirstModel, SearchBudget};
 use promising_flat::{explore_flat_budget, FlatMachine};
@@ -81,6 +93,7 @@ struct Args {
     no_por: bool,
     no_dpor: bool,
     workers: Vec<usize>,
+    sweep: Vec<usize>,
     rows: Vec<String>,
     sample: Option<u64>,
     seed: u64,
@@ -95,6 +108,7 @@ fn parse_args() -> Args {
         no_por: false,
         no_dpor: false,
         workers: Vec::new(),
+        sweep: Vec::new(),
         rows: ROWS.iter().map(|s| s.to_string()).collect(),
         sample: None,
         seed: 0,
@@ -113,6 +127,9 @@ fn parse_args() -> Args {
                     .split(',')
                     .map(|w| w.parse().expect("worker counts are integers"))
                     .collect();
+            }
+            "--worker-sweep" => {
+                args.sweep = parse_worker_list(&it.next().expect("--worker-sweep needs a list"));
             }
             "--rows" => {
                 let list = it.next().expect("--rows needs a list");
@@ -161,22 +178,24 @@ struct Row {
     f_stop: &'static str,
     legacy: Cell,
     by_workers: Vec<(usize, Cell)>,
+    /// The `--worker-sweep` series: one cell per requested worker count,
+    /// outcome digests asserted byte-identical to the serial reference.
+    sweep: Vec<SweepCell>,
     sampled: Option<(Cell, usize)>,
 }
 
 fn render_json(args: &Args, rows: &[Row]) -> String {
     let timeout = args.timeout;
+    let cores = host_cpus();
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"suite\": \"table2\",");
     let _ = writeln!(out, "  \"timeout_secs\": {},", timeout.as_secs());
     // Interpreting the worker columns needs the host's parallelism: on a
-    // 1-CPU host they measure scheduling overhead, not scaling.
-    let _ = writeln!(
-        out,
-        "  \"host_cpus\": {},",
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    );
+    // 1-CPU host they measure scheduling overhead, not scaling, so the
+    // sweep is marked "overhead-only" and carries no speedup ratios.
+    let _ = writeln!(out, "  \"cores\": {cores},");
+    let _ = writeln!(out, "  \"worker_mode\": \"{}\",", worker_mode(cores));
     let _ = writeln!(out, "  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
@@ -210,6 +229,7 @@ fn render_json(args: &Args, rows: &[Row]) -> String {
         for (w, cell) in &r.by_workers {
             let _ = write!(out, ", \"promising_w{}_secs\": {}", w, json_secs(*cell));
         }
+        let _ = write!(out, "{}", sweep_json(&r.sweep, cores));
         if let Some((cell, outcomes)) = &r.sampled {
             let _ = write!(
                 out,
@@ -227,10 +247,19 @@ fn render_json(args: &Args, rows: &[Row]) -> String {
 
 fn main() {
     let args = parse_args();
+    let cores = host_cpus();
     println!(
         "Table 2: exhaustive run times in seconds (timeout {}s per cell)\n",
         args.timeout.as_secs()
     );
+    if !args.sweep.is_empty() {
+        println!(
+            "worker sweep {:?} on {} logical core(s): {} columns\n",
+            args.sweep,
+            cores,
+            worker_mode(cores)
+        );
+    }
     let mut header: Vec<String> = ["Test", "Promising", "Flat", "P-states", "F-states"]
         .iter()
         .map(|s| s.to_string())
@@ -241,6 +270,9 @@ fn main() {
     }
     for w in &args.workers {
         header.push(format!("P-w{w}"));
+    }
+    for w in &args.sweep {
+        header.push(format!("Sweep-w{w}"));
     }
     if let Some(n) = args.sample {
         header.push(format!("Sampled({n})"));
@@ -305,6 +337,31 @@ fn main() {
             })
             .collect();
 
+        let sweep: Vec<SweepCell> = args
+            .sweep
+            .iter()
+            .map(|&n| {
+                let mw = Machine::with_init(
+                    w.program.clone(),
+                    mk_config(w.config(Arch::Arm)).with_workers(n),
+                    init.clone(),
+                );
+                let e = explore_promise_first_budget(&mw, budget);
+                if !e.stats.truncated() && !p.stats.truncated() {
+                    assert_eq!(
+                        e.outcomes_digest(),
+                        p.outcomes_digest(),
+                        "{spec}: {n}-worker outcome digest must be byte-identical to serial"
+                    );
+                }
+                SweepCell {
+                    workers: n,
+                    secs: (!e.stats.truncated()).then_some(e.stats.wall_time.as_secs_f64()),
+                    steals: e.stats.steals,
+                }
+            })
+            .collect();
+
         let (f_time, f_states, f_stop) = if args.no_flat {
             (None, 0, "completed")
         } else {
@@ -350,6 +407,7 @@ fn main() {
             f_stop,
             legacy: legacy.flatten(),
             by_workers,
+            sweep,
             sampled,
         };
 
@@ -374,6 +432,14 @@ fn main() {
         }
         for (_, c) in &row.by_workers {
             cells.push(fmt_cell(*c));
+        }
+        let sweep_base = row
+            .sweep
+            .iter()
+            .find(|c| c.workers == 1)
+            .and_then(|c| c.secs);
+        for c in &row.sweep {
+            cells.push(sweep_cell_text(c, sweep_base, cores));
         }
         if let Some((c, outcomes)) = &row.sampled {
             cells.push(format!("{} ({} outc.)", fmt_cell(*c), outcomes));

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! cargo run --release -p promising-bench --bin table3 -- \
-//!     [timeout-secs] [--json PATH] [--no-por] [--no-dpor] [--sample N] [--seed S]
+//!     [timeout-secs] [--json PATH] [--no-por] [--no-dpor] \
+//!     [--worker-sweep N,M,..] [--sample N] [--seed S]
 //! ```
 //!
 //! * `--sample N` adds a sampled-promising column: `N` seeded random
@@ -18,9 +19,17 @@
 //!   timing fields vary;
 //! * `--no-por` disables partial-order reduction (`Config::por`);
 //! * `--no-dpor` keeps the static POR but disables the per-location
-//!   dynamic refinement (`Config::dpor`).
+//!   dynamic refinement (`Config::dpor`);
+//! * `--worker-sweep 1,2,4,8` re-runs the promising side once per
+//!   worker count (work-stealing frontier), asserts the outcome digests
+//!   byte-identical across counts, and emits a per-row `worker_sweep`
+//!   series. Speedup ratios appear only when the host has more than one
+//!   logical core (snapshot-level `cores` / `worker_mode`).
 
-use promising_bench::{fmt_duration, json_secs, Table};
+use promising_bench::{
+    fmt_duration, host_cpus, json_secs, parse_worker_list, sweep_cell_text, sweep_json,
+    worker_mode, SweepCell, Table,
+};
 use promising_core::{Arch, Machine};
 use promising_explorer::{explore_promise_first_budget, Engine, PromiseFirstModel, SearchBudget};
 use promising_flat::{explore_flat_budget, FlatMachine};
@@ -78,6 +87,7 @@ struct Row {
     digest: String,
     flat: Option<f64>,
     f_stop: &'static str,
+    sweep: Vec<SweepCell>,
     sampled: Option<(Option<f64>, usize)>,
 }
 
@@ -88,9 +98,13 @@ fn main() {
     let mut json: Option<String> = None;
     let mut no_por = false;
     let mut no_dpor = false;
+    let mut sweep_counts: Vec<usize> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--worker-sweep" => {
+                sweep_counts = parse_worker_list(&it.next().expect("--worker-sweep needs a list"));
+            }
             "--sample" => {
                 sample = Some(
                     it.next()
@@ -113,16 +127,32 @@ fn main() {
             },
         }
     }
+    let cores = host_cpus();
     println!(
         "Table 3 (Appendix E): full run-time sweep, timeout {}s per cell\n",
         timeout.as_secs()
     );
-    let budget = SearchBudget::deadline(Some(timeout));
-    let mut header = vec!["Test", "Promising", "Flat"];
-    if sample.is_some() {
-        header.push("Sampled");
+    if !sweep_counts.is_empty() {
+        println!(
+            "worker sweep {:?} on {} logical core(s): {} columns\n",
+            sweep_counts,
+            cores,
+            worker_mode(cores)
+        );
     }
-    let mut table = Table::new(&header);
+    let budget = SearchBudget::deadline(Some(timeout));
+    let mut header: Vec<String> = ["Test", "Promising", "Flat"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    for w in &sweep_counts {
+        header.push(format!("Sweep-w{w}"));
+    }
+    if sample.is_some() {
+        header.push("Sampled".to_string());
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
     let mut rows: Vec<Row> = Vec::new();
     for spec in ROWS {
         let Some(w) = by_spec(spec) else {
@@ -137,6 +167,32 @@ fn main() {
         );
         let p = explore_promise_first_budget(&m, budget);
         let p_time = (!p.stats.truncated()).then_some(p.stats.wall_time.as_secs_f64());
+        let sweep: Vec<SweepCell> = sweep_counts
+            .iter()
+            .map(|&n| {
+                let mw = Machine::with_init(
+                    w.program.clone(),
+                    w.config(Arch::Arm)
+                        .with_por(!no_por)
+                        .with_dpor(!no_dpor)
+                        .with_workers(n),
+                    init.clone(),
+                );
+                let e = explore_promise_first_budget(&mw, budget);
+                if !e.stats.truncated() && !p.stats.truncated() {
+                    assert_eq!(
+                        e.outcomes_digest(),
+                        p.outcomes_digest(),
+                        "{spec}: {n}-worker outcome digest must be byte-identical to serial"
+                    );
+                }
+                SweepCell {
+                    workers: n,
+                    secs: (!e.stats.truncated()).then_some(e.stats.wall_time.as_secs_f64()),
+                    steals: e.stats.steals,
+                }
+            })
+            .collect();
         let fm = FlatMachine::with_init(
             w.program.clone(),
             w.config_unshared(Arch::Arm)
@@ -148,6 +204,10 @@ fn main() {
         let f_time = (!f.stats.truncated()).then_some(f.stats.wall_time.as_secs_f64());
         let fmt_cell = |c: Option<f64>| fmt_duration(c.map(Duration::from_secs_f64));
         let mut cells = vec![spec.to_string(), fmt_cell(p_time), fmt_cell(f_time)];
+        let sweep_base = sweep.iter().find(|c| c.workers == 1).and_then(|c| c.secs);
+        for c in &sweep {
+            cells.push(sweep_cell_text(c, sweep_base, cores));
+        }
         let sampled = sample.map(|n| {
             let s = Engine::new(PromiseFirstModel::new(&m))
                 .with_budget(budget)
@@ -177,6 +237,7 @@ fn main() {
             digest: p.outcomes_digest(),
             flat: f_time,
             f_stop: f.stats.stop.name(),
+            sweep,
             sampled,
         });
     }
@@ -187,6 +248,8 @@ fn main() {
         let _ = writeln!(out, "{{");
         let _ = writeln!(out, "  \"suite\": \"table3\",");
         let _ = writeln!(out, "  \"timeout_secs\": {},", timeout.as_secs());
+        let _ = writeln!(out, "  \"cores\": {cores},");
+        let _ = writeln!(out, "  \"worker_mode\": \"{}\",", worker_mode(cores));
         let _ = writeln!(out, "  \"por\": {},", !no_por);
         let _ = writeln!(out, "  \"dpor\": {},", !no_dpor);
         let _ = writeln!(out, "  \"rows\": [");
@@ -203,6 +266,7 @@ fn main() {
                 json_secs(r.flat),
                 r.f_stop,
             );
+            let _ = write!(out, "{}", sweep_json(&r.sweep, cores));
             if let Some((cell, outcomes)) = &r.sampled {
                 let _ = write!(
                     out,

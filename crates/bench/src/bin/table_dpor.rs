@@ -22,13 +22,22 @@
 //!
 //! ```text
 //! cargo run --release -p promising-bench --bin table_dpor -- \
-//!     [timeout-secs] [--json PATH]
+//!     [timeout-secs] [--json PATH] [--worker-sweep N,M,..]
 //! ```
 //!
 //! Outcome sets are asserted identical dpor-on vs dpor-off on every row
 //! that completes both sides (the process exits non-zero otherwise).
+//!
+//! `--worker-sweep 1,2,4,8` re-runs each *flat* dpor-on cell once per
+//! worker count over the work-stealing frontier, asserting the outcome
+//! set identical to the serial cell, and emits a per-row `worker_sweep`
+//! series in the JSON. The snapshot-level `cores`/`worker_mode` pair
+//! says how to read it: speedup ratios are only printed when the host
+//! has more than one logical core.
 
-use promising_bench::Table;
+use promising_bench::{
+    host_cpus, parse_worker_list, sweep_cell_text, sweep_json, worker_mode, SweepCell, Table,
+};
 use promising_core::{Arch, CodeBuilder, Config, Expr, Machine, Program, Reg};
 use promising_explorer::{explore_naive_budget, CertMode, Exploration, SearchBudget};
 use promising_flat::{explore_flat_budget, FlatMachine};
@@ -79,6 +88,9 @@ struct Row {
     stop_base: &'static str,
     truncated: bool,
     equal: bool,
+    /// `--worker-sweep` series for the dpor-on cell (flat rows only;
+    /// empty when the sweep was not requested or does not apply).
+    sweep: Vec<SweepCell>,
 }
 
 impl Row {
@@ -107,28 +119,42 @@ fn fanout_program(readers: usize, locs: usize) -> Arc<Program> {
 fn main() {
     let mut timeout = Duration::from_secs(60);
     let mut json: Option<String> = None;
+    let mut sweep_counts: Vec<usize> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = Some(it.next().expect("--json needs a path")),
+            "--worker-sweep" => {
+                sweep_counts = parse_worker_list(&it.next().expect("--worker-sweep needs a list"));
+            }
             other => match other.parse::<u64>() {
                 Ok(secs) => timeout = Duration::from_secs(secs),
                 Err(_) => panic!("unknown argument: {other}"),
             },
         }
     }
+    let cores = host_cpus();
     let budget = SearchBudget::deadline(Some(timeout));
     println!(
         "DPOR ablation: visited states with Config::dpor on vs off, por on in both ({}s per cell)\n",
         timeout.as_secs()
     );
+    if !sweep_counts.is_empty() {
+        println!(
+            "worker sweep {:?} on {} logical core(s): {} columns\n",
+            sweep_counts,
+            cores,
+            worker_mode(cores)
+        );
+    }
 
     let mut rows: Vec<Row> = Vec::new();
     let mut measure = |name: String,
                        model: &'static str,
                        group: &'static str,
                        on: Exploration,
-                       off: Exploration| {
+                       off: Exploration,
+                       sweep: Vec<SweepCell>| {
         let truncated = on.stats.truncated() || off.stats.truncated();
         let row = Row {
             name: name.clone(),
@@ -144,6 +170,7 @@ fn main() {
             stop_base: off.stats.stop.name(),
             truncated,
             equal: truncated || on.outcomes == off.outcomes,
+            sweep,
         };
         eprintln!(
             "  {model} {name}: {} -> {} states ({:.2}x), {} survived{}",
@@ -179,7 +206,7 @@ fn main() {
         );
         (on, off)
     };
-    let flat_pair = |program: &Arc<Program>, config: Config, init: &Init| {
+    let flat_pair = |name: &str, program: &Arc<Program>, config: Config, init: &Init| {
         let on = explore_flat_budget(
             &FlatMachine::with_init(
                 Arc::clone(program),
@@ -188,6 +215,34 @@ fn main() {
             ),
             budget,
         );
+        let sweep: Vec<SweepCell> = sweep_counts
+            .iter()
+            .map(|&n| {
+                let e = explore_flat_budget(
+                    &FlatMachine::with_init(
+                        Arc::clone(program),
+                        config
+                            .clone()
+                            .with_por(true)
+                            .with_dpor(true)
+                            .with_workers(n),
+                        init.clone(),
+                    ),
+                    budget,
+                );
+                if !e.stats.truncated() && !on.stats.truncated() {
+                    assert_eq!(
+                        e.outcomes, on.outcomes,
+                        "{name}: {n}-worker and serial flat outcome sets must agree"
+                    );
+                }
+                SweepCell {
+                    workers: n,
+                    secs: (!e.stats.truncated()).then_some(e.stats.wall_time.as_secs_f64()),
+                    steals: e.stats.steals,
+                }
+            })
+            .collect();
         let off = explore_flat_budget(
             &FlatMachine::with_init(
                 Arc::clone(program),
@@ -196,16 +251,31 @@ fn main() {
             ),
             budget,
         );
-        (on, off)
+        (on, off, sweep)
     };
 
     for spec in HEAVY {
         let w = by_spec(spec).expect("heavy row spec parses");
         let init = init_for(&w);
         let (on, off) = naive_pair(&w.program, w.config(Arch::Arm), &init);
-        measure(spec.to_string(), "naive", "table2-heavy", on, off);
-        let (f_on, f_off) = flat_pair(&w.program, w.config_unshared(Arch::Arm), &init);
-        measure(spec.to_string(), "flat", "table2-heavy", f_on, f_off);
+        measure(
+            spec.to_string(),
+            "naive",
+            "table2-heavy",
+            on,
+            off,
+            Vec::new(),
+        );
+        let (f_on, f_off, f_sweep) =
+            flat_pair(spec, &w.program, w.config_unshared(Arch::Arm), &init);
+        measure(
+            spec.to_string(),
+            "flat",
+            "table2-heavy",
+            f_on,
+            f_off,
+            f_sweep,
+        );
     }
 
     let no_init = Init::new();
@@ -213,9 +283,9 @@ fn main() {
         let name = format!("RF-{readers}-{locs}");
         let program = fanout_program(readers, locs);
         let (on, off) = naive_pair(&program, Config::arm(), &no_init);
-        measure(name.clone(), "naive", "read-parallel", on, off);
-        let (f_on, f_off) = flat_pair(&program, Config::arm(), &no_init);
-        measure(name, "flat", "read-parallel", f_on, f_off);
+        measure(name.clone(), "naive", "read-parallel", on, off, Vec::new());
+        let (f_on, f_off, f_sweep) = flat_pair(&name, &program, Config::arm(), &no_init);
+        measure(name, "flat", "read-parallel", f_on, f_off, f_sweep);
     }
 
     for t in catalogue() {
@@ -224,10 +294,17 @@ fn main() {
         }
         let config = Config::for_arch(t.arch).with_loop_fuel(t.loop_fuel.unwrap_or(DEFAULT_FUEL));
         let (on, off) = naive_pair(&t.program, config, &t.init);
-        measure(t.name.clone(), "naive", "read-parallel", on, off);
+        measure(
+            t.name.clone(),
+            "naive",
+            "read-parallel",
+            on,
+            off,
+            Vec::new(),
+        );
     }
 
-    let mut table = Table::new(&[
+    let mut header: Vec<String> = [
         "Test",
         "Model",
         "Group",
@@ -236,9 +313,17 @@ fn main() {
         "Reduction",
         "Pruned",
         "Cert h/m/surv",
-    ]);
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    for w in &sweep_counts {
+        header.push(format!("Sweep-w{w}"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
     for r in &rows {
-        table.row(&[
+        let mut cells = vec![
             r.name.clone(),
             r.model.to_string(),
             r.group.to_string(),
@@ -251,7 +336,15 @@ fn main() {
             format!("{:.2}x", r.reduction()),
             r.pruned.to_string(),
             format!("{}/{}/{}", r.cert_hits, r.cert_misses, r.cert_survived),
-        ]);
+        ];
+        let sweep_base = r.sweep.iter().find(|c| c.workers == 1).and_then(|c| c.secs);
+        for w in &sweep_counts {
+            cells.push(match r.sweep.iter().find(|c| c.workers == *w) {
+                Some(c) => sweep_cell_text(c, sweep_base, cores),
+                None => "-".to_string(),
+            });
+        }
+        table.row(&cells);
     }
     println!("{}", table.render());
 
@@ -299,6 +392,8 @@ fn main() {
         let _ = writeln!(out, "{{");
         let _ = writeln!(out, "  \"suite\": \"table_dpor\",");
         let _ = writeln!(out, "  \"timeout_secs\": {},", timeout.as_secs());
+        let _ = writeln!(out, "  \"cores\": {cores},");
+        let _ = writeln!(out, "  \"worker_mode\": \"{}\",", worker_mode(cores));
         let json_mean = |m: Option<f64>| match m {
             Some(m) => format!("{m:.4}"),
             None => "null".to_string(),
@@ -320,9 +415,9 @@ fn main() {
         );
         let _ = writeln!(out, "  \"rows\": [");
         for (i, r) in rows.iter().enumerate() {
-            let _ = writeln!(
+            let _ = write!(
                 out,
-                "    {{\"test\": \"{}\", \"model\": \"{}\", \"group\": \"{}\", \"states_base\": {}, \"states_dpor\": {}, \"reduction\": {:.4}, \"por_pruned\": {}, \"cert_hits\": {}, \"cert_misses\": {}, \"cert_survived\": {}, \"stop_dpor\": \"{}\", \"stop_base\": \"{}\", \"truncated\": {}, \"outcomes_equal\": {}}}{}",
+                "    {{\"test\": \"{}\", \"model\": \"{}\", \"group\": \"{}\", \"states_base\": {}, \"states_dpor\": {}, \"reduction\": {:.4}, \"por_pruned\": {}, \"cert_hits\": {}, \"cert_misses\": {}, \"cert_survived\": {}, \"stop_dpor\": \"{}\", \"stop_base\": \"{}\", \"truncated\": {}, \"outcomes_equal\": {}",
                 r.name,
                 r.model,
                 r.group,
@@ -337,8 +432,9 @@ fn main() {
                 r.stop_base,
                 r.truncated,
                 r.equal,
-                if i + 1 < rows.len() { "," } else { "" }
             );
+            let _ = write!(out, "{}", sweep_json(&r.sweep, cores));
+            let _ = writeln!(out, "}}{}", if i + 1 < rows.len() { "," } else { "" });
         }
         let _ = writeln!(out, "  ]");
         let _ = write!(out, "}}");

@@ -17,7 +17,7 @@
 //! * `--catalogue-only` — skip the generated suite entirely;
 //! * `--json PATH` — write a machine-readable snapshot.
 
-use promising_bench::Table;
+use promising_bench::{host_cpus, Table};
 use promising_core::Arch;
 use promising_litmus::{
     check_lang_conformance, generate_lang_subsample, generate_lang_suite, lang_catalogue,
@@ -163,8 +163,9 @@ fn main() {
 
     if let Some(path) = json {
         let body = format!(
-            "{{\"total\":{},\"secs\":{:.3},\"rows\":[\n{}\n]}}\n",
+            "{{\"total\":{},\"cores\":{},\"secs\":{:.3},\"rows\":[\n{}\n]}}\n",
             corpus.len(),
+            host_cpus(),
             start.elapsed().as_secs_f64(),
             json_rows.join(",\n")
         );

@@ -29,7 +29,7 @@
 //! Outcome sets are asserted identical POR-on vs POR-off on every row
 //! that completes both sides (the process exits non-zero otherwise).
 
-use promising_bench::Table;
+use promising_bench::{host_cpus, Table};
 use promising_core::{Arch, CodeBuilder, Config, Expr, Machine, Program, Reg};
 use promising_explorer::{explore_naive_budget, CertMode, Exploration, SearchBudget};
 use promising_flat::{explore_flat_budget, FlatMachine};
@@ -306,6 +306,7 @@ fn main() {
         let _ = writeln!(out, "{{");
         let _ = writeln!(out, "  \"suite\": \"table_por\",");
         let _ = writeln!(out, "  \"timeout_secs\": {},", timeout.as_secs());
+        let _ = writeln!(out, "  \"cores\": {},", host_cpus());
         let json_mean = |m: Option<f64>| match m {
             Some(m) => format!("{m:.4}"),
             None => "null".to_string(),

@@ -14,4 +14,7 @@ pub use batch::{
     ResultCache, Tier, TierBudgets, VerdictRecord,
 };
 pub use legacy::explore_promise_first_legacy;
-pub use table::{fmt_duration, json_secs, Table};
+pub use table::{
+    fmt_duration, host_cpus, json_secs, parse_worker_list, sweep_cell_text, sweep_json,
+    worker_mode, SweepCell, Table,
+};

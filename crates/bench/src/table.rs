@@ -73,6 +73,106 @@ pub fn json_secs(c: Option<f64>) -> String {
     }
 }
 
+/// Logical cores on this host. Every `--json` snapshot records this as
+/// `"cores"`: timing cells — above all the per-worker-count ones — are
+/// meaningless without knowing how much parallelism the host had.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// How a snapshot's per-worker-count columns must be read on a host
+/// with `cores` logical CPUs: real `"speedup"` curves need more than
+/// one core; on a 1-CPU host the sweep only measures the scheduling
+/// overhead of the work-stealing frontier, and labelling those numbers
+/// "speedup" would be a lie.
+pub fn worker_mode(cores: usize) -> &'static str {
+    if cores > 1 {
+        "speedup"
+    } else {
+        "overhead-only"
+    }
+}
+
+/// Parse a `--worker-sweep 1,2,4,8` list (strictly positive counts).
+pub fn parse_worker_list(list: &str) -> Vec<usize> {
+    list.split(',')
+        .map(|w| {
+            let n: usize = w.trim().parse().expect("worker counts are integers");
+            assert!(n > 0, "worker counts must be positive");
+            n
+        })
+        .collect()
+}
+
+/// One measured cell of a `--worker-sweep` row: the same search run
+/// with `workers` frontier workers. `secs` is `None` for a cell that
+/// hit its budget ("ooT").
+#[derive(Clone, Copy, Debug)]
+pub struct SweepCell {
+    /// Worker count the cell ran with.
+    pub workers: usize,
+    /// Wall-clock seconds, `None` = over the timeout.
+    pub secs: Option<f64>,
+    /// States obtained by cross-worker steals (0 when `workers` == 1).
+    pub steals: u64,
+}
+
+impl SweepCell {
+    /// Speedup of this cell relative to the sweep's 1-worker cell —
+    /// only defined when the host can actually run workers in parallel
+    /// (`cores > 1`) and both cells completed. On a single-core host
+    /// this returns `None` no matter what the clock says: the ratio
+    /// would measure scheduler overhead, not scaling.
+    pub fn speedup(&self, base_secs: Option<f64>, cores: usize) -> Option<f64> {
+        if cores <= 1 {
+            return None;
+        }
+        match (base_secs, self.secs) {
+            (Some(b), Some(s)) => Some(b / s.max(1e-9)),
+            _ => None,
+        }
+    }
+}
+
+/// Render the `"worker_sweep": [..]` JSON fragment for one row
+/// (leading `, ` included; empty string for an empty sweep). Each cell
+/// carries a `"mode"`-free local view — the snapshot-level `"cores"` +
+/// `"worker_mode"` pair says how to read it — and a `"speedup"` key
+/// that is only present when [`SweepCell::speedup`] is defined.
+pub fn sweep_json(cells: &[SweepCell], cores: usize) -> String {
+    if cells.is_empty() {
+        return String::new();
+    }
+    let base = cells.iter().find(|c| c.workers == 1).and_then(|c| c.secs);
+    let mut out = String::from(", \"worker_sweep\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"workers\": {}, \"secs\": {}, \"steals\": {}",
+            if i > 0 { ", " } else { "" },
+            c.workers,
+            json_secs(c.secs),
+            c.steals,
+        );
+        if let Some(s) = c.speedup(base, cores) {
+            let _ = write!(out, ", \"speedup\": {s:.2}");
+        }
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+/// Text-table rendering of one sweep cell: the timing, annotated with
+/// the speedup ratio only when it is defined for this host.
+pub fn sweep_cell_text(cell: &SweepCell, base_secs: Option<f64>, cores: usize) -> String {
+    let t = fmt_duration(cell.secs.map(Duration::from_secs_f64));
+    match cell.speedup(base_secs, cores) {
+        Some(s) => format!("{t} ({s:.1}x)"),
+        None => t,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +192,85 @@ mod tests {
     fn oot_formatting() {
         assert_eq!(fmt_duration(None), "ooT");
         assert_eq!(fmt_duration(Some(Duration::from_millis(1500))), "1.50");
+    }
+
+    #[test]
+    fn worker_mode_refuses_speedup_on_one_core() {
+        assert_eq!(worker_mode(1), "overhead-only");
+        assert_eq!(worker_mode(2), "speedup");
+        assert_eq!(worker_mode(64), "speedup");
+    }
+
+    #[test]
+    fn parse_worker_list_accepts_sweeps() {
+        assert_eq!(parse_worker_list("1,2,4,8"), vec![1, 2, 4, 8]);
+        assert_eq!(parse_worker_list(" 3 "), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn parse_worker_list_rejects_zero() {
+        parse_worker_list("1,0,4");
+    }
+
+    #[test]
+    fn speedup_is_undefined_on_a_single_core_host() {
+        let cell = SweepCell {
+            workers: 4,
+            secs: Some(0.5),
+            steals: 12,
+        };
+        assert_eq!(cell.speedup(Some(1.0), 1), None, "1-CPU host: no speedup");
+        assert_eq!(cell.speedup(Some(1.0), 8), Some(2.0));
+        assert_eq!(cell.speedup(None, 8), None, "ooT baseline: no ratio");
+    }
+
+    #[test]
+    fn sweep_json_marks_speedup_only_when_defined() {
+        let cells = [
+            SweepCell {
+                workers: 1,
+                secs: Some(1.0),
+                steals: 0,
+            },
+            SweepCell {
+                workers: 2,
+                secs: Some(0.5),
+                steals: 7,
+            },
+            SweepCell {
+                workers: 4,
+                secs: None,
+                steals: 0,
+            },
+        ];
+        let multi = sweep_json(&cells, 8);
+        assert!(
+            multi.contains("\"workers\": 2, \"secs\": 0.500000, \"steals\": 7, \"speedup\": 2.00")
+        );
+        assert!(multi.contains("\"workers\": 4, \"secs\": null, \"steals\": 0}"));
+        let single = sweep_json(&cells, 1);
+        assert!(
+            !single.contains("speedup"),
+            "a 1-core host must never claim a speedup: {single}"
+        );
+        assert_eq!(sweep_json(&[], 8), "", "empty sweep emits nothing");
+    }
+
+    #[test]
+    fn sweep_cell_text_annotates_ratio() {
+        let cell = SweepCell {
+            workers: 2,
+            secs: Some(0.5),
+            steals: 0,
+        };
+        assert_eq!(sweep_cell_text(&cell, Some(1.0), 8), "0.50 (2.0x)");
+        assert_eq!(sweep_cell_text(&cell, Some(1.0), 1), "0.50");
+        let oot = SweepCell {
+            workers: 2,
+            secs: None,
+            steals: 0,
+        };
+        assert_eq!(sweep_cell_text(&oot, Some(1.0), 8), "ooT");
     }
 }

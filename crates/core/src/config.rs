@@ -65,8 +65,9 @@ pub struct Config {
     /// Shared-location declaration (§7 optimisation).
     pub shared: SharedLocs,
     /// Worker threads used by the exhaustive exploration engines. `1`
-    /// (the default) runs the lock-free serial path; higher values run a
-    /// shared-frontier parallel search with a sharded visited set; `0`
+    /// (the default, overridable via the `PROMISING_WORKERS` environment
+    /// variable) runs the serial fast path; higher values run the
+    /// work-stealing parallel frontier with a sharded visited set; `0`
     /// means "use all available cores". The outcome set is identical for
     /// every value.
     pub workers: usize,
@@ -91,6 +92,22 @@ pub struct Config {
     pub dpor: bool,
 }
 
+/// The default exploration worker count: `1` (the serial fast path)
+/// unless the `PROMISING_WORKERS` environment variable overrides it.
+/// The override exists so CI can run the whole test suite once with a
+/// forced multi-worker frontier (work-stealing driver, sharded visited
+/// set) without threading a flag through every call site; explicit
+/// [`Config::with_workers`] calls still win.
+fn default_workers() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("PROMISING_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(1)
+    })
+}
+
 impl Config {
     /// Default ARM configuration.
     pub fn arm() -> Config {
@@ -99,7 +116,7 @@ impl Config {
             loop_fuel: 64,
             cert_depth: 10_000,
             shared: SharedLocs::All,
-            workers: 1,
+            workers: default_workers(),
             paranoid: false,
             por: true,
             dpor: true,

@@ -121,6 +121,33 @@ impl FpHasher {
     }
 }
 
+/// A consumer of a canonical `u64`-word encoding.
+///
+/// State encoders (e.g. the flat machine's canonical per-location
+/// encoding) are written once against this trait and serve two
+/// consumers: a `Vec<u64>` sink materialises the stream for exact-key
+/// comparison (paranoid mode), while an [`FpHasher`] sink folds the
+/// stream straight into a fingerprint — no per-state buffer allocation
+/// on the dedup hot path.
+pub trait WordSink {
+    /// Consume one word of the encoding.
+    fn word(&mut self, w: u64);
+}
+
+impl WordSink for FpHasher {
+    #[inline]
+    fn word(&mut self, w: u64) {
+        self.write_u64(w);
+    }
+}
+
+impl WordSink for Vec<u64> {
+    #[inline]
+    fn word(&mut self, w: u64) {
+        self.push(w);
+    }
+}
+
 /// A no-op [`Hasher`] for maps keyed by already-uniform fingerprints:
 /// folds the 128-bit key into 64 bits instead of re-hashing it.
 #[derive(Clone, Copy, Debug, Default)]

@@ -49,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod certify;
 pub mod config;
 pub mod expr;
@@ -64,12 +65,15 @@ pub mod pretty;
 pub mod stmt;
 pub mod thread;
 
+pub use arena::{Arena, ArenaIx};
 pub use certify::{
     find_and_certify, find_and_certify_with, find_promises_with, is_certified, CertMemo, CertResult,
 };
 pub use config::{Arch, Config, SharedLocs};
 pub use expr::{Expr, Op};
-pub use fingerprint::{Fingerprint, FpBuildHasher, FpHashMap, FpHasher, FpIdentityHasher};
+pub use fingerprint::{
+    Fingerprint, FpBuildHasher, FpHashMap, FpHasher, FpIdentityHasher, WordSink,
+};
 pub use footprint::{Footprint, LocSet};
 pub use ids::{Loc, Reg, TId, Timestamp, Val, View};
 pub use lex::{LocTable, Tokens};

@@ -8,9 +8,10 @@
 //! everything else:
 //!
 //! * the work frontier ([`crate::frontier::drive`]): serial LIFO stack or
-//!   a parked-worker pool for `Config::workers > 1`;
-//! * the sharded visited set with 128-bit fingerprint dedup and the
-//!   opt-in exact-key paranoid mode;
+//!   per-worker work-stealing deques for `Config::workers > 1`;
+//! * the sharded visited set with 128-bit fingerprint dedup (probed in
+//!   per-expansion batches) and the opt-in exact-key paranoid mode,
+//!   whose exact keys are interned in per-shard bump arenas;
 //! * per-worker caches (e.g. the naive strategy's shared [`CertMemo`]),
 //!   built once per worker and never crossing threads;
 //! * the [`SearchBudget`]: wall-clock deadline, global state budget, and
@@ -33,7 +34,7 @@
 //!
 //! [`CertMemo`]: promising_core::CertMemo
 
-use crate::frontier::{drive, effective_workers, Ctx, ShardedVisited};
+use crate::frontier::{drive, effective_workers, Ctx, ShardedVisited, WorkerReport};
 use crate::stats::{Stats, StopReason};
 use promising_core::{Config, Fingerprint, Footprint, FpHasher};
 use std::collections::BTreeSet;
@@ -329,6 +330,12 @@ struct Local<M: SearchModel> {
     stats: Stats,
     outcomes: BTreeSet<M::Out>,
     cache: M::Cache,
+    /// Reusable successor batch: one expansion's `(fingerprint, state)`
+    /// pairs, probed against the visited set in a single
+    /// [`ShardedVisited::insert_batch`] call.
+    batch: Vec<(Fingerprint, M::State)>,
+    /// Reusable newness flags for `batch` (same order).
+    fresh: Vec<bool>,
 }
 
 /// The generic exploration engine: a [`SearchModel`] plus a
@@ -373,10 +380,17 @@ impl<M: SearchModel> Engine<M> {
         // insertion and never released — retained states stay resident
         // for the whole search.
         let total_bytes = AtomicU64::new(0);
-        let entry_bytes = (std::mem::size_of::<Fingerprint>()
-            + std::mem::size_of::<Option<M::Exact>>()
-            + VISITED_SLOT_OVERHEAD) as u64;
         let config = self.model.config();
+        // A visited-set entry is a `(Fingerprint, u32)` map slot plus, in
+        // paranoid mode, the exact key interned in the shard's arena.
+        let entry_bytes = (std::mem::size_of::<Fingerprint>()
+            + std::mem::size_of::<u32>()
+            + VISITED_SLOT_OVERHEAD
+            + if config.paranoid {
+                std::mem::size_of::<M::Exact>()
+            } else {
+                0
+            }) as u64;
         let workers = effective_workers(config.workers);
         let por = config.por;
         let visited: ShardedVisited<M::Exact> = ShardedVisited::new(config.paranoid, workers);
@@ -440,15 +454,30 @@ impl<M: SearchModel> Engine<M> {
                 model.reduce(&s, &mut transitions);
                 l.stats.por_pruned += (before - transitions.len()) as u64;
             }
+            // Batch the successor dedup: fingerprint every successor
+            // first, then probe the visited set once per touched shard
+            // (one lock total on the serial layout) instead of once per
+            // successor.
+            l.batch.clear();
             for t in &transitions {
                 let next = model.apply(&s, t, &mut l.stats);
-                if visited.insert(model.fingerprint(&next), || model.exact_key(&next)) {
-                    total_bytes.fetch_add(
-                        model.approx_state_bytes(&next) as u64 + entry_bytes,
-                        Ordering::Relaxed,
-                    );
+                l.batch.push((model.fingerprint(&next), next));
+            }
+            visited.insert_batch(
+                &l.batch,
+                |it| it.0,
+                |it| model.exact_key(&it.1),
+                &mut l.fresh,
+            );
+            let mut added = 0u64;
+            for ((_fp, next), is_new) in l.batch.drain(..).zip(l.fresh.iter().copied()) {
+                if is_new {
+                    added += model.approx_state_bytes(&next) as u64 + entry_bytes;
                     ctx.push(next);
                 }
+            }
+            if added > 0 {
+                total_bytes.fetch_add(added, Ordering::Relaxed);
             }
         };
         let step = Self::timed(expand);
@@ -568,6 +597,8 @@ impl<M: SearchModel> Engine<M> {
             } else {
                 self.model.cache()
             },
+            batch: Vec::new(),
+            fresh: Vec::new(),
         }
     }
 
@@ -586,10 +617,12 @@ impl<M: SearchModel> Engine<M> {
     }
 
     /// Reduce a worker's accumulator to its `Send` result, draining any
-    /// cache counters into the worker's stats first.
-    fn seal(model: &M) -> impl Fn(Local<M>) -> (Stats, BTreeSet<M::Out>) + Sync + '_ {
-        |mut l| {
+    /// cache counters — and the driver's per-worker report (steal
+    /// counts) — into the worker's stats first.
+    fn seal(model: &M) -> impl Fn(Local<M>, WorkerReport) -> (Stats, BTreeSet<M::Out>) + Sync + '_ {
+        |mut l, report| {
             model.drain_cache(&mut l.cache, &mut l.stats);
+            l.stats.steals += report.steals;
             (l.stats, l.outcomes)
         }
     }
@@ -890,6 +923,93 @@ mod tests {
                 "payload lost: {msg} (workers={workers})"
             );
         }
+    }
+
+    /// A wrapper model whose root expansion stalls for a fixed time —
+    /// with several workers, the siblings spend that window parked or
+    /// steal-polling, which must NOT accrue to `cpu_time`.
+    struct SlowRoot {
+        inner: CountUp,
+        stall: Duration,
+    }
+
+    impl SearchModel for SlowRoot {
+        type State = u64;
+        type Transition = u64;
+        type Exact = u64;
+        type Out = u64;
+        type Cache = ();
+
+        fn config(&self) -> &Config {
+            self.inner.config()
+        }
+        fn root(&self, stats: &mut Stats) -> u64 {
+            self.inner.root(stats)
+        }
+        fn cache(&self) {}
+        fn fingerprint(&self, s: &u64) -> Fingerprint {
+            self.inner.fingerprint(s)
+        }
+        fn exact_key(&self, s: &u64) -> u64 {
+            *s
+        }
+        fn outcome(
+            &self,
+            s: &u64,
+            cache: &mut (),
+            stats: &mut Stats,
+            deadline: Option<Instant>,
+            out: &mut BTreeSet<u64>,
+        ) {
+            self.inner.outcome(s, cache, stats, deadline, out);
+        }
+        fn is_final(&self, s: &u64, stats: &mut Stats) -> bool {
+            self.inner.is_final(s, stats)
+        }
+        fn expand(
+            &self,
+            s: &u64,
+            cache: &mut (),
+            stats: &mut Stats,
+            deadline: Option<Instant>,
+        ) -> Vec<u64> {
+            if *s == 0 {
+                std::thread::sleep(self.stall);
+            }
+            self.inner.expand(s, cache, stats, deadline)
+        }
+        fn apply(&self, s: &u64, t: &u64, stats: &mut Stats) -> u64 {
+            self.inner.apply(s, t, stats)
+        }
+    }
+
+    #[test]
+    fn parked_workers_do_not_accrue_cpu_under_stealing() {
+        // One worker stalls 40ms inside the root expansion while its 3
+        // siblings have nothing to pop or steal. If park/steal-backoff
+        // time leaked into `cpu_time`, the merged figure would approach
+        // workers × wall (≥160ms); timing the step alone keeps it near
+        // the single stall. Guards the workers× inflation artifact.
+        let stall = Duration::from_millis(40);
+        let exp = Engine::new(SlowRoot {
+            inner: CountUp {
+                limit: 6,
+                config: Config::arm().with_workers(4),
+            },
+            stall,
+        })
+        .run();
+        assert_eq!(exp.outcomes, BTreeSet::from([6, 7]));
+        assert!(exp.stats.wall_time >= stall, "{:?}", exp.stats.wall_time);
+        assert!(
+            exp.stats.cpu_time < 3 * stall,
+            "parked siblings accrued cpu: {:?} (wall {:?})",
+            exp.stats.cpu_time,
+            exp.stats.wall_time
+        );
+        // absorb() itself maxes wall and sums cpu — unit-covered in
+        // stats.rs; here the end-to-end merged numbers stay sane too.
+        assert!(exp.stats.cpu_time >= stall - Duration::from_millis(5));
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod promise_first;
 pub mod stats;
 
 pub use engine::{Engine, Exploration, SearchBudget, SearchModel, SplitMix64};
-pub use frontier::{drive, effective_workers, panic_message, Ctx, ShardedVisited};
+pub use frontier::{drive, effective_workers, panic_message, Ctx, ShardedVisited, WorkerReport};
 pub use interactive::{Session, TraceEntry};
 pub use naive::{explore_naive, explore_naive_budget, CertMode, NaiveModel};
 pub use promise_first::{explore_promise_first, explore_promise_first_budget, PromiseFirstModel};

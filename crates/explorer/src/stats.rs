@@ -103,6 +103,11 @@ pub struct Stats {
     /// survived sibling appends to out-of-scope locations (the
     /// incremental-recertification win; zero with `Config::dpor` off).
     pub cert_survived: u64,
+    /// States obtained by stealing from a sibling worker's deque (the
+    /// work-stealing frontier; zero on the serial path). A healthy
+    /// parallel run steals rarely relative to `states` — local pops
+    /// dominate — so this is the load-balance diagnostic, not a cost.
+    pub steals: u64,
     /// Summed time workers spent expanding states (excludes time parked
     /// waiting for work), across all workers: total compute spent, not
     /// elapsed time. ≈ `wall_time` on a serial search; up to
@@ -146,6 +151,7 @@ impl Stats {
         self.cert_hits += other.cert_hits;
         self.cert_misses += other.cert_misses;
         self.cert_survived += other.cert_survived;
+        self.steals += other.steals;
         self.cpu_time += other.cpu_time;
         self.wall_time = self.wall_time.max(other.wall_time);
         self.stop = self.stop.max(other.stop);
@@ -181,6 +187,9 @@ impl fmt::Display for Stats {
                 self.cert_survived
             )?;
         }
+        if self.steals > 0 {
+            write!(f, ", {} steals", self.steals)?;
+        }
         if self.stop.truncated() {
             write!(f, ", stopped: {}", self.stop)?;
         }
@@ -205,14 +214,17 @@ mod tests {
             cert_hits: 3,
             cert_misses: 2,
             cert_survived: 1,
+            steals: 5,
             ..Stats::default()
         };
         a.absorb(&b);
         assert_eq!(a.states, 11);
         assert_eq!(a.transitions, 2);
         assert_eq!(a.deadlocks, 1);
+        assert_eq!(a.steals, 5);
         a.absorb(&b);
         assert_eq!((a.cert_hits, a.cert_misses, a.cert_survived), (6, 4, 2));
+        assert_eq!(a.steals, 10, "steal counts sum across workers");
     }
 
     #[test]

@@ -33,7 +33,7 @@ use crate::instance::{InstOp, InstState, Instance, Src};
 use promising_core::config::Arch;
 use promising_core::config::Config;
 use promising_core::expr::Expr;
-use promising_core::fingerprint::{Fingerprint, FpHasher};
+use promising_core::fingerprint::{Fingerprint, FpHasher, WordSink};
 use promising_core::ids::{Loc, Reg, TId, Timestamp, Val};
 use promising_core::memory::{Memory, Msg};
 use promising_core::stmt::{
@@ -298,6 +298,16 @@ impl FlatMachine {
     /// executions that failed the same number of times against
     /// different (dead) old values of the contended word merge.
     pub fn canonical_words(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.canonical_words_into(&mut out);
+        out
+    }
+
+    /// Stream the canonical encoding of [`FlatMachine::canonical_words`]
+    /// into `out` without materialising a buffer — the dedup hot path
+    /// sinks it straight into an [`FpHasher`], so fingerprinting a state
+    /// under `Config::dpor` no longer allocates a per-state word vector.
+    pub fn canonical_words_into<W: WordSink>(&self, out: &mut W) {
         // ts -> (loc+1, per-location index); ts 0 (the initial write,
         // distinguished) -> (0, 0).
         let mut next: BTreeMap<Loc, u64> = BTreeMap::new();
@@ -316,19 +326,18 @@ impl FlatMachine {
                 canon[ts.0 as usize - 1]
             }
         };
-        let mut out = Vec::new();
-        let ts = |out: &mut Vec<u64>, t: Timestamp| {
+        let ts = |out: &mut W, t: Timestamp| {
             let (a, b) = canon_ts(t);
-            out.push(a);
-            out.push(b);
+            out.word(a);
+            out.word(b);
         };
-        out.push(self.threads.len() as u64);
+        out.word(self.threads.len() as u64);
         for t in &self.threads {
-            out.push(t.stuck as u64);
-            out.push(t.fetch_fuel as u64);
-            out.push(t.fetch_cont.len() as u64);
+            out.word(t.stuck as u64);
+            out.word(t.fetch_fuel as u64);
+            out.word(t.fetch_cont.len() as u64);
             for s in &t.fetch_cont {
-                out.push(s.0 as u64);
+                out.word(s.0 as u64);
             }
             // Maximal fully-bound prefix: collapsed to its final
             // register map and exclusive-pairing bank (see the doc
@@ -364,10 +373,10 @@ impl FlatMachine {
             // state; user registers must keep them (`outcome` reports a
             // register iff written).
             regs.retain(|r, v| r.0 < SCRATCH_REG_BASE || v.0 != 0);
-            out.push(regs.len() as u64);
+            out.word(regs.len() as u64);
             for (r, v) in &regs {
-                out.push(r.0 as u64);
-                out.push(v.0 as u64);
+                out.word(r.0 as u64);
+                out.word(v.0 as u64);
             }
             // The prefix's exclusive-pairing bank: the answer
             // `stx_pairing` gives once its backward walk crosses into
@@ -406,45 +415,45 @@ impl FlatMachine {
                 }
             }
             match bank {
-                None => out.push(0),
+                None => out.word(0),
                 Some(t) => {
-                    out.push(1);
-                    ts(&mut out, t);
+                    out.word(1);
+                    ts(out, t);
                 }
             }
-            out.push((t.instances.len() - live) as u64);
+            out.word((t.instances.len() - live) as u64);
             for inst in &t.instances[live..] {
-                out.push(inst.stmt.0 as u64);
+                out.word(inst.stmt.0 as u64);
                 match &inst.op {
-                    InstOp::Assign { .. } => out.push(0),
-                    InstOp::Load { .. } => out.push(1),
-                    InstOp::Store { .. } => out.push(2),
-                    InstOp::Fence(_) => out.push(3),
-                    InstOp::Isb => out.push(4),
-                    InstOp::Rmw { .. } => out.push(6),
+                    InstOp::Assign { .. } => out.word(0),
+                    InstOp::Load { .. } => out.word(1),
+                    InstOp::Store { .. } => out.word(2),
+                    InstOp::Fence(_) => out.word(3),
+                    InstOp::Isb => out.word(4),
+                    InstOp::Rmw { .. } => out.word(6),
                     InstOp::Branch {
                         guess, alt_cont, ..
                     } => {
-                        out.push(5);
-                        out.push(*guess as u64);
-                        out.push(alt_cont.len() as u64);
+                        out.word(5);
+                        out.word(*guess as u64);
+                        out.word(alt_cont.len() as u64);
                         for s in alt_cont {
-                            out.push(s.0 as u64);
+                            out.word(s.0 as u64);
                         }
                     }
                 }
                 match inst.state {
-                    InstState::Pending => out.push(0),
+                    InstState::Pending => out.word(0),
                     InstState::Done { val } => {
-                        out.push(1);
-                        out.push(val.0 as u64);
+                        out.word(1);
+                        out.word(val.0 as u64);
                     }
                     InstState::Satisfied { src, val } => {
-                        out.push(2);
+                        out.word(2);
                         match src {
                             Src::Memory(t) => {
-                                out.push(0);
-                                ts(&mut out, t);
+                                out.word(0);
+                                ts(out, t);
                             }
                             // A forwarded source that has since
                             // propagated is observationally a memory
@@ -454,66 +463,65 @@ impl FlatMachine {
                             // distinction doesn't split states.
                             Src::Forward(k) => match t.instances[k].state {
                                 InstState::Propagated { ts: pt } => {
-                                    out.push(0);
-                                    ts(&mut out, pt);
+                                    out.word(0);
+                                    ts(out, pt);
                                 }
                                 _ => {
                                     debug_assert!(
                                         k >= live,
                                         "unpropagated forward source must be unbound"
                                     );
-                                    out.push(1);
-                                    out.push((k - live) as u64);
+                                    out.word(1);
+                                    out.word((k - live) as u64);
                                 }
                             },
                         }
-                        out.push(val.0 as u64);
+                        out.word(val.0 as u64);
                     }
                     InstState::Propagated { ts: t } => {
-                        out.push(3);
-                        ts(&mut out, t);
+                        out.word(3);
+                        ts(out, t);
                     }
-                    InstState::Failed => out.push(4),
-                    InstState::Committed => out.push(5),
+                    InstState::Failed => out.word(4),
+                    InstState::Committed => out.word(5),
                     InstState::Resolved { taken } => {
-                        out.push(6);
-                        out.push(taken as u64);
+                        out.word(6);
+                        out.word(taken as u64);
                     }
                     InstState::RmwDone { tr, old, wrote } => {
-                        out.push(7);
-                        ts(&mut out, tr);
-                        out.push(old.0 as u64);
+                        out.word(7);
+                        ts(out, tr);
+                        out.word(old.0 as u64);
                         match wrote {
-                            None => out.push(0),
+                            None => out.word(0),
                             Some(t) => {
-                                out.push(1);
-                                ts(&mut out, t);
+                                out.word(1);
+                                ts(out, t);
                             }
                         }
                     }
                     InstState::RmwBound { tr, old } => {
-                        out.push(8);
-                        ts(&mut out, tr);
-                        out.push(old.0 as u64);
+                        out.word(8);
+                        ts(out, tr);
+                        out.word(old.0 as u64);
                     }
                 }
             }
         }
-        out.push(self.memory.init_values().len() as u64);
+        out.word(self.memory.init_values().len() as u64);
         for (l, v) in self.memory.init_values() {
-            out.push(l.0);
-            out.push(v.0 as u64);
+            out.word(l.0);
+            out.word(v.0 as u64);
         }
-        out.push(streams.len() as u64);
+        out.word(streams.len() as u64);
         for (l, msgs) in &streams {
-            out.push(l.0);
-            out.push(msgs.len() as u64);
+            out.word(l.0);
+            out.word(msgs.len() as u64);
             for m in msgs {
-                out.push(m.val.0 as u64);
-                out.push(m.tid.0 as u64);
+                out.word(m.val.0 as u64);
+                out.word(m.tid.0 as u64);
             }
         }
-        out
     }
 
     /// A 128-bit fingerprint of the dynamic state for visited-set
@@ -531,9 +539,7 @@ impl FlatMachine {
     pub fn fingerprint(&self) -> Fingerprint {
         if self.config.por && self.config.dpor {
             let mut h = FpHasher::new();
-            for w in self.canonical_words() {
-                h.write_u64(w);
-            }
+            self.canonical_words_into(&mut h);
             return h.finish128();
         }
         let mut h = FpHasher::new();

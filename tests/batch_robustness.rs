@@ -75,6 +75,101 @@ fn injected_panic_is_contained_and_other_verdicts_survive() {
 }
 
 #[test]
+fn worker_panic_under_stealing_is_contained_and_campaign_survives() {
+    // The campaign's isolation boundary must hold when the panic comes
+    // out of a *multi-worker* engine: the work-stealing frontier
+    // re-raises a worker panic on the driving thread (tagged with the
+    // worker index), `catch_unwind` contains it there, and the process
+    // stays healthy enough to run a full clean campaign afterwards —
+    // no poisoned lock or leaked worker survives the unwind.
+    use promising_core::{Config, FpHasher};
+    use promising_explorer::{panic_message, Engine, SearchModel, Stats};
+    use std::collections::BTreeSet;
+    use std::time::Instant;
+
+    // Wide fan-out so 4 workers actually steal; one poisoned state
+    // deep in the tree blows up whichever worker expands it.
+    struct StealBomb {
+        config: Config,
+    }
+    const BOMB: u64 = 0o1234; // a depth-4 path in the 8-ary tree
+    impl SearchModel for StealBomb {
+        type State = u64;
+        type Transition = u64;
+        type Exact = u64;
+        type Out = u64;
+        type Cache = ();
+
+        fn config(&self) -> &Config {
+            &self.config
+        }
+        fn root(&self, _stats: &mut Stats) -> u64 {
+            0
+        }
+        fn cache(&self) {}
+        fn fingerprint(&self, s: &u64) -> promising_core::Fingerprint {
+            let mut h = FpHasher::new();
+            h.write_u64(*s);
+            h.finish128()
+        }
+        fn exact_key(&self, s: &u64) -> u64 {
+            *s
+        }
+        fn outcome(
+            &self,
+            s: &u64,
+            _cache: &mut (),
+            _stats: &mut Stats,
+            _deadline: Option<Instant>,
+            out: &mut BTreeSet<u64>,
+        ) {
+            if self.is_final_state(s) {
+                out.insert(*s);
+            }
+        }
+        fn is_final(&self, s: &u64, _stats: &mut Stats) -> bool {
+            self.is_final_state(s)
+        }
+        fn expand(
+            &self,
+            s: &u64,
+            _cache: &mut (),
+            _stats: &mut Stats,
+            _deadline: Option<Instant>,
+        ) -> Vec<u64> {
+            assert!(*s != BOMB, "injected stealing fault");
+            (1..=8).collect()
+        }
+        fn apply(&self, s: &u64, t: &u64, stats: &mut Stats) -> u64 {
+            stats.transitions += 1;
+            s * 8 + t
+        }
+    }
+    impl StealBomb {
+        fn is_final_state(&self, s: &u64) -> bool {
+            *s >= 8u64.pow(4)
+        }
+    }
+
+    let engine = Engine::new(StealBomb {
+        config: Config::arm().with_workers(4),
+    });
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.run()))
+        .expect_err("the poisoned state must panic some worker");
+    let msg = panic_message(caught.as_ref());
+    assert!(
+        msg.contains("exploration worker") && msg.contains("injected stealing fault"),
+        "worker panics must carry the worker tag and the payload: {msg}"
+    );
+
+    // Aftermath: the same process still runs a full campaign cleanly.
+    let report = run_campaign(&small_corpus(), &BatchConfig::default()).expect("campaign I/O");
+    assert_eq!(report.panicked().count(), 0);
+    assert_eq!(report.mismatches().count(), 0);
+    assert!(report.records.iter().all(|r| r.tier == Tier::Exhaustive));
+}
+
+#[test]
 fn over_budget_tests_degrade_to_tagged_sampled_verdicts() {
     let corpus = small_corpus();
     let report = run_campaign(

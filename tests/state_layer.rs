@@ -200,6 +200,70 @@ fn outcome_json_is_byte_identical_serial_vs_parallel() {
 }
 
 #[test]
+fn outcomes_digest_byte_identical_across_workers_and_reductions() {
+    // Satellite of the work-stealing frontier refactor: the digest the
+    // bench snapshots embed must not depend on worker count, steal
+    // order, or which reduction is active. The visited set only ever
+    // suppresses re-expansion, so the outcome set — and therefore the
+    // canonical serialisation — must be a pure function of the model.
+    // Every 4th catalogue test × {por+dpor, por-only, no-reduction} ×
+    // workers {1, 2, 4} × all three strategies.
+    for (i, test) in catalogue().into_iter().enumerate() {
+        if i % 4 != 0 {
+            continue;
+        }
+        for (por, dpor) in [(true, true), (true, false), (false, false)] {
+            let cfg = |w: usize| {
+                config_for(&test)
+                    .with_por(por)
+                    .with_dpor(dpor)
+                    .with_workers(w)
+            };
+            let ref_pf = explore_promise_first(&machine_for(&test, cfg(1)));
+            let ref_naive = explore_naive(&machine_for(&test, cfg(1)), CertMode::Online);
+            let ref_flat = (!test.flat_conservative).then(|| {
+                explore_flat(&FlatMachine::with_init(
+                    test.program.clone(),
+                    cfg(1),
+                    test.init.clone(),
+                ))
+            });
+            for workers in [2, 4] {
+                let pf = explore_promise_first(&machine_for(&test, cfg(workers)));
+                assert_eq!(
+                    ref_pf.outcomes_digest(),
+                    pf.outcomes_digest(),
+                    "{test}: promise-first digest at {workers} workers (por={por}, dpor={dpor})"
+                );
+                assert_eq!(
+                    ref_pf.outcomes_json(),
+                    pf.outcomes_json(),
+                    "{test}: promise-first JSON at {workers} workers (por={por}, dpor={dpor})"
+                );
+                let nv = explore_naive(&machine_for(&test, cfg(workers)), CertMode::Online);
+                assert_eq!(
+                    ref_naive.outcomes_digest(),
+                    nv.outcomes_digest(),
+                    "{test}: naive digest at {workers} workers (por={por}, dpor={dpor})"
+                );
+                if let Some(rf) = &ref_flat {
+                    let fl = explore_flat(&FlatMachine::with_init(
+                        test.program.clone(),
+                        cfg(workers),
+                        test.init.clone(),
+                    ));
+                    assert_eq!(
+                        rf.outcomes_digest(),
+                        fl.outcomes_digest(),
+                        "{test}: flat digest at {workers} workers (por={por}, dpor={dpor})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn outcome_json_escapes_and_digest_shape() {
     // The serialisation must be valid JSON material: quotes/backslashes
     // escaped (outcome Display never emits them today, but the escape
